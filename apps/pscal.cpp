@@ -1,0 +1,86 @@
+/**
+ * @file
+ * pscal — guided one-time calibration (paper Sec. III-D).
+ *
+ * Run with the sensor modules unloaded (no current) and the supply at
+ * a known voltage:
+ *
+ *   pscal --pair N --volts V [--samples N] [--apply]
+ *
+ * Averages 128 k samples (default), reports the Hall offset and the
+ * voltage-chain gain error, and with --apply persists the corrections
+ * to the device EEPROM.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "host/calibrator.hpp"
+#include "common/errors.hpp"
+#include "tool_common.hpp"
+
+int
+main(int argc, char **argv)
+try {
+    using namespace ps3;
+
+    auto context = tools::openTool(
+        argc, argv, "pscal",
+        "  --pair N --volts V [--samples N] [--apply]\n"
+        "  calibrate an unloaded sensor pair against a known supply\n");
+    auto &sensor = *context.sensor;
+
+    int pair = -1;
+    double volts = 0.0;
+    std::size_t samples = host::kCalibrationSamples;
+    bool apply = false;
+    const auto &args = context.args;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto next = [&]() -> std::string {
+            if (i + 1 >= args.size())
+                throw UsageError(args[i] + " needs an argument");
+            return args[++i];
+        };
+        if (args[i] == "--pair")
+            pair = std::atoi(next().c_str());
+        else if (args[i] == "--volts")
+            volts = std::stod(next());
+        else if (args[i] == "--samples")
+            samples = std::strtoull(next().c_str(), nullptr, 10);
+        else if (args[i] == "--apply")
+            apply = true;
+        else
+            throw UsageError("unknown option: " + args[i]);
+    }
+    if (pair < 0 || volts <= 0.0) {
+        std::fprintf(stderr,
+                     "pscal: --pair and --volts are required\n");
+        return 2;
+    }
+
+    std::printf("calibrating pair %d against %.3f V over %zu "
+                "samples...\n",
+                pair, volts, samples);
+    host::Calibrator calibrator(sensor);
+    const auto result = calibrator.calibratePair(
+        static_cast<unsigned>(pair), volts, samples);
+
+    std::printf("  current offset before: %+.4f A\n",
+                result.offsetAmpsBefore);
+    std::printf("  voltage gain error:    %+.3f %%\n",
+                result.voltageGainErrorBefore * 100.0);
+    std::printf("  new vref:              %.5f V\n", result.newVref);
+    std::printf("  new voltage gain:      %.5f V/V\n",
+                result.newVoltageGain);
+
+    if (apply) {
+        calibrator.apply();
+        std::printf("corrections written to device EEPROM\n");
+    } else {
+        std::printf("dry run (use --apply to persist)\n");
+    }
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "pscal: %s\n", e.what());
+    return 1;
+}

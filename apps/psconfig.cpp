@@ -1,0 +1,92 @@
+/**
+ * @file
+ * psconfig — read or write the sensor configuration values stored in
+ * the device EEPROM, and optionally reboot the device (paper
+ * Sec. III-C). After installing firmware, this tool configures the
+ * device.
+ *
+ * Tool options:
+ *   (none)                 print the current configuration
+ *   --pair N               select a sensor pair for edits
+ *   --name NAME            set the pair's sensor name
+ *   --vref V               set the current channel reference voltage
+ *   --sensitivity S        set the current channel slope (V/A)
+ *   --gain G               set the voltage channel gain (V/V)
+ *   --enable / --disable   toggle the pair
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/errors.hpp"
+#include "tool_common.hpp"
+
+int
+main(int argc, char **argv)
+try {
+    using namespace ps3;
+
+    auto context = tools::openTool(
+        argc, argv, "psconfig",
+        "  [--pair N [--name S] [--vref V] [--sensitivity S]\n"
+        "   [--gain G] [--enable|--disable]]\n");
+    auto &sensor = *context.sensor;
+
+    auto config = sensor.config();
+
+    int pair = -1;
+    bool dirty = false;
+    const auto &args = context.args;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto next = [&]() -> std::string {
+            if (i + 1 >= args.size())
+                throw UsageError(args[i] + " needs an argument");
+            return args[++i];
+        };
+        auto requirePair = [&]() {
+            if (pair < 0 || pair >= static_cast<int>(host::kMaxPairs))
+                throw UsageError("--pair must be set first");
+        };
+        if (args[i] == "--pair") {
+            pair = std::atoi(next().c_str());
+        } else if (args[i] == "--name") {
+            requirePair();
+            const auto name = next();
+            config[pair * 2].name = name;
+            config[pair * 2 + 1].name = name;
+            dirty = true;
+        } else if (args[i] == "--vref") {
+            requirePair();
+            config[pair * 2].vref = std::stof(next());
+            dirty = true;
+        } else if (args[i] == "--sensitivity") {
+            requirePair();
+            config[pair * 2].slope = std::stof(next());
+            dirty = true;
+        } else if (args[i] == "--gain") {
+            requirePair();
+            config[pair * 2 + 1].slope = std::stof(next());
+            dirty = true;
+        } else if (args[i] == "--enable" || args[i] == "--disable") {
+            requirePair();
+            const bool enable = args[i] == "--enable";
+            config[pair * 2].inUse = enable;
+            config[pair * 2 + 1].inUse = enable;
+            dirty = true;
+        } else {
+            throw UsageError("unknown option: " + args[i]);
+        }
+    }
+
+    if (dirty) {
+        sensor.writeConfig(config);
+        std::printf("configuration written\n");
+    }
+    for (unsigned p = 0; p < host::kMaxPairs; ++p)
+        tools::printPairConfig(sensor.config(), p);
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "psconfig: %s\n", e.what());
+    return 1;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * psinfo — show the configuration of each enabled sensor, the latest
+ * measurements, and the total power (paper Sec. III-C).
+ */
+
+#include <cstdio>
+#include <thread>
+
+#include "tool_common.hpp"
+
+int
+main(int argc, char **argv)
+try {
+    using namespace ps3;
+
+    auto context = tools::openTool(
+        argc, argv, "psinfo",
+        "  prints sensor configuration and live readings\n");
+    auto &sensor = *context.sensor;
+
+    std::printf("firmware: %s\n", sensor.firmwareVersion().c_str());
+    const auto config = sensor.config();
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair)
+        tools::printPairConfig(config, pair);
+
+    // Give the stream a moment to deliver fresh samples.
+    sensor.waitForSamples(64);
+    const auto state = sensor.read();
+
+    std::printf("\nlive readings (t = %.6f s):\n", state.timeAtRead);
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
+        if (!state.present[pair])
+            continue;
+        std::printf("  pair %u (%s): %7.3f V %7.3f A %8.3f W\n", pair,
+                    sensor.pairName(pair).c_str(),
+                    state.voltage[pair], state.current[pair],
+                    state.power(pair));
+    }
+    std::printf("  total: %.3f W\n", state.totalPower());
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "psinfo: %s\n", e.what());
+    return 1;
+}

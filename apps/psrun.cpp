@@ -1,0 +1,117 @@
+/**
+ * @file
+ * psrun — connect to the PowerSensor, run the given command, and
+ * report the total energy consumed during its execution (paper
+ * Sec. III-C: the interval-based mode's standalone executable).
+ *
+ *   psrun [--sim SPEC] [-o dumpfile] -- <command> [args...]
+ *
+ * With -o, the full 20 kHz stream is additionally dumped to a file
+ * (continuous mode), with markers around the command execution.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "tool_common.hpp"
+
+namespace {
+
+int
+runChild(const std::vector<std::string> &command)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        std::perror("psrun: fork");
+        return -1;
+    }
+    if (pid == 0) {
+        std::vector<char *> argv;
+        argv.reserve(command.size() + 1);
+        for (const auto &arg : command)
+            argv.push_back(const_cast<char *>(arg.c_str()));
+        argv.push_back(nullptr);
+        ::execvp(argv[0], argv.data());
+        std::perror("psrun: exec");
+        std::_Exit(127);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    using namespace ps3;
+
+    auto context = tools::openTool(
+        argc, argv, "psrun",
+        "  [-o dumpfile] -- <command> [args...]\n"
+        "  runs the command and reports its energy consumption\n");
+    auto &sensor = *context.sensor;
+
+    std::string dump_file;
+    std::vector<std::string> command;
+    bool after_separator = false;
+    for (std::size_t i = 0; i < context.args.size(); ++i) {
+        const auto &arg = context.args[i];
+        if (after_separator) {
+            command.push_back(arg);
+        } else if (arg == "--") {
+            after_separator = true;
+        } else if (arg == "-o" && i + 1 < context.args.size()) {
+            dump_file = context.args[++i];
+        } else {
+            command.push_back(arg);
+            after_separator = true;
+        }
+    }
+    if (command.empty()) {
+        std::fprintf(stderr, "psrun: no command given\n");
+        return 2;
+    }
+
+    if (!dump_file.empty())
+        sensor.dump(dump_file);
+
+    sensor.mark('B');
+    const auto first = sensor.read();
+    const int exit_code = runChild(command);
+    const auto second = sensor.read();
+    sensor.mark('E');
+
+    if (!dump_file.empty()) {
+        // Let the end marker land: the flagged frame set can trail
+        // the command by a full pre-generated link chunk.
+        sensor.waitForSamples(4096);
+        sensor.dump("");
+    }
+
+    const double seconds = host::seconds(first, second);
+    std::printf("exit status: %d\n", exit_code);
+    std::printf("runtime:     %.6f s (device time)\n", seconds);
+    std::printf("energy:      %.4f J\n", host::Joules(first, second));
+    if (seconds > 0.0) {
+        std::printf("avg power:   %.4f W\n",
+                    host::Watts(first, second));
+    }
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
+        if (!second.present[pair])
+            continue;
+        std::printf("  pair %u (%s): %.4f J\n", pair,
+                    sensor.pairName(pair).c_str(),
+                    host::Joules(first, second,
+                                 static_cast<int>(pair)));
+    }
+    return exit_code;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "psrun: %s\n", e.what());
+    return 1;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * pstest — measure and report power and energy at increasing
+ * intervals (paper Sec. III-C). Used by the evaluation benches of
+ * Sec. IV to collect 128 k-sample batches.
+ *
+ * Options (after the common ones):
+ *   --samples N   also report statistics over N samples
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/statistics.hpp"
+#include "tool_common.hpp"
+
+int
+main(int argc, char **argv)
+try {
+    using namespace ps3;
+
+    auto context = tools::openTool(
+        argc, argv, "pstest",
+        "  --samples N  collect N samples and print statistics\n");
+    auto &sensor = *context.sensor;
+
+    std::size_t stat_samples = 0;
+    for (std::size_t i = 0; i < context.args.size(); ++i) {
+        if (context.args[i] == "--samples"
+            && i + 1 < context.args.size()) {
+            stat_samples = std::strtoull(
+                context.args[++i].c_str(), nullptr, 10);
+        }
+    }
+
+    std::printf("%-12s %-12s %-12s\n", "interval_s", "avg_W",
+                "energy_J");
+    // Doubling intervals: 1/64 s up to 2 s of device time.
+    for (double interval = 1.0 / 64; interval <= 2.0; interval *= 2) {
+        const auto first = sensor.read();
+        const auto sets = static_cast<std::uint64_t>(
+            interval * firmware::kSampleRateHz);
+        if (!sensor.waitForSamples(sets)) {
+            std::fprintf(stderr, "pstest: device disappeared\n");
+            return 1;
+        }
+        const auto second = sensor.read();
+        std::printf("%-12.5f %-12.4f %-12.5f\n",
+                    host::seconds(first, second),
+                    host::Watts(first, second),
+                    host::Joules(first, second));
+    }
+
+    if (stat_samples > 0) {
+        RunningStatistics power;
+        const auto token = sensor.addSampleListener(
+            [&](const host::Sample &sample) {
+                power.add(sample.totalPower());
+            });
+        sensor.waitForSamples(stat_samples);
+        sensor.removeSampleListener(token);
+        std::printf("\n%zu samples: min %.4f W  max %.4f W  "
+                    "mean %.4f W  std %.4f W\n",
+                    power.count(), power.min(), power.max(),
+                    power.mean(), power.stddev());
+    }
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "pstest: %s\n", e.what());
+    return 1;
+}

@@ -1,0 +1,166 @@
+#include "tool_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "analog/sensor_module_spec.hpp"
+#include "common/errors.hpp"
+#include "common/logging.hpp"
+#include "dut/gpu_model.hpp"
+#include "firmware/protocol.hpp"
+
+namespace ps3::tools {
+
+namespace {
+
+/** Split "a:b:c" into parts. */
+std::vector<std::string>
+splitSpec(const std::string &spec, char sep = ':')
+{
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t next = spec.find(sep, pos);
+        if (next == std::string::npos) {
+            parts.push_back(spec.substr(pos));
+            break;
+        }
+        parts.push_back(spec.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    return parts;
+}
+
+/** Parse key=value rig parameters. */
+std::map<std::string, std::string>
+specParams(const std::vector<std::string> &parts)
+{
+    std::map<std::string, std::string> params;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const auto eq = parts[i].find('=');
+        if (eq == std::string::npos)
+            throw UsageError("bad rig parameter: " + parts[i]);
+        params[parts[i].substr(0, eq)] = parts[i].substr(eq + 1);
+    }
+    return params;
+}
+
+host::SimulatedRig
+buildRig(const std::string &spec)
+{
+    const auto parts = splitSpec(spec);
+    const auto params = specParams(parts);
+    const std::string kind = parts.empty() ? "bench" : parts[0];
+
+    auto get = [&](const std::string &key,
+                   const std::string &fallback) {
+        const auto it = params.find(key);
+        return it == params.end() ? fallback : it->second;
+    };
+
+    if (kind == "bench") {
+        const auto module =
+            analog::modules::byName(get("module", "12V-10A"));
+        const double volts = std::stod(get("volts", "12"));
+        const double amps = std::stod(get("amps", "8"));
+        return host::rigs::labBench(module, volts, amps);
+    }
+    if (kind == "gpu") {
+        const std::string card = get("card", "rtx4000ada");
+        const auto gpu_spec = card == "w7700"
+                                  ? dut::GpuSpec::w7700()
+                                  : dut::GpuSpec::rtx4000Ada();
+        return host::rigs::gpuRig(gpu_spec);
+    }
+    if (kind == "soc")
+        return host::rigs::socRig(dut::GpuSpec::jetsonAgxOrinModule());
+    throw UsageError("unknown rig kind: " + kind);
+}
+
+/** Bytes per frame set given the enabled channel count. */
+double
+linkBytesPerSecond(const firmware::DeviceConfig &config)
+{
+    unsigned channels = 0;
+    for (const auto &record : config) {
+        if (record.inUse)
+            ++channels;
+    }
+    const double bytes_per_set = 2.0 * (channels + 1);
+    return bytes_per_set * firmware::kSampleRateHz;
+}
+
+} // namespace
+
+ToolContext
+openTool(int argc, char **argv, const std::string &tool_name,
+         const std::string &tool_usage)
+{
+    std::string device_path;
+    std::string sim_spec = "bench";
+    bool fast = false;
+
+    ToolContext context;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                throw UsageError(arg + " needs an argument");
+            return argv[++i];
+        };
+        if (arg == "-d" || arg == "--device") {
+            device_path = next();
+        } else if (arg == "--sim") {
+            sim_spec = next();
+        } else if (arg == "--fast") {
+            fast = true;
+        } else if (arg == "--verbose") {
+            Log::setLevel(LogLevel::Debug);
+        } else if (arg == "-h" || arg == "--help") {
+            std::cout << "usage: " << tool_name
+                      << " [-d DEVICE | --sim SPEC] [--fast] "
+                         "[--verbose]\n"
+                      << tool_usage
+                      << "\nrig specs: bench[:module=..][:volts=..]"
+                         "[:amps=..] | gpu[:card=..] | soc\n";
+            std::exit(0);
+        } else {
+            context.args.push_back(arg);
+        }
+    }
+
+    if (!device_path.empty()) {
+        context.sensor =
+            std::make_unique<host::PowerSensor>(device_path);
+        return context;
+    }
+
+    context.rig = buildRig(sim_spec);
+    context.sensor = context.rig->connect();
+    if (!fast) {
+        context.rig->port->setThrottle(
+            linkBytesPerSecond(context.sensor->config()));
+    }
+    return context;
+}
+
+void
+printPairConfig(const firmware::DeviceConfig &config, unsigned pair)
+{
+    const auto &current = config[pair * 2];
+    const auto &voltage = config[pair * 2 + 1];
+    if (!current.inUse && !voltage.inUse) {
+        std::printf("pair %u: (empty)\n", pair);
+        return;
+    }
+    std::printf("pair %u: %-16s", pair, current.name.c_str());
+    std::printf("  vref %.4f V  sensitivity %.4f V/A", current.vref,
+                current.slope);
+    std::printf("  gain %.4f V/V  %s\n", voltage.slope,
+                current.inUse && voltage.inUse ? "enabled"
+                                               : "partially enabled");
+}
+
+} // namespace ps3::tools

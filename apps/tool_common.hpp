@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared plumbing for the PowerSensor3 command-line tools.
+ *
+ * Every tool accepts either a real serial device (-d /dev/ttyACM0) or
+ * a simulated rig (--sim <spec>), so the complete tool suite runs
+ * without hardware. Rig specs:
+ *
+ *   bench[:module=<name>][:volts=<V>][:amps=<A>]   lab bench (default)
+ *   gpu[:card=rtx4000ada|w7700]                    GPU node
+ *   soc                                            Jetson-style SoC kit
+ *
+ * In simulated mode the link is throttled to the real USB rate by
+ * default so device time tracks wall time (tools like psrun measure a
+ * real child process); pass --fast to run at full virtual speed.
+ */
+
+#ifndef PS3_APPS_TOOL_COMMON_HPP
+#define PS3_APPS_TOOL_COMMON_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/power_sensor.hpp"
+#include "host/sim_setup.hpp"
+
+namespace ps3::tools {
+
+/** Parsed common options plus the opened connection. */
+struct ToolContext
+{
+    /** Present when running against the simulator. */
+    std::optional<host::SimulatedRig> rig;
+    std::unique_ptr<host::PowerSensor> sensor;
+    /** Tool-specific positional/remaining arguments. */
+    std::vector<std::string> args;
+};
+
+/**
+ * Parse common options and open the device.
+ *
+ * Recognised options: -d/--device PATH, --sim SPEC, --fast,
+ * --verbose, -h/--help (prints usage + tool_usage and exits).
+ *
+ * @param argc/argv Main arguments.
+ * @param tool_name Tool name for usage text.
+ * @param tool_usage Tool-specific usage lines.
+ */
+ToolContext openTool(int argc, char **argv,
+                     const std::string &tool_name,
+                     const std::string &tool_usage);
+
+/** Print one pair's configuration records. */
+void printPairConfig(const firmware::DeviceConfig &config,
+                     unsigned pair);
+
+} // namespace ps3::tools
+
+#endif // PS3_APPS_TOOL_COMMON_HPP

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ablation of the firmware's averaging design point (DESIGN.md
+ * decision: average 6 ADC scans -> 20 kHz output).
+ *
+ * The paper (Sec. III-B) explains the trade: the ADC could stream
+ * raw ~120 kHz scans, but the Black Pill's USB 1.1 full-speed link
+ * (12 Mbit/s = 1.5 MB/s) cannot carry 8 sensors at that rate, and
+ * averaging on the CPU both fits the link and reduces noise. This
+ * bench sweeps the averaging factor and reports, for a fully
+ * populated board (8 channels + timestamp = 18 bytes per set):
+ *
+ *   output rate, link bandwidth needed, fits-USB-1.1, and the power
+ *   noise of a 12 V / 10 A module at an 8 A operating point.
+ *
+ * Shape checks: the shipped factor (6) is the smallest that fits the
+ * link with margin, and noise falls as sqrt(N).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "analog/sensor_models.hpp"
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace ps3;
+
+    const auto spec = analog::modules::slot12V10A();
+    analog::CurrentSensorModel current(spec, 11);
+    analog::VoltageSensorModel voltage(spec, 12);
+
+    // Raw per-channel scan rate: 8 channels x 25 cycles at 24 MHz
+    // per conversion -> one scan every 8.33 us.
+    const double scan_rate = 24e6 / (25.0 * 8.0);
+    const double usb11_bytes_per_s = 12e6 / 8.0 / 1.1; // +10% proto
+    const std::size_t raw_samples = 600000;
+
+    // Generate raw scan-rate samples once; derive each averaging
+    // factor from the same stream.
+    std::vector<double> raw_power;
+    raw_power.reserve(raw_samples);
+    double t = 0.0;
+    for (std::size_t i = 0; i < raw_samples; ++i) {
+        t += 1.0 / scan_rate;
+        const double code_i = analog::AdcModel::toVolts(
+            analog::AdcModel::convert(current.sample(8.0, t)));
+        const double code_v = analog::AdcModel::toVolts(
+            analog::AdcModel::convert(voltage.sample(12.0, t)));
+        const double amps =
+            (code_i - spec.currentOffsetVoltage())
+            / spec.currentSensitivity();
+        const double volts = code_v / spec.voltageGain();
+        raw_power.push_back(amps * volts);
+    }
+
+    std::printf("Averaging-factor ablation (8-channel board, "
+                "18 bytes per frame set)\n\n");
+    std::printf("%-8s %-12s %-14s %-10s %-12s\n", "factor",
+                "rate_kHz", "link_kB_per_s", "fits_USB", "noise_Wrms");
+
+    bench::ShapeChecker checker;
+    double noise_at_1 = 0.0;
+    double noise_at_6 = 0.0;
+    bool six_fits = false;
+    bool below_six_fits = true;
+    for (const unsigned factor : {1u, 2u, 3u, 6u, 12u, 24u}) {
+        const double rate = scan_rate / factor;
+        const double link = rate * 18.0;
+        const bool fits = link <= usb11_bytes_per_s;
+        const auto averaged =
+            BlockAverager::reduce(raw_power, factor);
+        const auto stats = bench::toStats(averaged);
+        std::printf("%-8u %-12.2f %-14.1f %-10s %-12.4f\n", factor,
+                    rate / 1e3, link / 1e3, fits ? "yes" : "NO",
+                    stats.stddev());
+        if (factor == 1)
+            noise_at_1 = stats.stddev();
+        if (factor == 6) {
+            noise_at_6 = stats.stddev();
+            six_fits = fits;
+        }
+        if (factor < 6)
+            below_six_fits = below_six_fits && fits;
+    }
+
+    std::printf("\nUSB 1.1 payload budget: %.1f kB/s\n",
+                usb11_bytes_per_s / 1e3);
+    checker.check(six_fits,
+                  "the shipped factor (6 -> 20 kHz) fits USB 1.1");
+    checker.check(!below_six_fits,
+                  "no smaller factor fits the link (6 is minimal)");
+    checker.check(std::abs(noise_at_6 - noise_at_1 / std::sqrt(6.0))
+                      < 0.2 * noise_at_6,
+                  "noise falls as sqrt(N) with averaging");
+    return checker.exitCode();
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation of the framing/resync design (DESIGN.md decisions 2-3):
+ * the byte-role bits (bit 7) cost one payload bit per byte but let
+ * the host parser realign mid-stream. This bench sweeps the link's
+ * byte-error rate and reports the fraction of frame sets delivered
+ * and the resulting mean-power error, demonstrating graceful
+ * degradation instead of stream loss.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "host/sim_setup.hpp"
+#include "transport/fault_injection.hpp"
+
+int
+main()
+{
+    using namespace ps3;
+
+    std::printf("Resynchronisation ablation: byte faults vs "
+                "delivered samples (12 V / 10 A, 5 A load)\n\n");
+    std::printf("%-12s %-14s %-14s %-12s\n", "fault_rate",
+                "delivered_pct", "mean_power_W", "resync_bytes");
+
+    bench::ShapeChecker checker;
+    double delivered_at_worst = 0.0;
+    for (const double rate : {0.0, 1e-4, 1e-3, 5e-3}) {
+        auto rig = host::rigs::labBench(analog::modules::slot12V10A(),
+                                        12.0, 5.0);
+        transport::FaultProfile profile;
+        profile.corruptProbability = rate / 2.0;
+        profile.dropProbability = rate / 2.0;
+        transport::FaultInjectingDevice faulty(*rig.port, profile,
+                                               1234);
+        host::PowerSensor sensor(faulty);
+
+        RunningStatistics power;
+        const auto token = sensor.addSampleListener(
+            [&](const host::Sample &s) {
+                if (s.present[0])
+                    power.add(s.totalPower());
+            });
+        // Stream a fixed span of device time.
+        const double t_begin = sensor.read().timeAtRead;
+        sensor.waitUntil(t_begin + 2.0);
+        sensor.removeSampleListener(token);
+
+        const double expected_sets = 2.0 / 50e-6;
+        const double delivered =
+            100.0 * static_cast<double>(power.count())
+            / expected_sets;
+        std::printf("%-12.0e %-14.1f %-14.3f %-12llu\n", rate,
+                    delivered, power.mean(),
+                    static_cast<unsigned long long>(
+                        sensor.resyncByteCount()));
+        delivered_at_worst = delivered;
+
+        // Accuracy must survive every fault level.
+        char label[96];
+        std::snprintf(label, sizeof(label),
+                      "mean power stays accurate at fault rate %g",
+                      rate);
+        checker.check(std::abs(power.mean() - 5.0 * 11.95) < 1.0,
+                      label);
+    }
+
+    checker.check(delivered_at_worst > 90.0,
+                  "at 0.5% byte faults, > 90% of samples still "
+                  "delivered (graceful degradation)");
+    return checker.exitCode();
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Extension bench: search strategies on top of PowerSensor3.
+ *
+ * The paper's Fig. 8 sweeps all 5120 configurations exhaustively;
+ * Kernel Tuner also supports optimisation strategies that reach
+ * near-optimal variants from a fraction of the measurements. Fast
+ * external measurement and strategy search compound: each skipped
+ * configuration saves the full per-variant cost, and each measured
+ * configuration costs only kernel executions (no on-board re-runs).
+ *
+ * This bench compares, for both tuning objectives:
+ *   exhaustive (5120 points), random search (256 points), and local
+ *   search (budget 256), reporting best-found quality and accounted
+ *   tuning time.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "host/sim_setup.hpp"
+#include "tuner/auto_tuner.hpp"
+
+int
+main()
+{
+    using namespace ps3;
+
+    const auto gpu_spec = dut::GpuSpec::rtx4000Ada().tuningVariant();
+    auto rig = host::rigs::gpuRig(gpu_spec);
+    auto sensor = rig.connect();
+
+    const auto space = tuner::SearchSpace::beamformerSpace();
+    tuner::BeamformerModel model(gpu_spec);
+    tuner::TuningOptions options;
+    options.interKernelGapSeconds = 0.01;
+    tuner::AutoTuner tuner(*rig.gpu, *rig.firmware, sensor.get(),
+                           nullptr, model, options);
+
+    struct Row
+    {
+        const char *name;
+        std::size_t points;
+        double bestPerf;
+        double bestEff;
+        double tuningSeconds;
+    };
+    std::vector<Row> rows;
+
+    auto summarise = [&](const char *name,
+                         const tuner::TuningResult &result) {
+        Row row{name, result.records.size(), 0.0, 0.0,
+                result.totalTuningSeconds};
+        for (const auto &record : result.records) {
+            row.bestPerf = std::max(row.bestPerf, record.tflops);
+            row.bestEff =
+                std::max(row.bestEff, record.tflopPerJoule);
+        }
+        rows.push_back(row);
+    };
+
+    // Exhaustive baseline (the paper's experiment).
+    summarise("exhaustive", tuner.tune(space));
+
+    // Random search with a 5% budget.
+    {
+        tuner::RandomSearchStrategy strategy(
+            space, model.clockRangeMHz(), /*budget=*/256,
+            /*batch=*/64, /*seed=*/17);
+        summarise("random-256",
+                  tuner.tuneAdaptive(strategy,
+                                     tuner::Objective::Performance));
+    }
+
+    // Greedy local search with restarts, same budget.
+    {
+        tuner::LocalSearchStrategy strategy(
+            space, model.clockRangeMHz(), /*restarts=*/6,
+            /*max_points=*/256, /*seed=*/23);
+        summarise("local-256",
+                  tuner.tuneAdaptive(strategy,
+                                     tuner::Objective::Performance));
+    }
+
+    std::printf("Strategy comparison on the beamformer space "
+                "(objective: TFLOP/s)\n\n");
+    std::printf("%-12s %-9s %-12s %-12s %-14s\n", "strategy",
+                "points", "best_TFLOPs", "best_TFLOPJ",
+                "tuning_time_s");
+    for (const auto &row : rows) {
+        std::printf("%-12s %-9zu %-12.2f %-12.4f %-14.0f\n",
+                    row.name, row.points, row.bestPerf, row.bestEff,
+                    row.tuningSeconds);
+    }
+
+    bench::ShapeChecker checker;
+    const auto &exhaustive = rows[0];
+    const auto &random = rows[1];
+    const auto &local = rows[2];
+    checker.check(exhaustive.points == 5120,
+                  "exhaustive covers the full space");
+    checker.check(random.bestPerf > 0.93 * exhaustive.bestPerf,
+                  "random search within 7% of the optimum at 5% of "
+                  "the measurements");
+    checker.check(local.bestPerf > 0.95 * exhaustive.bestPerf,
+                  "local search within 5% of the optimum");
+    checker.check(random.tuningSeconds
+                      < 0.10 * exhaustive.tuningSeconds,
+                  "random search at least 10x cheaper in tuning "
+                  "time");
+    checker.check(local.tuningSeconds
+                      < 0.10 * exhaustive.tuningSeconds,
+                  "local search at least 10x cheaper in tuning time");
+    return checker.exitCode();
+}

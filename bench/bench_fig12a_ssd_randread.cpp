@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12a: random-read request-size sweep on the
+ * Samsung-980-PRO-class SSD — average power and bandwidth versus
+ * request size (1 KiB .. 4096 KiB), measured through PowerSensor3 on
+ * the M.2 adapter's 3.3 V / 12 V rails.
+ *
+ * Paper observation: power and bandwidth both increase with request
+ * size (more internal parallelism) until the device saturates.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "host/sim_setup.hpp"
+#include "storage/ssd_simulator.hpp"
+
+int
+main()
+{
+    using namespace ps3;
+
+    storage::SsdSimulator ssd(storage::SsdSpec::samsung980Pro(),
+                              /*seed=*/11);
+
+    std::printf("Fig. 12a: random reads, 10 s per request size, "
+                "queue depth 128\n\n");
+    std::printf("%-10s %-14s %-12s %-14s\n", "req_KiB",
+                "bandwidth_MBps", "sim_power_W", "ps3_power_W");
+
+    struct Point
+    {
+        double reqKiB, bandwidth, simPower, ps3Power;
+    };
+    std::vector<Point> points;
+
+    for (std::uint64_t req_kib = 1; req_kib <= 4096; req_kib *= 2) {
+        const auto samples =
+            ssd.runRandomRead(10.0, req_kib * units::kKiB, 128);
+
+        RunningStatistics bw, sim_power;
+        for (const auto &s : samples) {
+            bw.add(s.readBandwidth);
+            sim_power.add(s.powerWatts);
+        }
+
+        // Measure a 2 s slice of the workload's power through
+        // PowerSensor3 on the adapter rails.
+        std::vector<storage::StorageSample> slice(
+            samples.begin(),
+            samples.begin()
+                + std::min<std::size_t>(200, samples.size()));
+        auto rig = host::rigs::traceRig(
+            storage::toPowerTrace(slice, /*start_time=*/0.1),
+            dut::TraceDut::m2AdapterRails());
+        auto sensor = rig.connect();
+        const auto first = sensor->read();
+        sensor->waitUntil(slice.back().time + 0.1);
+        const auto second = sensor->read();
+        const double ps3_power = host::Watts(first, second);
+
+        std::printf("%-10llu %-14.1f %-12.3f %-14.3f\n",
+                    static_cast<unsigned long long>(req_kib),
+                    bw.mean() / 1e6, sim_power.mean(), ps3_power);
+        points.push_back({static_cast<double>(req_kib), bw.mean(),
+                          sim_power.mean(), ps3_power});
+    }
+
+    bench::ShapeChecker checker;
+    // Monotone growth until saturation, then flat.
+    bool bw_grows = true, power_grows = true;
+    for (std::size_t i = 1; i < 4; ++i) {
+        bw_grows = bw_grows
+                   && points[i].bandwidth
+                          > points[i - 1].bandwidth * 1.05;
+        power_grows = power_grows
+                      && points[i].simPower
+                             > points[i - 1].simPower + 0.05;
+    }
+    checker.check(bw_grows,
+                  "bandwidth increases with request size");
+    checker.check(power_grows, "power increases with request size");
+
+    const auto &last = points.back();
+    const auto &mid = points[points.size() / 2];
+    checker.check(std::abs(last.bandwidth - mid.bandwidth)
+                      / mid.bandwidth
+                      < 0.1,
+                  "device saturates at large request sizes");
+    checker.check(last.simPower > 5.5 && last.simPower < 7.5,
+                  "saturated power in the ~6 W class");
+
+    // PowerSensor3 tracks the simulator ground truth.
+    bool tracks = true;
+    for (const auto &p : points)
+        tracks = tracks && std::abs(p.ps3Power - p.simPower) < 0.4;
+    checker.check(tracks,
+                  "PowerSensor3 power within 0.4 W of ground truth "
+                  "at every point");
+    return checker.exitCode();
+}

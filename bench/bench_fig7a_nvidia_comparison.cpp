@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7a: a synthetic FMA workload on an
+ * RTX-4000-Ada-class GPU, measured simultaneously by PowerSensor3
+ * (20 kHz, external) and NVML (10 Hz, on-board) in both its
+ * 'instantaneous' and legacy 'average' modes.
+ *
+ * Paper observations reproduced as shape checks:
+ *  - power steps to ~95 W at launch, then ramps to ~120 W as the
+ *    clock governor raises the frequency;
+ *  - distinct dips between sequential thread-block phases are
+ *    visible to PowerSensor3 but missed entirely by NVML;
+ *  - after the kernel, the GPU needs over a second to return to
+ *    idle;
+ *  - NVML-instant total energy aligns reasonably well; NVML-average
+ *    is inadequate for per-kernel energy.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "host/sim_setup.hpp"
+#include "pmt/vendor_sim.hpp"
+
+int
+main()
+{
+    using namespace ps3;
+
+    auto rig = host::rigs::gpuRig(dut::GpuSpec::rtx4000Ada());
+    const double kernel_start = 0.4;
+    const double kernel_seconds = 2.0;
+    const unsigned phases = 8;
+    rig.gpu->launchKernel(kernel_start, kernel_seconds, 120.0,
+                          phases);
+
+    auto sensor = rig.connect();
+    auto nvml_instant = pmt::makeNvmlMeter(
+        *rig.gpu, rig.firmware->clock(), pmt::NvmlMode::Instant);
+    auto nvml_average = pmt::makeNvmlMeter(
+        *rig.gpu, rig.firmware->clock(), pmt::NvmlMode::Average);
+
+    struct Row
+    {
+        double time, ps3, nvml_i, nvml_a;
+    };
+    std::vector<Row> series;
+    double ps3_kernel_energy = 0.0;
+    double nvml_i_kernel_energy = 0.0;
+    double last_nvml_i = 0.0;
+    const auto token = sensor->addSampleListener(
+        [&](const host::Sample &sample) {
+            const bool in_kernel =
+                sample.time >= kernel_start
+                && sample.time <= kernel_start + kernel_seconds;
+            if (in_kernel) {
+                ps3_kernel_energy += sample.totalPower()
+                                     * firmware::kSampleInterval;
+            }
+            const auto sets = static_cast<std::uint64_t>(
+                sample.time / firmware::kSampleInterval + 0.5);
+            if (sets % 200 == 0) { // 100 Hz series for printing
+                const double ni = nvml_instant->read().watts;
+                const double na = nvml_average->read().watts;
+                series.push_back(
+                    {sample.time, sample.totalPower(), ni, na});
+                last_nvml_i = ni;
+            }
+            if (in_kernel) {
+                // User-side NVML energy: integrate the last reported
+                // 10 Hz value (how Fig. 7a's NVML energy is formed).
+                nvml_i_kernel_energy +=
+                    last_nvml_i * firmware::kSampleInterval;
+            }
+        });
+    sensor->waitUntil(4.0);
+    sensor->removeSampleListener(token);
+
+    std::printf("Fig. 7a series (100 Hz decimation):\n");
+    std::printf("%-8s %-10s %-12s %-12s\n", "t_s", "ps3_W",
+                "nvml_inst_W", "nvml_avg_W");
+    for (std::size_t i = 0; i < series.size(); i += 4) {
+        std::printf("%-8.2f %-10.2f %-12.2f %-12.2f\n",
+                    series[i].time, series[i].ps3, series[i].nvml_i,
+                    series[i].nvml_a);
+    }
+
+    // Ground-truth kernel energy.
+    double truth = 0.0;
+    for (double t = kernel_start; t < kernel_start + kernel_seconds;
+         t += 1e-4) {
+        truth += rig.gpu->totalPower(t) * 1e-4;
+    }
+    std::printf("\nkernel energy: truth %.1f J, PowerSensor3 %.1f J, "
+                "NVML-instant %.1f J\n",
+                truth, ps3_kernel_energy, nvml_i_kernel_energy);
+
+    // Dip visibility: full-rate PowerSensor3 minimum during the
+    // steady phase region vs NVML-instant minimum in that region.
+    double ps3_min = 1e9;
+    {
+        // Re-scan at full 20 kHz resolution via a fresh capture of
+        // the second half of the kernel from the model (the sensor
+        // stream has passed); use the recorded series for NVML.
+        auto rig2 = host::rigs::gpuRig(dut::GpuSpec::rtx4000Ada());
+        rig2.gpu->launchKernel(kernel_start, kernel_seconds, 120.0,
+                               phases);
+        auto sensor2 = rig2.connect();
+        const auto token2 = sensor2->addSampleListener(
+            [&](const host::Sample &sample) {
+                if (sample.time > kernel_start + 1.0
+                    && sample.time
+                           < kernel_start + kernel_seconds - 0.05) {
+                    ps3_min = std::min(ps3_min, sample.totalPower());
+                }
+            });
+        sensor2->waitUntil(kernel_start + kernel_seconds);
+        sensor2->removeSampleListener(token2);
+    }
+    double nvml_min = 1e9;
+    double ps3_steady = 0.0;
+    unsigned steady_count = 0;
+    for (const auto &row : series) {
+        if (row.time > kernel_start + 1.0
+            && row.time < kernel_start + kernel_seconds - 0.05) {
+            nvml_min = std::min(nvml_min, row.nvml_i);
+            ps3_steady += row.ps3;
+            ++steady_count;
+        }
+    }
+    ps3_steady /= steady_count;
+
+    std::printf("steady-phase minima: PowerSensor3 %.1f W (dips), "
+                "NVML %.1f W (no dips)\n\n", ps3_min, nvml_min);
+
+    bench::ShapeChecker checker;
+    // Launch behaviour.
+    double ps3_at_launch = 0.0;
+    double ps3_idle_before = 0.0;
+    for (const auto &row : series) {
+        if (std::abs(row.time - (kernel_start + 0.05)) < 0.01)
+            ps3_at_launch = row.ps3;
+        if (std::abs(row.time - 0.2) < 0.01)
+            ps3_idle_before = row.ps3;
+    }
+    checker.check(std::abs(ps3_idle_before - 16.0) < 4.0,
+                  "idle power ~16 W before launch");
+    checker.check(std::abs(ps3_at_launch - 95.0) < 8.0,
+                  "launch step to ~95 W");
+    checker.check(std::abs(ps3_steady - 120.0) < 6.0,
+                  "clock ramp reaches ~120 W sustained");
+    checker.check(ps3_min < ps3_steady - 12.0,
+                  "PowerSensor3 resolves inter-phase dips");
+    checker.check(nvml_min > ps3_steady - 6.0,
+                  "NVML (10 Hz) misses the dips");
+    // Energy accuracy.
+    checker.check(std::abs(ps3_kernel_energy - truth) / truth < 0.02,
+                  "PowerSensor3 kernel energy within 2% of truth");
+    checker.check(std::abs(nvml_i_kernel_energy - truth) / truth
+                      < 0.10,
+                  "NVML-instant energy aligns reasonably (<10%)");
+    // Slow return to idle: still well above idle 0.5 s after the
+    // kernel ends.
+    const double after = rig.gpu->totalPower(kernel_start
+                                             + kernel_seconds + 0.5);
+    checker.check(after > 16.0 + 20.0,
+                  "GPU still far from idle 0.5 s after the kernel");
+    return checker.exitCode();
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8 and the Sec. V-A2 tuning-time result:
+ * auto-tuning the Tensor-Core Beamformer (M = N = K = 4096) on an
+ * RTX-4000-Ada-class GPU over 512 code variants x 10 clock
+ * frequencies = 5120 configurations, measuring energy through
+ * PowerSensor3, and accounting the tuning time of both measurement
+ * strategies.
+ *
+ * Paper headlines reproduced as shape checks:
+ *  - performance and energy efficiency are correlated overall;
+ *  - fastest Pareto point: ~80.4 TFLOP/s at ~0.83 TFLOP/J;
+ *  - the most energy-efficient point is ~12.7% more efficient and
+ *    ~21.5% slower than the fastest;
+ *  - PowerSensor3 tuning is ~3.25x faster than using the on-board
+ *    sensor (paper: 2274 s vs 7394 s).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "host/sim_setup.hpp"
+#include "pmt/vendor_sim.hpp"
+#include "tuner/auto_tuner.hpp"
+
+int
+main()
+{
+    using namespace ps3;
+
+    const auto gpu_spec = dut::GpuSpec::rtx4000Ada().tuningVariant();
+    auto rig = host::rigs::gpuRig(gpu_spec);
+    auto sensor = rig.connect();
+
+    const auto space = tuner::SearchSpace::beamformerSpace();
+    tuner::BeamformerModel model(gpu_spec);
+
+    // --- External-sensor (PowerSensor3) tuning pass --------------
+    tuner::TuningOptions options;
+    options.strategy = tuner::MeasurementStrategy::ExternalSensor;
+    options.interKernelGapSeconds = 0.01;
+    tuner::AutoTuner external(*rig.gpu, *rig.firmware, sensor.get(),
+                              nullptr, model, options);
+    const auto result = external.tune(space);
+
+    // --- On-board-sensor timing pass ------------------------------
+    auto nvml = pmt::makeNvmlMeter(*rig.gpu, rig.firmware->clock(),
+                                   pmt::NvmlMode::Instant);
+    tuner::TuningOptions onboard_options = options;
+    onboard_options.strategy =
+        tuner::MeasurementStrategy::OnboardSensor;
+    tuner::AutoTuner onboard(*rig.gpu, *rig.firmware, nullptr,
+                             nvml.get(), model, onboard_options);
+    const auto onboard_result = onboard.tune(space);
+
+    // --- Fig. 8 scatter summary ----------------------------------
+    std::printf("Fig. 8: %zu configurations benchmarked through "
+                "%s\n\n", result.records.size(),
+                result.meterName.c_str());
+
+    std::vector<double> perf, eff;
+    for (const auto &r : result.records) {
+        perf.push_back(r.tflops);
+        eff.push_back(r.tflopPerJoule);
+    }
+    std::printf("TFLOP/s  distribution: p10 %.1f  p50 %.1f  p90 %.1f"
+                "  max %.1f\n",
+                percentile(perf, 10), percentile(perf, 50),
+                percentile(perf, 90), percentile(perf, 100));
+    std::printf("TFLOP/J  distribution: p10 %.3f  p50 %.3f  p90 %.3f"
+                "  max %.3f\n\n",
+                percentile(eff, 10), percentile(eff, 50),
+                percentile(eff, 90), percentile(eff, 100));
+
+    const auto front = tuner::AutoTuner::paretoFront(result.records);
+    std::printf("Pareto front (%zu points):\n", front.size());
+    std::printf("%-10s %-10s %-10s %-8s\n", "TFLOP/s", "TFLOP/J",
+                "power_W", "clock");
+    for (const auto idx : front) {
+        const auto &r = result.records[idx];
+        std::printf("%-10.2f %-10.4f %-10.2f %-8.0f\n", r.tflops,
+                    r.tflopPerJoule, r.avgPowerWatts, r.clockMHz);
+    }
+
+    const auto &fastest = result.records[front.front()];
+    std::size_t greenest_idx = front.front();
+    for (const auto idx : front) {
+        if (result.records[idx].tflopPerJoule
+            > result.records[greenest_idx].tflopPerJoule) {
+            greenest_idx = idx;
+        }
+    }
+    const auto &greenest = result.records[greenest_idx];
+
+    const double eff_gain =
+        greenest.tflopPerJoule / fastest.tflopPerJoule - 1.0;
+    const double slowdown = 1.0 - greenest.tflops / fastest.tflops;
+    std::printf("\nfastest: %.1f TFLOP/s at %.3f TFLOP/J "
+                "(paper: 80.4 at 0.83)\n",
+                fastest.tflops, fastest.tflopPerJoule);
+    std::printf("most efficient: +%.1f%% TFLOP/J, -%.1f%% speed "
+                "(paper: +12.7%%, -21.5%%)\n",
+                eff_gain * 100.0, slowdown * 100.0);
+
+    const double ratio = onboard_result.totalTuningSeconds
+                         / result.totalTuningSeconds;
+    std::printf("tuning time: PowerSensor3 %.0f s, on-board %.0f s "
+                "-> %.2fx (paper: 2274 s vs 7394 s -> 3.25x)\n\n",
+                result.totalTuningSeconds,
+                onboard_result.totalTuningSeconds, ratio);
+
+    // --- Shape checks --------------------------------------------
+    bench::ShapeChecker checker;
+    checker.check(result.records.size() == 5120,
+                  "full 5120-configuration search space covered");
+    checker.check(std::abs(fastest.tflops - 80.4) < 6.0,
+                  "fastest point near 80.4 TFLOP/s");
+    checker.check(std::abs(fastest.tflopPerJoule - 0.83) < 0.08,
+                  "fastest point near 0.83 TFLOP/J");
+    checker.check(eff_gain > 0.06 && eff_gain < 0.25,
+                  "most-efficient point ~12.7% better TFLOP/J");
+    checker.check(slowdown > 0.10 && slowdown < 0.35,
+                  "most-efficient point ~21.5% slower");
+    checker.check(ratio > 2.5 && ratio < 4.5,
+                  "PowerSensor3 tuning ~3.25x faster than on-board");
+
+    // Correlation between performance and efficiency (paper:
+    // "overall, performance and energy efficiency are correlated").
+    double mean_p = 0.0, mean_e = 0.0;
+    for (std::size_t i = 0; i < perf.size(); ++i) {
+        mean_p += perf[i];
+        mean_e += eff[i];
+    }
+    mean_p /= perf.size();
+    mean_e /= eff.size();
+    double cov = 0.0, var_p = 0.0, var_e = 0.0;
+    for (std::size_t i = 0; i < perf.size(); ++i) {
+        cov += (perf[i] - mean_p) * (eff[i] - mean_e);
+        var_p += (perf[i] - mean_p) * (perf[i] - mean_p);
+        var_e += (eff[i] - mean_e) * (eff[i] - mean_e);
+    }
+    const double correlation = cov / std::sqrt(var_p * var_e);
+    std::printf("performance/efficiency correlation: %.3f\n",
+                correlation);
+    checker.check(correlation > 0.5,
+                  "performance and energy efficiency correlated");
+    return checker.exitCode();
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Microbenchmarks of the host library's hot paths (google-benchmark).
+ *
+ * The host library must keep up with the 20 kHz stream using a
+ * "lightweight thread" (paper Sec. III-C); these benchmarks quantify
+ * the headroom: frame encode/decode, stream parsing, statistics
+ * accumulation, and the full firmware->host pipeline rate in frame
+ * sets per second (compare against the 20 kHz real-time
+ * requirement).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analog/sensor_module_spec.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/statistics.hpp"
+#include "firmware/protocol.hpp"
+#include "host/sim_setup.hpp"
+#include "host/stream_parser.hpp"
+
+namespace {
+
+using namespace ps3;
+
+void
+BM_FrameEncode(benchmark::State &state)
+{
+    firmware::Frame frame;
+    frame.sensorId = 3;
+    frame.level = 777;
+    for (auto _ : state) {
+        frame.level = (frame.level + 1) & 0x3FF;
+        benchmark::DoNotOptimize(firmware::encodeFrame(frame));
+    }
+}
+BENCHMARK(BM_FrameEncode);
+
+void
+BM_FrameDecode(benchmark::State &state)
+{
+    firmware::Frame frame;
+    frame.sensorId = 3;
+    frame.level = 777;
+    const auto bytes = firmware::encodeFrame(frame);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            firmware::decodeFrame(bytes[0], bytes[1]));
+    }
+}
+BENCHMARK(BM_FrameDecode);
+
+void
+BM_StreamParserFeed(benchmark::State &state)
+{
+    // One synthetic frame set: timestamp + 2 channels.
+    std::vector<std::uint8_t> stream;
+    std::uint64_t micros = 0;
+    for (int i = 0; i < 1024; ++i) {
+        micros += 50;
+        auto push = [&](const firmware::Frame &f) {
+            const auto b = firmware::encodeFrame(f);
+            stream.push_back(b[0]);
+            stream.push_back(b[1]);
+        };
+        push(firmware::makeTimestampFrame(micros));
+        firmware::Frame data;
+        data.sensorId = 0;
+        data.level = 512;
+        push(data);
+        data.sensorId = 1;
+        data.level = 700;
+        push(data);
+    }
+
+    std::uint64_t sets = 0;
+    host::StreamParser parser(
+        [&](const host::FrameSet &) { ++sets; });
+    for (auto _ : state) {
+        parser.feed(stream.data(), stream.size());
+        benchmark::DoNotOptimize(sets);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_StreamParserFeed);
+
+void
+BM_RunningStatisticsAdd(benchmark::State &state)
+{
+    RunningStatistics stats;
+    double v = 0.0;
+    for (auto _ : state) {
+        v += 0.001;
+        stats.add(v);
+        benchmark::DoNotOptimize(stats);
+    }
+}
+BENCHMARK(BM_RunningStatisticsAdd);
+
+void
+BM_RingBufferPushPop(benchmark::State &state)
+{
+    RingBuffer<double> ring(4096);
+    double v = 0.0;
+    for (auto _ : state) {
+        ring.push(v);
+        v += 1.0;
+        if (ring.full())
+            benchmark::DoNotOptimize(ring.pop());
+    }
+}
+BENCHMARK(BM_RingBufferPushPop);
+
+/**
+ * Full pipeline: firmware sample generation -> emulated link ->
+ * parser -> state update, measured in frame sets per second. The
+ * counter output must exceed 20 k/s (real-time) by a wide margin.
+ */
+void
+BM_EndToEndPipeline(benchmark::State &state)
+{
+    auto rig = host::rigs::labBench(analog::modules::slot12V10A(),
+                                    12.0, 8.0);
+    auto sensor = rig.connect();
+    for (auto _ : state) {
+        sensor->waitForSamples(1000);
+    }
+    state.counters["frame_sets_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 1000.0,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndPipeline)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

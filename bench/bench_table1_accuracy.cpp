@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Table I: theoretical worst-case accuracy of the
+ * PowerSensor3 sensor modules.
+ *
+ * Paper values:
+ *   12 V / 10 A:        +-28.6 mV  +-0.35 A  +-4.2 W
+ *   3.3 V / 10 A:       +-19.9 mV  +-0.35 A  +-1.2 W
+ *   USB-C (20 V/10 A):  +-28.6 mV  +-0.35 A  +-7.0 W
+ *   Ext (12 V/20 A):    +-28.6 mV  +-0.41 A  +-5.0 W
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "analog/error_budget.hpp"
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace ps3;
+
+    struct Row
+    {
+        analog::SensorModuleSpec spec;
+        double paperVoltage; // V
+        double paperCurrent; // A
+        double paperPower;   // W
+    };
+    const Row rows[] = {
+        {analog::modules::slot12V10A(), 0.0286, 0.35, 4.2},
+        {analog::modules::slot3V3_10A(), 0.0199, 0.35, 1.2},
+        {analog::modules::usbC(), 0.0286, 0.35, 7.0},
+        {analog::modules::pcie8pin20A(), 0.0286, 0.41, 5.0},
+    };
+
+    std::printf("Table I: theoretical worst case accuracy of "
+                "PowerSensor3 modules\n\n");
+    std::printf("%-18s %-12s %-12s %-10s | %-30s\n", "Module",
+                "Voltage", "Current", "Power", "paper (V, A, W)");
+
+    bench::ShapeChecker checker;
+    for (const auto &row : rows) {
+        const auto budget = analog::computeErrorBudget(row.spec);
+        std::printf("%-18s +-%6.1f mV  +-%6.2f A  +-%5.1f W | "
+                    "+-%.1f mV +-%.2f A +-%.1f W\n",
+                    row.spec.name.c_str(),
+                    budget.voltageError * 1e3, budget.currentError,
+                    budget.powerError, row.paperVoltage * 1e3,
+                    row.paperCurrent, row.paperPower);
+    }
+
+    std::printf("\nshape checks (each within 10%% of the paper "
+                "value):\n");
+    for (const auto &row : rows) {
+        const auto budget = analog::computeErrorBudget(row.spec);
+        checker.check(std::abs(budget.voltageError
+                               - row.paperVoltage)
+                          < 0.1 * row.paperVoltage,
+                      row.spec.name + " voltage error");
+        checker.check(std::abs(budget.currentError
+                               - row.paperCurrent)
+                          < 0.1 * row.paperCurrent,
+                      row.spec.name + " current error");
+        checker.check(std::abs(budget.powerError - row.paperPower)
+                          < 0.1 * row.paperPower,
+                      row.spec.name + " power error");
+    }
+    return checker.exitCode();
+}

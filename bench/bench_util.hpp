@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benches.
+ *
+ * Every bench prints the rows/series of one paper table or figure
+ * and programmatically checks the headline *shape* (who wins, by
+ * roughly what factor, where crossovers fall). Shape violations are
+ * reported and make the bench exit non-zero, so `ctest`-style
+ * automation catches regressions in the reproduction.
+ */
+
+#ifndef PS3_BENCH_BENCH_UTIL_HPP
+#define PS3_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "host/power_sensor.hpp"
+
+namespace ps3::bench {
+
+/** Collects shape-check results and renders the final verdict. */
+class ShapeChecker
+{
+  public:
+    /** Record one check; prints PASS/FAIL immediately. */
+    void
+    check(bool ok, const std::string &what)
+    {
+        std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+        if (!ok)
+            ++failures_;
+    }
+
+    /** Exit code for main(): 0 when all checks passed. */
+    int
+    exitCode() const
+    {
+        if (failures_ > 0) {
+            std::printf("%u shape check(s) FAILED\n", failures_);
+            return 1;
+        }
+        std::printf("all shape checks passed\n");
+        return 0;
+    }
+
+  private:
+    unsigned failures_ = 0;
+};
+
+/**
+ * Collect per-sample total power over the next n samples.
+ */
+inline std::vector<double>
+collectPower(host::PowerSensor &sensor, std::size_t n)
+{
+    std::vector<double> power;
+    power.reserve(n);
+    const auto token = sensor.addSampleListener(
+        [&](const host::Sample &sample) {
+            if (power.size() < n)
+                power.push_back(sample.totalPower());
+        });
+    sensor.waitForSamples(n + 1);
+    sensor.removeSampleListener(token);
+    power.resize(std::min(power.size(), n));
+    return power;
+}
+
+/** Reduce a power vector to running statistics. */
+inline RunningStatistics
+toStats(const std::vector<double> &values)
+{
+    RunningStatistics stats;
+    for (double v : values)
+        stats.add(v);
+    return stats;
+}
+
+/**
+ * Samples per measurement point: the paper uses 128 k; set
+ * PS3_BENCH_FULL=1 to match exactly, default is 32 k for quicker
+ * runs (statistics converge well before that).
+ */
+inline std::size_t
+samplesPerPoint()
+{
+    const char *full = std::getenv("PS3_BENCH_FULL");
+    if (full != nullptr && full[0] == '1')
+        return 128 * 1024;
+    return 32 * 1024;
+}
+
+} // namespace ps3::bench
+
+#endif // PS3_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Auto-tune the Tensor-Core Beamformer for performance and energy
+ * efficiency with PowerSensor3 in the measurement loop (the workflow
+ * of paper Fig. 8, on a reduced search space so the example runs in
+ * seconds; bench_fig8_tuning_rtx4000 runs the full 5120-point
+ * space).
+ */
+
+#include <cstdio>
+
+#include "host/sim_setup.hpp"
+#include "tuner/auto_tuner.hpp"
+
+int
+main()
+{
+    using namespace ps3;
+
+    // GPU rig with locked clocks (tuning variant of the card).
+    const auto gpu_spec = dut::GpuSpec::rtx4000Ada().tuningVariant();
+    auto rig = host::rigs::gpuRig(gpu_spec);
+    auto sensor = rig.connect();
+
+    // A reduced space: 2 x 2 x 2 x 2 x 2 = 32 variants x 10 clocks.
+    tuner::SearchSpace space;
+    space.add("block_warps", {4, 8})
+        .add("block_y", {2, 4})
+        .add("frags_per_block", {2, 4})
+        .add("frags_per_warp", {1, 2})
+        .add("double_buffer", {0, 1});
+
+    tuner::BeamformerModel model(gpu_spec);
+    tuner::TuningOptions options;
+    options.strategy = tuner::MeasurementStrategy::ExternalSensor;
+
+    tuner::AutoTuner tuner(*rig.gpu, *rig.firmware, sensor.get(),
+                           nullptr, model, options);
+    const auto result = tuner.tune(space);
+
+    std::printf("benchmarked %zu configurations through %s\n",
+                result.records.size(), result.meterName.c_str());
+
+    const auto front = tuner::AutoTuner::paretoFront(result.records);
+    std::printf("Pareto front (%zu points):\n", front.size());
+    std::printf("  %-10s %-10s %-10s %-8s\n", "TFLOP/s", "TFLOP/J",
+                "power_W", "clock");
+    for (const auto idx : front) {
+        const auto &r = result.records[idx];
+        std::printf("  %-10.2f %-10.4f %-10.2f %-8.0f\n", r.tflops,
+                    r.tflopPerJoule, r.avgPowerWatts, r.clockMHz);
+    }
+
+    const auto &fastest = result.records[front.front()];
+    const auto &greenest = result.records[front.back()];
+    std::printf("fastest:        %.2f TFLOP/s at %.4f TFLOP/J\n",
+                fastest.tflops, fastest.tflopPerJoule);
+    std::printf("most efficient: %.2f TFLOP/s at %.4f TFLOP/J "
+                "(%+.1f %% efficiency, %+.1f %% speed)\n",
+                greenest.tflops, greenest.tflopPerJoule,
+                100.0 * (greenest.tflopPerJoule
+                             / fastest.tflopPerJoule
+                         - 1.0),
+                100.0 * (greenest.tflops / fastest.tflops - 1.0));
+    std::printf("tuning time with PowerSensor3: %.1f s\n",
+                result.totalTuningSeconds);
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Whole-node power monitoring with a fully populated baseboard: all
+ * four sensor-module sockets in use (the paper's "up to 4 sensor
+ * board modules" capacity).
+ *
+ *   pair 0: 3.3 V PCIe slot   (GPU, via the modified riser)
+ *   pair 1: 12 V PCIe slot    (GPU)
+ *   pair 2: 12 V PCIe 8-pin   (GPU external power)
+ *   pair 3: 12 V EPS          (CPU package)
+ *
+ * A mixed workload runs: the CPU ramps while the GPU executes a
+ * kernel; the example attributes energy per component from one
+ * 20 kHz stream and prints the node-level breakdown.
+ */
+
+#include <cstdio>
+
+#include "dut/cpu_model.hpp"
+#include "dut/gpu_model.hpp"
+#include "firmware/firmware.hpp"
+#include "host/power_sensor.hpp"
+#include "transport/emulated_serial_port.hpp"
+
+int
+main()
+{
+    using namespace ps3;
+
+    // Devices under test.
+    auto gpu = std::make_shared<dut::GpuDutModel>(
+        dut::GpuSpec::rtx4000Ada());
+    gpu->launchKernel(0.3, 1.0, 120.0, /*phases=*/4);
+
+    auto cpu = std::make_shared<dut::CpuDutModel>(
+        dut::CpuSpec::server16Core());
+    cpu->setProgram({{0.1, 0.6, 8, 1.0}, {0.8, 0.6, 16, 1.0}});
+
+    // Fully populated baseboard.
+    firmware::Firmware fw;
+    const struct
+    {
+        analog::SensorModuleSpec module;
+        std::shared_ptr<dut::Dut> dut;
+        unsigned rail;
+        double volts;
+        const char *label;
+    } sockets[4] = {
+        {analog::modules::slot3V3_10A(), gpu, 0, 3.3, "GPU slot 3.3V"},
+        {analog::modules::slot12V10A(), gpu, 1, 12.0, "GPU slot 12V"},
+        {analog::modules::pcie8pin20A(), gpu, 2, 12.0, "GPU 8-pin"},
+        {analog::modules::slot12V10A(), cpu, 0, 12.0, "CPU EPS"},
+    };
+    for (unsigned pair = 0; pair < 4; ++pair) {
+        auto supply =
+            std::make_shared<dut::SupplyModel>(sockets[pair].volts);
+        fw.attachModule(pair,
+                        firmware::makeModule(sockets[pair].module,
+                                             sockets[pair].dut,
+                                             sockets[pair].rail,
+                                             supply, 10 + pair));
+    }
+
+    transport::EmulatedSerialPort port(fw);
+    host::PowerSensor sensor(port);
+    std::printf("monitoring %u sensor pairs\n",
+                sensor.activePairs());
+
+    const auto begin = sensor.read();
+    std::printf("\n%-6s %-10s %-10s %-10s %-10s %-8s\n", "t_s",
+                "gpu33_W", "gpu12_W", "gpu8pin_W", "cpu_W",
+                "node_W");
+    const auto token = sensor.addSampleListener(
+        [&](const host::Sample &sample) {
+            const auto sets = static_cast<std::uint64_t>(
+                sample.time / firmware::kSampleInterval + 0.5);
+            if (sets % 4000 != 0)
+                return; // print at 5 Hz
+            std::printf("%-6.2f %-10.2f %-10.2f %-10.2f %-10.2f "
+                        "%-8.2f\n",
+                        sample.time,
+                        sample.voltage[0] * sample.current[0],
+                        sample.voltage[1] * sample.current[1],
+                        sample.voltage[2] * sample.current[2],
+                        sample.voltage[3] * sample.current[3],
+                        sample.totalPower());
+        });
+    sensor.waitUntil(1.6);
+    sensor.removeSampleListener(token);
+    const auto end = sensor.read();
+
+    std::printf("\nenergy breakdown over %.2f s:\n",
+                host::seconds(begin, end));
+    const double gpu_joules = host::Joules(begin, end, 0)
+                              + host::Joules(begin, end, 1)
+                              + host::Joules(begin, end, 2);
+    const double cpu_joules = host::Joules(begin, end, 3);
+    std::printf("  GPU (3 rails): %8.2f J\n", gpu_joules);
+    std::printf("  CPU (EPS):     %8.2f J\n", cpu_joules);
+    std::printf("  node total:    %8.2f J (%.2f W average)\n",
+                host::Joules(begin, end),
+                host::Watts(begin, end));
+
+    // The baseboard display shows the same totals.
+    std::printf("\nbaseboard display:\n");
+    for (const auto &line : fw.display().render())
+        std::printf("  | %s\n", line.c_str());
+    return 0;
+}

@@ -1,0 +1,48 @@
+#include "error_budget.hpp"
+
+#include <cmath>
+
+namespace ps3::analog {
+
+namespace {
+
+/** RMS of a uniform quantisation error of one LSB. */
+constexpr double kQuantRmsFactor = 1.0 / 3.4641016151377544; // 1/sqrt(12)
+
+double
+voltageError(const SensorModuleSpec &spec)
+{
+    const double quant = (kAdcLsb / 2.0) / spec.voltageGain();
+    return quant + 3.0 * spec.ampNoiseRmsInput;
+}
+
+double
+currentError(const SensorModuleSpec &spec)
+{
+    const double quant = kAdcLsb * kQuantRmsFactor
+                         / spec.currentSensitivity();
+    return quant + 3.0 * spec.hallNoiseRmsDatasheet;
+}
+
+} // namespace
+
+double
+powerErrorAt(const SensorModuleSpec &spec, double volts, double amps)
+{
+    const double eu = voltageError(spec);
+    const double ei = currentError(spec);
+    return std::sqrt(volts * volts * ei * ei + amps * amps * eu * eu
+                     + ei * ei * eu * eu);
+}
+
+ErrorBudget
+computeErrorBudget(const SensorModuleSpec &spec)
+{
+    return ErrorBudget{
+        voltageError(spec),
+        currentError(spec),
+        powerErrorAt(spec, spec.nominalVoltage, spec.maxCurrent),
+    };
+}
+
+} // namespace ps3::analog

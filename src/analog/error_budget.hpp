@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Theoretical worst-case accuracy budget (paper Table I).
+ *
+ * The paper models the measured power as P = (U + Eu) * (I + Ei) and
+ * derives the worst-case power error
+ *
+ *   Ep = sqrt((U * Ei)^2 + (I * Eu)^2 + (Ei * Eu)^2)
+ *
+ * evaluated at the module's nominal voltage and maximum current. The
+ * component errors are:
+ *
+ *   Eu = ADC quantisation (half LSB referred to the input) plus three
+ *        sigma of the voltage-chain amplifier noise;
+ *   Ei = three sigma of the Hall sensor's datasheet noise plus the
+ *        RMS quantisation noise referred to the input.
+ */
+
+#ifndef PS3_ANALOG_ERROR_BUDGET_HPP
+#define PS3_ANALOG_ERROR_BUDGET_HPP
+
+#include "analog/sensor_module_spec.hpp"
+
+namespace ps3::analog {
+
+/** Worst-case error figures of one sensor module. */
+struct ErrorBudget
+{
+    /** Worst-case voltage error (V). */
+    double voltageError;
+    /** Worst-case current error (A). */
+    double currentError;
+    /** Worst-case power error at nominal voltage / max current (W). */
+    double powerError;
+};
+
+/** Compute the Table I error budget for a module. */
+ErrorBudget computeErrorBudget(const SensorModuleSpec &spec);
+
+/**
+ * Worst-case power error at an arbitrary operating point.
+ *
+ * @param spec Module constants.
+ * @param volts Operating voltage U.
+ * @param amps Operating current I.
+ */
+double powerErrorAt(const SensorModuleSpec &spec, double volts,
+                    double amps);
+
+} // namespace ps3::analog
+
+#endif // PS3_ANALOG_ERROR_BUDGET_HPP

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Analog front-end physics: Hall current sensor, isolated voltage
+ * sensor, and the microcontroller ADC.
+ *
+ * Each model maps a true DUT quantity to the voltage seen at the ADC
+ * pin, applying in order: the static transfer function, a first-order
+ * bandwidth limit (300 kHz for the Hall part, 100 kHz for the voltage
+ * chain, paper Sec. III-A), additive Gaussian noise per raw
+ * conversion, and rail clamping. The AdcModel then quantises to the
+ * 10-bit code the firmware transmits.
+ *
+ * A key property used by the accuracy benches: noise sources are
+ * individually defeatable (NoiseMode) so errors can be attributed to
+ * the current chain, the voltage chain, or quantisation, mirroring the
+ * paper's error decomposition.
+ */
+
+#ifndef PS3_ANALOG_SENSOR_MODELS_HPP
+#define PS3_ANALOG_SENSOR_MODELS_HPP
+
+#include <cstdint>
+
+#include "analog/sensor_module_spec.hpp"
+#include "common/rng.hpp"
+
+namespace ps3::analog {
+
+/** Which stochastic error sources a sensor model applies. */
+enum class NoiseMode
+{
+    /** Full physics: sensor noise and bandwidth limits. */
+    Full,
+    /** Bandwidth limits only; useful for step-response analysis. */
+    Noiseless,
+};
+
+/**
+ * First-order (single pole) low-pass filter.
+ *
+ * Models the finite bandwidth of the analog sensors. The filter state
+ * is advanced with an explicit time step so the multiplexed,
+ * non-uniform ADC scan timing is honoured.
+ */
+class OnePoleFilter
+{
+  public:
+    /** @param bandwidth_hz -3 dB corner frequency. */
+    explicit OnePoleFilter(double bandwidth_hz);
+
+    /**
+     * Advance the filter by dt seconds with the given input held.
+     * @return Filter output after the step.
+     */
+    double step(double input, double dt);
+
+    /** Jump the state directly to a value (e.g. power-on settling). */
+    void reset(double value);
+
+    /** Current output without advancing time. */
+    double output() const { return state_; }
+
+  private:
+    double tau_;
+    double state_ = 0.0;
+    bool primed_ = false;
+};
+
+/**
+ * Hall-effect current sensor (MLX91221 family behaviour).
+ *
+ * Output is centred at vref/2 and swings currentSensitivity() volts
+ * per ampere. A small fixed offset error models part-to-part spread
+ * that the one-time calibration (paper Sec. III-D) must remove.
+ */
+class CurrentSensorModel
+{
+  public:
+    /**
+     * @param spec Module electrical constants.
+     * @param rng_seed Private noise stream seed.
+     * @param offset_error_amps Uncalibrated zero offset (A).
+     * @param gain_error Relative slope error (e.g. 0.002 = +0.2%).
+     */
+    CurrentSensorModel(const SensorModuleSpec &spec,
+                       std::uint64_t rng_seed,
+                       double offset_error_amps = 0.0,
+                       double gain_error = 0.0);
+
+    /**
+     * Produce the ADC-pin voltage for one raw conversion.
+     *
+     * @param true_amps Instantaneous DUT current.
+     * @param t Absolute conversion time (virtual clock, seconds);
+     *        must be non-decreasing between calls.
+     * @param mode Noise application mode.
+     */
+    double sample(double true_amps, double t,
+                  NoiseMode mode = NoiseMode::Full);
+
+    const SensorModuleSpec &spec() const { return spec_; }
+
+  private:
+    SensorModuleSpec spec_;
+    Rng rng_;
+    double offsetErrorAmps_;
+    double gainError_;
+    OnePoleFilter filter_;
+    double lastTime_ = 0.0;
+    bool haveLastTime_ = false;
+    double driftPhase_;
+};
+
+/**
+ * Optically isolated voltage sensor (ACPL-C87B behaviour) including
+ * the resistive divider in front of it.
+ */
+class VoltageSensorModel
+{
+  public:
+    /**
+     * @param spec Module electrical constants.
+     * @param rng_seed Private noise stream seed.
+     * @param gain_error Relative gain error before calibration.
+     */
+    VoltageSensorModel(const SensorModuleSpec &spec,
+                       std::uint64_t rng_seed,
+                       double gain_error = 0.0);
+
+    /**
+     * Produce the ADC-pin voltage for one raw conversion.
+     *
+     * @param true_volts Instantaneous DUT voltage (at the remote-sense
+     *        point, i.e. cable drop already excluded).
+     * @param t Absolute conversion time (virtual clock, seconds).
+     * @param mode Noise application mode.
+     */
+    double sample(double true_volts, double t,
+                  NoiseMode mode = NoiseMode::Full);
+
+    const SensorModuleSpec &spec() const { return spec_; }
+
+  private:
+    SensorModuleSpec spec_;
+    Rng rng_;
+    double gainError_;
+    OnePoleFilter filter_;
+    double lastTime_ = 0.0;
+    bool haveLastTime_ = false;
+};
+
+/**
+ * The STM32F411 successive-approximation ADC, configured as the
+ * firmware does: 10-bit resolution, 3.3 V reference.
+ */
+class AdcModel
+{
+  public:
+    /** Quantise an input voltage to a 10-bit code (clamped to rails). */
+    static std::uint16_t convert(double volts);
+
+    /** Map a 10-bit code back to the centre of its quantisation bin. */
+    static double toVolts(std::uint16_t code);
+
+    /** Duration of one conversion: 25 cycles at 24 MHz (seconds). */
+    static constexpr double kConversionTime = 25.0 / 24e6;
+};
+
+} // namespace ps3::analog
+
+#endif // PS3_ANALOG_SENSOR_MODELS_HPP

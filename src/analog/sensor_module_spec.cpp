@@ -1,0 +1,124 @@
+#include "sensor_module_spec.hpp"
+
+#include "common/errors.hpp"
+
+namespace ps3::analog::modules {
+
+namespace {
+
+/**
+ * Shared constants: the 10 A Hall parts (MLX91221-10) have a datasheet
+ * noise of 115 mArms; a single raw 1.04 us ADC conversion sees the full
+ * 300 kHz sensor bandwidth and therefore a higher instantaneous noise
+ * of ~147 mArms. The 20 A and 50 A parts scale roughly with range.
+ */
+constexpr double kHallNoise10A = 0.115;
+constexpr double kHallNoise10ARaw = 0.147;
+constexpr double kHallNoise20A = 0.132;
+constexpr double kHallNoise20ARaw = 0.169;
+constexpr double kHallNoise50A = 0.300;
+constexpr double kHallNoise50ARaw = 0.384;
+
+} // namespace
+
+SensorModuleSpec
+slot12V10A()
+{
+    SensorModuleSpec spec;
+    spec.name = "12V-10A";
+    spec.nominalVoltage = 12.0;
+    spec.maxCurrent = 10.0;
+    spec.currentFullScale = 12.5;
+    spec.voltageFullScale = 16.5;
+    spec.hallNoiseRmsDatasheet = kHallNoise10A;
+    spec.hallNoiseRmsRaw = kHallNoise10ARaw;
+    spec.ampNoiseRmsInput = 0.00685;
+    return spec;
+}
+
+SensorModuleSpec
+slot3V3_10A()
+{
+    SensorModuleSpec spec;
+    spec.name = "3.3V-10A";
+    spec.nominalVoltage = 3.3;
+    spec.maxCurrent = 10.0;
+    spec.currentFullScale = 12.5;
+    spec.voltageFullScale = 4.125;
+    spec.hallNoiseRmsDatasheet = kHallNoise10A;
+    spec.hallNoiseRmsRaw = kHallNoise10ARaw;
+    spec.ampNoiseRmsInput = 0.00596;
+    return spec;
+}
+
+SensorModuleSpec
+usbC()
+{
+    SensorModuleSpec spec;
+    spec.name = "USB-C";
+    spec.nominalVoltage = 20.0;
+    spec.maxCurrent = 10.0;
+    spec.currentFullScale = 12.5;
+    spec.voltageFullScale = 25.0;
+    spec.hallNoiseRmsDatasheet = kHallNoise10A;
+    spec.hallNoiseRmsRaw = kHallNoise10ARaw;
+    spec.ampNoiseRmsInput = 0.00547;
+    return spec;
+}
+
+SensorModuleSpec
+pcie8pin20A()
+{
+    SensorModuleSpec spec;
+    spec.name = "PCIe8pin-20A";
+    spec.nominalVoltage = 12.0;
+    spec.maxCurrent = 20.0;
+    spec.currentFullScale = 25.0;
+    spec.voltageFullScale = 16.5;
+    spec.hallNoiseRmsDatasheet = kHallNoise20A;
+    spec.hallNoiseRmsRaw = kHallNoise20ARaw;
+    spec.ampNoiseRmsInput = 0.00685;
+    return spec;
+}
+
+SensorModuleSpec
+generic20A()
+{
+    SensorModuleSpec spec = pcie8pin20A();
+    spec.name = "Generic-20A";
+    return spec;
+}
+
+SensorModuleSpec
+highCurrent50A()
+{
+    SensorModuleSpec spec;
+    spec.name = "HighCurrent-50A";
+    spec.nominalVoltage = 12.0;
+    spec.maxCurrent = 50.0;
+    spec.currentFullScale = 62.5;
+    spec.voltageFullScale = 16.5;
+    spec.hallNoiseRmsDatasheet = kHallNoise50A;
+    spec.hallNoiseRmsRaw = kHallNoise50ARaw;
+    spec.ampNoiseRmsInput = 0.00685;
+    return spec;
+}
+
+std::vector<SensorModuleSpec>
+allStockModules()
+{
+    return {slot12V10A(), slot3V3_10A(), usbC(), pcie8pin20A(),
+            generic20A(), highCurrent50A()};
+}
+
+SensorModuleSpec
+byName(const std::string &name)
+{
+    for (auto &spec : allStockModules()) {
+        if (spec.name == name)
+            return spec;
+    }
+    throw UsageError("unknown sensor module: " + name);
+}
+
+} // namespace ps3::analog::modules

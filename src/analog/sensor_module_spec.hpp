@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Static description of a PowerSensor3 sensor module.
+ *
+ * A sensor module pairs a Hall-effect current sensor (Melexis
+ * MLX91221-like) with an optically isolated voltage sensor (Broadcom
+ * ACPL-C87B-like behind a resistive divider). The spec captures the
+ * electrical constants that determine both the transfer function and
+ * the error budget of the paper's Table I.
+ *
+ * The five module types shipped with PowerSensor3 (paper Sec. III-A)
+ * are available from the ps3::analog::modules factory functions.
+ */
+
+#ifndef PS3_ANALOG_SENSOR_MODULE_SPEC_HPP
+#define PS3_ANALOG_SENSOR_MODULE_SPEC_HPP
+
+#include <string>
+#include <vector>
+
+namespace ps3::analog {
+
+/** ADC reference voltage of the STM32F411 (volts). */
+constexpr double kAdcVref = 3.3;
+
+/** ADC resolution used by the firmware (bits). */
+constexpr int kAdcBits = 10;
+
+/** Number of ADC codes. */
+constexpr int kAdcCodes = 1 << kAdcBits;
+
+/** One ADC least significant bit expressed in volts. */
+constexpr double kAdcLsb = kAdcVref / kAdcCodes;
+
+/**
+ * Electrical constants of one sensor module.
+ *
+ * Current transfer: vadc = vref/2 + currentSensitivity() * amps.
+ * Voltage transfer: vadc = voltageGain() * volts.
+ *
+ * Noise model: the Hall sensor contributes hallNoiseRmsRaw amps rms
+ * per raw ADC conversion (full sensor bandwidth); the voltage chain
+ * contributes ampNoiseRmsInput volts rms referred to the DUT side.
+ * The datasheet figure hallNoiseRmsDatasheet (115 mArms for the 10 A
+ * parts) is the value the paper quotes for the theoretical budget; the
+ * raw per-sample figure is higher because a single 1.04 us conversion
+ * sees the sensor's full 300 kHz noise bandwidth.
+ */
+struct SensorModuleSpec
+{
+    /** Human-readable module name, e.g. "PCIe8pin-20A". */
+    std::string name;
+
+    /** Nominal rail voltage this module is deployed on (V). */
+    double nominalVoltage = 12.0;
+
+    /** Maximum rated current (A). */
+    double maxCurrent = 10.0;
+
+    /**
+     * Current mapped to ADC full scale. The Hall output is centred at
+     * vref/2, so +-currentFullScale spans the ADC range (A).
+     */
+    double currentFullScale = 12.5;
+
+    /** DUT voltage mapped to ADC full scale via the divider (V). */
+    double voltageFullScale = 16.5;
+
+    /** Datasheet current noise, used for the theoretical budget (Arms). */
+    double hallNoiseRmsDatasheet = 0.115;
+
+    /** Per-raw-conversion current noise in the simulation (Arms). */
+    double hallNoiseRmsRaw = 0.147;
+
+    /** Voltage-chain noise referred to the DUT input (Vrms). */
+    double ampNoiseRmsInput = 0.00685;
+
+    /** Hall sensor small-signal bandwidth (Hz). */
+    double currentBandwidthHz = 300e3;
+
+    /** Voltage sensor small-signal bandwidth (Hz). */
+    double voltageBandwidthHz = 100e3;
+
+    /**
+     * Hall transfer nonlinearity as a fraction of full scale. The
+     * deviation follows an S-curve k*(x^3 - x) in normalised current
+     * x = I / currentFullScale, zero at zero and at full scale, which
+     * is what remains after offset/gain calibration and produces the
+     * gentle systematic error curve of the paper's Fig. 4.
+     */
+    double linearityFraction = 0.0035;
+
+    /**
+     * Peak-to-peak slow thermal drift of the Hall zero offset (A).
+     * Drives the long-term stability experiment (paper Sec. IV-B:
+     * +-0.09 W average fluctuation over 50 h on a 12 V module).
+     */
+    double thermalDriftAmpsPp = 0.012;
+
+    /** Period of the thermal drift cycle (s); lab HVAC scale. */
+    double thermalDriftPeriod = 6.0 * 3600.0;
+
+    /** True if the module measures current in both directions. */
+    bool bidirectional = true;
+
+    /** Hall transfer slope at the ADC pin (V per A). */
+    double
+    currentSensitivity() const
+    {
+        return (kAdcVref / 2.0) / currentFullScale;
+    }
+
+    /** Voltage-chain transfer slope at the ADC pin (V per V). */
+    double
+    voltageGain() const
+    {
+        return kAdcVref / voltageFullScale;
+    }
+
+    /** Hall zero-current output level at the ADC pin (V). */
+    double
+    currentOffsetVoltage() const
+    {
+        return kAdcVref / 2.0;
+    }
+};
+
+/** Factory functions for the five stock PowerSensor3 modules. */
+namespace modules {
+
+/** 12 V / 10 A module for PCIe slot 12 V power. */
+SensorModuleSpec slot12V10A();
+
+/** 3.3 V / 10 A module for PCIe slot 3.3 V power. */
+SensorModuleSpec slot3V3_10A();
+
+/** USB-C module (20 V / 10 A) for USB-powered systems. */
+SensorModuleSpec usbC();
+
+/** PCIe 8-pin external power module (12 V / 20 A). */
+SensorModuleSpec pcie8pin20A();
+
+/** General purpose 20 A module with terminal blocks. */
+SensorModuleSpec generic20A();
+
+/** 50 A high-current module. */
+SensorModuleSpec highCurrent50A();
+
+/** All stock modules, for sweeping benches. */
+std::vector<SensorModuleSpec> allStockModules();
+
+/** Look a stock module up by name; throws UsageError when unknown. */
+SensorModuleSpec byName(const std::string &name);
+
+} // namespace modules
+
+} // namespace ps3::analog
+
+#endif // PS3_ANALOG_SENSOR_MODULE_SPEC_HPP

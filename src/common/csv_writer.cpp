@@ -1,0 +1,52 @@
+#include "csv_writer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ps3 {
+
+CsvWriter::CsvWriter(std::ostream &out, char separator, int precision)
+    : out_(out), separator_(separator), precision_(precision)
+{
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &names)
+{
+    rowText(names);
+    // The header should not count as a data row.
+    if (rows_ > 0)
+        --rows_;
+}
+
+void
+CsvWriter::row(const std::vector<double> &values)
+{
+    std::ostringstream line;
+    line << std::setprecision(precision_);
+    bool first = true;
+    for (double v : values) {
+        if (!first)
+            line << separator_;
+        line << v;
+        first = false;
+    }
+    out_ << line.str() << '\n';
+    ++rows_;
+}
+
+void
+CsvWriter::rowText(const std::vector<std::string> &values)
+{
+    bool first = true;
+    for (const auto &v : values) {
+        if (!first)
+            out_ << separator_;
+        out_ << v;
+        first = false;
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+} // namespace ps3

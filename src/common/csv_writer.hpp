@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal CSV/TSV table writer used by benches and the dump-file
+ * facility to emit figure data series.
+ */
+
+#ifndef PS3_COMMON_CSV_WRITER_HPP
+#define PS3_COMMON_CSV_WRITER_HPP
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ps3 {
+
+/**
+ * Streams rows of a table to any std::ostream.
+ *
+ * Values are formatted with a configurable precision; strings are
+ * passed through verbatim (no quoting — the writers in this project
+ * never emit separators inside fields).
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * @param out Destination stream (not owned; must outlive writer).
+     * @param separator Field separator, default comma.
+     * @param precision Floating point significant digits.
+     */
+    explicit CsvWriter(std::ostream &out, char separator = ',',
+                       int precision = 6);
+
+    /** Write the header row. */
+    void header(const std::vector<std::string> &names);
+
+    /** Write one row of doubles. */
+    void row(const std::vector<double> &values);
+
+    /** Write one row of preformatted strings. */
+    void rowText(const std::vector<std::string> &values);
+
+    /** Number of data rows written so far (header excluded). */
+    std::size_t rowCount() const { return rows_; }
+
+  private:
+    std::ostream &out_;
+    char separator_;
+    int precision_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace ps3
+
+#endif // PS3_COMMON_CSV_WRITER_HPP

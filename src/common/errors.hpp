@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Exception hierarchy used throughout the PowerSensor3 reproduction.
+ *
+ * The split follows the convention popularised by gem5: conditions that
+ * are the user's fault (bad device path, malformed configuration) raise
+ * UsageError, while conditions that indicate a bug or violated internal
+ * invariant raise InternalError. I/O failures on the (possibly
+ * emulated) device link raise DeviceError so callers can distinguish a
+ * flaky link from bad arguments.
+ */
+
+#ifndef PS3_COMMON_ERRORS_HPP
+#define PS3_COMMON_ERRORS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace ps3 {
+
+/** Base class for every exception thrown by this library. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** The caller supplied invalid arguments or configuration. */
+class UsageError : public Error
+{
+  public:
+    explicit UsageError(const std::string &what) : Error(what) {}
+};
+
+/** Communication with the (real or emulated) device failed. */
+class DeviceError : public Error
+{
+  public:
+    explicit DeviceError(const std::string &what) : Error(what) {}
+};
+
+/** An internal invariant was violated; indicates a library bug. */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &what) : Error(what) {}
+};
+
+} // namespace ps3
+
+#endif // PS3_COMMON_ERRORS_HPP

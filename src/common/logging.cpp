@@ -1,0 +1,49 @@
+#include "logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace ps3 {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+Log::setLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+Log::level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+Log::write(LogLevel level, const std::string &message)
+{
+    if (level < Log::level())
+        return;
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::cerr << "[ps3:" << levelName(level) << "] " << message << '\n';
+}
+
+} // namespace ps3

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lightweight leveled logging.
+ *
+ * The host library is meant to be embedded in measurement-sensitive
+ * applications, so logging is off (Warn level) by default and writes
+ * to stderr only. Tools raise the level with --verbose.
+ */
+
+#ifndef PS3_COMMON_LOGGING_HPP
+#define PS3_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace ps3 {
+
+/** Severity levels, ordered. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/** Process-wide logger configuration and sink. */
+class Log
+{
+  public:
+    /** Set the minimum level that is emitted. */
+    static void setLevel(LogLevel level);
+
+    /** Current minimum level. */
+    static LogLevel level();
+
+    /** Emit one message if level passes the filter. Thread safe. */
+    static void write(LogLevel level, const std::string &message);
+};
+
+namespace detail {
+
+/** Builds one log line via operator<< and emits it on destruction. */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    ~LogLine() { Log::write(level_, stream_.str()); }
+
+    LogLine(const LogLine &) = delete;
+    LogLine &operator=(const LogLine &) = delete;
+
+    template <typename T>
+    LogLine &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+/** Convenience factories: ps3::logInfo() << "message" << value; */
+inline detail::LogLine logDebug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine logInfo() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine logWarn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine logError() { return detail::LogLine(LogLevel::Error); }
+
+} // namespace ps3
+
+#endif // PS3_COMMON_LOGGING_HPP

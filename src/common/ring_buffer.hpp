@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer.
+ *
+ * Used by the host library to retain the most recent sensor samples
+ * (e.g. for psinfo's "latest measurement" view) and by the firmware
+ * emulation as the DMA target buffer. Overwrites the oldest element
+ * when full, mirroring a hardware circular DMA buffer.
+ */
+
+#ifndef PS3_COMMON_RING_BUFFER_HPP
+#define PS3_COMMON_RING_BUFFER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "errors.hpp"
+
+namespace ps3 {
+
+/**
+ * Bounded FIFO that drops the oldest element on overflow.
+ *
+ * Not thread safe; wrap with external synchronisation where needed.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** @param capacity Maximum number of retained elements (>0). */
+    explicit
+    RingBuffer(std::size_t capacity)
+        : data_(capacity)
+    {
+        if (capacity == 0)
+            throw UsageError("RingBuffer: capacity must be positive");
+    }
+
+    /** Append, evicting the oldest element if full. */
+    void
+    push(const T &value)
+    {
+        data_[(head_ + size_) % data_.size()] = value;
+        if (size_ == data_.size())
+            head_ = (head_ + 1) % data_.size();
+        else
+            ++size_;
+    }
+
+    /** Remove and return the oldest element. */
+    T
+    pop()
+    {
+        if (size_ == 0)
+            throw UsageError("RingBuffer: pop from empty buffer");
+        T value = data_[head_];
+        head_ = (head_ + 1) % data_.size();
+        --size_;
+        return value;
+    }
+
+    /** Oldest-first access: at(0) is the oldest retained element. */
+    const T &
+    at(std::size_t index) const
+    {
+        if (index >= size_)
+            throw UsageError("RingBuffer: index out of range");
+        return data_[(head_ + index) % data_.size()];
+    }
+
+    /** Most recently pushed element. */
+    const T &
+    back() const
+    {
+        if (size_ == 0)
+            throw UsageError("RingBuffer: back of empty buffer");
+        return data_[(head_ + size_ - 1) % data_.size()];
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return data_.size(); }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == data_.size(); }
+
+    /** Drop all elements. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> data_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace ps3
+
+#endif // PS3_COMMON_RING_BUFFER_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic random-number utilities.
+ *
+ * Every stochastic element of the simulation (sensor noise, SSD
+ * workload addresses, tuner trial jitter) owns its own Rng instance
+ * seeded explicitly, so experiments are reproducible bit-for-bit and
+ * independent of each other: adding noise samples to one sensor never
+ * perturbs another sensor's stream.
+ */
+
+#ifndef PS3_COMMON_RNG_HPP
+#define PS3_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <random>
+
+namespace ps3 {
+
+/** Small wrapper around a seeded mt19937_64 with common distributions. */
+class Rng
+{
+  public:
+    /** @param seed Seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /** Standard-normal draw scaled to the given sigma and mean. */
+    double
+    gaussian(double mean = 0.0, double sigma = 1.0)
+    {
+        return mean + sigma * normal_(engine_);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        return std::uniform_int_distribution<std::uint64_t>(lo,
+                                                            hi)(engine_);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Access the raw engine (for std::shuffle etc.). */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+    std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+} // namespace ps3
+
+#endif // PS3_COMMON_RNG_HPP

@@ -1,0 +1,126 @@
+#include "statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "errors.hpp"
+
+namespace ps3 {
+
+void
+RunningStatistics::add(double value)
+{
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+RunningStatistics::merge(const RunningStatistics &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStatistics::reset()
+{
+    *this = RunningStatistics();
+}
+
+double
+RunningStatistics::peakToPeak() const
+{
+    return count_ ? max_ - min_ : 0.0;
+}
+
+double
+RunningStatistics::variance() const
+{
+    return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStatistics::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+BlockAverager::BlockAverager(std::size_t block_size)
+    : blockSize_(block_size)
+{
+    if (block_size == 0)
+        throw UsageError("BlockAverager: block size must be positive");
+}
+
+bool
+BlockAverager::add(double value)
+{
+    sum_ += value;
+    if (++filled_ == blockSize_) {
+        completed_ = sum_ / static_cast<double>(blockSize_);
+        available_ = true;
+        filled_ = 0;
+        sum_ = 0.0;
+        return true;
+    }
+    return false;
+}
+
+double
+BlockAverager::take()
+{
+    if (!available_)
+        throw UsageError("BlockAverager: no completed block available");
+    available_ = false;
+    return completed_;
+}
+
+std::vector<double>
+BlockAverager::reduce(const std::vector<double> &samples,
+                      std::size_t block_size)
+{
+    BlockAverager averager(block_size);
+    std::vector<double> out;
+    out.reserve(samples.size() / block_size + 1);
+    for (double s : samples) {
+        if (averager.add(s))
+            out.push_back(averager.take());
+    }
+    return out;
+}
+
+double
+percentile(std::vector<double> data, double p)
+{
+    if (data.empty())
+        throw UsageError("percentile: empty data set");
+    if (p < 0.0 || p > 100.0)
+        throw UsageError("percentile: p must be in [0, 100]");
+    std::sort(data.begin(), data.end());
+    if (data.size() == 1)
+        return data.front();
+    const double rank = p / 100.0 * static_cast<double>(data.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, data.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+} // namespace ps3

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Streaming and block statistics used by the benches and the host
+ * library.
+ *
+ * RunningStatistics implements Welford's online algorithm so that the
+ * 128 k-sample accuracy sweeps of the paper (Sec. IV-A) can be reduced
+ * without storing every sample. BlockAverager reproduces the paper's
+ * Table II methodology: average fixed-size blocks of samples to trade
+ * time resolution against noise.
+ */
+
+#ifndef PS3_COMMON_STATISTICS_HPP
+#define PS3_COMMON_STATISTICS_HPP
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace ps3 {
+
+/**
+ * Online mean/variance/min/max accumulator (Welford's algorithm).
+ *
+ * Numerically stable for long runs; supports merging two accumulators
+ * (parallel reduction) via merge().
+ */
+class RunningStatistics
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStatistics &other);
+
+    /** Discard all samples. */
+    void reset();
+
+    /** Number of samples added so far. */
+    std::size_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Peak-to-peak range (max - min); 0 when empty. */
+    double peakToPeak() const;
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Average consecutive fixed-size blocks of a sample stream.
+ *
+ * Used to emulate reducing the effective sampling rate Fs: averaging
+ * blocks of N samples taken at 20 kHz yields an effective rate of
+ * 20/N kHz (paper Table II).
+ */
+class BlockAverager
+{
+  public:
+    /**
+     * @param block_size Number of consecutive samples per output value.
+     */
+    explicit BlockAverager(std::size_t block_size);
+
+    /**
+     * Add one input sample.
+     * @retval true if a completed block average is now available via
+     *         take().
+     */
+    bool add(double value);
+
+    /** Retrieve the most recently completed block average. */
+    double take();
+
+    /** Reduce an entire vector; trailing partial block is dropped. */
+    static std::vector<double>
+    reduce(const std::vector<double> &samples, std::size_t block_size);
+
+  private:
+    std::size_t blockSize_;
+    std::size_t filled_ = 0;
+    double sum_ = 0.0;
+    double completed_ = 0.0;
+    bool available_ = false;
+};
+
+/**
+ * Compute an exact percentile (linear interpolation) of a data set.
+ *
+ * Sorts a copy; intended for bench post-processing, not hot paths.
+ *
+ * @param data Samples (unsorted is fine).
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> data, double p);
+
+} // namespace ps3
+
+#endif // PS3_COMMON_STATISTICS_HPP

@@ -1,0 +1,27 @@
+#include "time_source.hpp"
+
+#include <chrono>
+
+namespace ps3 {
+
+namespace {
+
+std::uint64_t
+steadyNanos()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+SteadyClock::SteadyClock() : epochNanos_(steadyNanos()) {}
+
+double
+SteadyClock::now() const
+{
+    return static_cast<double>(steadyNanos() - epochNanos_) * 1e-9;
+}
+
+} // namespace ps3

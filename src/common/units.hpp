@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit helpers and physical constants.
+ *
+ * The library follows the PowerSensor3 convention of representing
+ * physical quantities as plain doubles in SI base units (volts, amps,
+ * watts, joules, seconds). These helpers make intent explicit at call
+ * sites (e.g. `units::milli(115)` amps of sensor noise) and centralise
+ * the conversions used by the sensor models and benches.
+ */
+
+#ifndef PS3_COMMON_UNITS_HPP
+#define PS3_COMMON_UNITS_HPP
+
+#include <cstdint>
+
+namespace ps3::units {
+
+/** Scale a value expressed in milli-units to base units. */
+constexpr double milli(double v) { return v * 1e-3; }
+
+/** Scale a value expressed in micro-units to base units. */
+constexpr double micro(double v) { return v * 1e-6; }
+
+/** Scale a value expressed in kilo-units to base units. */
+constexpr double kilo(double v) { return v * 1e3; }
+
+/** Scale a value expressed in mega-units to base units. */
+constexpr double mega(double v) { return v * 1e6; }
+
+/** Convert seconds to microseconds. */
+constexpr double secondsToMicros(double s) { return s * 1e6; }
+
+/** Convert microseconds to seconds. */
+constexpr double microsToSeconds(double us) { return us * 1e-6; }
+
+/** Convert a frequency in Hz to its period in seconds. */
+constexpr double hzToPeriod(double hz) { return 1.0 / hz; }
+
+/** Bytes per KiB/MiB/GiB, used by the storage subsystem. */
+constexpr std::uint64_t kKiB = 1024ull;
+constexpr std::uint64_t kMiB = 1024ull * 1024ull;
+constexpr std::uint64_t kGiB = 1024ull * 1024ull * 1024ull;
+
+/**
+ * Convert a peak-to-peak figure of a Gaussian-ish noise process to an
+ * RMS estimate. The paper's error budget treats peak-to-peak as
+ * +-3 sigma, i.e. p-p = 6 sigma.
+ */
+constexpr double peakToPeakToRms(double pp) { return pp / 6.0; }
+
+/** Inverse of peakToPeakToRms(). */
+constexpr double rmsToPeakToPeak(double rms) { return rms * 6.0; }
+
+} // namespace ps3::units
+
+#endif // PS3_COMMON_UNITS_HPP

@@ -1,0 +1,95 @@
+#include "cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace ps3::dut {
+
+CpuSpec
+CpuSpec::server16Core()
+{
+    CpuSpec spec;
+    spec.name = "Server16";
+    return spec;
+}
+
+CpuDutModel::CpuDutModel(CpuSpec spec)
+    : spec_(std::move(spec)),
+      program_(std::make_shared<const Program>())
+{
+    if (spec_.cores == 0)
+        throw UsageError("CpuDutModel: zero cores");
+}
+
+void
+CpuDutModel::setProgram(std::vector<CpuPhase> program)
+{
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        if (program[i].duration <= 0.0)
+            throw UsageError("CpuDutModel: non-positive duration");
+        if (program[i].activeCores > spec_.cores)
+            throw UsageError("CpuDutModel: too many active cores");
+        if (program[i].intensity < 0.0 || program[i].intensity > 1.0)
+            throw UsageError("CpuDutModel: intensity out of range");
+        if (i > 0 && program[i].start < program[i - 1].end())
+            throw UsageError("CpuDutModel: overlapping phases");
+    }
+    program_.store(
+        std::make_shared<const Program>(std::move(program)));
+}
+
+double
+CpuDutModel::steadyPower(const CpuPhase &phase) const
+{
+    const double core_fraction =
+        static_cast<double>(phase.activeCores) / spec_.cores;
+    return spec_.idlePower
+           + phase.activeCores * spec_.perCorePower * phase.intensity
+           + spec_.uncorePower * core_fraction * phase.intensity;
+}
+
+double
+CpuDutModel::packagePower(double t) const
+{
+    const auto program = program_.load();
+    const auto it = std::upper_bound(
+        program->begin(), program->end(), t,
+        [](double v, const CpuPhase &p) { return v < p.start; });
+    if (it == program->begin())
+        return spec_.idlePower;
+    const CpuPhase &phase = *(it - 1);
+
+    const double tau = t - phase.start;
+    if (tau <= phase.duration) {
+        const double target = steadyPower(phase);
+        // Small thermal tail into the phase.
+        return target
+               + (spec_.idlePower - target)
+                     * std::exp(-tau / spec_.thermalTau);
+    }
+    const double end_power = steadyPower(phase);
+    const double dt = tau - phase.duration;
+    return spec_.idlePower
+           + (end_power - spec_.idlePower)
+                 * std::exp(-dt / spec_.thermalTau);
+}
+
+double
+CpuDutModel::truePower(double t)
+{
+    return packagePower(t);
+}
+
+double
+CpuDutModel::current(unsigned rail, double t, double volts)
+{
+    if (rail != 0)
+        throw UsageError("CpuDutModel: rail out of range");
+    if (volts <= 0.0)
+        return 0.0;
+    return packagePower(t) / volts;
+}
+
+} // namespace ps3::dut

@@ -1,0 +1,44 @@
+#include "dut.hpp"
+
+#include "common/errors.hpp"
+
+namespace ps3::dut {
+
+SupplyModel::SupplyModel(double set_volts, double output_resistance)
+    : setVolts_(set_volts), outputResistance_(output_resistance)
+{
+    if (output_resistance < 0.0)
+        throw UsageError("SupplyModel: negative output resistance");
+}
+
+double
+SupplyModel::voltage(double, double amps) const
+{
+    return setVolts_ - outputResistance_ * amps;
+}
+
+RailBinding::RailBinding(std::shared_ptr<Dut> dut, unsigned rail,
+                         std::shared_ptr<SupplyModel> supply)
+    : dut_(std::move(dut)), rail_(rail), supply_(std::move(supply))
+{
+    if (!dut_ || !supply_)
+        throw UsageError("RailBinding: null dut or supply");
+    if (rail_ >= dut_->railCount())
+        throw UsageError("RailBinding: rail index out of range");
+}
+
+void
+RailBinding::resolve(double t, double &volts, double &amps) const
+{
+    // Fixed point: start from the unloaded supply voltage, then let
+    // the load and the source resistance settle. Two iterations are
+    // ample for the milli-ohm source impedances modelled here.
+    volts = supply_->voltage(t, 0.0);
+    amps = 0.0;
+    for (int i = 0; i < 2; ++i) {
+        amps = dut_->current(rail_, t, volts);
+        volts = supply_->voltage(t, amps);
+    }
+}
+
+} // namespace ps3::dut

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Device-under-test (DUT) abstractions.
+ *
+ * A Dut models the electrical load of the measured device: given a
+ * rail index, a point in (virtual) time, and the instantaneous rail
+ * voltage, it reports the current drawn. A SupplyModel models the
+ * source side (lab supply or PSU rail) including output resistance, so
+ * voltage sags under load as the paper stresses ("voltages cannot be
+ * assumed to be stable under load", Sec. II).
+ *
+ * RailBinding couples one supply to one DUT rail and resolves the
+ * operating point; the firmware emulation reads true voltage/current
+ * through it and feeds them to the sensor models.
+ *
+ * Implementations must be thread safe for concurrent reads: the
+ * firmware thread samples while a control thread may reconfigure the
+ * DUT (e.g. the auto-tuner launching the next kernel variant).
+ */
+
+#ifndef PS3_DUT_DUT_HPP
+#define PS3_DUT_DUT_HPP
+
+#include <memory>
+
+namespace ps3::dut {
+
+/** Electrical load interface of a measured device. */
+class Dut
+{
+  public:
+    virtual ~Dut() = default;
+
+    /** Number of power rails the device draws from. */
+    virtual unsigned railCount() const = 0;
+
+    /**
+     * Instantaneous current drawn from a rail.
+     *
+     * @param rail Rail index in [0, railCount()).
+     * @param t Time in seconds (virtual clock domain).
+     * @param volts Instantaneous rail voltage.
+     * @return Current in amperes.
+     */
+    virtual double current(unsigned rail, double t, double volts) = 0;
+
+    /**
+     * Ground truth total power across all rails at nominal voltages;
+     * used by benches as the noise-free reference (the "Fluke
+     * multimeter" of the paper's Fig. 3 setup).
+     */
+    virtual double truePower(double t) = 0;
+};
+
+/** Voltage source with finite output resistance. */
+class SupplyModel
+{
+  public:
+    /**
+     * @param set_volts Programmed output voltage.
+     * @param output_resistance Source resistance (ohm).
+     */
+    explicit SupplyModel(double set_volts,
+                         double output_resistance = 0.01);
+
+    virtual ~SupplyModel() = default;
+
+    /** Terminal voltage when sourcing the given current. */
+    virtual double voltage(double t, double amps) const;
+
+    /** Programmed voltage. */
+    double setVolts() const { return setVolts_; }
+
+    /** Reprogram the output voltage. */
+    void setVolts(double volts) { setVolts_ = volts; }
+
+  private:
+    double setVolts_;
+    double outputResistance_;
+};
+
+/**
+ * One supply feeding one DUT rail; resolves the electrical operating
+ * point with a short fixed-point iteration (the system is almost
+ * linear, two iterations converge to microvolt level).
+ */
+class RailBinding
+{
+  public:
+    RailBinding(std::shared_ptr<Dut> dut, unsigned rail,
+                std::shared_ptr<SupplyModel> supply);
+
+    /** Resolve true voltage and current at time t. */
+    void resolve(double t, double &volts, double &amps) const;
+
+    const Dut &dut() const { return *dut_; }
+    unsigned rail() const { return rail_; }
+
+  private:
+    std::shared_ptr<Dut> dut_;
+    unsigned rail_;
+    std::shared_ptr<SupplyModel> supply_;
+};
+
+} // namespace ps3::dut
+
+#endif // PS3_DUT_DUT_HPP

@@ -1,0 +1,237 @@
+#include "loads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace ps3::dut {
+
+ConstantCurrentLoad::ConstantCurrentLoad(double amps,
+                                         double nominal_volts)
+    : amps_(amps), nominalVolts_(nominal_volts)
+{
+}
+
+double
+ConstantCurrentLoad::current(unsigned rail, double, double)
+{
+    if (rail != 0)
+        throw UsageError("ConstantCurrentLoad: rail out of range");
+    return amps_.load(std::memory_order_relaxed);
+}
+
+double
+ConstantCurrentLoad::truePower(double)
+{
+    return amps_.load(std::memory_order_relaxed) * nominalVolts_;
+}
+
+void
+ConstantCurrentLoad::setAmps(double amps)
+{
+    amps_.store(amps, std::memory_order_relaxed);
+}
+
+ElectronicLoad::ElectronicLoad(double setpoint_amps,
+                               double nominal_volts,
+                               double slew_amps_per_sec)
+    : setpoint_(setpoint_amps),
+      nominalVolts_(nominal_volts),
+      slew_(slew_amps_per_sec)
+{
+    if (slew_amps_per_sec <= 0.0)
+        throw UsageError("ElectronicLoad: slew rate must be positive");
+}
+
+void
+ElectronicLoad::modulate(LoadWaveform waveform, double frequency_hz,
+                         double depth)
+{
+    if (waveform != LoadWaveform::Constant &&
+        (frequency_hz <= 0.0 || depth < 0.0 || depth > 1.0)) {
+        throw UsageError("ElectronicLoad: invalid modulation");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    waveform_ = waveform;
+    frequency_ = frequency_hz;
+    depth_ = depth;
+}
+
+void
+ElectronicLoad::setAmps(double amps)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    setpoint_ = amps;
+}
+
+void
+ElectronicLoad::setMinimumCurrent(double amps)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    minCurrent_ = amps;
+}
+
+double
+ElectronicLoad::targetCurrent(double t) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double hi = setpoint_;
+    const double lo = std::max(setpoint_ * (1.0 - depth_), minCurrent_);
+    switch (waveform_) {
+      case LoadWaveform::Constant:
+        return hi;
+      case LoadWaveform::Square: {
+        const double period = 1.0 / frequency_;
+        const double phase = t - std::floor(t / period) * period;
+        return phase < period / 2.0 ? hi : lo;
+      }
+      case LoadWaveform::Sine: {
+        const double s = std::sin(2.0 * M_PI * frequency_ * t);
+        return lo + (hi - lo) * (0.5 + 0.5 * s);
+      }
+    }
+    return hi;
+}
+
+double
+ElectronicLoad::slewedCurrent(double t) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (waveform_ != LoadWaveform::Square)
+        return 0.0; // caller falls back to targetCurrent()
+
+    const double hi = setpoint_;
+    const double lo = std::max(setpoint_ * (1.0 - depth_), minCurrent_);
+    const double period = 1.0 / frequency_;
+    const double phase = t - std::floor(t / period) * period;
+    const double rise = (hi - lo) / slew_;
+
+    // Trapezoid: ramp up at the start of the high phase, ramp down at
+    // the start of the low phase.
+    if (phase < period / 2.0) {
+        if (phase < rise)
+            return lo + slew_ * phase;
+        return hi;
+    }
+    const double into_low = phase - period / 2.0;
+    if (into_low < rise)
+        return hi - slew_ * into_low;
+    return lo;
+}
+
+double
+ElectronicLoad::current(unsigned rail, double t, double)
+{
+    if (rail != 0)
+        throw UsageError("ElectronicLoad: rail out of range");
+    bool square;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        square = waveform_ == LoadWaveform::Square;
+    }
+    return square ? slewedCurrent(t) : targetCurrent(t);
+}
+
+double
+ElectronicLoad::truePower(double t)
+{
+    return current(0, t, nominalVolts_) * nominalVolts_;
+}
+
+TraceDut::TraceDut(std::vector<TracePoint> trace,
+                   std::vector<RailSplit> rails)
+    : trace_(std::move(trace)), rails_(std::move(rails))
+{
+    if (trace_.empty())
+        throw UsageError("TraceDut: empty trace");
+    if (rails_.empty())
+        throw UsageError("TraceDut: no rails");
+    for (std::size_t i = 1; i < trace_.size(); ++i) {
+        if (trace_[i].time < trace_[i - 1].time)
+            throw UsageError("TraceDut: trace not sorted by time");
+    }
+}
+
+unsigned
+TraceDut::railCount() const
+{
+    return static_cast<unsigned>(rails_.size());
+}
+
+double
+TraceDut::interpolate(double t) const
+{
+    if (t <= trace_.front().time)
+        return trace_.front().power;
+    if (t >= trace_.back().time)
+        return trace_.back().power;
+    const auto it = std::lower_bound(
+        trace_.begin(), trace_.end(), t,
+        [](const TracePoint &p, double v) { return p.time < v; });
+    const auto &hi = *it;
+    const auto &lo = *(it - 1);
+    if (hi.time == lo.time)
+        return hi.power;
+    const double frac = (t - lo.time) / (hi.time - lo.time);
+    return lo.power + frac * (hi.power - lo.power);
+}
+
+double
+splitRailPower(const std::vector<TraceDut::RailSplit> &rails,
+               unsigned rail, double total)
+{
+    double remaining = total;
+    for (unsigned i = 0; i < rails.size(); ++i) {
+        const auto &split = rails[i];
+        double want = i + 1 == rails.size() ? remaining
+                                            : total * split.fraction;
+        if (split.capWatts > 0.0)
+            want = std::min(want, split.capWatts);
+        want = std::min(want, remaining);
+        if (i == rail)
+            return want;
+        remaining -= want;
+    }
+    return 0.0;
+}
+
+double
+TraceDut::current(unsigned rail, double t, double volts)
+{
+    if (rail >= rails_.size())
+        throw UsageError("TraceDut: rail out of range");
+    if (volts <= 0.0)
+        return 0.0;
+    return splitRailPower(rails_, rail, interpolate(t)) / volts;
+}
+
+double
+TraceDut::truePower(double t)
+{
+    return interpolate(t);
+}
+
+std::vector<TraceDut::RailSplit>
+TraceDut::singleRail12V()
+{
+    return {{12.0, 1.0, 0.0}};
+}
+
+std::vector<TraceDut::RailSplit>
+TraceDut::pcieThreeRail()
+{
+    // PCIe CEM budgets: 9.9 W on 3.3 V, 66 W on slot 12 V, remainder
+    // on the external 8-pin connector.
+    return {{3.3, 0.08, 9.9}, {12.0, 0.5, 66.0}, {12.0, 1.0, 0.0}};
+}
+
+std::vector<TraceDut::RailSplit>
+TraceDut::m2AdapterRails()
+{
+    // The M.2 card is fed from the adapter's 3.3 V rail; the 12 V
+    // rail only powers adapter logic (fraction of a watt).
+    return {{12.0, 0.04, 0.4}, {3.3, 1.0, 0.0}};
+}
+
+} // namespace ps3::dut

@@ -1,0 +1,152 @@
+#include "display.hpp"
+
+#include <cstdio>
+
+#include "common/errors.hpp"
+
+namespace ps3::firmware {
+
+DisplayRenderer::DisplayRenderer()
+    : framebuffer_(kWidth * kHeight, false),
+      shipped_(kWidth * kHeight, false)
+{
+}
+
+bool
+DisplayRenderer::pixel(unsigned x, unsigned y) const
+{
+    if (x >= kWidth || y >= kHeight)
+        throw UsageError("DisplayRenderer: pixel out of range");
+    return framebuffer_[y * kWidth + x];
+}
+
+unsigned
+DisplayRenderer::litPixelCount() const
+{
+    unsigned lit = 0;
+    for (const bool p : framebuffer_)
+        lit += p ? 1 : 0;
+    return lit;
+}
+
+void
+DisplayRenderer::drawText(unsigned x, unsigned y,
+                          const std::string &text, unsigned scale)
+{
+    for (char c : text) {
+        const auto &glyph = glyphs_.get(c, scale);
+        for (unsigned gy = 0; gy < glyph.height; ++gy) {
+            for (unsigned gx = 0; gx < glyph.width; ++gx) {
+                const unsigned px = x + gx;
+                const unsigned py = y + gy;
+                if (px < kWidth && py < kHeight && glyph.pixel(gx, gy))
+                    framebuffer_[py * kWidth + px] = true;
+            }
+        }
+        x += kGlyphAdvance * scale;
+    }
+}
+
+void
+DisplayRenderer::render(const std::vector<std::string> &lines)
+{
+    std::fill(framebuffer_.begin(), framebuffer_.end(), false);
+    unsigned y = 4;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const unsigned scale = i == 0 ? kBigScale : 1;
+        drawText(2, y, lines[i], scale);
+        y += kGlyphHeight * scale + 4;
+    }
+    // DMA the framebuffer to the panel only when it changed.
+    if (framebuffer_ != shipped_) {
+        shipped_ = framebuffer_;
+        dmaBytes_ += static_cast<std::uint64_t>(kWidth) * kHeight
+                     * kBytesPerPixel;
+        ++refreshes_;
+    }
+}
+
+void
+DisplayModel::update(const std::array<PairReading, kPairCount> &pairs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pairs_ = pairs;
+    ++updates_;
+    // Redraw the panel from the new content (render() recomputes
+    // the text lines from pairs_, which we already hold the lock
+    // for — build them inline to avoid recursive locking).
+    double total = 0.0;
+    for (const auto &pair : pairs_) {
+        if (pair.present)
+            total += pair.power();
+    }
+    std::vector<std::string> lines;
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%8.2f W", total);
+    lines.emplace_back(buffer);
+    for (unsigned i = 0; i < kPairCount; ++i) {
+        if (!pairs_[i].present) {
+            std::snprintf(buffer, sizeof(buffer), "%u: --", i);
+        } else {
+            std::snprintf(buffer, sizeof(buffer),
+                          "%u: %6.3fV %6.3fA %7.3fW", i,
+                          pairs_[i].volts, pairs_[i].amps,
+                          pairs_[i].power());
+        }
+        lines.emplace_back(buffer);
+    }
+    renderer_.render(lines);
+}
+
+double
+DisplayModel::totalPower() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    double total = 0.0;
+    for (const auto &pair : pairs_) {
+        if (pair.present)
+            total += pair.power();
+    }
+    return total;
+}
+
+std::vector<std::string>
+DisplayModel::render() const
+{
+    std::array<PairReading, kPairCount> pairs;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pairs = pairs_;
+    }
+
+    double total = 0.0;
+    for (const auto &pair : pairs) {
+        if (pair.present)
+            total += pair.power();
+    }
+
+    std::vector<std::string> lines;
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%8.2f W", total);
+    lines.emplace_back(buffer);
+    for (unsigned i = 0; i < kPairCount; ++i) {
+        if (!pairs[i].present) {
+            std::snprintf(buffer, sizeof(buffer), "%u: --", i);
+        } else {
+            std::snprintf(buffer, sizeof(buffer),
+                          "%u: %6.3fV %6.3fA %7.3fW", i, pairs[i].volts,
+                          pairs[i].amps, pairs[i].power());
+        }
+        lines.emplace_back(buffer);
+    }
+    return lines;
+}
+
+std::uint64_t
+DisplayModel::updateCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return updates_;
+}
+
+} // namespace ps3::firmware

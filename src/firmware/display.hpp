@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Text model of the ST7735 display on the baseboard (paper
+ * Sec. III-B2): total power prominently, per-pair voltage / current /
+ * power in smaller print. The real firmware renders with DMA and
+ * pre-computed fonts; here we model the *content* so tests can verify
+ * what a user would see.
+ */
+
+#ifndef PS3_FIRMWARE_DISPLAY_HPP
+#define PS3_FIRMWARE_DISPLAY_HPP
+
+#include <array>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "firmware/font5x7.hpp"
+#include "firmware/protocol.hpp"
+
+namespace ps3::firmware {
+
+/** Latest readings of one sensor pair for display purposes. */
+struct PairReading
+{
+    bool present = false;
+    double volts = 0.0;
+    double amps = 0.0;
+
+    double power() const { return volts * amps; }
+};
+
+/**
+ * Pixel-level renderer for the ST7735 panel (160 x 128, RGB565):
+ * draws the display content with pre-computed glyphs and models the
+ * DMA transfer that ships the framebuffer to the panel. A transfer
+ * only happens when the content changed — the firmware's two display
+ * optimisations (paper Sec. III-B2).
+ */
+class DisplayRenderer
+{
+  public:
+    static constexpr unsigned kWidth = 160;
+    static constexpr unsigned kHeight = 128;
+    /** Big font scale for the total-power line. */
+    static constexpr unsigned kBigScale = 3;
+    /** RGB565: two bytes per pixel on the wire. */
+    static constexpr unsigned kBytesPerPixel = 2;
+
+    DisplayRenderer();
+
+    /** Redraw the screen from the given text lines. */
+    void render(const std::vector<std::string> &lines);
+
+    /** Pixel state (row-major, origin top-left). */
+    bool pixel(unsigned x, unsigned y) const;
+
+    /** Number of lit pixels. */
+    unsigned litPixelCount() const;
+
+    /** Bytes shipped to the panel so far (DMA model). */
+    std::uint64_t dmaBytesTransferred() const { return dmaBytes_; }
+
+    /** Number of render() calls that actually changed the screen. */
+    std::uint64_t refreshCount() const { return refreshes_; }
+
+    /** Pre-computed glyph store (for cache-behaviour tests). */
+    const GlyphCache &glyphs() const { return glyphs_; }
+
+  private:
+    std::vector<bool> framebuffer_;
+    std::vector<bool> shipped_;
+    GlyphCache glyphs_;
+    std::uint64_t dmaBytes_ = 0;
+    std::uint64_t refreshes_ = 0;
+
+    void drawText(unsigned x, unsigned y, const std::string &text,
+                  unsigned scale);
+};
+
+/** Content model of the baseboard display. */
+class DisplayModel
+{
+  public:
+    /** Push the latest readings; cheap, called at the display rate. */
+    void update(const std::array<PairReading, kPairCount> &pairs);
+
+    /** Total power across present pairs, as shown in the big font. */
+    double totalPower() const;
+
+    /** Render the screen as text lines (big line + one per pair). */
+    std::vector<std::string> render() const;
+
+    /** Number of update() calls, for refresh-rate tests. */
+    std::uint64_t updateCount() const;
+
+    /** The pixel renderer fed by update(). */
+    const DisplayRenderer &renderer() const { return renderer_; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::array<PairReading, kPairCount> pairs_{};
+    std::uint64_t updates_ = 0;
+    DisplayRenderer renderer_;
+};
+
+} // namespace ps3::firmware
+
+#endif // PS3_FIRMWARE_DISPLAY_HPP

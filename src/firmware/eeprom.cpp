@@ -1,0 +1,86 @@
+#include "eeprom.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/logging.hpp"
+
+namespace ps3::firmware {
+
+VirtualEeprom::VirtualEeprom(std::string backing_path)
+    : backingPath_(std::move(backing_path))
+{
+    restoreLocked();
+}
+
+DeviceConfig
+VirtualEeprom::load() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return config_;
+}
+
+void
+VirtualEeprom::store(const DeviceConfig &config)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_ = config;
+    persistLocked();
+}
+
+SensorConfigRecord
+VirtualEeprom::loadChannel(unsigned channel) const
+{
+    if (channel >= kNumChannels)
+        throw UsageError("VirtualEeprom: channel out of range");
+    std::lock_guard<std::mutex> lock(mutex_);
+    return config_[channel];
+}
+
+void
+VirtualEeprom::storeChannel(unsigned channel,
+                            const SensorConfigRecord &record)
+{
+    if (channel >= kNumChannels)
+        throw UsageError("VirtualEeprom: channel out of range");
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_[channel] = record;
+    persistLocked();
+}
+
+void
+VirtualEeprom::persistLocked() const
+{
+    if (backingPath_.empty())
+        return;
+    const auto blob = serializeConfig(config_);
+    std::ofstream out(backingPath_, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        logWarn() << "VirtualEeprom: cannot persist to " << backingPath_;
+        return;
+    }
+    out.write(reinterpret_cast<const char *>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+}
+
+void
+VirtualEeprom::restoreLocked()
+{
+    if (backingPath_.empty())
+        return;
+    std::ifstream in(backingPath_, std::ios::binary);
+    if (!in)
+        return; // first boot: keep defaults
+    std::vector<std::uint8_t> blob(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    try {
+        config_ = deserializeConfig(blob.data(), blob.size());
+    } catch (const DeviceError &e) {
+        logWarn() << "VirtualEeprom: corrupt backing file ignored ("
+                  << e.what() << ")";
+    }
+}
+
+} // namespace ps3::firmware

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Virtual EEPROM emulating the STM32 flash-backed configuration store
+ * (paper Sec. III-B1): sensor name, reference voltage, sensitivity or
+ * gain, and enabled state per channel, surviving device reboots.
+ */
+
+#ifndef PS3_FIRMWARE_EEPROM_HPP
+#define PS3_FIRMWARE_EEPROM_HPP
+
+#include <mutex>
+#include <string>
+
+#include "firmware/protocol.hpp"
+
+namespace ps3::firmware {
+
+/**
+ * Thread-safe configuration store with optional file persistence.
+ *
+ * When constructed with a backing path, load() restores the previous
+ * contents (if the file exists) and every store() writes through, so
+ * reboot emulation and multi-process tool tests (psconfig then psinfo)
+ * see consistent state.
+ */
+class VirtualEeprom
+{
+  public:
+    /** Volatile store (RAM only). */
+    VirtualEeprom() = default;
+
+    /** Persistent store backed by a file. */
+    explicit VirtualEeprom(std::string backing_path);
+
+    /** Read the full configuration. */
+    DeviceConfig load() const;
+
+    /** Replace the full configuration (writes through if backed). */
+    void store(const DeviceConfig &config);
+
+    /** Read one channel's record. */
+    SensorConfigRecord loadChannel(unsigned channel) const;
+
+    /** Update one channel's record. */
+    void storeChannel(unsigned channel,
+                      const SensorConfigRecord &record);
+
+  private:
+    mutable std::mutex mutex_;
+    DeviceConfig config_{};
+    std::string backingPath_;
+
+    void persistLocked() const;
+    void restoreLocked();
+};
+
+} // namespace ps3::firmware
+
+#endif // PS3_FIRMWARE_EEPROM_HPP

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Behavioural model of the STM32F411 firmware (paper Sec. III-B).
+ *
+ * The firmware continuously scans the ADC channels of the attached
+ * sensor modules, averages kScansPerFrameSet consecutive scans on the
+ * CPU, and streams one frame set — a timestamp frame followed by one
+ * 2-byte frame per enabled channel — every 50 us of virtual time
+ * (20 kHz). Commands from the host (start/stop streaming, config
+ * read/write, markers, version, reboot) are processed between frame
+ * sets, exactly like the real main loop.
+ *
+ * Virtual-time model: the firmware owns a VirtualClock that advances
+ * by one ADC conversion time per conversion (25 cycles at 24 MHz);
+ * 6 scans x 8 channels x 25 cycles is exactly 50 us, matching the
+ * paper's timing budget. Frames are produced on demand when the host
+ * reads (pull-driven), so simulations run as fast as the host can
+ * consume — or up to an explicit production fence for closed-loop
+ * experiments (see setProductionFence()).
+ */
+
+#ifndef PS3_FIRMWARE_FIRMWARE_HPP
+#define PS3_FIRMWARE_FIRMWARE_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "analog/sensor_models.hpp"
+#include "common/time_source.hpp"
+#include "dut/dut.hpp"
+#include "firmware/display.hpp"
+#include "firmware/eeprom.hpp"
+#include "firmware/protocol.hpp"
+#include "transport/char_device.hpp"
+
+namespace ps3::firmware {
+
+/**
+ * One populated sensor-module socket: the module's physics models
+ * plus the electrical binding to the rail it measures.
+ */
+struct ModuleAssembly
+{
+    analog::SensorModuleSpec spec;
+    std::unique_ptr<analog::CurrentSensorModel> currentSensor;
+    std::unique_ptr<analog::VoltageSensorModel> voltageSensor;
+    std::shared_ptr<dut::RailBinding> binding;
+};
+
+/** Part-to-part manufacturing spread applied to a fresh module. */
+struct ManufacturingSpread
+{
+    /** Hall zero-offset error (A); calibration removes this. */
+    double currentOffsetAmps = 0.0;
+    /** Hall slope error (fraction); stays after calibration. */
+    double currentGainError = 0.0;
+    /** Voltage chain gain error (fraction); calibration removes it. */
+    double voltageGainError = 0.0;
+
+    /** Draw a typical spread deterministically from a seed. */
+    static ManufacturingSpread typical(std::uint64_t seed);
+
+    /** A perfect part (all errors zero). */
+    static ManufacturingSpread none() { return {}; }
+};
+
+/**
+ * Build a ModuleAssembly measuring one rail of a DUT.
+ *
+ * @param spec Module type.
+ * @param dut Device under test (shared with other modules).
+ * @param rail Which DUT rail this module intercepts.
+ * @param supply Source feeding that rail.
+ * @param seed Noise stream seed (distinct per module).
+ * @param spread Manufacturing errors to inject.
+ */
+ModuleAssembly makeModule(const analog::SensorModuleSpec &spec,
+                          std::shared_ptr<dut::Dut> dut, unsigned rail,
+                          std::shared_ptr<dut::SupplyModel> supply,
+                          std::uint64_t seed,
+                          const ManufacturingSpread &spread =
+                              ManufacturingSpread::none());
+
+/** The emulated device: firmware state machine + analog frontend. */
+class Firmware : public transport::BytePump
+{
+  public:
+    /**
+     * @param eeprom_backing_path Optional file for configuration
+     *        persistence across Firmware instances ("" = volatile).
+     */
+    explicit Firmware(const std::string &eeprom_backing_path = "");
+
+    /**
+     * Populate a module socket. Writes nominal conversion constants
+     * for the module into the EEPROM unless the EEPROM already holds
+     * a record with this module's name (i.e. it was calibrated in an
+     * earlier session).
+     *
+     * @param pair Socket index in [0, kPairCount).
+     */
+    void attachModule(unsigned pair, ModuleAssembly assembly);
+
+    // BytePump interface (called by EmulatedSerialPort).
+    std::size_t produce(std::uint8_t *buffer,
+                        std::size_t max_bytes) override;
+    void hostWrite(const std::uint8_t *data, std::size_t size) override;
+
+    /** The device clock (virtual time domain). */
+    VirtualClock &clock() { return clock_; }
+
+    /** Display content model. */
+    const DisplayModel &display() const { return display_; }
+
+    /** Select full or noiseless sensor physics. */
+    void setNoiseMode(analog::NoiseMode mode);
+
+    /**
+     * Forbid producing frames with timestamps at or beyond t.
+     *
+     * Closed-loop experiments (e.g. the auto-tuner) use the fence to
+     * keep virtual time from racing ahead of their control actions:
+     * produce() returns 0 once the fence is reached until the fence
+     * is moved. Default: no fence.
+     */
+    void setProductionFence(double t);
+
+    /** True while sensor data is streaming. */
+    bool streaming() const;
+
+    /** True after a Command::RebootDfu. */
+    bool inDfuMode() const;
+
+    /** Total frame sets generated since construction. */
+    std::uint64_t frameSetsProduced() const;
+
+    /** Direct EEPROM access for tests/benches. */
+    VirtualEeprom &eeprom() { return eeprom_; }
+
+    /**
+     * Reload the RAM configuration cache from the EEPROM. Required
+     * after writing the EEPROM directly (factory calibration); host
+     * WriteConfig commands refresh the cache automatically.
+     */
+    void refreshConfigFromEeprom();
+
+  private:
+    /** Host-command parser states. */
+    enum class RxState { Idle, AwaitMarkerChar, AwaitConfigBlob };
+
+    mutable std::mutex mutex_;
+    VirtualClock clock_;
+    VirtualEeprom eeprom_;
+    DeviceConfig configCache_{};
+    DisplayModel display_;
+    std::array<std::unique_ptr<ModuleAssembly>, kPairCount> modules_{};
+
+    bool streaming_ = false;
+    bool dfuMode_ = false;
+    unsigned markersPending_ = 0;
+    std::atomic<double> fence_;
+    std::uint64_t frameSets_ = 0;
+    analog::NoiseMode noiseMode_ = analog::NoiseMode::Full;
+
+    std::deque<std::uint8_t> txQueue_;
+    RxState rxState_ = RxState::Idle;
+    std::vector<std::uint8_t> rxBuffer_;
+
+    /** Last averaged ADC voltage per channel, for the display. */
+    std::array<double, kNumChannels> lastAdcVolts_{};
+
+    void handleCommand(std::uint8_t byte);
+    void emitFrameSet();
+    void enqueueFrame(const Frame &frame);
+    void enqueueStatus(std::uint8_t status);
+    void updateDisplay();
+    void rebootLocked(bool dfu);
+};
+
+} // namespace ps3::firmware
+
+#endif // PS3_FIRMWARE_FIRMWARE_HPP

@@ -1,0 +1,90 @@
+#include "font5x7.hpp"
+
+namespace ps3::firmware {
+
+namespace {
+
+/** Classic 5x7 font, column-major, LSB at the top row. */
+struct FontEntry
+{
+    char c;
+    std::array<std::uint8_t, kGlyphWidth> columns;
+};
+
+constexpr FontEntry kFont[] = {
+    {'0', {0x3E, 0x51, 0x49, 0x45, 0x3E}},
+    {'1', {0x00, 0x42, 0x7F, 0x40, 0x00}},
+    {'2', {0x42, 0x61, 0x51, 0x49, 0x46}},
+    {'3', {0x21, 0x41, 0x45, 0x4B, 0x31}},
+    {'4', {0x18, 0x14, 0x12, 0x7F, 0x10}},
+    {'5', {0x27, 0x45, 0x45, 0x45, 0x39}},
+    {'6', {0x3C, 0x4A, 0x49, 0x49, 0x30}},
+    {'7', {0x01, 0x71, 0x09, 0x05, 0x03}},
+    {'8', {0x36, 0x49, 0x49, 0x49, 0x36}},
+    {'9', {0x06, 0x49, 0x49, 0x29, 0x1E}},
+    {'.', {0x00, 0x60, 0x60, 0x00, 0x00}},
+    {':', {0x00, 0x36, 0x36, 0x00, 0x00}},
+    {'-', {0x08, 0x08, 0x08, 0x08, 0x08}},
+    {'+', {0x08, 0x08, 0x3E, 0x08, 0x08}},
+    {' ', {0x00, 0x00, 0x00, 0x00, 0x00}},
+    {'V', {0x1F, 0x20, 0x40, 0x20, 0x1F}},
+    {'A', {0x7E, 0x11, 0x11, 0x11, 0x7E}},
+    {'W', {0x3F, 0x40, 0x38, 0x40, 0x3F}},
+    {'m', {0x7C, 0x04, 0x18, 0x04, 0x78}},
+    {'k', {0x7F, 0x10, 0x28, 0x44, 0x00}},
+};
+
+} // namespace
+
+std::array<std::uint8_t, kGlyphWidth>
+glyphColumns(char c)
+{
+    for (const auto &entry : kFont) {
+        if (entry.c == c)
+            return entry.columns;
+    }
+    return {0, 0, 0, 0, 0};
+}
+
+bool
+glyphKnown(char c)
+{
+    for (const auto &entry : kFont) {
+        if (entry.c == c)
+            return true;
+    }
+    return false;
+}
+
+const RenderedGlyph &
+GlyphCache::get(char c, unsigned scale)
+{
+    ++lookups_;
+    const auto key = std::make_pair(c, scale);
+    const auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    // Render: scale each font pixel to a scale x scale block.
+    RenderedGlyph glyph;
+    glyph.width = kGlyphWidth * scale;
+    glyph.height = kGlyphHeight * scale;
+    glyph.pixels.assign(glyph.width * glyph.height, false);
+    const auto columns = glyphColumns(c);
+    for (unsigned col = 0; col < kGlyphWidth; ++col) {
+        for (unsigned row = 0; row < kGlyphHeight; ++row) {
+            if (!(columns[col] & (1u << row)))
+                continue;
+            for (unsigned dy = 0; dy < scale; ++dy) {
+                for (unsigned dx = 0; dx < scale; ++dx) {
+                    glyph.pixels[(row * scale + dy) * glyph.width
+                                 + col * scale + dx] = true;
+                }
+            }
+        }
+    }
+    ++rendered_;
+    return cache_.emplace(key, std::move(glyph)).first->second;
+}
+
+} // namespace ps3::firmware

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * 5x7 bitmap font and pre-computed glyph cache for the baseboard
+ * display (paper Sec. III-B2).
+ *
+ * The real firmware speeds up the ST7735 display by pre-computing
+ * the graphics of every needed character in every used size, storing
+ * the rendered glyphs in program memory, and shipping whole lines to
+ * the panel via DMA. This module reproduces that pipeline: a classic
+ * 5x7 ASCII font, a GlyphCache that pre-renders characters at integer
+ * scales, and pixel-exact glyph blitting for the framebuffer.
+ */
+
+#ifndef PS3_FIRMWARE_FONT5X7_HPP
+#define PS3_FIRMWARE_FONT5X7_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ps3::firmware {
+
+/** Width of one glyph in pixels (plus one column of spacing). */
+constexpr unsigned kGlyphWidth = 5;
+/** Height of one glyph in pixels. */
+constexpr unsigned kGlyphHeight = 7;
+/** Horizontal advance including inter-character spacing. */
+constexpr unsigned kGlyphAdvance = kGlyphWidth + 1;
+
+/**
+ * Column-major 5x7 glyph for a character; bit n of column c is the
+ * pixel at (c, n). Unsupported characters render as blank.
+ */
+std::array<std::uint8_t, kGlyphWidth> glyphColumns(char c);
+
+/** True if the font has a non-blank glyph for the character. */
+bool glyphKnown(char c);
+
+/** A pre-rendered glyph at an integer scale. */
+struct RenderedGlyph
+{
+    unsigned width = 0;
+    unsigned height = 0;
+    /** Row-major pixel mask. */
+    std::vector<bool> pixels;
+
+    bool
+    pixel(unsigned x, unsigned y) const
+    {
+        return pixels[y * width + x];
+    }
+};
+
+/**
+ * Pre-computed glyph store: renders each (character, scale) pair
+ * once and serves it from the cache afterwards — the firmware's
+ * "fonts in program memory" optimisation.
+ */
+class GlyphCache
+{
+  public:
+    /** Fetch (rendering on first use) a glyph at a scale. */
+    const RenderedGlyph &get(char c, unsigned scale);
+
+    /** Number of glyphs rendered (cache misses) so far. */
+    std::size_t renderedCount() const { return rendered_; }
+
+    /** Total get() calls, for hit-rate introspection. */
+    std::size_t lookupCount() const { return lookups_; }
+
+  private:
+    std::map<std::pair<char, unsigned>, RenderedGlyph> cache_;
+    std::size_t rendered_ = 0;
+    std::size_t lookups_ = 0;
+};
+
+} // namespace ps3::firmware
+
+#endif // PS3_FIRMWARE_FONT5X7_HPP

@@ -1,0 +1,138 @@
+#include "protocol.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace ps3::firmware {
+
+std::array<std::uint8_t, 2>
+encodeFrame(const Frame &frame)
+{
+    if (frame.sensorId >= kNumChannels)
+        throw InternalError("encodeFrame: sensor id out of range");
+    if (frame.level >= 1024)
+        throw InternalError("encodeFrame: level exceeds 10 bits");
+
+    const std::uint8_t byte0 =
+        static_cast<std::uint8_t>(0x80 | (frame.sensorId << 4)
+                                  | (frame.marker ? 0x08 : 0x00)
+                                  | ((frame.level >> 7) & 0x07));
+    const std::uint8_t byte1 =
+        static_cast<std::uint8_t>(frame.level & 0x7F);
+    return {byte0, byte1};
+}
+
+Frame
+decodeFrame(std::uint8_t byte0, std::uint8_t byte1)
+{
+    if (!isFirstByte(byte0) || isFirstByte(byte1))
+        throw InternalError("decodeFrame: byte-role bits inconsistent");
+
+    Frame frame;
+    frame.sensorId = (byte0 >> 4) & 0x07;
+    frame.marker = (byte0 & 0x08) != 0;
+    frame.level = static_cast<std::uint16_t>(((byte0 & 0x07) << 7)
+                                             | (byte1 & 0x7F));
+    return frame;
+}
+
+Frame
+makeTimestampFrame(std::uint64_t device_micros)
+{
+    Frame frame;
+    frame.sensorId = kTimestampId;
+    frame.marker = true;
+    frame.level =
+        static_cast<std::uint16_t>(device_micros % kTimestampModulus);
+    return frame;
+}
+
+namespace {
+
+void
+putFloat(std::vector<std::uint8_t> &out, float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    out.push_back(static_cast<std::uint8_t>(bits & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((bits >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((bits >> 16) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((bits >> 24) & 0xFF));
+}
+
+float
+getFloat(const std::uint8_t *data)
+{
+    const std::uint32_t bits =
+        static_cast<std::uint32_t>(data[0])
+        | (static_cast<std::uint32_t>(data[1]) << 8)
+        | (static_cast<std::uint32_t>(data[2]) << 16)
+        | (static_cast<std::uint32_t>(data[3]) << 24);
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'C', 'F', 'G', '1'};
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeConfig(const DeviceConfig &config)
+{
+    std::vector<std::uint8_t> blob;
+    blob.reserve(kConfigBlobSize);
+    blob.insert(blob.end(), kMagic.begin(), kMagic.end());
+
+    for (const auto &record : config) {
+        char name[16] = {};
+        std::strncpy(name, record.name.c_str(), sizeof(name) - 1);
+        blob.insert(blob.end(), name, name + sizeof(name));
+        putFloat(blob, record.vref);
+        putFloat(blob, record.slope);
+        blob.push_back(record.inUse ? 1 : 0);
+    }
+
+    std::uint8_t checksum = 0;
+    for (std::uint8_t b : blob)
+        checksum ^= b;
+    blob.push_back(checksum);
+    return blob;
+}
+
+DeviceConfig
+deserializeConfig(const std::uint8_t *data, std::size_t size)
+{
+    if (size != kConfigBlobSize)
+        throw DeviceError("config blob: wrong size");
+    if (!std::equal(kMagic.begin(), kMagic.end(), data))
+        throw DeviceError("config blob: bad magic");
+
+    std::uint8_t checksum = 0;
+    for (std::size_t i = 0; i + 1 < size; ++i)
+        checksum ^= data[i];
+    if (checksum != data[size - 1])
+        throw DeviceError("config blob: checksum mismatch");
+
+    DeviceConfig config;
+    const std::uint8_t *p = data + kMagic.size();
+    for (auto &record : config) {
+        char name[17] = {};
+        std::memcpy(name, p, 16);
+        record.name = name;
+        record.vref = getFloat(p + 16);
+        record.slope = getFloat(p + 20);
+        record.inUse = p[24] != 0;
+        p += kConfigRecordSize;
+    }
+    return config;
+}
+
+std::string
+firmwareVersion()
+{
+    return "PowerSensor3-sim 1.0.0";
+}
+
+} // namespace ps3::firmware

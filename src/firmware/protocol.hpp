@@ -1,0 +1,171 @@
+/**
+ * @file
+ * PowerSensor3 wire protocol (paper Sec. III-B).
+ *
+ * Device -> host stream format. Each sensor level is sent as a 2-byte
+ * frame carrying 10 data bits and 6 metadata bits:
+ *
+ *   byte0: 1 | sid[2:0] | marker | level[9:7]     (bit 7 set)
+ *   byte1: 0 | level[6:0]                         (bit 7 clear)
+ *
+ * The bit-7 flags let a receiver resynchronise mid-stream: a first
+ * byte always has bit 7 set, a second byte never does.
+ *
+ * A genuine marker bit may only accompany sensor 0. The combination
+ * (marker=1, sid=7) is repurposed for device timestamps: the 10-bit
+ * payload is the device's microsecond counter (mod 1024), captured
+ * halfway through the 6-sample averaging window. One timestamp frame
+ * precedes the sensor frames of every frame set, and the host unwraps
+ * the counter using the nominal 50 us cadence.
+ *
+ * Host -> device commands are single characters, optionally followed
+ * by an argument (see Command).
+ *
+ * Sensor configuration (paper Sec. III-B1) travels as a fixed-size
+ * blob: magic "CFG1", eight 25-byte records (16-byte NUL-padded name,
+ * float32 vref, float32 slope, flags byte), and one XOR checksum.
+ */
+
+#ifndef PS3_FIRMWARE_PROTOCOL_HPP
+#define PS3_FIRMWARE_PROTOCOL_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ps3::firmware {
+
+/** Number of ADC channels: 4 module sockets x (current, voltage). */
+constexpr unsigned kNumChannels = 8;
+
+/** Number of module sockets (sensor pairs). */
+constexpr unsigned kPairCount = 4;
+
+/** Channel parity convention: even = current, odd = voltage. */
+constexpr bool isCurrentChannel(unsigned ch) { return ch % 2 == 0; }
+
+/** Module socket a channel belongs to. */
+constexpr unsigned pairOfChannel(unsigned ch) { return ch / 2; }
+
+/** Sensor id repurposed for timestamp frames (with marker set). */
+constexpr std::uint8_t kTimestampId = 7;
+
+/** Scans averaged by the CPU per transmitted frame set. */
+constexpr unsigned kScansPerFrameSet = 6;
+
+/** Output sample interval: 48 conversions x 25 cycles / 24 MHz. */
+constexpr double kSampleInterval = 50e-6;
+
+/** Output sample rate (Hz). */
+constexpr double kSampleRateHz = 1.0 / kSampleInterval;
+
+/** Modulus of the 10-bit device timestamp counter (microseconds). */
+constexpr unsigned kTimestampModulus = 1024;
+
+/** One decoded 2-byte frame. */
+struct Frame
+{
+    std::uint8_t sensorId = 0;
+    std::uint16_t level = 0;
+    bool marker = false;
+
+    bool
+    isTimestamp() const
+    {
+        return marker && sensorId == kTimestampId;
+    }
+
+    bool operator==(const Frame &) const = default;
+};
+
+/** True if this byte starts a frame (bit 7 set). */
+constexpr bool isFirstByte(std::uint8_t b) { return (b & 0x80) != 0; }
+
+/** Encode a frame into two wire bytes. */
+std::array<std::uint8_t, 2> encodeFrame(const Frame &frame);
+
+/**
+ * Decode two wire bytes into a frame.
+ * @throws InternalError if the byte-role bits are inconsistent.
+ */
+Frame decodeFrame(std::uint8_t byte0, std::uint8_t byte1);
+
+/** Build the timestamp frame for a device time in microseconds. */
+Frame makeTimestampFrame(std::uint64_t device_micros);
+
+/** Host -> device command characters. */
+enum class Command : std::uint8_t
+{
+    StartStream = 'S',
+    StopStream = 'P',
+    ReadConfig = 'R',
+    WriteConfig = 'W',
+    Marker = 'M',
+    Version = 'V',
+    Reboot = 'B',
+    RebootDfu = 'D',
+    /**
+     * Simulator protocol extension: reply with Ack plus the device
+     * clock as 8 little-endian bytes (microseconds). Lets the host
+     * anchor the 10-bit stream timestamps to the absolute device
+     * time axis; on real hardware the host falls back to a zero base.
+     */
+    TimeSync = 'T',
+};
+
+/** Device replies to configuration commands. */
+constexpr std::uint8_t kAck = 'A';
+constexpr std::uint8_t kNack = 'N';
+
+/** Persistent per-channel sensor configuration (virtual EEPROM). */
+struct SensorConfigRecord
+{
+    /** Sensor name; at most 15 characters survive serialisation. */
+    std::string name;
+
+    /**
+     * Zero-level reference voltage at the ADC pin (current channels):
+     * the Hall output at zero current. Unused (0) for voltage
+     * channels.
+     */
+    float vref = 0.0f;
+
+    /**
+     * Conversion slope: volts-at-ADC per ampere for current channels,
+     * volts-at-ADC per volt (chain gain) for voltage channels.
+     */
+    float slope = 1.0f;
+
+    /** Channel enabled: transmitted in the stream and processed. */
+    bool inUse = false;
+
+    bool operator==(const SensorConfigRecord &) const = default;
+};
+
+/** Full device configuration: one record per channel. */
+using DeviceConfig = std::array<SensorConfigRecord, kNumChannels>;
+
+/** Size of one serialised record. */
+constexpr std::size_t kConfigRecordSize = 16 + 4 + 4 + 1;
+
+/** Size of the serialised configuration blob. */
+constexpr std::size_t kConfigBlobSize =
+    4 + kNumChannels * kConfigRecordSize + 1;
+
+/** Serialise a configuration to its wire blob. */
+std::vector<std::uint8_t> serializeConfig(const DeviceConfig &config);
+
+/**
+ * Parse a configuration blob.
+ * @throws DeviceError on bad magic, size, or checksum.
+ */
+DeviceConfig deserializeConfig(const std::uint8_t *data,
+                               std::size_t size);
+
+/** Firmware version string sent in response to Command::Version. */
+std::string firmwareVersion();
+
+} // namespace ps3::firmware
+
+#endif // PS3_FIRMWARE_PROTOCOL_HPP

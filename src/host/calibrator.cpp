@@ -1,0 +1,91 @@
+#include "calibrator.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/errors.hpp"
+#include "common/statistics.hpp"
+
+namespace ps3::host {
+
+Calibrator::Calibrator(PowerSensor &sensor)
+    : sensor_(sensor), working_(sensor.config())
+{
+}
+
+PairCalibration
+Calibrator::calibratePair(unsigned pair, double known_volts,
+                          std::size_t samples)
+{
+    if (pair >= kMaxPairs)
+        throw UsageError("Calibrator: pair index out of range");
+    if (!sensor_.pairPresent(pair))
+        throw UsageError("Calibrator: pair not populated");
+    if (known_volts <= 0.0)
+        throw UsageError("Calibrator: known voltage must be positive");
+
+    // Accumulate the requested number of samples via a listener.
+    RunningStatistics amps_stats;
+    RunningStatistics volts_stats;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+
+    const auto token = sensor_.addSampleListener(
+        [&](const Sample &sample) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (done || !sample.present[pair])
+                return;
+            amps_stats.add(sample.current[pair]);
+            volts_stats.add(sample.voltage[pair]);
+            if (amps_stats.count() >= samples) {
+                done = true;
+                cv.notify_all();
+            }
+        });
+
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return done || sensor_.deviceGone(); });
+    }
+    sensor_.removeSampleListener(token);
+    if (!done)
+        throw DeviceError("Calibrator: device disappeared");
+
+    const unsigned ch_i = pair * 2;
+    const unsigned ch_v = pair * 2 + 1;
+    auto &cfg_i = working_[ch_i];
+    auto &cfg_v = working_[ch_v];
+
+    PairCalibration result;
+    result.offsetAmpsBefore = amps_stats.mean();
+    result.voltageGainErrorBefore =
+        volts_stats.mean() / known_volts - 1.0;
+
+    // Fold the measured zero offset into the stored reference: the
+    // ADC voltage at zero current is vref + slope * offset.
+    result.newVref = static_cast<float>(
+        cfg_i.vref + cfg_i.slope * amps_stats.mean());
+
+    // Correct the voltage-chain gain so the known voltage reads true.
+    result.newVoltageGain = static_cast<float>(
+        cfg_v.slope * (volts_stats.mean() / known_volts));
+
+    cfg_i.vref = result.newVref;
+    cfg_v.slope = result.newVoltageGain;
+    return result;
+}
+
+void
+Calibrator::apply()
+{
+    sensor_.writeConfig(working_);
+}
+
+const firmware::DeviceConfig &
+Calibrator::workingConfig() const
+{
+    return working_;
+}
+
+} // namespace ps3::host

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * One-time sensor calibration (paper Sec. III-D).
+ *
+ * Procedure, as in the paper: with the sensor module unloaded (no
+ * current flowing) and fed by a known supply voltage, take 128 k
+ * samples and average. The mean current reading is the Hall sensor's
+ * zero-offset error and becomes the stored reference voltage; the
+ * ratio of measured to known voltage corrects the voltage-chain gain.
+ * The corrections are written into the device EEPROM, so calibration
+ * is needed only once at production.
+ */
+
+#ifndef PS3_HOST_CALIBRATOR_HPP
+#define PS3_HOST_CALIBRATOR_HPP
+
+#include <cstddef>
+
+#include "host/power_sensor.hpp"
+
+namespace ps3::host {
+
+/** Outcome of calibrating one sensor pair. */
+struct PairCalibration
+{
+    /** Mean current reading while unloaded, before correction (A). */
+    double offsetAmpsBefore = 0.0;
+    /** Relative voltage gain error before correction. */
+    double voltageGainErrorBefore = 0.0;
+    /** New reference voltage stored for the current channel (V). */
+    float newVref = 0.0f;
+    /** New gain stored for the voltage channel (V/V). */
+    float newVoltageGain = 0.0f;
+};
+
+/** Number of samples the paper's procedure averages. */
+constexpr std::size_t kCalibrationSamples = 128 * 1024;
+
+/**
+ * Guided calibration against a connected, unloaded sensor.
+ *
+ * Usage: construct, call calibratePair() for each populated socket
+ * (with the supply's known voltage), then apply() to persist the
+ * corrections to the device.
+ */
+class Calibrator
+{
+  public:
+    /** @param sensor Connected sensor; must outlive the calibrator. */
+    explicit Calibrator(PowerSensor &sensor);
+
+    /**
+     * Measure and compute corrections for one pair.
+     *
+     * Preconditions: the module is unloaded (zero current) and its
+     * rail sits at known_volts.
+     *
+     * @param pair Module socket index.
+     * @param known_volts Reference voltage of the supply.
+     * @param samples Number of samples to average.
+     */
+    PairCalibration calibratePair(
+        unsigned pair, double known_volts,
+        std::size_t samples = kCalibrationSamples);
+
+    /** Write all accumulated corrections to the device EEPROM. */
+    void apply();
+
+    /** The working configuration (corrections applied so far). */
+    const firmware::DeviceConfig &workingConfig() const;
+
+  private:
+    PowerSensor &sensor_;
+    firmware::DeviceConfig working_;
+};
+
+} // namespace ps3::host
+
+#endif // PS3_HOST_CALIBRATOR_HPP

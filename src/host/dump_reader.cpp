@@ -1,0 +1,107 @@
+#include "dump_reader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace ps3::host {
+
+DumpFile
+DumpFile::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw UsageError("DumpFile: cannot open " + path);
+
+    DumpFile file;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            file.header_.push_back(line);
+            std::istringstream header(line.substr(1));
+            std::string key;
+            header >> key;
+            if (key == "sample_rate_hz")
+                header >> file.sampleRate_;
+            continue;
+        }
+        std::istringstream fields(line);
+        char kind = '\0';
+        fields >> kind;
+        if (kind == 'M') {
+            DumpMarker marker;
+            fields >> marker.marker >> marker.time;
+            if (!fields) {
+                throw UsageError("DumpFile: bad marker line "
+                                 + std::to_string(line_no));
+            }
+            file.markers_.push_back(marker);
+            continue;
+        }
+        if (kind != 'S') {
+            throw UsageError("DumpFile: unknown record on line "
+                             + std::to_string(line_no));
+        }
+        DumpSample sample;
+        fields >> sample.time;
+        // Remaining numbers: (V I P) triples followed by the total.
+        std::vector<double> values;
+        double value;
+        while (fields >> value)
+            values.push_back(value);
+        if (values.empty() || values.size() % 3 != 1) {
+            throw UsageError("DumpFile: bad sample line "
+                             + std::to_string(line_no));
+        }
+        sample.totalPower = values.back();
+        for (std::size_t i = 0; i + 1 < values.size(); i += 3) {
+            sample.voltage.push_back(values[i]);
+            sample.current.push_back(values[i + 1]);
+            sample.power.push_back(values[i + 2]);
+        }
+        file.samples_.push_back(std::move(sample));
+    }
+    return file;
+}
+
+double
+DumpFile::energy(double from, double to) const
+{
+    if (samples_.size() < 2 || to <= from)
+        return 0.0;
+    double joules = 0.0;
+    for (std::size_t i = 1; i < samples_.size(); ++i) {
+        const auto &prev = samples_[i - 1];
+        const auto &curr = samples_[i];
+        if (curr.time <= from || prev.time >= to)
+            continue;
+        const double dt = curr.time - prev.time;
+        joules += curr.totalPower * dt;
+    }
+    return joules;
+}
+
+double
+DumpFile::energyBetweenMarkers(char begin, char end) const
+{
+    double t_begin = -1.0;
+    double t_end = -1.0;
+    for (const auto &marker : markers_) {
+        if (marker.marker == begin && t_begin < 0.0)
+            t_begin = marker.time;
+        else if (marker.marker == end && t_end < 0.0 && t_begin >= 0.0)
+            t_end = marker.time;
+    }
+    if (t_begin < 0.0 || t_end < 0.0) {
+        throw UsageError(
+            "DumpFile: marker pair not found in order");
+    }
+    return energy(t_begin, t_end);
+}
+
+} // namespace ps3::host

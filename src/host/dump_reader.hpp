@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reader for PowerSensor3 continuous-mode dump files.
+ *
+ * The dump format (written by PowerSensor::dump(), paper Sec. III-C)
+ * is line oriented:
+ *
+ *   # comment / header lines
+ *   S <time_s> { <V> <I> <P> per present pair } <total_W>
+ *   M <char> <time_s>
+ *
+ * The reader parses a file back into sample and marker records, so
+ * post-processing tools (and round-trip tests) can work on recorded
+ * traces without re-running the measurement. Marker timestamps are
+ * matched to the sample stream, supporting the paper's use case of
+ * correlating application phases with the 20 kHz power profile.
+ */
+
+#ifndef PS3_HOST_DUMP_READER_HPP
+#define PS3_HOST_DUMP_READER_HPP
+
+#include <string>
+#include <vector>
+
+namespace ps3::host {
+
+/** One parsed sample line. */
+struct DumpSample
+{
+    double time = 0.0;
+    /** Per-pair (voltage, current, power), in file order. */
+    std::vector<double> voltage;
+    std::vector<double> current;
+    std::vector<double> power;
+    double totalPower = 0.0;
+};
+
+/** One parsed marker line. */
+struct DumpMarker
+{
+    char marker = '\0';
+    double time = 0.0;
+};
+
+/** Contents of one dump file. */
+class DumpFile
+{
+  public:
+    /**
+     * Parse a dump file.
+     * @throws UsageError if the file cannot be opened or a data line
+     *         is malformed.
+     */
+    static DumpFile load(const std::string &path);
+
+    const std::vector<DumpSample> &samples() const { return samples_; }
+    const std::vector<DumpMarker> &markers() const { return markers_; }
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** Sample rate derived from the header (0 if absent). */
+    double sampleRateHz() const { return sampleRate_; }
+
+    /**
+     * Total energy over a time window, integrating total power at
+     * the recorded cadence (J).
+     */
+    double energy(double from, double to) const;
+
+    /**
+     * Energy between two markers (first occurrence of each), the
+     * paper's marker-based kernel attribution.
+     * @throws UsageError if a marker is missing or out of order.
+     */
+    double energyBetweenMarkers(char begin, char end) const;
+
+  private:
+    std::vector<DumpSample> samples_;
+    std::vector<DumpMarker> markers_;
+    std::vector<std::string> header_;
+    double sampleRate_ = 0.0;
+};
+
+} // namespace ps3::host
+
+#endif // PS3_HOST_DUMP_READER_HPP

@@ -1,0 +1,487 @@
+#include "power_sensor.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "analog/sensor_models.hpp"
+#include "common/errors.hpp"
+#include "common/logging.hpp"
+#include "transport/posix_serial_port.hpp"
+
+namespace ps3::host {
+
+using firmware::Command;
+
+namespace {
+
+/** Reader poll timeout; short so shutdown is prompt. */
+constexpr double kReadTimeout = 0.05;
+
+/** Control-exchange timeout (generous for real hardware). */
+constexpr double kControlTimeout = 1.0;
+
+std::vector<std::uint8_t>
+commandByte(Command c)
+{
+    return {static_cast<std::uint8_t>(c)};
+}
+
+} // namespace
+
+PowerSensor::PowerSensor(const std::string &device_path)
+    : PowerSensor(std::make_unique<transport::PosixSerialPort>(
+          device_path))
+{
+}
+
+PowerSensor::PowerSensor(std::unique_ptr<transport::CharDevice> device)
+    : ownedDevice_(std::move(device)),
+      device_(ownedDevice_.get()),
+      parser_([this](const FrameSet &set) { onFrameSet(set); })
+{
+    if (!device_)
+        throw UsageError("PowerSensor: null device");
+    connectHandshake();
+    startReader();
+}
+
+PowerSensor::PowerSensor(transport::CharDevice &device)
+    : device_(&device),
+      parser_([this](const FrameSet &set) { onFrameSet(set); })
+{
+    connectHandshake();
+    startReader();
+}
+
+PowerSensor::~PowerSensor()
+{
+    stopRequested_.store(true, std::memory_order_release);
+    if (readerThread_.joinable())
+        readerThread_.join();
+    try {
+        if (!device_->closed())
+            sendBytes(commandByte(Command::StopStream));
+    } catch (...) {
+        // Best effort: the device may already be gone.
+    }
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    if (dumpFile_.is_open())
+        dumpFile_.close();
+}
+
+void
+PowerSensor::sendBytes(const std::vector<std::uint8_t> &bytes)
+{
+    device_->write(bytes);
+}
+
+std::vector<std::uint8_t>
+PowerSensor::readControl(std::size_t n, double timeout_seconds)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(n);
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_seconds));
+    std::uint8_t buffer[256];
+    while (out.size() < n) {
+        if (std::chrono::steady_clock::now() > deadline) {
+            throw DeviceError(
+                "PowerSensor: control response timed out");
+        }
+        const std::size_t want =
+            std::min(n - out.size(), sizeof(buffer));
+        const std::size_t got = device_->read(buffer, want, 0.05);
+        out.insert(out.end(), buffer, buffer + got);
+        if (got == 0 && device_->closed())
+            throw DeviceError("PowerSensor: device disappeared");
+    }
+    return out;
+}
+
+void
+PowerSensor::connectHandshake()
+{
+    std::lock_guard<std::mutex> lock(controlMutex_);
+
+    // The device may still be streaming from a previous session:
+    // stop it and discard stale bytes.
+    sendBytes(commandByte(Command::StopStream));
+    std::uint8_t scratch[1024];
+    while (device_->read(scratch, sizeof(scratch), 0.02) != 0) {
+        // discard
+    }
+
+    // Read the sensor configuration. A noisy link can corrupt the
+    // blob (checksum failure); retry a few times before giving up.
+    constexpr int kConfigRetries = 5;
+    for (int attempt = 1;; ++attempt) {
+        try {
+            sendBytes(commandByte(Command::ReadConfig));
+            const auto status = readControl(1, kControlTimeout);
+            if (status[0] != firmware::kAck)
+                throw DeviceError("PowerSensor: config read rejected");
+            const auto blob = readControl(firmware::kConfigBlobSize,
+                                          kControlTimeout);
+            config_ =
+                firmware::deserializeConfig(blob.data(), blob.size());
+            break;
+        } catch (const DeviceError &) {
+            if (attempt >= kConfigRetries)
+                throw;
+            // Drain any residual bytes before retrying.
+            while (device_->read(scratch, sizeof(scratch), 0.02) != 0) {
+            }
+        }
+    }
+
+    // Anchor the device time axis (simulator extension; a real
+    // device NACKs and the host keeps a zero base).
+    sendBytes(commandByte(Command::TimeSync));
+    const auto status = readControl(1, kControlTimeout);
+    if (status[0] == firmware::kAck) {
+        const auto raw = readControl(8, kControlTimeout);
+        std::uint64_t micros = 0;
+        for (int i = 7; i >= 0; --i)
+            micros = (micros << 8) | raw[static_cast<std::size_t>(i)];
+        parser_.setBaseMicros(micros);
+    }
+
+    sendBytes(commandByte(Command::StartStream));
+}
+
+void
+PowerSensor::startReader()
+{
+    readerThread_ = std::thread([this] { readerLoop(); });
+}
+
+void
+PowerSensor::readerLoop()
+{
+    std::uint8_t buffer[16384];
+    while (!stopRequested_.load(std::memory_order_acquire)) {
+        std::size_t got = 0;
+        {
+            std::lock_guard<std::mutex> lock(controlMutex_);
+            got = device_->read(buffer, sizeof(buffer), kReadTimeout);
+            if (got > 0)
+                parser_.feed(buffer, got);
+        }
+        if (got == 0) {
+            if (device_->closed()) {
+                std::lock_guard<std::mutex> lock(stateMutex_);
+                deviceGone_ = true;
+                stateCv_.notify_all();
+                return;
+            }
+            // Timed out: yield briefly so control operations can
+            // grab the mutex.
+            std::this_thread::yield();
+        }
+    }
+}
+
+void
+PowerSensor::onFrameSet(const FrameSet &set)
+{
+    Sample sample;
+    sample.time = set.deviceTime;
+
+    {
+        std::lock_guard<std::mutex> lock(configMutex_);
+        for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+            const unsigned ch_i = pair * 2;
+            const unsigned ch_v = pair * 2 + 1;
+            const auto &cfg_i = config_[ch_i];
+            const auto &cfg_v = config_[ch_v];
+            if (!cfg_i.inUse || !cfg_v.inUse || !set.valid[ch_i]
+                || !set.valid[ch_v]) {
+                continue;
+            }
+            const double adc_i =
+                analog::AdcModel::toVolts(set.level[ch_i]);
+            const double adc_v =
+                analog::AdcModel::toVolts(set.level[ch_v]);
+            sample.current[pair] = (adc_i - cfg_i.vref) / cfg_i.slope;
+            sample.voltage[pair] = adc_v / cfg_v.slope;
+            sample.present[pair] = true;
+        }
+    }
+
+    if (set.marker) {
+        sample.marker = true;
+        std::lock_guard<std::mutex> lock(markerMutex_);
+        if (!markerQueue_.empty()) {
+            sample.markerChar = markerQueue_.front();
+            markerQueue_.pop_front();
+        } else {
+            sample.markerChar = '?';
+        }
+    }
+
+    // Fan out to dump file and listeners BEFORE publishing the
+    // updated state: waitForSamples()/waitUntil() must only wake
+    // their callers once every counted sample has been delivered,
+    // otherwise a caller could unregister its listener while the
+    // final sample is still in flight.
+    {
+        std::lock_guard<std::mutex> lock(dumpMutex_);
+        if (dumpFile_.is_open())
+            writeDumpSample(sample);
+    }
+    {
+        std::lock_guard<std::mutex> lock(listenerMutex_);
+        for (auto &[token, callback] : listeners_)
+            callback(sample);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        const double dt = haveLastSampleTime_
+                              ? sample.time - lastSampleTime_
+                              : 0.0;
+        haveLastSampleTime_ = true;
+        lastSampleTime_ = sample.time;
+
+        state_.timeAtRead = sample.time;
+        ++state_.sampleCount;
+        for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+            state_.present[pair] = sample.present[pair];
+            if (!sample.present[pair])
+                continue;
+            state_.current[pair] = sample.current[pair];
+            state_.voltage[pair] = sample.voltage[pair];
+            if (dt > 0.0) {
+                state_.consumedEnergy[pair] +=
+                    sample.current[pair] * sample.voltage[pair] * dt;
+            }
+        }
+    }
+    stateCv_.notify_all();
+}
+
+State
+PowerSensor::read() const
+{
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    return state_;
+}
+
+void
+PowerSensor::mark(char marker)
+{
+    {
+        std::lock_guard<std::mutex> lock(markerMutex_);
+        markerQueue_.push_back(marker);
+    }
+    sendBytes({static_cast<std::uint8_t>(Command::Marker),
+               static_cast<std::uint8_t>(marker)});
+}
+
+void
+PowerSensor::dump(const std::string &filename)
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    if (dumpFile_.is_open())
+        dumpFile_.close();
+    if (filename.empty())
+        return;
+    dumpFile_.open(filename, std::ios::trunc);
+    if (!dumpFile_)
+        throw UsageError("PowerSensor: cannot open dump file "
+                         + filename);
+    writeDumpHeader();
+}
+
+bool
+PowerSensor::dumping() const
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    return dumpFile_.is_open();
+}
+
+void
+PowerSensor::writeDumpHeader()
+{
+    dumpFile_ << "# PowerSensor3 continuous dump\n";
+    dumpFile_ << "# sample_rate_hz " << firmware::kSampleRateHz << '\n';
+    dumpFile_ << "# columns: S time_s";
+    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+        if (config_[pair * 2].inUse) {
+            dumpFile_ << " V" << pair << " I" << pair << " P" << pair;
+        }
+    }
+    dumpFile_ << " total_W\n";
+    dumpFile_ << "# markers: M char time_s\n";
+}
+
+void
+PowerSensor::writeDumpSample(const Sample &sample)
+{
+    if (sample.marker) {
+        char line[64];
+        std::snprintf(line, sizeof(line), "M %c %.6f\n",
+                      sample.markerChar, sample.time);
+        dumpFile_ << line;
+    }
+    char buffer[320];
+    int n = std::snprintf(buffer, sizeof(buffer), "S %.6f",
+                          sample.time);
+    double total = 0.0;
+    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+        if (!sample.present[pair])
+            continue;
+        const double p = sample.current[pair] * sample.voltage[pair];
+        total += p;
+        n += std::snprintf(buffer + n,
+                           sizeof(buffer) - static_cast<size_t>(n),
+                           " %.4f %.4f %.4f", sample.voltage[pair],
+                           sample.current[pair], p);
+    }
+    std::snprintf(buffer + n, sizeof(buffer) - static_cast<size_t>(n),
+                  " %.4f\n", total);
+    dumpFile_ << buffer;
+}
+
+firmware::DeviceConfig
+PowerSensor::config() const
+{
+    std::lock_guard<std::mutex> lock(configMutex_);
+    return config_;
+}
+
+void
+PowerSensor::writeConfig(const firmware::DeviceConfig &config)
+{
+    std::lock_guard<std::mutex> lock(controlMutex_);
+    sendBytes(commandByte(Command::StopStream));
+    // Drain residual stream bytes through the parser so no energy is
+    // silently lost.
+    std::uint8_t scratch[4096];
+    std::size_t got;
+    while ((got = device_->read(scratch, sizeof(scratch), 0.02)) != 0)
+        parser_.feed(scratch, got);
+    parser_.flush();
+
+    std::vector<std::uint8_t> message =
+        commandByte(Command::WriteConfig);
+    const auto blob = firmware::serializeConfig(config);
+    message.insert(message.end(), blob.begin(), blob.end());
+    sendBytes(message);
+    const auto status = readControl(1, kControlTimeout);
+    if (status[0] != firmware::kAck)
+        throw DeviceError("PowerSensor: config write rejected");
+    {
+        std::lock_guard<std::mutex> cfg_lock(configMutex_);
+        config_ = config;
+    }
+    sendBytes(commandByte(Command::StartStream));
+}
+
+std::string
+PowerSensor::firmwareVersion()
+{
+    std::lock_guard<std::mutex> lock(controlMutex_);
+    sendBytes(commandByte(Command::StopStream));
+    std::uint8_t scratch[4096];
+    std::size_t got;
+    while ((got = device_->read(scratch, sizeof(scratch), 0.02)) != 0)
+        parser_.feed(scratch, got);
+    parser_.flush();
+
+    sendBytes(commandByte(Command::Version));
+    const auto status = readControl(1, kControlTimeout);
+    if (status[0] != firmware::kAck)
+        throw DeviceError("PowerSensor: version query rejected");
+    const auto len = readControl(1, kControlTimeout);
+    const auto text = readControl(len[0], kControlTimeout);
+    sendBytes(commandByte(Command::StartStream));
+    return std::string(text.begin(), text.end());
+}
+
+unsigned
+PowerSensor::activePairs() const
+{
+    unsigned count = 0;
+    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+        if (pairPresent(pair))
+            ++count;
+    }
+    return count;
+}
+
+bool
+PowerSensor::pairPresent(unsigned pair) const
+{
+    if (pair >= kMaxPairs)
+        throw UsageError("PowerSensor: pair index out of range");
+    std::lock_guard<std::mutex> lock(configMutex_);
+    return config_[pair * 2].inUse && config_[pair * 2 + 1].inUse;
+}
+
+std::string
+PowerSensor::pairName(unsigned pair) const
+{
+    if (pair >= kMaxPairs)
+        throw UsageError("PowerSensor: pair index out of range");
+    std::lock_guard<std::mutex> lock(configMutex_);
+    return config_[pair * 2].name;
+}
+
+bool
+PowerSensor::waitUntil(double device_time) const
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    stateCv_.wait(lock, [&] {
+        return state_.timeAtRead >= device_time || deviceGone_;
+    });
+    return state_.timeAtRead >= device_time;
+}
+
+bool
+PowerSensor::waitForSamples(std::uint64_t n) const
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    const std::uint64_t target = state_.sampleCount + n;
+    stateCv_.wait(lock, [&] {
+        return state_.sampleCount >= target || deviceGone_;
+    });
+    return state_.sampleCount >= target;
+}
+
+std::uint64_t
+PowerSensor::addSampleListener(SampleCallback callback)
+{
+    if (!callback)
+        throw UsageError("PowerSensor: null sample listener");
+    std::lock_guard<std::mutex> lock(listenerMutex_);
+    const std::uint64_t token = nextListenerToken_++;
+    listeners_.emplace(token, std::move(callback));
+    return token;
+}
+
+void
+PowerSensor::removeSampleListener(std::uint64_t token)
+{
+    std::lock_guard<std::mutex> lock(listenerMutex_);
+    listeners_.erase(token);
+}
+
+std::uint64_t
+PowerSensor::resyncByteCount() const
+{
+    // The parser is only touched by the reader thread; reading the
+    // counter concurrently is benign (monotonic, word-sized).
+    return parser_.resyncByteCount();
+}
+
+bool
+PowerSensor::deviceGone() const
+{
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    return deviceGone_;
+}
+
+} // namespace ps3::host

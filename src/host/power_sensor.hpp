@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The PowerSensor3 host library's main class (paper Sec. III-C).
+ *
+ * A PowerSensor connects to the device (real serial node or emulated
+ * link), reads the sensor configuration, starts streaming, and runs a
+ * lightweight reader thread that:
+ *
+ *  - converts each 20 kHz frame set to calibrated volts/amps,
+ *  - integrates cumulative energy per sensor pair,
+ *  - appends to the continuous-mode dump file when enabled,
+ *  - resolves marker flags against the queued marker characters,
+ *  - fans samples out to registered listeners.
+ *
+ * Both measurement modes of the paper are supported simultaneously:
+ * interval-based (read() two States, derive Joules/Watts/seconds) and
+ * continuous (dump() to file at full 20 kHz resolution with markers).
+ */
+
+#ifndef PS3_HOST_POWER_SENSOR_HPP
+#define PS3_HOST_POWER_SENSOR_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "firmware/protocol.hpp"
+#include "host/state.hpp"
+#include "host/stream_parser.hpp"
+#include "transport/char_device.hpp"
+
+namespace ps3::host {
+
+/** Callback receiving every processed sample. */
+using SampleCallback = std::function<void(const Sample &)>;
+
+/** Host-side connection to one PowerSensor3 device. */
+class PowerSensor
+{
+  public:
+    /**
+     * Connect via a serial device node (real hardware).
+     * @param device_path e.g. "/dev/ttyACM0".
+     */
+    explicit PowerSensor(const std::string &device_path);
+
+    /** Connect via an injected transport (simulation, tests). */
+    explicit PowerSensor(std::unique_ptr<transport::CharDevice> device);
+
+    /** Non-owning variant: the device must outlive the sensor. */
+    explicit PowerSensor(transport::CharDevice &device);
+
+    /** Stops streaming and joins the reader thread. */
+    ~PowerSensor();
+
+    PowerSensor(const PowerSensor &) = delete;
+    PowerSensor &operator=(const PowerSensor &) = delete;
+
+    /** Snapshot the current measurement state (thread safe). */
+    State read() const;
+
+    /**
+     * Queue a marker. The device flags the next frame set; the flag
+     * is resolved back to this character in the dump file and the
+     * sample stream.
+     */
+    void mark(char marker);
+
+    /**
+     * Continuous mode: stream all samples to a file at 20 kHz.
+     * @param filename Output path; empty string stops dumping.
+     */
+    void dump(const std::string &filename);
+
+    /** True while a dump file is open. */
+    bool dumping() const;
+
+    /** Device configuration as read at connect (or last write). */
+    firmware::DeviceConfig config() const;
+
+    /**
+     * Write a new device configuration (stored in device EEPROM).
+     * Streaming is paused and resumed around the transfer.
+     */
+    void writeConfig(const firmware::DeviceConfig &config);
+
+    /** Query the firmware version string (pauses streaming). */
+    std::string firmwareVersion();
+
+    /** Number of pairs with at least one enabled channel. */
+    unsigned activePairs() const;
+
+    /** True if the given pair has both channels enabled. */
+    bool pairPresent(unsigned pair) const;
+
+    /** Sensor name of a pair (from the current-channel record). */
+    std::string pairName(unsigned pair) const;
+
+    /**
+     * Block until device time reaches the given value (virtual-time
+     * experiments) or the device disappears.
+     * @return false if the device closed before reaching t.
+     */
+    bool waitUntil(double device_time) const;
+
+    /**
+     * Block until at least n additional frame sets have been
+     * processed.
+     * @return false if the device closed first.
+     */
+    bool waitForSamples(std::uint64_t n) const;
+
+    /** Register a per-sample listener; returns a token. */
+    std::uint64_t addSampleListener(SampleCallback callback);
+
+    /** Remove a listener by token. */
+    void removeSampleListener(std::uint64_t token);
+
+    /** Bytes skipped by the parser during resynchronisation. */
+    std::uint64_t resyncByteCount() const;
+
+    /** True once the device vanished (read path saw end-of-stream). */
+    bool deviceGone() const;
+
+  private:
+    std::unique_ptr<transport::CharDevice> ownedDevice_;
+    transport::CharDevice *device_;
+
+    mutable std::mutex stateMutex_;
+    mutable std::condition_variable stateCv_;
+    State state_;
+    bool deviceGone_ = false;
+
+    mutable std::mutex configMutex_;
+    firmware::DeviceConfig config_{};
+
+    std::mutex markerMutex_;
+    std::deque<char> markerQueue_;
+
+    std::mutex listenerMutex_;
+    std::map<std::uint64_t, SampleCallback> listeners_;
+    std::uint64_t nextListenerToken_ = 1;
+
+    mutable std::mutex dumpMutex_;
+    std::ofstream dumpFile_;
+
+    StreamParser parser_;
+    std::thread readerThread_;
+    std::atomic<bool> stopRequested_{false};
+
+    /** Control-channel coordination: pause the reader for commands. */
+    std::mutex controlMutex_;
+
+    bool haveLastSampleTime_ = false;
+    double lastSampleTime_ = 0.0;
+
+    void connectHandshake();
+    void startReader();
+    void readerLoop();
+    void onFrameSet(const FrameSet &set);
+    void writeDumpHeader();
+    void writeDumpSample(const Sample &sample);
+
+    /** Read exactly n control bytes (streaming must be paused). */
+    std::vector<std::uint8_t> readControl(std::size_t n,
+                                          double timeout_seconds);
+
+    /** Send one command byte (plus payload) on the control path. */
+    void sendBytes(const std::vector<std::uint8_t> &bytes);
+};
+
+} // namespace ps3::host
+
+#endif // PS3_HOST_POWER_SENSOR_HPP

@@ -1,0 +1,171 @@
+#include "sim_setup.hpp"
+
+#include "analog/sensor_module_spec.hpp"
+
+namespace ps3::host::rigs {
+
+using firmware::Firmware;
+using firmware::ManufacturingSpread;
+
+namespace {
+
+ManufacturingSpread
+spreadFor(const RigOptions &options, unsigned pair)
+{
+    if (!options.manufacturingSpread)
+        return ManufacturingSpread::none();
+    return ManufacturingSpread::typical(options.seed * 101 + pair);
+}
+
+SimulatedRig
+makeRig(const RigOptions &options)
+{
+    SimulatedRig rig;
+    rig.firmware = std::make_unique<Firmware>(options.eepromPath);
+    rig.port = std::make_unique<transport::EmulatedSerialPort>(
+        *rig.firmware);
+    return rig;
+}
+
+} // namespace
+
+void
+writeFactoryCalibration(Firmware &fw, unsigned pair,
+                        const analog::SensorModuleSpec &spec,
+                        const ManufacturingSpread &s)
+{
+    // Current channel: the ADC voltage at zero current is
+    //   vref_nominal + sensitivity * offset * (1 + gain_error),
+    // which is exactly what the averaging procedure measures. The
+    // slope stays at the datasheet sensitivity (the paper does not
+    // calibrate the Hall gain).
+    auto current = fw.eeprom().loadChannel(pair * 2);
+    current.vref = static_cast<float>(
+        spec.currentOffsetVoltage()
+        + spec.currentSensitivity() * s.currentOffsetAmps
+              * (1.0 + s.currentGainError));
+    fw.eeprom().storeChannel(pair * 2, current);
+
+    // Voltage channel: gain corrected to make the reference voltage
+    // read true.
+    auto voltage = fw.eeprom().loadChannel(pair * 2 + 1);
+    voltage.slope = static_cast<float>(
+        spec.voltageGain() * (1.0 + s.voltageGainError));
+    fw.eeprom().storeChannel(pair * 2 + 1, voltage);
+    fw.refreshConfigFromEeprom();
+}
+
+SimulatedRig
+labBench(const analog::SensorModuleSpec &module, double supply_volts,
+         double load_amps, const RigOptions &options)
+{
+    SimulatedRig rig = makeRig(options);
+
+    rig.load = std::make_shared<dut::ElectronicLoad>(load_amps,
+                                                     supply_volts);
+    rig.dut = rig.load;
+    rig.supply = std::make_shared<dut::SupplyModel>(supply_volts);
+
+    const auto spread = spreadFor(options, 0);
+    rig.firmware->attachModule(
+        0, firmware::makeModule(module, rig.dut, 0, rig.supply,
+                                options.seed, spread));
+    if (options.factoryCalibrated)
+        writeFactoryCalibration(*rig.firmware, 0, module, spread);
+    return rig;
+}
+
+SimulatedRig
+gpuRig(const dut::GpuSpec &gpu_spec, const RigOptions &options)
+{
+    SimulatedRig rig = makeRig(options);
+
+    rig.gpu = std::make_shared<dut::GpuDutModel>(
+        gpu_spec, dut::TraceDut::pcieThreeRail());
+    rig.dut = rig.gpu;
+
+    // Rail 0: 3.3 V slot; rail 1: 12 V slot; rail 2: 12 V external.
+    const struct
+    {
+        analog::SensorModuleSpec module;
+        double volts;
+    } sockets[3] = {
+        {analog::modules::slot3V3_10A(), 3.3},
+        {analog::modules::slot12V10A(), 12.0},
+        {analog::modules::pcie8pin20A(), 12.0},
+    };
+
+    for (unsigned pair = 0; pair < 3; ++pair) {
+        auto supply =
+            std::make_shared<dut::SupplyModel>(sockets[pair].volts);
+        if (pair == 1)
+            rig.supply = supply;
+        const auto spread = spreadFor(options, pair);
+        rig.firmware->attachModule(
+            pair,
+            firmware::makeModule(sockets[pair].module, rig.dut, pair,
+                                 supply, options.seed + pair, spread));
+        if (options.factoryCalibrated) {
+            writeFactoryCalibration(*rig.firmware, pair,
+                                    sockets[pair].module, spread);
+        }
+    }
+    return rig;
+}
+
+SimulatedRig
+socRig(const dut::GpuSpec &module_spec, double carrier_board_watts,
+       const RigOptions &options)
+{
+    SimulatedRig rig = makeRig(options);
+
+    rig.soc = std::make_shared<dut::SocDutModel>(module_spec,
+                                                 carrier_board_watts);
+    rig.dut = rig.soc;
+    rig.supply = std::make_shared<dut::SupplyModel>(20.0);
+
+    const auto module = analog::modules::usbC();
+    const auto spread = spreadFor(options, 0);
+    rig.firmware->attachModule(
+        0, firmware::makeModule(module, rig.dut, 0, rig.supply,
+                                options.seed, spread));
+    if (options.factoryCalibrated)
+        writeFactoryCalibration(*rig.firmware, 0, module, spread);
+    return rig;
+}
+
+SimulatedRig
+traceRig(std::vector<dut::TracePoint> trace,
+         std::vector<dut::TraceDut::RailSplit> rails,
+         const RigOptions &options)
+{
+    SimulatedRig rig = makeRig(options);
+
+    auto trace_dut = std::make_shared<dut::TraceDut>(std::move(trace),
+                                                     rails);
+    rig.dut = trace_dut;
+
+    for (unsigned rail = 0; rail < trace_dut->railCount()
+                            && rail < firmware::kPairCount;
+         ++rail) {
+        const double volts = rails[rail].nominalVolts;
+        auto supply = std::make_shared<dut::SupplyModel>(volts);
+        if (rail == 0)
+            rig.supply = supply;
+        // Pick a module type matching the rail voltage.
+        analog::SensorModuleSpec module =
+            volts < 5.0 ? analog::modules::slot3V3_10A()
+                        : analog::modules::slot12V10A();
+        const auto spread = spreadFor(options, rail);
+        rig.firmware->attachModule(
+            rail, firmware::makeModule(module, rig.dut, rail, supply,
+                                       options.seed + rail, spread));
+        if (options.factoryCalibrated) {
+            writeFactoryCalibration(*rig.firmware, rail, module,
+                                    spread);
+        }
+    }
+    return rig;
+}
+
+} // namespace ps3::host::rigs

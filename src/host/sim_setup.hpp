@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Canonical simulated measurement rigs.
+ *
+ * A SimulatedRig bundles a Firmware instance, the emulated serial
+ * link, and handles to the DUT models, replicating the physical
+ * setups of the paper:
+ *
+ *  - labBench(): the Fig. 3 evaluation bench — lab supply, electronic
+ *    load, one sensor module (accuracy, averaging, step-response and
+ *    stability experiments);
+ *  - gpuRig(): the Fig. 6 node — a GPU measured via a modified riser
+ *    (3.3 V slot + 12 V slot modules) plus a PCIe 8-pin module;
+ *  - socRig(): the Fig. 9 Jetson setup — USB-C module in front of an
+ *    SoC development kit;
+ *  - traceRig(): replay of a precomputed power trace (SSD workloads).
+ *
+ * Tools, examples, tests and benches all build on these factories so
+ * the simulated hardware is configured in exactly one place.
+ */
+
+#ifndef PS3_HOST_SIM_SETUP_HPP
+#define PS3_HOST_SIM_SETUP_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dut/gpu_model.hpp"
+#include "dut/loads.hpp"
+#include "firmware/firmware.hpp"
+#include "host/power_sensor.hpp"
+#include "transport/emulated_serial_port.hpp"
+
+namespace ps3::host {
+
+/** A complete emulated device plus its environment. */
+struct SimulatedRig
+{
+    std::unique_ptr<firmware::Firmware> firmware;
+    std::unique_ptr<transport::EmulatedSerialPort> port;
+
+    /** Populated by the factory that applies. */
+    std::shared_ptr<dut::ElectronicLoad> load;
+    std::shared_ptr<dut::GpuDutModel> gpu;
+    std::shared_ptr<dut::SocDutModel> soc;
+    std::shared_ptr<dut::Dut> dut;
+    std::shared_ptr<dut::SupplyModel> supply;
+
+    /** Connect a host-library instance to this rig. */
+    std::unique_ptr<PowerSensor>
+    connect()
+    {
+        return std::make_unique<PowerSensor>(*port);
+    }
+};
+
+namespace rigs {
+
+/** Options common to all rig factories. */
+struct RigOptions
+{
+    /** Master seed; vary to get independent noise realisations. */
+    std::uint64_t seed = 1;
+    /** Inject part-to-part manufacturing spread. */
+    bool manufacturingSpread = true;
+    /**
+     * Program exact factory calibration into the EEPROM (offset and
+     * voltage gain, as the paper's production calibration achieves).
+     */
+    bool factoryCalibrated = true;
+    /** EEPROM persistence file ("" = volatile). */
+    std::string eepromPath;
+};
+
+/**
+ * The paper's Fig. 3 evaluation bench.
+ *
+ * @param module Sensor module type under test.
+ * @param supply_volts Lab supply setpoint.
+ * @param load_amps Initial electronic-load setpoint.
+ */
+SimulatedRig labBench(const analog::SensorModuleSpec &module,
+                      double supply_volts, double load_amps,
+                      const RigOptions &options = {});
+
+/**
+ * GPU measurement node (Fig. 6): 3.3 V slot + 12 V slot modules via
+ * the modified riser and one PCIe 8-pin module on the external power
+ * cable.
+ */
+SimulatedRig gpuRig(const dut::GpuSpec &gpu_spec,
+                    const RigOptions &options = {});
+
+/** SoC development kit measured on its USB-C input (Fig. 9). */
+SimulatedRig socRig(const dut::GpuSpec &module_spec,
+                    double carrier_board_watts = 4.8,
+                    const RigOptions &options = {});
+
+/**
+ * Replay a total-power trace through sensor modules (SSD studies).
+ *
+ * @param trace Piecewise-linear power schedule.
+ * @param rails Rail split policy (e.g. TraceDut::m2AdapterRails()).
+ */
+SimulatedRig traceRig(std::vector<dut::TracePoint> trace,
+                      std::vector<dut::TraceDut::RailSplit> rails,
+                      const RigOptions &options = {});
+
+/**
+ * Exact factory calibration records for a module with known
+ * manufacturing spread: zero-offset folded into vref, voltage gain
+ * corrected, current slope left at the datasheet value (the paper
+ * calibrates only the Hall offset and the voltage gain).
+ */
+void writeFactoryCalibration(firmware::Firmware &fw, unsigned pair,
+                             const analog::SensorModuleSpec &spec,
+                             const firmware::ManufacturingSpread &s);
+
+} // namespace rigs
+
+} // namespace ps3::host
+
+#endif // PS3_HOST_SIM_SETUP_HPP

@@ -1,0 +1,63 @@
+#include "state.hpp"
+
+#include "common/errors.hpp"
+
+namespace ps3::host {
+
+double
+State::totalPower() const
+{
+    double total = 0.0;
+    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+        if (present[pair])
+            total += power(pair);
+    }
+    return total;
+}
+
+double
+Sample::totalPower() const
+{
+    double total = 0.0;
+    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+        if (present[pair])
+            total += current[pair] * voltage[pair];
+    }
+    return total;
+}
+
+double
+Joules(const State &first, const State &second, int pair)
+{
+    if (pair >= static_cast<int>(kMaxPairs))
+        throw UsageError("Joules: pair index out of range");
+    if (pair >= 0) {
+        return second.consumedEnergy[pair]
+               - first.consumedEnergy[pair];
+    }
+    double total = 0.0;
+    for (unsigned p = 0; p < kMaxPairs; ++p) {
+        if (second.present[p]) {
+            total +=
+                second.consumedEnergy[p] - first.consumedEnergy[p];
+        }
+    }
+    return total;
+}
+
+double
+seconds(const State &first, const State &second)
+{
+    return second.timeAtRead - first.timeAtRead;
+}
+
+double
+Watts(const State &first, const State &second, int pair)
+{
+    const double dt = seconds(first, second);
+    if (dt <= 0.0)
+        throw UsageError("Watts: non-positive interval");
+    return Joules(first, second, pair) / dt;
+}
+
+} // namespace ps3::host

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Public measurement state of the host library (paper Sec. III-C).
+ *
+ * Mirrors the PowerSensor3 host API: interval-based measurements take
+ * two State snapshots and derive energy (Joules), duration (seconds)
+ * and average power (Watts) between them, per sensor pair or summed.
+ */
+
+#ifndef PS3_HOST_STATE_HPP
+#define PS3_HOST_STATE_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "firmware/protocol.hpp"
+
+namespace ps3::host {
+
+/** Number of sensor pairs (module sockets). */
+constexpr unsigned kMaxPairs = firmware::kPairCount;
+
+/** Snapshot of the sensor readings at one point in device time. */
+struct State
+{
+    /** Device time of the most recent sample (s). */
+    double timeAtRead = 0.0;
+
+    /** Latest current per pair (A). */
+    std::array<double, kMaxPairs> current{};
+
+    /** Latest voltage per pair (V). */
+    std::array<double, kMaxPairs> voltage{};
+
+    /** Energy consumed per pair since the connection opened (J). */
+    std::array<double, kMaxPairs> consumedEnergy{};
+
+    /** True for pairs with an enabled sensor module. */
+    std::array<bool, kMaxPairs> present{};
+
+    /** Number of frame sets processed since connection. */
+    std::uint64_t sampleCount = 0;
+
+    /** Instantaneous power of one pair (W). */
+    double
+    power(unsigned pair) const
+    {
+        return current[pair] * voltage[pair];
+    }
+
+    /** Instantaneous total power over present pairs (W). */
+    double totalPower() const;
+};
+
+/**
+ * Energy consumed between two snapshots (J).
+ *
+ * @param first Earlier snapshot.
+ * @param second Later snapshot.
+ * @param pair Pair index, or -1 for the sum over present pairs.
+ */
+double Joules(const State &first, const State &second, int pair = -1);
+
+/** Wall (device) time between two snapshots (s). */
+double seconds(const State &first, const State &second);
+
+/** Average power between two snapshots (W). */
+double Watts(const State &first, const State &second, int pair = -1);
+
+/** One processed 20 kHz sample, delivered to sample listeners. */
+struct Sample
+{
+    /** Device time (s). */
+    double time = 0.0;
+    /** Current per pair (A). */
+    std::array<double, kMaxPairs> current{};
+    /** Voltage per pair (V). */
+    std::array<double, kMaxPairs> voltage{};
+    /** Pairs with valid data in this sample. */
+    std::array<bool, kMaxPairs> present{};
+    /** True if the device flagged this sample with a marker. */
+    bool marker = false;
+    /** Marker character (valid when marker is true). */
+    char markerChar = '\0';
+
+    /** Total power over present pairs (W). */
+    double totalPower() const;
+};
+
+} // namespace ps3::host
+
+#endif // PS3_HOST_STATE_HPP

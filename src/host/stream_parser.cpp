@@ -1,0 +1,128 @@
+#include "stream_parser.hpp"
+
+#include "common/errors.hpp"
+
+namespace ps3::host {
+
+using firmware::Frame;
+using firmware::isFirstByte;
+using firmware::kTimestampModulus;
+
+StreamParser::StreamParser(FrameSetCallback callback)
+    : callback_(std::move(callback))
+{
+    if (!callback_)
+        throw UsageError("StreamParser: null callback");
+}
+
+void
+StreamParser::feed(const std::uint8_t *data, std::size_t size)
+{
+    for (std::size_t i = 0; i < size; ++i) {
+        const std::uint8_t byte = data[i];
+        if (!pendingFirstByte_) {
+            if (!isFirstByte(byte)) {
+                // Expected a frame start; hunt for one (resync).
+                ++resyncBytes_;
+                continue;
+            }
+            pendingFirstByte_ = byte;
+            continue;
+        }
+        if (isFirstByte(byte)) {
+            // Two first-bytes in a row: the second byte of the
+            // previous frame was lost. Drop the stale first byte and
+            // start over with this one.
+            ++resyncBytes_;
+            pendingFirstByte_ = byte;
+            continue;
+        }
+        const Frame frame =
+            firmware::decodeFrame(*pendingFirstByte_, byte);
+        pendingFirstByte_.reset();
+        handleFrame(frame);
+    }
+}
+
+void
+StreamParser::handleFrame(const Frame &frame)
+{
+    if (frame.isTimestamp()) {
+        // A timestamp opens a new set; whatever was accumulating is
+        // complete (or abandoned if it never got data).
+        if (inSet_)
+            finishSet();
+        beginSet(frame.level);
+        return;
+    }
+    if (!inSet_) {
+        // Sensor data before any timestamp: cannot be time-aligned,
+        // count it as resync noise.
+        resyncBytes_ += 2;
+        return;
+    }
+    if (frame.sensorId >= firmware::kNumChannels)
+        return;
+    currentSet_.level[frame.sensorId] = frame.level;
+    currentSet_.valid[frame.sensorId] = true;
+    if (frame.marker)
+        currentSet_.marker = true;
+}
+
+void
+StreamParser::beginSet(std::uint16_t timestamp10)
+{
+    if (!haveLastTimestamp_) {
+        // Align the 10-bit counter with the base established by the
+        // connection-time sync (deviceMicros_ holds the base).
+        const std::uint64_t base_mod = deviceMicros_ % kTimestampModulus;
+        const std::uint64_t delta =
+            (timestamp10 + kTimestampModulus - base_mod)
+            % kTimestampModulus;
+        deviceMicros_ += delta;
+        haveLastTimestamp_ = true;
+    } else {
+        std::uint64_t delta =
+            (timestamp10 + kTimestampModulus - lastTimestamp10_)
+            % kTimestampModulus;
+        if (delta == 0)
+            delta = kTimestampModulus;
+        deviceMicros_ += delta;
+    }
+    lastTimestamp10_ = timestamp10;
+
+    currentSet_ = FrameSet{};
+    currentSet_.deviceTime = static_cast<double>(deviceMicros_) * 1e-6;
+    inSet_ = true;
+}
+
+void
+StreamParser::finishSet()
+{
+    inSet_ = false;
+    bool any = false;
+    for (bool v : currentSet_.valid)
+        any = any || v;
+    if (!any)
+        return; // timestamp with no data: nothing to deliver
+    ++frameSets_;
+    callback_(currentSet_);
+}
+
+void
+StreamParser::setBaseMicros(std::uint64_t micros)
+{
+    if (haveLastTimestamp_)
+        throw UsageError("StreamParser: base set after first timestamp");
+    deviceMicros_ = micros;
+}
+
+void
+StreamParser::flush()
+{
+    pendingFirstByte_.reset();
+    inSet_ = false;
+    currentSet_ = FrameSet{};
+}
+
+} // namespace ps3::host

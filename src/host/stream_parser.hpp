@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Device-stream parser: bytes -> frame sets.
+ *
+ * Responsibilities:
+ *  - pair up first/second bytes using the bit-7 role flags, skipping
+ *    bytes until the stream re-aligns after corruption (resync);
+ *  - group frames into frame sets delimited by timestamp frames;
+ *  - unwrap the 10-bit microsecond device timestamp into a continuous
+ *    device-time axis using the nominal 50 us cadence.
+ *
+ * The parser is transport-agnostic and fully synchronous: feed() may
+ * be called with arbitrary byte chunks (including single bytes or
+ * chunks that split frames) and invokes the frame-set callback for
+ * every completed set.
+ */
+
+#ifndef PS3_HOST_STREAM_PARSER_HPP
+#define PS3_HOST_STREAM_PARSER_HPP
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "firmware/protocol.hpp"
+
+namespace ps3::host {
+
+/** One decoded frame set (all channels sharing a device timestamp). */
+struct FrameSet
+{
+    /** Unwrapped device time (s). */
+    double deviceTime = 0.0;
+    /** Raw 10-bit level per channel. */
+    std::array<std::uint16_t, firmware::kNumChannels> level{};
+    /** Channels actually present in this set. */
+    std::array<bool, firmware::kNumChannels> valid{};
+    /** True if any frame in the set carried the marker flag. */
+    bool marker = false;
+};
+
+/** Stateful stream parser with resynchronisation. */
+class StreamParser
+{
+  public:
+    using FrameSetCallback = std::function<void(const FrameSet &)>;
+
+    /** @param callback Invoked for every completed frame set. */
+    explicit StreamParser(FrameSetCallback callback);
+
+    /** Feed a chunk of received bytes. */
+    void feed(const std::uint8_t *data, std::size_t size);
+
+    /**
+     * Anchor the device-time axis: absolute device microseconds
+     * obtained from the connection-time TimeSync command. Must be
+     * called before the first timestamp frame is parsed.
+     */
+    void setBaseMicros(std::uint64_t micros);
+
+    /** Bytes skipped while hunting for a frame boundary. */
+    std::uint64_t resyncByteCount() const { return resyncBytes_; }
+
+    /** Completed frame sets delivered so far. */
+    std::uint64_t frameSetCount() const { return frameSets_; }
+
+    /**
+     * Discard partial state (e.g. after an intentional stream stop)
+     * while keeping the device-time unwrapping context.
+     */
+    void flush();
+
+  private:
+    FrameSetCallback callback_;
+    std::optional<std::uint8_t> pendingFirstByte_;
+
+    /** Set currently being accumulated (valid after its timestamp). */
+    FrameSet currentSet_;
+    bool inSet_ = false;
+
+    /** Timestamp unwrapping state. */
+    bool haveLastTimestamp_ = false;
+    std::uint16_t lastTimestamp10_ = 0;
+    std::uint64_t deviceMicros_ = 0;
+
+    std::uint64_t resyncBytes_ = 0;
+    std::uint64_t frameSets_ = 0;
+
+    void handleFrame(const firmware::Frame &frame);
+    void beginSet(std::uint16_t timestamp10);
+    void finishSet();
+};
+
+} // namespace ps3::host
+
+#endif // PS3_HOST_STREAM_PARSER_HPP

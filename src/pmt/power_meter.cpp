@@ -1,0 +1,35 @@
+#include "power_meter.hpp"
+
+#include "common/errors.hpp"
+
+namespace ps3::pmt {
+
+double
+watts(const PmtState &first, const PmtState &second)
+{
+    const double dt = seconds(first, second);
+    if (dt <= 0.0)
+        throw UsageError("pmt::watts: non-positive interval");
+    return joules(first, second) / dt;
+}
+
+PowerSensor3Meter::PowerSensor3Meter(host::PowerSensor &sensor)
+    : sensor_(sensor)
+{
+}
+
+PmtState
+PowerSensor3Meter::read()
+{
+    const auto state = sensor_.read();
+    PmtState out;
+    out.timestamp = state.timeAtRead;
+    out.watts = state.totalPower();
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
+        if (state.present[pair])
+            out.joules += state.consumedEnergy[pair];
+    }
+    return out;
+}
+
+} // namespace ps3::pmt

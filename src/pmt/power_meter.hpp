@@ -1,0 +1,85 @@
+/**
+ * @file
+ * PMT-style unified power-measurement interface (paper Sec. V-A1).
+ *
+ * The Power Measurement Toolkit exposes one API over many power
+ * sources; here we reproduce that layer with two families of
+ * backends:
+ *
+ *  - PowerSensor3Meter: wraps the host library (external sensor);
+ *  - vendor-API simulators (vendor_sim.hpp): read the *same* DUT
+ *    ground truth but through the update-rate and averaging artifacts
+ *    of NVML / ROCm-SMI / AMD-SMI / the Jetson built-in sensor.
+ *
+ * Because all backends observe one underlying power signal, the
+ * Fig. 7 comparisons isolate exactly what the paper isolates: the
+ * measurement-path artifacts, not device differences.
+ */
+
+#ifndef PS3_PMT_POWER_METER_HPP
+#define PS3_PMT_POWER_METER_HPP
+
+#include <string>
+
+#include "host/power_sensor.hpp"
+
+namespace ps3::pmt {
+
+/** One meter reading. */
+struct PmtState
+{
+    /** Timestamp in the device/virtual time domain (s). */
+    double timestamp = 0.0;
+    /** Cumulative energy reported by this meter (J). */
+    double joules = 0.0;
+    /** Power reported by this meter at the timestamp (W). */
+    double watts = 0.0;
+};
+
+/** Abstract power meter. */
+class PowerMeter
+{
+  public:
+    virtual ~PowerMeter() = default;
+
+    /** Take a reading now. */
+    virtual PmtState read() = 0;
+
+    /** Human-readable backend name ("PowerSensor3", "NVML", ...). */
+    virtual std::string name() const = 0;
+};
+
+/** Energy between two readings (J). */
+inline double
+joules(const PmtState &first, const PmtState &second)
+{
+    return second.joules - first.joules;
+}
+
+/** Time between two readings (s). */
+inline double
+seconds(const PmtState &first, const PmtState &second)
+{
+    return second.timestamp - first.timestamp;
+}
+
+/** Average power between two readings (W). */
+double watts(const PmtState &first, const PmtState &second);
+
+/** PMT backend reading a connected PowerSensor3. */
+class PowerSensor3Meter : public PowerMeter
+{
+  public:
+    /** @param sensor Connected sensor; must outlive the meter. */
+    explicit PowerSensor3Meter(host::PowerSensor &sensor);
+
+    PmtState read() override;
+    std::string name() const override { return "PowerSensor3"; }
+
+  private:
+    host::PowerSensor &sensor_;
+};
+
+} // namespace ps3::pmt
+
+#endif // PS3_PMT_POWER_METER_HPP

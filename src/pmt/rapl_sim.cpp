@@ -1,0 +1,93 @@
+#include "rapl_sim.hpp"
+
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace ps3::pmt {
+
+RaplSimMeter::RaplSimMeter(const dut::CpuDutModel &cpu,
+                           const TimeSource &clock, RaplConfig config)
+    : cpu_(cpu), clock_(clock), config_(config)
+{
+    if (config_.updatePeriod <= 0.0
+        || config_.energyUnitJoules <= 0.0
+        || config_.counterBits == 0 || config_.counterBits > 32) {
+        throw UsageError("RaplSimMeter: bad configuration");
+    }
+}
+
+std::uint64_t
+RaplSimMeter::counterMask() const
+{
+    if (config_.counterBits == 64)
+        return ~0ull;
+    return (1ull << config_.counterBits) - 1ull;
+}
+
+void
+RaplSimMeter::advanceTo(double t)
+{
+    if (!primed_) {
+        lastUpdateTime_ = t;
+        primed_ = true;
+        return;
+    }
+    // Walk the MSR update grid, integrating true package power with
+    // a sub-millisecond step.
+    while (lastUpdateTime_ + config_.updatePeriod <= t) {
+        const double next = lastUpdateTime_ + config_.updatePeriod;
+        constexpr int kSubSteps = 4;
+        const double dt =
+            (next - lastUpdateTime_) / kSubSteps;
+        for (int i = 0; i < kSubSteps; ++i) {
+            const double u = lastUpdateTime_ + (i + 0.5) * dt;
+            exactJoules_ += cpu_.packagePower(u) * dt;
+        }
+        prevUpdateJoules_ = exactJoules_;
+        lastUpdateTime_ = next;
+    }
+}
+
+std::uint32_t
+RaplSimMeter::counterAt() const
+{
+    const auto units = static_cast<std::uint64_t>(
+        prevUpdateJoules_ / config_.energyUnitJoules);
+    return static_cast<std::uint32_t>(units & counterMask());
+}
+
+std::uint32_t
+RaplSimMeter::rawCounter()
+{
+    advanceTo(clock_.now());
+    return counterAt();
+}
+
+PmtState
+RaplSimMeter::read()
+{
+    const double t = clock_.now();
+    advanceTo(t);
+
+    const std::uint32_t counter = counterAt();
+    // Standard single-wrap correction: the delta modulo counter
+    // width is the energy since the previous read (valid as long as
+    // reads are more frequent than one wrap period).
+    const std::uint64_t delta =
+        (static_cast<std::uint64_t>(counter) + counterMask() + 1
+         - lastCounter_)
+        & counterMask();
+    unwrappedUnits_ += delta;
+    lastCounter_ = counter;
+
+    PmtState out;
+    out.timestamp = t;
+    out.joules = static_cast<double>(unwrappedUnits_)
+                 * config_.energyUnitJoules;
+    // Reported power: package power at the last MSR refresh.
+    out.watts = cpu_.packagePower(lastUpdateTime_);
+    return out;
+}
+
+} // namespace ps3::pmt

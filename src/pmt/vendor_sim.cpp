@@ -1,0 +1,168 @@
+#include "vendor_sim.hpp"
+
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace ps3::pmt {
+
+SampledVendorMeter::SampledVendorMeter(VendorMeterConfig config,
+                                       PowerFunction power,
+                                       const TimeSource &clock)
+    : config_(std::move(config)), power_(std::move(power)),
+      clock_(clock)
+{
+    if (!power_)
+        throw UsageError("SampledVendorMeter: null power function");
+    if (config_.updatePeriod <= 0.0)
+        throw UsageError("SampledVendorMeter: bad update period");
+}
+
+double
+SampledVendorMeter::sampleAt(double t) const
+{
+    double value;
+    if (config_.averagingWindow <= 0.0) {
+        value = power_(t);
+    } else {
+        // Boxcar average over the window preceding t.
+        const double start = std::max(t - config_.averagingWindow, 0.0);
+        const double span = t - start;
+        if (span <= 0.0) {
+            value = power_(t);
+        } else {
+            double sum = 0.0;
+            unsigned steps = 0;
+            for (double u = start; u < t;
+                 u += config_.integrationStep) {
+                sum += power_(u);
+                ++steps;
+            }
+            value = steps ? sum / steps : power_(t);
+        }
+    }
+    if (config_.quantizationWatts > 0.0) {
+        value = std::round(value / config_.quantizationWatts)
+                * config_.quantizationWatts;
+    }
+    return value;
+}
+
+void
+SampledVendorMeter::advanceTo(double t)
+{
+    if (!primed_) {
+        // First observation: align the update grid here.
+        lastUpdateTime_ = t;
+        reported_ = sampleAt(t);
+        primed_ = true;
+        return;
+    }
+    // Walk the update grid, integrating energy with the value that
+    // was being reported during each span.
+    while (lastUpdateTime_ + config_.updatePeriod <= t) {
+        const double next = lastUpdateTime_ + config_.updatePeriod;
+        if (config_.exactEnergyCounter) {
+            // On-chip accumulator: integrate true power finely.
+            for (double u = lastUpdateTime_; u < next;
+                 u += config_.integrationStep) {
+                const double step = std::min(config_.integrationStep,
+                                             next - u);
+                energy_ += power_(u) * step;
+            }
+        } else {
+            energy_ += reported_ * (next - lastUpdateTime_);
+        }
+        reported_ = sampleAt(next);
+        lastUpdateTime_ = next;
+    }
+}
+
+PmtState
+SampledVendorMeter::read()
+{
+    const double t = clock_.now();
+    advanceTo(t);
+
+    PmtState out;
+    out.timestamp = t;
+    out.watts = reported_;
+    // Partial span since the last grid point.
+    double partial;
+    if (config_.exactEnergyCounter) {
+        partial = 0.0;
+        for (double u = lastUpdateTime_; u < t;
+             u += config_.integrationStep) {
+            const double step = std::min(config_.integrationStep,
+                                         t - u);
+            partial += power_(u) * step;
+        }
+    } else {
+        partial = reported_ * (t - lastUpdateTime_);
+    }
+    out.joules = energy_ + partial;
+    return out;
+}
+
+std::unique_ptr<SampledVendorMeter>
+makeNvmlMeter(const dut::GpuDutModel &gpu, const TimeSource &clock,
+              NvmlMode mode)
+{
+    VendorMeterConfig config;
+    if (mode == NvmlMode::Instant) {
+        config.name = "NVML-instant";
+        config.updatePeriod = 0.1;
+        config.averagingWindow = 0.0;
+    } else {
+        config.name = "NVML-average";
+        config.updatePeriod = 0.1;
+        config.averagingWindow = 1.0;
+    }
+    config.quantizationWatts = 0.001; // reported in milliwatts
+    return std::make_unique<SampledVendorMeter>(
+        config, [&gpu](double t) { return gpu.totalPower(t); }, clock);
+}
+
+std::unique_ptr<SampledVendorMeter>
+makeRocmSmiMeter(const dut::GpuDutModel &gpu, const TimeSource &clock)
+{
+    VendorMeterConfig config;
+    config.name = "ROCm-SMI";
+    config.updatePeriod = 1e-3;
+    config.averagingWindow = 0.0;
+    config.quantizationWatts = 1e-6; // microwatt counter
+    config.exactEnergyCounter = true;
+    return std::make_unique<SampledVendorMeter>(
+        config, [&gpu](double t) { return gpu.totalPower(t); }, clock);
+}
+
+std::unique_ptr<SampledVendorMeter>
+makeAmdSmiMeter(const dut::GpuDutModel &gpu, const TimeSource &clock)
+{
+    // Same sensor path as ROCm-SMI, successor API (the paper found
+    // the two yield identical results).
+    VendorMeterConfig config;
+    config.name = "AMD-SMI";
+    config.updatePeriod = 1e-3;
+    config.averagingWindow = 0.0;
+    config.quantizationWatts = 1e-6;
+    config.exactEnergyCounter = true;
+    return std::make_unique<SampledVendorMeter>(
+        config, [&gpu](double t) { return gpu.totalPower(t); }, clock);
+}
+
+std::unique_ptr<SampledVendorMeter>
+makeJetsonBuiltinMeter(const dut::SocDutModel &soc,
+                       const TimeSource &clock)
+{
+    VendorMeterConfig config;
+    config.name = "Jetson-builtin";
+    config.updatePeriod = 0.1;
+    config.averagingWindow = 0.0;
+    config.quantizationWatts = 0.001;
+    return std::make_unique<SampledVendorMeter>(
+        config,
+        [&soc](double t) { return soc.modulePower(t); }, clock);
+}
+
+} // namespace ps3::pmt

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Simulators of vendor on-board power-measurement APIs.
+ *
+ * Each simulator observes the noise-free ground-truth power of a DUT
+ * but reproduces the *measurement-path artifacts* the paper contrasts
+ * with PowerSensor3 (Sec. II-A, Sec. V-A):
+ *
+ *  - NVML "instantaneous" (driver >= 530): point samples refreshed at
+ *    ~10 Hz — misses inter-phase dips entirely;
+ *  - NVML "average" (legacy): a ~1 s boxcar average refreshed at
+ *    10 Hz — inadequate for per-kernel energy;
+ *  - ROCm-SMI / AMD-SMI: fast (~1 kHz) update with an accurate
+ *    on-chip energy accumulator, which the paper found to closely
+ *    match PowerSensor3 on the W7700;
+ *  - Jetson built-in: ~0.1 s resolution and, crucially, it sees only
+ *    the module rail, not the carrier board.
+ *
+ * The reported energy counter integrates the *reported* power, which
+ * is how users derive energy from these APIs, so the error structure
+ * matches reality.
+ */
+
+#ifndef PS3_PMT_VENDOR_SIM_HPP
+#define PS3_PMT_VENDOR_SIM_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/time_source.hpp"
+#include "dut/gpu_model.hpp"
+#include "pmt/power_meter.hpp"
+
+namespace ps3::pmt {
+
+/** Source of ground-truth power as a function of time. */
+using PowerFunction = std::function<double(double)>;
+
+/** Artifact parameters of a sampled vendor API. */
+struct VendorMeterConfig
+{
+    /** API name reported by name(). */
+    std::string name = "vendor";
+    /** Interval between reported-value refreshes (s). */
+    double updatePeriod = 0.1;
+    /** Boxcar averaging window (s); 0 = point samples. */
+    double averagingWindow = 0.0;
+    /** Numerical integration step for window averages (s). */
+    double integrationStep = 1e-3;
+    /** Reported power quantisation (W); 0 = none. */
+    double quantizationWatts = 0.0;
+    /**
+     * If true the energy counter integrates true power exactly (an
+     * on-chip accumulator, as on AMD); otherwise energy integrates
+     * the sample-held reported power (NVML-style, user-side).
+     */
+    bool exactEnergyCounter = false;
+};
+
+/**
+ * PowerMeter that samples a PowerFunction on a vendor-API update
+ * grid against a (virtual) clock.
+ */
+class SampledVendorMeter : public PowerMeter
+{
+  public:
+    /**
+     * @param config Artifact parameters.
+     * @param power Ground-truth power function.
+     * @param clock Time source shared with the rest of the rig.
+     */
+    SampledVendorMeter(VendorMeterConfig config, PowerFunction power,
+                       const TimeSource &clock);
+
+    PmtState read() override;
+    std::string name() const override { return config_.name; }
+
+  private:
+    VendorMeterConfig config_;
+    PowerFunction power_;
+    const TimeSource &clock_;
+
+    bool primed_ = false;
+    double lastUpdateTime_ = 0.0;
+    double reported_ = 0.0;
+    double energy_ = 0.0;
+
+    /** Advance internal update grid to time t. */
+    void advanceTo(double t);
+    double sampleAt(double t) const;
+};
+
+/** NVML measurement families. */
+enum class NvmlMode { Instant, Average };
+
+/** Build an NVML-like meter over a GPU model. */
+std::unique_ptr<SampledVendorMeter>
+makeNvmlMeter(const dut::GpuDutModel &gpu, const TimeSource &clock,
+              NvmlMode mode);
+
+/** Build a ROCm-SMI-like meter over a GPU model. */
+std::unique_ptr<SampledVendorMeter>
+makeRocmSmiMeter(const dut::GpuDutModel &gpu, const TimeSource &clock);
+
+/** Build an AMD-SMI-like meter (successor API, same sensor path). */
+std::unique_ptr<SampledVendorMeter>
+makeAmdSmiMeter(const dut::GpuDutModel &gpu, const TimeSource &clock);
+
+/**
+ * Build a Jetson built-in meter over an SoC model: module power only
+ * (no carrier board), ~0.1 s resolution.
+ */
+std::unique_ptr<SampledVendorMeter>
+makeJetsonBuiltinMeter(const dut::SocDutModel &soc,
+                       const TimeSource &clock);
+
+} // namespace ps3::pmt
+
+#endif // PS3_PMT_VENDOR_SIM_HPP

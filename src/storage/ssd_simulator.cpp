@@ -1,0 +1,519 @@
+#include "ssd_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace ps3::storage {
+
+namespace {
+
+/** Host-visible sector-cluster granularity (bytes). */
+constexpr std::uint64_t kClusterBytes = 4 * units::kKiB;
+
+/** Controller random-IO rate limit (IOPS). */
+constexpr double kIopsCap = 700e3;
+
+/** Victim sample size for approximate-greedy GC. */
+constexpr unsigned kGcSampleSize = 64;
+
+/** Die-time share granted to GC while an episode is active. */
+constexpr double kGcShare = 0.8;
+
+} // namespace
+
+SsdSpec
+SsdSpec::samsung980Pro()
+{
+    SsdSpec spec; // defaults model the 980 PRO 1 TB
+    return spec;
+}
+
+SsdSimulator::SsdSimulator(const SsdSpec &spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+    const double physical =
+        static_cast<double>(spec_.logicalCapacity)
+        * (1.0 + spec_.overProvisioning);
+    const std::uint64_t block_bytes =
+        spec_.pageSize * spec_.pagesPerBlock;
+    blockCount_ = static_cast<std::uint64_t>(physical / block_bytes);
+    if (blockCount_ < 64)
+        throw UsageError("SsdSimulator: capacity too small");
+    format();
+}
+
+void
+SsdSimulator::format()
+{
+    validPages_.assign(blockCount_, 0);
+    freeBlock_.assign(blockCount_, true);
+    freeBlocks_ = blockCount_;
+    haveOpenBlock_ = false;
+    openFill_ = 0;
+    totalValidPages_ = 0;
+    hostPagesWritten_ = 0;
+    nandPagesWritten_ = 0;
+}
+
+std::uint64_t
+SsdSimulator::allocateBlock()
+{
+    if (freeBlocks_ == 0)
+        throw InternalError("SsdSimulator: out of free blocks");
+    // Free blocks are plentiful; sample until one is found.
+    while (true) {
+        const std::uint64_t b = rng_.uniformInt(0, blockCount_ - 1);
+        if (freeBlock_[b]) {
+            freeBlock_[b] = false;
+            --freeBlocks_;
+            validPages_[b] = 0;
+            return b;
+        }
+    }
+}
+
+void
+SsdSimulator::preconditionSequential()
+{
+    // A clean sequential fill leaves every logical cluster valid
+    // exactly once: all blocks fully valid except the OP spare pool.
+    format();
+    const std::uint64_t clusters_per_block =
+        spec_.pageSize * spec_.pagesPerBlock / kClusterBytes;
+    const std::uint64_t logical_clusters =
+        spec_.logicalCapacity / kClusterBytes;
+    std::uint64_t remaining = logical_clusters;
+    for (std::uint64_t b = 0; b < blockCount_ && remaining > 0; ++b) {
+        const std::uint64_t fill =
+            std::min<std::uint64_t>(clusters_per_block, remaining);
+        validPages_[b] = static_cast<std::int32_t>(fill);
+        freeBlock_[b] = false;
+        --freeBlocks_;
+        totalValidPages_ += fill;
+        remaining -= fill;
+    }
+    hostPagesWritten_ = logical_clusters;
+    // NAND counter is in physical pages (each holds several host
+    // clusters).
+    nandPagesWritten_ =
+        logical_clusters / (spec_.pageSize / kClusterBytes);
+}
+
+void
+SsdSimulator::invalidateRandomPage()
+{
+    // Uniform random overwrite: invalidate one random valid cluster.
+    // Rejection-sample a block weighted by its valid count.
+    if (totalValidPages_ == 0)
+        return;
+    const auto clusters_per_block = static_cast<std::int32_t>(
+        spec_.pageSize * spec_.pagesPerBlock / kClusterBytes);
+    for (int attempts = 0; attempts < 4096; ++attempts) {
+        const std::uint64_t b = rng_.uniformInt(0, blockCount_ - 1);
+        if (freeBlock_[b] || validPages_[b] <= 0)
+            continue;
+        const double accept = static_cast<double>(validPages_[b])
+                              / clusters_per_block;
+        if (rng_.uniform(0.0, 1.0) <= accept) {
+            --validPages_[b];
+            --totalValidPages_;
+            return;
+        }
+    }
+    throw InternalError("SsdSimulator: invalidation sampling failed");
+}
+
+std::uint64_t
+SsdSimulator::pickGcVictim()
+{
+    std::uint64_t best = blockCount_;
+    std::int32_t best_valid = std::numeric_limits<std::int32_t>::max();
+    for (unsigned i = 0; i < kGcSampleSize; ++i) {
+        const std::uint64_t b = rng_.uniformInt(0, blockCount_ - 1);
+        if (freeBlock_[b] || (haveOpenBlock_ && b == openBlock_))
+            continue;
+        if (validPages_[b] < best_valid) {
+            best_valid = validPages_[b];
+            best = b;
+        }
+    }
+    if (best == blockCount_)
+        throw InternalError("SsdSimulator: no GC victim found");
+    return best;
+}
+
+double
+SsdSimulator::programHostPage()
+{
+    // One full-page program absorbing pageSize/kClusterBytes host
+    // clusters (the controller coalesces 4 KiB writes).
+    if (!haveOpenBlock_ || openFill_ >= spec_.pagesPerBlock) {
+        openBlock_ = allocateBlock();
+        openFill_ = 0;
+        haveOpenBlock_ = true;
+    }
+    const auto clusters =
+        static_cast<std::int32_t>(spec_.pageSize / kClusterBytes);
+    validPages_[openBlock_] += clusters;
+    totalValidPages_ += static_cast<std::uint64_t>(clusters);
+    ++openFill_;
+    ++nandPagesWritten_;
+    hostPagesWritten_ += static_cast<std::uint64_t>(clusters);
+
+    // Each host cluster written overwrites an older random cluster
+    // (steady-state random workload over a full device).
+    for (std::int32_t c = 0; c < clusters; ++c)
+        invalidateRandomPage();
+
+    return spec_.pageProgramLatency / spec_.planesPerDie;
+}
+
+double
+SsdSimulator::garbageCollectOnce(double &pages_moved)
+{
+    const std::uint64_t victim = pickGcVictim();
+    const auto valid = static_cast<std::uint64_t>(
+        std::max<std::int32_t>(validPages_[victim], 0));
+    const std::uint64_t move_pages =
+        (valid * kClusterBytes + spec_.pageSize - 1) / spec_.pageSize;
+
+    double nand_time = spec_.blockEraseLatency;
+    nand_time += static_cast<double>(move_pages)
+                 * (spec_.pageReadLatency + spec_.pageProgramLatency)
+                 / spec_.planesPerDie;
+
+    // Move valid clusters into the open block stream.
+    totalValidPages_ -= valid;
+    validPages_[victim] = 0;
+    freeBlock_[victim] = true;
+    ++freeBlocks_;
+
+    for (std::uint64_t p = 0; p < move_pages; ++p) {
+        if (!haveOpenBlock_ || openFill_ >= spec_.pagesPerBlock) {
+            openBlock_ = allocateBlock();
+            openFill_ = 0;
+            haveOpenBlock_ = true;
+        }
+        ++openFill_;
+        ++nandPagesWritten_;
+    }
+    const auto clusters_back = static_cast<std::int32_t>(valid);
+    if (haveOpenBlock_)
+        validPages_[openBlock_] += clusters_back;
+    totalValidPages_ += valid;
+
+    pages_moved += static_cast<double>(move_pages);
+    return nand_time;
+}
+
+std::vector<StorageSample>
+SsdSimulator::runRandomRead(double duration,
+                            std::uint64_t request_bytes,
+                            unsigned queue_depth, double dt)
+{
+    if (request_bytes == 0 || queue_depth == 0 || duration <= 0.0)
+        throw UsageError("SsdSimulator: bad read workload");
+
+    std::vector<StorageSample> samples;
+    samples.reserve(static_cast<std::size_t>(duration / dt) + 1);
+
+    // Reads do not mutate the FTL; the behaviour per interval is a
+    // stationary rate plus small controller jitter.
+    const double sensed_per_host =
+        static_cast<double>(std::max(request_bytes, kClusterBytes))
+        / static_cast<double>(request_bytes);
+
+    const double die_sense_rate =
+        static_cast<double>(spec_.totalDies()) * spec_.planesPerDie
+        * static_cast<double>(spec_.pageSize) / spec_.pageReadLatency;
+
+    const double die_limited = die_sense_rate / sensed_per_host;
+    const double iops_limited =
+        kIopsCap * static_cast<double>(request_bytes);
+    const double qd_limited =
+        static_cast<double>(queue_depth)
+        * static_cast<double>(request_bytes)
+        / (spec_.pageReadLatency
+           + static_cast<double>(request_bytes)
+                 / spec_.interfaceBandwidth);
+
+    const double host_bw =
+        std::min({die_limited, iops_limited, qd_limited,
+                  spec_.interfaceBandwidth});
+
+    // NAND power follows the sensed byte rate, capped at all dies
+    // reading flat out.
+    const double energy_per_byte =
+        spec_.dieReadWatts * spec_.pageReadLatency
+        / static_cast<double>(spec_.pageSize);
+    const double nand_power =
+        std::min(energy_per_byte * host_bw * sensed_per_host,
+                 static_cast<double>(spec_.totalDies())
+                     * spec_.dieReadWatts);
+    const double controller_power =
+        spec_.controllerWatts
+        * std::min(1.0, host_bw / spec_.interfaceBandwidth * 2.0
+                            + host_bw
+                                  / static_cast<double>(request_bytes)
+                                  / kIopsCap * 0.5);
+
+    for (double t = dt; t <= duration + 1e-9; t += dt) {
+        StorageSample sample;
+        sample.time = t;
+        sample.readBandwidth = host_bw * rng_.uniform(0.985, 1.015);
+        sample.powerWatts = (spec_.idleWatts + controller_power
+                             + nand_power)
+                            * rng_.uniform(0.99, 1.01);
+        sample.freeBlockFraction = freeBlockFraction();
+        sample.writeAmplification = writeAmplification();
+        samples.push_back(sample);
+    }
+    return samples;
+}
+
+std::vector<StorageSample>
+SsdSimulator::runRandomWrite(double duration,
+                             std::uint64_t request_bytes,
+                             unsigned queue_depth, double dt)
+{
+    if (request_bytes == 0 || queue_depth == 0 || duration <= 0.0)
+        throw UsageError("SsdSimulator: bad write workload");
+
+    std::vector<StorageSample> samples;
+    samples.reserve(static_cast<std::size_t>(duration / dt) + 1);
+
+    bool gc_episode = false;
+
+    for (double t = dt; t <= duration + 1e-9; t += dt) {
+        // Die-time budget for this interval.
+        const double budget =
+            static_cast<double>(spec_.totalDies()) * dt;
+        double spent = 0.0;
+        double host_bytes = 0.0;
+        double gc_time = 0.0;
+        double pages_moved = 0.0;
+
+        while (spent < budget) {
+            const double free_frac = freeBlockFraction();
+            if (!gc_episode && free_frac < spec_.gcLowWater)
+                gc_episode = true;
+            if (gc_episode && free_frac > spec_.gcHighWater)
+                gc_episode = false;
+
+            if (gc_episode && gc_time < spent * kGcShare + 1e-9) {
+                const double cost = garbageCollectOnce(pages_moved);
+                gc_time += cost;
+                spent += cost;
+                continue;
+            }
+            if (freeBlocks_ == 0) {
+                // Emergency: must GC regardless of share.
+                const double cost = garbageCollectOnce(pages_moved);
+                gc_time += cost;
+                spent += cost;
+                continue;
+            }
+            spent += programHostPage();
+            host_bytes += static_cast<double>(spec_.pageSize);
+        }
+
+        StorageSample sample;
+        sample.time = t;
+        sample.writeBandwidth =
+            host_bytes / dt * rng_.uniform(0.98, 1.02);
+        sample.gcActivity = gc_time / budget;
+        sample.freeBlockFraction = freeBlockFraction();
+        sample.writeAmplification = writeAmplification();
+
+        // Power: dies are busy (programs, GC reads, erases) for the
+        // whole interval once GC interleaves; controller follows the
+        // host command rate.
+        const double die_busy = std::min(spent / budget, 1.0);
+        const double nand_power = static_cast<double>(
+                                      spec_.totalDies())
+                                  * spec_.dieWriteWatts * die_busy;
+        const double controller_power =
+            spec_.controllerWatts
+            * std::min(1.0,
+                       host_bytes / dt / (spec_.interfaceBandwidth
+                                          * 0.25));
+        sample.powerWatts = (spec_.idleWatts + controller_power
+                             + nand_power
+                             + sample.gcActivity * spec_.gcExtraWatts)
+                            * rng_.uniform(0.99, 1.01);
+        samples.push_back(sample);
+    }
+    return samples;
+}
+
+std::vector<StorageSample>
+SsdSimulator::runSequentialRead(double duration,
+                                std::uint64_t request_bytes,
+                                unsigned queue_depth, double dt)
+{
+    if (request_bytes == 0 || queue_depth == 0 || duration <= 0.0)
+        throw UsageError("SsdSimulator: bad sequential workload");
+
+    std::vector<StorageSample> samples;
+    samples.reserve(static_cast<std::size_t>(duration / dt) + 1);
+
+    // Sequential streams sense whole pages with no amplification and
+    // prefetch ahead, so per-request overheads vanish.
+    const double die_sense_rate =
+        static_cast<double>(spec_.totalDies()) * spec_.planesPerDie
+        * static_cast<double>(spec_.pageSize) / spec_.pageReadLatency;
+    const double qd_limited =
+        static_cast<double>(queue_depth)
+        * static_cast<double>(request_bytes)
+        / (spec_.pageReadLatency
+           + static_cast<double>(request_bytes)
+                 / spec_.interfaceBandwidth);
+    const double host_bw = std::min(
+        {die_sense_rate, qd_limited, spec_.interfaceBandwidth});
+
+    const double energy_per_byte =
+        spec_.dieReadWatts * spec_.pageReadLatency
+        / static_cast<double>(spec_.pageSize);
+    const double nand_power =
+        std::min(energy_per_byte * host_bw,
+                 static_cast<double>(spec_.totalDies())
+                     * spec_.dieReadWatts);
+    const double controller_power =
+        spec_.controllerWatts
+        * std::min(1.0, host_bw / spec_.interfaceBandwidth);
+
+    for (double t = dt; t <= duration + 1e-9; t += dt) {
+        StorageSample sample;
+        sample.time = t;
+        sample.readBandwidth = host_bw * rng_.uniform(0.99, 1.01);
+        sample.powerWatts = (spec_.idleWatts + controller_power
+                             + nand_power)
+                            * rng_.uniform(0.99, 1.01);
+        sample.freeBlockFraction = freeBlockFraction();
+        sample.writeAmplification = writeAmplification();
+        samples.push_back(sample);
+    }
+    return samples;
+}
+
+std::vector<StorageSample>
+SsdSimulator::runMixedReadWrite(double duration,
+                                std::uint64_t request_bytes,
+                                unsigned queue_depth,
+                                double read_fraction, double dt)
+{
+    if (request_bytes == 0 || queue_depth == 0 || duration <= 0.0
+        || read_fraction < 0.0 || read_fraction > 1.0) {
+        throw UsageError("SsdSimulator: bad mixed workload");
+    }
+
+    std::vector<StorageSample> samples;
+    samples.reserve(static_cast<std::size_t>(duration / dt) + 1);
+
+    const std::uint64_t pages_per_read =
+        (request_bytes + spec_.pageSize - 1) / spec_.pageSize;
+    const double read_cost = static_cast<double>(pages_per_read)
+                             * spec_.pageReadLatency
+                             / spec_.planesPerDie;
+
+    bool gc_episode = false;
+    for (double t = dt; t <= duration + 1e-9; t += dt) {
+        const double budget =
+            static_cast<double>(spec_.totalDies()) * dt;
+        double spent = 0.0;
+        double read_bytes = 0.0;
+        double write_bytes = 0.0;
+        double gc_time = 0.0;
+        double read_time = 0.0;
+        double pages_moved = 0.0;
+
+        while (spent < budget) {
+            const double free_frac = freeBlockFraction();
+            if (!gc_episode && free_frac < spec_.gcLowWater)
+                gc_episode = true;
+            if (gc_episode && free_frac > spec_.gcHighWater)
+                gc_episode = false;
+
+            if ((gc_episode && gc_time < spent * kGcShare + 1e-9)
+                || freeBlocks_ == 0) {
+                const double cost = garbageCollectOnce(pages_moved);
+                gc_time += cost;
+                spent += cost;
+                continue;
+            }
+            if (rng_.uniform(0.0, 1.0) < read_fraction) {
+                spent += read_cost;
+                read_time += read_cost;
+                read_bytes += static_cast<double>(request_bytes);
+            } else {
+                spent += programHostPage();
+                write_bytes += static_cast<double>(spec_.pageSize);
+            }
+        }
+
+        StorageSample sample;
+        sample.time = t;
+        sample.readBandwidth =
+            read_bytes / dt * rng_.uniform(0.98, 1.02);
+        sample.writeBandwidth =
+            write_bytes / dt * rng_.uniform(0.98, 1.02);
+        sample.gcActivity = gc_time / budget;
+        sample.freeBlockFraction = freeBlockFraction();
+        sample.writeAmplification = writeAmplification();
+
+        const double die_busy = std::min(spent / budget, 1.0);
+        const double read_share =
+            spent > 0.0 ? read_time / spent : 0.0;
+        const double die_watts = spec_.dieWriteWatts
+                                 + (spec_.dieReadWatts
+                                    - spec_.dieWriteWatts)
+                                       * read_share;
+        const double nand_power =
+            static_cast<double>(spec_.totalDies()) * die_watts
+            * die_busy;
+        const double controller_power =
+            spec_.controllerWatts
+            * std::min(1.0, (read_bytes + write_bytes) / dt
+                                / (spec_.interfaceBandwidth * 0.25));
+        sample.powerWatts = (spec_.idleWatts + controller_power
+                             + nand_power
+                             + sample.gcActivity * spec_.gcExtraWatts)
+                            * rng_.uniform(0.99, 1.01);
+        samples.push_back(sample);
+    }
+    return samples;
+}
+
+double
+SsdSimulator::writeAmplification() const
+{
+    if (hostPagesWritten_ == 0)
+        return 1.0;
+    const double clusters_per_page =
+        static_cast<double>(spec_.pageSize) / kClusterBytes;
+    return static_cast<double>(nandPagesWritten_) * clusters_per_page
+           / static_cast<double>(hostPagesWritten_);
+}
+
+double
+SsdSimulator::freeBlockFraction() const
+{
+    return static_cast<double>(freeBlocks_)
+           / static_cast<double>(blockCount_);
+}
+
+std::vector<dut::TracePoint>
+toPowerTrace(const std::vector<StorageSample> &samples,
+             double start_time, double idle_watts)
+{
+    std::vector<dut::TracePoint> trace;
+    trace.reserve(samples.size() + 1);
+    trace.push_back({start_time, idle_watts});
+    for (const auto &sample : samples)
+        trace.push_back({start_time + sample.time, sample.powerWatts});
+    return trace;
+}
+
+} // namespace ps3::storage

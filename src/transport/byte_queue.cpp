@@ -1,0 +1,62 @@
+#include "byte_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ps3::transport {
+
+void
+ByteQueue::push(const std::uint8_t *data, std::size_t size)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        data_.insert(data_.end(), data, data + size);
+    }
+    cv_.notify_one();
+}
+
+std::size_t
+ByteQueue::pop(std::uint8_t *buffer, std::size_t max_bytes,
+               double timeout_seconds)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_seconds));
+    cv_.wait_until(lock, deadline,
+                   [this] { return !data_.empty() || shutdown_; });
+    if (data_.empty())
+        return 0;
+    const std::size_t count = std::min(max_bytes, data_.size());
+    std::copy_n(data_.begin(), count, buffer);
+    data_.erase(data_.begin(),
+                data_.begin() + static_cast<std::ptrdiff_t>(count));
+    return count;
+}
+
+void
+ByteQueue::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+ByteQueue::isShutdown() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_;
+}
+
+std::size_t
+ByteQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return data_.size();
+}
+
+} // namespace ps3::transport

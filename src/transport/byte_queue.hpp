@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Thread-safe blocking byte FIFO used to build in-process pipes.
+ */
+
+#ifndef PS3_TRANSPORT_BYTE_QUEUE_HPP
+#define PS3_TRANSPORT_BYTE_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace ps3::transport {
+
+/** Unbounded MPMC byte queue with timed blocking reads. */
+class ByteQueue
+{
+  public:
+    /** Append bytes and wake one waiting reader. */
+    void push(const std::uint8_t *data, std::size_t size);
+
+    /**
+     * Pop up to max_bytes, blocking until data arrives, the timeout
+     * expires, or the queue is shut down.
+     * @return Bytes copied into buffer (0 on timeout/shutdown).
+     */
+    std::size_t pop(std::uint8_t *buffer, std::size_t max_bytes,
+                    double timeout_seconds);
+
+    /** Wake all readers and make future pops return 0 immediately. */
+    void shutdown();
+
+    /** True after shutdown(). */
+    bool isShutdown() const;
+
+    /** Bytes currently queued. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::uint8_t> data_;
+    bool shutdown_ = false;
+};
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_BYTE_QUEUE_HPP

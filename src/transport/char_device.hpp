@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Byte-stream device abstraction.
+ *
+ * The host library talks to the PowerSensor3 through a CharDevice: a
+ * full-duplex byte stream with blocking reads. Production code uses
+ * PosixSerialPort (the STM32's USB CDC-ACM endpoint appears as
+ * /dev/ttyACM*); tests and benches use EmulatedSerialPort, which wires
+ * the host to the in-process firmware emulation.
+ */
+
+#ifndef PS3_TRANSPORT_CHAR_DEVICE_HPP
+#define PS3_TRANSPORT_CHAR_DEVICE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ps3::transport {
+
+/** Full-duplex byte stream endpoint (host side). */
+class CharDevice
+{
+  public:
+    virtual ~CharDevice() = default;
+
+    /**
+     * Read up to max_bytes.
+     *
+     * Blocks until at least one byte is available or the timeout
+     * expires.
+     *
+     * @param buffer Destination.
+     * @param max_bytes Capacity of buffer.
+     * @param timeout_seconds Maximum time to wait; 0 polls.
+     * @return Number of bytes read; 0 on timeout or end-of-stream.
+     */
+    virtual std::size_t read(std::uint8_t *buffer,
+                             std::size_t max_bytes,
+                             double timeout_seconds) = 0;
+
+    /** Write the full buffer (blocking). */
+    virtual void write(const std::uint8_t *data, std::size_t size) = 0;
+
+    /** Convenience overload. */
+    void
+    write(const std::vector<std::uint8_t> &data)
+    {
+        if (!data.empty())
+            write(data.data(), data.size());
+    }
+
+    /** True once the peer is gone; reads will return 0 forever. */
+    virtual bool closed() const = 0;
+};
+
+/**
+ * Device-side pump that an emulated peripheral implements.
+ *
+ * EmulatedSerialPort calls produce() when the host wants bytes and
+ * hostWrite() when the host sends bytes; the firmware emulation
+ * advances virtual time inside produce().
+ */
+class BytePump
+{
+  public:
+    virtual ~BytePump() = default;
+
+    /**
+     * Generate up to max_bytes of device->host data.
+     * @return Bytes produced; 0 means "nothing to send right now"
+     *         (e.g. streaming stopped).
+     */
+    virtual std::size_t produce(std::uint8_t *buffer,
+                                std::size_t max_bytes) = 0;
+
+    /** Handle host->device bytes (commands). */
+    virtual void hostWrite(const std::uint8_t *data,
+                           std::size_t size) = 0;
+};
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_CHAR_DEVICE_HPP

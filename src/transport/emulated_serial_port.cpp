@@ -1,0 +1,85 @@
+#include "emulated_serial_port.hpp"
+
+#include <thread>
+
+namespace ps3::transport {
+
+EmulatedSerialPort::EmulatedSerialPort(BytePump &pump)
+    : pump_(pump), throttleEpoch_(std::chrono::steady_clock::now())
+{
+}
+
+std::size_t
+EmulatedSerialPort::read(std::uint8_t *buffer, std::size_t max_bytes,
+                         double timeout_seconds)
+{
+    if (closed_.load(std::memory_order_acquire))
+        return 0;
+
+    std::size_t produced = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        produced = pump_.produce(buffer, max_bytes);
+    }
+    if (produced == 0) {
+        // Nothing streaming right now: emulate a blocking read that
+        // times out. Sleep briefly so callers polling in a loop do
+        // not spin at 100% CPU.
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(timeout_seconds, 1e-3)));
+        return 0;
+    }
+
+    // Token-bucket throttle: delay until the modelled link could
+    // have transferred everything sent so far. Compute the deadline
+    // under the lock; sleep outside it so writers are not blocked.
+    std::chrono::steady_clock::time_point ready{};
+    bool throttled = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (bytesPerSecond_ > 0.0) {
+            bytesSent_ += static_cast<double>(produced);
+            const double link_time = bytesSent_ / bytesPerSecond_;
+            ready = throttleEpoch_
+                    + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(link_time));
+            throttled = true;
+        }
+    }
+    if (throttled)
+        std::this_thread::sleep_until(ready);
+    return produced;
+}
+
+void
+EmulatedSerialPort::write(const std::uint8_t *data, std::size_t size)
+{
+    if (closed_.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    pump_.hostWrite(data, size);
+}
+
+bool
+EmulatedSerialPort::closed() const
+{
+    return closed_.load(std::memory_order_acquire);
+}
+
+void
+EmulatedSerialPort::setThrottle(double bytes_per_second)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    bytesPerSecond_ = bytes_per_second;
+    throttleEpoch_ = std::chrono::steady_clock::now();
+    bytesSent_ = 0.0;
+}
+
+void
+EmulatedSerialPort::disconnect()
+{
+    closed_.store(true, std::memory_order_release);
+}
+
+} // namespace ps3::transport

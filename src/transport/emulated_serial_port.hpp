@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Host-side endpoint of the emulated USB serial link.
+ *
+ * Reads pull bytes from the attached BytePump (the firmware), which is
+ * what makes the whole simulation virtual-time: the device produces
+ * samples exactly as fast as the host consumes them, advancing its
+ * virtual clock by one sample period per frame set. An optional
+ * throttle models the finite USB 1.1 link rate for soak tests.
+ */
+
+#ifndef PS3_TRANSPORT_EMULATED_SERIAL_PORT_HPP
+#define PS3_TRANSPORT_EMULATED_SERIAL_PORT_HPP
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "transport/char_device.hpp"
+
+namespace ps3::transport {
+
+/** CharDevice backed by an in-process BytePump. */
+class EmulatedSerialPort : public CharDevice
+{
+  public:
+    /** @param pump Device emulation; must outlive the port. */
+    explicit EmulatedSerialPort(BytePump &pump);
+
+    std::size_t read(std::uint8_t *buffer, std::size_t max_bytes,
+                     double timeout_seconds) override;
+    void write(const std::uint8_t *data, std::size_t size) override;
+    bool closed() const override;
+
+    /**
+     * Limit device->host throughput to model the real link.
+     *
+     * @param bytes_per_second Link rate; 0 disables the throttle
+     *        (default: unthrottled, full virtual-time speed).
+     */
+    void setThrottle(double bytes_per_second);
+
+    /** Simulate unplugging the device: reads return 0 afterwards. */
+    void disconnect();
+
+  private:
+    BytePump &pump_;
+    std::mutex mutex_;
+    std::atomic<bool> closed_{false};
+    double bytesPerSecond_ = 0.0;
+    std::chrono::steady_clock::time_point throttleEpoch_;
+    double bytesSent_ = 0.0;
+};
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_EMULATED_SERIAL_PORT_HPP

@@ -1,0 +1,67 @@
+#include "fault_injection.hpp"
+
+#include <vector>
+
+namespace ps3::transport {
+
+FaultInjectingDevice::FaultInjectingDevice(CharDevice &inner,
+                                           FaultProfile profile,
+                                           std::uint64_t seed)
+    : inner_(inner), profile_(profile), rng_(seed)
+{
+}
+
+std::size_t
+FaultInjectingDevice::read(std::uint8_t *buffer, std::size_t max_bytes,
+                           double timeout_seconds)
+{
+    // Read into a scratch buffer, then apply faults while copying out.
+    std::vector<std::uint8_t> scratch(max_bytes);
+    const std::size_t got =
+        inner_.read(scratch.data(), max_bytes, timeout_seconds);
+    if (got == 0)
+        return 0;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < got && out < max_bytes; ++i) {
+        std::uint8_t byte = scratch[i];
+        if (rng_.bernoulli(profile_.dropProbability)) {
+            ++faults_;
+            continue;
+        }
+        if (rng_.bernoulli(profile_.corruptProbability)) {
+            ++faults_;
+            byte ^= static_cast<std::uint8_t>(
+                rng_.uniformInt(1, 255));
+        }
+        buffer[out++] = byte;
+        if (out < max_bytes
+            && rng_.bernoulli(profile_.duplicateProbability)) {
+            ++faults_;
+            buffer[out++] = byte;
+        }
+    }
+    return out;
+}
+
+void
+FaultInjectingDevice::write(const std::uint8_t *data, std::size_t size)
+{
+    inner_.write(data, size);
+}
+
+bool
+FaultInjectingDevice::closed() const
+{
+    return inner_.closed();
+}
+
+std::uint64_t
+FaultInjectingDevice::faultCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return faults_;
+}
+
+} // namespace ps3::transport

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fault-injecting CharDevice decorator for robustness testing.
+ *
+ * Wraps another device and, on the read path, randomly corrupts,
+ * drops, or duplicates bytes. Used by the host-library tests to prove
+ * that the stream parser resynchronises after link glitches with
+ * bounded sample loss (DESIGN.md decision 3).
+ */
+
+#ifndef PS3_TRANSPORT_FAULT_INJECTION_HPP
+#define PS3_TRANSPORT_FAULT_INJECTION_HPP
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "transport/char_device.hpp"
+
+namespace ps3::transport {
+
+/** Probabilities of each fault per byte read. */
+struct FaultProfile
+{
+    /** Probability a byte's payload bits are flipped. */
+    double corruptProbability = 0.0;
+    /** Probability a byte is silently dropped. */
+    double dropProbability = 0.0;
+    /** Probability a byte is duplicated. */
+    double duplicateProbability = 0.0;
+};
+
+/** CharDevice decorator applying a FaultProfile to reads. */
+class FaultInjectingDevice : public CharDevice
+{
+  public:
+    /**
+     * @param inner Wrapped device (not owned; must outlive this).
+     * @param profile Fault probabilities.
+     * @param seed Deterministic fault stream seed.
+     */
+    FaultInjectingDevice(CharDevice &inner, FaultProfile profile,
+                         std::uint64_t seed);
+
+    std::size_t read(std::uint8_t *buffer, std::size_t max_bytes,
+                     double timeout_seconds) override;
+    void write(const std::uint8_t *data, std::size_t size) override;
+    bool closed() const override;
+
+    /** Number of faults injected so far (corrupt + drop + dup). */
+    std::uint64_t faultCount() const;
+
+  private:
+    CharDevice &inner_;
+    FaultProfile profile_;
+    mutable std::mutex mutex_;
+    Rng rng_;
+    std::uint64_t faults_ = 0;
+};
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_FAULT_INJECTION_HPP

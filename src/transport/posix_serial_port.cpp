@@ -1,0 +1,99 @@
+#include "posix_serial_port.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <termios.h>
+#include <unistd.h>
+
+#include "common/errors.hpp"
+
+namespace ps3::transport {
+
+PosixSerialPort::PosixSerialPort(const std::string &path)
+{
+    fd_ = ::open(path.c_str(), O_RDWR | O_NOCTTY);
+    if (fd_ < 0) {
+        throw DeviceError("cannot open " + path + ": "
+                          + std::strerror(errno));
+    }
+
+    termios tty{};
+    if (::tcgetattr(fd_, &tty) != 0) {
+        ::close(fd_);
+        throw DeviceError("tcgetattr failed on " + path + ": "
+                          + std::strerror(errno));
+    }
+
+    ::cfmakeraw(&tty);
+    ::cfsetispeed(&tty, B4000000);
+    ::cfsetospeed(&tty, B4000000);
+    tty.c_cflag |= CLOCAL | CREAD;
+    tty.c_cc[VMIN] = 0;
+    tty.c_cc[VTIME] = 0;
+
+    if (::tcsetattr(fd_, TCSANOW, &tty) != 0) {
+        ::close(fd_);
+        throw DeviceError("tcsetattr failed on " + path + ": "
+                          + std::strerror(errno));
+    }
+}
+
+PosixSerialPort::~PosixSerialPort()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::size_t
+PosixSerialPort::read(std::uint8_t *buffer, std::size_t max_bytes,
+                      double timeout_seconds)
+{
+    if (closed_)
+        return 0;
+
+    pollfd pfd{fd_, POLLIN, 0};
+    const int timeout_ms = static_cast<int>(timeout_seconds * 1e3);
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0)
+        return 0;
+
+    const ssize_t got = ::read(fd_, buffer, max_bytes);
+    if (got < 0) {
+        if (errno == EAGAIN || errno == EINTR)
+            return 0;
+        closed_ = true;
+        return 0;
+    }
+    if (got == 0) {
+        closed_ = true;
+        return 0;
+    }
+    return static_cast<std::size_t>(got);
+}
+
+void
+PosixSerialPort::write(const std::uint8_t *data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n = ::write(fd_, data + sent, size - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw DeviceError(std::string("serial write failed: ")
+                              + std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+bool
+PosixSerialPort::closed() const
+{
+    return closed_;
+}
+
+} // namespace ps3::transport

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CharDevice backed by a real serial device node (termios).
+ *
+ * Used when driving actual PowerSensor3 hardware: the STM32F411's USB
+ * CDC-ACM endpoint enumerates as /dev/ttyACM*. The port is configured
+ * raw (no echo, no line discipline) at 4 Mbaud — the CDC-ACM layer
+ * ignores the baud setting but termios requires one.
+ *
+ * Not exercised by the test suite (no hardware in CI); kept thin so
+ * the logic that matters lives in the shared host library.
+ */
+
+#ifndef PS3_TRANSPORT_POSIX_SERIAL_PORT_HPP
+#define PS3_TRANSPORT_POSIX_SERIAL_PORT_HPP
+
+#include <string>
+
+#include "transport/char_device.hpp"
+
+namespace ps3::transport {
+
+/** Raw termios serial port. */
+class PosixSerialPort : public CharDevice
+{
+  public:
+    /**
+     * Open and configure the device node.
+     * @param path e.g. "/dev/ttyACM0".
+     * @throws DeviceError when the node cannot be opened/configured.
+     */
+    explicit PosixSerialPort(const std::string &path);
+
+    ~PosixSerialPort() override;
+
+    PosixSerialPort(const PosixSerialPort &) = delete;
+    PosixSerialPort &operator=(const PosixSerialPort &) = delete;
+
+    std::size_t read(std::uint8_t *buffer, std::size_t max_bytes,
+                     double timeout_seconds) override;
+    void write(const std::uint8_t *data, std::size_t size) override;
+    bool closed() const override;
+
+  private:
+    int fd_ = -1;
+    bool closed_ = false;
+};
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_POSIX_SERIAL_PORT_HPP

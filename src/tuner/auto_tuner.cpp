@@ -1,0 +1,291 @@
+#include "auto_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "common/errors.hpp"
+
+namespace ps3::tuner {
+
+namespace {
+
+/** Virtual-time margin before the first scheduled kernel (s). */
+constexpr double kScheduleMargin = 0.25;
+
+} // namespace
+
+AutoTuner::AutoTuner(dut::GpuDutModel &gpu, firmware::Firmware &fw,
+                     host::PowerSensor *sensor,
+                     pmt::PowerMeter *onboard, BeamformerModel model,
+                     TuningOptions options)
+    : gpu_(gpu), fw_(fw), sensor_(sensor), onboard_(onboard),
+      model_(std::move(model)), options_(options)
+{
+    if (options_.strategy == MeasurementStrategy::ExternalSensor
+        && sensor_ == nullptr) {
+        throw UsageError("AutoTuner: ExternalSensor needs a sensor");
+    }
+    if (options_.strategy == MeasurementStrategy::OnboardSensor
+        && onboard_ == nullptr) {
+        throw UsageError("AutoTuner: OnboardSensor needs a meter");
+    }
+}
+
+TuningResult
+AutoTuner::tune(const SearchSpace &space)
+{
+    const auto configs = space.enumerate();
+    if (configs.empty())
+        throw UsageError("AutoTuner: empty search space");
+    const auto clocks = model_.clockRangeMHz();
+
+    if (options_.strategy == MeasurementStrategy::ExternalSensor)
+        return tuneExternal(configs, clocks);
+    return tuneOnboard(configs, clocks);
+}
+
+std::vector<MeasurementRecord>
+AutoTuner::measureExternalBatch(const std::vector<TuningPoint> &points)
+{
+    if (points.empty())
+        return {};
+
+    // Freeze sample production while the program is being built so
+    // the schedule start is deterministic.
+    const double freeze = fw_.clock().now() + 0.01;
+    fw_.setProductionFence(freeze);
+
+    struct Job
+    {
+        KernelPrediction prediction;
+        double start;
+        double end;
+    };
+    std::vector<Job> jobs;
+    jobs.reserve(points.size());
+    std::vector<dut::KernelSchedule> program;
+    program.reserve(points.size());
+
+    double t = freeze + kScheduleMargin;
+    for (const auto &point : points) {
+        Job job;
+        job.prediction = model_.predict(point.config, point.clockMHz);
+        job.start = t;
+        job.end = t + job.prediction.seconds;
+        t = job.end + options_.interKernelGapSeconds;
+
+        dut::KernelSchedule k;
+        k.start = job.start;
+        k.duration = job.prediction.seconds;
+        k.sustainedPower = job.prediction.watts;
+        program.push_back(k);
+        jobs.push_back(job);
+    }
+    const double program_end = t + options_.interKernelGapSeconds;
+    gpu_.setProgram(std::move(program));
+
+    // Integrate energy per job window from the 20 kHz stream.
+    struct WindowAccumulator
+    {
+        double energy = 0.0;
+        std::uint64_t samples = 0;
+    };
+    std::vector<WindowAccumulator> windows(jobs.size());
+    std::size_t cursor = 0;
+    std::mutex cursor_mutex;
+
+    const auto token = sensor_->addSampleListener(
+        [&](const host::Sample &sample) {
+            std::lock_guard<std::mutex> lock(cursor_mutex);
+            while (cursor < jobs.size()
+                   && sample.time > jobs[cursor].end) {
+                ++cursor;
+            }
+            if (cursor >= jobs.size())
+                return;
+            const Job &job = jobs[cursor];
+            if (sample.time >= job.start && sample.time <= job.end) {
+                windows[cursor].energy +=
+                    sample.totalPower() * firmware::kSampleInterval;
+                ++windows[cursor].samples;
+            }
+        });
+
+    // Let the stream run to the end of the program.
+    fw_.setProductionFence(std::numeric_limits<double>::infinity());
+    const bool complete = sensor_->waitUntil(program_end);
+    sensor_->removeSampleListener(token);
+    gpu_.clearProgram();
+    if (!complete)
+        throw DeviceError("AutoTuner: device disappeared during tune");
+
+    std::vector<MeasurementRecord> records;
+    records.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const Job &job = jobs[i];
+        MeasurementRecord record;
+        record.config = points[i].config;
+        record.clockMHz = points[i].clockMHz;
+        record.kernelSeconds = job.prediction.seconds;
+        record.energyJoules = windows[i].energy;
+        record.avgPowerWatts =
+            windows[i].samples
+                ? windows[i].energy
+                      / (static_cast<double>(windows[i].samples)
+                         * firmware::kSampleInterval)
+                : 0.0;
+        record.tflops = model_.problem().flops()
+                        / record.kernelSeconds / 1e12;
+        record.tflopPerJoule =
+            record.energyJoules > 0.0
+                ? model_.problem().flops() / record.energyJoules / 1e12
+                : 0.0;
+        // Tuning-time accounting: per-variant overhead plus `trials`
+        // real executions (PowerSensor3 needs no extended re-runs).
+        record.accountedSeconds =
+            options_.perConfigOverheadSeconds
+            + options_.trials * record.kernelSeconds;
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+TuningResult
+AutoTuner::tuneExternal(const std::vector<Configuration> &configs,
+                        const std::vector<double> &clocks)
+{
+    std::vector<TuningPoint> points;
+    points.reserve(configs.size() * clocks.size());
+    for (const auto &config : configs) {
+        for (double clock : clocks)
+            points.push_back({config, clock});
+    }
+
+    TuningResult result;
+    result.meterName = "PowerSensor3";
+    result.records = measureExternalBatch(points);
+    for (const auto &record : result.records)
+        result.totalTuningSeconds += record.accountedSeconds;
+    return result;
+}
+
+TuningResult
+AutoTuner::tuneAdaptive(SearchStrategy &strategy, Objective objective)
+{
+    if (sensor_ == nullptr) {
+        throw UsageError(
+            "AutoTuner: adaptive tuning needs the external sensor");
+    }
+
+    TuningResult result;
+    result.meterName = "PowerSensor3";
+    while (true) {
+        const auto batch = strategy.nextBatch();
+        if (batch.empty())
+            break;
+        auto records = measureExternalBatch(batch);
+
+        std::vector<MeasuredPoint> feedback;
+        feedback.reserve(records.size());
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            MeasuredPoint point;
+            point.point = batch[i];
+            point.value = objective == Objective::Performance
+                              ? records[i].tflops
+                              : records[i].tflopPerJoule;
+            feedback.push_back(std::move(point));
+        }
+        strategy.observe(feedback);
+
+        for (auto &record : records) {
+            result.totalTuningSeconds += record.accountedSeconds;
+            result.records.push_back(std::move(record));
+        }
+    }
+    return result;
+}
+
+TuningResult
+AutoTuner::tuneOnboard(const std::vector<Configuration> &configs,
+                       const std::vector<double> &clocks)
+{
+    // The on-board path needs no PowerSensor3 stream: the tuner runs
+    // each variant continuously for an extended period and reads the
+    // vendor API before and after. Virtual time is advanced directly
+    // on the device clock.
+    TuningResult result;
+    result.meterName = onboard_->name();
+
+    for (const auto &config : configs) {
+        for (double clock : clocks) {
+            const auto prediction = model_.predict(config, clock);
+
+            // Continuous re-run: back-to-back kernels approximate a
+            // constant load at the sustained power for the extended
+            // duration.
+            const double t0 = fw_.clock().now() + 1e-3;
+            const double run = options_.onboardExtendedRunSeconds;
+            gpu_.setProgram({{t0, run, prediction.watts, 0}});
+
+            // Read the meter at the run start so its update grid
+            // aligns with the load window.
+            fw_.clock().advance(t0 - fw_.clock().now());
+            const auto before = onboard_->read();
+            fw_.clock().advance(run);
+            const auto after = onboard_->read();
+            gpu_.clearProgram();
+
+            const double avg_watts = pmt::watts(before, after);
+
+            MeasurementRecord record;
+            record.config = config;
+            record.clockMHz = clock;
+            record.kernelSeconds = prediction.seconds;
+            record.avgPowerWatts = avg_watts;
+            record.energyJoules = avg_watts * prediction.seconds;
+            record.tflops = model_.problem().flops()
+                            / prediction.seconds / 1e12;
+            record.tflopPerJoule =
+                record.energyJoules > 0.0
+                    ? model_.problem().flops() / record.energyJoules
+                          / 1e12
+                    : 0.0;
+            record.accountedSeconds =
+                options_.perConfigOverheadSeconds
+                + options_.trials * record.kernelSeconds
+                + options_.onboardExtendedRunSeconds;
+            result.totalTuningSeconds += record.accountedSeconds;
+            result.records.push_back(std::move(record));
+        }
+    }
+    return result;
+}
+
+std::vector<std::size_t>
+AutoTuner::paretoFront(const std::vector<MeasurementRecord> &records)
+{
+    std::vector<std::size_t> order(records.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (records[a].tflops != records[b].tflops)
+                      return records[a].tflops > records[b].tflops;
+                  return records[a].tflopPerJoule
+                         > records[b].tflopPerJoule;
+              });
+
+    std::vector<std::size_t> front;
+    double best_efficiency = -1.0;
+    for (std::size_t idx : order) {
+        if (records[idx].tflopPerJoule > best_efficiency) {
+            front.push_back(idx);
+            best_efficiency = records[idx].tflopPerJoule;
+        }
+    }
+    return front;
+}
+
+} // namespace ps3::tuner

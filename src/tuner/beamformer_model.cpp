@@ -1,0 +1,138 @@
+#include "beamformer_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace ps3::tuner {
+
+namespace {
+
+/** Fraction of tensor peak the best variant achieves. */
+constexpr double kBestEfficiency = 0.55;
+
+/** Lowest relative clock in the tuned band (from the [22] model). */
+constexpr double kMinRelativeClock = 0.703;
+
+/** Clock count in the tuned band (paper: 10 clock frequencies). */
+constexpr unsigned kClockSteps = 10;
+
+double
+lookup(int value, std::initializer_list<std::pair<int, double>> table)
+{
+    for (const auto &[key, factor] : table) {
+        if (key == value)
+            return factor;
+    }
+    throw UsageError("BeamformerModel: parameter value outside space");
+}
+
+/** Small deterministic per-variant jitter so variants do not tie. */
+double
+configJitter(const Configuration &config)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const auto &[name, value] : config) {
+        for (char c : name)
+            hash = (hash ^ static_cast<std::uint64_t>(c))
+                   * 1099511628211ull;
+        hash = (hash ^ static_cast<std::uint64_t>(value + 7))
+               * 1099511628211ull;
+    }
+    // Map to [0.97, 1.03).
+    return 0.97 + 0.06 * static_cast<double>(hash % 10007) / 10007.0;
+}
+
+} // namespace
+
+BeamformerModel::BeamformerModel(const dut::GpuSpec &gpu,
+                                 const BeamformerProblem &problem)
+    : gpu_(gpu), problem_(problem)
+{
+    // Tensor peak scales with compute units and clock relative to
+    // the calibration card (RTX 4000 Ada: 48 units at 2175 MHz with
+    // ~146 TFLOP/s FP16 tensor peak).
+    peakTflops_ = 146.0 * (gpu_.computeUnits / 48.0)
+                  * (gpu_.boostClockMHz / 2175.0);
+
+    // DVFS power split calibrated so the fastest configuration draws
+    // ~75% of the board limit and the energy optimum falls inside
+    // the tuned clock band.
+    staticWatts_ =
+        gpu_.idlePower + 0.22 * (gpu_.powerLimit - gpu_.idlePower);
+    dynamicWatts_ = 0.75 * gpu_.powerLimit - staticWatts_;
+    if (dynamicWatts_ <= 0.0)
+        throw UsageError("BeamformerModel: inconsistent power budget");
+}
+
+double
+BeamformerModel::efficiency(const Configuration &config) const
+{
+    const double warps = lookup(config.at("block_warps"),
+                                {{2, 0.78}, {4, 1.0}, {8, 0.93},
+                                 {16, 0.80}});
+    const double block_y = lookup(config.at("block_y"),
+                                  {{1, 0.82}, {2, 1.0}, {4, 0.96},
+                                   {8, 0.85}});
+    const double frags_block = lookup(config.at("frags_per_block"),
+                                      {{1, 0.65}, {2, 0.88}, {4, 1.0},
+                                       {8, 0.92}});
+    const double frags_warp = lookup(config.at("frags_per_warp"),
+                                     {{1, 0.72}, {2, 1.0}, {4, 0.96},
+                                      {8, 0.78}});
+    const double buffering =
+        config.at("double_buffer") != 0 ? 1.0 : 0.90;
+
+    double eff =
+        warps * block_y * frags_block * frags_warp * buffering;
+
+    // Shared-memory pressure: double buffering with the largest
+    // tiles spills and hurts badly.
+    if (config.at("double_buffer") != 0
+        && config.at("frags_per_block") == 8
+        && config.at("block_y") == 8) {
+        eff *= 0.5;
+    }
+    return std::min(eff * configJitter(config), 1.0);
+}
+
+KernelPrediction
+BeamformerModel::predict(const Configuration &config,
+                         double clock_mhz) const
+{
+    if (clock_mhz <= 0.0 || clock_mhz > gpu_.boostClockMHz * 1.001)
+        throw UsageError("BeamformerModel: clock outside range");
+
+    const double f_r = clock_mhz / gpu_.boostClockMHz;
+    const double eff = efficiency(config);
+
+    KernelPrediction prediction;
+    prediction.tflops = peakTflops_ * kBestEfficiency * eff * f_r;
+    prediction.seconds =
+        problem_.flops() / (prediction.tflops * 1e12);
+
+    const double utilisation = 0.55 + 0.45 * eff;
+    prediction.watts =
+        std::min(staticWatts_
+                     + dynamicWatts_ * f_r * f_r * f_r * utilisation,
+                 gpu_.powerLimit);
+    return prediction;
+}
+
+std::vector<double>
+BeamformerModel::clockRangeMHz() const
+{
+    std::vector<double> clocks;
+    clocks.reserve(kClockSteps);
+    const double lo = kMinRelativeClock * gpu_.boostClockMHz;
+    const double hi = gpu_.boostClockMHz;
+    for (unsigned i = 0; i < kClockSteps; ++i) {
+        clocks.push_back(lo
+                         + (hi - lo) * static_cast<double>(i)
+                               / (kClockSteps - 1));
+    }
+    return clocks;
+}
+
+} // namespace ps3::tuner

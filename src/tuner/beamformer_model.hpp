@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Performance/power model of the Tensor-Core Beamformer (paper
+ * Sec. V-A2).
+ *
+ * The beamformer performs complex matrix multiplication on tensor /
+ * matrix cores; with 16-bit data and M = N = K = 4096, one kernel
+ * executes 8 * M * N * K real floating-point operations.
+ *
+ * The model maps a code variant (Configuration) and a locked clock
+ * frequency to:
+ *
+ *  - execution time: work / (peak(f) * efficiency(config)), with a
+ *    mild memory-bandwidth saturation at high clocks;
+ *  - sustained board power: static + dynamic * (f/fmax)^3 * util,
+ *    the cubic DVFS law the paper's energy-tuning reference [22]
+ *    uses.
+ *
+ * Constants are calibrated so the RTX-4000-Ada variant lands near the
+ * paper's headline numbers: fastest Pareto point ~80 TFLOP/s at
+ * ~0.83 TFLOP/J, with a more efficient configuration ~12% better in
+ * TFLOP/J at ~20% lower performance.
+ */
+
+#ifndef PS3_TUNER_BEAMFORMER_MODEL_HPP
+#define PS3_TUNER_BEAMFORMER_MODEL_HPP
+
+#include "dut/gpu_model.hpp"
+#include "tuner/search_space.hpp"
+
+namespace ps3::tuner {
+
+/** Predicted behaviour of one code variant at one clock. */
+struct KernelPrediction
+{
+    /** Kernel execution time (s). */
+    double seconds = 0.0;
+    /** Sustained board power while executing (W). */
+    double watts = 0.0;
+    /** Achieved compute rate (TFLOP/s). */
+    double tflops = 0.0;
+};
+
+/** Beamformer problem size. */
+struct BeamformerProblem
+{
+    unsigned m = 4096;
+    unsigned n = 4096;
+    unsigned k = 4096;
+
+    /** Total real FLOPs of one kernel execution. */
+    double
+    flops() const
+    {
+        return 8.0 * static_cast<double>(m) * n * k;
+    }
+};
+
+/** Analytic model of the beamformer kernel on a GPU. */
+class BeamformerModel
+{
+  public:
+    /**
+     * @param gpu GPU constants (clocks, power envelope).
+     * @param problem Matrix sizes.
+     */
+    BeamformerModel(const dut::GpuSpec &gpu,
+                    const BeamformerProblem &problem = {});
+
+    /**
+     * Predict one execution.
+     *
+     * @param config Code-variant parameters (beamformerSpace()).
+     * @param clock_mhz Locked core clock.
+     */
+    KernelPrediction predict(const Configuration &config,
+                             double clock_mhz) const;
+
+    /**
+     * Relative compute efficiency of a variant in (0, 1]; 1.0 is the
+     * best variant in the space.
+     */
+    double efficiency(const Configuration &config) const;
+
+    /**
+     * The clock frequencies to tune over: 10 values spanning the
+     * energy-relevant band that the performance model of [22]
+     * narrows the search to.
+     */
+    std::vector<double> clockRangeMHz() const;
+
+    const dut::GpuSpec &gpu() const { return gpu_; }
+    const BeamformerProblem &problem() const { return problem_; }
+
+  private:
+    dut::GpuSpec gpu_;
+    BeamformerProblem problem_;
+
+    /** Peak tensor throughput at boost clock (TFLOP/s). */
+    double peakTflops_;
+    /** Static board power under load (W). */
+    double staticWatts_;
+    /** Dynamic power at boost clock and full utilisation (W). */
+    double dynamicWatts_;
+};
+
+} // namespace ps3::tuner
+
+#endif // PS3_TUNER_BEAMFORMER_MODEL_HPP

@@ -1,0 +1,70 @@
+#include "search_space.hpp"
+
+#include "common/errors.hpp"
+
+namespace ps3::tuner {
+
+SearchSpace &
+SearchSpace::add(const std::string &name, std::vector<int> values)
+{
+    if (values.empty())
+        throw UsageError("SearchSpace: parameter without values");
+    parameters_.push_back({name, std::move(values)});
+    return *this;
+}
+
+SearchSpace &
+SearchSpace::restrict(Constraint constraint)
+{
+    if (!constraint)
+        throw UsageError("SearchSpace: null constraint");
+    constraints_.push_back(std::move(constraint));
+    return *this;
+}
+
+std::vector<Configuration>
+SearchSpace::enumerate() const
+{
+    std::vector<Configuration> out;
+    if (parameters_.empty())
+        return out;
+
+    // Odometer-style enumeration of the cartesian product.
+    std::vector<std::size_t> index(parameters_.size(), 0);
+    while (true) {
+        Configuration config;
+        for (std::size_t p = 0; p < parameters_.size(); ++p) {
+            config[parameters_[p].name] =
+                parameters_[p].values[index[p]];
+        }
+        bool valid = true;
+        for (const auto &constraint : constraints_)
+            valid = valid && constraint(config);
+        if (valid)
+            out.push_back(std::move(config));
+
+        std::size_t p = 0;
+        while (p < parameters_.size()
+               && ++index[p] == parameters_[p].values.size()) {
+            index[p] = 0;
+            ++p;
+        }
+        if (p == parameters_.size())
+            break;
+    }
+    return out;
+}
+
+SearchSpace
+SearchSpace::beamformerSpace()
+{
+    SearchSpace space;
+    space.add("block_warps", {2, 4, 8, 16})
+        .add("block_y", {1, 2, 4, 8})
+        .add("frags_per_block", {1, 2, 4, 8})
+        .add("frags_per_warp", {1, 2, 4, 8})
+        .add("double_buffer", {0, 1});
+    return space;
+}
+
+} // namespace ps3::tuner

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tunable-parameter search space (Kernel Tuner style, paper
+ * Sec. V-A2): users declare parameters with their candidate values;
+ * the tuner enumerates the cartesian product, optionally filtered by
+ * constraints, and benchmarks every code variant.
+ */
+
+#ifndef PS3_TUNER_SEARCH_SPACE_HPP
+#define PS3_TUNER_SEARCH_SPACE_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ps3::tuner {
+
+/** One tunable parameter with its candidate values. */
+struct TunableParameter
+{
+    std::string name;
+    std::vector<int> values;
+};
+
+/** A concrete assignment of every parameter. */
+using Configuration = std::map<std::string, int>;
+
+/** Predicate deciding whether a configuration is valid. */
+using Constraint = std::function<bool(const Configuration &)>;
+
+/** Cartesian-product search space with constraints. */
+class SearchSpace
+{
+  public:
+    /** Add a parameter; returns *this for chaining. */
+    SearchSpace &add(const std::string &name, std::vector<int> values);
+
+    /** Add a validity constraint. */
+    SearchSpace &restrict(Constraint constraint);
+
+    /** Enumerate all valid configurations. */
+    std::vector<Configuration> enumerate() const;
+
+    /** Number of parameters. */
+    std::size_t parameterCount() const { return parameters_.size(); }
+
+    /**
+     * The Tensor-Core Beamformer's tunable parameters (paper: thread
+     * block dimensions, fragments per block and per warp, double
+     * buffering -> 512 variants).
+     */
+    static SearchSpace beamformerSpace();
+
+  private:
+    std::vector<TunableParameter> parameters_;
+    std::vector<Constraint> constraints_;
+};
+
+} // namespace ps3::tuner
+
+#endif // PS3_TUNER_SEARCH_SPACE_HPP

@@ -1,0 +1,154 @@
+#include "strategies.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace ps3::tuner {
+
+RandomSearchStrategy::RandomSearchStrategy(const SearchSpace &space,
+                                           std::vector<double> clocks,
+                                           std::size_t budget,
+                                           std::size_t batch_size,
+                                           std::uint64_t seed)
+    : configs_(space.enumerate()),
+      clocks_(std::move(clocks)),
+      budget_(budget),
+      batchSize_(batch_size),
+      rng_(seed)
+{
+    if (configs_.empty() || clocks_.empty())
+        throw UsageError("RandomSearchStrategy: empty space");
+    if (budget == 0 || batch_size == 0)
+        throw UsageError("RandomSearchStrategy: zero budget/batch");
+}
+
+std::vector<TuningPoint>
+RandomSearchStrategy::nextBatch()
+{
+    std::vector<TuningPoint> batch;
+    while (batch.size() < batchSize_ && proposed_ < budget_) {
+        TuningPoint point;
+        point.config =
+            configs_[rng_.uniformInt(0, configs_.size() - 1)];
+        point.clockMHz =
+            clocks_[rng_.uniformInt(0, clocks_.size() - 1)];
+        batch.push_back(std::move(point));
+        ++proposed_;
+    }
+    return batch;
+}
+
+void
+RandomSearchStrategy::observe(const std::vector<MeasuredPoint> &)
+{
+    // Non-adaptive: feedback is recorded by the caller only.
+}
+
+LocalSearchStrategy::LocalSearchStrategy(const SearchSpace &space,
+                                         std::vector<double> clocks,
+                                         unsigned restarts,
+                                         std::size_t max_points,
+                                         std::uint64_t seed)
+    : configs_(space.enumerate()),
+      clocks_(std::move(clocks)),
+      restartsLeft_(restarts),
+      maxPoints_(max_points),
+      rng_(seed)
+{
+    if (configs_.empty() || clocks_.empty())
+        throw UsageError("LocalSearchStrategy: empty space");
+    if (restarts == 0 || max_points == 0)
+        throw UsageError("LocalSearchStrategy: zero budget");
+}
+
+TuningPoint
+LocalSearchStrategy::randomPoint()
+{
+    TuningPoint point;
+    point.config = configs_[rng_.uniformInt(0, configs_.size() - 1)];
+    point.clockMHz = clocks_[rng_.uniformInt(0, clocks_.size() - 1)];
+    return point;
+}
+
+std::vector<TuningPoint>
+LocalSearchStrategy::neighbours(const TuningPoint &p) const
+{
+    // Single-parameter moves: for each parameter, the adjacent
+    // values among the configurations that differ only there; for
+    // the clock axis, the adjacent clock steps.
+    std::vector<TuningPoint> out;
+    for (const auto &candidate : configs_) {
+        unsigned differing = 0;
+        for (const auto &[name, value] : candidate) {
+            if (p.config.at(name) != value)
+                ++differing;
+        }
+        if (differing == 1) {
+            TuningPoint n;
+            n.config = candidate;
+            n.clockMHz = p.clockMHz;
+            out.push_back(std::move(n));
+        }
+    }
+    const auto it =
+        std::find(clocks_.begin(), clocks_.end(), p.clockMHz);
+    if (it != clocks_.end()) {
+        if (it != clocks_.begin())
+            out.push_back({p.config, *(it - 1)});
+        if (it + 1 != clocks_.end())
+            out.push_back({p.config, *(it + 1)});
+    }
+    return out;
+}
+
+std::vector<TuningPoint>
+LocalSearchStrategy::nextBatch()
+{
+    if (proposed_ >= maxPoints_)
+        return {};
+
+    if (!climbing_) {
+        if (restartsLeft_ == 0)
+            return {};
+        --restartsLeft_;
+        climbing_ = true;
+        current_ = randomPoint();
+        currentValue_ = -1.0;
+        pendingNeighbours_ = {current_};
+        ++proposed_;
+        return pendingNeighbours_;
+    }
+
+    // Propose all neighbours of the current point (bounded by the
+    // remaining budget).
+    pendingNeighbours_ = neighbours(current_);
+    if (pendingNeighbours_.size() > maxPoints_ - proposed_)
+        pendingNeighbours_.resize(maxPoints_ - proposed_);
+    proposed_ += pendingNeighbours_.size();
+    if (pendingNeighbours_.empty())
+        climbing_ = false;
+    return pendingNeighbours_;
+}
+
+void
+LocalSearchStrategy::observe(const std::vector<MeasuredPoint> &batch)
+{
+    if (!climbing_)
+        return;
+    // First batch of a climb is the start point itself.
+    bool improved = false;
+    for (const auto &measured : batch) {
+        if (measured.value > currentValue_) {
+            currentValue_ = measured.value;
+            current_ = measured.point;
+            improved = true;
+        }
+    }
+    if (!improved) {
+        // Local optimum: next nextBatch() starts a new climb.
+        climbing_ = false;
+    }
+}
+
+} // namespace ps3::tuner

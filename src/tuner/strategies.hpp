@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Search-space exploration strategies for the auto-tuner.
+ *
+ * The paper's experiment sweeps all 5120 configurations; Kernel Tuner
+ * also ships optimisation strategies that find near-optimal variants
+ * from a fraction of the measurements. Because PowerSensor3 makes a
+ * single measurement cheap (no extended re-run), strategy search and
+ * fast measurement compound — the motivation for supporting both.
+ *
+ * A strategy is an iterative proposer: it emits a batch of jobs to
+ * measure, receives their measured objective values, and proposes the
+ * next batch until it is done. The AutoTuner measures each batch in
+ * one streaming pass.
+ */
+
+#ifndef PS3_TUNER_STRATEGIES_HPP
+#define PS3_TUNER_STRATEGIES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/beamformer_model.hpp"
+#include "tuner/search_space.hpp"
+
+namespace ps3::tuner {
+
+/** One point of the tuning space: a code variant at a clock. */
+struct TuningPoint
+{
+    Configuration config;
+    double clockMHz = 0.0;
+
+    bool operator==(const TuningPoint &) const = default;
+};
+
+/** Objective the strategies optimise. */
+enum class Objective
+{
+    /** Maximise TFLOP/s. */
+    Performance,
+    /** Maximise TFLOP/J. */
+    EnergyEfficiency,
+};
+
+/** Feedback for one measured point. */
+struct MeasuredPoint
+{
+    TuningPoint point;
+    /** Objective value (higher is better). */
+    double value = 0.0;
+};
+
+/** Iterative search strategy. */
+class SearchStrategy
+{
+  public:
+    virtual ~SearchStrategy() = default;
+
+    /**
+     * Propose the next batch of points to measure; empty batch means
+     * the strategy is finished.
+     */
+    virtual std::vector<TuningPoint> nextBatch() = 0;
+
+    /** Deliver the measured objective values of the last batch. */
+    virtual void observe(const std::vector<MeasuredPoint> &batch) = 0;
+
+    /** Points proposed so far. */
+    virtual std::size_t proposedCount() const = 0;
+};
+
+/**
+ * Uniform random sampling of the space with a fixed budget; a strong
+ * baseline for plateau-rich tuning spaces.
+ */
+class RandomSearchStrategy : public SearchStrategy
+{
+  public:
+    /**
+     * @param space Variant space.
+     * @param clocks Clock candidates.
+     * @param budget Total points to sample.
+     * @param batch_size Points per measurement pass.
+     * @param seed Sampling seed.
+     */
+    RandomSearchStrategy(const SearchSpace &space,
+                         std::vector<double> clocks,
+                         std::size_t budget, std::size_t batch_size,
+                         std::uint64_t seed);
+
+    std::vector<TuningPoint> nextBatch() override;
+    void observe(const std::vector<MeasuredPoint> &batch) override;
+    std::size_t proposedCount() const override { return proposed_; }
+
+  private:
+    std::vector<Configuration> configs_;
+    std::vector<double> clocks_;
+    std::size_t budget_;
+    std::size_t batchSize_;
+    Rng rng_;
+    std::size_t proposed_ = 0;
+};
+
+/**
+ * Greedy local search (hill climbing) with random restarts: from a
+ * random point, evaluate all single-parameter neighbours and move to
+ * the best until no neighbour improves, then restart.
+ */
+class LocalSearchStrategy : public SearchStrategy
+{
+  public:
+    /**
+     * @param space Variant space (parameter values define the
+     *        neighbourhood structure).
+     * @param clocks Clock candidates (treated as one more axis).
+     * @param restarts Number of random restarts.
+     * @param max_points Hard budget across all restarts.
+     * @param seed Restart/tie-break seed.
+     */
+    LocalSearchStrategy(const SearchSpace &space,
+                        std::vector<double> clocks, unsigned restarts,
+                        std::size_t max_points, std::uint64_t seed);
+
+    std::vector<TuningPoint> nextBatch() override;
+    void observe(const std::vector<MeasuredPoint> &batch) override;
+    std::size_t proposedCount() const override { return proposed_; }
+
+  private:
+    std::vector<Configuration> configs_;
+    std::vector<double> clocks_;
+    unsigned restartsLeft_;
+    std::size_t maxPoints_;
+    Rng rng_;
+    std::size_t proposed_ = 0;
+
+    /** Current climb state. */
+    bool climbing_ = false;
+    TuningPoint current_;
+    double currentValue_ = 0.0;
+    std::vector<TuningPoint> pendingNeighbours_;
+
+    std::vector<TuningPoint> neighbours(const TuningPoint &p) const;
+    TuningPoint randomPoint();
+};
+
+} // namespace ps3::tuner
+
+#endif // PS3_TUNER_STRATEGIES_HPP

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Unit and property tests for the analog front-end physics: filters,
+ * Hall current sensor, isolated voltage sensor, ADC, module
+ * catalogue and the Table I error budget.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analog/error_budget.hpp"
+#include "analog/sensor_models.hpp"
+#include "analog/sensor_module_spec.hpp"
+#include "common/errors.hpp"
+#include "common/statistics.hpp"
+
+namespace ps3::analog {
+namespace {
+
+TEST(OnePoleFilter, RejectsNonPositiveBandwidth)
+{
+    EXPECT_THROW(OnePoleFilter(0.0), UsageError);
+    EXPECT_THROW(OnePoleFilter(-1.0), UsageError);
+}
+
+TEST(OnePoleFilter, PrimesAtFirstInput)
+{
+    OnePoleFilter filter(1000.0);
+    EXPECT_DOUBLE_EQ(filter.step(5.0, 1e-3), 5.0);
+}
+
+TEST(OnePoleFilter, StepReaches63PercentAtTau)
+{
+    const double bandwidth = 1000.0;
+    OnePoleFilter filter(bandwidth);
+    filter.reset(0.0);
+    const double tau = 1.0 / (2.0 * M_PI * bandwidth);
+    // Advance by exactly one time constant in small steps.
+    const int steps = 1000;
+    double out = 0.0;
+    for (int i = 0; i < steps; ++i)
+        out = filter.step(1.0, tau / steps);
+    EXPECT_NEAR(out, 1.0 - std::exp(-1.0), 1e-3);
+}
+
+TEST(OnePoleFilter, ConvergesToInput)
+{
+    OnePoleFilter filter(300e3);
+    filter.reset(0.0);
+    double out = 0.0;
+    for (int i = 0; i < 100; ++i)
+        out = filter.step(2.5, 50e-6); // >> tau
+    EXPECT_NEAR(out, 2.5, 1e-9);
+}
+
+TEST(OnePoleFilter, ResetJumpsState)
+{
+    OnePoleFilter filter(100.0);
+    filter.reset(3.0);
+    EXPECT_DOUBLE_EQ(filter.output(), 3.0);
+}
+
+TEST(ModuleCatalog, AllStockModulesPresent)
+{
+    const auto all = modules::allStockModules();
+    EXPECT_EQ(all.size(), 6u);
+    EXPECT_EQ(modules::byName("12V-10A").nominalVoltage, 12.0);
+    EXPECT_EQ(modules::byName("USB-C").nominalVoltage, 20.0);
+    EXPECT_EQ(modules::byName("HighCurrent-50A").maxCurrent, 50.0);
+    EXPECT_THROW(modules::byName("nonexistent"), UsageError);
+}
+
+TEST(ModuleCatalog, TransferSlopesAreConsistent)
+{
+    for (const auto &spec : modules::allStockModules()) {
+        // Full-scale current maps to the ADC rail.
+        EXPECT_NEAR(spec.currentOffsetVoltage()
+                        + spec.currentSensitivity()
+                              * spec.currentFullScale,
+                    kAdcVref, 1e-9)
+            << spec.name;
+        // Full-scale voltage maps to the ADC rail.
+        EXPECT_NEAR(spec.voltageGain() * spec.voltageFullScale,
+                    kAdcVref, 1e-9)
+            << spec.name;
+        // Rated operating point fits inside the measurement range.
+        EXPECT_LE(spec.maxCurrent, spec.currentFullScale)
+            << spec.name;
+        EXPECT_LE(spec.nominalVoltage, spec.voltageFullScale)
+            << spec.name;
+    }
+}
+
+TEST(CurrentSensor, NoiselessTransferIsLinearAtZeroSpread)
+{
+    auto spec = modules::slot12V10A();
+    spec.linearityFraction = 0.0;
+    spec.thermalDriftAmpsPp = 0.0;
+    CurrentSensorModel sensor(spec, 1);
+    // Transfer: vref/2 + sensitivity * I.
+    for (double amps : {-10.0, -5.0, 0.0, 5.0, 10.0}) {
+        const double vout =
+            sensor.sample(amps, 1.0 + amps, NoiseMode::Noiseless);
+        EXPECT_NEAR(vout,
+                    spec.currentOffsetVoltage()
+                        + spec.currentSensitivity() * amps,
+                    1e-6);
+    }
+}
+
+TEST(CurrentSensor, OffsetAndGainErrorsApply)
+{
+    auto spec = modules::slot12V10A();
+    spec.linearityFraction = 0.0;
+    spec.thermalDriftAmpsPp = 0.0;
+    CurrentSensorModel sensor(spec, 1, /*offset=*/0.1,
+                              /*gain_error=*/0.01);
+    const double vout = sensor.sample(5.0, 0.0, NoiseMode::Noiseless);
+    const double expected =
+        spec.currentOffsetVoltage()
+        + spec.currentSensitivity() * (5.0 + 0.1) * 1.01;
+    EXPECT_NEAR(vout, expected, 1e-9);
+}
+
+TEST(CurrentSensor, NonlinearityVanishesAtZeroAndFullScale)
+{
+    auto spec = modules::slot12V10A();
+    spec.thermalDriftAmpsPp = 0.0;
+    CurrentSensorModel sensor(spec, 1);
+    // S-curve k*(x^3 - x) is zero at x = 0 and x = 1.
+    const double at_zero = sensor.sample(0.0, 0.0,
+                                         NoiseMode::Noiseless);
+    EXPECT_NEAR(at_zero, spec.currentOffsetVoltage(), 1e-9);
+    CurrentSensorModel sensor2(spec, 1);
+    const double at_fs = sensor2.sample(spec.currentFullScale, 0.0,
+                                        NoiseMode::Noiseless);
+    EXPECT_NEAR(at_fs, kAdcVref, 1e-9);
+}
+
+TEST(CurrentSensor, NoiseMatchesSpec)
+{
+    const auto spec = modules::slot12V10A();
+    CurrentSensorModel sensor(spec, 42);
+    RunningStatistics stats;
+    double t = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        t += 1e-6;
+        stats.add(sensor.sample(0.0, t));
+    }
+    const double amps_rms =
+        stats.stddev() / spec.currentSensitivity();
+    EXPECT_NEAR(amps_rms, spec.hallNoiseRmsRaw,
+                0.05 * spec.hallNoiseRmsRaw);
+}
+
+TEST(CurrentSensor, SaturatesAtRails)
+{
+    const auto spec = modules::slot12V10A();
+    CurrentSensorModel sensor(spec, 1);
+    EXPECT_DOUBLE_EQ(sensor.sample(1000.0, 0.0,
+                                   NoiseMode::Noiseless),
+                     kAdcVref);
+    CurrentSensorModel sensor2(spec, 1);
+    EXPECT_DOUBLE_EQ(sensor2.sample(-1000.0, 0.0,
+                                    NoiseMode::Noiseless),
+                     0.0);
+}
+
+TEST(CurrentSensor, ThermalDriftIsSlowAndBounded)
+{
+    auto spec = modules::slot12V10A();
+    spec.linearityFraction = 0.0;
+    CurrentSensorModel sensor(spec, 3);
+    // Sample over a full drift period; drift must stay within
+    // +-pp/2 and have visible amplitude.
+    RunningStatistics amps;
+    for (int i = 0; i < 500; ++i) {
+        const double t = spec.thermalDriftPeriod * i / 500.0;
+        const double vout =
+            sensor.sample(0.0, t, NoiseMode::Noiseless);
+        amps.add((vout - spec.currentOffsetVoltage())
+                 / spec.currentSensitivity());
+    }
+    EXPECT_LE(amps.max(), spec.thermalDriftAmpsPp / 2 + 1e-9);
+    EXPECT_GE(amps.min(), -spec.thermalDriftAmpsPp / 2 - 1e-9);
+    EXPECT_GT(amps.peakToPeak(), 0.8 * spec.thermalDriftAmpsPp);
+}
+
+TEST(VoltageSensor, TransferAndGainError)
+{
+    const auto spec = modules::slot12V10A();
+    VoltageSensorModel sensor(spec, 1, /*gain_error=*/0.02);
+    const double vout = sensor.sample(12.0, 0.0,
+                                      NoiseMode::Noiseless);
+    EXPECT_NEAR(vout, 12.0 * 1.02 * spec.voltageGain(), 1e-9);
+}
+
+TEST(VoltageSensor, NoiseMatchesSpec)
+{
+    const auto spec = modules::slot12V10A();
+    VoltageSensorModel sensor(spec, 11);
+    RunningStatistics stats;
+    double t = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        t += 1e-6;
+        stats.add(sensor.sample(12.0, t));
+    }
+    const double volts_rms = stats.stddev() / spec.voltageGain();
+    EXPECT_NEAR(volts_rms, spec.ampNoiseRmsInput,
+                0.05 * spec.ampNoiseRmsInput);
+}
+
+TEST(VoltageSensor, BandwidthLimitsFastEdges)
+{
+    const auto spec = modules::slot12V10A(); // 100 kHz chain
+    VoltageSensorModel sensor(spec, 1);
+    sensor.sample(0.0, 0.0, NoiseMode::Noiseless); // prime at 0
+    // A step observed 1 us later is still far from settled.
+    const double vout = sensor.sample(12.0, 1e-6,
+                                      NoiseMode::Noiseless);
+    EXPECT_LT(vout, 12.0 * spec.voltageGain() * 0.8);
+}
+
+TEST(Adc, CodesAndBinCenters)
+{
+    EXPECT_EQ(AdcModel::convert(0.0), 0);
+    EXPECT_EQ(AdcModel::convert(-1.0), 0);
+    EXPECT_EQ(AdcModel::convert(kAdcVref), kAdcCodes - 1);
+    EXPECT_EQ(AdcModel::convert(10.0), kAdcCodes - 1);
+    EXPECT_EQ(AdcModel::convert(kAdcVref / 2), kAdcCodes / 2);
+    EXPECT_DOUBLE_EQ(AdcModel::toVolts(0), 0.5 * kAdcLsb);
+}
+
+TEST(Adc, ConversionTimeMatchesPaperTiming)
+{
+    // 25 cycles at 24 MHz; 48 conversions are exactly 50 us.
+    EXPECT_NEAR(AdcModel::kConversionTime * 48, 50e-6, 1e-12);
+}
+
+/** Property: quantisation error is bounded by half an LSB. */
+class AdcProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AdcProperty, RoundTripErrorWithinHalfLsb)
+{
+    const double volts = GetParam() * kAdcVref / 1000.0;
+    const auto code = AdcModel::convert(volts);
+    const double back = AdcModel::toVolts(code);
+    EXPECT_LE(std::abs(back - volts), kAdcLsb / 2.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AdcProperty,
+                         ::testing::Range(0, 1000, 37));
+
+TEST(ErrorBudget, MatchesPaperTableOne)
+{
+    const auto b12 = computeErrorBudget(modules::slot12V10A());
+    EXPECT_NEAR(b12.voltageError, 0.0286, 0.001);
+    EXPECT_NEAR(b12.currentError, 0.35, 0.01);
+    EXPECT_NEAR(b12.powerError, 4.2, 0.1);
+
+    const auto b33 = computeErrorBudget(modules::slot3V3_10A());
+    EXPECT_NEAR(b33.voltageError, 0.0199, 0.001);
+    EXPECT_NEAR(b33.powerError, 1.2, 0.05);
+
+    const auto busb = computeErrorBudget(modules::usbC());
+    EXPECT_NEAR(busb.powerError, 7.0, 0.15);
+
+    const auto bext = computeErrorBudget(modules::pcie8pin20A());
+    EXPECT_NEAR(bext.currentError, 0.41, 0.01);
+    EXPECT_NEAR(bext.powerError, 5.0, 0.1);
+}
+
+TEST(ErrorBudget, PowerErrorGrowsWithOperatingPoint)
+{
+    const auto spec = modules::slot12V10A();
+    EXPECT_LT(powerErrorAt(spec, 12.0, 1.0),
+              powerErrorAt(spec, 12.0, 10.0));
+    EXPECT_LT(powerErrorAt(spec, 3.3, 10.0),
+              powerErrorAt(spec, 12.0, 10.0));
+}
+
+} // namespace
+} // namespace ps3::analog

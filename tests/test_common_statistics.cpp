@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit and property tests for the statistics utilities.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace ps3 {
+namespace {
+
+TEST(RunningStatistics, EmptyAccumulatorIsNeutral)
+{
+    RunningStatistics stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.peakToPeak(), 0.0);
+}
+
+TEST(RunningStatistics, SingleValue)
+{
+    RunningStatistics stats;
+    stats.add(42.0);
+    EXPECT_EQ(stats.count(), 1u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 42.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 42.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatistics, KnownSequence)
+{
+    RunningStatistics stats;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(v);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 4.0); // population variance
+    EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.peakToPeak(), 7.0);
+}
+
+TEST(RunningStatistics, NumericallyStableForLargeOffsets)
+{
+    // Welford must survive a large common offset where the naive
+    // sum-of-squares catastrophically cancels.
+    RunningStatistics stats;
+    const double offset = 1e12;
+    for (int i = 0; i < 1000; ++i)
+        stats.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+    EXPECT_NEAR(stats.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStatistics, ResetClearsEverything)
+{
+    RunningStatistics stats;
+    stats.add(1.0);
+    stats.add(2.0);
+    stats.reset();
+    EXPECT_EQ(stats.count(), 0u);
+    stats.add(5.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+}
+
+TEST(RunningStatistics, MergeMatchesSequential)
+{
+    Rng rng(99);
+    RunningStatistics sequential, left, right;
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.gaussian(3.0, 2.0);
+        sequential.add(v);
+        (i < 200 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), sequential.count());
+    EXPECT_NEAR(left.mean(), sequential.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), sequential.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), sequential.min());
+    EXPECT_DOUBLE_EQ(left.max(), sequential.max());
+}
+
+TEST(RunningStatistics, MergeWithEmptySides)
+{
+    RunningStatistics a, b;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStatistics a_copy = a;
+    a.merge(b); // empty right side: no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a_copy); // empty left side: adopt
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatistics, GaussianMomentsConverge)
+{
+    Rng rng(7);
+    RunningStatistics stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.gaussian(10.0, 0.5));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.01);
+    EXPECT_NEAR(stats.stddev(), 0.5, 0.01);
+}
+
+TEST(BlockAverager, RejectsZeroBlock)
+{
+    EXPECT_THROW(BlockAverager(0), UsageError);
+}
+
+TEST(BlockAverager, EmitsAverageEveryBlock)
+{
+    BlockAverager averager(3);
+    EXPECT_FALSE(averager.add(1.0));
+    EXPECT_FALSE(averager.add(2.0));
+    EXPECT_TRUE(averager.add(6.0));
+    EXPECT_DOUBLE_EQ(averager.take(), 3.0);
+    EXPECT_FALSE(averager.add(10.0));
+}
+
+TEST(BlockAverager, TakeWithoutCompletedBlockThrows)
+{
+    BlockAverager averager(2);
+    EXPECT_THROW(averager.take(), UsageError);
+    averager.add(1.0);
+    EXPECT_THROW(averager.take(), UsageError);
+}
+
+TEST(BlockAverager, ReduceDropsTrailingPartialBlock)
+{
+    const std::vector<double> data{1, 2, 3, 4, 5, 6, 7};
+    const auto reduced = BlockAverager::reduce(data, 3);
+    ASSERT_EQ(reduced.size(), 2u);
+    EXPECT_DOUBLE_EQ(reduced[0], 2.0);
+    EXPECT_DOUBLE_EQ(reduced[1], 5.0);
+}
+
+/** Property: block averaging preserves the overall mean. */
+class BlockAveragerProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BlockAveragerProperty, PreservesMeanAndShrinksVariance)
+{
+    const unsigned block = GetParam();
+    Rng rng(block * 13 + 1);
+    std::vector<double> data;
+    const std::size_t n = 20000 - 20000 % block;
+    data.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data.push_back(rng.gaussian(5.0, 1.0));
+
+    const auto reduced = BlockAverager::reduce(data, block);
+    ASSERT_EQ(reduced.size(), n / block);
+
+    RunningStatistics raw, avg;
+    for (double v : data)
+        raw.add(v);
+    for (double v : reduced)
+        avg.add(v);
+    EXPECT_NEAR(avg.mean(), raw.mean(), 1e-9);
+
+    if (block > 1) {
+        // White noise: variance shrinks by the block size.
+        EXPECT_NEAR(avg.variance() * block, raw.variance(),
+                    0.25 * raw.variance());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockAveragerProperty,
+                         ::testing::Values(1u, 2u, 4u, 5u, 8u, 20u,
+                                           40u, 100u));
+
+TEST(Percentile, BasicValues)
+{
+    std::vector<double> data{4, 1, 3, 2, 5};
+    EXPECT_DOUBLE_EQ(percentile(data, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 25), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 12.5), 1.5); // interpolated
+}
+
+TEST(Percentile, SingleElementAndErrors)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+    EXPECT_THROW(percentile({}, 50), UsageError);
+    EXPECT_THROW(percentile({1.0}, -1), UsageError);
+    EXPECT_THROW(percentile({1.0}, 101), UsageError);
+}
+
+} // namespace
+} // namespace ps3

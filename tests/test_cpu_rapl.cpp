@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the CPU package model and the RAPL interface simulator:
+ * phase power arithmetic, MSR update/quantisation semantics, and the
+ * 32-bit counter wrap handling.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "dut/cpu_model.hpp"
+#include "pmt/rapl_sim.hpp"
+
+namespace ps3 {
+namespace {
+
+using dut::CpuDutModel;
+using dut::CpuPhase;
+using dut::CpuSpec;
+using pmt::RaplConfig;
+using pmt::RaplSimMeter;
+
+TEST(CpuModel, IdleWithoutProgram)
+{
+    CpuDutModel cpu(CpuSpec::server16Core());
+    EXPECT_DOUBLE_EQ(cpu.packagePower(0.0), 18.0);
+    EXPECT_DOUBLE_EQ(cpu.packagePower(100.0), 18.0);
+}
+
+TEST(CpuModel, FullLoadPower)
+{
+    const auto spec = CpuSpec::server16Core();
+    CpuDutModel cpu(spec);
+    cpu.setProgram({{0.0, 10.0, spec.cores, 1.0}});
+    // Well past the thermal tail: idle + all cores + full uncore.
+    const double expected = spec.idlePower
+                            + spec.cores * spec.perCorePower
+                            + spec.uncorePower;
+    EXPECT_NEAR(cpu.packagePower(5.0), expected, 0.01);
+}
+
+TEST(CpuModel, PartialLoadScalesWithCoresAndIntensity)
+{
+    const auto spec = CpuSpec::server16Core();
+    CpuDutModel cpu(spec);
+    cpu.setProgram({{0.0, 10.0, 8, 0.5}});
+    const double expected =
+        spec.idlePower + 8 * spec.perCorePower * 0.5
+        + spec.uncorePower * 0.5 * 0.5;
+    EXPECT_NEAR(cpu.packagePower(5.0), expected, 0.01);
+}
+
+TEST(CpuModel, ThermalTailSmoothsTransitions)
+{
+    const auto spec = CpuSpec::server16Core();
+    CpuDutModel cpu(spec);
+    cpu.setProgram({{1.0, 1.0, spec.cores, 1.0}});
+    // Right at the phase start the tail keeps power near idle.
+    EXPECT_LT(cpu.packagePower(1.0 + 1e-4), spec.idlePower + 10.0);
+    // After the phase, power decays back.
+    EXPECT_GT(cpu.packagePower(2.0 + 1e-4), spec.idlePower + 10.0);
+    EXPECT_NEAR(cpu.packagePower(3.0), spec.idlePower, 0.1);
+}
+
+TEST(CpuModel, Validation)
+{
+    const auto spec = CpuSpec::server16Core();
+    CpuDutModel cpu(spec);
+    EXPECT_THROW(cpu.setProgram({{0.0, -1.0, 1, 1.0}}), UsageError);
+    EXPECT_THROW(cpu.setProgram({{0.0, 1.0, 99, 1.0}}), UsageError);
+    EXPECT_THROW(cpu.setProgram({{0.0, 1.0, 1, 2.0}}), UsageError);
+    EXPECT_THROW(cpu.setProgram({{0.0, 1.0, 1, 1.0},
+                                 {0.5, 1.0, 1, 1.0}}),
+                 UsageError);
+    EXPECT_THROW(cpu.current(1, 0.0, 12.0), UsageError);
+    CpuSpec bad = spec;
+    bad.cores = 0;
+    EXPECT_THROW(CpuDutModel model(bad), UsageError);
+}
+
+TEST(RaplSim, RejectsBadConfig)
+{
+    CpuDutModel cpu(CpuSpec::server16Core());
+    VirtualClock clock;
+    RaplConfig bad;
+    bad.updatePeriod = 0.0;
+    EXPECT_THROW(RaplSimMeter meter(cpu, clock, bad), UsageError);
+    bad = RaplConfig{};
+    bad.counterBits = 0;
+    EXPECT_THROW(RaplSimMeter meter(cpu, clock, bad), UsageError);
+}
+
+TEST(RaplSim, EnergyTracksConstantLoad)
+{
+    const auto spec = CpuSpec::server16Core();
+    CpuDutModel cpu(spec);
+    cpu.setProgram({{0.0, 100.0, spec.cores, 1.0}});
+    VirtualClock clock;
+    RaplSimMeter meter(cpu, clock);
+
+    clock.advance(1.0); // settle past the thermal tail
+    const auto before = meter.read();
+    clock.advance(2.0);
+    const auto after = meter.read();
+
+    const double full = spec.idlePower
+                        + spec.cores * spec.perCorePower
+                        + spec.uncorePower;
+    EXPECT_NEAR(pmt::watts(before, after), full, 0.5);
+    EXPECT_NEAR(after.watts, full, 0.5);
+}
+
+TEST(RaplSim, CounterIsQuantisedToEnergyUnits)
+{
+    CpuDutModel cpu(CpuSpec::server16Core());
+    VirtualClock clock;
+    RaplConfig config;
+    RaplSimMeter meter(cpu, clock, config);
+
+    meter.read();
+    clock.advance(0.1);
+    const std::uint32_t counter = meter.rawCounter();
+    // 18 W idle for 0.1 s = 1.8 J = ~29491 units; allow a grid
+    // boundary's worth of slack (one 1 ms update = ~295 units).
+    EXPECT_NEAR(static_cast<double>(counter),
+                1.8 / config.energyUnitJoules, 450.0);
+}
+
+TEST(RaplSim, CounterOnlyMovesOnTheUpdateGrid)
+{
+    CpuDutModel cpu(CpuSpec::server16Core());
+    VirtualClock clock;
+    RaplConfig config;
+    RaplSimMeter meter(cpu, clock, config);
+    meter.read();
+    clock.advance(1.0);
+    // Re-reading without time advance never moves the counter.
+    const std::uint32_t at_grid = meter.rawCounter();
+    EXPECT_EQ(meter.rawCounter(), at_grid);
+    // Ten update periods advance the counter by ten 1 ms quanta of
+    // idle power (18 W): 10 x 18 mJ / 61 uJ = ~2949 units.
+    clock.advance(10.0 * config.updatePeriod);
+    const double delta = meter.rawCounter() - at_grid;
+    EXPECT_NEAR(delta, 10.0 * 18.0 * config.updatePeriod
+                           / config.energyUnitJoules,
+                300.0);
+}
+
+TEST(RaplSim, UnwrapsCounterWraps)
+{
+    // Shrink the counter so it wraps quickly: 16 bits of 61 uJ is
+    // ~4 J per wrap; the 106 W full-load CPU wraps every ~38 ms.
+    const auto spec = CpuSpec::server16Core();
+    CpuDutModel cpu(spec);
+    cpu.setProgram({{0.0, 100.0, spec.cores, 1.0}});
+    VirtualClock clock;
+    RaplConfig config;
+    config.counterBits = 16;
+    RaplSimMeter meter(cpu, clock, config);
+
+    clock.advance(1.0);
+    const auto before = meter.read();
+    double joules = 0.0;
+    // Read every 10 ms (more often than the wrap period) for 2 s.
+    for (int i = 0; i < 200; ++i) {
+        clock.advance(0.01);
+        joules = meter.read().joules;
+    }
+    const double measured = joules - before.joules;
+    const double full = spec.idlePower
+                        + spec.cores * spec.perCorePower
+                        + spec.uncorePower;
+    EXPECT_NEAR(measured, full * 2.0, 0.05 * full * 2.0);
+}
+
+TEST(RaplSim, CurrentDrawMatchesPackagePower)
+{
+    const auto spec = CpuSpec::server16Core();
+    CpuDutModel cpu(spec);
+    cpu.setProgram({{0.0, 10.0, 8, 1.0}});
+    EXPECT_NEAR(cpu.current(0, 5.0, 12.0) * 12.0,
+                cpu.packagePower(5.0), 1e-9);
+}
+
+} // namespace
+} // namespace ps3

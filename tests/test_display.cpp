@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the display pipeline: 5x7 font, pre-computed glyph
+ * cache, framebuffer rendering, and the change-only DMA model
+ * (paper Sec. III-B2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "firmware/display.hpp"
+#include "firmware/font5x7.hpp"
+
+namespace ps3::firmware {
+namespace {
+
+TEST(Font5x7, KnownAndUnknownGlyphs)
+{
+    EXPECT_TRUE(glyphKnown('0'));
+    EXPECT_TRUE(glyphKnown('W'));
+    EXPECT_TRUE(glyphKnown(' '));
+    EXPECT_FALSE(glyphKnown('Z'));
+    EXPECT_FALSE(glyphKnown('\n'));
+
+    // Unknown characters render blank.
+    const auto blank = glyphColumns('Z');
+    for (const auto column : blank)
+        EXPECT_EQ(column, 0);
+}
+
+TEST(Font5x7, DigitEightHasTheDensestPattern)
+{
+    // '8' lights both loops; '.' is a tiny dot. Pixel-count sanity.
+    auto count = [](char c) {
+        unsigned lit = 0;
+        for (const auto column : glyphColumns(c)) {
+            for (unsigned bit = 0; bit < kGlyphHeight; ++bit)
+                lit += (column >> bit) & 1u;
+        }
+        return lit;
+    };
+    EXPECT_GT(count('8'), count('1'));
+    EXPECT_GT(count('1'), count('.'));
+    EXPECT_EQ(count(' '), 0u);
+}
+
+TEST(GlyphCacheTest, RendersOnceServesMany)
+{
+    GlyphCache cache;
+    const auto &first = cache.get('7', 2);
+    EXPECT_EQ(first.width, kGlyphWidth * 2);
+    EXPECT_EQ(first.height, kGlyphHeight * 2);
+    for (int i = 0; i < 100; ++i)
+        cache.get('7', 2);
+    EXPECT_EQ(cache.renderedCount(), 1u);
+    EXPECT_EQ(cache.lookupCount(), 101u);
+
+    // A different scale is a different pre-rendered glyph.
+    cache.get('7', 3);
+    EXPECT_EQ(cache.renderedCount(), 2u);
+}
+
+TEST(GlyphCacheTest, ScalingPreservesShape)
+{
+    GlyphCache cache;
+    const auto &small = cache.get('4', 1);
+    const auto &big = cache.get('4', 3);
+    // Every small pixel maps to a fully lit 3x3 block.
+    for (unsigned y = 0; y < small.height; ++y) {
+        for (unsigned x = 0; x < small.width; ++x) {
+            for (unsigned dy = 0; dy < 3; ++dy) {
+                for (unsigned dx = 0; dx < 3; ++dx) {
+                    ASSERT_EQ(big.pixel(x * 3 + dx, y * 3 + dy),
+                              small.pixel(x, y));
+                }
+            }
+        }
+    }
+}
+
+TEST(DisplayRendererTest, DrawsTextIntoTheFramebuffer)
+{
+    DisplayRenderer renderer;
+    EXPECT_EQ(renderer.litPixelCount(), 0u);
+    renderer.render({"12.34 W"});
+    EXPECT_GT(renderer.litPixelCount(), 100u);
+    EXPECT_THROW(renderer.pixel(DisplayRenderer::kWidth, 0),
+                 UsageError);
+}
+
+TEST(DisplayRendererTest, BigFontOnTheFirstLineOnly)
+{
+    DisplayRenderer a, b;
+    a.render({"8"});
+    b.render({"", "8"});
+    // The first-line glyph is scaled kBigScale x: 9x the pixels.
+    EXPECT_EQ(a.litPixelCount(),
+              b.litPixelCount() * DisplayRenderer::kBigScale
+                  * DisplayRenderer::kBigScale);
+}
+
+TEST(DisplayRendererTest, DmaOnlyOnContentChange)
+{
+    DisplayRenderer renderer;
+    renderer.render({"10.00 W"});
+    const auto after_first = renderer.dmaBytesTransferred();
+    EXPECT_EQ(after_first,
+              static_cast<std::uint64_t>(DisplayRenderer::kWidth)
+                  * DisplayRenderer::kHeight * 2);
+
+    // Same content: no new transfer.
+    renderer.render({"10.00 W"});
+    EXPECT_EQ(renderer.dmaBytesTransferred(), after_first);
+    EXPECT_EQ(renderer.refreshCount(), 1u);
+
+    // Changed content: one more transfer.
+    renderer.render({"11.00 W"});
+    EXPECT_EQ(renderer.dmaBytesTransferred(), 2 * after_first);
+    EXPECT_EQ(renderer.refreshCount(), 2u);
+}
+
+TEST(DisplayRendererTest, GlyphCacheWarmsUpThenStopsRendering)
+{
+    DisplayRenderer renderer;
+    renderer.render({"80.88 W", "0: 1.000V 2.000A 2.000W"});
+    const auto rendered = renderer.glyphs().renderedCount();
+    EXPECT_GT(rendered, 0u);
+    // Re-rendering content drawn from the same character set hits
+    // the cache only.
+    renderer.render({"80.08 W", "0: 2.100V 0.200A 0.020W"});
+    EXPECT_EQ(renderer.glyphs().renderedCount(), rendered);
+}
+
+TEST(DisplayModelTest, UpdateDrivesTheRenderer)
+{
+    DisplayModel display;
+    std::array<PairReading, kPairCount> pairs{};
+    pairs[0] = {true, 12.0, 5.0};
+    display.update(pairs);
+    EXPECT_GT(display.renderer().litPixelCount(), 100u);
+    EXPECT_EQ(display.renderer().refreshCount(), 1u);
+    EXPECT_NEAR(display.totalPower(), 60.0, 1e-9);
+
+    // Identical readings do not re-transfer the panel.
+    display.update(pairs);
+    EXPECT_EQ(display.renderer().refreshCount(), 1u);
+}
+
+} // namespace
+} // namespace ps3::firmware

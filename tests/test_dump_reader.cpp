@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the dump-file reader: full write/read round trip through
+ * the host library, marker-based energy attribution, and malformed
+ * input handling.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "host/dump_reader.hpp"
+#include "host/sim_setup.hpp"
+
+namespace ps3::host {
+namespace {
+
+class DumpRoundTrip : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = "/tmp/ps3_dump_reader_test.txt";
+        std::filesystem::remove(path_);
+
+        auto rig = rigs::labBench(analog::modules::slot12V10A(), 12.0,
+                                  5.0);
+        auto sensor = rig.connect();
+        sensor->dump(path_);
+        sensor->mark('B');
+        sensor->waitForSamples(20000); // 1 s
+        sensor->mark('E');
+        sensor->waitForSamples(4000);
+        sensor->dump("");
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    std::string path_;
+};
+
+TEST_F(DumpRoundTrip, ParsesEverything)
+{
+    const auto file = DumpFile::load(path_);
+    EXPECT_GT(file.samples().size(), 20000u);
+    ASSERT_EQ(file.markers().size(), 2u);
+    EXPECT_EQ(file.markers()[0].marker, 'B');
+    EXPECT_EQ(file.markers()[1].marker, 'E');
+    EXPECT_NEAR(file.sampleRateHz(), 20e3, 1.0);
+    EXPECT_GE(file.header().size(), 3u);
+
+    // Sample content is internally consistent.
+    for (std::size_t i = 0; i < file.samples().size(); i += 500) {
+        const auto &s = file.samples()[i];
+        ASSERT_EQ(s.power.size(), 1u);
+        EXPECT_NEAR(s.power[0], s.voltage[0] * s.current[0], 2e-3);
+        EXPECT_NEAR(s.totalPower, s.power[0], 2e-3);
+    }
+}
+
+TEST_F(DumpRoundTrip, TimesAreMonotonicAt20kHz)
+{
+    const auto file = DumpFile::load(path_);
+    const auto &samples = file.samples();
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        ASSERT_NEAR(samples[i].time - samples[i - 1].time, 50e-6,
+                    1e-9);
+    }
+}
+
+TEST_F(DumpRoundTrip, MarkerEnergyAttribution)
+{
+    const auto file = DumpFile::load(path_);
+    const double joules = file.energyBetweenMarkers('B', 'E');
+    const double span = file.markers()[1].time
+                        - file.markers()[0].time;
+    // ~5 A x ~11.95 V across the marked window.
+    EXPECT_NEAR(joules, 5.0 * 11.95 * span, 2.0 * span);
+    EXPECT_THROW(file.energyBetweenMarkers('X', 'E'), UsageError);
+    EXPECT_THROW(file.energyBetweenMarkers('E', 'B'), UsageError);
+}
+
+TEST_F(DumpRoundTrip, WindowedEnergy)
+{
+    const auto file = DumpFile::load(path_);
+    const double t0 = file.samples().front().time;
+    const double full = file.energy(t0, t0 + 1.0);
+    const double half = file.energy(t0, t0 + 0.5);
+    EXPECT_NEAR(half * 2.0, full, 0.05 * full);
+    EXPECT_DOUBLE_EQ(file.energy(t0 + 1.0, t0), 0.0);
+}
+
+TEST(DumpFileErrors, MissingFile)
+{
+    EXPECT_THROW(DumpFile::load("/nonexistent/dump.txt"),
+                 UsageError);
+}
+
+TEST(DumpFileErrors, MalformedLines)
+{
+    const std::string path = "/tmp/ps3_dump_bad.txt";
+    {
+        std::ofstream out(path);
+        out << "S 1.0 12.0 2.0\n"; // not (V I P)+total
+    }
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+    {
+        std::ofstream out(path);
+        out << "Q what\n";
+    }
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+    {
+        std::ofstream out(path);
+        out << "M\n";
+    }
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+    std::filesystem::remove(path);
+}
+
+TEST(DumpFileErrors, EmptyFileIsValid)
+{
+    const std::string path = "/tmp/ps3_dump_empty.txt";
+    { std::ofstream out(path); }
+    const auto file = DumpFile::load(path);
+    EXPECT_TRUE(file.samples().empty());
+    EXPECT_TRUE(file.markers().empty());
+    EXPECT_DOUBLE_EQ(file.energy(0.0, 1.0), 0.0);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace ps3::host

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the DUT electrical models: supplies, rail bindings,
+ * loads, trace playback and rail splitting.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "dut/dut.hpp"
+#include "dut/loads.hpp"
+
+namespace ps3::dut {
+namespace {
+
+TEST(SupplyModel, DroopsUnderLoad)
+{
+    SupplyModel supply(12.0, 0.05);
+    EXPECT_DOUBLE_EQ(supply.voltage(0.0, 0.0), 12.0);
+    EXPECT_DOUBLE_EQ(supply.voltage(0.0, 10.0), 11.5);
+    supply.setVolts(5.0);
+    EXPECT_DOUBLE_EQ(supply.voltage(0.0, 0.0), 5.0);
+}
+
+TEST(SupplyModel, RejectsNegativeResistance)
+{
+    EXPECT_THROW(SupplyModel(12.0, -0.1), UsageError);
+}
+
+TEST(RailBinding, ResolvesOperatingPoint)
+{
+    auto load = std::make_shared<ConstantCurrentLoad>(8.0, 12.0);
+    auto supply = std::make_shared<SupplyModel>(12.0, 0.01);
+    RailBinding binding(load, 0, supply);
+    double volts = 0.0, amps = 0.0;
+    binding.resolve(1.0, volts, amps);
+    EXPECT_DOUBLE_EQ(amps, 8.0);
+    EXPECT_NEAR(volts, 12.0 - 0.08, 1e-9);
+}
+
+TEST(RailBinding, ValidatesArguments)
+{
+    auto load = std::make_shared<ConstantCurrentLoad>(1.0, 12.0);
+    auto supply = std::make_shared<SupplyModel>(12.0);
+    EXPECT_THROW(RailBinding(nullptr, 0, supply), UsageError);
+    EXPECT_THROW(RailBinding(load, 0, nullptr), UsageError);
+    EXPECT_THROW(RailBinding(load, 1, supply), UsageError);
+}
+
+TEST(ConstantCurrentLoad, BasicBehaviour)
+{
+    ConstantCurrentLoad load(3.0, 12.0);
+    EXPECT_EQ(load.railCount(), 1u);
+    EXPECT_DOUBLE_EQ(load.current(0, 0.0, 12.0), 3.0);
+    EXPECT_DOUBLE_EQ(load.truePower(0.0), 36.0);
+    load.setAmps(-2.0);
+    EXPECT_DOUBLE_EQ(load.current(0, 5.0, 12.0), -2.0);
+    EXPECT_THROW(load.current(1, 0.0, 12.0), UsageError);
+}
+
+TEST(ElectronicLoad, ConstantMode)
+{
+    ElectronicLoad load(8.0, 12.0);
+    EXPECT_DOUBLE_EQ(load.current(0, 0.123, 12.0), 8.0);
+    load.setAmps(2.5);
+    EXPECT_DOUBLE_EQ(load.current(0, 0.5, 12.0), 2.5);
+}
+
+TEST(ElectronicLoad, SquareWaveLevelsAndDuty)
+{
+    ElectronicLoad load(8.0, 12.0);
+    load.modulate(LoadWaveform::Square, 100.0, 0.5);
+    // High phase at the start of each period, low in the second
+    // half. Sample away from edges.
+    EXPECT_DOUBLE_EQ(load.targetCurrent(0.002), 8.0);
+    EXPECT_DOUBLE_EQ(load.targetCurrent(0.007), 4.0);
+    EXPECT_DOUBLE_EQ(load.targetCurrent(0.012), 8.0);
+}
+
+TEST(ElectronicLoad, MinimumCurrentClampsLowPhase)
+{
+    ElectronicLoad load(8.0, 12.0);
+    load.setMinimumCurrent(3.3);
+    load.modulate(LoadWaveform::Square, 100.0, 0.9);
+    EXPECT_DOUBLE_EQ(load.targetCurrent(0.007), 3.3);
+}
+
+TEST(ElectronicLoad, SlewLimitedEdgesFormTrapezoid)
+{
+    const double slew = 1e5; // 0.1 A/us
+    ElectronicLoad load(8.0, 12.0, slew);
+    load.modulate(LoadWaveform::Square, 100.0, 0.5);
+    // Rise time (8 - 4) / 1e5 = 40 us. Halfway through the rise the
+    // current must be halfway up.
+    const double i_mid = load.current(0, 20e-6, 12.0);
+    EXPECT_NEAR(i_mid, 6.0, 1e-9);
+    // Well past the rise: settled at the high level.
+    EXPECT_DOUBLE_EQ(load.current(0, 100e-6, 12.0), 8.0);
+    // Falling edge at T/2 = 5 ms.
+    EXPECT_NEAR(load.current(0, 5e-3 + 20e-6, 12.0), 6.0, 1e-9);
+}
+
+TEST(ElectronicLoad, SineWaveSpansLevels)
+{
+    ElectronicLoad load(8.0, 12.0);
+    load.modulate(LoadWaveform::Sine, 50.0, 0.5);
+    double min = 1e9, max = -1e9;
+    for (double t = 0.0; t < 0.04; t += 1e-4) {
+        const double i = load.current(0, t, 12.0);
+        min = std::min(min, i);
+        max = std::max(max, i);
+    }
+    EXPECT_NEAR(min, 4.0, 0.05);
+    EXPECT_NEAR(max, 8.0, 0.05);
+}
+
+TEST(ElectronicLoad, ValidatesModulation)
+{
+    ElectronicLoad load(8.0, 12.0);
+    EXPECT_THROW(load.modulate(LoadWaveform::Square, 0.0, 0.5),
+                 UsageError);
+    EXPECT_THROW(load.modulate(LoadWaveform::Square, 100.0, 1.5),
+                 UsageError);
+    EXPECT_THROW(ElectronicLoad(1.0, 12.0, 0.0), UsageError);
+}
+
+TEST(TraceDut, InterpolatesLinearly)
+{
+    TraceDut trace({{0.0, 10.0}, {1.0, 20.0}, {3.0, 20.0}},
+                   TraceDut::singleRail12V());
+    EXPECT_DOUBLE_EQ(trace.truePower(-1.0), 10.0); // clamped left
+    EXPECT_DOUBLE_EQ(trace.truePower(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(trace.truePower(2.0), 20.0);
+    EXPECT_DOUBLE_EQ(trace.truePower(9.0), 20.0); // clamped right
+}
+
+TEST(TraceDut, CurrentFollowsPowerOverVoltage)
+{
+    TraceDut trace({{0.0, 24.0}}, TraceDut::singleRail12V());
+    EXPECT_DOUBLE_EQ(trace.current(0, 0.0, 12.0), 2.0);
+    EXPECT_DOUBLE_EQ(trace.current(0, 0.0, 0.0), 0.0); // guard
+}
+
+TEST(TraceDut, ValidatesInput)
+{
+    EXPECT_THROW(TraceDut({}, TraceDut::singleRail12V()),
+                 UsageError);
+    EXPECT_THROW(TraceDut({{1.0, 5.0}, {0.5, 5.0}},
+                          TraceDut::singleRail12V()),
+                 UsageError);
+    EXPECT_THROW(TraceDut({{0.0, 5.0}}, {}), UsageError);
+    TraceDut ok({{0.0, 5.0}}, TraceDut::singleRail12V());
+    EXPECT_THROW(ok.current(1, 0.0, 12.0), UsageError);
+}
+
+TEST(SplitRailPower, PcieThreeRailBudgets)
+{
+    const auto rails = TraceDut::pcieThreeRail();
+    // Low power: split by fractions, nothing capped.
+    const double total_low = 50.0;
+    const double p33 = splitRailPower(rails, 0, total_low);
+    const double p12 = splitRailPower(rails, 1, total_low);
+    const double pext = splitRailPower(rails, 2, total_low);
+    EXPECT_NEAR(p33, 50.0 * 0.08, 1e-9);
+    EXPECT_NEAR(p12, 50.0 * 0.5, 1e-9);
+    EXPECT_NEAR(p33 + p12 + pext, total_low, 1e-9);
+
+    // High power: slot rails cap out, the external connector takes
+    // the remainder (PCIe CEM behaviour the paper describes).
+    const double total_high = 300.0;
+    EXPECT_NEAR(splitRailPower(rails, 0, total_high), 9.9, 1e-9);
+    EXPECT_NEAR(splitRailPower(rails, 1, total_high), 66.0, 1e-9);
+    EXPECT_NEAR(splitRailPower(rails, 2, total_high),
+                300.0 - 9.9 - 66.0, 1e-9);
+}
+
+TEST(SplitRailPower, ConservesTotalForAnyLoad)
+{
+    const auto rails = TraceDut::pcieThreeRail();
+    for (double total = 0.0; total <= 600.0; total += 17.0) {
+        double sum = 0.0;
+        for (unsigned rail = 0; rail < rails.size(); ++rail)
+            sum += splitRailPower(rails, rail, total);
+        EXPECT_NEAR(sum, total, 1e-9) << "total=" << total;
+    }
+}
+
+TEST(SplitRailPower, M2AdapterRoutesBulkTo3V3)
+{
+    const auto rails = TraceDut::m2AdapterRails();
+    const double total = 6.0;
+    const double p12 = splitRailPower(rails, 0, total);
+    const double p33 = splitRailPower(rails, 1, total);
+    EXPECT_LE(p12, 0.4 + 1e-9);
+    EXPECT_NEAR(p12 + p33, total, 1e-9);
+    EXPECT_GT(p33, 5.0);
+}
+
+} // namespace
+} // namespace ps3::dut

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Robustness tests: the firmware command handler and the host parser
+ * must survive arbitrary byte sequences without crashing, hanging,
+ * or corrupting state (a hostile or buggy host must not brick the
+ * device; line noise must not wedge the host).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analog/sensor_module_spec.hpp"
+#include "common/rng.hpp"
+#include "dut/loads.hpp"
+#include "firmware/firmware.hpp"
+#include "host/stream_parser.hpp"
+
+namespace ps3 {
+namespace {
+
+std::unique_ptr<firmware::Firmware>
+makeFirmware()
+{
+    auto fw = std::make_unique<firmware::Firmware>();
+    auto load = std::make_shared<dut::ConstantCurrentLoad>(2.0, 12.0);
+    auto supply = std::make_shared<dut::SupplyModel>(12.0);
+    fw->attachModule(0, firmware::makeModule(
+                            analog::modules::slot12V10A(), load, 0,
+                            supply, 1));
+    return fw;
+}
+
+/** Fuzz the firmware with random host bytes across many seeds. */
+class FirmwareFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FirmwareFuzz, RandomHostBytesNeverBreakTheDevice)
+{
+    auto fw = makeFirmware();
+    Rng rng(GetParam());
+
+    std::uint8_t buffer[512];
+    for (int round = 0; round < 200; ++round) {
+        // Random command garbage in random chunk sizes.
+        const std::size_t len = rng.uniformInt(1, 64);
+        std::uint8_t junk[64];
+        for (std::size_t i = 0; i < len; ++i)
+            junk[i] = static_cast<std::uint8_t>(
+                rng.uniformInt(0, 255));
+        fw->hostWrite(junk, len);
+
+        // The junk may have left the device awaiting a multi-byte
+        // argument (a 'W' byte expects a whole config blob). A host
+        // resynchronises the command channel by flushing more than
+        // one blob's worth of invalid command bytes: any pending
+        // argument is completed (and NACKed), then each 0xFF is an
+        // unknown command.
+        std::uint8_t flush[firmware::kConfigBlobSize + 1];
+        std::fill(std::begin(flush), std::end(flush),
+                  std::uint8_t{0xFF});
+        fw->hostWrite(flush, sizeof(flush));
+        // The junk may also have started streaming: stop it before
+        // draining, or the drain never ends.
+        const std::uint8_t stop_cmd =
+            static_cast<std::uint8_t>(firmware::Command::StopStream);
+        fw->hostWrite(&stop_cmd, 1);
+        while (fw->produce(buffer, sizeof(buffer)) != 0) {
+        }
+
+        // The device must now produce data on demand...
+        const std::uint8_t start =
+            static_cast<std::uint8_t>(firmware::Command::StartStream);
+        fw->hostWrite(&start, 1);
+        ASSERT_GT(fw->produce(buffer, sizeof(buffer)), 0u);
+        const std::uint8_t stop =
+            static_cast<std::uint8_t>(firmware::Command::StopStream);
+        fw->hostWrite(&stop, 1);
+        // ...and drain whatever remains without hanging.
+        while (fw->produce(buffer, sizeof(buffer)) != 0) {
+        }
+    }
+
+    // After all the garbage, a clean reboot restores a usable
+    // device with its EEPROM intact.
+    const std::uint8_t reboot =
+        static_cast<std::uint8_t>(firmware::Command::Reboot);
+    fw->hostWrite(&reboot, 1);
+    while (fw->produce(buffer, sizeof(buffer)) != 0) {
+    }
+    EXPECT_EQ(fw->eeprom().loadChannel(0).name, "12V-10A");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FirmwareFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u,
+                                           7u, 8u));
+
+/** Fuzz the host parser with pure noise across many seeds. */
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ParserFuzz, PureNoiseNeverCrashesOrEmitsNonsense)
+{
+    Rng rng(GetParam());
+    unsigned sets = 0;
+    double last_time = -1.0;
+    host::StreamParser parser([&](const host::FrameSet &set) {
+        ++sets;
+        // Whatever comes out must satisfy the basic contract.
+        EXPECT_GT(set.deviceTime, last_time);
+        last_time = set.deviceTime;
+        for (unsigned ch = 0; ch < firmware::kNumChannels; ++ch) {
+            if (set.valid[ch])
+                EXPECT_LT(set.level[ch], 1024);
+        }
+    });
+
+    std::uint8_t noise[4096];
+    for (int round = 0; round < 50; ++round) {
+        for (auto &byte : noise)
+            byte = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        parser.feed(noise, sizeof(noise));
+    }
+    // Random bytes can accidentally form frames; that is fine — the
+    // point is no crash and a sane time axis.
+    EXPECT_GT(parser.resyncByteCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(FirmwareFuzzEdge, TruncatedConfigBlobThenRecovery)
+{
+    auto fw = makeFirmware();
+    // Start a config write but only send half the blob...
+    const std::uint8_t write_cmd =
+        static_cast<std::uint8_t>(firmware::Command::WriteConfig);
+    fw->hostWrite(&write_cmd, 1);
+    const auto blob = firmware::serializeConfig(fw->eeprom().load());
+    fw->hostWrite(blob.data(), blob.size() / 2);
+
+    // ...then recover the way a host must: complete the pending
+    // blob with filler (any command byte sent now, including reboot,
+    // is argument data by design). The bad checksum is NACKed and
+    // the EEPROM stays untouched.
+    std::vector<std::uint8_t> filler(firmware::kConfigBlobSize, 0xFF);
+    fw->hostWrite(filler.data(), filler.size());
+    std::uint8_t buffer[256];
+    std::size_t drained = 0;
+    std::size_t got_nack;
+    while ((got_nack = fw->produce(buffer, sizeof(buffer))) != 0)
+        drained += got_nack;
+    EXPECT_GE(drained, 1u); // the NACK (plus unknown-command NACKs)
+    EXPECT_EQ(fw->eeprom().loadChannel(0).name, "12V-10A");
+
+    const std::uint8_t read_cmd =
+        static_cast<std::uint8_t>(firmware::Command::ReadConfig);
+    fw->hostWrite(&read_cmd, 1);
+    std::vector<std::uint8_t> response;
+    std::size_t got;
+    while ((got = fw->produce(buffer, sizeof(buffer))) != 0)
+        response.insert(response.end(), buffer, buffer + got);
+    ASSERT_EQ(response.size(), 1 + firmware::kConfigBlobSize);
+    EXPECT_EQ(response[0], firmware::kAck);
+}
+
+TEST(FirmwareFuzzEdge, MarkerByteEqualToCommandCharIsData)
+{
+    // 'M' followed by 'M': the second byte is the marker character,
+    // not a new command.
+    auto fw = makeFirmware();
+    const std::uint8_t bytes[] = {'M', 'M', 'S'};
+    fw->hostWrite(bytes, 3);
+    EXPECT_TRUE(fw->streaming());
+
+    std::uint8_t buffer[4096];
+    const std::size_t got = fw->produce(buffer, sizeof(buffer));
+    unsigned flagged = 0;
+    host::StreamParser parser([&](const host::FrameSet &set) {
+        if (set.marker)
+            ++flagged;
+    });
+    parser.feed(buffer, got);
+    EXPECT_EQ(flagged, 1u);
+}
+
+} // namespace
+} // namespace ps3

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit and property tests for the wire protocol: frame codec,
+ * timestamp frames, and the configuration blob.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "firmware/protocol.hpp"
+
+namespace ps3::firmware {
+namespace {
+
+TEST(FrameCodec, ByteRoleBits)
+{
+    Frame frame;
+    frame.sensorId = 5;
+    frame.level = 1023;
+    frame.marker = true;
+    const auto bytes = encodeFrame(frame);
+    EXPECT_TRUE(isFirstByte(bytes[0]));
+    EXPECT_FALSE(isFirstByte(bytes[1]));
+}
+
+TEST(FrameCodec, RejectsOutOfRangeFields)
+{
+    Frame bad_id;
+    bad_id.sensorId = 8;
+    EXPECT_THROW(encodeFrame(bad_id), InternalError);
+
+    Frame bad_level;
+    bad_level.level = 1024;
+    EXPECT_THROW(encodeFrame(bad_level), InternalError);
+}
+
+TEST(FrameCodec, DecodeRejectsInconsistentRoles)
+{
+    EXPECT_THROW(decodeFrame(0x00, 0x00), InternalError);
+    EXPECT_THROW(decodeFrame(0x80, 0x80), InternalError);
+}
+
+/** Property: encode/decode round-trips the full field space. */
+class FrameRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, bool>>
+{
+};
+
+TEST_P(FrameRoundTrip, AllLevelsRoundTrip)
+{
+    const auto [sensor_id, marker] = GetParam();
+    for (unsigned level = 0; level < 1024; ++level) {
+        Frame frame;
+        frame.sensorId = static_cast<std::uint8_t>(sensor_id);
+        frame.level = static_cast<std::uint16_t>(level);
+        frame.marker = marker;
+        const auto bytes = encodeFrame(frame);
+        const Frame decoded = decodeFrame(bytes[0], bytes[1]);
+        ASSERT_EQ(decoded, frame);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, FrameRoundTrip,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Bool()));
+
+TEST(TimestampFrame, UsesReservedEncoding)
+{
+    const Frame ts = makeTimestampFrame(123456);
+    EXPECT_TRUE(ts.isTimestamp());
+    EXPECT_EQ(ts.sensorId, kTimestampId);
+    EXPECT_TRUE(ts.marker);
+    EXPECT_EQ(ts.level, 123456 % kTimestampModulus);
+
+    // A marker on sensor 0 is NOT a timestamp.
+    Frame data;
+    data.sensorId = 0;
+    data.marker = true;
+    EXPECT_FALSE(data.isTimestamp());
+}
+
+TEST(TimestampFrame, SurvivesTheCodec)
+{
+    for (std::uint64_t micros : {0ull, 50ull, 1023ull, 1024ull,
+                                 987654321ull}) {
+        const auto bytes = encodeFrame(makeTimestampFrame(micros));
+        const Frame decoded = decodeFrame(bytes[0], bytes[1]);
+        EXPECT_TRUE(decoded.isTimestamp());
+        EXPECT_EQ(decoded.level, micros % kTimestampModulus);
+    }
+}
+
+TEST(ConfigBlob, RoundTripsAllFields)
+{
+    DeviceConfig config{};
+    config[0].name = "12V-10A";
+    config[0].vref = 1.6543f;
+    config[0].slope = 0.132f;
+    config[0].inUse = true;
+    config[1].name = "12V-10A";
+    config[1].slope = 0.2004f;
+    config[1].inUse = true;
+    config[6].name = "spare";
+    config[6].vref = -0.5f;
+    config[6].inUse = false;
+
+    const auto blob = serializeConfig(config);
+    EXPECT_EQ(blob.size(), kConfigBlobSize);
+    const auto restored = deserializeConfig(blob.data(), blob.size());
+    EXPECT_EQ(restored, config);
+}
+
+TEST(ConfigBlob, TruncatesOverlongNames)
+{
+    DeviceConfig config{};
+    config[0].name = "this-name-is-way-longer-than-fifteen-chars";
+    const auto blob = serializeConfig(config);
+    const auto restored = deserializeConfig(blob.data(), blob.size());
+    EXPECT_EQ(restored[0].name.size(), 15u);
+    EXPECT_EQ(restored[0].name, "this-name-is-wa");
+}
+
+TEST(ConfigBlob, DetectsCorruption)
+{
+    DeviceConfig config{};
+    config[0].name = "x";
+    auto blob = serializeConfig(config);
+
+    auto corrupted = blob;
+    corrupted[10] ^= 0xFF;
+    EXPECT_THROW(deserializeConfig(corrupted.data(),
+                                   corrupted.size()),
+                 DeviceError);
+
+    auto bad_magic = blob;
+    bad_magic[0] = 'X';
+    EXPECT_THROW(deserializeConfig(bad_magic.data(),
+                                   bad_magic.size()),
+                 DeviceError);
+
+    EXPECT_THROW(deserializeConfig(blob.data(), blob.size() - 1),
+                 DeviceError);
+}
+
+TEST(ConfigBlob, ChecksumCoversEveryByte)
+{
+    DeviceConfig config{};
+    config[3].name = "probe";
+    config[3].vref = 1.0f;
+    auto blob = serializeConfig(config);
+    // Flipping any single payload byte must be detected.
+    for (std::size_t i = 0; i + 1 < blob.size(); i += 17) {
+        auto copy = blob;
+        copy[i] ^= 0x01;
+        EXPECT_THROW(deserializeConfig(copy.data(), copy.size()),
+                     DeviceError)
+            << "byte " << i;
+    }
+}
+
+TEST(Protocol, ChannelConventions)
+{
+    EXPECT_TRUE(isCurrentChannel(0));
+    EXPECT_FALSE(isCurrentChannel(1));
+    EXPECT_EQ(pairOfChannel(0), 0u);
+    EXPECT_EQ(pairOfChannel(7), 3u);
+    EXPECT_EQ(kNumChannels, kPairCount * 2);
+    EXPECT_NEAR(kSampleRateHz, 20e3, 1e-9);
+    EXPECT_NEAR(kSampleInterval * kSampleRateHz, 1.0, 1e-12);
+}
+
+TEST(Protocol, VersionStringIsStable)
+{
+    EXPECT_FALSE(firmwareVersion().empty());
+    EXPECT_LT(firmwareVersion().size(), 256u);
+}
+
+} // namespace
+} // namespace ps3::firmware

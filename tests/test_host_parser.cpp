@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit and property tests for the host stream parser:
+ * resynchronisation, timestamp unwrapping, arbitrary chunking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "host/stream_parser.hpp"
+
+namespace ps3::host {
+namespace {
+
+using firmware::encodeFrame;
+using firmware::Frame;
+using firmware::makeTimestampFrame;
+
+/** Append a frame's two bytes to a stream. */
+void
+push(std::vector<std::uint8_t> &stream, const Frame &frame)
+{
+    const auto bytes = encodeFrame(frame);
+    stream.push_back(bytes[0]);
+    stream.push_back(bytes[1]);
+}
+
+/** Build n frame sets with 2 channels, 50 us apart. */
+std::vector<std::uint8_t>
+makeStream(unsigned n, std::uint64_t start_micros = 25,
+           bool mark_first = false)
+{
+    std::vector<std::uint8_t> stream;
+    std::uint64_t micros = start_micros;
+    for (unsigned i = 0; i < n; ++i) {
+        push(stream, makeTimestampFrame(micros));
+        Frame current;
+        current.sensorId = 0;
+        current.level = static_cast<std::uint16_t>(500 + i % 10);
+        current.marker = mark_first && i == 0;
+        push(stream, current);
+        Frame voltage;
+        voltage.sensorId = 1;
+        voltage.level = 700;
+        push(stream, voltage);
+        micros += 50;
+    }
+    return stream;
+}
+
+TEST(StreamParser, RejectsNullCallback)
+{
+    EXPECT_THROW(StreamParser(nullptr), UsageError);
+}
+
+TEST(StreamParser, ParsesCleanStream)
+{
+    const auto stream = makeStream(100);
+    std::vector<FrameSet> sets;
+    StreamParser parser([&](const FrameSet &s) { sets.push_back(s); });
+    parser.feed(stream.data(), stream.size());
+
+    // The final set stays pending until the next timestamp arrives.
+    ASSERT_EQ(sets.size(), 99u);
+    EXPECT_EQ(parser.resyncByteCount(), 0u);
+    EXPECT_TRUE(sets[0].valid[0]);
+    EXPECT_TRUE(sets[0].valid[1]);
+    EXPECT_EQ(sets[0].level[1], 700);
+    for (std::size_t i = 1; i < sets.size(); ++i) {
+        ASSERT_NEAR(sets[i].deviceTime - sets[i - 1].deviceTime,
+                    50e-6, 1e-12);
+    }
+}
+
+TEST(StreamParser, MarkerFlagSurfaces)
+{
+    const auto stream = makeStream(3, 25, /*mark_first=*/true);
+    std::vector<FrameSet> sets;
+    StreamParser parser([&](const FrameSet &s) { sets.push_back(s); });
+    parser.feed(stream.data(), stream.size());
+    ASSERT_EQ(sets.size(), 2u);
+    EXPECT_TRUE(sets[0].marker);
+    EXPECT_FALSE(sets[1].marker);
+}
+
+/** Property: any chunking of the byte stream parses identically. */
+class ParserChunking : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ParserChunking, ChunkSizeIndependent)
+{
+    const auto stream = makeStream(200);
+    std::vector<double> reference_times;
+    {
+        StreamParser parser([&](const FrameSet &s) {
+            reference_times.push_back(s.deviceTime);
+        });
+        parser.feed(stream.data(), stream.size());
+    }
+
+    std::vector<double> chunked_times;
+    StreamParser parser([&](const FrameSet &s) {
+        chunked_times.push_back(s.deviceTime);
+    });
+    const std::size_t chunk = GetParam();
+    for (std::size_t pos = 0; pos < stream.size(); pos += chunk) {
+        parser.feed(stream.data() + pos,
+                    std::min(chunk, stream.size() - pos));
+    }
+    EXPECT_EQ(chunked_times, reference_times);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, ParserChunking,
+                         ::testing::Values(1u, 2u, 3u, 7u, 64u,
+                                           1000u));
+
+TEST(StreamParser, TimestampUnwrapsAcrossThe10BitBoundary)
+{
+    // 50 us steps wrap the 10-bit microsecond counter every ~20.5
+    // sets; run long enough to wrap many times.
+    const auto stream = makeStream(2000);
+    std::vector<double> times;
+    StreamParser parser([&](const FrameSet &s) {
+        times.push_back(s.deviceTime);
+    });
+    parser.feed(stream.data(), stream.size());
+    ASSERT_EQ(times.size(), 1999u);
+    EXPECT_NEAR(times.back() - times.front(), 1998 * 50e-6, 1e-12);
+}
+
+TEST(StreamParser, BaseMicrosAnchorsAbsoluteTime)
+{
+    StreamParser parser([](const FrameSet &) {});
+    parser.setBaseMicros(1000000); // 1 s
+    std::vector<std::uint8_t> stream = makeStream(2, 1000025);
+    std::vector<double> times;
+    StreamParser anchored([&](const FrameSet &s) {
+        times.push_back(s.deviceTime);
+    });
+    anchored.setBaseMicros(1000000);
+    anchored.feed(stream.data(), stream.size());
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_NEAR(times[0], 1.000025, 1e-12);
+}
+
+TEST(StreamParser, BaseMicrosAfterFirstTimestampThrows)
+{
+    StreamParser parser([](const FrameSet &) {});
+    const auto stream = makeStream(2);
+    parser.feed(stream.data(), stream.size());
+    EXPECT_THROW(parser.setBaseMicros(5), UsageError);
+}
+
+TEST(StreamParser, ResyncsAfterInjectedGarbage)
+{
+    auto stream = makeStream(50);
+    // Inject garbage (second-byte-role bytes) mid-stream, at a frame
+    // boundary 10 sets in (6 bytes per set).
+    const std::size_t cut = 10 * 6;
+    std::vector<std::uint8_t> noisy(stream.begin(),
+                                    stream.begin() + cut);
+    for (int i = 0; i < 5; ++i)
+        noisy.push_back(0x33); // bit 7 clear: hunts past them
+    noisy.insert(noisy.end(), stream.begin() + cut, stream.end());
+
+    unsigned sets = 0;
+    StreamParser parser([&](const FrameSet &) { ++sets; });
+    parser.feed(noisy.data(), noisy.size());
+    EXPECT_GE(sets, 48u);
+    EXPECT_GT(parser.resyncByteCount(), 0u);
+}
+
+TEST(StreamParser, RecoversFromLostSecondByte)
+{
+    auto stream = makeStream(50);
+    // Drop one second-byte: the parser sees two first-bytes in a
+    // row, drops the orphan and keeps going.
+    stream.erase(stream.begin() + 6 * 20 + 1);
+    unsigned sets = 0;
+    StreamParser parser([&](const FrameSet &) { ++sets; });
+    parser.feed(stream.data(), stream.size());
+    EXPECT_GE(sets, 47u);
+    EXPECT_GT(parser.resyncByteCount(), 0u);
+}
+
+TEST(StreamParser, RandomCorruptionLosesBoundedData)
+{
+    // Property: with 0.5% random byte corruption, at least 90% of
+    // frame sets still parse and time stays monotonic.
+    auto stream = makeStream(2000);
+    Rng rng(77);
+    for (auto &byte : stream) {
+        if (rng.bernoulli(0.005))
+            byte ^= static_cast<std::uint8_t>(
+                rng.uniformInt(1, 255));
+    }
+    unsigned sets = 0;
+    double last_time = -1.0;
+    bool monotonic = true;
+    StreamParser parser([&](const FrameSet &s) {
+        ++sets;
+        monotonic = monotonic && s.deviceTime > last_time;
+        last_time = s.deviceTime;
+    });
+    parser.feed(stream.data(), stream.size());
+    EXPECT_GT(sets, 1800u);
+    EXPECT_TRUE(monotonic);
+}
+
+TEST(StreamParser, DataBeforeFirstTimestampIsDiscarded)
+{
+    std::vector<std::uint8_t> stream;
+    Frame orphan;
+    orphan.sensorId = 0;
+    orphan.level = 100;
+    push(stream, orphan);
+    const auto rest = makeStream(3);
+    stream.insert(stream.end(), rest.begin(), rest.end());
+
+    unsigned sets = 0;
+    StreamParser parser([&](const FrameSet &) { ++sets; });
+    parser.feed(stream.data(), stream.size());
+    EXPECT_EQ(sets, 2u);
+    EXPECT_EQ(parser.resyncByteCount(), 2u);
+}
+
+TEST(StreamParser, FlushDropsPartialState)
+{
+    const auto stream = makeStream(5);
+    unsigned sets = 0;
+    StreamParser parser([&](const FrameSet &) { ++sets; });
+    // Feed all but the last byte, flush, then feed a clean stream.
+    parser.feed(stream.data(), stream.size() - 1);
+    parser.flush();
+    const auto more = makeStream(5, 2025);
+    parser.feed(more.data(), more.size());
+    EXPECT_GE(sets, 8u);
+}
+
+} // namespace
+} // namespace ps3::host

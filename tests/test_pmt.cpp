@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the PMT layer: the unified meter interface, the
+ * PowerSensor3 backend, and the vendor-API simulators' artifact
+ * models (update rate, averaging window, quantisation, energy
+ * counters).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "host/sim_setup.hpp"
+#include "pmt/power_meter.hpp"
+#include "pmt/vendor_sim.hpp"
+
+namespace ps3::pmt {
+namespace {
+
+TEST(PmtMath, JoulesWattsSeconds)
+{
+    PmtState a{1.0, 100.0, 50.0};
+    PmtState b{3.0, 300.0, 70.0};
+    EXPECT_DOUBLE_EQ(joules(a, b), 200.0);
+    EXPECT_DOUBLE_EQ(seconds(a, b), 2.0);
+    EXPECT_DOUBLE_EQ(watts(a, b), 100.0);
+    EXPECT_THROW(watts(b, a), UsageError);
+}
+
+TEST(PowerSensor3Backend, TracksHostState)
+{
+    auto rig = host::rigs::labBench(analog::modules::slot12V10A(),
+                                    12.0, 5.0);
+    auto sensor = rig.connect();
+    PowerSensor3Meter meter(*sensor);
+    EXPECT_EQ(meter.name(), "PowerSensor3");
+
+    const auto first = meter.read();
+    ASSERT_TRUE(sensor->waitForSamples(20000));
+    const auto second = meter.read();
+    EXPECT_NEAR(watts(first, second), 5.0 * 11.95, 1.0);
+    EXPECT_NEAR(second.watts, 5.0 * 11.95, 3.0);
+}
+
+TEST(VendorSim, ValidatesConfiguration)
+{
+    VirtualClock clock;
+    VendorMeterConfig config;
+    config.updatePeriod = 0.0;
+    EXPECT_THROW(SampledVendorMeter(config,
+                                    [](double) { return 1.0; },
+                                    clock),
+                 UsageError);
+    VendorMeterConfig ok;
+    EXPECT_THROW(SampledVendorMeter(ok, nullptr, clock), UsageError);
+}
+
+TEST(VendorSim, HoldsValueBetweenUpdates)
+{
+    VirtualClock clock;
+    VendorMeterConfig config;
+    config.updatePeriod = 0.1;
+    // Power is a ramp: reported value only changes on the grid.
+    SampledVendorMeter meter(config, [](double t) { return t * 100.0; },
+                             clock);
+    const double v0 = meter.read().watts;
+    clock.advance(0.04);
+    EXPECT_DOUBLE_EQ(meter.read().watts, v0); // within the period
+    clock.advance(0.07);
+    EXPECT_GT(meter.read().watts, v0); // crossed a grid point
+}
+
+TEST(VendorSim, QuantisesReportedPower)
+{
+    VirtualClock clock;
+    VendorMeterConfig config;
+    config.updatePeriod = 0.01;
+    config.quantizationWatts = 5.0;
+    SampledVendorMeter meter(config, [](double) { return 17.3; },
+                             clock);
+    EXPECT_DOUBLE_EQ(meter.read().watts, 15.0);
+}
+
+TEST(VendorSim, AveragingWindowSmoothsSteps)
+{
+    VirtualClock clock;
+    VendorMeterConfig instant;
+    instant.updatePeriod = 0.1;
+    VendorMeterConfig averaged = instant;
+    averaged.averagingWindow = 1.0;
+
+    // A step at t = 1: 10 W before, 110 W after.
+    auto step = [](double t) { return t < 1.0 ? 10.0 : 110.0; };
+    SampledVendorMeter fast(instant, step, clock);
+    SampledVendorMeter slow(averaged, step, clock);
+    fast.read();
+    slow.read();
+
+    clock.advance(1.51); // 0.51 s past the step
+    const double fast_value = fast.read().watts;
+    const double slow_value = slow.read().watts;
+    EXPECT_NEAR(fast_value, 110.0, 1e-6);
+    // The 1 s boxcar still contains ~half the old level.
+    EXPECT_GT(slow_value, 40.0);
+    EXPECT_LT(slow_value, 80.0);
+}
+
+TEST(VendorSim, SampleHeldEnergyVsExactCounter)
+{
+    // A pulse misaligned with the 10 Hz grid: the sample-hold energy
+    // over-counts it (three grid points sample "high"); the exact
+    // counter does not.
+    auto pulse = [](double t) {
+        return (t > 0.37 && t < 0.63) ? 100.0 : 0.0;
+    };
+    VirtualClock clock;
+    VendorMeterConfig held;
+    held.updatePeriod = 0.1;
+    VendorMeterConfig exact = held;
+    exact.exactEnergyCounter = true;
+
+    SampledVendorMeter meter_held(held, pulse, clock);
+    SampledVendorMeter meter_exact(exact, pulse, clock);
+    const auto h0 = meter_held.read();
+    const auto e0 = meter_exact.read();
+    clock.advance(1.0);
+    const auto h1 = meter_held.read();
+    const auto e1 = meter_exact.read();
+
+    const double true_energy = 100.0 * 0.26;
+    EXPECT_NEAR(joules(e0, e1), true_energy, 0.5);
+    // The sample-held estimate is off by a grid-alignment artifact.
+    EXPECT_GT(std::abs(joules(h0, h1) - true_energy), 2.0);
+}
+
+TEST(VendorSim, NvmlFactoryModes)
+{
+    dut::GpuDutModel gpu(dut::GpuSpec::rtx4000Ada());
+    VirtualClock clock;
+    auto instant = makeNvmlMeter(gpu, clock, NvmlMode::Instant);
+    auto average = makeNvmlMeter(gpu, clock, NvmlMode::Average);
+    EXPECT_EQ(instant->name(), "NVML-instant");
+    EXPECT_EQ(average->name(), "NVML-average");
+    EXPECT_NEAR(instant->read().watts,
+                dut::GpuSpec::rtx4000Ada().idlePower, 0.01);
+}
+
+TEST(VendorSim, AmdMetersAgreeWithEachOther)
+{
+    dut::GpuDutModel gpu(dut::GpuSpec::w7700());
+    gpu.launchKernel(0.1, 1.0, 150.0);
+    VirtualClock clock;
+    auto rocm = makeRocmSmiMeter(gpu, clock);
+    auto amd = makeAmdSmiMeter(gpu, clock);
+    rocm->read();
+    amd->read();
+    for (int i = 0; i < 50; ++i) {
+        clock.advance(0.02);
+        EXPECT_NEAR(rocm->read().watts, amd->read().watts, 1e-6);
+    }
+}
+
+TEST(VendorSim, AmdEnergyCounterTracksTruth)
+{
+    dut::GpuDutModel gpu(dut::GpuSpec::w7700());
+    gpu.launchKernel(0.0, 1.0, 150.0);
+    VirtualClock clock;
+    auto meter = makeRocmSmiMeter(gpu, clock);
+    const auto before = meter->read();
+    clock.advance(1.0);
+    const auto after = meter->read();
+
+    double truth = 0.0;
+    for (double t = 0.0; t < 1.0; t += 1e-4)
+        truth += gpu.totalPower(t) * 1e-4;
+    EXPECT_NEAR(joules(before, after), truth, 0.01 * truth);
+}
+
+TEST(VendorSim, JetsonBuiltinSeesOnlyTheModule)
+{
+    dut::SocDutModel soc(
+        dut::GpuSpec::jetsonAgxOrinModule().tuningVariant(), 4.8);
+    soc.module().launchKernel(0.0, 10.0, 40.0);
+    VirtualClock clock;
+    auto builtin = makeJetsonBuiltinMeter(soc, clock);
+    clock.advance(5.0);
+    EXPECT_NEAR(builtin->read().watts, 40.0, 0.1);
+    EXPECT_NEAR(soc.truePower(5.0), 44.8, 1e-9);
+}
+
+} // namespace
+} // namespace ps3::pmt

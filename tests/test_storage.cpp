@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit and property tests for the SSD simulator: FTL invariants,
+ * read parallelism model, write/GC steady state, and trace export.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/statistics.hpp"
+#include "storage/ssd_simulator.hpp"
+
+namespace ps3::storage {
+namespace {
+
+/** A scaled-down drive keeps FTL tests fast. */
+SsdSpec
+smallSpec()
+{
+    SsdSpec spec = SsdSpec::samsung980Pro();
+    spec.logicalCapacity = 4ull * units::kGiB;
+    return spec;
+}
+
+TEST(SsdSpecTest, Defaults)
+{
+    const auto spec = SsdSpec::samsung980Pro();
+    EXPECT_EQ(spec.totalDies(), 16u);
+    EXPECT_GT(spec.overProvisioning, 0.0);
+    EXPECT_GT(spec.interfaceBandwidth, 1e9);
+}
+
+TEST(SsdSimulatorTest, RejectsTinyCapacity)
+{
+    SsdSpec spec = smallSpec();
+    spec.logicalCapacity = units::kMiB;
+    EXPECT_THROW(SsdSimulator sim(spec), UsageError);
+}
+
+TEST(SsdSimulatorTest, FormatResetsState)
+{
+    SsdSimulator ssd(smallSpec(), 1);
+    EXPECT_DOUBLE_EQ(ssd.freeBlockFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(ssd.writeAmplification(), 1.0);
+    ssd.preconditionSequential();
+    EXPECT_LT(ssd.freeBlockFraction(), 0.2);
+    ssd.format();
+    EXPECT_DOUBLE_EQ(ssd.freeBlockFraction(), 1.0);
+}
+
+TEST(SsdSimulatorTest, PreconditionLeavesOnlyTheSparePool)
+{
+    const auto spec = smallSpec();
+    SsdSimulator ssd(spec, 1);
+    ssd.preconditionSequential();
+    // Free fraction equals the over-provisioning share of the
+    // physical space.
+    const double expected =
+        spec.overProvisioning / (1.0 + spec.overProvisioning);
+    EXPECT_NEAR(ssd.freeBlockFraction(), expected, 0.01);
+    EXPECT_DOUBLE_EQ(ssd.writeAmplification(), 1.0);
+}
+
+TEST(SsdSimulatorTest, WorkloadValidation)
+{
+    SsdSimulator ssd(smallSpec(), 1);
+    EXPECT_THROW(ssd.runRandomRead(1.0, 0, 8), UsageError);
+    EXPECT_THROW(ssd.runRandomRead(1.0, 4096, 0), UsageError);
+    EXPECT_THROW(ssd.runRandomRead(-1.0, 4096, 8), UsageError);
+    EXPECT_THROW(ssd.runRandomWrite(1.0, 0, 8), UsageError);
+}
+
+TEST(SsdSimulatorTest, ReadBandwidthGrowsWithRequestSize)
+{
+    SsdSimulator ssd(smallSpec(), 2);
+    double last_bw = 0.0;
+    double last_power = 0.0;
+    for (std::uint64_t kib : {1, 4, 16}) {
+        const auto samples =
+            ssd.runRandomRead(0.5, kib * units::kKiB, 128);
+        ASSERT_FALSE(samples.empty());
+        RunningStatistics bw, power;
+        for (const auto &s : samples) {
+            bw.add(s.readBandwidth);
+            power.add(s.powerWatts);
+        }
+        EXPECT_GT(bw.mean(), last_bw);
+        EXPECT_GT(power.mean(), last_power);
+        last_bw = bw.mean();
+        last_power = power.mean();
+    }
+}
+
+TEST(SsdSimulatorTest, ReadCapsAtInterfaceAndDiePower)
+{
+    const auto spec = smallSpec();
+    SsdSimulator ssd(spec, 3);
+    const auto samples =
+        ssd.runRandomRead(0.5, units::kMiB, 256);
+    for (const auto &s : samples) {
+        EXPECT_LE(s.readBandwidth,
+                  spec.interfaceBandwidth * 1.02);
+        EXPECT_LE(s.powerWatts,
+                  spec.idleWatts + spec.controllerWatts
+                      + spec.totalDies() * spec.dieReadWatts + 0.2);
+        EXPECT_DOUBLE_EQ(s.writeBandwidth, 0.0);
+    }
+}
+
+TEST(SsdSimulatorTest, ReadsDoNotMutateTheFtl)
+{
+    SsdSimulator ssd(smallSpec(), 4);
+    ssd.preconditionSequential();
+    const double free_before = ssd.freeBlockFraction();
+    ssd.runRandomRead(1.0, 64 * units::kKiB, 64);
+    EXPECT_DOUBLE_EQ(ssd.freeBlockFraction(), free_before);
+    EXPECT_DOUBLE_EQ(ssd.writeAmplification(), 1.0);
+}
+
+TEST(SsdSimulatorTest, SteadyRandomWriteDevelopsGcAndWa)
+{
+    SsdSimulator ssd(smallSpec(), 5);
+    ssd.preconditionSequential();
+    const auto samples =
+        ssd.runRandomWrite(120.0, 4 * units::kKiB, 32, 0.5);
+    ASSERT_GT(samples.size(), 100u);
+
+    // GC must have become active at some point.
+    double max_gc = 0.0;
+    for (const auto &s : samples)
+        max_gc = std::max(max_gc, s.gcActivity);
+    EXPECT_GT(max_gc, 0.3);
+
+    // Write amplification settles into a plausible band for ~12%
+    // over-provisioning under uniform random writes.
+    const double wa = samples.back().writeAmplification;
+    EXPECT_GT(wa, 1.5);
+    EXPECT_LT(wa, 8.0);
+
+    // Free pool stays within the hysteresis band (never exhausted).
+    for (const auto &s : samples) {
+        EXPECT_GE(s.freeBlockFraction, 0.0);
+        EXPECT_LE(s.freeBlockFraction, 0.2);
+    }
+}
+
+TEST(SsdSimulatorTest, BandwidthCollapsesPowerStaysFlat)
+{
+    SsdSimulator ssd(smallSpec(), 6);
+    ssd.preconditionSequential();
+    // Fine early resolution: on the scaled-down drive the free pool
+    // drains within a fraction of a second.
+    const auto samples =
+        ssd.runRandomWrite(120.0, 4 * units::kKiB, 32, 0.1);
+
+    RunningStatistics early_bw, late_bw, late_power;
+    for (const auto &s : samples) {
+        if (s.time < 0.25)
+            early_bw.add(s.writeBandwidth);
+        if (s.time > 60.0) {
+            late_bw.add(s.writeBandwidth);
+            late_power.add(s.powerWatts);
+        }
+    }
+    EXPECT_LT(late_bw.mean(), early_bw.mean() * 0.6);
+    EXPECT_NEAR(late_power.mean(), 5.0, 1.0);
+    EXPECT_LT(late_power.stddev() / late_power.mean(), 0.1);
+}
+
+TEST(SsdSimulatorTest, DeterministicPerSeed)
+{
+    SsdSimulator a(smallSpec(), 42), b(smallSpec(), 42);
+    a.preconditionSequential();
+    b.preconditionSequential();
+    const auto sa = a.runRandomWrite(10.0, 4 * units::kKiB, 32, 0.5);
+    const auto sb = b.runRandomWrite(10.0, 4 * units::kKiB, 32, 0.5);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_DOUBLE_EQ(sa[i].writeBandwidth, sb[i].writeBandwidth);
+        EXPECT_DOUBLE_EQ(sa[i].powerWatts, sb[i].powerWatts);
+    }
+}
+
+TEST(SsdSimulatorTest, SequentialReadBeatsRandomAtSameSize)
+{
+    SsdSimulator ssd(smallSpec(), 8);
+    const std::uint64_t req = 4 * units::kKiB;
+    const auto seq = ssd.runSequentialRead(0.5, req, 64);
+    const auto rnd = ssd.runRandomRead(0.5, req, 64);
+    RunningStatistics seq_bw, rnd_bw;
+    for (const auto &s : seq)
+        seq_bw.add(s.readBandwidth);
+    for (const auto &s : rnd)
+        rnd_bw.add(s.readBandwidth);
+    // No read-unit amplification or IOPS penalty sequentially.
+    EXPECT_GT(seq_bw.mean(), rnd_bw.mean() * 1.5);
+    EXPECT_THROW(ssd.runSequentialRead(1.0, 0, 8), UsageError);
+}
+
+TEST(SsdSimulatorTest, MixedWorkloadSharesTheBudget)
+{
+    SsdSimulator ssd(smallSpec(), 9);
+    ssd.preconditionSequential();
+    const auto mixed = ssd.runMixedReadWrite(
+        30.0, 4 * units::kKiB, 32, /*read_fraction=*/0.7, 0.5);
+    ASSERT_FALSE(mixed.empty());
+
+    RunningStatistics reads, writes, power;
+    for (const auto &s : mixed) {
+        reads.add(s.readBandwidth);
+        writes.add(s.writeBandwidth);
+        power.add(s.powerWatts);
+    }
+    // Both directions flow. 70% of *requests* are 4 KiB reads but
+    // each write programs a full 16 KiB page, so the byte split is
+    // lower than the request split.
+    EXPECT_GT(reads.mean(), 0.0);
+    EXPECT_GT(writes.mean(), 0.0);
+    EXPECT_GT(reads.mean() / (reads.mean() + writes.mean()), 0.25);
+    // Power stays in the active-device class.
+    EXPECT_GT(power.mean(), 3.0);
+    EXPECT_LT(power.mean(), 7.5);
+    // Writes still drive GC on the preconditioned drive.
+    double max_gc = 0.0;
+    for (const auto &s : mixed)
+        max_gc = std::max(max_gc, s.gcActivity);
+    EXPECT_GT(max_gc, 0.1);
+}
+
+TEST(SsdSimulatorTest, MixedWorkloadValidation)
+{
+    SsdSimulator ssd(smallSpec(), 10);
+    EXPECT_THROW(ssd.runMixedReadWrite(1.0, 4096, 8, -0.1),
+                 UsageError);
+    EXPECT_THROW(ssd.runMixedReadWrite(1.0, 4096, 8, 1.5),
+                 UsageError);
+    EXPECT_THROW(ssd.runMixedReadWrite(1.0, 0, 8, 0.5), UsageError);
+}
+
+TEST(ToPowerTrace, PrependsIdleAnchor)
+{
+    std::vector<StorageSample> samples(2);
+    samples[0].time = 1.0;
+    samples[0].powerWatts = 4.0;
+    samples[1].time = 2.0;
+    samples[1].powerWatts = 5.0;
+    const auto trace = toPowerTrace(samples, 10.0, 1.5);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_DOUBLE_EQ(trace[0].time, 10.0);
+    EXPECT_DOUBLE_EQ(trace[0].power, 1.5);
+    EXPECT_DOUBLE_EQ(trace[1].time, 11.0);
+    EXPECT_DOUBLE_EQ(trace[2].power, 5.0);
+}
+
+} // namespace
+} // namespace ps3::storage

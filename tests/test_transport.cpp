@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the transport layer: byte queue, emulated serial
+ * port (including the throttle), fault injection, and the POSIX
+ * port's error paths.
+ */
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "transport/byte_queue.hpp"
+#include "transport/emulated_serial_port.hpp"
+#include "transport/fault_injection.hpp"
+#include "transport/posix_serial_port.hpp"
+
+namespace ps3::transport {
+namespace {
+
+TEST(ByteQueue, PushPopRoundTrip)
+{
+    ByteQueue queue;
+    const std::uint8_t data[] = {1, 2, 3, 4, 5};
+    queue.push(data, sizeof(data));
+    EXPECT_EQ(queue.size(), 5u);
+
+    std::uint8_t out[3];
+    EXPECT_EQ(queue.pop(out, sizeof(out), 0.1), 3u);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[2], 3);
+    EXPECT_EQ(queue.pop(out, sizeof(out), 0.1), 2u);
+    EXPECT_EQ(out[0], 4);
+}
+
+TEST(ByteQueue, PopTimesOutWhenEmpty)
+{
+    ByteQueue queue;
+    std::uint8_t out[4];
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(queue.pop(out, sizeof(out), 0.05), 0u);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+}
+
+TEST(ByteQueue, BlockingPopWakesOnPush)
+{
+    ByteQueue queue;
+    std::uint8_t out[1];
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const std::uint8_t byte = 0xAB;
+        queue.push(&byte, 1);
+    });
+    EXPECT_EQ(queue.pop(out, 1, 2.0), 1u);
+    EXPECT_EQ(out[0], 0xAB);
+    producer.join();
+}
+
+TEST(ByteQueue, ShutdownWakesAndDrains)
+{
+    ByteQueue queue;
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        queue.shutdown();
+    });
+    std::uint8_t out[1];
+    EXPECT_EQ(queue.pop(out, 1, 5.0), 0u);
+    EXPECT_TRUE(queue.isShutdown());
+    closer.join();
+}
+
+/** A trivial pump producing a repeating byte pattern. */
+class PatternPump : public BytePump
+{
+  public:
+    std::size_t
+    produce(std::uint8_t *buffer, std::size_t max_bytes) override
+    {
+        if (exhausted)
+            return 0;
+        for (std::size_t i = 0; i < max_bytes; ++i)
+            buffer[i] = static_cast<std::uint8_t>(counter++);
+        return max_bytes;
+    }
+
+    void
+    hostWrite(const std::uint8_t *data, std::size_t size) override
+    {
+        received.insert(received.end(), data, data + size);
+    }
+
+    unsigned counter = 0;
+    bool exhausted = false;
+    std::vector<std::uint8_t> received;
+};
+
+TEST(EmulatedSerialPort, PullsFromPumpAndForwardsWrites)
+{
+    PatternPump pump;
+    EmulatedSerialPort port(pump);
+
+    std::uint8_t buffer[16];
+    EXPECT_EQ(port.read(buffer, sizeof(buffer), 0.1), 16u);
+    EXPECT_EQ(buffer[0], 0);
+    EXPECT_EQ(buffer[15], 15);
+
+    const std::uint8_t cmd[] = {'S', 'M', 'x'};
+    port.write(cmd, sizeof(cmd));
+    ASSERT_EQ(pump.received.size(), 3u);
+    EXPECT_EQ(pump.received[1], 'M');
+}
+
+TEST(EmulatedSerialPort, EmptyPumpBehavesLikeTimeout)
+{
+    PatternPump pump;
+    pump.exhausted = true;
+    EmulatedSerialPort port(pump);
+    std::uint8_t buffer[8];
+    EXPECT_EQ(port.read(buffer, sizeof(buffer), 0.01), 0u);
+    EXPECT_FALSE(port.closed());
+}
+
+TEST(EmulatedSerialPort, DisconnectStopsTraffic)
+{
+    PatternPump pump;
+    EmulatedSerialPort port(pump);
+    port.disconnect();
+    std::uint8_t buffer[8];
+    EXPECT_EQ(port.read(buffer, sizeof(buffer), 0.01), 0u);
+    EXPECT_TRUE(port.closed());
+    const std::uint8_t byte = 'S';
+    port.write(&byte, 1); // silently dropped
+    EXPECT_TRUE(pump.received.empty());
+}
+
+TEST(EmulatedSerialPort, ThrottleLimitsByteRate)
+{
+    PatternPump pump;
+    EmulatedSerialPort port(pump);
+    port.setThrottle(100e3); // 100 kB/s
+
+    std::uint8_t buffer[4096];
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t total = 0;
+    while (total < 10000)
+        total += port.read(buffer, sizeof(buffer), 0.1);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    // 10 kB at 100 kB/s must take about 0.1 s.
+    EXPECT_GT(elapsed.count(), 0.06);
+    EXPECT_LT(elapsed.count(), 0.4);
+}
+
+TEST(FaultInjection, NoFaultsMeansTransparent)
+{
+    PatternPump pump;
+    EmulatedSerialPort port(pump);
+    FaultInjectingDevice faulty(port, FaultProfile{}, 1);
+
+    std::uint8_t buffer[64];
+    EXPECT_EQ(faulty.read(buffer, sizeof(buffer), 0.1), 64u);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(buffer[i], i);
+    EXPECT_EQ(faulty.faultCount(), 0u);
+}
+
+TEST(FaultInjection, DropsReduceByteCount)
+{
+    PatternPump pump;
+    EmulatedSerialPort port(pump);
+    FaultProfile profile;
+    profile.dropProbability = 0.5;
+    FaultInjectingDevice faulty(port, profile, 7);
+
+    std::uint8_t buffer[1000];
+    const std::size_t got = faulty.read(buffer, sizeof(buffer), 0.1);
+    EXPECT_LT(got, 700u);
+    EXPECT_GT(got, 300u);
+    EXPECT_GT(faulty.faultCount(), 0u);
+}
+
+TEST(FaultInjection, CorruptionChangesBytes)
+{
+    PatternPump pump;
+    EmulatedSerialPort port(pump);
+    FaultProfile profile;
+    profile.corruptProbability = 0.2;
+    FaultInjectingDevice faulty(port, profile, 9);
+
+    std::uint8_t buffer[1000];
+    const std::size_t got = faulty.read(buffer, sizeof(buffer), 0.1);
+    ASSERT_EQ(got, 1000u);
+    unsigned mismatches = 0;
+    for (unsigned i = 0; i < got; ++i) {
+        if (buffer[i] != static_cast<std::uint8_t>(i))
+            ++mismatches;
+    }
+    EXPECT_GT(mismatches, 100u);
+    EXPECT_LT(mismatches, 320u);
+    EXPECT_EQ(faulty.faultCount(), mismatches);
+}
+
+TEST(FaultInjection, DeterministicPerSeed)
+{
+    PatternPump pump_a, pump_b;
+    EmulatedSerialPort port_a(pump_a), port_b(pump_b);
+    FaultProfile profile;
+    profile.corruptProbability = 0.1;
+    profile.dropProbability = 0.05;
+    FaultInjectingDevice faulty_a(port_a, profile, 33);
+    FaultInjectingDevice faulty_b(port_b, profile, 33);
+
+    std::uint8_t buf_a[512], buf_b[512];
+    const auto got_a = faulty_a.read(buf_a, sizeof(buf_a), 0.1);
+    const auto got_b = faulty_b.read(buf_b, sizeof(buf_b), 0.1);
+    ASSERT_EQ(got_a, got_b);
+    for (std::size_t i = 0; i < got_a; ++i)
+        ASSERT_EQ(buf_a[i], buf_b[i]);
+}
+
+TEST(PosixSerialPort, ThrowsOnMissingDevice)
+{
+    EXPECT_THROW(PosixSerialPort("/nonexistent/device"),
+                 DeviceError);
+}
+
+} // namespace
+} // namespace ps3::transport

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit and integration tests for the auto-tuner: search space
+ * enumeration, the beamformer performance/power model, both
+ * measurement strategies, and Pareto-front extraction.
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "host/sim_setup.hpp"
+#include "pmt/vendor_sim.hpp"
+#include "tuner/auto_tuner.hpp"
+
+namespace ps3::tuner {
+namespace {
+
+TEST(SearchSpaceTest, EnumeratesCartesianProduct)
+{
+    SearchSpace space;
+    space.add("a", {1, 2, 3}).add("b", {10, 20});
+    const auto configs = space.enumerate();
+    EXPECT_EQ(configs.size(), 6u);
+    std::set<std::pair<int, int>> seen;
+    for (const auto &config : configs)
+        seen.insert({config.at("a"), config.at("b")});
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(SearchSpaceTest, ConstraintsFilter)
+{
+    SearchSpace space;
+    space.add("a", {1, 2, 3, 4})
+        .add("b", {1, 2, 3, 4})
+        .restrict([](const Configuration &c) {
+            return c.at("a") * c.at("b") <= 4;
+        });
+    const auto configs = space.enumerate();
+    for (const auto &config : configs)
+        EXPECT_LE(config.at("a") * config.at("b"), 4);
+    EXPECT_EQ(configs.size(), 8u); // (1,1..4),(2,1..2),(3,1),(4,1)
+}
+
+TEST(SearchSpaceTest, Validation)
+{
+    SearchSpace space;
+    EXPECT_THROW(space.add("x", {}), UsageError);
+    EXPECT_THROW(space.restrict(nullptr), UsageError);
+    EXPECT_TRUE(space.enumerate().empty());
+}
+
+TEST(SearchSpaceTest, BeamformerSpaceHas512Variants)
+{
+    const auto configs =
+        SearchSpace::beamformerSpace().enumerate();
+    EXPECT_EQ(configs.size(), 512u);
+}
+
+TEST(BeamformerModelTest, CalibratedToPaperHeadline)
+{
+    BeamformerModel model(dut::GpuSpec::rtx4000Ada());
+    // The best variant at boost clock must land near the paper's
+    // 80.4 TFLOP/s fastest Pareto point.
+    double best_tflops = 0.0;
+    for (const auto &config :
+         SearchSpace::beamformerSpace().enumerate()) {
+        const auto p = model.predict(config, 2175.0);
+        best_tflops = std::max(best_tflops, p.tflops);
+    }
+    EXPECT_NEAR(best_tflops, 80.4, 5.0);
+}
+
+TEST(BeamformerModelTest, MonotonicInClock)
+{
+    BeamformerModel model(dut::GpuSpec::rtx4000Ada());
+    const auto config =
+        SearchSpace::beamformerSpace().enumerate().front();
+    double last_tflops = 0.0;
+    double last_watts = 0.0;
+    for (double clock : model.clockRangeMHz()) {
+        const auto p = model.predict(config, clock);
+        EXPECT_GT(p.tflops, last_tflops);
+        EXPECT_GT(p.watts, last_watts);
+        last_tflops = p.tflops;
+        last_watts = p.watts;
+    }
+}
+
+TEST(BeamformerModelTest, ClockRangeSpansTheTunedBand)
+{
+    BeamformerModel model(dut::GpuSpec::rtx4000Ada());
+    const auto clocks = model.clockRangeMHz();
+    ASSERT_EQ(clocks.size(), 10u); // paper: 10 clock frequencies
+    EXPECT_NEAR(clocks.back(), 2175.0, 1e-9);
+    EXPECT_GT(clocks.front(), 1400.0);
+    EXPECT_LT(clocks.front(), clocks.back());
+}
+
+TEST(BeamformerModelTest, EfficiencyBoundedAndDeterministic)
+{
+    BeamformerModel model(dut::GpuSpec::rtx4000Ada());
+    for (const auto &config :
+         SearchSpace::beamformerSpace().enumerate()) {
+        const double e1 = model.efficiency(config);
+        const double e2 = model.efficiency(config);
+        EXPECT_DOUBLE_EQ(e1, e2);
+        EXPECT_GT(e1, 0.0);
+        EXPECT_LE(e1, 1.0);
+    }
+}
+
+TEST(BeamformerModelTest, PowerCappedAtBoardLimit)
+{
+    const auto spec = dut::GpuSpec::rtx4000Ada();
+    BeamformerModel model(spec);
+    for (const auto &config :
+         SearchSpace::beamformerSpace().enumerate()) {
+        const auto p = model.predict(config, 2175.0);
+        EXPECT_LE(p.watts, spec.powerLimit + 1e-9);
+        EXPECT_GT(p.watts, spec.idlePower);
+    }
+}
+
+TEST(BeamformerModelTest, RejectsInvalidInputs)
+{
+    BeamformerModel model(dut::GpuSpec::rtx4000Ada());
+    const auto config =
+        SearchSpace::beamformerSpace().enumerate().front();
+    EXPECT_THROW(model.predict(config, 0.0), UsageError);
+    EXPECT_THROW(model.predict(config, 5000.0), UsageError);
+    Configuration bad = config;
+    bad["block_warps"] = 3; // not in the space
+    EXPECT_THROW(model.predict(bad, 2000.0), UsageError);
+}
+
+TEST(BeamformerModelTest, ProblemFlops)
+{
+    BeamformerProblem problem;
+    EXPECT_DOUBLE_EQ(problem.flops(),
+                     8.0 * 4096.0 * 4096.0 * 4096.0);
+}
+
+/** A tiny space keeps the measured tuning tests fast. */
+SearchSpace
+tinySpace()
+{
+    SearchSpace space;
+    space.add("block_warps", {4, 8})
+        .add("block_y", {2})
+        .add("frags_per_block", {4})
+        .add("frags_per_warp", {1, 2})
+        .add("double_buffer", {1});
+    return space;
+}
+
+TEST(AutoTunerTest, ExternalStrategyMeasuresThroughPowerSensor)
+{
+    const auto spec = dut::GpuSpec::rtx4000Ada().tuningVariant();
+    auto rig = host::rigs::gpuRig(spec);
+    auto sensor = rig.connect();
+
+    BeamformerModel model(spec);
+    TuningOptions options;
+    options.strategy = MeasurementStrategy::ExternalSensor;
+    AutoTuner tuner(*rig.gpu, *rig.firmware, sensor.get(), nullptr,
+                    model, options);
+    const auto result = tuner.tune(tinySpace());
+
+    ASSERT_EQ(result.records.size(), 4u * 10u);
+    EXPECT_EQ(result.meterName, "PowerSensor3");
+    for (const auto &r : result.records) {
+        // Measured energy must agree with the model's power x time
+        // within sensor accuracy.
+        const auto predicted =
+            model.predict(r.config, r.clockMHz);
+        EXPECT_GT(r.energyJoules, 0.0);
+        EXPECT_NEAR(r.avgPowerWatts, predicted.watts,
+                    0.06 * predicted.watts + 1.0);
+        EXPECT_GT(r.tflopPerJoule, 0.0);
+        EXPECT_GT(r.accountedSeconds,
+                  options.perConfigOverheadSeconds);
+    }
+    EXPECT_GT(result.totalTuningSeconds, 0.0);
+}
+
+TEST(AutoTunerTest, OnboardStrategyCostsExtendedRuns)
+{
+    const auto spec = dut::GpuSpec::rtx4000Ada().tuningVariant();
+    auto rig = host::rigs::gpuRig(spec);
+
+    BeamformerModel model(spec);
+    auto nvml = pmt::makeNvmlMeter(*rig.gpu, rig.firmware->clock(),
+                                   pmt::NvmlMode::Instant);
+    TuningOptions options;
+    options.strategy = MeasurementStrategy::OnboardSensor;
+    AutoTuner tuner(*rig.gpu, *rig.firmware, nullptr, nvml.get(),
+                    model, options);
+    const auto result = tuner.tune(tinySpace());
+
+    ASSERT_EQ(result.records.size(), 40u);
+    for (const auto &r : result.records) {
+        const auto predicted = model.predict(r.config, r.clockMHz);
+        EXPECT_NEAR(r.avgPowerWatts, predicted.watts,
+                    0.10 * predicted.watts + 1.0);
+        // Each config pays the extended continuous run.
+        EXPECT_GT(r.accountedSeconds,
+                  options.onboardExtendedRunSeconds);
+    }
+}
+
+TEST(AutoTunerTest, StrategyPrerequisitesChecked)
+{
+    const auto spec = dut::GpuSpec::rtx4000Ada().tuningVariant();
+    auto rig = host::rigs::gpuRig(spec);
+    BeamformerModel model(spec);
+    TuningOptions external;
+    external.strategy = MeasurementStrategy::ExternalSensor;
+    EXPECT_THROW(AutoTuner(*rig.gpu, *rig.firmware, nullptr, nullptr,
+                           model, external),
+                 UsageError);
+    TuningOptions onboard;
+    onboard.strategy = MeasurementStrategy::OnboardSensor;
+    EXPECT_THROW(AutoTuner(*rig.gpu, *rig.firmware, nullptr, nullptr,
+                           model, onboard),
+                 UsageError);
+}
+
+TEST(AutoTunerTest, ParetoFrontIsNonDominatedAndOrdered)
+{
+    std::vector<MeasurementRecord> records(5);
+    records[0].tflops = 80;
+    records[0].tflopPerJoule = 0.8;
+    records[1].tflops = 70;
+    records[1].tflopPerJoule = 0.9; // on the front
+    records[2].tflops = 75;
+    records[2].tflopPerJoule = 0.7; // dominated by 0
+    records[3].tflops = 60;
+    records[3].tflopPerJoule = 0.95; // on the front
+    records[4].tflops = 60;
+    records[4].tflopPerJoule = 0.85; // dominated by 3
+
+    const auto front = AutoTuner::paretoFront(records);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0], 0u);
+    EXPECT_EQ(front[1], 1u);
+    EXPECT_EQ(front[2], 3u);
+    // Descending performance, ascending efficiency.
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        EXPECT_LT(records[front[i]].tflops,
+                  records[front[i - 1]].tflops);
+        EXPECT_GT(records[front[i]].tflopPerJoule,
+                  records[front[i - 1]].tflopPerJoule);
+    }
+}
+
+TEST(AutoTunerTest, EmptySpaceRejected)
+{
+    const auto spec = dut::GpuSpec::rtx4000Ada().tuningVariant();
+    auto rig = host::rigs::gpuRig(spec);
+    auto sensor = rig.connect();
+    BeamformerModel model(spec);
+    TuningOptions options;
+    AutoTuner tuner(*rig.gpu, *rig.firmware, sensor.get(), nullptr,
+                    model, options);
+    SearchSpace empty;
+    EXPECT_THROW(tuner.tune(empty), UsageError);
+}
+
+} // namespace
+} // namespace ps3::tuner

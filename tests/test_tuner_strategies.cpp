@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the adaptive search strategies and
+ * AutoTuner::tuneAdaptive().
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "host/sim_setup.hpp"
+#include "pmt/vendor_sim.hpp"
+#include "tuner/auto_tuner.hpp"
+#include "tuner/strategies.hpp"
+
+namespace ps3::tuner {
+namespace {
+
+SearchSpace
+smallSpace()
+{
+    SearchSpace space;
+    space.add("block_warps", {4, 8})
+        .add("block_y", {2, 4})
+        .add("frags_per_block", {2, 4})
+        .add("frags_per_warp", {1, 2})
+        .add("double_buffer", {0, 1});
+    return space;
+}
+
+std::vector<double>
+someClocks()
+{
+    return {1600.0, 1900.0, 2175.0};
+}
+
+TEST(RandomSearch, RespectsBudgetAndBatchSize)
+{
+    RandomSearchStrategy strategy(smallSpace(), someClocks(),
+                                  /*budget=*/25, /*batch=*/8,
+                                  /*seed=*/3);
+    std::size_t total = 0;
+    unsigned batches = 0;
+    while (true) {
+        const auto batch = strategy.nextBatch();
+        if (batch.empty())
+            break;
+        EXPECT_LE(batch.size(), 8u);
+        total += batch.size();
+        strategy.observe({});
+        ++batches;
+    }
+    EXPECT_EQ(total, 25u);
+    EXPECT_EQ(batches, 4u); // 8+8+8+1
+    EXPECT_EQ(strategy.proposedCount(), 25u);
+}
+
+TEST(RandomSearch, SamplesWithinTheSpace)
+{
+    const auto space = smallSpace();
+    const auto clocks = someClocks();
+    RandomSearchStrategy strategy(space, clocks, 100, 100, 1);
+    const auto batch = strategy.nextBatch();
+    const auto valid = space.enumerate();
+    for (const auto &point : batch) {
+        EXPECT_NE(std::find(valid.begin(), valid.end(), point.config),
+                  valid.end());
+        EXPECT_NE(std::find(clocks.begin(), clocks.end(),
+                            point.clockMHz),
+                  clocks.end());
+    }
+}
+
+TEST(RandomSearch, Validation)
+{
+    SearchSpace empty;
+    EXPECT_THROW(RandomSearchStrategy(empty, someClocks(), 10, 5, 1),
+                 UsageError);
+    EXPECT_THROW(RandomSearchStrategy(smallSpace(), {}, 10, 5, 1),
+                 UsageError);
+    EXPECT_THROW(RandomSearchStrategy(smallSpace(), someClocks(), 0,
+                                      5, 1),
+                 UsageError);
+}
+
+TEST(LocalSearch, ClimbsToALocalOptimum)
+{
+    // Synthetic objective: prefer higher clock and block_warps == 8.
+    auto objective = [](const TuningPoint &p) {
+        return p.clockMHz / 2175.0
+               + (p.config.at("block_warps") == 8 ? 1.0 : 0.0);
+    };
+
+    LocalSearchStrategy strategy(smallSpace(), someClocks(),
+                                 /*restarts=*/2, /*max_points=*/400,
+                                 /*seed=*/5);
+    MeasuredPoint best;
+    while (true) {
+        const auto batch = strategy.nextBatch();
+        if (batch.empty())
+            break;
+        std::vector<MeasuredPoint> feedback;
+        for (const auto &point : batch) {
+            MeasuredPoint m;
+            m.point = point;
+            m.value = objective(point);
+            if (m.value > best.value)
+                best = m;
+            feedback.push_back(std::move(m));
+        }
+        strategy.observe(feedback);
+    }
+    // The optimum (clock 2175, warps 8) must be found: the objective
+    // is separable, so hill climbing cannot get stuck.
+    EXPECT_DOUBLE_EQ(best.point.clockMHz, 2175.0);
+    EXPECT_EQ(best.point.config.at("block_warps"), 8);
+    // And with far fewer evaluations than the 96-point space x ... .
+    EXPECT_LT(strategy.proposedCount(), 400u);
+}
+
+TEST(LocalSearch, HonoursHardBudget)
+{
+    LocalSearchStrategy strategy(smallSpace(), someClocks(), 50,
+                                 /*max_points=*/30, 7);
+    std::size_t total = 0;
+    while (true) {
+        const auto batch = strategy.nextBatch();
+        if (batch.empty())
+            break;
+        total += batch.size();
+        std::vector<MeasuredPoint> feedback;
+        for (const auto &point : batch)
+            feedback.push_back({point, 1.0});
+        strategy.observe(feedback);
+        ASSERT_LE(total, 30u);
+    }
+    EXPECT_LE(strategy.proposedCount(), 30u);
+}
+
+TEST(TuneAdaptive, FindsNearOptimalWithFractionOfMeasurements)
+{
+    const auto gpu_spec = dut::GpuSpec::rtx4000Ada().tuningVariant();
+    auto rig = host::rigs::gpuRig(gpu_spec);
+    auto sensor = rig.connect();
+
+    BeamformerModel model(gpu_spec);
+    TuningOptions options;
+    options.interKernelGapSeconds = 0.01;
+    AutoTuner tuner(*rig.gpu, *rig.firmware, sensor.get(), nullptr,
+                    model, options);
+
+    RandomSearchStrategy strategy(smallSpace(), model.clockRangeMHz(),
+                                  /*budget=*/40, /*batch=*/20, 9);
+    const auto result =
+        tuner.tuneAdaptive(strategy, Objective::Performance);
+
+    ASSERT_EQ(result.records.size(), 40u);
+    double best = 0.0;
+    for (const auto &record : result.records)
+        best = std::max(best, record.tflops);
+    // The small space's optimum at boost clock is ~65 TFLOP/s; a
+    // 40-sample random search should land within 20%.
+    EXPECT_GT(best, 45.0);
+    EXPECT_GT(result.totalTuningSeconds, 0.0);
+}
+
+TEST(TuneAdaptive, RequiresExternalSensor)
+{
+    const auto gpu_spec = dut::GpuSpec::rtx4000Ada().tuningVariant();
+    auto rig = host::rigs::gpuRig(gpu_spec);
+    BeamformerModel model(gpu_spec);
+    TuningOptions options;
+    options.strategy = MeasurementStrategy::OnboardSensor;
+    auto nvml = pmt::makeNvmlMeter(*rig.gpu, rig.firmware->clock(),
+                                   pmt::NvmlMode::Instant);
+    AutoTuner tuner(*rig.gpu, *rig.firmware, nullptr, nvml.get(),
+                    model, options);
+    RandomSearchStrategy strategy(smallSpace(), someClocks(), 5, 5,
+                                  1);
+    EXPECT_THROW(tuner.tuneAdaptive(strategy,
+                                    Objective::Performance),
+                 UsageError);
+}
+
+} // namespace
+} // namespace ps3::tuner
