@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_tool_common.dir/tool_common.cpp.o"
+  "CMakeFiles/ps3_tool_common.dir/tool_common.cpp.o.d"
+  "libps3_tool_common.a"
+  "libps3_tool_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_tool_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

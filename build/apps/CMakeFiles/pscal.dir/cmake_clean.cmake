@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscal.dir/pscal.cpp.o"
+  "CMakeFiles/pscal.dir/pscal.cpp.o.d"
+  "pscal"
+  "pscal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psconfig.dir/psconfig.cpp.o"
+  "CMakeFiles/psconfig.dir/psconfig.cpp.o.d"
+  "psconfig"
+  "psconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

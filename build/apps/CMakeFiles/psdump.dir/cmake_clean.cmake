@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdump.dir/psdump.cpp.o"
+  "CMakeFiles/psdump.dir/psdump.cpp.o.d"
+  "psdump"
+  "psdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psinfo.dir/psinfo.cpp.o"
+  "CMakeFiles/psinfo.dir/psinfo.cpp.o.d"
+  "psinfo"
+  "psinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psrun.dir/psrun.cpp.o"
+  "CMakeFiles/psrun.dir/psrun.cpp.o.d"
+  "psrun"
+  "psrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstest.dir/pstest.cpp.o"
+  "CMakeFiles/pstest.dir/pstest.cpp.o.d"
+  "pstest"
+  "pstest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

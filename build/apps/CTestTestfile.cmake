@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/apps
+# Build directory: /root/repo/build/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_psinfo "/root/repo/build/apps/psinfo" "--fast")
+set_tests_properties(tool_psinfo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;11;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(tool_pstest "/root/repo/build/apps/pstest" "--fast" "--samples" "2000")
+set_tests_properties(tool_pstest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;12;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(tool_psconfig "/root/repo/build/apps/psconfig" "--fast" "--pair" "0" "--name" "renamed" "--enable")
+set_tests_properties(tool_psconfig PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;13;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(tool_pscal "/root/repo/build/apps/pscal" "--fast" "--sim" "bench:amps=0" "--pair" "0" "--volts" "12" "--samples" "5000")
+set_tests_properties(tool_pscal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;15;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(tool_psrun "/root/repo/build/apps/psrun" "--fast" "--" "/bin/true")
+set_tests_properties(tool_psrun PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;18;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(tool_psinfo_gpu_rig "/root/repo/build/apps/psinfo" "--fast" "--sim" "gpu")
+set_tests_properties(tool_psinfo_gpu_rig PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(tool_psinfo_soc_rig "/root/repo/build/apps/psinfo" "--fast" "--sim" "soc")
+set_tests_properties(tool_psinfo_soc_rig PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;20;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(tool_help "/root/repo/build/apps/psrun" "--help")
+set_tests_properties(tool_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;21;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(tool_psdump_chain "sh" "-c" "/root/repo/build/apps/psrun --fast -o psdump_chain.txt -- /bin/sleep 0.05                  && /root/repo/build/apps/psdump psdump_chain.txt --stats --markers --between B E                  && rm -f psdump_chain.txt")
+set_tests_properties(tool_psdump_chain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;22;add_test;/root/repo/apps/CMakeLists.txt;0;")

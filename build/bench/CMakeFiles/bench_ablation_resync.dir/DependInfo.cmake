@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_resync.cpp" "bench/CMakeFiles/bench_ablation_resync.dir/bench_ablation_resync.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_resync.dir/bench_ablation_resync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/ps3_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmt/CMakeFiles/ps3_pmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/ps3_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ps3_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/ps3_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/ps3_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ps3_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/dut/CMakeFiles/ps3_dut.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ps3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_related_tools.dir/bench_ext_related_tools.cpp.o"
+  "CMakeFiles/bench_ext_related_tools.dir/bench_ext_related_tools.cpp.o.d"
+  "bench_ext_related_tools"
+  "bench_ext_related_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_related_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

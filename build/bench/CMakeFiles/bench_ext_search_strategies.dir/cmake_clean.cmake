@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_search_strategies.dir/bench_ext_search_strategies.cpp.o"
+  "CMakeFiles/bench_ext_search_strategies.dir/bench_ext_search_strategies.cpp.o.d"
+  "bench_ext_search_strategies"
+  "bench_ext_search_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_search_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ssd_submillisecond.dir/bench_ext_ssd_submillisecond.cpp.o"
+  "CMakeFiles/bench_ext_ssd_submillisecond.dir/bench_ext_ssd_submillisecond.cpp.o.d"
+  "bench_ext_ssd_submillisecond"
+  "bench_ext_ssd_submillisecond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ssd_submillisecond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tuning_jetson.dir/bench_fig10_tuning_jetson.cpp.o"
+  "CMakeFiles/bench_fig10_tuning_jetson.dir/bench_fig10_tuning_jetson.cpp.o.d"
+  "bench_fig10_tuning_jetson"
+  "bench_fig10_tuning_jetson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tuning_jetson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

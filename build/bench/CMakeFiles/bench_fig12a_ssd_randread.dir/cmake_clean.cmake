@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12a_ssd_randread.dir/bench_fig12a_ssd_randread.cpp.o"
+  "CMakeFiles/bench_fig12a_ssd_randread.dir/bench_fig12a_ssd_randread.cpp.o.d"
+  "bench_fig12a_ssd_randread"
+  "bench_fig12a_ssd_randread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12a_ssd_randread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12b_ssd_randwrite.dir/bench_fig12b_ssd_randwrite.cpp.o"
+  "CMakeFiles/bench_fig12b_ssd_randwrite.dir/bench_fig12b_ssd_randwrite.cpp.o.d"
+  "bench_fig12b_ssd_randwrite"
+  "bench_fig12b_ssd_randwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12b_ssd_randwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_tuning_rtx4000.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hostlib.dir/bench_micro_hostlib.cpp.o"
+  "CMakeFiles/bench_micro_hostlib.dir/bench_micro_hostlib.cpp.o.d"
+  "bench_micro_hostlib"
+  "bench_micro_hostlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hostlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

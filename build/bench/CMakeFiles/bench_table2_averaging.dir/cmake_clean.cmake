@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_averaging.dir/bench_table2_averaging.cpp.o"
+  "CMakeFiles/bench_table2_averaging.dir/bench_table2_averaging.cpp.o.d"
+  "bench_table2_averaging"
+  "bench_table2_averaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

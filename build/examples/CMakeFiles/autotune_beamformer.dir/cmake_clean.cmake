@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_beamformer.dir/autotune_beamformer.cpp.o"
+  "CMakeFiles/autotune_beamformer.dir/autotune_beamformer.cpp.o.d"
+  "autotune_beamformer"
+  "autotune_beamformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_beamformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

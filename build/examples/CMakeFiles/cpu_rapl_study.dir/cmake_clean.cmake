@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_rapl_study.dir/cpu_rapl_study.cpp.o"
+  "CMakeFiles/cpu_rapl_study.dir/cpu_rapl_study.cpp.o.d"
+  "cpu_rapl_study"
+  "cpu_rapl_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_rapl_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

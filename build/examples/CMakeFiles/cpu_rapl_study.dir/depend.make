@@ -1,0 +1,2 @@
+# Empty dependencies file for cpu_rapl_study.
+# This may be replaced when dependencies are built.

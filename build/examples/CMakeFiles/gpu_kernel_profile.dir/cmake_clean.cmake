@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_kernel_profile.dir/gpu_kernel_profile.cpp.o"
+  "CMakeFiles/gpu_kernel_profile.dir/gpu_kernel_profile.cpp.o.d"
+  "gpu_kernel_profile"
+  "gpu_kernel_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_kernel_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_power_monitor.dir/node_power_monitor.cpp.o"
+  "CMakeFiles/node_power_monitor.dir/node_power_monitor.cpp.o.d"
+  "node_power_monitor"
+  "node_power_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_power_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

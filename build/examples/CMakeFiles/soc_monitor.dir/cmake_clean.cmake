@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_monitor.dir/soc_monitor.cpp.o"
+  "CMakeFiles/soc_monitor.dir/soc_monitor.cpp.o.d"
+  "soc_monitor"
+  "soc_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

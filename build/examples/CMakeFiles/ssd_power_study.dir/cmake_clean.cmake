@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_power_study.dir/ssd_power_study.cpp.o"
+  "CMakeFiles/ssd_power_study.dir/ssd_power_study.cpp.o.d"
+  "ssd_power_study"
+  "ssd_power_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_power_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/error_budget.cpp" "src/analog/CMakeFiles/ps3_analog.dir/error_budget.cpp.o" "gcc" "src/analog/CMakeFiles/ps3_analog.dir/error_budget.cpp.o.d"
+  "/root/repo/src/analog/sensor_models.cpp" "src/analog/CMakeFiles/ps3_analog.dir/sensor_models.cpp.o" "gcc" "src/analog/CMakeFiles/ps3_analog.dir/sensor_models.cpp.o.d"
+  "/root/repo/src/analog/sensor_module_spec.cpp" "src/analog/CMakeFiles/ps3_analog.dir/sensor_module_spec.cpp.o" "gcc" "src/analog/CMakeFiles/ps3_analog.dir/sensor_module_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ps3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_analog.dir/error_budget.cpp.o"
+  "CMakeFiles/ps3_analog.dir/error_budget.cpp.o.d"
+  "CMakeFiles/ps3_analog.dir/sensor_models.cpp.o"
+  "CMakeFiles/ps3_analog.dir/sensor_models.cpp.o.d"
+  "CMakeFiles/ps3_analog.dir/sensor_module_spec.cpp.o"
+  "CMakeFiles/ps3_analog.dir/sensor_module_spec.cpp.o.d"
+  "libps3_analog.a"
+  "libps3_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_common.dir/csv_writer.cpp.o"
+  "CMakeFiles/ps3_common.dir/csv_writer.cpp.o.d"
+  "CMakeFiles/ps3_common.dir/logging.cpp.o"
+  "CMakeFiles/ps3_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ps3_common.dir/statistics.cpp.o"
+  "CMakeFiles/ps3_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/ps3_common.dir/time_source.cpp.o"
+  "CMakeFiles/ps3_common.dir/time_source.cpp.o.d"
+  "libps3_common.a"
+  "libps3_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

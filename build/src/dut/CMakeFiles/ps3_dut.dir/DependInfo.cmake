@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dut/cpu_model.cpp" "src/dut/CMakeFiles/ps3_dut.dir/cpu_model.cpp.o" "gcc" "src/dut/CMakeFiles/ps3_dut.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/dut/dut.cpp" "src/dut/CMakeFiles/ps3_dut.dir/dut.cpp.o" "gcc" "src/dut/CMakeFiles/ps3_dut.dir/dut.cpp.o.d"
+  "/root/repo/src/dut/gpu_model.cpp" "src/dut/CMakeFiles/ps3_dut.dir/gpu_model.cpp.o" "gcc" "src/dut/CMakeFiles/ps3_dut.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/dut/loads.cpp" "src/dut/CMakeFiles/ps3_dut.dir/loads.cpp.o" "gcc" "src/dut/CMakeFiles/ps3_dut.dir/loads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ps3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

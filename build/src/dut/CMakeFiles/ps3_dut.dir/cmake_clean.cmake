@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_dut.dir/cpu_model.cpp.o"
+  "CMakeFiles/ps3_dut.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/ps3_dut.dir/dut.cpp.o"
+  "CMakeFiles/ps3_dut.dir/dut.cpp.o.d"
+  "CMakeFiles/ps3_dut.dir/gpu_model.cpp.o"
+  "CMakeFiles/ps3_dut.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/ps3_dut.dir/loads.cpp.o"
+  "CMakeFiles/ps3_dut.dir/loads.cpp.o.d"
+  "libps3_dut.a"
+  "libps3_dut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_dut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

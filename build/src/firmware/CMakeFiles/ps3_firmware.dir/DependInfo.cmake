@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/display.cpp" "src/firmware/CMakeFiles/ps3_firmware.dir/display.cpp.o" "gcc" "src/firmware/CMakeFiles/ps3_firmware.dir/display.cpp.o.d"
+  "/root/repo/src/firmware/eeprom.cpp" "src/firmware/CMakeFiles/ps3_firmware.dir/eeprom.cpp.o" "gcc" "src/firmware/CMakeFiles/ps3_firmware.dir/eeprom.cpp.o.d"
+  "/root/repo/src/firmware/firmware.cpp" "src/firmware/CMakeFiles/ps3_firmware.dir/firmware.cpp.o" "gcc" "src/firmware/CMakeFiles/ps3_firmware.dir/firmware.cpp.o.d"
+  "/root/repo/src/firmware/font5x7.cpp" "src/firmware/CMakeFiles/ps3_firmware.dir/font5x7.cpp.o" "gcc" "src/firmware/CMakeFiles/ps3_firmware.dir/font5x7.cpp.o.d"
+  "/root/repo/src/firmware/protocol.cpp" "src/firmware/CMakeFiles/ps3_firmware.dir/protocol.cpp.o" "gcc" "src/firmware/CMakeFiles/ps3_firmware.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analog/CMakeFiles/ps3_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ps3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dut/CMakeFiles/ps3_dut.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ps3_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

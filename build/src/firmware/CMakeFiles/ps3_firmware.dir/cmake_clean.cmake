@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_firmware.dir/display.cpp.o"
+  "CMakeFiles/ps3_firmware.dir/display.cpp.o.d"
+  "CMakeFiles/ps3_firmware.dir/eeprom.cpp.o"
+  "CMakeFiles/ps3_firmware.dir/eeprom.cpp.o.d"
+  "CMakeFiles/ps3_firmware.dir/firmware.cpp.o"
+  "CMakeFiles/ps3_firmware.dir/firmware.cpp.o.d"
+  "CMakeFiles/ps3_firmware.dir/font5x7.cpp.o"
+  "CMakeFiles/ps3_firmware.dir/font5x7.cpp.o.d"
+  "CMakeFiles/ps3_firmware.dir/protocol.cpp.o"
+  "CMakeFiles/ps3_firmware.dir/protocol.cpp.o.d"
+  "libps3_firmware.a"
+  "libps3_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/calibrator.cpp" "src/host/CMakeFiles/ps3_host.dir/calibrator.cpp.o" "gcc" "src/host/CMakeFiles/ps3_host.dir/calibrator.cpp.o.d"
+  "/root/repo/src/host/dump_reader.cpp" "src/host/CMakeFiles/ps3_host.dir/dump_reader.cpp.o" "gcc" "src/host/CMakeFiles/ps3_host.dir/dump_reader.cpp.o.d"
+  "/root/repo/src/host/power_sensor.cpp" "src/host/CMakeFiles/ps3_host.dir/power_sensor.cpp.o" "gcc" "src/host/CMakeFiles/ps3_host.dir/power_sensor.cpp.o.d"
+  "/root/repo/src/host/sim_setup.cpp" "src/host/CMakeFiles/ps3_host.dir/sim_setup.cpp.o" "gcc" "src/host/CMakeFiles/ps3_host.dir/sim_setup.cpp.o.d"
+  "/root/repo/src/host/state.cpp" "src/host/CMakeFiles/ps3_host.dir/state.cpp.o" "gcc" "src/host/CMakeFiles/ps3_host.dir/state.cpp.o.d"
+  "/root/repo/src/host/stream_parser.cpp" "src/host/CMakeFiles/ps3_host.dir/stream_parser.cpp.o" "gcc" "src/host/CMakeFiles/ps3_host.dir/stream_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analog/CMakeFiles/ps3_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ps3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dut/CMakeFiles/ps3_dut.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/ps3_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ps3_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_host.dir/calibrator.cpp.o"
+  "CMakeFiles/ps3_host.dir/calibrator.cpp.o.d"
+  "CMakeFiles/ps3_host.dir/dump_reader.cpp.o"
+  "CMakeFiles/ps3_host.dir/dump_reader.cpp.o.d"
+  "CMakeFiles/ps3_host.dir/power_sensor.cpp.o"
+  "CMakeFiles/ps3_host.dir/power_sensor.cpp.o.d"
+  "CMakeFiles/ps3_host.dir/sim_setup.cpp.o"
+  "CMakeFiles/ps3_host.dir/sim_setup.cpp.o.d"
+  "CMakeFiles/ps3_host.dir/state.cpp.o"
+  "CMakeFiles/ps3_host.dir/state.cpp.o.d"
+  "CMakeFiles/ps3_host.dir/stream_parser.cpp.o"
+  "CMakeFiles/ps3_host.dir/stream_parser.cpp.o.d"
+  "libps3_host.a"
+  "libps3_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_pmt.dir/power_meter.cpp.o"
+  "CMakeFiles/ps3_pmt.dir/power_meter.cpp.o.d"
+  "CMakeFiles/ps3_pmt.dir/rapl_sim.cpp.o"
+  "CMakeFiles/ps3_pmt.dir/rapl_sim.cpp.o.d"
+  "CMakeFiles/ps3_pmt.dir/vendor_sim.cpp.o"
+  "CMakeFiles/ps3_pmt.dir/vendor_sim.cpp.o.d"
+  "libps3_pmt.a"
+  "libps3_pmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_pmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_storage.dir/ssd_simulator.cpp.o"
+  "CMakeFiles/ps3_storage.dir/ssd_simulator.cpp.o.d"
+  "libps3_storage.a"
+  "libps3_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/byte_queue.cpp" "src/transport/CMakeFiles/ps3_transport.dir/byte_queue.cpp.o" "gcc" "src/transport/CMakeFiles/ps3_transport.dir/byte_queue.cpp.o.d"
+  "/root/repo/src/transport/emulated_serial_port.cpp" "src/transport/CMakeFiles/ps3_transport.dir/emulated_serial_port.cpp.o" "gcc" "src/transport/CMakeFiles/ps3_transport.dir/emulated_serial_port.cpp.o.d"
+  "/root/repo/src/transport/fault_injection.cpp" "src/transport/CMakeFiles/ps3_transport.dir/fault_injection.cpp.o" "gcc" "src/transport/CMakeFiles/ps3_transport.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/transport/posix_serial_port.cpp" "src/transport/CMakeFiles/ps3_transport.dir/posix_serial_port.cpp.o" "gcc" "src/transport/CMakeFiles/ps3_transport.dir/posix_serial_port.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ps3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_transport.dir/byte_queue.cpp.o"
+  "CMakeFiles/ps3_transport.dir/byte_queue.cpp.o.d"
+  "CMakeFiles/ps3_transport.dir/emulated_serial_port.cpp.o"
+  "CMakeFiles/ps3_transport.dir/emulated_serial_port.cpp.o.d"
+  "CMakeFiles/ps3_transport.dir/fault_injection.cpp.o"
+  "CMakeFiles/ps3_transport.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/ps3_transport.dir/posix_serial_port.cpp.o"
+  "CMakeFiles/ps3_transport.dir/posix_serial_port.cpp.o.d"
+  "libps3_transport.a"
+  "libps3_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

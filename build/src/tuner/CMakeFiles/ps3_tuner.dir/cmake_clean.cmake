@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_tuner.dir/auto_tuner.cpp.o"
+  "CMakeFiles/ps3_tuner.dir/auto_tuner.cpp.o.d"
+  "CMakeFiles/ps3_tuner.dir/beamformer_model.cpp.o"
+  "CMakeFiles/ps3_tuner.dir/beamformer_model.cpp.o.d"
+  "CMakeFiles/ps3_tuner.dir/search_space.cpp.o"
+  "CMakeFiles/ps3_tuner.dir/search_space.cpp.o.d"
+  "CMakeFiles/ps3_tuner.dir/strategies.cpp.o"
+  "CMakeFiles/ps3_tuner.dir/strategies.cpp.o.d"
+  "libps3_tuner.a"
+  "libps3_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_containers.dir/test_common_containers.cpp.o"
+  "CMakeFiles/test_common_containers.dir/test_common_containers.cpp.o.d"
+  "test_common_containers"
+  "test_common_containers.pdb"
+  "test_common_containers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

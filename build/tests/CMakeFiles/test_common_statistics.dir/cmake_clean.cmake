@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_statistics.dir/test_common_statistics.cpp.o"
+  "CMakeFiles/test_common_statistics.dir/test_common_statistics.cpp.o.d"
+  "test_common_statistics"
+  "test_common_statistics.pdb"
+  "test_common_statistics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_rapl.dir/test_cpu_rapl.cpp.o"
+  "CMakeFiles/test_cpu_rapl.dir/test_cpu_rapl.cpp.o.d"
+  "test_cpu_rapl"
+  "test_cpu_rapl.pdb"
+  "test_cpu_rapl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dump_reader.dir/test_dump_reader.cpp.o"
+  "CMakeFiles/test_dump_reader.dir/test_dump_reader.cpp.o.d"
+  "test_dump_reader"
+  "test_dump_reader.pdb"
+  "test_dump_reader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dump_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_firmware_fuzz.dir/test_firmware_fuzz.cpp.o"
+  "CMakeFiles/test_firmware_fuzz.dir/test_firmware_fuzz.cpp.o.d"
+  "test_firmware_fuzz"
+  "test_firmware_fuzz.pdb"
+  "test_firmware_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_firmware_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_parser.dir/test_host_parser.cpp.o"
+  "CMakeFiles/test_host_parser.dir/test_host_parser.cpp.o.d"
+  "test_host_parser"
+  "test_host_parser.pdb"
+  "test_host_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_power_sensor.dir/test_host_power_sensor.cpp.o"
+  "CMakeFiles/test_host_power_sensor.dir/test_host_power_sensor.cpp.o.d"
+  "test_host_power_sensor"
+  "test_host_power_sensor.pdb"
+  "test_host_power_sensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_power_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

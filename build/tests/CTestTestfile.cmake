@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common_statistics[1]_include.cmake")
+include("/root/repo/build/tests/test_common_containers[1]_include.cmake")
+include("/root/repo/build/tests/test_analog_sensors[1]_include.cmake")
+include("/root/repo/build/tests/test_dut_models[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_model[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_firmware_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_firmware[1]_include.cmake")
+include("/root/repo/build/tests/test_firmware_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_host_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_host_power_sensor[1]_include.cmake")
+include("/root/repo/build/tests/test_pmt[1]_include.cmake")
+include("/root/repo/build/tests/test_tuner[1]_include.cmake")
+include("/root/repo/build/tests/test_tuner_strategies[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_display[1]_include.cmake")
+include("/root/repo/build/tests/test_dump_reader[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_rapl[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_smoke[1]_include.cmake")
