@@ -3,9 +3,12 @@
  * psdump — analyse a continuous-mode dump file offline.
  *
  *   psdump <file> [--stats] [--markers] [--between A B]
- *          [--decimate N] [--csv out.csv]
+ *          [--decimate N] [--csv out.csv] [--stats=FORMAT]
  *
  * --stats          power statistics over the whole file (default)
+ * --stats=FORMAT   ALSO print an observability snapshot (metrics of
+ *                  the dump parser) in table/csv/prom format; see
+ *                  docs/OBSERVABILITY.md
  * --markers        list markers with timestamps
  * --between A B    energy/average power between markers A and B
  * --decimate N     with --csv: keep every Nth sample
@@ -17,10 +20,14 @@
 #include <fstream>
 #include <string>
 
+#include <iostream>
+#include <optional>
+
 #include "common/csv_writer.hpp"
 #include "common/errors.hpp"
 #include "common/statistics.hpp"
 #include "host/dump_reader.hpp"
+#include "obs/exposition.hpp"
 
 int
 main(int argc, char **argv)
@@ -39,6 +46,7 @@ try {
     char between_a = '\0', between_b = '\0';
     std::size_t decimate = 1;
     std::string csv_path;
+    std::optional<obs::Format> obs_format;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -48,6 +56,12 @@ try {
         };
         if (arg == "--stats") {
             stats = true;
+        } else if (arg.rfind("--stats=", 0) == 0) {
+            obs_format = obs::parseFormat(arg.substr(8));
+            if (!obs_format) {
+                throw UsageError(
+                    "--stats format must be table, csv or prom");
+            }
         } else if (arg == "--markers") {
             markers = true;
         } else if (arg == "--between") {
@@ -111,6 +125,14 @@ try {
             csv.row({samples[i].time, samples[i].totalPower});
         std::printf("wrote %zu rows to %s\n", csv.rowCount(),
                     csv_path.c_str());
+    }
+
+    if (obs_format) {
+        std::fflush(stdout);
+        if (*obs_format == obs::Format::Table)
+            std::cout << "\n--- observability snapshot ---\n";
+        obs::write(std::cout, obs::Registry::global().snapshot(),
+                   *obs_format);
     }
     return 0;
 } catch (const std::exception &e) {

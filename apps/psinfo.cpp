@@ -38,6 +38,8 @@ try {
                     state.power(pair));
     }
     std::printf("  total: %.3f W\n", state.totalPower());
+    std::fflush(stdout);
+    tools::printStats(context);
     return 0;
 } catch (const std::exception &e) {
     std::fprintf(stderr, "psinfo: %s\n", e.what());

@@ -110,6 +110,8 @@ try {
                     host::Joules(first, second,
                                  static_cast<int>(pair)));
     }
+    std::fflush(stdout);
+    tools::printStats(context);
     return exit_code;
 } catch (const std::exception &e) {
     std::fprintf(stderr, "psrun: %s\n", e.what());

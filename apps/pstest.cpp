@@ -64,6 +64,8 @@ try {
                     power.count(), power.min(), power.max(),
                     power.mean(), power.stddev());
     }
+    std::fflush(stdout);
+    tools::printStats(context);
     return 0;
 } catch (const std::exception &e) {
     std::fprintf(stderr, "pstest: %s\n", e.what());

@@ -116,15 +116,26 @@ openTool(int argc, char **argv, const std::string &tool_name,
             sim_spec = next();
         } else if (arg == "--fast") {
             fast = true;
+        } else if (arg == "--stats") {
+            context.statsFormat = obs::Format::Table;
+        } else if (arg.rfind("--stats=", 0) == 0) {
+            const auto format = obs::parseFormat(arg.substr(8));
+            if (!format) {
+                throw UsageError(
+                    "--stats format must be table, csv or prom");
+            }
+            context.statsFormat = format;
         } else if (arg == "--verbose") {
             Log::setLevel(LogLevel::Debug);
         } else if (arg == "-h" || arg == "--help") {
             std::cout << "usage: " << tool_name
                       << " [-d DEVICE | --sim SPEC] [--fast] "
-                         "[--verbose]\n"
+                         "[--stats[=table|csv|prom]] [--verbose]\n"
                       << tool_usage
                       << "\nrig specs: bench[:module=..][:volts=..]"
-                         "[:amps=..] | gpu[:card=..] | soc\n";
+                         "[:amps=..] | gpu[:card=..] | soc\n"
+                      << "--stats prints an end-of-run metrics "
+                         "snapshot (docs/OBSERVABILITY.md)\n";
             std::exit(0);
         } else {
             context.args.push_back(arg);
@@ -144,6 +155,17 @@ openTool(int argc, char **argv, const std::string &tool_name,
             linkBytesPerSecond(context.sensor->config()));
     }
     return context;
+}
+
+void
+printStats(const ToolContext &context)
+{
+    if (!context.statsFormat)
+        return;
+    const auto snapshot = obs::Registry::global().snapshot();
+    if (*context.statsFormat == obs::Format::Table)
+        std::cout << "\n--- observability snapshot ---\n";
+    obs::write(std::cout, snapshot, *context.statsFormat);
 }
 
 void

@@ -25,6 +25,7 @@
 
 #include "host/power_sensor.hpp"
 #include "host/sim_setup.hpp"
+#include "obs/exposition.hpp"
 
 namespace ps3::tools {
 
@@ -36,13 +37,16 @@ struct ToolContext
     std::unique_ptr<host::PowerSensor> sensor;
     /** Tool-specific positional/remaining arguments. */
     std::vector<std::string> args;
+    /** Set when --stats[=FORMAT] was given. */
+    std::optional<obs::Format> statsFormat;
 };
 
 /**
  * Parse common options and open the device.
  *
  * Recognised options: -d/--device PATH, --sim SPEC, --fast,
- * --verbose, -h/--help (prints usage + tool_usage and exits).
+ * --stats[=FORMAT], --verbose, -h/--help (prints usage + tool_usage
+ * and exits).
  *
  * @param argc/argv Main arguments.
  * @param tool_name Tool name for usage text.
@@ -51,6 +55,14 @@ struct ToolContext
 ToolContext openTool(int argc, char **argv,
                      const std::string &tool_name,
                      const std::string &tool_usage);
+
+/**
+ * End-of-run observability snapshot: when --stats was given, print
+ * the global metric registry to stdout in the requested format
+ * (default: human table). Call just before exiting, while the sensor
+ * is still connected.
+ */
+void printStats(const ToolContext &context);
 
 /** Print one pair's configuration records. */
 void printPairConfig(const firmware::DeviceConfig &config,

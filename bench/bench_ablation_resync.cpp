@@ -26,6 +26,7 @@ main()
                 "delivered_pct", "mean_power_W", "resync_bytes");
 
     bench::ShapeChecker checker;
+    bench::ObsRegion region;
     double delivered_at_worst = 0.0;
     for (const double rate : {0.0, 1e-4, 1e-3, 5e-3}) {
         auto rig = host::rigs::labBench(analog::modules::slot12V10A(),
@@ -70,5 +71,22 @@ main()
     checker.check(delivered_at_worst > 90.0,
                   "at 0.5% byte faults, > 90% of samples still "
                   "delivered (graceful degradation)");
+
+    // Cross-check the hand-derived numbers against the metrics
+    // registry: the injected faults and parser recoveries above must
+    // all be visible through the observability layer.
+    if (obs::kEnabled) {
+        const auto deltas = region.diff();
+        const auto *faults = deltas.find(
+            "ps3_transport_faults_injected_total",
+            {{"kind", "drop"}});
+        const auto *resync =
+            deltas.find("ps3_parser_resync_bytes_total");
+        checker.check(faults != nullptr && faults->value > 0,
+                      "registry saw injected drop faults");
+        checker.check(resync != nullptr && resync->value > 0,
+                      "registry saw parser resync bytes");
+        region.print("resync ablation");
+    }
     return checker.exitCode();
 }

@@ -36,6 +36,7 @@ main()
     std::printf("%-8s %-10s %-10s %-10s\n", "hour", "avg_W", "min_W",
                 "max_W");
 
+    bench::ObsRegion region;
     RunningStatistics averages;
     double first_avg = 0.0;
     for (unsigned point = 0; point <= points; ++point) {
@@ -71,5 +72,29 @@ main()
                   "not required");
     checker.check(averages.count() == points + 1,
                   "all measurement points collected");
+
+    // The soak run must be clean end to end: the registry, not
+    // hand-derived counters, is the witness that no resync or
+    // partial-set events occurred over the 50 virtual hours.
+    if (obs::kEnabled) {
+        const auto deltas = region.diff();
+        const auto *resync =
+            deltas.find("ps3_parser_resync_bytes_total");
+        const auto *partial =
+            deltas.find("ps3_parser_partial_sets_total");
+        const auto *sets =
+            deltas.find("ps3_parser_frame_sets_total");
+        checker.check(resync != nullptr && resync->value == 0,
+                      "no resync bytes over the whole soak");
+        checker.check(partial != nullptr && partial->value == 0,
+                      "no partial frame sets over the whole soak");
+        checker.check(
+            sets != nullptr
+                && sets->value
+                       >= static_cast<std::int64_t>(
+                           (points + 1)
+                           * static_cast<std::uint64_t>(samples)),
+            "registry accounts for every collected sample");
+    }
     return checker.exitCode();
 }

@@ -14,11 +14,13 @@
 
 #include <cstdio>
 #include <functional>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/statistics.hpp"
 #include "host/power_sensor.hpp"
+#include "obs/exposition.hpp"
 
 namespace ps3::bench {
 
@@ -79,6 +81,48 @@ toStats(const std::vector<double> &values)
         stats.add(v);
     return stats;
 }
+
+/**
+ * Observability snapshot diff around a bench region: captures the
+ * global metric registry at construction; diff() (counters and
+ * histogram buckets as deltas, gauges as current level) shows exactly
+ * what the region contributed. Replaces the hand-derived counter
+ * bookkeeping the benches used to do (docs/OBSERVABILITY.md).
+ */
+class ObsRegion
+{
+  public:
+    ObsRegion() : before_(obs::Registry::global().snapshot()) {}
+
+    /** Delta snapshot of everything since construction. */
+    obs::Snapshot
+    diff() const
+    {
+        return obs::diff(before_,
+                         obs::Registry::global().snapshot());
+    }
+
+    /** Print the non-zero deltas as a table. */
+    void
+    print(const std::string &title) const
+    {
+        const auto d = diff();
+        obs::Snapshot non_zero;
+        for (const auto &sample : d.samples) {
+            const bool empty =
+                sample.type == obs::MetricType::Histogram
+                    ? sample.histogram.count == 0
+                    : sample.value == 0;
+            if (!empty)
+                non_zero.samples.push_back(sample);
+        }
+        std::printf("\n%s (observability deltas):\n", title.c_str());
+        obs::writeTable(std::cout, non_zero);
+    }
+
+  private:
+    obs::Snapshot before_;
+};
 
 /**
  * Samples per measurement point: the paper uses 128 k; set

@@ -6,6 +6,7 @@
 
 #include "common/errors.hpp"
 #include "common/rng.hpp"
+#include "obs/registry.hpp"
 
 namespace ps3::firmware {
 
@@ -16,6 +17,30 @@ constexpr std::uint64_t kDisplayDivider = 2000;
 
 /** Upper bound of bytes generated per produce() call. */
 constexpr std::size_t kProduceChunk = 8192;
+
+/** Device-model instruments, shared by all Firmware instances. */
+struct FirmwareMetrics
+{
+    obs::Counter &frameSets = obs::Registry::global().counter(
+        "ps3_firmware_frame_sets_total",
+        "Frame sets emitted by the firmware model");
+    obs::Counter &frames = obs::Registry::global().counter(
+        "ps3_firmware_frames_total",
+        "Frames emitted (timestamp + data) by the firmware model");
+    obs::Counter &commands = obs::Registry::global().counter(
+        "ps3_firmware_commands_total",
+        "Host command bytes dispatched by the firmware model");
+    obs::Gauge &txQueueHighWater = obs::Registry::global().gauge(
+        "ps3_firmware_tx_queue_hwm_bytes",
+        "High-water mark of the firmware tx queue");
+};
+
+FirmwareMetrics &
+firmwareMetrics()
+{
+    static FirmwareMetrics metrics;
+    return metrics;
+}
 
 } // namespace
 
@@ -141,6 +166,7 @@ Firmware::enqueueFrame(const Frame &frame)
     const auto bytes = encodeFrame(frame);
     txQueue_.push_back(bytes[0]);
     txQueue_.push_back(bytes[1]);
+    firmwareMetrics().frames.inc();
 }
 
 void
@@ -217,6 +243,7 @@ Firmware::emitFrameSet()
     }
 
     ++frameSets_;
+    firmwareMetrics().frameSets.inc();
     if (frameSets_ % kDisplayDivider == 0)
         updateDisplay();
 }
@@ -252,6 +279,8 @@ Firmware::produce(std::uint8_t *buffer, std::size_t max_bytes)
            && clock_.now() < fence_.load(std::memory_order_acquire)) {
         emitFrameSet();
     }
+    firmwareMetrics().txQueueHighWater.updateMax(
+        static_cast<std::int64_t>(txQueue_.size()));
 
     const std::size_t count = std::min(txQueue_.size(), max_bytes);
     for (std::size_t i = 0; i < count; ++i) {
@@ -300,6 +329,7 @@ Firmware::handleCommand(std::uint8_t byte)
         break;
     }
 
+    firmwareMetrics().commands.inc();
     switch (static_cast<Command>(byte)) {
       case Command::StartStream:
         streaming_ = true;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/errors.hpp"
+#include "obs/registry.hpp"
 
 namespace ps3::host {
 
@@ -13,6 +14,17 @@ DumpFile::load(const std::string &path)
     std::ifstream in(path);
     if (!in)
         throw UsageError("DumpFile: cannot open " + path);
+
+    auto &registry = obs::Registry::global();
+    obs::Counter &metric_samples = registry.counter(
+        "ps3_dump_samples_loaded_total",
+        "Sample records parsed from dump files");
+    obs::Counter &metric_markers = registry.counter(
+        "ps3_dump_markers_loaded_total",
+        "Marker records parsed from dump files");
+    obs::Counter &metric_lines = registry.counter(
+        "ps3_dump_lines_loaded_total",
+        "Lines read while parsing dump files");
 
     DumpFile file;
     std::string line;
@@ -66,6 +78,9 @@ DumpFile::load(const std::string &path)
         }
         file.samples_.push_back(std::move(sample));
     }
+    metric_lines.inc(line_no);
+    metric_samples.inc(file.samples_.size());
+    metric_markers.inc(file.markers_.size());
     return file;
 }
 

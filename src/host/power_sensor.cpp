@@ -6,6 +6,7 @@
 #include "analog/sensor_models.hpp"
 #include "common/errors.hpp"
 #include "common/logging.hpp"
+#include "obs/registry.hpp"
 #include "transport/posix_serial_port.hpp"
 
 namespace ps3::host {
@@ -24,6 +25,42 @@ std::vector<std::uint8_t>
 commandByte(Command c)
 {
     return {static_cast<std::uint8_t>(c)};
+}
+
+/**
+ * Reader-loop instruments, shared by all PowerSensor instances
+ * (registered once, on first connect).
+ */
+struct ReaderMetrics
+{
+    obs::Counter &bytes = obs::Registry::global().counter(
+        "ps3_reader_bytes_total",
+        "Stream bytes fed to the parser by the reader thread");
+    obs::Counter &chunks = obs::Registry::global().counter(
+        "ps3_reader_chunks_total",
+        "Non-empty reads performed by the reader thread");
+    obs::Counter &dumpBytes = obs::Registry::global().counter(
+        "ps3_reader_dump_bytes_total",
+        "Bytes written to continuous-mode dump files");
+    obs::Counter &unresolvedMarkers = obs::Registry::global().counter(
+        "ps3_reader_unresolved_markers_total",
+        "Marker flags seen with no queued marker character");
+    obs::Gauge &markerQueueDepth = obs::Registry::global().gauge(
+        "ps3_reader_marker_queue_depth",
+        "Marker characters queued and not yet resolved");
+    obs::Histogram &callbackNs = obs::Registry::global().histogram(
+        "ps3_reader_callback_ns",
+        "Per-frame-set processing latency in the reader thread (ns)");
+    obs::Histogram &controlRttNs = obs::Registry::global().histogram(
+        "ps3_reader_control_rtt_ns",
+        "Control-channel command round-trip time (ns)");
+};
+
+ReaderMetrics &
+readerMetrics()
+{
+    static ReaderMetrics metrics;
+    return metrics;
 }
 
 } // namespace
@@ -78,6 +115,9 @@ PowerSensor::sendBytes(const std::vector<std::uint8_t> &bytes)
 std::vector<std::uint8_t>
 PowerSensor::readControl(std::size_t n, double timeout_seconds)
 {
+    // Times the tail of every command exchange (send happens just
+    // before the first readControl); a timeout records as a long RTT.
+    obs::ScopedTimer timer(readerMetrics().controlRttNs);
     std::vector<std::uint8_t> out;
     out.reserve(n);
     const auto deadline =
@@ -166,8 +206,11 @@ PowerSensor::readerLoop()
         {
             std::lock_guard<std::mutex> lock(controlMutex_);
             got = device_->read(buffer, sizeof(buffer), kReadTimeout);
-            if (got > 0)
+            if (got > 0) {
+                readerMetrics().bytes.inc(got);
+                readerMetrics().chunks.inc();
                 parser_.feed(buffer, got);
+            }
         }
         if (got == 0) {
             if (device_->closed()) {
@@ -186,6 +229,7 @@ PowerSensor::readerLoop()
 void
 PowerSensor::onFrameSet(const FrameSet &set)
 {
+    obs::ScopedTimer timer(readerMetrics().callbackNs);
     Sample sample;
     sample.time = set.deviceTime;
 
@@ -218,7 +262,10 @@ PowerSensor::onFrameSet(const FrameSet &set)
             markerQueue_.pop_front();
         } else {
             sample.markerChar = '?';
+            readerMetrics().unresolvedMarkers.inc();
         }
+        readerMetrics().markerQueueDepth.set(
+            static_cast<std::int64_t>(markerQueue_.size()));
     }
 
     // Fan out to dump file and listeners BEFORE publishing the
@@ -275,6 +322,8 @@ PowerSensor::mark(char marker)
     {
         std::lock_guard<std::mutex> lock(markerMutex_);
         markerQueue_.push_back(marker);
+        readerMetrics().markerQueueDepth.set(
+            static_cast<std::int64_t>(markerQueue_.size()));
     }
     sendBytes({static_cast<std::uint8_t>(Command::Marker),
                static_cast<std::uint8_t>(marker)});
@@ -305,6 +354,7 @@ PowerSensor::dumping() const
 void
 PowerSensor::writeDumpHeader()
 {
+    const auto start = dumpFile_.tellp();
     dumpFile_ << "# PowerSensor3 continuous dump\n";
     dumpFile_ << "# sample_rate_hz " << firmware::kSampleRateHz << '\n';
     dumpFile_ << "# columns: S time_s";
@@ -315,6 +365,8 @@ PowerSensor::writeDumpHeader()
     }
     dumpFile_ << " total_W\n";
     dumpFile_ << "# markers: M char time_s\n";
+    readerMetrics().dumpBytes.inc(
+        static_cast<std::uint64_t>(dumpFile_.tellp() - start));
 }
 
 void
@@ -322,9 +374,11 @@ PowerSensor::writeDumpSample(const Sample &sample)
 {
     if (sample.marker) {
         char line[64];
-        std::snprintf(line, sizeof(line), "M %c %.6f\n",
-                      sample.markerChar, sample.time);
+        const int m = std::snprintf(line, sizeof(line), "M %c %.6f\n",
+                                    sample.markerChar, sample.time);
         dumpFile_ << line;
+        readerMetrics().dumpBytes.inc(
+            static_cast<std::uint64_t>(m));
     }
     char buffer[320];
     int n = std::snprintf(buffer, sizeof(buffer), "S %.6f",
@@ -340,9 +394,11 @@ PowerSensor::writeDumpSample(const Sample &sample)
                            " %.4f %.4f %.4f", sample.voltage[pair],
                            sample.current[pair], p);
     }
-    std::snprintf(buffer + n, sizeof(buffer) - static_cast<size_t>(n),
-                  " %.4f\n", total);
+    n += std::snprintf(buffer + n,
+                       sizeof(buffer) - static_cast<size_t>(n),
+                       " %.4f\n", total);
     dumpFile_ << buffer;
+    readerMetrics().dumpBytes.inc(static_cast<std::uint64_t>(n));
 }
 
 firmware::DeviceConfig

@@ -1,6 +1,7 @@
 #include "stream_parser.hpp"
 
 #include "common/errors.hpp"
+#include "obs/registry.hpp"
 
 namespace ps3::host {
 
@@ -8,8 +9,36 @@ using firmware::Frame;
 using firmware::isFirstByte;
 using firmware::kTimestampModulus;
 
+namespace {
+
+obs::Counter &
+parserCounter(const char *name, const char *help)
+{
+    return obs::Registry::global().counter(name, help);
+}
+
+} // namespace
+
 StreamParser::StreamParser(FrameSetCallback callback)
-    : callback_(std::move(callback))
+    : callback_(std::move(callback)),
+      metricResyncBytes_(parserCounter(
+          "ps3_parser_resync_bytes_total",
+          "Bytes skipped while re-aligning to a frame boundary")),
+      metricFrameSets_(parserCounter(
+          "ps3_parser_frame_sets_total",
+          "Complete frame sets delivered to the host library")),
+      metricEmptySets_(parserCounter(
+          "ps3_parser_empty_sets_total",
+          "Timestamp frames that carried no sensor data")),
+      metricPartialSets_(parserCounter(
+          "ps3_parser_partial_sets_total",
+          "Delivered sets missing previously-seen channels")),
+      metricWraps_(parserCounter(
+          "ps3_parser_timestamp_wraps_total",
+          "10-bit device timestamp wrap-arounds unwrapped")),
+      metricDroppedSets_(parserCounter(
+          "ps3_parser_dropped_sets_total",
+          "Partially accumulated sets abandoned by flush()"))
 {
     if (!callback_)
         throw UsageError("StreamParser: null callback");
@@ -42,6 +71,27 @@ StreamParser::feed(const std::uint8_t *data, std::size_t size)
         pendingFirstByte_.reset();
         handleFrame(frame);
     }
+    publishMetrics();
+}
+
+void
+StreamParser::publishMetrics()
+{
+    // Deltas since the last publish; feed() is called with whole
+    // read chunks, so this amortises to well under one atomic add
+    // per frame set.
+    metricResyncBytes_.inc(resyncBytes_ - publishedResyncBytes_);
+    publishedResyncBytes_ = resyncBytes_;
+    metricFrameSets_.inc(frameSets_ - publishedFrameSets_);
+    publishedFrameSets_ = frameSets_;
+    metricEmptySets_.inc(emptySets_ - publishedEmptySets_);
+    publishedEmptySets_ = emptySets_;
+    metricPartialSets_.inc(partialSets_ - publishedPartialSets_);
+    publishedPartialSets_ = partialSets_;
+    metricWraps_.inc(wraps_ - publishedWraps_);
+    publishedWraps_ = wraps_;
+    metricDroppedSets_.inc(droppedSets_ - publishedDroppedSets_);
+    publishedDroppedSets_ = droppedSets_;
 }
 
 void
@@ -87,6 +137,8 @@ StreamParser::beginSet(std::uint16_t timestamp10)
             % kTimestampModulus;
         if (delta == 0)
             delta = kTimestampModulus;
+        if (timestamp10 <= lastTimestamp10_)
+            ++wraps_; // counter passed the modulus since last set
         deviceMicros_ += delta;
     }
     lastTimestamp10_ = timestamp10;
@@ -100,11 +152,17 @@ void
 StreamParser::finishSet()
 {
     inSet_ = false;
-    bool any = false;
+    unsigned channels = 0;
     for (bool v : currentSet_.valid)
-        any = any || v;
-    if (!any)
+        channels += v ? 1 : 0;
+    if (channels == 0) {
+        ++emptySets_;
         return; // timestamp with no data: nothing to deliver
+    }
+    if (channels < peakChannels_)
+        ++partialSets_;
+    else
+        peakChannels_ = channels;
     ++frameSets_;
     callback_(currentSet_);
 }
@@ -120,9 +178,21 @@ StreamParser::setBaseMicros(std::uint64_t micros)
 void
 StreamParser::flush()
 {
+    if (inSet_) {
+        // A set was accumulating when the stream stopped; its data
+        // frames are discarded without being delivered or counted as
+        // resync bytes (see the header contract).
+        for (bool v : currentSet_.valid) {
+            if (v) {
+                ++droppedSets_;
+                break;
+            }
+        }
+    }
     pendingFirstByte_.reset();
     inSet_ = false;
     currentSet_ = FrameSet{};
+    publishMetrics();
 }
 
 } // namespace ps3::host

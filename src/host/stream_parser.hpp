@@ -24,6 +24,7 @@
 #include <optional>
 
 #include "firmware/protocol.hpp"
+#include "obs/metrics.hpp"
 
 namespace ps3::host {
 
@@ -65,9 +66,38 @@ class StreamParser
     /** Completed frame sets delivered so far. */
     std::uint64_t frameSetCount() const { return frameSets_; }
 
+    /** Timestamp frames that arrived with no sensor data. */
+    std::uint64_t emptySetCount() const { return emptySets_; }
+
+    /**
+     * Delivered sets missing channels seen in an earlier set
+     * (mid-set frame loss).
+     */
+    std::uint64_t partialSetCount() const { return partialSets_; }
+
+    /** 10-bit timestamp counter wrap-arounds unwrapped so far. */
+    std::uint64_t timestampWrapCount() const { return wraps_; }
+
+    /** Sets abandoned mid-accumulation by flush(). */
+    std::uint64_t droppedSetCount() const { return droppedSets_; }
+
     /**
      * Discard partial state (e.g. after an intentional stream stop)
      * while keeping the device-time unwrapping context.
+     *
+     * Contract (pinned by tests/test_host_parser.cpp):
+     *  - resyncByteCount() and frameSetCount() are lifetime-cumulative
+     *    and are NOT reset: a stop/start cycle never rewinds counters;
+     *  - a pending first byte and a half-accumulated set are dropped
+     *    silently (droppedSetCount() ticks if the set held data, but
+     *    the discarded bytes do not count as resync bytes);
+     *  - the timestamp-unwrap context survives, so the device-time
+     *    axis continues monotonically after the stream restarts.
+     *    Caveat: the 10-bit counter only disambiguates gaps shorter
+     *    than kTimestampModulus microseconds; across a longer real
+     *    stream pause the axis slips by a multiple of the modulus
+     *    (irrelevant for the pull-driven simulator, whose clock only
+     *    advances while producing frames).
      */
     void flush();
 
@@ -86,10 +116,36 @@ class StreamParser
 
     std::uint64_t resyncBytes_ = 0;
     std::uint64_t frameSets_ = 0;
+    std::uint64_t emptySets_ = 0;
+    std::uint64_t partialSets_ = 0;
+    std::uint64_t wraps_ = 0;
+    std::uint64_t droppedSets_ = 0;
+    /** Most valid channels seen in one set (partial-set baseline). */
+    unsigned peakChannels_ = 0;
+
+    /**
+     * Registry instruments, fed in batches: the per-byte loop only
+     * bumps the plain members above; publishMetrics() pushes the
+     * deltas since the last publish at the end of each feed()/flush()
+     * call, keeping the hot path free of atomics.
+     */
+    obs::Counter &metricResyncBytes_;
+    obs::Counter &metricFrameSets_;
+    obs::Counter &metricEmptySets_;
+    obs::Counter &metricPartialSets_;
+    obs::Counter &metricWraps_;
+    obs::Counter &metricDroppedSets_;
+    std::uint64_t publishedResyncBytes_ = 0;
+    std::uint64_t publishedFrameSets_ = 0;
+    std::uint64_t publishedEmptySets_ = 0;
+    std::uint64_t publishedPartialSets_ = 0;
+    std::uint64_t publishedWraps_ = 0;
+    std::uint64_t publishedDroppedSets_ = 0;
 
     void handleFrame(const firmware::Frame &frame);
     void beginSet(std::uint16_t timestamp10);
     void finishSet();
+    void publishMetrics();
 };
 
 } // namespace ps3::host

@@ -1,0 +1,218 @@
+#include "exposition.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/csv_writer.hpp"
+
+namespace ps3::obs {
+
+namespace {
+
+const char *
+typeName(MetricType type)
+{
+    switch (type) {
+      case MetricType::Counter:
+        return "counter";
+      case MetricType::Gauge:
+        return "gauge";
+      case MetricType::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+/** Render labels as {k="v",...}; empty string when unlabelled. */
+std::string
+labelText(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += key;
+        out += "=\"";
+        for (char c : value) {
+            // Prometheus escaping rules for label values.
+            if (c == '\\' || c == '"')
+                out += '\\';
+            if (c == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out += c;
+        }
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+/** Compact "k=v k=v" for the human table. */
+std::string
+labelTableText(const Labels &labels)
+{
+    if (labels.empty())
+        return "-";
+    std::string out;
+    for (const auto &[key, value] : labels) {
+        if (!out.empty())
+            out += ' ';
+        out += key + "=" + value;
+    }
+    return out;
+}
+
+/** Histogram summary for the table: count, mean and max bound. */
+std::string
+histogramSummary(const HistogramData &h)
+{
+    if (h.count == 0)
+        return "count=0";
+    char buffer[128];
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i] > 0)
+            top = i;
+    }
+    const std::uint64_t bound = Histogram::bucketUpperBound(top);
+    std::snprintf(buffer, sizeof(buffer),
+                  "count=%llu mean=%.0f max<=%llu",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<double>(h.sum)
+                      / static_cast<double>(h.count),
+                  static_cast<unsigned long long>(bound));
+    return buffer;
+}
+
+} // namespace
+
+std::optional<Format>
+parseFormat(const std::string &name)
+{
+    if (name == "table")
+        return Format::Table;
+    if (name == "csv")
+        return Format::Csv;
+    if (name == "prom" || name == "prometheus")
+        return Format::Prometheus;
+    return std::nullopt;
+}
+
+void
+writeTable(std::ostream &out, const Snapshot &snapshot)
+{
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-44s %-18s %-10s %s\n",
+                  "metric", "labels", "type", "value");
+    out << line;
+    for (const auto &sample : snapshot.samples) {
+        std::string value;
+        if (sample.type == MetricType::Histogram) {
+            value = histogramSummary(sample.histogram);
+        } else {
+            value = std::to_string(sample.value);
+        }
+        std::snprintf(line, sizeof(line), "%-44s %-18s %-10s %s\n",
+                      sample.name.c_str(),
+                      labelTableText(sample.labels).c_str(),
+                      typeName(sample.type), value.c_str());
+        out << line;
+    }
+}
+
+void
+writeCsv(std::ostream &out, const Snapshot &snapshot)
+{
+    CsvWriter csv(out);
+    csv.header({"name", "labels", "type", "value", "count", "sum"});
+    for (const auto &sample : snapshot.samples) {
+        const bool hist = sample.type == MetricType::Histogram;
+        csv.rowText(
+            {sample.name, labelTableText(sample.labels),
+             typeName(sample.type),
+             hist ? "" : std::to_string(sample.value),
+             hist ? std::to_string(sample.histogram.count) : "",
+             hist ? std::to_string(sample.histogram.sum) : ""});
+    }
+}
+
+void
+writePrometheus(std::ostream &out, const Snapshot &snapshot)
+{
+    std::string last_name;
+    for (const auto &sample : snapshot.samples) {
+        if (sample.name != last_name) {
+            out << "# HELP " << sample.name << ' ' << sample.help
+                << '\n';
+            out << "# TYPE " << sample.name << ' '
+                << typeName(sample.type) << '\n';
+            last_name = sample.name;
+        }
+        const std::string labels = labelText(sample.labels);
+        if (sample.type != MetricType::Histogram) {
+            out << sample.name << labels << ' ' << sample.value
+                << '\n';
+            continue;
+        }
+
+        // Cumulative buckets up to the last populated one, + "+Inf".
+        const auto &h = sample.histogram;
+        std::size_t top = 0;
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            if (h.buckets[i] > 0)
+                top = i;
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0;
+             i <= top && i + 1 < h.buckets.size(); ++i) {
+            cumulative += h.buckets[i];
+            std::string bucket_labels = sample.labels.empty()
+                                            ? std::string("{")
+                                            : labels.substr(
+                                                  0, labels.size() - 1)
+                                                  + ",";
+            bucket_labels += "le=\""
+                             + std::to_string(
+                                 Histogram::bucketUpperBound(i))
+                             + "\"}";
+            out << sample.name << "_bucket" << bucket_labels << ' '
+                << cumulative << '\n';
+        }
+        std::string inf_labels =
+            sample.labels.empty()
+                ? std::string("{")
+                : labels.substr(0, labels.size() - 1) + ",";
+        inf_labels += "le=\"+Inf\"}";
+        out << sample.name << "_bucket" << inf_labels << ' '
+            << h.count << '\n';
+        out << sample.name << "_sum" << labels << ' ' << h.sum
+            << '\n';
+        out << sample.name << "_count" << labels << ' ' << h.count
+            << '\n';
+    }
+}
+
+void
+write(std::ostream &out, const Snapshot &snapshot, Format format)
+{
+    switch (format) {
+      case Format::Table:
+        writeTable(out, snapshot);
+        break;
+      case Format::Csv:
+        writeCsv(out, snapshot);
+        break;
+      case Format::Prometheus:
+        writePrometheus(out, snapshot);
+        break;
+    }
+}
+
+} // namespace ps3::obs

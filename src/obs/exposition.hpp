@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Snapshot exporters: human table, CSV, Prometheus text exposition.
+ *
+ * All exporters render an obs::Snapshot (live or diffed) to a
+ * std::ostream. The Prometheus writer follows the text exposition
+ * format (HELP/TYPE comment lines, label sets, cumulative _bucket
+ * series with an le label, _sum and _count); the grammar is checked
+ * by tests/test_obs_metrics.cpp.
+ */
+
+#ifndef PS3_OBS_EXPOSITION_HPP
+#define PS3_OBS_EXPOSITION_HPP
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace ps3::obs {
+
+/** Snapshot output format. */
+enum class Format { Table, Csv, Prometheus };
+
+/**
+ * Parse a format name ("table", "csv", "prom"/"prometheus");
+ * nullopt on anything else.
+ */
+std::optional<Format> parseFormat(const std::string &name);
+
+/** Aligned human-readable table; histograms as count/mean/max. */
+void writeTable(std::ostream &out, const Snapshot &snapshot);
+
+/**
+ * CSV (via common's CsvWriter): one row per series with columns
+ * name, labels, type, value, count, sum.
+ */
+void writeCsv(std::ostream &out, const Snapshot &snapshot);
+
+/** Prometheus text exposition format. */
+void writePrometheus(std::ostream &out, const Snapshot &snapshot);
+
+/** Dispatch on format. */
+void write(std::ostream &out, const Snapshot &snapshot, Format format);
+
+} // namespace ps3::obs
+
+#endif // PS3_OBS_EXPOSITION_HPP

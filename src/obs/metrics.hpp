@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Lock-free metric primitives: Counter, Gauge, Histogram.
+ *
+ * These are the hot-path building blocks of the observability layer
+ * (docs/OBSERVABILITY.md). All mutators are single relaxed atomic
+ * operations so they can sit inside the 20 kHz stream pipeline; the
+ * slow-path work (naming, labelling, export) lives in the Registry.
+ *
+ * Compile-time escape hatch: defining PS3_OBS_DISABLE (CMake option
+ * of the same name) removes all storage and turns every mutator into
+ * an empty inline function, so instrumented code compiles to exactly
+ * what it was before instrumentation.
+ */
+
+#ifndef PS3_OBS_METRICS_HPP
+#define PS3_OBS_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+
+namespace ps3::obs {
+
+/** True when the observability layer is compiled in. */
+#ifdef PS3_OBS_DISABLE
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/**
+ * Monotonically increasing event count.
+ *
+ * inc() is a relaxed atomic add; hot loops that already keep a local
+ * tally should publish deltas in batches instead of calling inc() per
+ * event (see host::StreamParser for the pattern).
+ */
+class Counter
+{
+  public:
+    void
+    inc(std::uint64_t n = 1) noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        value_.fetch_add(n, std::memory_order_relaxed);
+#else
+        (void)n;
+#endif
+    }
+
+    std::uint64_t
+    value() const noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        return value_.load(std::memory_order_relaxed);
+#else
+        return 0;
+#endif
+    }
+
+  private:
+#ifndef PS3_OBS_DISABLE
+    std::atomic<std::uint64_t> value_{0};
+#endif
+};
+
+/**
+ * Instantaneous level (queue depth, high-water mark). Signed so
+ * add()/sub() pairs may transiently cross zero.
+ */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v) noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        value_.store(v, std::memory_order_relaxed);
+#else
+        (void)v;
+#endif
+    }
+
+    void
+    add(std::int64_t n = 1) noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        value_.fetch_add(n, std::memory_order_relaxed);
+#else
+        (void)n;
+#endif
+    }
+
+    void
+    sub(std::int64_t n = 1) noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        value_.fetch_sub(n, std::memory_order_relaxed);
+#else
+        (void)n;
+#endif
+    }
+
+    /** Raise the gauge to v if v is larger (high-water marks). */
+    void
+    updateMax(std::int64_t v) noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        std::int64_t cur = value_.load(std::memory_order_relaxed);
+        while (v > cur
+               && !value_.compare_exchange_weak(
+                   cur, v, std::memory_order_relaxed)) {
+        }
+#else
+        (void)v;
+#endif
+    }
+
+    std::int64_t
+    value() const noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        return value_.load(std::memory_order_relaxed);
+#else
+        return 0;
+#endif
+    }
+
+  private:
+#ifndef PS3_OBS_DISABLE
+    std::atomic<std::int64_t> value_{0};
+#endif
+};
+
+/**
+ * Fixed log2-bucket histogram over unsigned values (typically
+ * nanoseconds).
+ *
+ * Bucket 0 counts the value 0; bucket i (i >= 1) counts values in
+ * [2^(i-1), 2^i), i.e. the inclusive upper bound of bucket i is
+ * 2^i - 1. The last bucket absorbs everything at or above
+ * 2^(kBucketCount-2) ("+Inf" in the Prometheus exposition). observe()
+ * is two relaxed atomic adds plus a bit_width — constant time, no
+ * locks, no allocation.
+ */
+class Histogram
+{
+  public:
+    /** 0, [1,2), [2,4), ... [2^38, 2^39), overflow. */
+    static constexpr std::size_t kBucketCount = 41;
+
+    /** Bucket index a value lands in. */
+    static constexpr std::size_t
+    bucketIndex(std::uint64_t v) noexcept
+    {
+        const std::size_t width =
+            static_cast<std::size_t>(std::bit_width(v));
+        return width < kBucketCount ? width : kBucketCount - 1;
+    }
+
+    /**
+     * Inclusive upper bound of a bucket; UINT64_MAX for the overflow
+     * bucket.
+     */
+    static constexpr std::uint64_t
+    bucketUpperBound(std::size_t index) noexcept
+    {
+        if (index + 1 >= kBucketCount)
+            return UINT64_MAX;
+        return (std::uint64_t{1} << index) - 1;
+    }
+
+    void
+    observe(std::uint64_t v) noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        buckets_[bucketIndex(v)].fetch_add(1,
+                                           std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+#else
+        (void)v;
+#endif
+    }
+
+    std::uint64_t
+    bucketCount(std::size_t index) const noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        return buckets_[index].load(std::memory_order_relaxed);
+#else
+        (void)index;
+        return 0;
+#endif
+    }
+
+    /** Total observations. */
+    std::uint64_t
+    count() const noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        std::uint64_t total = 0;
+        for (const auto &bucket : buckets_)
+            total += bucket.load(std::memory_order_relaxed);
+        return total;
+#else
+        return 0;
+#endif
+    }
+
+    /** Sum of all observed values. */
+    std::uint64_t
+    sum() const noexcept
+    {
+#ifndef PS3_OBS_DISABLE
+        return sum_.load(std::memory_order_relaxed);
+#else
+        return 0;
+#endif
+    }
+
+  private:
+#ifndef PS3_OBS_DISABLE
+    std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+    std::atomic<std::uint64_t> sum_{0};
+#endif
+};
+
+/**
+ * RAII timer observing elapsed nanoseconds into a Histogram. With
+ * PS3_OBS_DISABLE the clock is never read.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &histogram) noexcept
+#ifndef PS3_OBS_DISABLE
+        : histogram_(&histogram),
+          start_(std::chrono::steady_clock::now())
+#endif
+    {
+#ifdef PS3_OBS_DISABLE
+        (void)histogram;
+#endif
+    }
+
+    ~ScopedTimer()
+    {
+#ifndef PS3_OBS_DISABLE
+        const auto elapsed =
+            std::chrono::steady_clock::now() - start_;
+        histogram_->observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                elapsed)
+                .count()));
+#endif
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+#ifndef PS3_OBS_DISABLE
+    Histogram *histogram_;
+    std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+} // namespace ps3::obs
+
+#endif // PS3_OBS_METRICS_HPP

@@ -1,0 +1,186 @@
+#include "registry.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace ps3::obs {
+
+namespace {
+
+bool
+sampleLess(const MetricSample &a, const MetricSample &b)
+{
+    if (a.name != b.name)
+        return a.name < b.name;
+    return a.labels < b.labels;
+}
+
+} // namespace
+
+std::size_t
+Snapshot::nonZeroCount() const
+{
+    std::size_t n = 0;
+    for (const auto &sample : samples) {
+        if (sample.type == MetricType::Histogram) {
+            n += sample.histogram.count > 0 ? 1 : 0;
+        } else {
+            n += sample.value != 0 ? 1 : 0;
+        }
+    }
+    return n;
+}
+
+const MetricSample *
+Snapshot::find(const std::string &name, const Labels &labels) const
+{
+    for (const auto &sample : samples) {
+        if (sample.name == name && sample.labels == labels)
+            return &sample;
+    }
+    return nullptr;
+}
+
+Snapshot
+diff(const Snapshot &before, const Snapshot &after)
+{
+    Snapshot out;
+    out.samples.reserve(after.samples.size());
+    for (const auto &sample : after.samples) {
+        MetricSample d = sample;
+        const MetricSample *prev =
+            before.find(sample.name, sample.labels);
+        if (prev != nullptr && prev->type == sample.type) {
+            switch (sample.type) {
+              case MetricType::Counter:
+                d.value = std::max<std::int64_t>(
+                    0, sample.value - prev->value);
+                break;
+              case MetricType::Gauge:
+                // Gauges are levels, not rates: keep "after".
+                break;
+              case MetricType::Histogram: {
+                auto &h = d.histogram;
+                const auto &p = prev->histogram;
+                for (std::size_t i = 0;
+                     i < h.buckets.size() && i < p.buckets.size();
+                     ++i) {
+                    h.buckets[i] = h.buckets[i] >= p.buckets[i]
+                                       ? h.buckets[i] - p.buckets[i]
+                                       : 0;
+                }
+                h.count = h.count >= p.count ? h.count - p.count : 0;
+                h.sum = h.sum >= p.sum ? h.sum - p.sum : 0;
+                break;
+              }
+            }
+        }
+        out.samples.push_back(std::move(d));
+    }
+    return out;
+}
+
+Registry &
+Registry::global()
+{
+    // Leaked on purpose: metrics may be touched during static
+    // destruction of instrumented singletons.
+    static Registry *instance = new Registry();
+    return *instance;
+}
+
+Registry::Entry &
+Registry::findOrCreate(const std::string &name, const std::string &help,
+                       MetricType type, Labels labels)
+{
+    std::sort(labels.begin(), labels.end());
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : entries_) {
+        if (entry.name != name)
+            continue;
+        if (entry.type != type) {
+            throw UsageError("obs::Registry: metric '" + name
+                             + "' re-registered with a different "
+                               "type");
+        }
+        if (entry.labels == labels)
+            return entry;
+    }
+    Entry &entry = entries_.emplace_back();
+    entry.name = name;
+    entry.help = help;
+    entry.type = type;
+    entry.labels = std::move(labels);
+    return entry;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help,
+                  Labels labels)
+{
+    return findOrCreate(name, help, MetricType::Counter,
+                        std::move(labels))
+        .counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                Labels labels)
+{
+    return findOrCreate(name, help, MetricType::Gauge,
+                        std::move(labels))
+        .gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    Labels labels)
+{
+    return findOrCreate(name, help, MetricType::Histogram,
+                        std::move(labels))
+        .histogram;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Snapshot snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot.samples.reserve(entries_.size());
+        for (const auto &entry : entries_) {
+            MetricSample sample;
+            sample.name = entry.name;
+            sample.help = entry.help;
+            sample.type = entry.type;
+            sample.labels = entry.labels;
+            switch (entry.type) {
+              case MetricType::Counter:
+                sample.value = static_cast<std::int64_t>(
+                    entry.counter.value());
+                break;
+              case MetricType::Gauge:
+                sample.value = entry.gauge.value();
+                break;
+              case MetricType::Histogram: {
+                auto &h = sample.histogram;
+                h.buckets.resize(Histogram::kBucketCount);
+                for (std::size_t i = 0; i < Histogram::kBucketCount;
+                     ++i) {
+                    h.buckets[i] = entry.histogram.bucketCount(i);
+                }
+                h.count = entry.histogram.count();
+                h.sum = entry.histogram.sum();
+                break;
+              }
+            }
+            snapshot.samples.push_back(std::move(sample));
+        }
+    }
+    std::sort(snapshot.samples.begin(), snapshot.samples.end(),
+              sampleLess);
+    return snapshot;
+}
+
+} // namespace ps3::obs

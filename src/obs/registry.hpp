@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Process-wide metric registry with labelled metric families.
+ *
+ * A metric family is identified by its name (Prometheus conventions:
+ * snake_case, counters end in _total, unit suffixes like _bytes/_ns);
+ * a child of a family is identified by its label set. Registering the
+ * same (name, labels) twice returns the same object, so independent
+ * components sharing an instrument accumulate into one series.
+ *
+ * Registration takes a mutex and allocates; it happens once per
+ * component at construction. The returned references stay valid for
+ * the life of the Registry (storage is a deque — no reallocation),
+ * and the hot path touches only the atomics inside the metric.
+ *
+ * snapshot() captures every value into a plain Snapshot that can be
+ * diffed around a region of interest (bench_util's ObsRegion) and
+ * rendered by the exporters in exposition.hpp.
+ */
+
+#ifndef PS3_OBS_REGISTRY_HPP
+#define PS3_OBS_REGISTRY_HPP
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ps3::obs {
+
+/** Label set: (key, value) pairs, kept sorted by key. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { Counter, Gauge, Histogram };
+
+/** Captured histogram state. */
+struct HistogramData
+{
+    /** Per-bucket counts (Histogram::kBucketCount entries). */
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+};
+
+/** One metric series captured by snapshot(). */
+struct MetricSample
+{
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::Counter;
+    Labels labels;
+    /** Counter / gauge value (counters are never negative). */
+    std::int64_t value = 0;
+    /** Histogram state (type == Histogram only). */
+    HistogramData histogram;
+};
+
+/** Point-in-time capture of a whole registry. */
+struct Snapshot
+{
+    std::vector<MetricSample> samples;
+
+    /** Series with a non-zero value / at least one observation. */
+    std::size_t nonZeroCount() const;
+
+    /** Find a series by name + labels (nullptr if absent). */
+    const MetricSample *find(const std::string &name,
+                             const Labels &labels = {}) const;
+};
+
+/**
+ * Difference of two snapshots of the same registry: counters and
+ * histogram buckets subtract (clamped at zero), gauges keep the
+ * "after" value, series that only exist in "after" are kept whole.
+ */
+Snapshot diff(const Snapshot &before, const Snapshot &after);
+
+/** Registry of metric families. */
+class Registry
+{
+  public:
+    /**
+     * The process-wide registry every built-in instrument uses.
+     * Never destroyed (intentionally leaked) so instruments in
+     * static-destruction order are safe.
+     */
+    static Registry &global();
+
+    /**
+     * Register (or look up) a counter.
+     * @throws UsageError if the name is already registered with a
+     *         different metric type.
+     */
+    Counter &counter(const std::string &name, const std::string &help,
+                     Labels labels = {});
+
+    /** Register (or look up) a gauge. */
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 Labels labels = {});
+
+    /** Register (or look up) a histogram. */
+    Histogram &histogram(const std::string &name,
+                         const std::string &help, Labels labels = {});
+
+    /** Capture all series (sorted by name, then labels). */
+    Snapshot snapshot() const;
+
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+  private:
+    /** One registered series; holds all three metric kinds, only
+     *  the one matching `type` is ever used. */
+    struct Entry
+    {
+        std::string name;
+        std::string help;
+        MetricType type;
+        Labels labels;
+        Counter counter;
+        Gauge gauge;
+        Histogram histogram;
+    };
+
+    Entry &findOrCreate(const std::string &name,
+                        const std::string &help, MetricType type,
+                        Labels labels);
+
+    mutable std::mutex mutex_;
+    /** Deque: stable addresses across growth. */
+    std::deque<Entry> entries_;
+};
+
+} // namespace ps3::obs
+
+#endif // PS3_OBS_REGISTRY_HPP

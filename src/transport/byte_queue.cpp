@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/registry.hpp"
+
 namespace ps3::transport {
+
+ByteQueue::ByteQueue()
+    : depth_(obs::Registry::global().gauge(
+          "ps3_transport_queue_depth_bytes",
+          "Bytes currently buffered in a transport byte queue")),
+      depthHighWater_(obs::Registry::global().gauge(
+          "ps3_transport_queue_hwm_bytes",
+          "High-water mark of transport byte-queue depth"))
+{
+}
 
 void
 ByteQueue::push(const std::uint8_t *data, std::size_t size)
@@ -11,6 +23,9 @@ ByteQueue::push(const std::uint8_t *data, std::size_t size)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         data_.insert(data_.end(), data, data + size);
+        depth_.set(static_cast<std::int64_t>(data_.size()));
+        depthHighWater_.updateMax(
+            static_cast<std::int64_t>(data_.size()));
     }
     cv_.notify_one();
 }
@@ -32,6 +47,7 @@ ByteQueue::pop(std::uint8_t *buffer, std::size_t max_bytes,
     std::copy_n(data_.begin(), count, buffer);
     data_.erase(data_.begin(),
                 data_.begin() + static_cast<std::ptrdiff_t>(count));
+    depth_.set(static_cast<std::int64_t>(data_.size()));
     return count;
 }
 

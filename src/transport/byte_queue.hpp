@@ -12,12 +12,16 @@
 #include <deque>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace ps3::transport {
 
 /** Unbounded MPMC byte queue with timed blocking reads. */
 class ByteQueue
 {
   public:
+    ByteQueue();
+
     /** Append bytes and wake one waiting reader. */
     void push(const std::uint8_t *data, std::size_t size);
 
@@ -43,6 +47,14 @@ class ByteQueue
     std::condition_variable cv_;
     std::deque<std::uint8_t> data_;
     bool shutdown_ = false;
+
+    /**
+     * Shared depth instruments across all ByteQueue instances:
+     * current depth (last writer wins) and process-wide high-water
+     * mark.
+     */
+    obs::Gauge &depth_;
+    obs::Gauge &depthHighWater_;
 };
 
 } // namespace ps3::transport

@@ -2,10 +2,24 @@
 
 #include <thread>
 
+#include "obs/registry.hpp"
+
 namespace ps3::transport {
 
 EmulatedSerialPort::EmulatedSerialPort(BytePump &pump)
-    : pump_(pump), throttleEpoch_(std::chrono::steady_clock::now())
+    : pump_(pump), throttleEpoch_(std::chrono::steady_clock::now()),
+      bytesRx_(obs::Registry::global().counter(
+          "ps3_transport_bytes_rx_total",
+          "Bytes read from the device (device->host)",
+          {{"port", "emulated"}})),
+      bytesTx_(obs::Registry::global().counter(
+          "ps3_transport_bytes_tx_total",
+          "Bytes written to the device (host->device)",
+          {{"port", "emulated"}})),
+      readTimeouts_(obs::Registry::global().counter(
+          "ps3_transport_read_timeouts_total",
+          "Reads that returned no data before the timeout",
+          {{"port", "emulated"}}))
 {
 }
 
@@ -25,10 +39,12 @@ EmulatedSerialPort::read(std::uint8_t *buffer, std::size_t max_bytes,
         // Nothing streaming right now: emulate a blocking read that
         // times out. Sleep briefly so callers polling in a loop do
         // not spin at 100% CPU.
+        readTimeouts_.inc();
         std::this_thread::sleep_for(std::chrono::duration<double>(
             std::min(timeout_seconds, 1e-3)));
         return 0;
     }
+    bytesRx_.inc(produced);
 
     // Token-bucket throttle: delay until the modelled link could
     // have transferred everything sent so far. Compute the deadline
@@ -57,6 +73,7 @@ EmulatedSerialPort::write(const std::uint8_t *data, std::size_t size)
 {
     if (closed_.load(std::memory_order_acquire))
         return;
+    bytesTx_.inc(size);
     std::lock_guard<std::mutex> lock(mutex_);
     pump_.hostWrite(data, size);
 }

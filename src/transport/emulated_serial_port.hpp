@@ -16,6 +16,7 @@
 #include <chrono>
 #include <mutex>
 
+#include "obs/metrics.hpp"
 #include "transport/char_device.hpp"
 
 namespace ps3::transport {
@@ -50,6 +51,11 @@ class EmulatedSerialPort : public CharDevice
     double bytesPerSecond_ = 0.0;
     std::chrono::steady_clock::time_point throttleEpoch_;
     double bytesSent_ = 0.0;
+
+    /** Shared per-family instruments (label port="emulated"). */
+    obs::Counter &bytesRx_;
+    obs::Counter &bytesTx_;
+    obs::Counter &readTimeouts_;
 };
 
 } // namespace ps3::transport

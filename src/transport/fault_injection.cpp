@@ -2,12 +2,30 @@
 
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace ps3::transport {
+
+namespace {
+
+obs::Counter &
+faultCounter(const char *kind)
+{
+    return obs::Registry::global().counter(
+        "ps3_transport_faults_injected_total",
+        "Link faults injected on the read path, by kind",
+        {{"kind", kind}});
+}
+
+} // namespace
 
 FaultInjectingDevice::FaultInjectingDevice(CharDevice &inner,
                                            FaultProfile profile,
                                            std::uint64_t seed)
-    : inner_(inner), profile_(profile), rng_(seed)
+    : inner_(inner), profile_(profile), rng_(seed),
+      corruptFaults_(faultCounter("corrupt")),
+      dropFaults_(faultCounter("drop")),
+      duplicateFaults_(faultCounter("duplicate"))
 {
 }
 
@@ -28,10 +46,12 @@ FaultInjectingDevice::read(std::uint8_t *buffer, std::size_t max_bytes,
         std::uint8_t byte = scratch[i];
         if (rng_.bernoulli(profile_.dropProbability)) {
             ++faults_;
+            dropFaults_.inc();
             continue;
         }
         if (rng_.bernoulli(profile_.corruptProbability)) {
             ++faults_;
+            corruptFaults_.inc();
             byte ^= static_cast<std::uint8_t>(
                 rng_.uniformInt(1, 255));
         }
@@ -39,6 +59,7 @@ FaultInjectingDevice::read(std::uint8_t *buffer, std::size_t max_bytes,
         if (out < max_bytes
             && rng_.bernoulli(profile_.duplicateProbability)) {
             ++faults_;
+            duplicateFaults_.inc();
             buffer[out++] = byte;
         }
     }

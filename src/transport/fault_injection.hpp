@@ -15,6 +15,7 @@
 #include <mutex>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "transport/char_device.hpp"
 
 namespace ps3::transport {
@@ -56,6 +57,11 @@ class FaultInjectingDevice : public CharDevice
     mutable std::mutex mutex_;
     Rng rng_;
     std::uint64_t faults_ = 0;
+
+    /** Per-kind fault counters (ps3_transport_faults_injected_total). */
+    obs::Counter &corruptFaults_;
+    obs::Counter &dropFaults_;
+    obs::Counter &duplicateFaults_;
 };
 
 } // namespace ps3::transport

@@ -9,10 +9,23 @@
 #include <unistd.h>
 
 #include "common/errors.hpp"
+#include "obs/registry.hpp"
 
 namespace ps3::transport {
 
 PosixSerialPort::PosixSerialPort(const std::string &path)
+    : bytesRx_(obs::Registry::global().counter(
+          "ps3_transport_bytes_rx_total",
+          "Bytes read from the device (device->host)",
+          {{"port", "posix"}})),
+      bytesTx_(obs::Registry::global().counter(
+          "ps3_transport_bytes_tx_total",
+          "Bytes written to the device (host->device)",
+          {{"port", "posix"}})),
+      readTimeouts_(obs::Registry::global().counter(
+          "ps3_transport_read_timeouts_total",
+          "Reads that returned no data before the timeout",
+          {{"port", "posix"}}))
 {
     fd_ = ::open(path.c_str(), O_RDWR | O_NOCTTY);
     if (fd_ < 0) {
@@ -57,8 +70,10 @@ PosixSerialPort::read(std::uint8_t *buffer, std::size_t max_bytes,
     pollfd pfd{fd_, POLLIN, 0};
     const int timeout_ms = static_cast<int>(timeout_seconds * 1e3);
     const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready <= 0)
+    if (ready <= 0) {
+        readTimeouts_.inc();
         return 0;
+    }
 
     const ssize_t got = ::read(fd_, buffer, max_bytes);
     if (got < 0) {
@@ -71,12 +86,14 @@ PosixSerialPort::read(std::uint8_t *buffer, std::size_t max_bytes,
         closed_ = true;
         return 0;
     }
+    bytesRx_.inc(static_cast<std::uint64_t>(got));
     return static_cast<std::size_t>(got);
 }
 
 void
 PosixSerialPort::write(const std::uint8_t *data, std::size_t size)
 {
+    bytesTx_.inc(size);
     std::size_t sent = 0;
     while (sent < size) {
         const ssize_t n = ::write(fd_, data + sent, size - sent);

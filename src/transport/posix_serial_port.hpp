@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "transport/char_device.hpp"
 
 namespace ps3::transport {
@@ -44,6 +45,11 @@ class PosixSerialPort : public CharDevice
   private:
     int fd_ = -1;
     bool closed_ = false;
+
+    /** Shared per-family instruments (label port="posix"). */
+    obs::Counter &bytesRx_;
+    obs::Counter &bytesTx_;
+    obs::Counter &readTimeouts_;
 };
 
 } // namespace ps3::transport

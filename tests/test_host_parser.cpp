@@ -239,5 +239,85 @@ TEST(StreamParser, FlushDropsPartialState)
     EXPECT_GE(sets, 8u);
 }
 
+// The flush() contract pinned in the stream_parser.hpp header: a
+// stop/start cycle never rewinds the lifetime counters, abandons
+// pending state silently (droppedSetCount ticks only when the set
+// held data, the discarded bytes are NOT resync bytes), and keeps
+// the device-time axis monotonic across the restart.
+TEST(StreamParser, FlushContractCountersAreLifetimeCumulative)
+{
+    std::vector<FrameSet> sets;
+    StreamParser parser([&](const FrameSet &s) { sets.push_back(s); });
+
+    // 5 sets, last byte withheld: a set with one valid channel plus
+    // a pending first byte are in flight when the stream stops.
+    const auto stream = makeStream(5);
+    parser.feed(stream.data(), stream.size() - 1);
+    const auto frame_sets = parser.frameSetCount();
+    const auto resync_bytes = parser.resyncByteCount();
+    ASSERT_EQ(frame_sets, 4u);
+    ASSERT_EQ(resync_bytes, 0u);
+
+    parser.flush();
+
+    // Counters not reset; the in-flight set (held data) is counted
+    // dropped; the two discarded bytes are not resync bytes.
+    EXPECT_EQ(parser.frameSetCount(), frame_sets);
+    EXPECT_EQ(parser.resyncByteCount(), resync_bytes);
+    EXPECT_EQ(parser.droppedSetCount(), 1u);
+
+    // The restarted stream parses cleanly from its first byte and
+    // keeps accumulating the same counters.
+    const auto more = makeStream(5, 2025);
+    parser.feed(more.data(), more.size());
+    EXPECT_EQ(parser.frameSetCount(), frame_sets + 4);
+    EXPECT_EQ(parser.resyncByteCount(), 0u);
+    EXPECT_EQ(parser.droppedSetCount(), 1u);
+}
+
+TEST(StreamParser, FlushWithoutPendingDataDropsNothing)
+{
+    std::vector<FrameSet> sets;
+    StreamParser parser([&](const FrameSet &s) { sets.push_back(s); });
+
+    // Stop right after a timestamp frame: a set is open but holds no
+    // sensor data yet, so nothing is counted as dropped.
+    const auto stream = makeStream(2);
+    parser.feed(stream.data(), 8); // ts0 c v ts1
+    parser.flush();
+    EXPECT_EQ(parser.droppedSetCount(), 0u);
+
+    // An idle parser may be flushed freely.
+    parser.flush();
+    parser.flush();
+    EXPECT_EQ(parser.droppedSetCount(), 0u);
+    EXPECT_EQ(parser.resyncByteCount(), 0u);
+}
+
+TEST(StreamParser, FlushPreservesUnwrapContext)
+{
+    std::vector<FrameSet> sets;
+    StreamParser parser([&](const FrameSet &s) { sets.push_back(s); });
+
+    const auto stream = makeStream(5, 25);
+    parser.feed(stream.data(), stream.size() - 1);
+    ASSERT_FALSE(sets.empty());
+    const double time_before_stop = sets.back().deviceTime;
+
+    parser.flush();
+
+    // Restart within the 10-bit modulus window: the device-time axis
+    // must continue monotonically, not restart from zero. The last
+    // set delivered before the stop carries timestamp 175 us; the
+    // first one after the restart carries 525 us.
+    const auto more = makeStream(5, 525);
+    parser.feed(more.data(), more.size());
+    ASSERT_GT(sets.size(), 4u);
+    const double time_after_restart = sets[4].deviceTime;
+    EXPECT_GT(time_after_restart, time_before_stop);
+    ASSERT_NEAR(time_after_restart - time_before_stop,
+                (525 - 175) * 1e-6, 1e-12);
+}
+
 } // namespace
 } // namespace ps3::host

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs): metric primitives,
+ * registry semantics, snapshot diffing, and the three exporters.
+ * The Prometheus test validates the text exposition grammar the
+ * paper-reproduction tools emit via --stats=prom.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+
+namespace ps3::obs {
+namespace {
+
+// ---------------------------------------------------------------- Counter
+
+TEST(ObsCounter, StartsAtZeroAndAccumulates)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.inc();
+    counter.inc(41);
+    if (kEnabled)
+        EXPECT_EQ(counter.value(), 42u);
+    else
+        EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsCounter, ConcurrentIncrementsLandExactly)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Counter counter;
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 100'000;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                counter.inc();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+// ------------------------------------------------------------------ Gauge
+
+TEST(ObsGauge, SetAddSub)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Gauge gauge;
+    gauge.set(10);
+    gauge.add(5);
+    gauge.sub(3);
+    EXPECT_EQ(gauge.value(), 12);
+    gauge.sub(20);
+    EXPECT_EQ(gauge.value(), -8); // signed: may cross zero
+}
+
+TEST(ObsGauge, UpdateMaxOnlyRaises)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Gauge hwm;
+    hwm.updateMax(100);
+    EXPECT_EQ(hwm.value(), 100);
+    hwm.updateMax(50); // lower: no effect
+    EXPECT_EQ(hwm.value(), 100);
+    hwm.updateMax(101);
+    EXPECT_EQ(hwm.value(), 101);
+}
+
+TEST(ObsGauge, ConcurrentUpdateMaxKeepsMaximum)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Gauge hwm;
+    constexpr unsigned kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hwm, t] {
+            for (std::int64_t v = t; v < 10'000; v += kThreads)
+                hwm.updateMax(v);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(hwm.value(), 9'999);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(ObsHistogram, BucketIndexAtPowerOfTwoBoundaries)
+{
+    // Bucket 0 holds the value 0; bucket i holds [2^(i-1), 2^i).
+    EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(7), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(8), 4u);
+    for (unsigned k = 1; k < 39; ++k) {
+        const std::uint64_t pow2 = std::uint64_t{1} << k;
+        EXPECT_EQ(Histogram::bucketIndex(pow2), k + 1) << "2^" << k;
+        EXPECT_EQ(Histogram::bucketIndex(pow2 - 1), k) << "2^" << k
+                                                       << " - 1";
+    }
+    // Everything >= 2^(kBucketCount-2) lands in the overflow bucket.
+    EXPECT_EQ(Histogram::bucketIndex(UINT64_MAX),
+              Histogram::kBucketCount - 1);
+    EXPECT_EQ(Histogram::bucketIndex(std::uint64_t{1} << 63),
+              Histogram::kBucketCount - 1);
+}
+
+TEST(ObsHistogram, BucketUpperBounds)
+{
+    EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+    EXPECT_EQ(Histogram::bucketUpperBound(10), 1023u);
+    EXPECT_EQ(Histogram::bucketUpperBound(Histogram::kBucketCount - 1),
+              UINT64_MAX);
+}
+
+TEST(ObsHistogram, ObserveCountsAndSums)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Histogram histogram;
+    histogram.observe(0);
+    histogram.observe(1);
+    histogram.observe(2);
+    histogram.observe(3);
+    histogram.observe(1024);
+    EXPECT_EQ(histogram.count(), 5u);
+    EXPECT_EQ(histogram.sum(), 1030u);
+    EXPECT_EQ(histogram.bucketCount(0), 1u); // value 0
+    EXPECT_EQ(histogram.bucketCount(1), 1u); // value 1
+    EXPECT_EQ(histogram.bucketCount(2), 2u); // values 2, 3
+    EXPECT_EQ(histogram.bucketCount(11), 1u); // 1024 in [1024, 2048)
+}
+
+TEST(ObsHistogram, ConcurrentObservesLandExactly)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Histogram histogram;
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 50'000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&histogram] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                histogram.observe(i & 0xFF);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+}
+
+TEST(ObsScopedTimer, ObservesOnDestruction)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Histogram histogram;
+    {
+        ScopedTimer timer(histogram);
+    }
+    EXPECT_EQ(histogram.count(), 1u);
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(ObsRegistry, SameNameAndLabelsReturnsSameInstance)
+{
+    Registry registry;
+    Counter &a = registry.counter("ps3_test_total", "help");
+    Counter &b = registry.counter("ps3_test_total", "other help");
+    EXPECT_EQ(&a, &b);
+
+    Counter &labelled = registry.counter("ps3_test_total", "help",
+                                         {{"kind", "x"}});
+    EXPECT_NE(&a, &labelled);
+}
+
+TEST(ObsRegistry, LabelOrderIsCanonicalised)
+{
+    Registry registry;
+    Counter &a = registry.counter("ps3_test_total", "help",
+                                  {{"b", "2"}, {"a", "1"}});
+    Counter &b = registry.counter("ps3_test_total", "help",
+                                  {{"a", "1"}, {"b", "2"}});
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsRegistry, TypeConflictThrows)
+{
+    Registry registry;
+    registry.counter("ps3_test_total", "help");
+    EXPECT_THROW(registry.gauge("ps3_test_total", "help"), UsageError);
+    EXPECT_THROW(registry.histogram("ps3_test_total", "help"),
+                 UsageError);
+}
+
+TEST(ObsRegistry, SnapshotSortedAndFindable)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Registry registry;
+    registry.counter("ps3_zz_total", "z").inc(7);
+    registry.gauge("ps3_aa_depth", "a").set(3);
+    registry.histogram("ps3_mm_ns", "m").observe(5);
+
+    const Snapshot snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.samples.size(), 3u);
+    EXPECT_EQ(snapshot.samples[0].name, "ps3_aa_depth");
+    EXPECT_EQ(snapshot.samples[1].name, "ps3_mm_ns");
+    EXPECT_EQ(snapshot.samples[2].name, "ps3_zz_total");
+    EXPECT_EQ(snapshot.nonZeroCount(), 3u);
+
+    const MetricSample *counter = snapshot.find("ps3_zz_total");
+    ASSERT_NE(counter, nullptr);
+    EXPECT_EQ(counter->value, 7);
+    EXPECT_EQ(counter->type, MetricType::Counter);
+
+    const MetricSample *histogram = snapshot.find("ps3_mm_ns");
+    ASSERT_NE(histogram, nullptr);
+    EXPECT_EQ(histogram->histogram.count, 1u);
+    EXPECT_EQ(histogram->histogram.sum, 5u);
+    EXPECT_EQ(histogram->histogram.buckets.size(),
+              Histogram::kBucketCount);
+
+    EXPECT_EQ(snapshot.find("ps3_absent_total"), nullptr);
+}
+
+TEST(ObsRegistry, SharedSeriesAccumulatesAcrossRegistrants)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    // Two components registering the same (name, labels) write into
+    // one series — the documented aggregation behaviour.
+    Registry registry;
+    registry.counter("ps3_shared_total", "help").inc(2);
+    registry.counter("ps3_shared_total", "help").inc(3);
+    const Snapshot snapshot = registry.snapshot();
+    ASSERT_NE(snapshot.find("ps3_shared_total"), nullptr);
+    EXPECT_EQ(snapshot.find("ps3_shared_total")->value, 5);
+}
+
+// ----------------------------------------------------------------- diff()
+
+TEST(ObsSnapshot, DiffSubtractsCountersKeepsGauges)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Registry registry;
+    Counter &counter = registry.counter("ps3_c_total", "c");
+    Gauge &gauge = registry.gauge("ps3_g_depth", "g");
+    Histogram &histogram = registry.histogram("ps3_h_ns", "h");
+
+    counter.inc(10);
+    gauge.set(100);
+    histogram.observe(4);
+    const Snapshot before = registry.snapshot();
+
+    counter.inc(5);
+    gauge.set(42);
+    histogram.observe(4);
+    histogram.observe(1'000);
+    const Snapshot after = registry.snapshot();
+
+    const Snapshot deltas = diff(before, after);
+    EXPECT_EQ(deltas.find("ps3_c_total")->value, 5);
+    EXPECT_EQ(deltas.find("ps3_g_depth")->value, 42); // level, not rate
+    const auto &h = deltas.find("ps3_h_ns")->histogram;
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_EQ(h.sum, 1'004u);
+    EXPECT_EQ(h.buckets[Histogram::bucketIndex(4)], 1u);
+    EXPECT_EQ(h.buckets[Histogram::bucketIndex(1'000)], 1u);
+}
+
+TEST(ObsSnapshot, DiffKeepsSeriesNewInAfter)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Registry registry;
+    const Snapshot before = registry.snapshot();
+    registry.counter("ps3_new_total", "n").inc(9);
+    const Snapshot deltas = diff(before, registry.snapshot());
+    ASSERT_NE(deltas.find("ps3_new_total"), nullptr);
+    EXPECT_EQ(deltas.find("ps3_new_total")->value, 9);
+}
+
+TEST(ObsSnapshot, DiffClampsCounterRegressionToZero)
+{
+    // Hand-built snapshots: a counter that (impossibly) went
+    // backwards must clamp to 0, never go negative.
+    MetricSample sample;
+    sample.name = "ps3_c_total";
+    sample.type = MetricType::Counter;
+    Snapshot before, after;
+    sample.value = 10;
+    before.samples.push_back(sample);
+    sample.value = 4;
+    after.samples.push_back(sample);
+    EXPECT_EQ(diff(before, after).find("ps3_c_total")->value, 0);
+}
+
+// -------------------------------------------------------------- exporters
+
+TEST(ObsExposition, ParseFormat)
+{
+    EXPECT_EQ(parseFormat("table"), Format::Table);
+    EXPECT_EQ(parseFormat("csv"), Format::Csv);
+    EXPECT_EQ(parseFormat("prom"), Format::Prometheus);
+    EXPECT_EQ(parseFormat("prometheus"), Format::Prometheus);
+    EXPECT_EQ(parseFormat("json"), std::nullopt);
+    EXPECT_EQ(parseFormat(""), std::nullopt);
+}
+
+TEST(ObsExposition, CsvHasHeaderAndOneRowPerSeries)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Registry registry;
+    registry.counter("ps3_c_total", "c", {{"port", "emulated"}}).inc(3);
+    registry.histogram("ps3_h_ns", "h").observe(7);
+
+    std::ostringstream out;
+    writeCsv(out, registry.snapshot());
+    std::istringstream lines(out.str());
+    std::string line;
+    std::vector<std::string> rows;
+    while (std::getline(lines, line))
+        rows.push_back(line);
+    ASSERT_EQ(rows.size(), 3u); // header + 2 series
+    EXPECT_EQ(rows[0], "name,labels,type,value,count,sum");
+    EXPECT_NE(rows[1].find("ps3_c_total"), std::string::npos);
+    EXPECT_NE(rows[1].find("port=emulated"), std::string::npos);
+    EXPECT_NE(rows[2].find("ps3_h_ns"), std::string::npos);
+}
+
+/**
+ * Validate the Prometheus text exposition grammar on a mixed
+ * snapshot: HELP/TYPE once per family, label syntax, cumulative
+ * non-decreasing buckets ending in +Inf == _count.
+ */
+TEST(ObsExposition, PrometheusGrammar)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Registry registry;
+    registry.counter("ps3_c_total", "counter help",
+                     {{"kind", "drop"}})
+        .inc(3);
+    registry.counter("ps3_c_total", "counter help",
+                     {{"kind", "corrupt"}})
+        .inc(1);
+    registry.gauge("ps3_g_depth", "gauge help").set(12);
+    Histogram &histogram = registry.histogram("ps3_h_ns", "hist help");
+    histogram.observe(0);
+    histogram.observe(3);
+    histogram.observe(100);
+
+    std::ostringstream out;
+    writePrometheus(out, registry.snapshot());
+    const std::string text = out.str();
+
+    // HELP and TYPE exactly once per family (two ps3_c_total series
+    // share one header pair).
+    auto countOccurrences = [&text](const std::string &needle) {
+        std::size_t n = 0;
+        for (std::size_t pos = text.find(needle);
+             pos != std::string::npos;
+             pos = text.find(needle, pos + 1)) {
+            ++n;
+        }
+        return n;
+    };
+    EXPECT_EQ(countOccurrences("# HELP ps3_c_total counter help\n"),
+              1u);
+    EXPECT_EQ(countOccurrences("# TYPE ps3_c_total counter\n"), 1u);
+    EXPECT_EQ(countOccurrences("# TYPE ps3_g_depth gauge\n"), 1u);
+    EXPECT_EQ(countOccurrences("# TYPE ps3_h_ns histogram\n"), 1u);
+
+    // Labelled scalar series.
+    EXPECT_NE(text.find("ps3_c_total{kind=\"drop\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("ps3_c_total{kind=\"corrupt\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("ps3_g_depth 12\n"), std::string::npos);
+
+    // Histogram: walk the _bucket series in order and require
+    // cumulative counts to be non-decreasing, ending in +Inf.
+    std::istringstream lines(text);
+    std::string line;
+    std::uint64_t last_cumulative = 0;
+    bool saw_inf = false;
+    unsigned buckets = 0;
+    while (std::getline(lines, line)) {
+        if (line.rfind("ps3_h_ns_bucket{le=", 0) != 0)
+            continue;
+        ++buckets;
+        const auto space = line.rfind(' ');
+        const std::uint64_t cumulative =
+            std::stoull(line.substr(space + 1));
+        EXPECT_GE(cumulative, last_cumulative) << line;
+        last_cumulative = cumulative;
+        saw_inf = line.find("le=\"+Inf\"") != std::string::npos;
+    }
+    EXPECT_GE(buckets, 2u);
+    EXPECT_TRUE(saw_inf) << "last bucket must be +Inf";
+    EXPECT_EQ(last_cumulative, 3u) << "+Inf bucket == observations";
+    EXPECT_NE(text.find("ps3_h_ns_sum 103\n"), std::string::npos);
+    EXPECT_NE(text.find("ps3_h_ns_count 3\n"), std::string::npos);
+}
+
+TEST(ObsExposition, PrometheusEscapesLabelValues)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Registry registry;
+    registry.counter("ps3_c_total", "c", {{"path", "a\"b\\c"}}).inc(1);
+    std::ostringstream out;
+    writePrometheus(out, registry.snapshot());
+    EXPECT_NE(out.str().find("path=\"a\\\"b\\\\c\""),
+              std::string::npos);
+}
+
+TEST(ObsExposition, TableListsEverySeries)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "observability compiled out";
+
+    Registry registry;
+    registry.counter("ps3_c_total", "c").inc(3);
+    registry.histogram("ps3_h_ns", "h").observe(8);
+    std::ostringstream out;
+    writeTable(out, registry.snapshot());
+    const std::string text = out.str();
+    EXPECT_NE(text.find("ps3_c_total"), std::string::npos);
+    EXPECT_NE(text.find("counter"), std::string::npos);
+    // 8 lands in [8, 16): inclusive upper bound 15.
+    EXPECT_NE(text.find("count=1 mean=8 max<=15"), std::string::npos);
+}
+
+// Registered instruments from the instrumented layers must be
+// discoverable through the global registry by their documented names
+// (docs/OBSERVABILITY.md).
+TEST(ObsRegistry, GlobalIsSingletonAndStable)
+{
+    Registry &a = Registry::global();
+    Registry &b = Registry::global();
+    EXPECT_EQ(&a, &b);
+}
+
+} // namespace
+} // namespace ps3::obs

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Documentation lint for the PowerSensor3 reproduction.
+
+Run from ctest as the `docs_check` test (see tests/CMakeLists.txt)
+or standalone:
+
+    python3 tools/docs_check.py [repo_root]
+
+Checks (stdlib only, no external dependencies):
+
+ 1. every relative Markdown link in *.md resolves to an existing
+    file (anchors and external http/https/mailto links are skipped);
+ 2. every public header under src/obs and src/host carries a
+    file-level Doxygen comment (`/** ... @file`);
+ 3. every class/struct declared in those headers is preceded by a
+    doc comment;
+ 4. if doxygen is installed, the headers additionally must produce
+    no documentation warnings (skipped silently otherwise, so the
+    check works in minimal containers).
+
+Exit status 0 when clean, 1 with a findings list otherwise.
+"""
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+DOC_HEADER_DIRS = ("src/obs", "src/host")
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_markdown_links(root: Path):
+    """Broken relative links in Markdown files."""
+    problems = []
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        # Drop fenced code blocks: links there are illustrative.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in MARKDOWN_LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def public_headers(root: Path):
+    for directory in DOC_HEADER_DIRS:
+        yield from sorted((root / directory).glob("*.hpp"))
+
+
+def check_header_docs(root: Path):
+    """File-level and per-class doc comments in public headers."""
+    problems = []
+    for header in public_headers(root):
+        text = header.read_text(encoding="utf-8")
+        rel = header.relative_to(root)
+        first_block = text.lstrip()
+        if not first_block.startswith("/**") or "@file" not in text:
+            problems.append(
+                f"{rel}: missing file-level doc comment (/** @file)"
+            )
+        # Each class/struct declaration must follow a doc comment.
+        lines = text.splitlines()
+        decl = re.compile(r"^(class|struct)\s+\w+[^;]*$")
+        for i, line in enumerate(lines):
+            if not decl.match(line.strip()):
+                continue
+            above = ""
+            for j in range(i - 1, -1, -1):
+                stripped = lines[j].strip()
+                if stripped in ("", "template <typename T>"):
+                    continue
+                above = stripped
+                break
+            if not (above.endswith("*/") or above.startswith("//")):
+                problems.append(
+                    f"{rel}:{i + 1}: undocumented "
+                    f"{line.strip().split()[0]} declaration"
+                )
+    return problems
+
+
+def check_doxygen(root: Path):
+    """Doxygen warnings for the public headers, when available."""
+    doxygen = shutil.which("doxygen")
+    if doxygen is None:
+        return []  # minimal container: the stdlib checks still ran
+    with tempfile.TemporaryDirectory() as tmp:
+        doxyfile = Path(tmp) / "Doxyfile"
+        inputs = " ".join(str(root / d) for d in DOC_HEADER_DIRS)
+        doxyfile.write_text(
+            f"""
+            PROJECT_NAME = ps3-docs-check
+            INPUT = {inputs}
+            FILE_PATTERNS = *.hpp
+            GENERATE_HTML = NO
+            GENERATE_LATEX = NO
+            QUIET = YES
+            WARNINGS = YES
+            WARN_IF_UNDOCUMENTED = YES
+            WARN_NO_PARAMDOC = NO
+            OUTPUT_DIRECTORY = {tmp}
+            """,
+            encoding="utf-8",
+        )
+        result = subprocess.run(
+            [doxygen, str(doxyfile)],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        return [
+            f"doxygen: {line}"
+            for line in result.stderr.splitlines()
+            if "warning:" in line.lower()
+        ]
+
+
+def main(argv):
+    root = Path(argv[1]).resolve() if len(argv) > 1 else (
+        Path(__file__).resolve().parent.parent
+    )
+    problems = []
+    problems += check_markdown_links(root)
+    problems += check_header_docs(root)
+    problems += check_doxygen(root)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    md_count = sum(1 for _ in markdown_files(root))
+    hdr_count = sum(1 for _ in public_headers(root))
+    print(
+        f"docs-check: OK ({md_count} Markdown files, "
+        f"{hdr_count} public headers)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
