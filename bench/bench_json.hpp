@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Minimal JSON result writer for the google-benchmark microbenches.
+ *
+ * The library's own JSON output embeds machine context and version
+ * fields that churn between runs; the regression gate
+ * (tools/bench_compare.py) wants a small stable schema instead:
+ *
+ *   {
+ *     "schema": 1,
+ *     "benchmarks": [
+ *       { "name": "BM_StreamParserFeed",
+ *         "iterations": 123,
+ *         "real_ns_per_iter": 4567.8,
+ *         "cpu_ns_per_iter": 4560.1,
+ *         "counters": { "bytes_per_second": 1.4e8 } }
+ *     ]
+ *   }
+ *
+ * Use as the file reporter of RunSpecifiedBenchmarks(); the file is
+ * written in Finalize(). Aggregate rows (mean/median/stddev of
+ * repetitions) are skipped — the gate compares raw runs.
+ */
+
+#ifndef PS3_BENCH_BENCH_JSON_HPP
+#define PS3_BENCH_BENCH_JSON_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ps3::bench {
+
+/** BenchmarkReporter writing the stable comparison schema. */
+class JsonFileReporter : public benchmark::BenchmarkReporter
+{
+  public:
+    explicit JsonFileReporter(std::string path)
+        : path_(std::move(path))
+    {
+    }
+
+    bool
+    ReportContext(const Context &) override
+    {
+        return true;
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration)
+                continue; // skip aggregate rows
+            Entry entry;
+            entry.name = run.benchmark_name();
+            entry.iterations = run.iterations;
+            const double iters =
+                run.iterations > 0
+                    ? static_cast<double>(run.iterations)
+                    : 1.0;
+            entry.realNsPerIter =
+                run.real_accumulated_time * 1e9 / iters;
+            entry.cpuNsPerIter =
+                run.cpu_accumulated_time * 1e9 / iters;
+            for (const auto &[name, counter] : run.counters)
+                entry.counters.emplace_back(name, counter.value);
+            entries_.push_back(std::move(entry));
+        }
+    }
+
+    void
+    Finalize() override
+    {
+        std::FILE *out = std::fopen(path_.c_str(), "w");
+        if (!out) {
+            throw std::runtime_error(
+                "bench_json: cannot write " + path_);
+        }
+        std::fprintf(out, "{\n  \"schema\": 1,\n"
+                          "  \"benchmarks\": [\n");
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &e = entries_[i];
+            std::fprintf(out,
+                         "    { \"name\": \"%s\",\n"
+                         "      \"iterations\": %lld,\n"
+                         "      \"real_ns_per_iter\": %.6g,\n"
+                         "      \"cpu_ns_per_iter\": %.6g,\n"
+                         "      \"counters\": {",
+                         e.name.c_str(),
+                         static_cast<long long>(e.iterations),
+                         e.realNsPerIter, e.cpuNsPerIter);
+            for (std::size_t c = 0; c < e.counters.size(); ++c) {
+                std::fprintf(out, "%s \"%s\": %.6g",
+                             c == 0 ? "" : ",",
+                             e.counters[c].first.c_str(),
+                             e.counters[c].second);
+            }
+            std::fprintf(out, " } }%s\n",
+                         i + 1 == entries_.size() ? "" : ",");
+        }
+        std::fprintf(out, "  ]\n}\n");
+        std::fclose(out);
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::int64_t iterations = 0;
+        double realNsPerIter = 0.0;
+        double cpuNsPerIter = 0.0;
+        std::vector<std::pair<std::string, double>> counters;
+    };
+
+    std::string path_;
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Forwards every reporter event to two underlying reporters, so the
+ * console output and the JSON file can both be produced from the
+ * display-reporter slot of RunSpecifiedBenchmarks().
+ */
+class TeeReporter : public benchmark::BenchmarkReporter
+{
+  public:
+    TeeReporter(benchmark::BenchmarkReporter &first,
+                benchmark::BenchmarkReporter &second)
+        : first_(first), second_(second)
+    {
+    }
+
+    bool
+    ReportContext(const Context &context) override
+    {
+        const bool a = first_.ReportContext(context);
+        const bool b = second_.ReportContext(context);
+        return a && b;
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        first_.ReportRuns(runs);
+        second_.ReportRuns(runs);
+    }
+
+    void
+    Finalize() override
+    {
+        first_.Finalize();
+        second_.Finalize();
+    }
+
+  private:
+    benchmark::BenchmarkReporter &first_;
+    benchmark::BenchmarkReporter &second_;
+};
+
+} // namespace ps3::bench
+
+#endif // PS3_BENCH_BENCH_JSON_HPP

@@ -12,6 +12,7 @@
 #ifndef PS3_COMMON_RNG_HPP
 #define PS3_COMMON_RNG_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <random>
 
@@ -29,6 +30,19 @@ class Rng
     gaussian(double mean = 0.0, double sigma = 1.0)
     {
         return mean + sigma * normal_(engine_);
+    }
+
+    /**
+     * Fill a block with Gaussian draws. Draw-for-draw identical to n
+     * calls of gaussian(): batch consumers (the scan-block sensor
+     * sampling) produce the same stream as per-sample consumers.
+     */
+    void
+    gaussianBlock(double *out, std::size_t n, double mean = 0.0,
+                  double sigma = 1.0)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = mean + sigma * normal_(engine_);
     }
 
     /** Uniform double in [lo, hi). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/errors.hpp"
@@ -166,7 +167,7 @@ Firmware::enqueueFrame(const Frame &frame)
     const auto bytes = encodeFrame(frame);
     txQueue_.push_back(bytes[0]);
     txQueue_.push_back(bytes[1]);
-    firmwareMetrics().frames.inc();
+    ++unpublishedFrames_; // registry add deferred to produce()
 }
 
 void
@@ -182,36 +183,51 @@ Firmware::emitFrameSet()
     // channel by the CPU. The ADC walks all kNumChannels inputs every
     // scan regardless of module population, so the 50 us cadence is
     // invariant (48 x 25 cycles at 24 MHz).
+    //
+    // The physics is evaluated channel-major: each channel's
+    // kScansPerFrameSet conversions form one scan block handed to
+    // the batched sensor models. The conversion times reproduce the
+    // hardware's interleaved scan order exactly, and every sensor
+    // owns a private RNG and filter, so reordering the evaluation
+    // leaves each channel's sample stream unchanged.
     std::array<double, kNumChannels> code_sum{};
 
     // Conversion times are offsets from the frame-set start; the
     // clock itself advances by exactly 50 us per set (48 x 25 cycles
     // at 24 MHz) so multi-hour runs accumulate zero timing drift.
     const double set_start = clock_.now();
-    unsigned conversion = 0;
-    for (unsigned scan = 0; scan < kScansPerFrameSet; ++scan) {
-        for (unsigned ch = 0; ch < kNumChannels; ++ch) {
-            const double t = set_start
-                             + conversion
-                                   * analog::AdcModel::kConversionTime;
-            ++conversion;
-            const unsigned pair = pairOfChannel(ch);
-            auto &module = modules_[pair];
-            if (!module)
-                continue;
+    std::array<double, kScansPerFrameSet> times;
+    std::array<double, kScansPerFrameSet> truth;
+    std::array<double, kScansPerFrameSet> vout;
+    for (unsigned ch = 0; ch < kNumChannels; ++ch) {
+        auto &module = modules_[pairOfChannel(ch)];
+        if (!module)
+            continue;
+        const bool is_current = isCurrentChannel(ch);
+        for (unsigned scan = 0; scan < kScansPerFrameSet; ++scan) {
+            const double t =
+                set_start
+                + (scan * kNumChannels + ch)
+                      * analog::AdcModel::kConversionTime;
+            times[scan] = t;
             double volts = 0.0;
             double amps = 0.0;
             module->binding->resolve(t, volts, amps);
-            double adc_in;
-            if (isCurrentChannel(ch)) {
-                adc_in = module->currentSensor->sample(amps, t,
-                                                       noiseMode_);
-            } else {
-                adc_in = module->voltageSensor->sample(volts, t,
-                                                       noiseMode_);
-            }
-            code_sum[ch] += analog::AdcModel::convert(adc_in);
+            truth[scan] = is_current ? amps : volts;
         }
+        if (is_current) {
+            module->currentSensor->sampleBlock(
+                truth.data(), times.data(), kScansPerFrameSet,
+                noiseMode_, vout.data());
+        } else {
+            module->voltageSensor->sampleBlock(
+                truth.data(), times.data(), kScansPerFrameSet,
+                noiseMode_, vout.data());
+        }
+        double sum = 0.0;
+        for (unsigned scan = 0; scan < kScansPerFrameSet; ++scan)
+            sum += analog::AdcModel::convert(vout[scan]);
+        code_sum[ch] = sum;
     }
     // The timestamp is captured after processing 3 of the 6 scans
     // (paper Sec. III-B).
@@ -243,7 +259,7 @@ Firmware::emitFrameSet()
     }
 
     ++frameSets_;
-    firmwareMetrics().frameSets.inc();
+    ++unpublishedSets_; // registry add deferred to produce()
     if (frameSets_ % kDisplayDivider == 0)
         updateDisplay();
 }
@@ -275,17 +291,38 @@ Firmware::produce(std::uint8_t *buffer, std::size_t max_bytes)
     std::lock_guard<std::mutex> lock(mutex_);
 
     const std::size_t want = std::min(max_bytes, kProduceChunk);
-    while (txQueue_.size() < want && streaming_
+    while (txQueue_.size() - txHead_ < want && streaming_
            && clock_.now() < fence_.load(std::memory_order_acquire)) {
         emitFrameSet();
     }
-    firmwareMetrics().txQueueHighWater.updateMax(
-        static_cast<std::int64_t>(txQueue_.size()));
 
-    const std::size_t count = std::min(txQueue_.size(), max_bytes);
-    for (std::size_t i = 0; i < count; ++i) {
-        buffer[i] = txQueue_.front();
-        txQueue_.pop_front();
+    // Publish the tallies accumulated by the emit loop in one shot.
+    auto &metrics = firmwareMetrics();
+    metrics.txQueueHighWater.updateMax(
+        static_cast<std::int64_t>(txQueue_.size() - txHead_));
+    if (unpublishedFrames_ != 0 || unpublishedSets_ != 0) {
+        metrics.frames.inc(unpublishedFrames_);
+        metrics.frameSets.inc(unpublishedSets_);
+        unpublishedFrames_ = 0;
+        unpublishedSets_ = 0;
+    }
+
+    const std::size_t count =
+        std::min(txQueue_.size() - txHead_, max_bytes);
+    if (count != 0)
+        std::memcpy(buffer, txQueue_.data() + txHead_, count);
+    txHead_ += count;
+    if (txHead_ == txQueue_.size()) {
+        txQueue_.clear();
+        txHead_ = 0;
+    } else if (txHead_ >= kProduceChunk) {
+        // Partial drains never empty the vector, so fold the consumed
+        // prefix back periodically; the surviving tail is at most one
+        // produce chunk plus one frame set.
+        txQueue_.erase(txQueue_.begin(),
+                       txQueue_.begin()
+                           + static_cast<std::ptrdiff_t>(txHead_));
+        txHead_ = 0;
     }
     return count;
 }
@@ -405,6 +442,7 @@ Firmware::rebootLocked(bool dfu)
     rxState_ = RxState::Idle;
     rxBuffer_.clear();
     txQueue_.clear();
+    txHead_ = 0;
     dfuMode_ = dfu;
     // Flash-backed configuration survives; RAM cache reloads.
     configCache_ = eeprom_.load();

@@ -24,10 +24,10 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "analog/sensor_models.hpp"
 #include "common/time_source.hpp"
@@ -166,9 +166,24 @@ class Firmware : public transport::BytePump
     std::uint64_t frameSets_ = 0;
     analog::NoiseMode noiseMode_ = analog::NoiseMode::Full;
 
-    std::deque<std::uint8_t> txQueue_;
+    /**
+     * Transmit queue: contiguous bytes in [txHead_, txQueue_.size()).
+     * A vector plus head index (instead of a deque) lets produce()
+     * drain with one memcpy and emitFrameSet() append without
+     * per-byte chunk management.
+     */
+    std::vector<std::uint8_t> txQueue_;
+    std::size_t txHead_ = 0;
     RxState rxState_ = RxState::Idle;
     std::vector<std::uint8_t> rxBuffer_;
+
+    /**
+     * Frame/set tallies accumulated while the produce() loop runs;
+     * published to the registry once per produce() call instead of
+     * once per frame.
+     */
+    std::uint64_t unpublishedFrames_ = 0;
+    std::uint64_t unpublishedSets_ = 0;
 
     /** Last averaged ADC voltage per channel, for the display. */
     std::array<double, kNumChannels> lastAdcVolts_{};

@@ -91,6 +91,22 @@ std::array<std::uint8_t, 2> encodeFrame(const Frame &frame);
  */
 Frame decodeFrame(std::uint8_t byte0, std::uint8_t byte1);
 
+/**
+ * Decode two wire bytes whose role bits the caller has already
+ * verified (isFirstByte(byte0) && !isFirstByte(byte1)). Hot-path
+ * variant used by the block-mode stream parser; no validation.
+ */
+constexpr Frame
+decodeFrameUnchecked(std::uint8_t byte0, std::uint8_t byte1)
+{
+    Frame frame;
+    frame.sensorId = static_cast<std::uint8_t>((byte0 >> 4) & 0x07);
+    frame.marker = (byte0 & 0x08) != 0;
+    frame.level = static_cast<std::uint16_t>(((byte0 & 0x07) << 7)
+                                             | (byte1 & 0x7F));
+    return frame;
+}
+
 /** Build the timestamp frame for a device time in microseconds. */
 Frame makeTimestampFrame(std::uint64_t device_micros);
 

@@ -93,6 +93,10 @@ PowerSensor::PowerSensor(transport::CharDevice &device)
 PowerSensor::~PowerSensor()
 {
     stopRequested_.store(true, std::memory_order_release);
+    // Wake the reader if it is parked inside device_->read(); without
+    // this, shutdown waits out the remainder of kReadTimeout (up to
+    // 50 ms).
+    device_->interruptReads();
     if (readerThread_.joinable())
         readerThread_.join();
     try {
@@ -284,6 +288,7 @@ PowerSensor::onFrameSet(const FrameSet &set)
             callback(sample);
     }
 
+    bool wake = false;
     {
         std::lock_guard<std::mutex> lock(stateMutex_);
         const double dt = haveLastSampleTime_
@@ -305,8 +310,20 @@ PowerSensor::onFrameSet(const FrameSet &set)
                     sample.current[pair] * sample.voltage[pair] * dt;
             }
         }
+
+        // Coalesced wake: only signal when a waiter's registered
+        // target is reached. Unsatisfied waiters re-arm after the
+        // targets reset, so nothing is lost (both sides hold
+        // stateMutex_).
+        if (state_.sampleCount >= sampleWakeTarget_
+            || state_.timeAtRead >= timeWakeTarget_) {
+            sampleWakeTarget_ = kNoSampleTarget;
+            timeWakeTarget_ = std::numeric_limits<double>::infinity();
+            wake = true;
+        }
     }
-    stateCv_.notify_all();
+    if (wake)
+        stateCv_.notify_all();
 }
 
 State
@@ -490,9 +507,12 @@ bool
 PowerSensor::waitUntil(double device_time) const
 {
     std::unique_lock<std::mutex> lock(stateMutex_);
-    stateCv_.wait(lock, [&] {
-        return state_.timeAtRead >= device_time || deviceGone_;
-    });
+    while (!(state_.timeAtRead >= device_time || deviceGone_)) {
+        // Re-arm on every pass: the reader resets the target when it
+        // fires a wake.
+        timeWakeTarget_ = std::min(timeWakeTarget_, device_time);
+        stateCv_.wait(lock);
+    }
     return state_.timeAtRead >= device_time;
 }
 
@@ -501,9 +521,12 @@ PowerSensor::waitForSamples(std::uint64_t n) const
 {
     std::unique_lock<std::mutex> lock(stateMutex_);
     const std::uint64_t target = state_.sampleCount + n;
-    stateCv_.wait(lock, [&] {
-        return state_.sampleCount >= target || deviceGone_;
-    });
+    while (!(state_.sampleCount >= target || deviceGone_)) {
+        // Re-arm on every pass: the reader resets the target when it
+        // fires a wake.
+        sampleWakeTarget_ = std::min(sampleWakeTarget_, target);
+        stateCv_.wait(lock);
+    }
     return state_.sampleCount >= target;
 }
 

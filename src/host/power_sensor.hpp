@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -137,6 +138,22 @@ class PowerSensor
     mutable std::condition_variable stateCv_;
     State state_;
     bool deviceGone_ = false;
+
+    /**
+     * Wake coalescing for waitForSamples()/waitUntil(): waiters
+     * register the sample count / device time they need (minimum
+     * across waiters) and the reader signals stateCv_ only when a
+     * registered target is reached — not once per frame set, which
+     * would cost a futex wake per 50 us sample while anyone waits.
+     * Both guarded by stateMutex_; reset to the sentinels whenever a
+     * wake fires, after which unsatisfied waiters re-arm.
+     */
+    mutable std::uint64_t sampleWakeTarget_ = kNoSampleTarget;
+    mutable double timeWakeTarget_ =
+        std::numeric_limits<double>::infinity();
+
+    static constexpr std::uint64_t kNoSampleTarget =
+        std::numeric_limits<std::uint64_t>::max();
 
     mutable std::mutex configMutex_;
     firmware::DeviceConfig config_{};

@@ -38,39 +38,78 @@ StreamParser::StreamParser(FrameSetCallback callback)
           "10-bit device timestamp wrap-arounds unwrapped")),
       metricDroppedSets_(parserCounter(
           "ps3_parser_dropped_sets_total",
-          "Partially accumulated sets abandoned by flush()"))
+          "Partially accumulated sets abandoned by flush()")),
+      metricBadChannelFrames_(parserCounter(
+          "ps3_parser_bad_channel_total",
+          "Data frames dropped for an out-of-range sensor id"))
 {
     if (!callback_)
         throw UsageError("StreamParser: null callback");
 }
 
 void
+StreamParser::feedByte(std::uint8_t byte)
+{
+    if (!pendingFirstByte_) {
+        if (!isFirstByte(byte)) {
+            // Expected a frame start; hunt for one (resync).
+            ++resyncBytes_;
+            return;
+        }
+        pendingFirstByte_ = byte;
+        return;
+    }
+    if (isFirstByte(byte)) {
+        // Two first-bytes in a row: the second byte of the previous
+        // frame was lost. Drop the stale first byte and start over
+        // with this one.
+        ++resyncBytes_;
+        pendingFirstByte_ = byte;
+        return;
+    }
+    const Frame frame = firmware::decodeFrame(*pendingFirstByte_, byte);
+    pendingFirstByte_.reset();
+    handleFrame(frame);
+}
+
+void
 StreamParser::feed(const std::uint8_t *data, std::size_t size)
 {
-    for (std::size_t i = 0; i < size; ++i) {
-        const std::uint8_t byte = data[i];
-        if (!pendingFirstByte_) {
-            if (!isFirstByte(byte)) {
-                // Expected a frame start; hunt for one (resync).
-                ++resyncBytes_;
-                continue;
-            }
-            pendingFirstByte_ = byte;
-            continue;
-        }
-        if (isFirstByte(byte)) {
-            // Two first-bytes in a row: the second byte of the
-            // previous frame was lost. Drop the stale first byte and
-            // start over with this one.
+    std::size_t i = 0;
+
+    // A first byte left over from the previous chunk: walk the byte
+    // path until the pair completes (or the leftover is replaced by
+    // a fresher first byte and then completed).
+    while (i < size && pendingFirstByte_)
+        feedByte(data[i++]);
+
+    // Block mode: decode whole pairs straight from the chunk. Each
+    // iteration either consumes an aligned frame (the common case)
+    // or skips exactly one resync byte, so the loop is equivalent to
+    // the byte walk without the per-byte optional bookkeeping.
+    while (i + 1 < size) {
+        const std::uint8_t b0 = data[i];
+        if (!isFirstByte(b0)) {
             ++resyncBytes_;
-            pendingFirstByte_ = byte;
+            ++i;
             continue;
         }
-        const Frame frame =
-            firmware::decodeFrame(*pendingFirstByte_, byte);
-        pendingFirstByte_.reset();
-        handleFrame(frame);
+        const std::uint8_t b1 = data[i + 1];
+        if (isFirstByte(b1)) {
+            // b0's partner was lost; b1 may start a valid frame.
+            ++resyncBytes_;
+            ++i;
+            continue;
+        }
+        i += 2;
+        handleFrame(firmware::decodeFrameUnchecked(b0, b1));
     }
+
+    // At most one trailing byte: becomes the pending first byte (or
+    // a resync byte) for the next chunk.
+    if (i < size)
+        feedByte(data[i]);
+
     publishMetrics();
 }
 
@@ -92,6 +131,9 @@ StreamParser::publishMetrics()
     publishedWraps_ = wraps_;
     metricDroppedSets_.inc(droppedSets_ - publishedDroppedSets_);
     publishedDroppedSets_ = droppedSets_;
+    metricBadChannelFrames_.inc(badChannelFrames_
+                                - publishedBadChannelFrames_);
+    publishedBadChannelFrames_ = badChannelFrames_;
 }
 
 void
@@ -111,8 +153,12 @@ StreamParser::handleFrame(const Frame &frame)
         resyncBytes_ += 2;
         return;
     }
-    if (frame.sensorId >= firmware::kNumChannels)
+    if (frame.sensorId >= firmware::kNumChannels) {
+        // Cannot happen with the 3-bit wire encoding, but a smaller
+        // kNumChannels build must not silently discard data.
+        ++badChannelFrames_;
         return;
+    }
     currentSet_.level[frame.sensorId] = frame.level;
     currentSet_.valid[frame.sensorId] = true;
     if (frame.marker)

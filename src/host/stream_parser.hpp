@@ -50,7 +50,15 @@ class StreamParser
     /** @param callback Invoked for every completed frame set. */
     explicit StreamParser(FrameSetCallback callback);
 
-    /** Feed a chunk of received bytes. */
+    /**
+     * Feed a chunk of received bytes.
+     *
+     * Block-mode fast path: while the stream is aligned (every even
+     * offset holds a first byte — the overwhelmingly common case)
+     * byte pairs are decoded straight from the chunk; the parser
+     * drops to the byte-at-a-time resync walk only around chunk
+     * seams and after corruption.
+     */
     void feed(const std::uint8_t *data, std::size_t size);
 
     /**
@@ -82,6 +90,17 @@ class StreamParser
     std::uint64_t droppedSetCount() const { return droppedSets_; }
 
     /**
+     * Data frames dropped because their sensor id is outside
+     * [0, kNumChannels). Unreachable from the 3-bit wire encoding
+     * today, but pinned by a counter so a future channel-count
+     * reduction cannot silently discard data.
+     */
+    std::uint64_t badChannelFrameCount() const
+    {
+        return badChannelFrames_;
+    }
+
+    /**
      * Discard partial state (e.g. after an intentional stream stop)
      * while keeping the device-time unwrapping context.
      *
@@ -102,6 +121,9 @@ class StreamParser
     void flush();
 
   private:
+    /** Unit tests inject synthetic frames through handleFrame(). */
+    friend struct StreamParserTestPeer;
+
     FrameSetCallback callback_;
     std::optional<std::uint8_t> pendingFirstByte_;
 
@@ -120,6 +142,7 @@ class StreamParser
     std::uint64_t partialSets_ = 0;
     std::uint64_t wraps_ = 0;
     std::uint64_t droppedSets_ = 0;
+    std::uint64_t badChannelFrames_ = 0;
     /** Most valid channels seen in one set (partial-set baseline). */
     unsigned peakChannels_ = 0;
 
@@ -135,12 +158,17 @@ class StreamParser
     obs::Counter &metricPartialSets_;
     obs::Counter &metricWraps_;
     obs::Counter &metricDroppedSets_;
+    obs::Counter &metricBadChannelFrames_;
     std::uint64_t publishedResyncBytes_ = 0;
     std::uint64_t publishedFrameSets_ = 0;
     std::uint64_t publishedEmptySets_ = 0;
     std::uint64_t publishedPartialSets_ = 0;
     std::uint64_t publishedWraps_ = 0;
     std::uint64_t publishedDroppedSets_ = 0;
+    std::uint64_t publishedBadChannelFrames_ = 0;
+
+    /** Slow path: one byte through the resync state machine. */
+    void feedByte(std::uint8_t byte);
 
     void handleFrame(const firmware::Frame &frame);
     void beginSet(std::uint16_t timestamp10);

@@ -10,11 +10,33 @@ namespace ps3::transport {
 ByteQueue::ByteQueue()
     : depth_(obs::Registry::global().gauge(
           "ps3_transport_queue_depth_bytes",
-          "Bytes currently buffered in a transport byte queue")),
+          "Bytes currently buffered in a transport byte queue",
+          {{"queue", "mutex"}})),
       depthHighWater_(obs::Registry::global().gauge(
           "ps3_transport_queue_hwm_bytes",
-          "High-water mark of transport byte-queue depth"))
+          "High-water mark of transport byte-queue depth",
+          {{"queue", "mutex"}}))
 {
+}
+
+ByteQueue::~ByteQueue()
+{
+    publishMetrics();
+}
+
+void
+ByteQueue::noteDepthLocked()
+{
+    // Batched observability: remember the local high-water mark and
+    // publish both gauges every kMetricsBatch operations instead of
+    // issuing two atomic stores inside the lock on every push/pop.
+    localHighWater_ = std::max(localHighWater_, data_.size());
+    if (++opsSincePublish_ >= kMetricsBatch) {
+        opsSincePublish_ = 0;
+        depth_.set(static_cast<std::int64_t>(data_.size()));
+        depthHighWater_.updateMax(
+            static_cast<std::int64_t>(localHighWater_));
+    }
 }
 
 void
@@ -23,9 +45,7 @@ ByteQueue::push(const std::uint8_t *data, std::size_t size)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         data_.insert(data_.end(), data, data + size);
-        depth_.set(static_cast<std::int64_t>(data_.size()));
-        depthHighWater_.updateMax(
-            static_cast<std::int64_t>(data_.size()));
+        noteDepthLocked();
     }
     cv_.notify_one();
 }
@@ -39,15 +59,26 @@ ByteQueue::pop(std::uint8_t *buffer, std::size_t max_bytes,
         std::chrono::steady_clock::now()
         + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               std::chrono::duration<double>(timeout_seconds));
-    cv_.wait_until(lock, deadline,
-                   [this] { return !data_.empty() || shutdown_; });
+    // Sticky interrupt: a bump that landed between two pops aborts
+    // this one instead of being lost (same contract as the SPSC
+    // ring's interruptWaiters).
+    if (data_.empty() && interruptEpoch_ != interruptsSeen_) {
+        interruptsSeen_ = interruptEpoch_;
+        return 0;
+    }
+    cv_.wait_until(lock, deadline, [&] {
+        return !data_.empty() || shutdown_
+               || interruptEpoch_ != interruptsSeen_;
+    });
+    if (interruptEpoch_ != interruptsSeen_)
+        interruptsSeen_ = interruptEpoch_;
     if (data_.empty())
         return 0;
     const std::size_t count = std::min(max_bytes, data_.size());
     std::copy_n(data_.begin(), count, buffer);
     data_.erase(data_.begin(),
                 data_.begin() + static_cast<std::ptrdiff_t>(count));
-    depth_.set(static_cast<std::int64_t>(data_.size()));
+    noteDepthLocked();
     return count;
 }
 
@@ -68,11 +99,31 @@ ByteQueue::isShutdown() const
     return shutdown_;
 }
 
+void
+ByteQueue::interruptWaiters()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++interruptEpoch_;
+    }
+    cv_.notify_all();
+}
+
 std::size_t
 ByteQueue::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return data_.size();
+}
+
+void
+ByteQueue::publishMetrics()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    opsSincePublish_ = 0;
+    depth_.set(static_cast<std::int64_t>(data_.size()));
+    depthHighWater_.updateMax(
+        static_cast<std::int64_t>(localHighWater_));
 }
 
 } // namespace ps3::transport

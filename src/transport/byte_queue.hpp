@@ -1,6 +1,11 @@
 /**
  * @file
  * Thread-safe blocking byte FIFO used to build in-process pipes.
+ *
+ * The mutex-based robustness-path queue: unbounded, MPMC-safe, and
+ * simple to reason about under fault injection. The streaming hot
+ * path uses the lock-free SpscByteRing instead; BM_ByteQueueThroughput
+ * benches the two against each other.
  */
 
 #ifndef PS3_TRANSPORT_BYTE_QUEUE_HPP
@@ -22,12 +27,14 @@ class ByteQueue
   public:
     ByteQueue();
 
+    ~ByteQueue();
+
     /** Append bytes and wake one waiting reader. */
     void push(const std::uint8_t *data, std::size_t size);
 
     /**
      * Pop up to max_bytes, blocking until data arrives, the timeout
-     * expires, or the queue is shut down.
+     * expires, a waiter interrupt fires, or the queue is shut down.
      * @return Bytes copied into buffer (0 on timeout/shutdown).
      */
     std::size_t pop(std::uint8_t *buffer, std::size_t max_bytes,
@@ -39,22 +46,46 @@ class ByteQueue
     /** True after shutdown(). */
     bool isShutdown() const;
 
+    /**
+     * Wake pops currently blocked in their timeout wait once (they
+     * return 0, like a timeout); later pops block normally.
+     */
+    void interruptWaiters();
+
     /** Bytes currently queued. */
     std::size_t size() const;
 
+    /**
+     * Flush the batched depth/high-water gauges now. They normally
+     * publish once every kMetricsBatch queue operations, keeping
+     * atomic stores off the per-push hot path.
+     */
+    void publishMetrics();
+
   private:
+    /** Queue operations between batched gauge publications. */
+    static constexpr std::uint32_t kMetricsBatch = 64;
+
+    /** Caller must hold mutex_. */
+    void noteDepthLocked();
+
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<std::uint8_t> data_;
     bool shutdown_ = false;
+    std::uint64_t interruptEpoch_ = 0;
+    /** Last epoch a pop consumed (guarded by mutex_). */
+    std::uint64_t interruptsSeen_ = 0;
 
     /**
      * Shared depth instruments across all ByteQueue instances:
      * current depth (last writer wins) and process-wide high-water
-     * mark.
+     * mark. Published in batches (see publishMetrics()).
      */
     obs::Gauge &depth_;
     obs::Gauge &depthHighWater_;
+    std::uint32_t opsSincePublish_ = 0;
+    std::size_t localHighWater_ = 0;
 };
 
 } // namespace ps3::transport

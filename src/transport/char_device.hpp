@@ -52,6 +52,15 @@ class CharDevice
 
     /** True once the peer is gone; reads will return 0 forever. */
     virtual bool closed() const = 0;
+
+    /**
+     * Wake reads currently blocked in their timeout wait; they
+     * return 0 immediately, as if the timeout had expired, and
+     * subsequent reads behave normally. Lets a shutting-down reader
+     * thread exit without waiting out its poll timeout. Default:
+     * no-op (a blocked read then exits at its next timeout).
+     */
+    virtual void interruptReads() {}
 };
 
 /**

@@ -1,6 +1,6 @@
 #include "emulated_serial_port.hpp"
 
-#include <thread>
+#include <algorithm>
 
 #include "obs/registry.hpp"
 
@@ -40,8 +40,12 @@ EmulatedSerialPort::read(std::uint8_t *buffer, std::size_t max_bytes,
         // times out. Sleep briefly so callers polling in a loop do
         // not spin at 100% CPU.
         readTimeouts_.inc();
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            std::min(timeout_seconds, 1e-3)));
+        interruptibleSleepUntil(
+            std::chrono::steady_clock::now()
+            + std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      std::min(timeout_seconds, 1e-3))));
         return 0;
     }
     bytesRx_.inc(produced);
@@ -64,8 +68,28 @@ EmulatedSerialPort::read(std::uint8_t *buffer, std::size_t max_bytes,
         }
     }
     if (throttled)
-        std::this_thread::sleep_until(ready);
+        interruptibleSleepUntil(ready);
     return produced;
+}
+
+void
+EmulatedSerialPort::interruptibleSleepUntil(
+    std::chrono::steady_clock::time_point deadline)
+{
+    std::unique_lock<std::mutex> lock(wakeMutex_);
+    const std::uint64_t epoch = interruptEpoch_;
+    wakeCv_.wait_until(lock, deadline,
+                       [&] { return interruptEpoch_ != epoch; });
+}
+
+void
+EmulatedSerialPort::interruptReads()
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        ++interruptEpoch_;
+    }
+    wakeCv_.notify_all();
 }
 
 void

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
 
 #include "obs/metrics.hpp"
@@ -33,6 +34,9 @@ class EmulatedSerialPort : public CharDevice
     void write(const std::uint8_t *data, std::size_t size) override;
     bool closed() const override;
 
+    /** Wake a read parked in its timeout or throttle sleep. */
+    void interruptReads() override;
+
     /**
      * Limit device->host throughput to model the real link.
      *
@@ -45,12 +49,24 @@ class EmulatedSerialPort : public CharDevice
     void disconnect();
 
   private:
+    /**
+     * Sleep until the deadline or an interruptReads() call,
+     * whichever comes first.
+     */
+    void interruptibleSleepUntil(
+        std::chrono::steady_clock::time_point deadline);
+
     BytePump &pump_;
     std::mutex mutex_;
     std::atomic<bool> closed_{false};
     double bytesPerSecond_ = 0.0;
     std::chrono::steady_clock::time_point throttleEpoch_;
     double bytesSent_ = 0.0;
+
+    /** interruptReads() handshake for the two sleep sites. */
+    std::mutex wakeMutex_;
+    std::condition_variable wakeCv_;
+    std::uint64_t interruptEpoch_ = 0;
 
     /** Shared per-family instruments (label port="emulated"). */
     obs::Counter &bytesRx_;

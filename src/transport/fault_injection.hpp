@@ -48,6 +48,9 @@ class FaultInjectingDevice : public CharDevice
     void write(const std::uint8_t *data, std::size_t size) override;
     bool closed() const override;
 
+    /** Faults never block; pass the wake straight to the link. */
+    void interruptReads() override { inner_.interruptReads(); }
+
     /** Number of faults injected so far (corrupt + drop + dup). */
     std::uint64_t faultCount() const;
 

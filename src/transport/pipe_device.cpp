@@ -1,0 +1,86 @@
+#include "pipe_device.hpp"
+
+namespace ps3::transport {
+
+PipeDevice::PipeDevice(Backend backend, std::size_t capacity)
+    : backend_(backend)
+{
+    if (backend_ == Backend::LockFreeRing)
+        ring_ = std::make_unique<SpscByteRing>(capacity);
+    else
+        queue_ = std::make_unique<ByteQueue>();
+}
+
+std::size_t
+PipeDevice::read(std::uint8_t *buffer, std::size_t max_bytes,
+                 double timeout_seconds)
+{
+    if (backend_ == Backend::LockFreeRing)
+        return ring_->pop(buffer, max_bytes, timeout_seconds);
+    return queue_->pop(buffer, max_bytes, timeout_seconds);
+}
+
+void
+PipeDevice::write(const std::uint8_t *data, std::size_t size)
+{
+    if (closed_.load(std::memory_order_acquire))
+        return;
+    HostWriteHandler handler;
+    {
+        std::lock_guard<std::mutex> lock(handlerMutex_);
+        handler = hostWriteHandler_;
+    }
+    if (handler)
+        handler(data, size);
+}
+
+bool
+PipeDevice::closed() const
+{
+    return closed_.load(std::memory_order_acquire);
+}
+
+void
+PipeDevice::interruptReads()
+{
+    if (backend_ == Backend::LockFreeRing)
+        ring_->interruptWaiters();
+    else
+        queue_->interruptWaiters();
+}
+
+void
+PipeDevice::setHostWriteHandler(HostWriteHandler handler)
+{
+    std::lock_guard<std::mutex> lock(handlerMutex_);
+    hostWriteHandler_ = std::move(handler);
+}
+
+void
+PipeDevice::deviceWrite(const std::uint8_t *data, std::size_t size)
+{
+    if (backend_ == Backend::LockFreeRing)
+        ring_->push(data, size);
+    else
+        queue_->push(data, size);
+}
+
+void
+PipeDevice::closeFromDevice()
+{
+    closed_.store(true, std::memory_order_release);
+    if (backend_ == Backend::LockFreeRing)
+        ring_->shutdown();
+    else
+        queue_->shutdown();
+}
+
+std::size_t
+PipeDevice::buffered() const
+{
+    if (backend_ == Backend::LockFreeRing)
+        return ring_->size();
+    return queue_->size();
+}
+
+} // namespace ps3::transport

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * In-process full-duplex pipe exposed as a CharDevice.
+ *
+ * The device->host direction is a byte FIFO with a selectable
+ * backend: the lock-free SpscByteRing (default, the hot path) or the
+ * mutex-based ByteQueue (kept for the fault-injection and robustness
+ * paths, and as the bench comparison point — see
+ * BM_ByteQueueThroughput). The host->device direction invokes a
+ * handler synchronously, so tests and benches can script a device or
+ * forward commands to a device thread.
+ *
+ * Thread contract: one device-side producer thread may call
+ * deviceWrite(); one host-side consumer thread may call read().
+ * write(), closeFromDevice() and interruptReads() may be called from
+ * any thread.
+ */
+
+#ifndef PS3_TRANSPORT_PIPE_DEVICE_HPP
+#define PS3_TRANSPORT_PIPE_DEVICE_HPP
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "transport/byte_queue.hpp"
+#include "transport/char_device.hpp"
+#include "transport/spsc_ring.hpp"
+
+namespace ps3::transport {
+
+/** CharDevice endpoint of an in-process byte pipe. */
+class PipeDevice : public CharDevice
+{
+  public:
+    /** Device->host FIFO implementation. */
+    enum class Backend
+    {
+        /** Lock-free SPSC ring (hot path). */
+        LockFreeRing,
+        /** Mutex + condition variable ByteQueue (robustness path). */
+        MutexQueue,
+    };
+
+    using HostWriteHandler =
+        std::function<void(const std::uint8_t *, std::size_t)>;
+
+    /**
+     * @param backend FIFO implementation for the read path.
+     * @param capacity Ring capacity in bytes (ring backend only).
+     */
+    explicit PipeDevice(Backend backend = Backend::LockFreeRing,
+                        std::size_t capacity =
+                            SpscByteRing::kDefaultCapacity);
+
+    // CharDevice interface (host side).
+    std::size_t read(std::uint8_t *buffer, std::size_t max_bytes,
+                     double timeout_seconds) override;
+    void write(const std::uint8_t *data, std::size_t size) override;
+    bool closed() const override;
+    void interruptReads() override;
+
+    /** Install the handler invoked for host->device bytes. */
+    void setHostWriteHandler(HostWriteHandler handler);
+
+    /**
+     * Device side: append device->host bytes. Blocks while the ring
+     * is full (the mutex queue is unbounded and never blocks).
+     */
+    void deviceWrite(const std::uint8_t *data, std::size_t size);
+
+    /** Device side: end of stream; reads drain then return 0. */
+    void closeFromDevice();
+
+    /** Bytes buffered device->host (tests/benches). */
+    std::size_t buffered() const;
+
+  private:
+    const Backend backend_;
+    std::unique_ptr<SpscByteRing> ring_;
+    std::unique_ptr<ByteQueue> queue_;
+
+    std::mutex handlerMutex_;
+    HostWriteHandler hostWriteHandler_;
+    std::atomic<bool> closed_{false};
+};
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_PIPE_DEVICE_HPP

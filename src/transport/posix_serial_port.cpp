@@ -52,12 +52,22 @@ PosixSerialPort::PosixSerialPort(const std::string &path)
         throw DeviceError("tcsetattr failed on " + path + ": "
                           + std::strerror(errno));
     }
+
+    if (::pipe2(wakePipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+        ::close(fd_);
+        throw DeviceError(std::string("cannot create wake pipe: ")
+                          + std::strerror(errno));
+    }
 }
 
 PosixSerialPort::~PosixSerialPort()
 {
     if (fd_ >= 0)
         ::close(fd_);
+    for (int fd : wakePipe_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
 }
 
 std::size_t
@@ -67,12 +77,21 @@ PosixSerialPort::read(std::uint8_t *buffer, std::size_t max_bytes,
     if (closed_)
         return 0;
 
-    pollfd pfd{fd_, POLLIN, 0};
+    pollfd pfds[2] = {{fd_, POLLIN, 0}, {wakePipe_[0], POLLIN, 0}};
     const int timeout_ms = static_cast<int>(timeout_seconds * 1e3);
-    const int ready = ::poll(&pfd, 1, timeout_ms);
+    const int ready = ::poll(pfds, 2, timeout_ms);
     if (ready <= 0) {
         readTimeouts_.inc();
         return 0;
+    }
+    if ((pfds[1].revents & POLLIN) != 0) {
+        // interruptReads(): drain the wake token and report "no
+        // data", exactly like a timeout.
+        std::uint8_t token[16];
+        while (::read(wakePipe_[0], token, sizeof(token)) > 0) {
+        }
+        if ((pfds[0].revents & POLLIN) == 0)
+            return 0;
     }
 
     const ssize_t got = ::read(fd_, buffer, max_bytes);
@@ -111,6 +130,14 @@ bool
 PosixSerialPort::closed() const
 {
     return closed_;
+}
+
+void
+PosixSerialPort::interruptReads()
+{
+    const std::uint8_t token = 1;
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    (void)!::write(wakePipe_[1], &token, 1);
 }
 
 } // namespace ps3::transport

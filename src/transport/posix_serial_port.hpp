@@ -42,8 +42,13 @@ class PosixSerialPort : public CharDevice
     void write(const std::uint8_t *data, std::size_t size) override;
     bool closed() const override;
 
+    /** Self-pipe wakeup: a blocked poll() returns immediately. */
+    void interruptReads() override;
+
   private:
     int fd_ = -1;
+    /** Self-pipe used to interrupt a blocked poll ([read, write]). */
+    int wakePipe_[2] = {-1, -1};
     bool closed_ = false;
 
     /** Shared per-family instruments (label port="posix"). */

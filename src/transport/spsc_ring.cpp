@@ -1,0 +1,296 @@
+#include "spsc_ring.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "obs/registry.hpp"
+
+namespace ps3::transport {
+
+namespace {
+
+std::size_t
+roundUpPowerOfTwo(std::size_t v)
+{
+    constexpr std::size_t kMinCapacity = 64;
+    v = std::max(v, kMinCapacity);
+    return std::bit_ceil(v);
+}
+
+} // namespace
+
+SpscByteRing::SpscByteRing(std::size_t capacity)
+    : capacity_(roundUpPowerOfTwo(capacity)),
+      mask_(capacity_ - 1),
+      buffer_(std::make_unique<std::uint8_t[]>(capacity_)),
+      depth_(obs::Registry::global().gauge(
+          "ps3_transport_queue_depth_bytes",
+          "Bytes currently buffered in a transport byte queue",
+          {{"queue", "spsc_ring"}})),
+      depthHighWater_(obs::Registry::global().gauge(
+          "ps3_transport_queue_hwm_bytes",
+          "High-water mark of transport byte-queue depth",
+          {{"queue", "spsc_ring"}}))
+{
+}
+
+SpscByteRing::~SpscByteRing()
+{
+    publishMetrics();
+}
+
+std::size_t
+SpscByteRing::freeSpace() const
+{
+    // Producer-side view: tail_ is our own (relaxed), head_ must be
+    // acquired so the bytes the consumer freed are really ours.
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return capacity_ - static_cast<std::size_t>(tail - head);
+}
+
+std::size_t
+SpscByteRing::tryPush(const std::uint8_t *data, std::size_t size)
+{
+    if (shutdown_.load(std::memory_order_acquire))
+        return 0;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t count = std::min(size, freeSpace());
+    if (count != 0) {
+        const std::size_t at = static_cast<std::size_t>(tail) & mask_;
+        const std::size_t first = std::min(count, capacity_ - at);
+        std::memcpy(buffer_.get() + at, data, first);
+        std::memcpy(buffer_.get(), data + first, count - first);
+        // Publish the bytes: everything written above happens-before
+        // a consumer that acquires this tail value.
+        tail_.store(tail + count, std::memory_order_release);
+        // Store-buffer fence: pairs with the fence after the waiter
+        // flag store in waitFor(), guaranteeing that either we see
+        // the flag or the waiter sees the new tail.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (consumerWaiting_.load(std::memory_order_relaxed))
+            wakeConsumer();
+    }
+
+    // Batched observability: depth/high-water publish every
+    // kMetricsBatch pushes instead of per push (producer-side only,
+    // so no atomic RMW beyond the gauge stores themselves).
+    const std::size_t depth =
+        static_cast<std::size_t>(tail + count
+                                 - head_.load(std::memory_order_relaxed));
+    localHighWater_ = std::max<std::uint64_t>(localHighWater_, depth);
+    if (++producerOpsSincePublish_ >= kMetricsBatch) {
+        producerOpsSincePublish_ = 0;
+        depth_.set(static_cast<std::int64_t>(depth));
+        depthHighWater_.updateMax(
+            static_cast<std::int64_t>(localHighWater_));
+    }
+    return count;
+}
+
+std::size_t
+SpscByteRing::push(const std::uint8_t *data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        done += tryPush(data + done, size - done);
+        if (done == size || shutdown_.load(std::memory_order_acquire))
+            break;
+        const std::uint64_t epoch =
+            interruptEpoch_.load(std::memory_order_acquire);
+        const bool have_space =
+            waitFor([this] { return freeSpace() != 0; },
+                    /*consumer_side=*/false,
+                    /*timeout_seconds=*/1.0);
+        if (!have_space
+            && interruptEpoch_.load(std::memory_order_acquire)
+                   != epoch) {
+            break; // interrupted: hand control back to the caller
+        }
+    }
+    return done;
+}
+
+std::size_t
+SpscByteRing::pop(std::uint8_t *buffer, std::size_t max_bytes,
+                  double timeout_seconds)
+{
+    const ByteSpan span = popBulk(max_bytes, timeout_seconds);
+    if (span.size == 0)
+        return 0;
+    std::memcpy(buffer, span.data, span.size);
+    std::size_t total = span.size;
+    consume(span.size);
+
+    // A wrap seam may have cut the first span short; grab the rest
+    // without waiting so pop() returns as much as is available.
+    if (total < max_bytes) {
+        const ByteSpan rest = popBulk(max_bytes - total, 0.0);
+        if (rest.size != 0) {
+            std::memcpy(buffer + total, rest.data, rest.size);
+            consume(rest.size);
+            total += rest.size;
+        }
+    }
+    return total;
+}
+
+ByteSpan
+SpscByteRing::popBulk(std::size_t max_bytes, double timeout_seconds)
+{
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    // Consumer-side view of available bytes; acquire pairs with the
+    // producer's release store so the payload is visible.
+    auto available = [&] {
+        return static_cast<std::size_t>(
+            tail_.load(std::memory_order_acquire) - head);
+    };
+
+    std::size_t avail = available();
+    if (avail == 0) {
+        if (timeout_seconds <= 0.0)
+            return {};
+        if (!waitFor([&] { return available() != 0; },
+                     /*consumer_side=*/true, timeout_seconds))
+            return {};
+        avail = available();
+        if (avail == 0)
+            return {};
+    }
+
+    const std::size_t at = static_cast<std::size_t>(head) & mask_;
+    const std::size_t contiguous =
+        std::min({avail, capacity_ - at, max_bytes});
+    return {buffer_.get() + at, contiguous};
+}
+
+void
+SpscByteRing::consume(std::size_t n)
+{
+    if (n == 0)
+        return;
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    // Free the space: release pairs with the producer's acquire of
+    // head_ in freeSpace(), so our reads of the payload complete
+    // before the producer may overwrite it.
+    head_.store(head + n, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (producerWaiting_.load(std::memory_order_relaxed))
+        wakeProducer();
+}
+
+void
+SpscByteRing::wakeConsumer()
+{
+    // Taking the mutex orders this notify after the waiter's
+    // predicate check inside wait(): either the waiter saw the new
+    // tail, or it is parked and receives the notification.
+    std::lock_guard<std::mutex> lock(waitMutex_);
+    waitCv_.notify_all();
+}
+
+void
+SpscByteRing::wakeProducer()
+{
+    std::lock_guard<std::mutex> lock(waitMutex_);
+    waitCv_.notify_all();
+}
+
+template <typename Pred>
+bool
+SpscByteRing::waitFor(Pred pred, bool consumer_side,
+                      double timeout_seconds)
+{
+    // A pending interrupt (possibly raised before this wait even
+    // started) aborts the wait immediately: sticky semantics, so a
+    // caller preempted between two blocking reads cannot miss its
+    // one wake-up.
+    std::uint64_t &seen = consumer_side ? consumerInterruptsSeen_
+                                        : producerInterruptsSeen_;
+    if (interruptEpoch_.load(std::memory_order_acquire) != seen) {
+        seen = interruptEpoch_.load(std::memory_order_acquire);
+        return pred();
+    }
+
+    // Phase 1: bounded spin. On a busy pipe data arrives within a
+    // few hundred cycles; parking would cost two syscalls per chunk.
+    for (unsigned i = 0; i < kSpinLimit; ++i) {
+        if (pred() || shutdown_.load(std::memory_order_acquire))
+            return pred();
+        if ((i & 15) == 15)
+            std::this_thread::yield();
+    }
+
+    // Phase 2: park. The waiting flag is set before re-checking the
+    // predicate; the other side checks the flag after its release
+    // store, so a wakeup can never be lost (both are seq_cst).
+    std::atomic<bool> &flag =
+        consumer_side ? consumerWaiting_ : producerWaiting_;
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_seconds));
+
+    std::unique_lock<std::mutex> lock(waitMutex_);
+    flag.store(true, std::memory_order_relaxed);
+    // Pairs with the fence after the other side's index store: at
+    // least one of (our predicate check, their flag check) sees the
+    // other's store, so the park below cannot miss its wakeup.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const bool ok = waitCv_.wait_until(lock, deadline, [&] {
+        return pred() || shutdown_.load(std::memory_order_acquire)
+               || interruptEpoch_.load(std::memory_order_acquire)
+                      != seen;
+    });
+    flag.store(false, std::memory_order_relaxed);
+    // Consume the interrupt that (also) ended this wait, if any.
+    const std::uint64_t epoch =
+        interruptEpoch_.load(std::memory_order_acquire);
+    if (epoch != seen)
+        seen = epoch;
+    return ok && pred();
+}
+
+void
+SpscByteRing::shutdown()
+{
+    shutdown_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(waitMutex_);
+    waitCv_.notify_all();
+}
+
+bool
+SpscByteRing::isShutdown() const
+{
+    return shutdown_.load(std::memory_order_acquire);
+}
+
+void
+SpscByteRing::interruptWaiters()
+{
+    interruptEpoch_.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(waitMutex_);
+    waitCv_.notify_all();
+}
+
+std::size_t
+SpscByteRing::size() const
+{
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+}
+
+void
+SpscByteRing::publishMetrics()
+{
+    producerOpsSincePublish_ = 0;
+    depth_.set(static_cast<std::int64_t>(size()));
+    depthHighWater_.updateMax(
+        static_cast<std::int64_t>(localHighWater_));
+}
+
+} // namespace ps3::transport

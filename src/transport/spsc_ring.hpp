@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Lock-free single-producer/single-consumer byte ring.
+ *
+ * The fast path of the in-process transport pipe (device thread ->
+ * host reader thread). Compared to the mutex-based ByteQueue it
+ * removes the lock, the condition-variable signalling on every push,
+ * and the O(n) front-erase per pop:
+ *
+ *  - fixed power-of-two capacity with free-running 64-bit indices
+ *    (head_ = consumer position, tail_ = producer position);
+ *  - the producer publishes data with a release store of tail_, the
+ *    consumer acquires it; symmetrically the consumer frees space
+ *    with a release store of head_ (see docs/PERFORMANCE.md for the
+ *    full memory-ordering contract);
+ *  - popBulk() hands the consumer a contiguous span of the internal
+ *    buffer so aligned stream parsing can run zero-copy;
+ *  - waiting is adaptive: a bounded spin (with yields) first, then a
+ *    condition-variable park armed through a waiter flag handshake,
+ *    so an idle pipe costs no CPU but a busy one never syscalls.
+ *
+ * Thread contract: exactly one producer thread may call the push
+ * side and exactly one consumer thread the pop side; shutdown() and
+ * interruptWaiters() may be called from any thread.
+ */
+
+#ifndef PS3_TRANSPORT_SPSC_RING_HPP
+#define PS3_TRANSPORT_SPSC_RING_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace ps3::transport {
+
+/** Contiguous view into the ring's internal storage. */
+struct ByteSpan
+{
+    const std::uint8_t *data = nullptr;
+    std::size_t size = 0;
+};
+
+/** Bounded lock-free SPSC byte FIFO with blocking waits. */
+class SpscByteRing
+{
+  public:
+    /** Default capacity: comfortably above one produce() chunk. */
+    static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+    /**
+     * @param capacity Ring size in bytes; rounded up to the next
+     *        power of two (minimum 64).
+     */
+    explicit SpscByteRing(std::size_t capacity = kDefaultCapacity);
+
+    ~SpscByteRing();
+
+    SpscByteRing(const SpscByteRing &) = delete;
+    SpscByteRing &operator=(const SpscByteRing &) = delete;
+
+    // ----- producer side -------------------------------------------------
+
+    /**
+     * Append as many bytes as fit right now without blocking.
+     * @return Bytes accepted (may be 0).
+     */
+    std::size_t tryPush(const std::uint8_t *data, std::size_t size);
+
+    /**
+     * Append all bytes, blocking while the ring is full. Returns
+     * early (dropping the unwritten tail) once the ring is shut
+     * down.
+     * @return Bytes accepted.
+     */
+    std::size_t push(const std::uint8_t *data, std::size_t size);
+
+    // ----- consumer side -------------------------------------------------
+
+    /**
+     * Copy out up to max_bytes, blocking until data arrives, the
+     * timeout expires, the waiters are interrupted, or the ring is
+     * shut down. Data still buffered at shutdown keeps draining.
+     * @return Bytes copied (0 on timeout/interrupt/drained shutdown).
+     */
+    std::size_t pop(std::uint8_t *buffer, std::size_t max_bytes,
+                    double timeout_seconds);
+
+    /**
+     * Zero-copy variant of pop(): wait like pop(), then return a
+     * contiguous readable span of the internal buffer (at most
+     * max_bytes; a wrap seam may shorten it — the remainder becomes
+     * visible on the next call). The span stays valid until
+     * consume() or the next pop. Call consume() with the number of
+     * bytes actually processed (<= span.size).
+     */
+    ByteSpan popBulk(std::size_t max_bytes, double timeout_seconds);
+
+    /** Release n bytes previously returned by popBulk(). */
+    void consume(std::size_t n);
+
+    // ----- any thread ----------------------------------------------------
+
+    /**
+     * Wake all blocked operations and make future pops return
+     * whatever is buffered, then 0; future pushes drop.
+     */
+    void shutdown();
+
+    /** True after shutdown(). */
+    bool isShutdown() const;
+
+    /**
+     * Wake the current blocked pop()/push() call — or, if none is in
+     * flight, the next one that would block — making it return like
+     * a timeout. The interrupt is sticky until consumed by exactly
+     * one wait per side, so a racing caller that is momentarily
+     * between reads cannot miss it; subsequent calls block normally.
+     * Used to cut reader-loop shutdown latency without tearing the
+     * pipe down.
+     */
+    void interruptWaiters();
+
+    /** Bytes currently buffered. */
+    std::size_t size() const;
+
+    /** Usable capacity in bytes. */
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Flush the batched depth/high-water gauges now (they normally
+     * publish every kMetricsBatch operations; see
+     * docs/PERFORMANCE.md).
+     */
+    void publishMetrics();
+
+  private:
+    /** Operations between batched gauge publications. */
+    static constexpr std::uint32_t kMetricsBatch = 64;
+
+    /** Bounded spin before parking on the condition variable. */
+    static constexpr unsigned kSpinLimit = 256;
+
+    std::size_t freeSpace() const;
+    void wakeConsumer();
+    void wakeProducer();
+
+    /**
+     * Park the calling thread until pred() holds, the deadline
+     * passes, or the interrupt epoch advances. Returns pred().
+     */
+    template <typename Pred>
+    bool waitFor(Pred pred, bool consumer_side,
+                 double timeout_seconds);
+
+    const std::size_t capacity_;
+    const std::size_t mask_;
+    std::unique_ptr<std::uint8_t[]> buffer_;
+
+    /**
+     * Free-running positions; indices into the buffer are the value
+     * masked by mask_. Aligned apart so the producer's tail_ store
+     * never false-shares with the consumer's head_ store.
+     */
+    alignas(64) std::atomic<std::uint64_t> tail_{0}; // producer writes
+    alignas(64) std::atomic<std::uint64_t> head_{0}; // consumer writes
+
+    alignas(64) std::atomic<bool> shutdown_{false};
+    std::atomic<std::uint64_t> interruptEpoch_{0};
+
+    /**
+     * Last interrupt epoch each side has consumed. Owned by the
+     * respective side's single thread (plain fields, only read and
+     * written inside waitFor), which is what makes the interrupt
+     * sticky: a bump that lands between two waits is noticed by the
+     * next one instead of being lost.
+     */
+    std::uint64_t consumerInterruptsSeen_ = 0;
+    std::uint64_t producerInterruptsSeen_ = 0;
+
+    /** Park-bench: used only after the spin phase gives up. */
+    std::mutex waitMutex_;
+    std::condition_variable waitCv_;
+    std::atomic<bool> consumerWaiting_{false};
+    std::atomic<bool> producerWaiting_{false};
+
+    /** Batched observability (producer-side counters, see .cpp). */
+    obs::Gauge &depth_;
+    obs::Gauge &depthHighWater_;
+    std::uint32_t producerOpsSincePublish_ = 0;
+    std::uint64_t localHighWater_ = 0;
+};
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_SPSC_RING_HPP

@@ -9,6 +9,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "common/errors.hpp"
@@ -24,7 +26,12 @@ class DumpRoundTrip : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = "/tmp/ps3_dump_reader_test.txt";
+        // Unique per process: ctest runs each TEST_F as its own
+        // process, possibly in parallel, and a shared name lets one
+        // test's TearDown unlink the file under another's reader.
+        path_ = "/tmp/ps3_dump_reader_test."
+                + std::to_string(static_cast<long>(::getpid()))
+                + ".txt";
         std::filesystem::remove(path_);
 
         auto rig = rigs::labBench(analog::modules::slot12V10A(), 12.0,

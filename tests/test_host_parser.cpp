@@ -320,4 +320,55 @@ TEST(StreamParser, FlushPreservesUnwrapContext)
 }
 
 } // namespace
+
+/** Injects synthetic frames that the wire encoding cannot carry. */
+struct StreamParserTestPeer
+{
+    static void inject(StreamParser &parser, const firmware::Frame &f)
+    {
+        parser.handleFrame(f);
+    }
+};
+
+namespace {
+
+TEST(StreamParser, CountsAndDropsBadChannelFrames)
+{
+    // The 3-bit wire sensor-id field cannot encode an id >= 8 today,
+    // so drive handleFrame() directly: the guard must survive a
+    // future channel-count reduction, where stale firmware could
+    // stream ids the host no longer has slots for.
+    std::vector<FrameSet> sets;
+    StreamParser parser([&](const FrameSet &s) { sets.push_back(s); });
+
+    StreamParserTestPeer::inject(parser,
+                                 makeTimestampFrame(/*micros=*/25));
+    Frame good;
+    good.sensorId = 2;
+    good.level = 321;
+    StreamParserTestPeer::inject(parser, good);
+    Frame bad;
+    bad.sensorId = firmware::kNumChannels; // first out-of-range id
+    bad.level = 999;
+    StreamParserTestPeer::inject(parser, bad);
+    EXPECT_EQ(parser.badChannelFrameCount(), 1u);
+
+    // Close the set: the good channel arrives, the bad one left no
+    // trace in the level/valid arrays.
+    StreamParserTestPeer::inject(parser, makeTimestampFrame(75));
+    ASSERT_EQ(sets.size(), 1u);
+    EXPECT_TRUE(sets[0].valid[2]);
+    EXPECT_EQ(sets[0].level[2], 321);
+    for (unsigned ch = 0; ch < firmware::kNumChannels; ++ch) {
+        if (ch != 2)
+            EXPECT_FALSE(sets[0].valid[ch]);
+    }
+
+    // flush() publishes the batched ps3_parser_bad_channel_total
+    // delta; the lifetime tally is monotone and survives the flush.
+    parser.flush();
+    EXPECT_EQ(parser.badChannelFrameCount(), 1u);
+}
+
+} // namespace
 } // namespace ps3::host

@@ -10,10 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
+#include <thread>
+
 #include "common/errors.hpp"
+#include "firmware/wire_stub.hpp"
 #include "host/calibrator.hpp"
 #include "host/sim_setup.hpp"
 #include "transport/fault_injection.hpp"
+#include "transport/pipe_device.hpp"
 
 namespace ps3::host {
 namespace {
@@ -315,6 +321,32 @@ TEST(SimSetupTest, RigFactoriesProduceWorkingSensors)
         const auto s2 = sensor->read();
         EXPECT_NEAR(Watts(s1, s2), 5.0, 0.3);
     }
+}
+
+TEST(PowerSensorTest, DestructorReturnsPromptlyWithIdleStream)
+{
+    // With no data flowing the reader thread parks inside a blocking
+    // read. The destructor must interrupt that wait instead of riding
+    // out the 50 ms read timeout (the device's interruptReads() hook).
+    transport::PipeDevice pipe(
+        transport::PipeDevice::Backend::LockFreeRing, 1u << 12);
+    firmware::DeviceConfig config;
+    firmware::WireStub stub(pipe, config);
+
+    auto sensor = std::make_unique<PowerSensor>(pipe);
+    EXPECT_TRUE(stub.streaming());
+
+    // Let the reader reach its steady-state blocking read.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    const auto start = std::chrono::steady_clock::now();
+    sensor.reset();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - start)
+            .count();
+    EXPECT_LT(elapsed, 0.040);
+    EXPECT_FALSE(stub.streaming()); // StopStream reached the device
 }
 
 } // namespace

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for the lock-free SPSC byte ring and the in-process pipe
+ * device: wraparound integrity, bulk pops across the wrap seam,
+ * shutdown/interrupt semantics, and a threaded producer/consumer
+ * stress. Build with -DPS3_SANITIZE=thread to check the ring's
+ * memory-ordering contract under TSan.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "transport/fault_injection.hpp"
+#include "transport/pipe_device.hpp"
+#include "transport/spsc_ring.hpp"
+
+namespace ps3::transport {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TEST(SpscByteRing, RoundsCapacityUpToPowerOfTwo)
+{
+    EXPECT_EQ(SpscByteRing(100).capacity(), 128u);
+    EXPECT_EQ(SpscByteRing(1).capacity(), 64u);
+    EXPECT_EQ(SpscByteRing(4096).capacity(), 4096u);
+}
+
+TEST(SpscByteRing, PushPopRoundTrip)
+{
+    SpscByteRing ring(64);
+    const std::uint8_t data[] = {1, 2, 3, 4, 5};
+    EXPECT_EQ(ring.push(data, sizeof(data)), sizeof(data));
+    EXPECT_EQ(ring.size(), 5u);
+
+    std::uint8_t out[8] = {};
+    EXPECT_EQ(ring.pop(out, 3, 0.1), 3u);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[2], 3);
+    EXPECT_EQ(ring.pop(out, 8, 0.1), 2u);
+    EXPECT_EQ(out[1], 5);
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SpscByteRing, PopTimesOutWhenEmpty)
+{
+    SpscByteRing ring(64);
+    std::uint8_t out[4];
+    const auto start = Clock::now();
+    EXPECT_EQ(ring.pop(out, sizeof(out), 0.05), 0u);
+    EXPECT_LT(secondsSince(start), 2.0);
+}
+
+TEST(SpscByteRing, WraparoundPreservesByteSequence)
+{
+    // Chunk sizes co-prime with the capacity sweep the indices over
+    // every wrap offset; the byte sequence must survive each seam.
+    SpscByteRing ring(64);
+    ASSERT_EQ(ring.capacity(), 64u);
+    std::uint8_t seq = 0;
+    std::uint8_t expect = 0;
+    std::vector<std::uint8_t> chunk;
+    for (int round = 0; round < 400; ++round) {
+        const std::size_t n =
+            1 + static_cast<std::size_t>((round * 7) % 23);
+        chunk.clear();
+        for (std::size_t i = 0; i < n; ++i)
+            chunk.push_back(seq++);
+        ASSERT_EQ(ring.push(chunk.data(), n), n);
+
+        std::uint8_t out[32];
+        std::size_t got = 0;
+        while (got < n)
+            got += ring.pop(out + got, n - got, 0.5);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(out[i], expect++) << "round " << round;
+    }
+}
+
+TEST(SpscByteRing, PopBulkSplitsAtWrapSeamAndPopStitches)
+{
+    SpscByteRing ring(64);
+    std::uint8_t scratch[64];
+
+    // Walk the indices to offset 48 so a 32-byte write wraps.
+    ASSERT_EQ(ring.push(scratch, 48), 48u);
+    ASSERT_EQ(ring.pop(scratch, 48, 0.1), 48u);
+
+    std::uint8_t data[32];
+    for (std::uint8_t i = 0; i < 32; ++i)
+        data[i] = i;
+    ASSERT_EQ(ring.push(data, sizeof(data)), sizeof(data));
+
+    // popBulk returns the contiguous prefix up to the seam first …
+    const ByteSpan first = ring.popBulk(64, 0.1);
+    ASSERT_EQ(first.size, 16u);
+    for (std::uint8_t i = 0; i < 16; ++i)
+        EXPECT_EQ(first.data[i], i);
+    ring.consume(first.size);
+
+    // … and the post-seam remainder on the next call.
+    const ByteSpan rest = ring.popBulk(64, 0.0);
+    ASSERT_EQ(rest.size, 16u);
+    for (std::uint8_t i = 0; i < 16; ++i)
+        EXPECT_EQ(rest.data[i], 16 + i);
+    ring.consume(rest.size);
+
+    // pop() by contrast stitches across the seam in one call.
+    ASSERT_EQ(ring.push(scratch, 48), 48u);
+    ASSERT_EQ(ring.pop(scratch, 48, 0.1), 48u);
+    ASSERT_EQ(ring.push(data, sizeof(data)), sizeof(data));
+    std::uint8_t out[32] = {};
+    EXPECT_EQ(ring.pop(out, sizeof(out), 0.1), 32u);
+    for (std::uint8_t i = 0; i < 32; ++i)
+        EXPECT_EQ(out[i], i);
+}
+
+TEST(SpscByteRing, ShutdownWakesBlockedPopAndDrains)
+{
+    SpscByteRing ring(64);
+    std::atomic<bool> woke{false};
+    std::thread consumer([&] {
+        std::uint8_t b[8];
+        EXPECT_EQ(ring.pop(b, sizeof(b), 10.0), 0u);
+        woke.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto start = Clock::now();
+    ring.shutdown();
+    consumer.join();
+    EXPECT_TRUE(woke.load());
+    EXPECT_LT(secondsSince(start), 5.0);
+
+    // Buffered bytes keep draining after shutdown; pushes drop.
+    SpscByteRing drained(64);
+    const std::uint8_t data[] = {7, 8, 9};
+    ASSERT_EQ(drained.push(data, sizeof(data)), sizeof(data));
+    drained.shutdown();
+    EXPECT_EQ(drained.push(data, sizeof(data)), 0u);
+    std::uint8_t out[8];
+    EXPECT_EQ(drained.pop(out, sizeof(out), 0.1), 3u);
+    EXPECT_EQ(out[0], 7);
+    EXPECT_EQ(drained.pop(out, sizeof(out), 0.05), 0u);
+}
+
+TEST(SpscByteRing, InterruptWakesBlockedPopOnce)
+{
+    SpscByteRing ring(64);
+    std::thread waker([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ring.interruptWaiters();
+    });
+    std::uint8_t out[4];
+    const auto start = Clock::now();
+    EXPECT_EQ(ring.pop(out, sizeof(out), 10.0), 0u);
+    EXPECT_LT(secondsSince(start), 5.0);
+    waker.join();
+
+    // One-shot: the next pop blocks normally until its timeout.
+    const auto again = Clock::now();
+    EXPECT_EQ(ring.pop(out, sizeof(out), 0.05), 0u);
+    EXPECT_LT(secondsSince(again), 2.0);
+}
+
+TEST(SpscByteRing, PushBlocksOnFullRingUntilConsumerFrees)
+{
+    SpscByteRing ring(64);
+    std::vector<std::uint8_t> fill(64, 0xAA);
+    ASSERT_EQ(ring.push(fill.data(), fill.size()), fill.size());
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        std::uint8_t extra[32];
+        for (std::uint8_t i = 0; i < 32; ++i)
+            extra[i] = i;
+        EXPECT_EQ(ring.push(extra, sizeof(extra)), sizeof(extra));
+        pushed.store(true, std::memory_order_release);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    std::uint8_t out[64];
+    ASSERT_EQ(ring.pop(out, sizeof(out), 0.5), 64u);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    std::size_t got = 0;
+    while (got < 32)
+        got += ring.pop(out + got, 32 - got, 0.5);
+    for (std::uint8_t i = 0; i < 32; ++i)
+        EXPECT_EQ(out[i], i);
+}
+
+TEST(SpscByteRing, ThreadedStressPreservesStream)
+{
+    // Producer and consumer hammer a deliberately small ring with
+    // varying chunk sizes; every byte must arrive exactly once, in
+    // order. Run under -DPS3_SANITIZE=thread to validate the
+    // acquire/release contract, not just the data.
+    SpscByteRing ring(1u << 10);
+    constexpr std::size_t kTotal = 1u << 20;
+
+    std::thread producer([&] {
+        std::vector<std::uint8_t> chunk;
+        std::size_t sent = 0;
+        std::uint32_t lcg = 1;
+        while (sent < kTotal) {
+            lcg = lcg * 1664525u + 1013904223u;
+            const std::size_t n =
+                std::min<std::size_t>(1 + (lcg >> 20) % 700,
+                                      kTotal - sent);
+            chunk.clear();
+            for (std::size_t i = 0; i < n; ++i)
+                chunk.push_back(
+                    static_cast<std::uint8_t>((sent + i) & 0xFF));
+            ASSERT_EQ(ring.push(chunk.data(), n), n);
+            sent += n;
+        }
+    });
+
+    std::vector<std::uint8_t> buffer(2048);
+    std::size_t received = 0;
+    while (received < kTotal) {
+        const std::size_t got =
+            ring.pop(buffer.data(), buffer.size(), 1.0);
+        ASSERT_GT(got, 0u) << "stream stalled at " << received;
+        for (std::size_t i = 0; i < got; ++i) {
+            ASSERT_EQ(buffer[i],
+                      static_cast<std::uint8_t>((received + i) & 0xFF))
+                << "at offset " << received + i;
+        }
+        received += got;
+    }
+    producer.join();
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(PipeDevice, RoundTripOnBothBackends)
+{
+    for (const auto backend : {PipeDevice::Backend::LockFreeRing,
+                               PipeDevice::Backend::MutexQueue}) {
+        PipeDevice pipe(backend, 256);
+        EXPECT_FALSE(pipe.closed());
+
+        std::vector<std::uint8_t> seen;
+        pipe.setHostWriteHandler(
+            [&](const std::uint8_t *data, std::size_t size) {
+                seen.insert(seen.end(), data, data + size);
+            });
+
+        const std::uint8_t down[] = {10, 20, 30};
+        pipe.deviceWrite(down, sizeof(down));
+        EXPECT_EQ(pipe.buffered(), 3u);
+        std::uint8_t out[8];
+        EXPECT_EQ(pipe.read(out, sizeof(out), 0.1), 3u);
+        EXPECT_EQ(out[2], 30);
+
+        const std::uint8_t up[] = {'S'};
+        pipe.write(up, sizeof(up));
+        ASSERT_EQ(seen.size(), 1u);
+        EXPECT_EQ(seen[0], 'S');
+
+        pipe.closeFromDevice();
+        EXPECT_TRUE(pipe.closed());
+        EXPECT_EQ(pipe.read(out, sizeof(out), 0.05), 0u);
+    }
+}
+
+TEST(PipeDevice, CloseDrainsBufferedBytesFirst)
+{
+    PipeDevice pipe(PipeDevice::Backend::LockFreeRing, 256);
+    const std::uint8_t data[] = {1, 2, 3, 4};
+    pipe.deviceWrite(data, sizeof(data));
+    pipe.closeFromDevice();
+
+    std::uint8_t out[8];
+    EXPECT_EQ(pipe.read(out, sizeof(out), 0.1), 4u);
+    EXPECT_EQ(pipe.read(out, sizeof(out), 0.05), 0u);
+    EXPECT_TRUE(pipe.closed());
+}
+
+TEST(PipeDevice, InterruptReadsWakesBlockedRead)
+{
+    for (const auto backend : {PipeDevice::Backend::LockFreeRing,
+                               PipeDevice::Backend::MutexQueue}) {
+        PipeDevice pipe(backend, 256);
+        std::thread waker([&] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+            pipe.interruptReads();
+        });
+        std::uint8_t out[4];
+        const auto start = Clock::now();
+        EXPECT_EQ(pipe.read(out, sizeof(out), 10.0), 0u);
+        EXPECT_LT(secondsSince(start), 5.0);
+        EXPECT_FALSE(pipe.closed());
+        waker.join();
+    }
+}
+
+TEST(PipeDevice, FaultInjectionComposesOverBothBackends)
+{
+    for (const auto backend : {PipeDevice::Backend::LockFreeRing,
+                               PipeDevice::Backend::MutexQueue}) {
+        PipeDevice pipe(backend, 1024);
+        FaultProfile profile;
+        profile.dropProbability = 0.5;
+        FaultInjectingDevice faulty(pipe, profile, /*seed=*/42);
+
+        std::vector<std::uint8_t> data(512, 0x77);
+        pipe.deviceWrite(data.data(), data.size());
+        pipe.closeFromDevice();
+
+        std::size_t got = 0;
+        std::uint8_t out[256];
+        std::size_t n;
+        while ((n = faulty.read(out, sizeof(out), 0.05)) != 0)
+            got += n;
+        // Half the bytes drop (within loose binomial bounds).
+        EXPECT_GT(faulty.faultCount(), 100u);
+        EXPECT_LT(got, data.size());
+        EXPECT_GT(got, 100u);
+    }
+}
+
+} // namespace
+} // namespace ps3::transport

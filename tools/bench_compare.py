@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Microbenchmark regression gate for the PowerSensor3 reproduction.
+
+Compares a freshly produced benchmark result file (the
+``--bench_json`` output of ``bench_micro_hostlib``) against the
+committed baseline and fails when a gated benchmark got more than
+``--threshold`` (default 15%) slower.
+
+Usage:
+
+    python3 tools/bench_compare.py NEW.json [--baseline bench/BENCH_micro.json]
+                                   [--threshold 0.15] [--update]
+
+``--update`` rewrites the baseline with the new results instead of
+comparing (used when intentionally re-baselining after a change).
+
+Only the benchmarks listed in ``GATED`` participate in the gate:
+single-threaded deterministic loops whose run-to-run variance is far
+below the threshold. Threaded benchmarks (queue throughput, pipeline)
+are recorded in the JSON for tracking but not gated, because their
+scheduling variance on small CI machines would make the gate flaky.
+
+When a result file carries several runs of the same benchmark (from
+``--benchmark_repetitions=N``) the best one is compared: transient
+noise on a contended machine is one-sided (it only slows things
+down), so best-of-N estimates the true speed far more stably than a
+single run or the mean.
+
+Each benchmark is scored by a single higher-is-better number:
+``bytes_per_second`` if present, else ``frame_sets_per_s``, else
+``1e9 / cpu_ns_per_iter`` (iterations per second). Exit status 0 when
+no gated benchmark regressed, 1 otherwise (also for malformed input).
+"""
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "BENCH_micro.json"
+
+GATED = (
+    "BM_FrameEncode",
+    "BM_FrameDecode",
+    "BM_StreamParserFeed",
+    "BM_RunningStatisticsAdd",
+    "BM_RingBufferPushPop",
+)
+
+
+def load_results(path: Path) -> dict:
+    """Map name -> best-scoring entry (best-of-N across repetitions)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ValueError(f"{path}: missing 'benchmarks' list")
+    best = {}
+    for entry in benchmarks:
+        name = entry["name"]
+        if name not in best or score(entry) > score(best[name]):
+            best[name] = entry
+    return best
+
+
+def score(entry: dict) -> float:
+    counters = entry.get("counters", {})
+    for key in ("bytes_per_second", "frame_sets_per_s"):
+        if key in counters:
+            return float(counters[key])
+    cpu_ns = float(entry.get("cpu_ns_per_iter", 0.0))
+    if cpu_ns <= 0.0:
+        raise ValueError(f"{entry.get('name')}: no usable metric")
+    return 1e9 / cpu_ns
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", type=Path,
+                        help="freshly produced result JSON")
+    parser.add_argument("--baseline", type=Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional slowdown (0.15 = 15%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline instead of comparing")
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.new, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    try:
+        baseline = load_results(args.baseline)
+        fresh = load_results(args.new)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: {exc}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in GATED:
+        base_entry = baseline.get(name)
+        new_entry = fresh.get(name)
+        if base_entry is None:
+            print(f"  [skip] {name}: not in baseline")
+            continue
+        if new_entry is None:
+            failures.append(f"{name}: missing from new results")
+            continue
+        old = score(base_entry)
+        new = score(new_entry)
+        ratio = new / old if old > 0 else float("inf")
+        status = "ok"
+        if new < old * (1.0 - args.threshold):
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {new:.3g} vs baseline {old:.3g} "
+                f"({(1.0 - ratio) * 100:.1f}% slower, "
+                f"threshold {args.threshold * 100:.0f}%)")
+        print(f"  [{status}] {name}: {new:.3g} "
+              f"(baseline {old:.3g}, ratio {ratio:.2f})")
+
+    if failures:
+        print("bench_compare: regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench_compare: no gated regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
