@@ -5,6 +5,11 @@
  *   psdump <file> [--stats] [--markers] [--between A B]
  *          [--decimate N] [--csv out.csv] [--stats=FORMAT]
  *
+ * <file> may be a text dump or a binary "*.ps3b" dump (format v2);
+ * the format is auto-detected by content, so every option below
+ * works identically on both (see docs/PERFORMANCE.md for the binary
+ * layout).
+ *
  * --stats          power statistics over the whole file (default)
  * --stats=FORMAT   ALSO print an observability snapshot (metrics of
  *                  the dump parser) in table/csv/prom format; see

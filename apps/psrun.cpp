@@ -8,6 +8,10 @@
  *
  * With -o, the full 20 kHz stream is additionally dumped to a file
  * (continuous mode), with markers around the command execution.
+ * Naming the file "*.ps3b" selects the compact lossless binary dump
+ * format; anything else produces the human-readable text format.
+ * Both are written by the asynchronous dump pipeline and read back
+ * by psdump.
  */
 
 #include <cstdio>

@@ -13,8 +13,14 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <thread>
+
+#include <unistd.h>
 
 #include "analog/sensor_module_spec.hpp"
 #include "bench_json.hpp"
@@ -22,6 +28,8 @@
 #include "common/statistics.hpp"
 #include "firmware/protocol.hpp"
 #include "firmware/wire_stub.hpp"
+#include "host/dump_reader.hpp"
+#include "host/dump_writer.hpp"
 #include "host/power_sensor.hpp"
 #include "host/sim_setup.hpp"
 #include "host/stream_parser.hpp"
@@ -276,6 +284,180 @@ BM_PipelineEndToEnd(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_PipelineEndToEnd)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ----- dump pipeline ---------------------------------------------------
+
+constexpr const char *kDumpHeader =
+    "# PowerSensor3 continuous dump\n"
+    "# sample_rate_hz 20000\n"
+    "# columns: S time_s V0 I0 P0 total_W\n";
+
+host::DumpRecord
+makeDumpRecord(std::uint64_t i)
+{
+    host::DumpRecord r;
+    r.time = static_cast<double>(i) * 50e-6;
+    r.presentMask = 0x1;
+    r.voltage[0] = 11.95 + 0.01 * static_cast<double>(i % 7);
+    r.current[0] = 5.0 + 0.02 * static_cast<double>(i % 11);
+    return r;
+}
+
+/**
+ * Baseline: the synchronous dump path this PR replaced — snprintf
+ * formatting plus an ofstream write per sample, on the calling
+ * (reader) thread. Writes to /dev/null so only CPU cost is measured.
+ */
+void
+BM_DumpWriteSync(benchmark::State &state)
+{
+    std::ofstream out("/dev/null");
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const host::DumpRecord r = makeDumpRecord(i++);
+        char text[256];
+        int n = std::snprintf(text, sizeof(text), "S %.6f", r.time);
+        const double power = r.current[0] * r.voltage[0];
+        n += std::snprintf(text + n, sizeof(text) - n,
+                           " %.4f %.4f %.4f", r.voltage[0],
+                           r.current[0], power);
+        n += std::snprintf(text + n, sizeof(text) - n, " %.4f\n",
+                           power);
+        out.write(text, n);
+        benchmark::DoNotOptimize(text);
+    }
+}
+BENCHMARK(BM_DumpWriteSync);
+
+/**
+ * Producer-side cost of the asynchronous dump pipeline: one
+ * DumpRecord push into the writer's ring (formatting and I/O happen
+ * on the writer thread). DropOldest keeps the measurement free of
+ * backpressure stalls; /dev/null keeps the drain far ahead anyway.
+ */
+void
+BM_DumpWrite(benchmark::State &state, host::DumpFormat format)
+{
+    host::DumpWriter writer(
+        "/dev/null", kDumpHeader,
+        {.format = format,
+         .overflow = host::DumpOverflow::DropOldest,
+         .ringCapacity = 1u << 16});
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        writer.push(makeDumpRecord(i++));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_DumpWrite, BM_DumpWriteText,
+                  host::DumpFormat::Text)
+    ->Name("BM_DumpWriteText");
+BENCHMARK_CAPTURE(BM_DumpWrite, BM_DumpWriteBinary,
+                  host::DumpFormat::Binary)
+    ->Name("BM_DumpWriteBinary");
+
+std::string
+makeDumpFixture(std::size_t samples)
+{
+    const std::string path =
+        "/tmp/ps3_bench_dump."
+        + std::to_string(static_cast<long>(::getpid())) + ".txt";
+    host::DumpWriter writer(path, kDumpHeader,
+                            {.format = host::DumpFormat::Text});
+    for (std::size_t i = 0; i < samples; ++i)
+        writer.push(makeDumpRecord(i));
+    writer.close();
+    return path;
+}
+
+/**
+ * Baseline: the istringstream-per-line dump parser this PR replaced,
+ * over the same 20 k-sample text fixture BM_DumpReaderLoad parses.
+ */
+void
+BM_DumpReaderLoadIstream(benchmark::State &state)
+{
+    const std::string path = makeDumpFixture(20000);
+    std::size_t samples = 0;
+    for (auto _ : state) {
+        std::ifstream in(path);
+        std::string line;
+        samples = 0;
+        while (std::getline(in, line)) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            std::istringstream fields(line);
+            char kind = '\0';
+            fields >> kind;
+            if (kind == 'M') {
+                char marker;
+                double time;
+                fields >> marker >> time;
+                continue;
+            }
+            double time;
+            fields >> time;
+            std::vector<double> values;
+            double value;
+            while (fields >> value)
+                values.push_back(value);
+            benchmark::DoNotOptimize(values);
+            ++samples;
+        }
+    }
+    benchmark::DoNotOptimize(samples);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(
+            std::filesystem::file_size(path)));
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_DumpReaderLoadIstream);
+
+/** DumpFile::load (from_chars block scanner) on the same fixture. */
+void
+BM_DumpReaderLoad(benchmark::State &state)
+{
+    const std::string path = makeDumpFixture(20000);
+    for (auto _ : state) {
+        const auto file = host::DumpFile::load(path);
+        benchmark::DoNotOptimize(file.samples().size());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(
+            std::filesystem::file_size(path)));
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_DumpReaderLoad);
+
+/**
+ * BM_EndToEndPipeline with a continuous text dump enabled: the full
+ * firmware->host pipeline while every sample also flows through the
+ * asynchronous dump writer.
+ */
+void
+BM_EndToEndPipelineDump(benchmark::State &state)
+{
+    const std::string path =
+        "/tmp/ps3_bench_pipe_dump."
+        + std::to_string(static_cast<long>(::getpid())) + ".txt";
+    auto rig = host::rigs::labBench(analog::modules::slot12V10A(),
+                                    12.0, 8.0);
+    auto sensor = rig.connect();
+    sensor->dump(path);
+    for (auto _ : state) {
+        sensor->waitForSamples(1000);
+    }
+    sensor->dump("");
+    state.counters["frame_sets_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 1000.0,
+        benchmark::Counter::kIsRate);
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_EndToEndPipelineDump)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -1,7 +1,6 @@
 #include "csv_writer.hpp"
 
-#include <iomanip>
-#include <sstream>
+#include "fast_format.hpp"
 
 namespace ps3 {
 
@@ -22,16 +21,23 @@ CsvWriter::header(const std::vector<std::string> &names)
 void
 CsvWriter::row(const std::vector<double> &values)
 {
-    std::ostringstream line;
-    line << std::setprecision(precision_);
+    // One formatted line per write() so interleaved writers stay
+    // line-atomic, built with the to_chars formatter instead of an
+    // ostringstream (same %g-style output, no stream allocation).
+    line_.clear();
+    char scratch[kMaxFixed64];
     bool first = true;
     for (double v : values) {
         if (!first)
-            line << separator_;
-        line << v;
+            line_ += separator_;
+        line_.append(scratch,
+                     formatGeneral(scratch, sizeof(scratch), v,
+                                   precision_));
         first = false;
     }
-    out_ << line.str() << '\n';
+    line_ += '\n';
+    out_.write(line_.data(),
+               static_cast<std::streamsize>(line_.size()));
     ++rows_;
 }
 

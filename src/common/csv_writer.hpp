@@ -50,6 +50,8 @@ class CsvWriter
     char separator_;
     int precision_;
     std::size_t rows_ = 0;
+    /** Reused line buffer for row() (avoids per-row allocation). */
+    std::string line_;
 };
 
 } // namespace ps3

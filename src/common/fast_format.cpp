@@ -1,0 +1,70 @@
+#include "fast_format.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstring>
+
+namespace ps3 {
+
+namespace {
+
+/**
+ * printf-compatible spelling of a non-finite value. std::to_chars
+ * already produces inf/-inf/nan(/−nan), but we route all non-finite
+ * values here so the output is pinned independently of library
+ * quirks (e.g. "nan(snan)" payload suffixes).
+ */
+std::size_t
+formatNonFinite(char *out, std::size_t capacity, double v)
+{
+    const char *text;
+    if (std::isnan(v))
+        text = std::signbit(v) ? "-nan" : "nan";
+    else
+        text = std::signbit(v) ? "-inf" : "inf";
+    const std::size_t n = std::strlen(text);
+    const std::size_t copy = n < capacity ? n : capacity;
+    std::memcpy(out, text, copy);
+    return copy;
+}
+
+std::size_t
+format(char *out, std::size_t capacity, double v,
+       std::chars_format fmt, int precision)
+{
+    if (!std::isfinite(v))
+        return formatNonFinite(out, capacity, v);
+    const auto result =
+        std::to_chars(out, out + capacity, v, fmt, precision);
+    if (result.ec != std::errc{})
+        return capacity; // truncated: buffer full
+    return static_cast<std::size_t>(result.ptr - out);
+}
+
+} // namespace
+
+std::size_t
+formatFixed(char *out, std::size_t capacity, double v, int decimals)
+{
+    return format(out, capacity, v, std::chars_format::fixed,
+                  decimals);
+}
+
+std::size_t
+formatGeneral(char *out, std::size_t capacity, double v,
+              int significant)
+{
+    return format(out, capacity, v, std::chars_format::general,
+                  significant);
+}
+
+std::string
+toFixedString(double v, int decimals)
+{
+    char buffer[kMaxFixed64];
+    return std::string(buffer,
+                       formatFixed(buffer, sizeof(buffer), v,
+                                   decimals));
+}
+
+} // namespace ps3

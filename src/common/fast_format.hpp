@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fast locale-free floating-point formatting (std::to_chars based).
+ *
+ * Drop-in replacements for the `snprintf("%.Nf")` / `ostream <<
+ * setprecision(N)` calls that used to sit on the dump-writer and
+ * CSV-emission paths. std::to_chars skips format-string parsing and
+ * locale lookup, which makes it several times faster than snprintf
+ * while producing the same correctly-rounded digits; non-finite
+ * values come out as printf would print them ("inf", "-inf", "nan").
+ *
+ * All functions clamp to the destination capacity and never write a
+ * terminating NUL: they return the number of characters produced so
+ * callers can append into a larger buffer. A value that does not fit
+ * is truncated at the capacity (the caller is expected to size
+ * buffers generously; see kMaxFixed64 for the worst case).
+ */
+
+#ifndef PS3_COMMON_FAST_FORMAT_HPP
+#define PS3_COMMON_FAST_FORMAT_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace ps3 {
+
+/**
+ * Worst-case character count of formatFixed() for any finite double
+ * with <= 6 fraction digits: sign + 309 integral digits + point +
+ * fraction. Buffers of this size never truncate.
+ */
+inline constexpr std::size_t kMaxFixed64 = 1 + 309 + 1 + 6;
+
+/**
+ * Format v like printf("%.*f", decimals, v).
+ * @param out Destination (not NUL terminated).
+ * @param capacity Bytes available at out.
+ * @param v Value; non-finite values format as inf/-inf/nan.
+ * @param decimals Fraction digits (>= 0).
+ * @return Characters written (clamped to capacity on overflow).
+ */
+std::size_t formatFixed(char *out, std::size_t capacity, double v,
+                        int decimals);
+
+/**
+ * Format v like the default ostream float format with
+ * setprecision(significant) — printf("%.*g", significant, v).
+ * @return Characters written (clamped to capacity on overflow).
+ */
+std::size_t formatGeneral(char *out, std::size_t capacity, double v,
+                          int significant);
+
+/** Convenience wrapper returning a std::string (slow path, tests). */
+std::string toFixedString(double v, int decimals);
+
+} // namespace ps3
+
+#endif // PS3_COMMON_FAST_FORMAT_HPP

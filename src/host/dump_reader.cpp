@@ -1,58 +1,156 @@
 #include "dump_reader.hpp"
 
+#include <bit>
+#include <charconv>
+#include <cstring>
 #include <fstream>
-#include <sstream>
 
 #include "common/errors.hpp"
 #include "obs/registry.hpp"
 
 namespace ps3::host {
 
-DumpFile
-DumpFile::load(const std::string &path)
-{
-    std::ifstream in(path);
-    if (!in)
-        throw UsageError("DumpFile: cannot open " + path);
+namespace {
 
-    auto &registry = obs::Registry::global();
-    obs::Counter &metric_samples = registry.counter(
+/** Dump-reader instruments (registered once). */
+struct ReaderMetrics
+{
+    obs::Counter &samples = obs::Registry::global().counter(
         "ps3_dump_samples_loaded_total",
         "Sample records parsed from dump files");
-    obs::Counter &metric_markers = registry.counter(
+    obs::Counter &markers = obs::Registry::global().counter(
         "ps3_dump_markers_loaded_total",
         "Marker records parsed from dump files");
-    obs::Counter &metric_lines = registry.counter(
+    obs::Counter &lines = obs::Registry::global().counter(
         "ps3_dump_lines_loaded_total",
-        "Lines read while parsing dump files");
+        "Lines (text) or records (binary) read while parsing dump "
+        "files");
+};
 
-    DumpFile file;
-    std::string line;
+ReaderMetrics &
+readerMetrics()
+{
+    static ReaderMetrics metrics;
+    return metrics;
+}
+
+/** Binary v2 magic (see docs/PERFORMANCE.md for the format spec). */
+constexpr char kBinaryMagic[4] = {'P', 'S', '3', 'B'};
+
+bool
+isSpace(char c)
+{
+    return c == ' ' || c == '\t' || c == '\r' || c == '\f'
+           || c == '\v';
+}
+
+const char *
+skipSpaces(const char *p, const char *end)
+{
+    while (p < end && isSpace(*p))
+        ++p;
+    return p;
+}
+
+/**
+ * Parse one double with from_chars (which accepts inf/nan like the
+ * istream extraction it replaces). Returns nullptr on failure.
+ */
+const char *
+parseDouble(const char *p, const char *end, double &out)
+{
+    p = skipSpaces(p, end);
+    // from_chars rejects a leading '+' that strtod/istreams accept;
+    // no writer in this project emits one, but stay compatible.
+    if (p < end && *p == '+')
+        ++p;
+    const auto result = std::from_chars(p, end, out);
+    if (result.ec != std::errc{})
+        return nullptr;
+    return result.ptr;
+}
+
+/** Read the whole file; binary-safe. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        throw UsageError("DumpFile: cannot open " + path);
+    const std::streamsize size = in.tellg();
+    std::string data(static_cast<std::size_t>(size), '\0');
+    in.seekg(0);
+    in.read(data.data(), size);
+    if (!in && size != 0)
+        throw UsageError("DumpFile: cannot read " + path);
+    return data;
+}
+
+double
+readF64Le(const char *p)
+{
+    std::uint64_t bits = 0;
+    for (int i = 7; i >= 0; --i) {
+        bits = (bits << 8)
+               | static_cast<std::uint8_t>(p[static_cast<std::size_t>(i)]);
+    }
+    return std::bit_cast<double>(bits);
+}
+
+} // namespace
+
+void
+DumpFile::parseHeaderLine(const std::string &line)
+{
+    header_.push_back(line);
+    // "# key value": only sample_rate_hz is interpreted.
+    const char *p = line.data() + 1;
+    const char *end = line.data() + line.size();
+    p = skipSpaces(p, end);
+    const char *key_end = p;
+    while (key_end < end && !isSpace(*key_end))
+        ++key_end;
+    if (std::string_view(p, static_cast<std::size_t>(key_end - p))
+        == "sample_rate_hz") {
+        double rate = 0.0;
+        if (parseDouble(key_end, end, rate) != nullptr)
+            sampleRate_ = rate;
+    }
+}
+
+void
+DumpFile::parseText(const char *data, std::size_t size)
+{
+    const char *p = data;
+    const char *const end = data + size;
     std::size_t line_no = 0;
-    while (std::getline(in, line)) {
+    std::vector<double> values;
+    while (p < end) {
         ++line_no;
-        if (line.empty())
-            continue;
-        if (line[0] == '#') {
-            file.header_.push_back(line);
-            std::istringstream header(line.substr(1));
-            std::string key;
-            header >> key;
-            if (key == "sample_rate_hz")
-                header >> file.sampleRate_;
+        const char *eol = static_cast<const char *>(
+            std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+        const char *line_end = eol != nullptr ? eol : end;
+        const char *q = skipSpaces(p, line_end);
+        p = eol != nullptr ? eol + 1 : end;
+        if (q == line_end)
+            continue; // blank line
+        if (*q == '#') {
+            parseHeaderLine(std::string(q, line_end));
             continue;
         }
-        std::istringstream fields(line);
-        char kind = '\0';
-        fields >> kind;
+        const char kind = *q++;
         if (kind == 'M') {
+            q = skipSpaces(q, line_end);
             DumpMarker marker;
-            fields >> marker.marker >> marker.time;
-            if (!fields) {
+            if (q == line_end)
+                throw UsageError("DumpFile: bad marker line "
+                                 + std::to_string(line_no));
+            marker.marker = *q++;
+            if (parseDouble(q, line_end, marker.time) == nullptr) {
                 throw UsageError("DumpFile: bad marker line "
                                  + std::to_string(line_no));
             }
-            file.markers_.push_back(marker);
+            markers_.push_back(marker);
             continue;
         }
         if (kind != 'S') {
@@ -60,27 +158,138 @@ DumpFile::load(const std::string &path)
                              + std::to_string(line_no));
         }
         DumpSample sample;
-        fields >> sample.time;
+        q = parseDouble(q, line_end, sample.time);
+        if (q == nullptr) {
+            throw UsageError("DumpFile: bad sample line "
+                             + std::to_string(line_no));
+        }
         // Remaining numbers: (V I P) triples followed by the total.
-        std::vector<double> values;
-        double value;
-        while (fields >> value)
+        values.clear();
+        for (;;) {
+            double value = 0.0;
+            const char *next = parseDouble(q, line_end, value);
+            if (next == nullptr)
+                break;
             values.push_back(value);
-        if (values.empty() || values.size() % 3 != 1) {
+            q = next;
+        }
+        if (skipSpaces(q, line_end) != line_end || values.empty()
+            || values.size() % 3 != 1) {
             throw UsageError("DumpFile: bad sample line "
                              + std::to_string(line_no));
         }
         sample.totalPower = values.back();
+        const std::size_t pairs = values.size() / 3;
+        sample.voltage.reserve(pairs);
+        sample.current.reserve(pairs);
+        sample.power.reserve(pairs);
         for (std::size_t i = 0; i + 1 < values.size(); i += 3) {
             sample.voltage.push_back(values[i]);
             sample.current.push_back(values[i + 1]);
             sample.power.push_back(values[i + 2]);
         }
-        file.samples_.push_back(std::move(sample));
+        samples_.push_back(std::move(sample));
     }
-    metric_lines.inc(line_no);
-    metric_samples.inc(file.samples_.size());
-    metric_markers.inc(file.markers_.size());
+    readerMetrics().lines.inc(line_no);
+}
+
+void
+DumpFile::parseBinary(const char *data, std::size_t size)
+{
+    if (size < 8)
+        throw UsageError("DumpFile: truncated binary dump header");
+    if (data[4] != 2) {
+        throw UsageError(
+            "DumpFile: unsupported binary dump version "
+            + std::to_string(static_cast<int>(data[4])));
+    }
+    const std::size_t header_len =
+        static_cast<std::size_t>(static_cast<std::uint8_t>(data[6]))
+        | (static_cast<std::size_t>(static_cast<std::uint8_t>(data[7]))
+           << 8);
+    if (size < 8 + header_len)
+        throw UsageError("DumpFile: truncated binary dump header");
+    // The embedded header text is the text format's '#' lines.
+    const char *h = data + 8;
+    const char *const h_end = h + header_len;
+    while (h < h_end) {
+        const char *eol = static_cast<const char *>(std::memchr(
+            h, '\n', static_cast<std::size_t>(h_end - h)));
+        const char *line_end = eol != nullptr ? eol : h_end;
+        if (line_end != h)
+            parseHeaderLine(std::string(h, line_end));
+        h = eol != nullptr ? eol + 1 : h_end;
+    }
+
+    const char *p = data + 8 + header_len;
+    const char *const end = data + size;
+    std::size_t record_no = 0;
+    auto truncated = [&]() {
+        return UsageError("DumpFile: truncated binary record "
+                          + std::to_string(record_no));
+    };
+    while (p < end) {
+        ++record_no;
+        const char kind = *p++;
+        if (kind == 'M') {
+            if (end - p < 9)
+                throw truncated();
+            DumpMarker marker;
+            marker.marker = *p++;
+            marker.time = readF64Le(p);
+            p += 8;
+            markers_.push_back(marker);
+            continue;
+        }
+        if (kind != 'S') {
+            throw UsageError("DumpFile: unknown binary record kind "
+                             + std::to_string(record_no));
+        }
+        if (end - p < 9)
+            throw truncated();
+        const auto mask = static_cast<std::uint8_t>(*p++);
+        DumpSample sample;
+        sample.time = readF64Le(p);
+        p += 8;
+        const int pairs = std::popcount(mask);
+        if (end - p < pairs * 16)
+            throw truncated();
+        sample.voltage.reserve(static_cast<std::size_t>(pairs));
+        sample.current.reserve(static_cast<std::size_t>(pairs));
+        sample.power.reserve(static_cast<std::size_t>(pairs));
+        double total = 0.0;
+        for (unsigned pair = 0; pair < 8; ++pair) {
+            if (!(mask & (1u << pair)))
+                continue;
+            const double voltage = readF64Le(p);
+            const double current = readF64Le(p + 8);
+            p += 16;
+            // P and the total are derived exactly as the writers
+            // compute them, so the f64 round trip is lossless.
+            const double power = current * voltage;
+            total += power;
+            sample.voltage.push_back(voltage);
+            sample.current.push_back(current);
+            sample.power.push_back(power);
+        }
+        sample.totalPower = total;
+        samples_.push_back(std::move(sample));
+    }
+    readerMetrics().lines.inc(record_no);
+}
+
+DumpFile
+DumpFile::load(const std::string &path)
+{
+    const std::string data = slurp(path);
+    DumpFile file;
+    if (data.size() >= 4
+        && std::memcmp(data.data(), kBinaryMagic, 4) == 0)
+        file.parseBinary(data.data(), data.size());
+    else
+        file.parseText(data.data(), data.size());
+    readerMetrics().samples.inc(file.samples_.size());
+    readerMetrics().markers.inc(file.markers_.size());
     return file;
 }
 

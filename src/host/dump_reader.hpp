@@ -2,12 +2,20 @@
  * @file
  * Reader for PowerSensor3 continuous-mode dump files.
  *
- * The dump format (written by PowerSensor::dump(), paper Sec. III-C)
- * is line oriented:
+ * Two formats (both written by PowerSensor::dump(), paper Sec.
+ * III-C) are auto-detected by content. The text format is line
+ * oriented:
  *
  *   # comment / header lines
  *   S <time_s> { <V> <I> <P> per present pair } <total_W>
  *   M <char> <time_s>
+ *
+ * and is parsed with a std::from_chars block scanner over the whole
+ * file (no per-line istringstream). Files starting with the "PS3B"
+ * magic use the binary v2 format (see docs/PERFORMANCE.md for the
+ * byte-level spec): the header text is embedded verbatim and records
+ * carry full little-endian f64 values, so the round trip through
+ * DumpWriter is lossless.
  *
  * The reader parses a file back into sample and marker records, so
  * post-processing tools (and round-trip tests) can work on recorded
@@ -74,6 +82,10 @@ class DumpFile
     double energyBetweenMarkers(char begin, char end) const;
 
   private:
+    void parseHeaderLine(const std::string &line);
+    void parseText(const char *data, std::size_t size);
+    void parseBinary(const char *data, std::size_t size);
+
     std::vector<DumpSample> samples_;
     std::vector<DumpMarker> markers_;
     std::vector<std::string> header_;

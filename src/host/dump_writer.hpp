@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Asynchronous continuous-dump pipeline (paper Sec. III-C).
+ *
+ * PowerSensor's reader thread must keep up with the 20 kHz stream;
+ * formatting and file I/O for the continuous dump used to run inline
+ * in that thread. DumpWriter moves them off-thread: the reader pushes
+ * one fixed-size POD DumpRecord per sample into a bounded SPSC ring
+ * (a struct copy — no formatting, no I/O, no atomic RMWs) and a
+ * dedicated writer thread drains the ring in batches, formats the
+ * records into a large buffer and writes them out.
+ *
+ * Two on-disk formats are supported (see docs/PERFORMANCE.md for the
+ * byte-level spec and DumpFile::load for the auto-detecting reader):
+ *
+ *  - Text (v1): the line format of the original synchronous writer —
+ *    "S time V I P ... total" / "M char time" — produced with the
+ *    std::to_chars fast formatter instead of snprintf.
+ *  - Binary (v2): "PS3B" magic, the same header text embedded, then
+ *    fixed-width little-endian records with full f64 precision
+ *    (lossless round trip, roughly half the size of text).
+ *
+ * Backpressure: Overflow::Block (default) is lossless — the reader
+ * waits if the writer falls a whole ring behind; Overflow::DropOldest
+ * never blocks the reader and counts reclaimed records in
+ * ps3_dump_records_dropped_total.
+ *
+ * close() (also run by the destructor) drains every queued record,
+ * flushes, and joins the writer thread — dump files never lose their
+ * tail on an orderly stop.
+ */
+
+#ifndef PS3_HOST_DUMP_WRITER_HPP
+#define PS3_HOST_DUMP_WRITER_HPP
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "host/state.hpp"
+#include "obs/metrics.hpp"
+#include "transport/spsc_pod_ring.hpp"
+
+namespace ps3::host {
+
+/** On-disk dump format selector. */
+enum class DumpFormat
+{
+    Auto,   ///< by filename: "*.ps3b" is Binary, anything else Text
+    Text,   ///< line-oriented v1 format (human readable)
+    Binary  ///< PS3B v2 format (compact, lossless f64)
+};
+
+/** Backpressure policy of the record ring (Block / DropOldest). */
+using DumpOverflow = transport::RingOverflow;
+
+/**
+ * One queued dump sample: everything the writer thread needs to emit
+ * a marker and/or sample record, as plain data.
+ */
+struct DumpRecord
+{
+    /** Device time (s). */
+    double time = 0.0;
+    /** Voltage per pair (V); only present pairs are emitted. */
+    std::array<double, kMaxPairs> voltage{};
+    /** Current per pair (A). */
+    std::array<double, kMaxPairs> current{};
+    /** Bit i set when pair i carries valid data. */
+    std::uint8_t presentMask = 0;
+    /** True when the sample resolved a marker. */
+    bool marker = false;
+    /** Marker character (valid when marker is true). */
+    char markerChar = '\0';
+};
+
+/** Asynchronous dump-file writer: SPSC record ring + writer thread. */
+class DumpWriter
+{
+  public:
+    /** Record ring used between reader and writer threads. */
+    using Ring = transport::SpscPodRing<DumpRecord>;
+
+    /** Default ring capacity (records); ~0.8 s of 20 kHz stream. */
+    static constexpr std::size_t kDefaultRingCapacity = 1u << 14;
+
+    /** Construction options. */
+    struct Options
+    {
+        /** On-disk format (Auto resolves from the filename). */
+        DumpFormat format = DumpFormat::Auto;
+        /** Backpressure policy when the ring is full. */
+        DumpOverflow overflow = DumpOverflow::Block;
+        /** Ring capacity in records (rounded up to a power of 2). */
+        std::size_t ringCapacity = kDefaultRingCapacity;
+    };
+
+    /**
+     * Open the dump file, write nothing yet (the header goes out
+     * first from the writer thread) and start the writer thread.
+     * @param path Output file.
+     * @param header_text Header ('#'-prefixed lines, '\n'-separated,
+     *        trailing newline) emitted verbatim in text mode and
+     *        embedded in the binary header block.
+     * @param options Format / backpressure / capacity knobs.
+     * @throws UsageError when the file cannot be opened.
+     */
+    DumpWriter(const std::string &path, std::string header_text,
+               Options options);
+
+    /** Same with default Options (Auto format, Block, default ring). */
+    DumpWriter(const std::string &path, std::string header_text);
+
+    /** Drains, flushes and joins (close()). */
+    ~DumpWriter();
+
+    DumpWriter(const DumpWriter &) = delete;
+    DumpWriter &operator=(const DumpWriter &) = delete;
+
+    /**
+     * Queue one record (producer thread only). One struct copy on
+     * the fast path; see Options::overflow for the full-ring case.
+     */
+    void
+    push(const DumpRecord &record)
+    {
+        ring_.push(record);
+    }
+
+    /**
+     * Drain every queued record, flush the file and join the writer
+     * thread. Idempotent; also called by the destructor. After
+     * close() the file is complete on disk.
+     */
+    void close();
+
+    /** Resolved on-disk format (never Auto). */
+    DumpFormat format() const { return format_; }
+
+    /** Records dropped by the DropOldest policy so far. */
+    std::uint64_t recordsDropped() const { return ring_.dropped(); }
+
+    /** Records the writer thread has written out so far. */
+    std::uint64_t
+    recordsWritten() const
+    {
+        return recordsWritten_.load(std::memory_order_relaxed);
+    }
+
+    /** Bytes written to the file so far (header included). */
+    std::uint64_t
+    bytesWritten() const
+    {
+        return bytesWritten_.load(std::memory_order_relaxed);
+    }
+
+    /** Resolve DumpFormat::Auto against a filename. */
+    static DumpFormat resolveFormat(const std::string &path,
+                                    DumpFormat requested);
+
+  private:
+    /** Records drained (and formatted) per writer-thread batch. */
+    static constexpr std::size_t kDrainBatch = 4096;
+
+    /** Output buffer flushes to the file beyond this size. */
+    static constexpr std::size_t kWriteBufferSize = 1u << 18;
+
+    void writerLoop();
+    void writeHeader();
+    void formatBatch(const DumpRecord *records, std::size_t count);
+    void appendText(const DumpRecord &record);
+    void appendBinary(const DumpRecord &record);
+    void ensureRoom(std::size_t bytes);
+    void flushBuffer();
+    void publishBatchMetrics();
+
+    const DumpFormat format_;
+    const std::string headerText_;
+    std::ofstream out_;
+    Ring ring_;
+
+    /** Writer-thread scratch: batch landing zone + output buffer. */
+    std::vector<DumpRecord> batch_;
+    std::vector<char> buffer_;
+    std::size_t bufferLen_ = 0;
+
+    std::atomic<std::uint64_t> recordsWritten_{0};
+    std::atomic<std::uint64_t> bytesWritten_{0};
+
+    /** Batched metric publication state (writer thread only). */
+    std::uint64_t publishedBytes_ = 0;
+    std::uint64_t publishedDropped_ = 0;
+    std::uint64_t publishedRecords_ = 0;
+
+    obs::Counter &metricBytes_;
+    obs::Counter &metricRecords_;
+    obs::Counter &metricDropped_;
+    obs::Counter &metricBatches_;
+    obs::Gauge &metricQueueDepth_;
+
+    std::mutex closeMutex_;
+    std::thread writerThread_;
+};
+
+} // namespace ps3::host
+
+#endif // PS3_HOST_DUMP_WRITER_HPP

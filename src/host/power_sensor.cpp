@@ -1,9 +1,9 @@
 #include "power_sensor.hpp"
 
 #include <chrono>
-#include <cstdio>
 
 #include "analog/sensor_models.hpp"
+#include "common/fast_format.hpp"
 #include "common/errors.hpp"
 #include "common/logging.hpp"
 #include "obs/registry.hpp"
@@ -39,9 +39,6 @@ struct ReaderMetrics
     obs::Counter &chunks = obs::Registry::global().counter(
         "ps3_reader_chunks_total",
         "Non-empty reads performed by the reader thread");
-    obs::Counter &dumpBytes = obs::Registry::global().counter(
-        "ps3_reader_dump_bytes_total",
-        "Bytes written to continuous-mode dump files");
     obs::Counter &unresolvedMarkers = obs::Registry::global().counter(
         "ps3_reader_unresolved_markers_total",
         "Marker flags seen with no queued marker character");
@@ -105,9 +102,12 @@ PowerSensor::~PowerSensor()
     } catch (...) {
         // Best effort: the device may already be gone.
     }
+    // The reader thread is joined: no more pushes. Drain what it
+    // queued so the dump file keeps its tail.
     std::lock_guard<std::mutex> lock(dumpMutex_);
-    if (dumpFile_.is_open())
-        dumpFile_.close();
+    activeDump_.store(nullptr, std::memory_order_release);
+    if (dumpWriter_)
+        dumpWriter_->close();
 }
 
 void
@@ -277,10 +277,18 @@ PowerSensor::onFrameSet(const FrameSet &set)
     // their callers once every counted sample has been delivered,
     // otherwise a caller could unregister its listener while the
     // final sample is still in flight.
-    {
-        std::lock_guard<std::mutex> lock(dumpMutex_);
-        if (dumpFile_.is_open())
-            writeDumpSample(sample);
+    //
+    // Dump fast path: a relaxed null check when no dump is active;
+    // with one active, a busy-flag/fence handshake (paired with the
+    // fence in dump()) pins the writer alive across the push without
+    // the reader ever taking dumpMutex_.
+    if (activeDump_.load(std::memory_order_relaxed) != nullptr) {
+        dumpBusy_.store(true, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (DumpWriter *writer =
+                activeDump_.load(std::memory_order_relaxed))
+            pushDumpRecord(sample, *writer);
+        dumpBusy_.store(false, std::memory_order_release);
     }
     {
         std::lock_guard<std::mutex> lock(listenerMutex_);
@@ -347,75 +355,75 @@ PowerSensor::mark(char marker)
 }
 
 void
-PowerSensor::dump(const std::string &filename)
+PowerSensor::dump(const std::string &filename, DumpFormat format,
+                  DumpOverflow overflow)
 {
     std::lock_guard<std::mutex> lock(dumpMutex_);
-    if (dumpFile_.is_open())
-        dumpFile_.close();
-    if (filename.empty())
-        return;
-    dumpFile_.open(filename, std::ios::trunc);
-    if (!dumpFile_)
-        throw UsageError("PowerSensor: cannot open dump file "
-                         + filename);
-    writeDumpHeader();
+    std::unique_ptr<DumpWriter> next;
+    if (!filename.empty()) {
+        DumpWriter::Options options;
+        options.format = format;
+        options.overflow = overflow;
+        next = std::make_unique<DumpWriter>(
+            filename, dumpHeaderText(), options);
+    }
+    // Publish the new writer (or none), then wait out a reader that
+    // may have grabbed the old pointer just before the swap: the
+    // seq_cst fences on both sides guarantee the reader either sees
+    // the new pointer or the busy flag covers its in-flight push.
+    std::unique_ptr<DumpWriter> old = std::move(dumpWriter_);
+    dumpWriter_ = std::move(next);
+    activeDump_.store(dumpWriter_.get(), std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    while (dumpBusy_.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    if (old)
+        old->close(); // drains every queued record before returning
 }
 
 bool
 PowerSensor::dumping() const
 {
-    std::lock_guard<std::mutex> lock(dumpMutex_);
-    return dumpFile_.is_open();
+    return activeDump_.load(std::memory_order_relaxed) != nullptr;
 }
 
-void
-PowerSensor::writeDumpHeader()
+std::string
+PowerSensor::dumpHeaderText() const
 {
-    const auto start = dumpFile_.tellp();
-    dumpFile_ << "# PowerSensor3 continuous dump\n";
-    dumpFile_ << "# sample_rate_hz " << firmware::kSampleRateHz << '\n';
-    dumpFile_ << "# columns: S time_s";
-    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
-        if (config_[pair * 2].inUse) {
-            dumpFile_ << " V" << pair << " I" << pair << " P" << pair;
+    char rate[32];
+    const std::size_t rate_len = formatGeneral(
+        rate, sizeof(rate), firmware::kSampleRateHz, 6);
+    std::string header = "# PowerSensor3 continuous dump\n";
+    header += "# sample_rate_hz ";
+    header.append(rate, rate_len);
+    header += "\n# columns: S time_s";
+    {
+        std::lock_guard<std::mutex> lock(configMutex_);
+        for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+            if (config_[pair * 2].inUse) {
+                const std::string index = std::to_string(pair);
+                header += " V" + index + " I" + index + " P" + index;
+            }
         }
     }
-    dumpFile_ << " total_W\n";
-    dumpFile_ << "# markers: M char time_s\n";
-    readerMetrics().dumpBytes.inc(
-        static_cast<std::uint64_t>(dumpFile_.tellp() - start));
+    header += " total_W\n# markers: M char time_s\n";
+    return header;
 }
 
 void
-PowerSensor::writeDumpSample(const Sample &sample)
+PowerSensor::pushDumpRecord(const Sample &sample, DumpWriter &writer)
 {
-    if (sample.marker) {
-        char line[64];
-        const int m = std::snprintf(line, sizeof(line), "M %c %.6f\n",
-                                    sample.markerChar, sample.time);
-        dumpFile_ << line;
-        readerMetrics().dumpBytes.inc(
-            static_cast<std::uint64_t>(m));
-    }
-    char buffer[320];
-    int n = std::snprintf(buffer, sizeof(buffer), "S %.6f",
-                          sample.time);
-    double total = 0.0;
+    DumpRecord record;
+    record.time = sample.time;
+    record.voltage = sample.voltage;
+    record.current = sample.current;
     for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
-        if (!sample.present[pair])
-            continue;
-        const double p = sample.current[pair] * sample.voltage[pair];
-        total += p;
-        n += std::snprintf(buffer + n,
-                           sizeof(buffer) - static_cast<size_t>(n),
-                           " %.4f %.4f %.4f", sample.voltage[pair],
-                           sample.current[pair], p);
+        if (sample.present[pair])
+            record.presentMask |= static_cast<std::uint8_t>(1u << pair);
     }
-    n += std::snprintf(buffer + n,
-                       sizeof(buffer) - static_cast<size_t>(n),
-                       " %.4f\n", total);
-    dumpFile_ << buffer;
-    readerMetrics().dumpBytes.inc(static_cast<std::uint64_t>(n));
+    record.marker = sample.marker;
+    record.markerChar = sample.markerChar;
+    writer.push(record);
 }
 
 firmware::DeviceConfig

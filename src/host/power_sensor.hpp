@@ -8,7 +8,9 @@
  *
  *  - converts each 20 kHz frame set to calibrated volts/amps,
  *  - integrates cumulative energy per sensor pair,
- *  - appends to the continuous-mode dump file when enabled,
+ *  - queues a record for the asynchronous dump writer when enabled
+ *    (one struct copy; formatting and file I/O happen on the
+ *    DumpWriter thread, see dump_writer.hpp),
  *  - resolves marker flags against the queued marker characters,
  *  - fans samples out to registered listeners.
  *
@@ -20,11 +22,11 @@
 #ifndef PS3_HOST_POWER_SENSOR_HPP
 #define PS3_HOST_POWER_SENSOR_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <limits>
-#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
@@ -33,6 +35,7 @@
 #include <thread>
 
 #include "firmware/protocol.hpp"
+#include "host/dump_writer.hpp"
 #include "host/state.hpp"
 #include "host/stream_parser.hpp"
 #include "transport/char_device.hpp"
@@ -75,10 +78,19 @@ class PowerSensor
     void mark(char marker);
 
     /**
-     * Continuous mode: stream all samples to a file at 20 kHz.
-     * @param filename Output path; empty string stops dumping.
+     * Continuous mode: stream all samples to a file at 20 kHz
+     * through the asynchronous dump pipeline.
+     * @param filename Output path; empty string stops dumping (the
+     *        queued tail is drained before the file closes).
+     * @param format Text, Binary, or Auto ("*.ps3b" means binary).
+     * @param overflow Backpressure when the record ring fills:
+     *        Block (lossless, default) or DropOldest (never stalls
+     *        the reader; drops are counted in
+     *        ps3_dump_records_dropped_total).
      */
-    void dump(const std::string &filename);
+    void dump(const std::string &filename,
+              DumpFormat format = DumpFormat::Auto,
+              DumpOverflow overflow = DumpOverflow::Block);
 
     /** True while a dump file is open. */
     bool dumping() const;
@@ -165,8 +177,18 @@ class PowerSensor
     std::map<std::uint64_t, SampleCallback> listeners_;
     std::uint64_t nextListenerToken_ = 1;
 
+    /**
+     * Asynchronous dump pipeline. dumpMutex_ serializes dump()
+     * callers; the reader thread never takes it — it publishes a
+     * busy flag and re-reads activeDump_ behind a seq_cst fence
+     * (store-buffer/Dekker pairing with the swap in dump()), so the
+     * per-sample cost with no dump active is a single relaxed load
+     * and an active dump costs one fence plus the record push.
+     */
     mutable std::mutex dumpMutex_;
-    std::ofstream dumpFile_;
+    std::unique_ptr<DumpWriter> dumpWriter_;
+    std::atomic<DumpWriter *> activeDump_{nullptr};
+    std::atomic<bool> dumpBusy_{false};
 
     StreamParser parser_;
     std::thread readerThread_;
@@ -182,8 +204,8 @@ class PowerSensor
     void startReader();
     void readerLoop();
     void onFrameSet(const FrameSet &set);
-    void writeDumpHeader();
-    void writeDumpSample(const Sample &sample);
+    std::string dumpHeaderText() const;
+    void pushDumpRecord(const Sample &sample, DumpWriter &writer);
 
     /** Read exactly n control bytes (streaming must be paused). */
     std::vector<std::uint8_t> readControl(std::size_t n,

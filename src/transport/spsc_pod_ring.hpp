@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Lock-free single-producer/single-consumer ring of fixed-size POD
+ * records.
+ *
+ * Generalises the publication/wake contract of SpscByteRing (see
+ * spsc_ring.hpp and docs/PERFORMANCE.md) from bytes to trivially
+ * copyable records: free-running 64-bit indices, release-store
+ * publication of tail_, acquire-load consumption, and the seq_cst
+ * fence + waiter-flag (Dekker) sleep/wake handshake so an idle ring
+ * costs no CPU and a busy one never syscalls.
+ *
+ * On top of the byte ring's contract it adds a bounded-loss mode:
+ *
+ *  - Overflow::Block (default) — push() waits for space; the ring is
+ *    lossless until close().
+ *  - Overflow::DropOldest — push() never blocks; when the ring is
+ *    full the producer reclaims the oldest unconsumed slot with a
+ *    CAS on head_ (the one place head_ is written by both sides) and
+ *    counts it in dropped(). The consumer's drain() detects the
+ *    reclaim when its commit CAS fails and discards the overwritten
+ *    prefix of its copy, so a torn read of a reclaimed slot is never
+ *    observed.
+ *
+ * Thread contract: exactly one producer thread calls push(), exactly
+ * one consumer thread calls drain(); close() may be called from any
+ * thread. Records must be trivially copyable (they are published by
+ * plain assignment before the tail_ release store).
+ */
+
+#ifndef PS3_TRANSPORT_SPSC_POD_RING_HPP
+#define PS3_TRANSPORT_SPSC_POD_RING_HPP
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+
+namespace ps3::transport {
+
+/** What SpscPodRing::push() does when the ring is full. */
+enum class RingOverflow
+{
+    Block,     ///< wait for the consumer (lossless)
+    DropOldest ///< reclaim the oldest record, count it dropped
+};
+
+/** Bounded lock-free SPSC record FIFO with a lossy overflow mode. */
+template <typename T>
+class SpscPodRing
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SpscPodRing records must be trivially copyable");
+
+  public:
+    /** Overflow policy (template-independent alias). */
+    using Overflow = RingOverflow;
+
+    /**
+     * @param capacity Ring size in records; rounded up to the next
+     *        power of two (minimum 16).
+     * @param policy Behaviour when the ring is full.
+     */
+    explicit SpscPodRing(std::size_t capacity,
+                         Overflow policy = Overflow::Block)
+        : capacity_(roundUpPowerOfTwo(capacity)),
+          mask_(capacity_ - 1),
+          policy_(policy),
+          slots_(std::make_unique<T[]>(capacity_))
+    {
+    }
+
+    SpscPodRing(const SpscPodRing &) = delete;
+    SpscPodRing &operator=(const SpscPodRing &) = delete;
+
+    // ----- producer side -------------------------------------------------
+
+    /**
+     * Append one record. Block mode waits while the ring is full;
+     * DropOldest mode reclaims the oldest record instead.
+     * @return false only when the ring is closed (record not stored).
+     */
+    bool
+    push(const T &record)
+    {
+        if (closed_.load(std::memory_order_acquire))
+            return false;
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_relaxed);
+        std::uint64_t head = head_.load(std::memory_order_acquire);
+        while (tail - head >= capacity_) {
+            if (policy_ == Overflow::DropOldest) {
+                // Reclaim the oldest slot. On CAS failure head was
+                // reloaded: either the consumer freed space or a
+                // retry reclaims the (new) oldest slot.
+                if (head_.compare_exchange_weak(
+                        head, head + 1, std::memory_order_acq_rel,
+                        std::memory_order_acquire)) {
+                    dropped_.fetch_add(1, std::memory_order_relaxed);
+                    head += 1;
+                }
+                continue;
+            }
+            if (!waitForSpace(tail))
+                return false; // closed while waiting
+            head = head_.load(std::memory_order_acquire);
+        }
+        slots_[static_cast<std::size_t>(tail) & mask_] = record;
+        // Publish: pairs with the consumer's acquire load of tail_.
+        tail_.store(tail + 1, std::memory_order_release);
+        // Store-buffer fence: either we see the consumer's waiter
+        // flag, or the consumer's parked wait sees the new tail.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (consumerWaiting_.load(std::memory_order_relaxed))
+            wake();
+        return true;
+    }
+
+    // ----- consumer side -------------------------------------------------
+
+    /**
+     * Copy out up to max_records records in FIFO order, waiting up
+     * to timeout_seconds for the first one.
+     * @return Records copied; 0 on timeout or when the ring is
+     *         closed and fully drained (check finished()).
+     */
+    std::size_t
+    drain(T *out, std::size_t max_records, double timeout_seconds)
+    {
+        if (max_records == 0)
+            return 0;
+        for (;;) {
+            const std::uint64_t head =
+                head_.load(std::memory_order_acquire);
+            const std::uint64_t tail =
+                tail_.load(std::memory_order_acquire);
+            if (tail == head) {
+                if (closed_.load(std::memory_order_acquire)) {
+                    // The producer stopped before close(): a final
+                    // tail re-read decides between drained and more
+                    // data published concurrently with close().
+                    if (tail_.load(std::memory_order_acquire)
+                        == head)
+                        return 0;
+                    continue;
+                }
+                if (!waitForData(head, timeout_seconds))
+                    return 0;
+                continue;
+            }
+            std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(tail - head, max_records));
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] =
+                    slots_[static_cast<std::size_t>(head + i) & mask_];
+            // Commit. In DropOldest mode the producer may have
+            // reclaimed (and overwritten) a prefix of the copied
+            // range while we copied; the CAS exposes how far it got
+            // and the overwritten — possibly torn — copies are
+            // discarded, never observed.
+            std::uint64_t expected = head;
+            while (!head_.compare_exchange_weak(
+                expected, head + n, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+                if (expected >= head + n) {
+                    n = 0; // everything we copied was reclaimed
+                    break;
+                }
+            }
+            if (n == 0)
+                continue;
+            const std::size_t skip =
+                static_cast<std::size_t>(expected - head);
+            if (skip != 0) {
+                n -= skip;
+                std::memmove(out, out + skip, n * sizeof(T));
+            }
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            if (producerWaiting_.load(std::memory_order_relaxed))
+                wake();
+            return n;
+        }
+    }
+
+    // ----- any thread ----------------------------------------------------
+
+    /**
+     * End-of-stream: wake all waiters; subsequent push() calls
+     * return false, drain() keeps returning buffered records and
+     * then 0. A push racing close() may or may not land — callers
+     * needing losslessness must stop the producer first.
+     */
+    void
+    close()
+    {
+        closed_.store(true, std::memory_order_release);
+        std::lock_guard<std::mutex> lock(waitMutex_);
+        waitCv_.notify_all();
+    }
+
+    /** True after close(). */
+    bool
+    closed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+    /** True when closed and every buffered record was drained. */
+    bool
+    finished() const
+    {
+        return closed() && size() == 0;
+    }
+
+    /** Records currently buffered. */
+    std::size_t
+    size() const
+    {
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_acquire);
+        const std::uint64_t head =
+            head_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(tail - head);
+    }
+
+    /** Usable capacity in records. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Records reclaimed by DropOldest overflow since construction. */
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** Bounded spin before parking on the condition variable. */
+    static constexpr unsigned kSpinLimit = 256;
+
+    static std::size_t
+    roundUpPowerOfTwo(std::size_t v)
+    {
+        constexpr std::size_t kMinCapacity = 16;
+        return std::bit_ceil(v < kMinCapacity ? kMinCapacity : v);
+    }
+
+    void
+    wake()
+    {
+        // Taking the mutex orders the notify after a parked waiter's
+        // predicate check, so a wakeup cannot slip between check and
+        // park.
+        std::lock_guard<std::mutex> lock(waitMutex_);
+        waitCv_.notify_all();
+    }
+
+    /** Consumer: wait for tail to move past head (or close). */
+    bool
+    waitForData(std::uint64_t head, double timeout_seconds)
+    {
+        auto pred = [&] {
+            return tail_.load(std::memory_order_acquire) != head
+                   || closed_.load(std::memory_order_acquire);
+        };
+        return waitOn(pred, consumerWaiting_, timeout_seconds)
+               && tail_.load(std::memory_order_acquire) != head;
+    }
+
+    /** Producer: wait for free space (or close). Block mode only. */
+    bool
+    waitForSpace(std::uint64_t tail)
+    {
+        auto pred = [&] {
+            return tail - head_.load(std::memory_order_acquire)
+                       < capacity_
+                   || closed_.load(std::memory_order_acquire);
+        };
+        while (!closed_.load(std::memory_order_acquire)) {
+            if (waitOn(pred, producerWaiting_, 1.0)
+                && tail - head_.load(std::memory_order_acquire)
+                       < capacity_)
+                return true;
+        }
+        return false;
+    }
+
+    /** Spin, then park behind the waiter-flag handshake. */
+    template <typename Pred>
+    bool
+    waitOn(Pred pred, std::atomic<bool> &flag,
+           double timeout_seconds)
+    {
+        for (unsigned i = 0; i < kSpinLimit; ++i) {
+            if (pred())
+                return true;
+            if ((i & 15) == 15)
+                std::this_thread::yield();
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now()
+            + std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(timeout_seconds));
+        std::unique_lock<std::mutex> lock(waitMutex_);
+        flag.store(true, std::memory_order_relaxed);
+        // Pairs with the fence after the other side's index store:
+        // at least one of (our predicate check, their flag check)
+        // sees the other's store — no lost wakeups.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const bool ok = waitCv_.wait_until(lock, deadline, pred);
+        flag.store(false, std::memory_order_relaxed);
+        return ok;
+    }
+
+    const std::size_t capacity_;
+    const std::size_t mask_;
+    const Overflow policy_;
+    std::unique_ptr<T[]> slots_;
+
+    /**
+     * Free-running positions, aligned apart to avoid false sharing.
+     * tail_ is producer-written; head_ is consumer-written, plus
+     * producer CASes in DropOldest overflow.
+     */
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+
+    alignas(64) std::atomic<bool> closed_{false};
+    std::atomic<std::uint64_t> dropped_{0};
+
+    std::mutex waitMutex_;
+    std::condition_variable waitCv_;
+    std::atomic<bool> consumerWaiting_{false};
+    std::atomic<bool> producerWaiting_{false};
+};
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_SPSC_POD_RING_HPP

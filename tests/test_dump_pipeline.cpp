@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Tests for the asynchronous dump pipeline: the to_chars fast
+ * formatter, the SPSC POD record ring (ordering, backpressure
+ * policies, shutdown drain), DumpWriter round trips in both on-disk
+ * formats (text v1 and binary v2, auto-detected by DumpFile::load),
+ * and the PowerSensor-level binary dump path.
+ */
+
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/csv_writer.hpp"
+#include "common/errors.hpp"
+#include "common/fast_format.hpp"
+#include "host/dump_reader.hpp"
+#include "host/dump_writer.hpp"
+#include "host/sim_setup.hpp"
+#include "transport/spsc_pod_ring.hpp"
+
+namespace ps3::host {
+namespace {
+
+std::string
+uniquePath(const std::string &tag, const std::string &ext)
+{
+    return "/tmp/ps3_dump_pipeline." + tag + "."
+           + std::to_string(static_cast<long>(::getpid())) + ext;
+}
+
+// ----- fast formatter --------------------------------------------------
+
+TEST(FastFormat, FixedMatchesSnprintf)
+{
+    const double cases[] = {0.0,       -0.0,   1.0,      -1.0,
+                            0.5,       123.456, -123.456, 1e-7,
+                            12345.6789, 1e9,    -2.5e-4,  999.99995,
+                            50e-6,      0.123456789};
+    for (double v : cases) {
+        for (int decimals : {0, 1, 4, 6}) {
+            char expected[128];
+            std::snprintf(expected, sizeof(expected), "%.*f",
+                          decimals, v);
+            char actual[kMaxFixed64];
+            const std::size_t n =
+                formatFixed(actual, sizeof(actual), v, decimals);
+            EXPECT_EQ(std::string(actual, n), expected)
+                << "v=" << v << " decimals=" << decimals;
+        }
+    }
+}
+
+TEST(FastFormat, FixedSweepMatchesSnprintf)
+{
+    // Dense sweep across the magnitudes the dump writer emits.
+    for (int i = -2000; i < 2000; ++i) {
+        const double v = i * 0.0123;
+        char expected[64];
+        std::snprintf(expected, sizeof(expected), "%.4f", v);
+        char actual[kMaxFixed64];
+        const std::size_t n =
+            formatFixed(actual, sizeof(actual), v, 4);
+        ASSERT_EQ(std::string(actual, n), expected) << v;
+    }
+}
+
+TEST(FastFormat, GeneralMatchesSnprintf)
+{
+    const double cases[] = {0.0,    1.0,    123.456, 1e7,
+                            1e-5,   -42.25, 0.001,   12345678.9,
+                            2.5e-8, 1234567.0};
+    for (double v : cases) {
+        for (int digits : {3, 6, 9}) {
+            char expected[128];
+            std::snprintf(expected, sizeof(expected), "%.*g", digits,
+                          v);
+            char actual[kMaxFixed64];
+            const std::size_t n =
+                formatGeneral(actual, sizeof(actual), v, digits);
+            EXPECT_EQ(std::string(actual, n), expected)
+                << "v=" << v << " digits=" << digits;
+        }
+    }
+}
+
+TEST(FastFormat, NonFiniteSpellingsArePinned)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(toFixedString(inf, 4), "inf");
+    EXPECT_EQ(toFixedString(-inf, 4), "-inf");
+    EXPECT_EQ(toFixedString(nan, 4), "nan");
+    EXPECT_EQ(toFixedString(-std::fabs(nan), 4), "-nan");
+}
+
+TEST(FastFormat, TruncatesAtCapacityWithoutOverflow)
+{
+    char tiny[4];
+    const std::size_t n = formatFixed(tiny, sizeof(tiny),
+                                      123456.789, 4);
+    EXPECT_LE(n, sizeof(tiny));
+}
+
+TEST(FastFormat, CsvRowMatchesOstreamPrecision)
+{
+    // CsvWriter::row switched from ostringstream to the fast
+    // formatter; the emitted text must not change.
+    const std::vector<double> values = {0.0,   1.5,      123.456789,
+                                        1e7,   -2.5e-8,  42.0};
+    std::ostringstream fast;
+    CsvWriter csv(fast);
+    csv.row(values);
+
+    std::ostringstream legacy;
+    legacy << std::setprecision(6);
+    bool first = true;
+    for (double v : values) {
+        if (!first)
+            legacy << ',';
+        legacy << v;
+        first = false;
+    }
+    legacy << '\n';
+    EXPECT_EQ(fast.str(), legacy.str());
+    EXPECT_EQ(csv.rowCount(), 1u);
+}
+
+// ----- SPSC POD ring ---------------------------------------------------
+
+struct SeqRecord
+{
+    std::uint64_t seq;
+    double payload;
+};
+
+TEST(SpscPodRing, FifoOrderSingleThread)
+{
+    transport::SpscPodRing<SeqRecord> ring(64);
+    for (std::uint64_t i = 0; i < 50; ++i)
+        ASSERT_TRUE(ring.push({i, i * 0.5}));
+    EXPECT_EQ(ring.size(), 50u);
+    SeqRecord out[64];
+    const std::size_t n = ring.drain(out, 64, 0.0);
+    ASSERT_EQ(n, 50u);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i].seq, i);
+        EXPECT_DOUBLE_EQ(out[i].payload, i * 0.5);
+    }
+}
+
+TEST(SpscPodRing, BlockModeIsLosslessAcrossThreads)
+{
+    transport::SpscPodRing<SeqRecord> ring(16);
+    constexpr std::uint64_t kCount = 100000;
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kCount; ++i)
+            ASSERT_TRUE(ring.push({i, 0.0}));
+        ring.close();
+    });
+    std::uint64_t expect = 0;
+    SeqRecord out[32];
+    for (;;) {
+        const std::size_t n = ring.drain(out, 32, 1.0);
+        if (n == 0) {
+            if (ring.finished())
+                break;
+            continue;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(out[i].seq, expect++);
+    }
+    producer.join();
+    EXPECT_EQ(expect, kCount);
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SpscPodRing, DropOldestKeepsNewestRecords)
+{
+    transport::SpscPodRing<SeqRecord> ring(
+        16, transport::RingOverflow::DropOldest);
+    const std::size_t cap = ring.capacity();
+    const std::uint64_t total = cap + 40;
+    // No consumer: the first 40 records must be reclaimed.
+    for (std::uint64_t i = 0; i < total; ++i)
+        ASSERT_TRUE(ring.push({i, 0.0}));
+    EXPECT_EQ(ring.dropped(), 40u);
+    EXPECT_EQ(ring.size(), cap);
+    std::vector<SeqRecord> out(cap);
+    const std::size_t n = ring.drain(out.data(), cap, 0.0);
+    ASSERT_EQ(n, cap);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i].seq, 40 + i);
+}
+
+TEST(SpscPodRing, CloseWakesAndFinishes)
+{
+    transport::SpscPodRing<SeqRecord> ring(16);
+    ASSERT_TRUE(ring.push({7, 0.0}));
+    ring.close();
+    EXPECT_FALSE(ring.push({8, 0.0}));
+    EXPECT_TRUE(ring.closed());
+    EXPECT_FALSE(ring.finished()); // one record still buffered
+    SeqRecord out[4];
+    EXPECT_EQ(ring.drain(out, 4, 0.0), 1u);
+    EXPECT_EQ(out[0].seq, 7u);
+    EXPECT_TRUE(ring.finished());
+    EXPECT_EQ(ring.drain(out, 4, 0.0), 0u);
+}
+
+// ----- DumpWriter round trips ------------------------------------------
+
+constexpr const char *kHeader =
+    "# PowerSensor3 continuous dump\n"
+    "# sample_rate_hz 20000\n"
+    "# columns: S time_s V0 I0 P0 total_W\n";
+
+DumpRecord
+makeRecord(double t, std::uint8_t mask)
+{
+    DumpRecord r;
+    r.time = t;
+    r.presentMask = mask;
+    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+        r.voltage[pair] = 12.0 + 0.125 * pair + t;
+        r.current[pair] = 3.0 - 0.0625 * pair + 2.0 * t;
+    }
+    return r;
+}
+
+TEST(DumpWriterRoundTrip, TextWithMarkersAndAllMasks)
+{
+    const std::string path = uniquePath("text", ".txt");
+    std::vector<DumpRecord> pushed;
+    {
+        DumpWriter writer(path, kHeader,
+                          {.format = DumpFormat::Text});
+        ASSERT_EQ(writer.format(), DumpFormat::Text);
+        // Every mask from no pairs to all kMaxPairs pairs, with a
+        // marker every 7th record.
+        for (unsigned i = 0; i < 200; ++i) {
+            DumpRecord r = makeRecord(
+                i * 50e-6,
+                static_cast<std::uint8_t>(i % (1u << kMaxPairs)));
+            if (i % 7 == 0) {
+                r.marker = true;
+                r.markerChar =
+                    static_cast<char>('A' + (i / 7) % 26);
+            }
+            pushed.push_back(r);
+            writer.push(r);
+        }
+    }
+    const auto file = DumpFile::load(path);
+    ASSERT_EQ(file.samples().size(), pushed.size());
+    EXPECT_EQ(file.markers().size(), (pushed.size() + 6) / 7);
+    EXPECT_NEAR(file.sampleRateHz(), 20000.0, 1e-9);
+    EXPECT_EQ(file.header().size(), 3u);
+    for (std::size_t i = 0; i < pushed.size(); ++i) {
+        const auto &in = pushed[i];
+        const auto &out = file.samples()[i];
+        ASSERT_NEAR(out.time, in.time, 5e-7) << i;
+        std::size_t slot = 0;
+        double total = 0.0;
+        for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+            if (!(in.presentMask & (1u << pair)))
+                continue;
+            ASSERT_LT(slot, out.voltage.size());
+            EXPECT_NEAR(out.voltage[slot], in.voltage[pair], 5e-5);
+            EXPECT_NEAR(out.current[slot], in.current[pair], 5e-5);
+            EXPECT_NEAR(out.power[slot],
+                        in.voltage[pair] * in.current[pair], 1e-4);
+            total += in.voltage[pair] * in.current[pair];
+            ++slot;
+        }
+        EXPECT_EQ(out.voltage.size(), slot);
+        EXPECT_NEAR(out.totalPower, total, 1e-4);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(DumpWriterRoundTrip, BinaryIsLossless)
+{
+    const std::string path = uniquePath("binary", ".ps3b");
+    std::vector<DumpRecord> pushed;
+    {
+        DumpWriter writer(path, kHeader, {});
+        ASSERT_EQ(writer.format(), DumpFormat::Binary); // from name
+        for (unsigned i = 0; i < 500; ++i) {
+            DumpRecord r = makeRecord(
+                i * 50e-6 + 1.0 / 3.0,
+                static_cast<std::uint8_t>(
+                    1u + i % ((1u << kMaxPairs) - 1u)));
+            if (i % 11 == 0) {
+                r.marker = true;
+                r.markerChar = 'Z';
+            }
+            pushed.push_back(r);
+            writer.push(r);
+        }
+    }
+    const auto file = DumpFile::load(path);
+    ASSERT_EQ(file.samples().size(), pushed.size());
+    EXPECT_NEAR(file.sampleRateHz(), 20000.0, 1e-9);
+    ASSERT_EQ(file.header().size(), 3u);
+    EXPECT_EQ(file.header()[0], "# PowerSensor3 continuous dump");
+    for (std::size_t i = 0; i < pushed.size(); ++i) {
+        const auto &in = pushed[i];
+        const auto &out = file.samples()[i];
+        // Binary keeps full f64 precision: exact equality.
+        ASSERT_EQ(out.time, in.time) << i;
+        std::size_t slot = 0;
+        double total = 0.0;
+        for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+            if (!(in.presentMask & (1u << pair)))
+                continue;
+            ASSERT_EQ(out.voltage[slot], in.voltage[pair]);
+            ASSERT_EQ(out.current[slot], in.current[pair]);
+            ASSERT_EQ(out.power[slot],
+                      in.current[pair] * in.voltage[pair]);
+            total += in.current[pair] * in.voltage[pair];
+            ++slot;
+        }
+        ASSERT_EQ(out.totalPower, total);
+    }
+    const auto &markers = file.markers();
+    ASSERT_EQ(markers.size(), (pushed.size() + 10) / 11);
+    for (const auto &marker : markers)
+        EXPECT_EQ(marker.marker, 'Z');
+    std::filesystem::remove(path);
+}
+
+TEST(DumpWriterRoundTrip, TextAndBinaryAgree)
+{
+    const std::string text_path = uniquePath("agree", ".txt");
+    const std::string bin_path = uniquePath("agree", ".ps3b");
+    {
+        DumpWriter text(text_path, kHeader,
+                        {.format = DumpFormat::Text});
+        DumpWriter bin(bin_path, kHeader, {});
+        for (unsigned i = 0; i < 100; ++i) {
+            const DumpRecord r = makeRecord(i * 50e-6, 0x3);
+            text.push(r);
+            bin.push(r);
+        }
+    }
+    const auto text_file = DumpFile::load(text_path);
+    const auto bin_file = DumpFile::load(bin_path);
+    ASSERT_EQ(text_file.samples().size(),
+              bin_file.samples().size());
+    EXPECT_EQ(text_file.header(), bin_file.header());
+    for (std::size_t i = 0; i < text_file.samples().size(); ++i) {
+        const auto &t = text_file.samples()[i];
+        const auto &b = bin_file.samples()[i];
+        EXPECT_NEAR(t.time, b.time, 5e-7);
+        ASSERT_EQ(t.voltage.size(), b.voltage.size());
+        for (std::size_t p = 0; p < t.voltage.size(); ++p) {
+            EXPECT_NEAR(t.voltage[p], b.voltage[p], 5e-5);
+            EXPECT_NEAR(t.current[p], b.current[p], 5e-5);
+        }
+        EXPECT_NEAR(t.totalPower, b.totalPower, 1e-4);
+    }
+    // Binary should be the (strictly) smaller encoding here.
+    EXPECT_LT(std::filesystem::file_size(bin_path),
+              std::filesystem::file_size(text_path));
+    std::filesystem::remove(text_path);
+    std::filesystem::remove(bin_path);
+}
+
+TEST(DumpWriterRoundTrip, NonFiniteValuesSurviveText)
+{
+    const std::string path = uniquePath("nonfinite", ".txt");
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    {
+        DumpWriter writer(path, kHeader,
+                          {.format = DumpFormat::Text});
+        DumpRecord r = makeRecord(0.5, 0x1);
+        r.voltage[0] = inf;
+        r.current[0] = nan;
+        writer.push(r);
+    }
+    const auto file = DumpFile::load(path);
+    ASSERT_EQ(file.samples().size(), 1u);
+    EXPECT_TRUE(std::isinf(file.samples()[0].voltage[0]));
+    EXPECT_TRUE(std::isnan(file.samples()[0].current[0]));
+    EXPECT_TRUE(std::isnan(file.samples()[0].totalPower));
+    std::filesystem::remove(path);
+}
+
+TEST(DumpWriterShutdown, CloseDrainsEveryQueuedRecord)
+{
+    const std::string path = uniquePath("drain", ".ps3b");
+    constexpr std::uint64_t kCount = 50000;
+    {
+        DumpWriter writer(path, kHeader, {});
+        for (std::uint64_t i = 0; i < kCount; ++i)
+            writer.push(makeRecord(i * 50e-6, 0x1));
+        writer.close();
+        EXPECT_EQ(writer.recordsWritten(), kCount);
+        EXPECT_EQ(writer.recordsDropped(), 0u);
+        EXPECT_EQ(writer.bytesWritten(),
+                  std::filesystem::file_size(path));
+    }
+    const auto file = DumpFile::load(path);
+    EXPECT_EQ(file.samples().size(), kCount);
+    std::filesystem::remove(path);
+}
+
+TEST(DumpWriterShutdown, DropOldestAccountsForEveryRecord)
+{
+    const std::string path = uniquePath("drop", ".txt");
+    constexpr std::uint64_t kCount = 200000;
+    std::uint64_t written = 0;
+    std::uint64_t dropped = 0;
+    {
+        DumpWriter writer(path, kHeader,
+                          {.format = DumpFormat::Text,
+                           .overflow = DumpOverflow::DropOldest,
+                           .ringCapacity = 64});
+        for (std::uint64_t i = 0; i < kCount; ++i)
+            writer.push(makeRecord(i * 50e-6, 0x1));
+        writer.close();
+        written = writer.recordsWritten();
+        dropped = writer.recordsDropped();
+    }
+    // Every pushed record is either written or counted dropped.
+    EXPECT_EQ(written + dropped, kCount);
+    const auto file = DumpFile::load(path);
+    EXPECT_EQ(file.samples().size(), written);
+    std::filesystem::remove(path);
+}
+
+// ----- binary format errors --------------------------------------------
+
+TEST(DumpBinaryErrors, TruncatedAndBadVersionThrow)
+{
+    const std::string path = uniquePath("badbin", ".ps3b");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "PS3B"; // magic only: truncated header
+    }
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+    {
+        std::ofstream out(path, std::ios::binary);
+        const char header[8] = {'P', 'S', '3', 'B', 9, 0, 0, 0};
+        out.write(header, sizeof(header)); // unsupported version 9
+    }
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+    {
+        std::ofstream out(path, std::ios::binary);
+        const char header[8] = {'P', 'S', '3', 'B', 2, 0, 0, 0};
+        out.write(header, sizeof(header));
+        out << 'S'; // record cut short
+    }
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+    std::filesystem::remove(path);
+}
+
+TEST(DumpBinaryErrors, ResolveFormatRules)
+{
+    EXPECT_EQ(DumpWriter::resolveFormat("x.ps3b", DumpFormat::Auto),
+              DumpFormat::Binary);
+    EXPECT_EQ(DumpWriter::resolveFormat("x.txt", DumpFormat::Auto),
+              DumpFormat::Text);
+    EXPECT_EQ(DumpWriter::resolveFormat("x.txt", DumpFormat::Binary),
+              DumpFormat::Binary);
+    EXPECT_EQ(DumpWriter::resolveFormat("x.ps3b", DumpFormat::Text),
+              DumpFormat::Text);
+}
+
+// ----- PowerSensor-level binary dump -----------------------------------
+
+TEST(PowerSensorBinaryDump, RoundTripsThroughLabBench)
+{
+    const std::string path = uniquePath("sensor", ".ps3b");
+    {
+        auto rig = rigs::labBench(analog::modules::slot12V10A(),
+                                  12.0, 5.0);
+        auto sensor = rig.connect();
+        sensor->dump(path);
+        sensor->mark('B');
+        sensor->waitForSamples(20000);
+        sensor->mark('E');
+        sensor->waitForSamples(4000);
+        sensor->dump("");
+        EXPECT_FALSE(sensor->dumping());
+    }
+    const auto file = DumpFile::load(path);
+    EXPECT_GT(file.samples().size(), 20000u);
+    ASSERT_EQ(file.markers().size(), 2u);
+    EXPECT_EQ(file.markers()[0].marker, 'B');
+    EXPECT_EQ(file.markers()[1].marker, 'E');
+    EXPECT_NEAR(file.sampleRateHz(), 20e3, 1.0);
+    for (std::size_t i = 0; i < file.samples().size(); i += 500) {
+        const auto &s = file.samples()[i];
+        ASSERT_EQ(s.power.size(), 1u);
+        // Binary keeps full precision: exact identity.
+        EXPECT_EQ(s.power[0], s.voltage[0] * s.current[0]);
+    }
+    const double joules = file.energyBetweenMarkers('B', 'E');
+    EXPECT_GT(joules, 0.0);
+    std::filesystem::remove(path);
+}
+
+TEST(PowerSensorBinaryDump, DropOldestPolicyIsAccepted)
+{
+    const std::string path = uniquePath("sensordrop", ".txt");
+    {
+        auto rig = rigs::labBench(analog::modules::slot12V10A(),
+                                  12.0, 5.0);
+        auto sensor = rig.connect();
+        sensor->dump(path, DumpFormat::Auto,
+                     DumpOverflow::DropOldest);
+        EXPECT_TRUE(sensor->dumping());
+        sensor->waitForSamples(2000);
+        sensor->dump("");
+    }
+    const auto file = DumpFile::load(path);
+    EXPECT_GT(file.samples().size(), 1000u);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace ps3::host

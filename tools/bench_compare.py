@@ -47,6 +47,9 @@ GATED = (
     "BM_StreamParserFeed",
     "BM_RunningStatisticsAdd",
     "BM_RingBufferPushPop",
+    "BM_DumpWriteText",
+    "BM_DumpWriteBinary",
+    "BM_DumpReaderLoad",
 )
 
 
