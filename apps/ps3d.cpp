@@ -1,0 +1,117 @@
+/**
+ * @file
+ * ps3d — the PowerSensor3 streaming daemon.
+ *
+ * Owns one sensor (real hardware, or a simulated rig for testing)
+ * and serves its live 20 kHz stream to any number of subscribers
+ * over TCP and/or Unix-domain sockets (docs/PROTOCOL.md, "Network
+ * wire protocol"). Tools on other machines — or other processes on
+ * this one — attach with `--connect`:
+ *
+ *   ps3d -d /dev/ttyACM0 --listen tcp://0.0.0.0:9151
+ *   psrun --connect tcp://measurehost:9151 -- ./benchmark
+ *
+ * --listen may be repeated to serve several endpoints at once; the
+ * default is tcp://127.0.0.1:9151. --duration bounds the runtime
+ * (tests); otherwise the daemon runs until SIGINT/SIGTERM and shuts
+ * down gracefully (subscribers get their queued tail plus an
+ * end-of-stream frame).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/version.hpp"
+#include "net/server.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+std::atomic<bool> stop_requested{false};
+
+void
+onSignal(int)
+{
+    stop_requested.store(true, std::memory_order_release);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    using namespace ps3;
+
+    auto context = tools::openTool(
+        argc, argv, "ps3d",
+        "  --listen URI    endpoint to serve (repeatable; default\n"
+        "                  tcp://127.0.0.1:9151)\n"
+        "  --duration S    exit after S seconds (default: run until\n"
+        "                  SIGINT/SIGTERM)\n"
+        "  serves the sensor stream to psrun/psinfo/... --connect\n");
+
+    std::vector<std::string> listen_uris;
+    double duration = -1.0;
+    for (std::size_t i = 0; i < context.args.size(); ++i) {
+        const std::string &arg = context.args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= context.args.size())
+                throw UsageError(arg + " needs an argument");
+            return context.args[++i];
+        };
+        if (arg == "--listen")
+            listen_uris.push_back(next());
+        else if (arg == "--duration")
+            duration = std::stod(next());
+        else
+            throw UsageError("ps3d: unknown argument: " + arg);
+    }
+    if (listen_uris.empty())
+        listen_uris.push_back("tcp://127.0.0.1:9151");
+
+    net::Ps3Server server(*context.sensor);
+    for (const auto &uri : listen_uris) {
+        const auto bound =
+            server.listen(transport::Endpoint::parse(uri));
+        std::printf("ps3d %s: serving %s\n", kHostLibraryVersion,
+                    bound.describe().c_str());
+    }
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    const auto start = std::chrono::steady_clock::now();
+    while (!stop_requested.load(std::memory_order_acquire)) {
+        if (context.sensor->deviceGone()) {
+            std::fprintf(stderr, "ps3d: sensor disappeared\n");
+            break;
+        }
+        if (duration >= 0.0
+            && std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                       .count()
+                   >= duration)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    server.stop();
+    std::printf("ps3d: served %llu marker request(s), dropped %llu "
+                "record(s)\n",
+                static_cast<unsigned long long>(
+                    server.markerRequests()),
+                static_cast<unsigned long long>(
+                    server.recordsDropped()));
+    std::fflush(stdout);
+    tools::printStats(context);
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "ps3d: %s\n", e.what());
+    return 1;
+}

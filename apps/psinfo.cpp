@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/version.hpp"
+#include "net/wire.hpp"
 #include "tool_common.hpp"
 
 int
@@ -19,6 +21,12 @@ try {
         "  prints sensor configuration and live readings\n");
     auto &sensor = *context.sensor;
 
+    // Host and firmware versions side by side: when --connect is in
+    // play, the firmware string comes from the daemon's handshake, so
+    // a client/server skew is visible right here.
+    std::printf("host library: %s (net protocol v%u)\n",
+                kHostLibraryVersion,
+                static_cast<unsigned>(net::kProtocolVersion));
     std::printf("firmware: %s\n", sensor.firmwareVersion().c_str());
     const auto config = sensor.config();
     for (unsigned pair = 0; pair < host::kMaxPairs; ++pair)

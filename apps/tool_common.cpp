@@ -10,6 +10,7 @@
 #include "common/logging.hpp"
 #include "dut/gpu_model.hpp"
 #include "firmware/protocol.hpp"
+#include "net/net_power_sensor.hpp"
 
 namespace ps3::tools {
 
@@ -99,6 +100,7 @@ openTool(int argc, char **argv, const std::string &tool_name,
          const std::string &tool_usage)
 {
     std::string device_path;
+    std::string connect_uri;
     std::string sim_spec = "bench";
     bool fast = false;
 
@@ -112,6 +114,8 @@ openTool(int argc, char **argv, const std::string &tool_name,
         };
         if (arg == "-d" || arg == "--device") {
             device_path = next();
+        } else if (arg == "--connect") {
+            connect_uri = next();
         } else if (arg == "--sim") {
             sim_spec = next();
         } else if (arg == "--fast") {
@@ -129,11 +133,14 @@ openTool(int argc, char **argv, const std::string &tool_name,
             Log::setLevel(LogLevel::Debug);
         } else if (arg == "-h" || arg == "--help") {
             std::cout << "usage: " << tool_name
-                      << " [-d DEVICE | --sim SPEC] [--fast] "
-                         "[--stats[=table|csv|prom]] [--verbose]\n"
+                      << " [-d DEVICE | --connect URI | --sim SPEC] "
+                         "[--fast] [--stats[=table|csv|prom]] "
+                         "[--verbose]\n"
                       << tool_usage
                       << "\nrig specs: bench[:module=..][:volts=..]"
                          "[:amps=..] | gpu[:card=..] | soc\n"
+                      << "--connect streams from a ps3d daemon "
+                         "(tcp://host:port or unix:///path)\n"
                       << "--stats prints an end-of-run metrics "
                          "snapshot (docs/OBSERVABILITY.md)\n";
             std::exit(0);
@@ -142,6 +149,11 @@ openTool(int argc, char **argv, const std::string &tool_name,
         }
     }
 
+    if (!connect_uri.empty()) {
+        context.sensor =
+            std::make_unique<net::NetPowerSensor>(connect_uri);
+        return context;
+    }
     if (!device_path.empty()) {
         context.sensor =
             std::make_unique<host::PowerSensor>(device_path);

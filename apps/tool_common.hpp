@@ -34,7 +34,11 @@ struct ToolContext
 {
     /** Present when running against the simulator. */
     std::optional<host::SimulatedRig> rig;
-    std::unique_ptr<host::PowerSensor> sensor;
+    /**
+     * The opened sensor: a local host::PowerSensor (hardware or
+     * simulator) or a net::NetPowerSensor when --connect was given.
+     */
+    std::unique_ptr<host::Sensor> sensor;
     /** Tool-specific positional/remaining arguments. */
     std::vector<std::string> args;
     /** Set when --stats[=FORMAT] was given. */
@@ -44,9 +48,10 @@ struct ToolContext
 /**
  * Parse common options and open the device.
  *
- * Recognised options: -d/--device PATH, --sim SPEC, --fast,
- * --stats[=FORMAT], --verbose, -h/--help (prints usage + tool_usage
- * and exits).
+ * Recognised options: -d/--device PATH, --sim SPEC,
+ * --connect URI (tcp://host:port or unix:///path served by ps3d),
+ * --fast, --stats[=FORMAT], --verbose, -h/--help (prints usage +
+ * tool_usage and exits).
  *
  * @param argc/argv Main arguments.
  * @param tool_name Tool name for usage text.

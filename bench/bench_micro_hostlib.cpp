@@ -33,6 +33,8 @@
 #include "host/power_sensor.hpp"
 #include "host/sim_setup.hpp"
 #include "host/stream_parser.hpp"
+#include "net/net_power_sensor.hpp"
+#include "net/server.hpp"
 #include "transport/pipe_device.hpp"
 
 namespace {
@@ -458,6 +460,99 @@ BM_EndToEndPipelineDump(benchmark::State &state)
     std::filesystem::remove(path);
 }
 BENCHMARK(BM_EndToEndPipelineDump)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * Network fan-out throughput: a publish-driven Ps3Server feeding 8
+ * draining NetPowerSensor subscribers over a Unix socket. Scored in
+ * aggregate delivered records/s; at 8 subscribers the server must
+ * clear 160 k records/s to keep every client at the 20 kHz stream
+ * rate — the gate (tools/bench_compare.py) keeps the headroom from
+ * regressing.
+ */
+void
+BM_NetFanout(benchmark::State &state)
+{
+    constexpr std::size_t kSubscribers = 8;
+    constexpr std::uint64_t kBatch = 1000;
+
+    firmware::DeviceConfig config{};
+    config[0].inUse = true;
+    config[1].inUse = true;
+
+    net::Ps3Server::Options options;
+    options.queueCapacity = 1u << 16;
+    net::Ps3Server server(config, "bench", options);
+    const std::string path =
+        "/tmp/ps3_bench_fanout."
+        + std::to_string(static_cast<long>(::getpid())) + ".sock";
+    const auto endpoint =
+        server.listen(transport::Endpoint::parse("unix://" + path));
+
+    std::vector<std::unique_ptr<net::NetPowerSensor>> clients;
+    for (std::size_t i = 0; i < kSubscribers; ++i)
+        clients.push_back(
+            std::make_unique<net::NetPowerSensor>(endpoint));
+    while (server.subscriberCount() < kSubscribers)
+        std::this_thread::yield();
+
+    host::DumpRecord record{};
+    record.presentMask = 0x01;
+    record.voltage[0] = 12.0;
+    record.current[0] = 8.0;
+
+    std::uint64_t published = 0;
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < kBatch; ++i) {
+            record.time = 50e-6 * static_cast<double>(published++);
+            server.publish(record);
+        }
+        for (auto &client : clients) {
+            while (client->recordsReceived() < published)
+                std::this_thread::yield();
+        }
+    }
+    server.stop();
+
+    state.counters["records_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations())
+            * static_cast<double>(kBatch * kSubscribers),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetFanout)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/**
+ * BM_EndToEndPipeline stretched across the network: firmware ->
+ * link -> PowerSensor -> Ps3Server -> Unix socket -> NetPowerSensor
+ * state update, in frame sets per second observed by the remote
+ * client. Must beat 20 k/s with margin for `--connect` to be a
+ * drop-in for local measurement.
+ */
+void
+BM_NetEndToEnd(benchmark::State &state)
+{
+    auto rig = host::rigs::labBench(analog::modules::slot12V10A(),
+                                    12.0, 8.0);
+    auto sensor = rig.connect();
+    net::Ps3Server server(*sensor);
+    const std::string path =
+        "/tmp/ps3_bench_net_e2e."
+        + std::to_string(static_cast<long>(::getpid())) + ".sock";
+    const auto endpoint =
+        server.listen(transport::Endpoint::parse("unix://" + path));
+    net::NetPowerSensor client(endpoint);
+
+    for (auto _ : state) {
+        client.waitForSamples(1000);
+    }
+    server.stop();
+
+    state.counters["frame_sets_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 1000.0,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetEndToEnd)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

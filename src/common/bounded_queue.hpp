@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer/multi-consumer FIFO.
+ *
+ * Dmitry Vyukov's bounded MPMC queue: each slot carries a sequence
+ * number that encodes whether it is free for the next producer or
+ * holds data for the next consumer. Both tryPush() and tryPop() are
+ * one CAS on the shared cursor plus relaxed slot traffic — no mutex,
+ * no unbounded spinning, wait-free in the absence of contention.
+ *
+ * The host library uses it as the marker queue between arbitrary
+ * mark() callers (any thread, including sample listeners running on
+ * the reader thread) and the reader thread that resolves marker
+ * flags: a mutex there would put a lock on the 20 kHz hot path and
+ * would invite priority inversion when a listener marks mid-callback.
+ *
+ * Capacity is rounded up to a power of two (minimum 4). The queue
+ * never blocks: tryPush() returns false when full, tryPop() returns
+ * false when empty; callers decide what a full queue means.
+ */
+
+#ifndef PS3_COMMON_BOUNDED_QUEUE_HPP
+#define PS3_COMMON_BOUNDED_QUEUE_HPP
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+namespace ps3 {
+
+/** Bounded lock-free MPMC FIFO (Vyukov sequence-number scheme). */
+template <typename T>
+class MpmcBoundedQueue
+{
+    static_assert(std::is_nothrow_move_assignable_v<T>,
+                  "MpmcBoundedQueue values must be nothrow movable");
+
+  public:
+    /** @param capacity Slots; rounded up to a power of two (min 4). */
+    explicit MpmcBoundedQueue(std::size_t capacity)
+        : capacity_(std::bit_ceil(capacity < 4 ? std::size_t{4}
+                                               : capacity)),
+          mask_(capacity_ - 1),
+          cells_(std::make_unique<Cell[]>(capacity_))
+    {
+        for (std::size_t i = 0; i < capacity_; ++i)
+            cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+
+    MpmcBoundedQueue(const MpmcBoundedQueue &) = delete;
+    MpmcBoundedQueue &operator=(const MpmcBoundedQueue &) = delete;
+
+    /**
+     * Append one value.
+     * @return false when the queue is full (value not stored).
+     */
+    bool
+    tryPush(T value)
+    {
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t seq =
+                cell.sequence.load(std::memory_order_acquire);
+            const std::ptrdiff_t diff =
+                static_cast<std::ptrdiff_t>(seq)
+                - static_cast<std::ptrdiff_t>(pos);
+            if (diff == 0) {
+                // Slot free for this position: claim it.
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    cell.value = std::move(value);
+                    cell.sequence.store(pos + 1,
+                                        std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false; // full: slot still owned by a consumer
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /**
+     * Remove the oldest value.
+     * @return false when the queue is empty (out untouched).
+     */
+    bool
+    tryPop(T &out)
+    {
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t seq =
+                cell.sequence.load(std::memory_order_acquire);
+            const std::ptrdiff_t diff =
+                static_cast<std::ptrdiff_t>(seq)
+                - static_cast<std::ptrdiff_t>(pos + 1);
+            if (diff == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    out = std::move(cell.value);
+                    cell.sequence.store(pos + capacity_,
+                                        std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false; // empty: slot not yet published
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Approximate occupancy (exact only when quiescent). */
+    std::size_t
+    size() const
+    {
+        const std::size_t tail =
+            tail_.load(std::memory_order_acquire);
+        const std::size_t head =
+            head_.load(std::memory_order_acquire);
+        return tail >= head ? tail - head : 0;
+    }
+
+    /** Usable capacity in slots. */
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    /** One slot plus its state-encoding sequence number. */
+    struct Cell
+    {
+        std::atomic<std::size_t> sequence{0};
+        T value{};
+    };
+
+    const std::size_t capacity_;
+    const std::size_t mask_;
+    std::unique_ptr<Cell[]> cells_;
+
+    /** Producer/consumer cursors, padded apart (false sharing). */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+} // namespace ps3
+
+#endif // PS3_COMMON_BOUNDED_QUEUE_HPP

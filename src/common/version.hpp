@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Host-library version constant.
+ *
+ * Printed by psinfo next to the device firmware version and the
+ * network protocol version so host/daemon/firmware skew is visible at
+ * a glance (a NetPowerSensor talks to a ps3d that may be a different
+ * build on a different machine). Keep in step with the CMake project
+ * version.
+ */
+
+#ifndef PS3_COMMON_VERSION_HPP
+#define PS3_COMMON_VERSION_HPP
+
+namespace ps3 {
+
+/** Version of this host library build. */
+inline constexpr char kHostLibraryVersion[] = "1.0.0";
+
+} // namespace ps3
+
+#endif // PS3_COMMON_VERSION_HPP

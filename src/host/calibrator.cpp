@@ -8,7 +8,7 @@
 
 namespace ps3::host {
 
-Calibrator::Calibrator(PowerSensor &sensor)
+Calibrator::Calibrator(Sensor &sensor)
     : sensor_(sensor), working_(sensor.config())
 {
 }

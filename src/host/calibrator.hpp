@@ -16,7 +16,7 @@
 
 #include <cstddef>
 
-#include "host/power_sensor.hpp"
+#include "host/sensor.hpp"
 
 namespace ps3::host {
 
@@ -47,7 +47,7 @@ class Calibrator
 {
   public:
     /** @param sensor Connected sensor; must outlive the calibrator. */
-    explicit Calibrator(PowerSensor &sensor);
+    explicit Calibrator(Sensor &sensor);
 
     /**
      * Measure and compute corrections for one pair.
@@ -70,7 +70,7 @@ class Calibrator
     const firmware::DeviceConfig &workingConfig() const;
 
   private:
-    PowerSensor &sensor_;
+    Sensor &sensor_;
     firmware::DeviceConfig working_;
 };
 

@@ -28,6 +28,26 @@ constexpr std::size_t kMaxRecordBinary =
 
 } // namespace
 
+std::string
+dumpHeaderText(const firmware::DeviceConfig &config)
+{
+    char rate[32];
+    const std::size_t rate_len = formatGeneral(
+        rate, sizeof(rate), firmware::kSampleRateHz, 6);
+    std::string header = "# PowerSensor3 continuous dump\n";
+    header += "# sample_rate_hz ";
+    header.append(rate, rate_len);
+    header += "\n# columns: S time_s";
+    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+        if (config[pair * 2].inUse) {
+            const std::string index = std::to_string(pair);
+            header += " V" + index + " I" + index + " P" + index;
+        }
+    }
+    header += " total_W\n# markers: M char time_s\n";
+    return header;
+}
+
 DumpFormat
 DumpWriter::resolveFormat(const std::string &path,
                           DumpFormat requested)

@@ -78,6 +78,15 @@ struct DumpRecord
     char markerChar = '\0';
 };
 
+/**
+ * Standard dump-file header ('#'-prefixed lines) for a sensor
+ * configuration: sample rate, one V/I/P column triple per enabled
+ * pair, marker line format. Shared by every dump producer (local
+ * PowerSensor, network client) so files are identical whatever the
+ * stream source.
+ */
+std::string dumpHeaderText(const firmware::DeviceConfig &config);
+
 /** Asynchronous dump-file writer: SPSC record ring + writer thread. */
 class DumpWriter
 {

@@ -42,6 +42,9 @@ struct ReaderMetrics
     obs::Counter &unresolvedMarkers = obs::Registry::global().counter(
         "ps3_reader_unresolved_markers_total",
         "Marker flags seen with no queued marker character");
+    obs::Counter &markerOverflow = obs::Registry::global().counter(
+        "ps3_reader_marker_queue_overflow_total",
+        "mark() calls discarded because the marker queue was full");
     obs::Gauge &markerQueueDepth = obs::Registry::global().gauge(
         "ps3_reader_marker_queue_depth",
         "Marker characters queued and not yet resolved");
@@ -260,10 +263,9 @@ PowerSensor::onFrameSet(const FrameSet &set)
 
     if (set.marker) {
         sample.marker = true;
-        std::lock_guard<std::mutex> lock(markerMutex_);
-        if (!markerQueue_.empty()) {
-            sample.markerChar = markerQueue_.front();
-            markerQueue_.pop_front();
+        char queued = '\0';
+        if (markerQueue_.tryPop(queued)) {
+            sample.markerChar = queued;
         } else {
             sample.markerChar = '?';
             readerMetrics().unresolvedMarkers.inc();
@@ -344,12 +346,17 @@ PowerSensor::read() const
 void
 PowerSensor::mark(char marker)
 {
-    {
-        std::lock_guard<std::mutex> lock(markerMutex_);
-        markerQueue_.push_back(marker);
-        readerMetrics().markerQueueDepth.set(
-            static_cast<std::int64_t>(markerQueue_.size()));
+    // Queue first, then command: the device cannot flag a frame set
+    // before the command arrives, so the resolving pop always finds
+    // the character. When the bounded queue is full the marker is
+    // dropped whole (not sent either) so queue and device stay in
+    // step; the drop is observable in the overflow counter.
+    if (!markerQueue_.tryPush(marker)) {
+        readerMetrics().markerOverflow.inc();
+        return;
     }
+    readerMetrics().markerQueueDepth.set(
+        static_cast<std::int64_t>(markerQueue_.size()));
     sendBytes({static_cast<std::uint8_t>(Command::Marker),
                static_cast<std::uint8_t>(marker)});
 }
@@ -390,24 +397,8 @@ PowerSensor::dumping() const
 std::string
 PowerSensor::dumpHeaderText() const
 {
-    char rate[32];
-    const std::size_t rate_len = formatGeneral(
-        rate, sizeof(rate), firmware::kSampleRateHz, 6);
-    std::string header = "# PowerSensor3 continuous dump\n";
-    header += "# sample_rate_hz ";
-    header.append(rate, rate_len);
-    header += "\n# columns: S time_s";
-    {
-        std::lock_guard<std::mutex> lock(configMutex_);
-        for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
-            if (config_[pair * 2].inUse) {
-                const std::string index = std::to_string(pair);
-                header += " V" + index + " I" + index + " P" + index;
-            }
-        }
-    }
-    header += " total_W\n# markers: M char time_s\n";
-    return header;
+    std::lock_guard<std::mutex> lock(configMutex_);
+    return host::dumpHeaderText(config_);
 }
 
 void
@@ -480,17 +471,6 @@ PowerSensor::firmwareVersion()
     const auto text = readControl(len[0], kControlTimeout);
     sendBytes(commandByte(Command::StartStream));
     return std::string(text.begin(), text.end());
-}
-
-unsigned
-PowerSensor::activePairs() const
-{
-    unsigned count = 0;
-    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
-        if (pairPresent(pair))
-            ++count;
-    }
-    return count;
 }
 
 bool

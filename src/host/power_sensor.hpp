@@ -25,7 +25,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <functional>
 #include <map>
@@ -34,19 +33,18 @@
 #include <string>
 #include <thread>
 
+#include "common/bounded_queue.hpp"
 #include "firmware/protocol.hpp"
 #include "host/dump_writer.hpp"
+#include "host/sensor.hpp"
 #include "host/state.hpp"
 #include "host/stream_parser.hpp"
 #include "transport/char_device.hpp"
 
 namespace ps3::host {
 
-/** Callback receiving every processed sample. */
-using SampleCallback = std::function<void(const Sample &)>;
-
 /** Host-side connection to one PowerSensor3 device. */
-class PowerSensor
+class PowerSensor : public Sensor
 {
   public:
     /**
@@ -62,20 +60,24 @@ class PowerSensor
     explicit PowerSensor(transport::CharDevice &device);
 
     /** Stops streaming and joins the reader thread. */
-    ~PowerSensor();
+    ~PowerSensor() override;
 
     PowerSensor(const PowerSensor &) = delete;
     PowerSensor &operator=(const PowerSensor &) = delete;
 
     /** Snapshot the current measurement state (thread safe). */
-    State read() const;
+    State read() const override;
 
     /**
      * Queue a marker. The device flags the next frame set; the flag
      * is resolved back to this character in the dump file and the
-     * sample stream.
+     * sample stream. Lock free: safe to call from sample listeners
+     * running on the reader thread. When more than
+     * kMarkerQueueCapacity markers are in flight the overflowing
+     * marker is discarded (not sent) and counted in
+     * ps3_reader_marker_queue_overflow_total.
      */
-    void mark(char marker);
+    void mark(char marker) override;
 
     /**
      * Continuous mode: stream all samples to a file at 20 kHz
@@ -90,57 +92,57 @@ class PowerSensor
      */
     void dump(const std::string &filename,
               DumpFormat format = DumpFormat::Auto,
-              DumpOverflow overflow = DumpOverflow::Block);
+              DumpOverflow overflow = DumpOverflow::Block) override;
 
     /** True while a dump file is open. */
-    bool dumping() const;
+    bool dumping() const override;
 
     /** Device configuration as read at connect (or last write). */
-    firmware::DeviceConfig config() const;
+    firmware::DeviceConfig config() const override;
 
     /**
      * Write a new device configuration (stored in device EEPROM).
      * Streaming is paused and resumed around the transfer.
      */
-    void writeConfig(const firmware::DeviceConfig &config);
+    void writeConfig(const firmware::DeviceConfig &config) override;
 
     /** Query the firmware version string (pauses streaming). */
-    std::string firmwareVersion();
-
-    /** Number of pairs with at least one enabled channel. */
-    unsigned activePairs() const;
+    std::string firmwareVersion() override;
 
     /** True if the given pair has both channels enabled. */
-    bool pairPresent(unsigned pair) const;
+    bool pairPresent(unsigned pair) const override;
 
     /** Sensor name of a pair (from the current-channel record). */
-    std::string pairName(unsigned pair) const;
+    std::string pairName(unsigned pair) const override;
 
     /**
      * Block until device time reaches the given value (virtual-time
      * experiments) or the device disappears.
      * @return false if the device closed before reaching t.
      */
-    bool waitUntil(double device_time) const;
+    bool waitUntil(double device_time) const override;
 
     /**
      * Block until at least n additional frame sets have been
      * processed.
      * @return false if the device closed first.
      */
-    bool waitForSamples(std::uint64_t n) const;
+    bool waitForSamples(std::uint64_t n) const override;
 
     /** Register a per-sample listener; returns a token. */
-    std::uint64_t addSampleListener(SampleCallback callback);
+    std::uint64_t addSampleListener(SampleCallback callback) override;
 
     /** Remove a listener by token. */
-    void removeSampleListener(std::uint64_t token);
+    void removeSampleListener(std::uint64_t token) override;
 
     /** Bytes skipped by the parser during resynchronisation. */
     std::uint64_t resyncByteCount() const;
 
     /** True once the device vanished (read path saw end-of-stream). */
-    bool deviceGone() const;
+    bool deviceGone() const override;
+
+    /** Markers that may be in flight at once (bounded, lock free). */
+    static constexpr std::size_t kMarkerQueueCapacity = 256;
 
   private:
     std::unique_ptr<transport::CharDevice> ownedDevice_;
@@ -170,8 +172,13 @@ class PowerSensor
     mutable std::mutex configMutex_;
     firmware::DeviceConfig config_{};
 
-    std::mutex markerMutex_;
-    std::deque<char> markerQueue_;
+    /**
+     * Markers queued by mark() and resolved by the reader thread.
+     * Lock free (Vyukov MPMC): mark() may run on any thread —
+     * including a sample listener on the reader thread itself — and
+     * never contends with the 20 kHz resolution path.
+     */
+    MpmcBoundedQueue<char> markerQueue_{kMarkerQueueCapacity};
 
     std::mutex listenerMutex_;
     std::map<std::uint64_t, SampleCallback> listeners_;

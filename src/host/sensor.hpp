@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Abstract sensor interface of the host library.
+ *
+ * Everything a measurement consumer needs — interval snapshots,
+ * markers, continuous dumping, listeners, configuration — expressed
+ * as a pure interface so tools and libraries (psrun, psinfo, the
+ * auto-tuner) are agnostic about where the 20 kHz stream comes from:
+ *
+ *  - host::PowerSensor — a device on a local serial link (real
+ *    hardware or the in-process simulator);
+ *  - net::NetPowerSensor — a remote sensor streamed over TCP or a
+ *    Unix-domain socket by the ps3d daemon (src/net/server.hpp).
+ *
+ * Implementations must make every method safe to call from any
+ * thread, and mark()/read() cheap enough for hot measurement loops.
+ */
+
+#ifndef PS3_HOST_SENSOR_HPP
+#define PS3_HOST_SENSOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "firmware/protocol.hpp"
+#include "host/dump_writer.hpp"
+#include "host/state.hpp"
+
+namespace ps3::host {
+
+/** Callback receiving every processed sample. */
+using SampleCallback = std::function<void(const Sample &)>;
+
+/** Source-agnostic handle to one PowerSensor3 measurement stream. */
+class Sensor
+{
+  public:
+    virtual ~Sensor() = default;
+
+    /** Snapshot the current measurement state (thread safe). */
+    virtual State read() const = 0;
+
+    /**
+     * Queue a marker. The device flags an upcoming frame set; the
+     * flag is resolved back to this character in the dump file and
+     * the sample stream.
+     */
+    virtual void mark(char marker) = 0;
+
+    /**
+     * Continuous mode: stream all samples to a file at 20 kHz
+     * through the asynchronous dump pipeline.
+     * @param filename Output path; empty string stops dumping (the
+     *        queued tail is drained before the file closes).
+     * @param format Text, Binary, or Auto ("*.ps3b" means binary).
+     * @param overflow Backpressure when the record ring fills.
+     */
+    virtual void dump(const std::string &filename,
+                      DumpFormat format = DumpFormat::Auto,
+                      DumpOverflow overflow = DumpOverflow::Block) = 0;
+
+    /** True while a dump file is open. */
+    virtual bool dumping() const = 0;
+
+    /** Device configuration as read at connect (or last write). */
+    virtual firmware::DeviceConfig config() const = 0;
+
+    /**
+     * Write a new device configuration (stored in device EEPROM).
+     * @throws UsageError on transports that cannot (network client).
+     */
+    virtual void writeConfig(const firmware::DeviceConfig &config) = 0;
+
+    /** Query the firmware version string. */
+    virtual std::string firmwareVersion() = 0;
+
+    /** True if the given pair has both channels enabled. */
+    virtual bool pairPresent(unsigned pair) const = 0;
+
+    /** Sensor name of a pair (from the current-channel record). */
+    virtual std::string pairName(unsigned pair) const = 0;
+
+    /**
+     * Block until device time reaches the given value (virtual-time
+     * experiments) or the device disappears.
+     * @return false if the device closed before reaching t.
+     */
+    virtual bool waitUntil(double device_time) const = 0;
+
+    /**
+     * Block until at least n additional frame sets have been
+     * processed.
+     * @return false if the device closed first.
+     */
+    virtual bool waitForSamples(std::uint64_t n) const = 0;
+
+    /** Register a per-sample listener; returns a token. */
+    virtual std::uint64_t addSampleListener(SampleCallback callback)
+        = 0;
+
+    /** Remove a listener by token. */
+    virtual void removeSampleListener(std::uint64_t token) = 0;
+
+    /** True once the stream source vanished. */
+    virtual bool deviceGone() const = 0;
+
+    /** Number of pairs with at least one enabled channel. */
+    unsigned
+    activePairs() const
+    {
+        unsigned count = 0;
+        for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+            if (pairPresent(pair))
+                ++count;
+        }
+        return count;
+    }
+};
+
+} // namespace ps3::host
+
+#endif // PS3_HOST_SENSOR_HPP

@@ -1,0 +1,388 @@
+#include "net_power_sensor.hpp"
+
+#include <chrono>
+
+#include "common/errors.hpp"
+#include "obs/registry.hpp"
+
+namespace ps3::net {
+
+namespace {
+
+/** Reader poll timeout; short so shutdown is prompt. */
+constexpr double kReadTimeout = 0.05;
+
+/** Network-client instruments (registered once). */
+struct ClientMetrics
+{
+    obs::Counter &bytes = obs::Registry::global().counter(
+        "ps3_net_client_bytes_total",
+        "Stream bytes received from the server");
+    obs::Counter &batches = obs::Registry::global().counter(
+        "ps3_net_client_batches_total",
+        "Record batches received from the server");
+    obs::Counter &records = obs::Registry::global().counter(
+        "ps3_net_client_records_total",
+        "Records decoded from the stream");
+};
+
+ClientMetrics &
+clientMetrics()
+{
+    static ClientMetrics metrics;
+    return metrics;
+}
+
+} // namespace
+
+NetPowerSensor::NetPowerSensor(const std::string &uri,
+                               Options options)
+    : NetPowerSensor(transport::Endpoint::parse(uri), options)
+{
+}
+
+NetPowerSensor::NetPowerSensor(const std::string &uri)
+    : NetPowerSensor(uri, Options{})
+{
+}
+
+NetPowerSensor::NetPowerSensor(const transport::Endpoint &endpoint)
+    : NetPowerSensor(endpoint, Options{})
+{
+}
+
+NetPowerSensor::NetPowerSensor(const transport::Endpoint &endpoint,
+                               Options options)
+    : options_(options),
+      socket_(transport::SocketDevice::connect(
+          endpoint, options.connectTimeout))
+{
+    handshake(options_.connectTimeout);
+    readerThread_ = std::thread([this] { readerLoop(); });
+}
+
+NetPowerSensor::~NetPowerSensor()
+{
+    stopRequested_.store(true, std::memory_order_release);
+    socket_->abort();
+    if (readerThread_.joinable())
+        readerThread_.join();
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    activeDump_.store(nullptr, std::memory_order_release);
+    if (dumpWriter_)
+        dumpWriter_->close();
+}
+
+void
+NetPowerSensor::handshake(double timeout_seconds)
+{
+    {
+        const ClientHello hello{kProtocolVersion, options_.overflow};
+        const auto bytes = hello.encode();
+        socket_->write(bytes.data(), bytes.size());
+    }
+
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_seconds));
+    auto read_exactly = [&](std::uint8_t *out, std::size_t n) {
+        std::size_t got = 0;
+        while (got < n) {
+            const std::size_t step =
+                socket_->read(out + got, n - got, 0.05);
+            got += step;
+            if (step == 0) {
+                if (socket_->closed())
+                    throw DeviceError(
+                        "server closed the connection during the "
+                        "handshake");
+                if (std::chrono::steady_clock::now() > deadline)
+                    throw DeviceError("handshake timed out");
+            }
+        }
+    };
+
+    std::uint8_t prefix[kServerHelloPrefixSize];
+    read_exactly(prefix, sizeof(prefix));
+    ServerHello hello;
+    const std::size_t payload_len =
+        ServerHello::decodePrefix(prefix, sizeof(prefix), hello);
+    if (hello.status != HelloStatus::Ok)
+        throw DeviceError("server refused the connection: "
+                          + describeStatus(hello.status));
+    std::vector<std::uint8_t> payload(payload_len);
+    read_exactly(payload.data(), payload.size());
+    hello.decodePayload(payload.data(), payload.size());
+
+    config_ = hello.config;
+    remoteFirmwareVersion_ = hello.firmwareVersion;
+    sampleRateHz_ = hello.sampleRateHz;
+}
+
+bool
+NetPowerSensor::readFully(std::uint8_t *out, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        if (stopRequested_.load(std::memory_order_acquire))
+            return false;
+        const std::size_t step =
+            socket_->read(out + got, n - got, kReadTimeout);
+        got += step;
+        if (step == 0 && socket_->closed())
+            return false;
+    }
+    return true;
+}
+
+void
+NetPowerSensor::readerLoop()
+{
+    RecordDecoder decoder;
+    std::vector<std::uint8_t> payload;
+    const auto trampoline = [](void *self,
+                               const host::DumpRecord &record) {
+        static_cast<NetPowerSensor *>(self)->onRecord(record);
+    };
+    while (!stopRequested_.load(std::memory_order_acquire)) {
+        std::uint8_t header[4];
+        if (!readFully(header, sizeof(header)))
+            break;
+        const std::uint32_t length =
+            static_cast<std::uint32_t>(header[0])
+            | (static_cast<std::uint32_t>(header[1]) << 8)
+            | (static_cast<std::uint32_t>(header[2]) << 16)
+            | (static_cast<std::uint32_t>(header[3]) << 24);
+        if (length == 0)
+            break; // end-of-stream: the server shut down gracefully
+        if (length > kMaxBatchBytes)
+            break; // protocol violation; treat the peer as gone
+        payload.resize(length);
+        if (!readFully(payload.data(), payload.size()))
+            break;
+        std::uint64_t before = decoder.recordCount();
+        try {
+            decoder.feed(payload.data(), payload.size(), this,
+                         trampoline);
+        } catch (const DeviceError &) {
+            break;
+        }
+        clientMetrics().batches.inc();
+        clientMetrics().bytes.inc(sizeof(header) + payload.size());
+        clientMetrics().records.inc(decoder.recordCount() - before);
+    }
+    markGone();
+}
+
+void
+NetPowerSensor::onRecord(const host::DumpRecord &record)
+{
+    recordsReceived_.fetch_add(1, std::memory_order_relaxed);
+
+    host::Sample sample;
+    sample.time = record.time;
+    sample.voltage = record.voltage;
+    sample.current = record.current;
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair)
+        sample.present[pair] =
+            (record.presentMask & (1u << pair)) != 0;
+    sample.marker = record.marker;
+    sample.markerChar = record.markerChar;
+
+    // Same fan-out order as the local PowerSensor: dump and
+    // listeners first, state publication (and waiter wakes) last.
+    if (activeDump_.load(std::memory_order_relaxed) != nullptr) {
+        dumpBusy_.store(true, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (host::DumpWriter *writer =
+                activeDump_.load(std::memory_order_relaxed))
+            writer->push(record);
+        dumpBusy_.store(false, std::memory_order_release);
+    }
+    {
+        std::lock_guard<std::mutex> lock(listenerMutex_);
+        for (auto &[token, callback] : listeners_)
+            callback(sample);
+    }
+
+    bool wake = false;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        const double dt = haveLastSampleTime_
+                              ? sample.time - lastSampleTime_
+                              : 0.0;
+        haveLastSampleTime_ = true;
+        lastSampleTime_ = sample.time;
+
+        state_.timeAtRead = sample.time;
+        ++state_.sampleCount;
+        for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
+            state_.present[pair] = sample.present[pair];
+            if (!sample.present[pair])
+                continue;
+            state_.current[pair] = sample.current[pair];
+            state_.voltage[pair] = sample.voltage[pair];
+            if (dt > 0.0) {
+                state_.consumedEnergy[pair] +=
+                    sample.current[pair] * sample.voltage[pair] * dt;
+            }
+        }
+
+        if (state_.sampleCount >= sampleWakeTarget_
+            || state_.timeAtRead >= timeWakeTarget_) {
+            sampleWakeTarget_ = kNoSampleTarget;
+            timeWakeTarget_ =
+                std::numeric_limits<double>::infinity();
+            wake = true;
+        }
+    }
+    if (wake)
+        stateCv_.notify_all();
+}
+
+void
+NetPowerSensor::markGone()
+{
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    deviceGone_ = true;
+    stateCv_.notify_all();
+}
+
+host::State
+NetPowerSensor::read() const
+{
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    return state_;
+}
+
+void
+NetPowerSensor::mark(char marker)
+{
+    const std::uint8_t request[2] = {
+        kMarkerRequest, static_cast<std::uint8_t>(marker)};
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    try {
+        socket_->write(request, sizeof(request));
+    } catch (const DeviceError &) {
+        // The reader notices the dead connection; mark() stays
+        // fire-and-forget like the local sensor's.
+    }
+}
+
+void
+NetPowerSensor::dump(const std::string &filename,
+                     host::DumpFormat format,
+                     host::DumpOverflow overflow)
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    std::unique_ptr<host::DumpWriter> next;
+    if (!filename.empty()) {
+        host::DumpWriter::Options options;
+        options.format = format;
+        options.overflow = overflow;
+        next = std::make_unique<host::DumpWriter>(
+            filename, host::dumpHeaderText(config_), options);
+    }
+    std::unique_ptr<host::DumpWriter> old = std::move(dumpWriter_);
+    dumpWriter_ = std::move(next);
+    activeDump_.store(dumpWriter_.get(), std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    while (dumpBusy_.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    if (old)
+        old->close();
+}
+
+bool
+NetPowerSensor::dumping() const
+{
+    return activeDump_.load(std::memory_order_relaxed) != nullptr;
+}
+
+firmware::DeviceConfig
+NetPowerSensor::config() const
+{
+    return config_;
+}
+
+void
+NetPowerSensor::writeConfig(const firmware::DeviceConfig &)
+{
+    throw UsageError(
+        "NetPowerSensor: a remote sensor is read-only; reconfigure "
+        "it on the host that owns the device");
+}
+
+std::string
+NetPowerSensor::firmwareVersion()
+{
+    return remoteFirmwareVersion_;
+}
+
+bool
+NetPowerSensor::pairPresent(unsigned pair) const
+{
+    if (pair >= host::kMaxPairs)
+        throw UsageError("NetPowerSensor: pair index out of range");
+    return config_[pair * 2].inUse && config_[pair * 2 + 1].inUse;
+}
+
+std::string
+NetPowerSensor::pairName(unsigned pair) const
+{
+    if (pair >= host::kMaxPairs)
+        throw UsageError("NetPowerSensor: pair index out of range");
+    return config_[pair * 2].name;
+}
+
+bool
+NetPowerSensor::waitUntil(double device_time) const
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    while (!(state_.timeAtRead >= device_time || deviceGone_)) {
+        timeWakeTarget_ = std::min(timeWakeTarget_, device_time);
+        stateCv_.wait(lock);
+    }
+    return state_.timeAtRead >= device_time;
+}
+
+bool
+NetPowerSensor::waitForSamples(std::uint64_t n) const
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    const std::uint64_t target = state_.sampleCount + n;
+    while (!(state_.sampleCount >= target || deviceGone_)) {
+        sampleWakeTarget_ = std::min(sampleWakeTarget_, target);
+        stateCv_.wait(lock);
+    }
+    return state_.sampleCount >= target;
+}
+
+std::uint64_t
+NetPowerSensor::addSampleListener(host::SampleCallback callback)
+{
+    if (!callback)
+        throw UsageError("NetPowerSensor: null sample listener");
+    std::lock_guard<std::mutex> lock(listenerMutex_);
+    const std::uint64_t token = nextListenerToken_++;
+    listeners_.emplace(token, std::move(callback));
+    return token;
+}
+
+void
+NetPowerSensor::removeSampleListener(std::uint64_t token)
+{
+    std::lock_guard<std::mutex> lock(listenerMutex_);
+    listeners_.erase(token);
+}
+
+bool
+NetPowerSensor::deviceGone() const
+{
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    return deviceGone_;
+}
+
+} // namespace ps3::net

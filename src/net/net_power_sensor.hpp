@@ -1,0 +1,162 @@
+/**
+ * @file
+ * NetPowerSensor: a remote PowerSensor3 streamed by a ps3d daemon.
+ *
+ * Implements the full host::Sensor surface over a TCP or Unix-domain
+ * connection (wire.hpp), so psrun, psdump, the auto-tuner — any code
+ * written against Sensor — works unmodified against a sensor in
+ * another process or on another host:
+ *
+ *  - the handshake echoes the remote sensor configuration, sample
+ *    rate and firmware version, cached here (pairPresent(), config()
+ *    and firmwareVersion() never touch the network again);
+ *  - a reader thread turns incoming record batches back into Samples
+ *    and drives the same state/listener/dump machinery a local
+ *    PowerSensor has, including continuous dumping through the
+ *    asynchronous DumpWriter pipeline;
+ *  - mark() sends an upstream marker request; the daemon forwards it
+ *    to the device and the flagged sample comes back in the stream;
+ *  - writeConfig() throws UsageError — remote sensors are read-only
+ *    by design (reconfiguration belongs to whoever owns the device).
+ *
+ * A vanished server (connection reset, end-of-stream frame, protocol
+ * violation) flips deviceGone() and releases all waiters, exactly
+ * like a local sensor whose serial link died.
+ */
+
+#ifndef PS3_NET_NET_POWER_SENSOR_HPP
+#define PS3_NET_NET_POWER_SENSOR_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "host/sensor.hpp"
+#include "net/wire.hpp"
+#include "transport/socket_device.hpp"
+
+namespace ps3::net {
+
+/** host::Sensor client for the ps3d streaming protocol. */
+class NetPowerSensor : public host::Sensor
+{
+  public:
+    /** Connection knobs. */
+    struct Options
+    {
+        /** Overflow policy requested for the server-side queue. */
+        transport::RingOverflow overflow =
+            transport::RingOverflow::Block;
+        /** Seconds to wait for the connect + handshake. */
+        double connectTimeout = 5.0;
+    };
+
+    /**
+     * Connect to "tcp://host:port" or "unix:///path" and complete
+     * the handshake.
+     * @throws UsageError on a malformed URI, DeviceError when the
+     *         server is unreachable or refuses the hello.
+     */
+    NetPowerSensor(const std::string &uri, Options options);
+    explicit NetPowerSensor(const std::string &uri);
+
+    /** Same, from an already parsed endpoint. */
+    NetPowerSensor(const transport::Endpoint &endpoint,
+                   Options options);
+    explicit NetPowerSensor(const transport::Endpoint &endpoint);
+
+    /** Disconnects and joins the reader thread. */
+    ~NetPowerSensor() override;
+
+    // ----- host::Sensor --------------------------------------------------
+
+    host::State read() const override;
+    void mark(char marker) override;
+    void dump(const std::string &filename,
+              host::DumpFormat format = host::DumpFormat::Auto,
+              host::DumpOverflow overflow =
+                  host::DumpOverflow::Block) override;
+    bool dumping() const override;
+    firmware::DeviceConfig config() const override;
+    /** @throws UsageError always (remote sensors are read-only). */
+    void writeConfig(const firmware::DeviceConfig &config) override;
+    /** Remote firmware version as echoed in the handshake. */
+    std::string firmwareVersion() override;
+    bool pairPresent(unsigned pair) const override;
+    std::string pairName(unsigned pair) const override;
+    bool waitUntil(double device_time) const override;
+    bool waitForSamples(std::uint64_t n) const override;
+    std::uint64_t
+    addSampleListener(host::SampleCallback callback) override;
+    void removeSampleListener(std::uint64_t token) override;
+    bool deviceGone() const override;
+
+    // ----- network extras ------------------------------------------------
+
+    /** Sample rate announced by the server (Hz). */
+    double sampleRateHz() const { return sampleRateHz_; }
+
+    /** Records received and processed so far. */
+    std::uint64_t
+    recordsReceived() const
+    {
+        return recordsReceived_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void handshake(double timeout_seconds);
+    void readerLoop();
+    /** Read exactly n bytes; false on EOF/abort (never partial). */
+    bool readFully(std::uint8_t *out, std::size_t n);
+    void onRecord(const host::DumpRecord &record);
+    /** Flip deviceGone and release every waiter. */
+    void markGone();
+
+    const Options options_;
+    std::unique_ptr<transport::SocketDevice> socket_;
+
+    // Fixed after the handshake; safe to read without locks.
+    firmware::DeviceConfig config_{};
+    std::string remoteFirmwareVersion_;
+    double sampleRateHz_ = 0.0;
+
+    std::thread readerThread_;
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<std::uint64_t> recordsReceived_{0};
+
+    /** Serialises upstream writes (mark() from many threads). */
+    std::mutex writeMutex_;
+
+    // ----- same state machinery as host::PowerSensor ---------------------
+
+    mutable std::mutex stateMutex_;
+    mutable std::condition_variable stateCv_;
+    host::State state_;
+    bool deviceGone_ = false;
+    bool haveLastSampleTime_ = false;
+    double lastSampleTime_ = 0.0;
+
+    static constexpr std::uint64_t kNoSampleTarget =
+        std::numeric_limits<std::uint64_t>::max();
+    mutable std::uint64_t sampleWakeTarget_ = kNoSampleTarget;
+    mutable double timeWakeTarget_ =
+        std::numeric_limits<double>::infinity();
+
+    std::mutex listenerMutex_;
+    std::uint64_t nextListenerToken_ = 1;
+    std::map<std::uint64_t, host::SampleCallback> listeners_;
+
+    std::mutex dumpMutex_;
+    std::unique_ptr<host::DumpWriter> dumpWriter_;
+    std::atomic<host::DumpWriter *> activeDump_{nullptr};
+    std::atomic<bool> dumpBusy_{false};
+};
+
+} // namespace ps3::net
+
+#endif // PS3_NET_NET_POWER_SENSOR_HPP

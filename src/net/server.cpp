@@ -1,0 +1,472 @@
+#include "server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/errors.hpp"
+#include "obs/registry.hpp"
+
+namespace ps3::net {
+
+namespace {
+
+/** Sender-side drain timeout; short so shutdown is prompt. */
+constexpr double kDrainPoll = 0.05;
+
+/** Streaming-server instruments (registered once). */
+struct NetMetrics
+{
+    obs::Counter &connected = obs::Registry::global().counter(
+        "ps3_net_subscribers_connected_total",
+        "Subscribers accepted after a valid handshake");
+    obs::Counter &rejected = obs::Registry::global().counter(
+        "ps3_net_subscribers_rejected_total",
+        "Connections refused during the handshake");
+    obs::Counter &subscribersDropped = obs::Registry::global().counter(
+        "ps3_net_subscribers_dropped_total",
+        "Subscribers disconnected by the server (overflow, errors)");
+    obs::Gauge &active = obs::Registry::global().gauge(
+        "ps3_net_subscribers_active",
+        "Subscribers currently connected");
+    obs::Counter &batches = obs::Registry::global().counter(
+        "ps3_net_batches_sent_total",
+        "Record batches written to subscribers");
+    obs::Counter &bytes = obs::Registry::global().counter(
+        "ps3_net_bytes_sent_total",
+        "Stream bytes written to subscribers (framing included)");
+    obs::Counter &recordsDropped = obs::Registry::global().counter(
+        "ps3_net_records_dropped_total",
+        "Records lost to queue overflow across all subscribers");
+    obs::Counter &markerRequests = obs::Registry::global().counter(
+        "ps3_net_marker_requests_total",
+        "Upstream marker requests received from subscribers");
+    obs::Gauge &queueDepth = obs::Registry::global().gauge(
+        "ps3_net_queue_depth",
+        "Deepest per-subscriber queue at the last publish (records)");
+    obs::Histogram &sendStallNs = obs::Registry::global().histogram(
+        "ps3_net_send_stall_ns",
+        "Per-batch socket write latency in sender threads (ns)");
+};
+
+NetMetrics &
+netMetrics()
+{
+    static NetMetrics metrics;
+    return metrics;
+}
+
+host::DumpRecord
+recordFromSample(const host::Sample &sample)
+{
+    host::DumpRecord record;
+    record.time = sample.time;
+    record.voltage = sample.voltage;
+    record.current = sample.current;
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
+        if (sample.present[pair])
+            record.presentMask |=
+                static_cast<std::uint8_t>(1u << pair);
+    }
+    record.marker = sample.marker;
+    record.markerChar = sample.markerChar;
+    return record;
+}
+
+} // namespace
+
+Ps3Server::Ps3Server(host::Sensor &sensor, Options options)
+    : options_(options),
+      sensor_(&sensor),
+      config_(sensor.config()),
+      firmwareVersion_(sensor.firmwareVersion())
+{
+    listenerToken_ = sensor.addSampleListener(
+        [this](const host::Sample &sample) {
+            publish(recordFromSample(sample));
+        });
+}
+
+Ps3Server::Ps3Server(host::Sensor &sensor)
+    : Ps3Server(sensor, Options{})
+{
+}
+
+Ps3Server::Ps3Server(const firmware::DeviceConfig &config,
+                     std::string firmware_version, Options options)
+    : options_(options),
+      sensor_(nullptr),
+      config_(config),
+      firmwareVersion_(std::move(firmware_version))
+{
+}
+
+Ps3Server::Ps3Server(const firmware::DeviceConfig &config,
+                     std::string firmware_version)
+    : Ps3Server(config, std::move(firmware_version), Options{})
+{
+}
+
+Ps3Server::~Ps3Server()
+{
+    stop();
+}
+
+transport::Endpoint
+Ps3Server::listen(const transport::Endpoint &endpoint)
+{
+    if (stopped_.load(std::memory_order_acquire))
+        throw UsageError("Ps3Server: listen() after stop()");
+    auto listener =
+        std::make_unique<transport::SocketListener>(endpoint);
+    const transport::Endpoint bound = listener->boundEndpoint();
+    std::lock_guard<std::mutex> lock(listenersMutex_);
+    ListenerSlot slot;
+    slot.listener = std::move(listener);
+    transport::SocketListener *raw = slot.listener.get();
+    slot.thread = std::thread([this, raw] { acceptLoop(*raw); });
+    listeners_.push_back(std::move(slot));
+    return bound;
+}
+
+void
+Ps3Server::acceptLoop(transport::SocketListener &listener)
+{
+    while (!stopped_.load(std::memory_order_acquire)) {
+        auto socket = listener.accept(0.2);
+        if (listener.interrupted())
+            return;
+        reapFinished();
+        if (!socket)
+            continue;
+        ClientHello hello;
+        if (!handshake(*socket, hello))
+            continue; // per-connection rejection; keep accepting
+        auto subscriber = std::make_unique<Subscriber>();
+        subscriber->socket = std::move(socket);
+        subscriber->overflow = hello.overflow;
+        subscriber->ring = std::make_unique<
+            transport::SpscPodRing<host::DumpRecord>>(
+            options_.queueCapacity, hello.overflow);
+        Subscriber *raw = subscriber.get();
+        {
+            std::lock_guard<std::mutex> lock(subscribersMutex_);
+            subscriber->id = nextSubscriberId_++;
+            subscribers_.push_back(std::move(subscriber));
+        }
+        // Started after insertion: a publish() racing the start just
+        // buffers into the ring.
+        raw->thread = std::thread([this, raw] { senderLoop(*raw); });
+        netMetrics().connected.inc();
+        netMetrics().active.add();
+    }
+}
+
+bool
+Ps3Server::handshake(transport::SocketDevice &socket,
+                     ClientHello &hello)
+{
+    std::uint8_t raw[kClientHelloSize];
+    std::size_t got = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(
+                  options_.handshakeTimeout));
+    while (got < kClientHelloSize) {
+        const std::size_t n =
+            socket.read(raw + got, sizeof(raw) - got, 0.05);
+        got += n;
+        if (n == 0
+            && (socket.closed()
+                || std::chrono::steady_clock::now() > deadline))
+            break;
+    }
+
+    HelloStatus reject = HelloStatus::BadHello;
+    auto decoded = ClientHello::decode(raw, got, reject);
+    if (decoded && subscriberCount() >= options_.maxSubscribers) {
+        decoded.reset();
+        reject = HelloStatus::ServerFull;
+    }
+    if (!decoded) {
+        netMetrics().rejected.inc();
+        ServerHello nack;
+        nack.status = reject;
+        try {
+            const auto bytes = nack.encode();
+            socket.write(bytes.data(), bytes.size());
+        } catch (const DeviceError &) {
+            // The peer is already gone; nothing to tell it.
+        }
+        return false;
+    }
+
+    hello = *decoded;
+    ServerHello ack;
+    ack.sampleRateHz = firmware::kSampleRateHz;
+    ack.firmwareVersion = firmwareVersion_;
+    ack.config = config_;
+    try {
+        const auto bytes = ack.encode();
+        socket.write(bytes.data(), bytes.size());
+    } catch (const DeviceError &) {
+        return false;
+    }
+    return true;
+}
+
+void
+Ps3Server::publish(const host::DumpRecord &record)
+{
+    std::lock_guard<std::mutex> lock(subscribersMutex_);
+    std::int64_t max_depth = 0;
+    for (auto &subscriber : subscribers_) {
+        if (subscriber->done.load(std::memory_order_acquire))
+            continue;
+        if (subscriber->overflow
+            == transport::RingOverflow::DropOldest) {
+            subscriber->ring->push(record); // reclaims, never blocks
+            publishDrops(*subscriber);
+        } else if (!subscriber->ring->tryPush(record)
+                   && !subscriber->ring->closed()) {
+            // A Block subscriber fell a whole queue behind. Its
+            // policy promised losslessness, so instead of silently
+            // dropping — or stalling the device reader — the server
+            // disconnects it; the record it missed is counted.
+            subscriber->ring->close();
+            subscriber->socket->abort();
+            recordsDropped_.fetch_add(1, std::memory_order_relaxed);
+            subscribersDropped_.fetch_add(
+                1, std::memory_order_relaxed);
+            netMetrics().recordsDropped.inc();
+            netMetrics().subscribersDropped.inc();
+        }
+        max_depth = std::max(
+            max_depth,
+            static_cast<std::int64_t>(subscriber->ring->size()));
+    }
+    netMetrics().queueDepth.set(max_depth);
+}
+
+void
+Ps3Server::publishDrops(Subscriber &subscriber)
+{
+    const std::uint64_t drops = subscriber.ring->dropped();
+    if (drops == subscriber.publishedDrops)
+        return;
+    const std::uint64_t delta = drops - subscriber.publishedDrops;
+    subscriber.publishedDrops = drops;
+    recordsDropped_.fetch_add(delta, std::memory_order_relaxed);
+    netMetrics().recordsDropped.inc(delta);
+}
+
+void
+Ps3Server::senderLoop(Subscriber &subscriber)
+{
+    std::vector<host::DumpRecord> batch(options_.batchRecords);
+    std::vector<std::uint8_t> frame;
+    bool graceful = false;
+    try {
+        for (;;) {
+            const std::size_t n = subscriber.ring->drain(
+                batch.data(), batch.size(), kDrainPoll);
+            if (n == 0) {
+                if (subscriber.ring->finished()) {
+                    graceful = true;
+                    break;
+                }
+                if (subscriber.socket->closed())
+                    break;
+                pollUpstream(subscriber);
+                continue;
+            }
+            frame.clear();
+            frame.resize(4); // length prefix patched below
+            for (std::size_t i = 0; i < n; ++i)
+                encodeRecord(frame, batch[i]);
+            const std::uint32_t payload =
+                static_cast<std::uint32_t>(frame.size() - 4);
+            frame[0] = static_cast<std::uint8_t>(payload & 0xFF);
+            frame[1] =
+                static_cast<std::uint8_t>((payload >> 8) & 0xFF);
+            frame[2] =
+                static_cast<std::uint8_t>((payload >> 16) & 0xFF);
+            frame[3] =
+                static_cast<std::uint8_t>((payload >> 24) & 0xFF);
+            {
+                obs::ScopedTimer timer(netMetrics().sendStallNs);
+                subscriber.socket->write(frame.data(), frame.size());
+            }
+            netMetrics().batches.inc();
+            netMetrics().bytes.inc(frame.size());
+            pollUpstream(subscriber);
+        }
+        if (graceful && !subscriber.socket->closed()) {
+            // Zero-length batch: end-of-stream, then close.
+            const std::uint8_t eos[4] = {0, 0, 0, 0};
+            subscriber.socket->write(eos, sizeof(eos));
+        }
+    } catch (const DeviceError &) {
+        // Connection died (or was aborted); fall through — closing
+        // the ring stops publish() from feeding this subscriber.
+    }
+    subscriber.ring->close();
+    subscriber.done.store(true, std::memory_order_release);
+    netMetrics().active.sub();
+}
+
+void
+Ps3Server::pollUpstream(Subscriber &subscriber)
+{
+    std::uint8_t buffer[64];
+    for (;;) {
+        const std::size_t got =
+            subscriber.socket->read(buffer, sizeof(buffer), 0.0);
+        if (got == 0)
+            return;
+        for (std::size_t i = 0; i < got; ++i) {
+            if (subscriber.pendingRequestLen == 0
+                && buffer[i] != kMarkerRequest)
+                continue; // resync: skip unknown bytes
+            subscriber.pendingRequest[subscriber.pendingRequestLen++] =
+                buffer[i];
+            if (subscriber.pendingRequestLen < 2)
+                continue;
+            subscriber.pendingRequestLen = 0;
+            markerRequests_.fetch_add(1, std::memory_order_relaxed);
+            netMetrics().markerRequests.inc();
+            if (sensor_) {
+                std::lock_guard<std::mutex> lock(markMutex_);
+                sensor_->mark(
+                    static_cast<char>(subscriber.pendingRequest[1]));
+            }
+        }
+    }
+}
+
+std::size_t
+Ps3Server::subscriberCount() const
+{
+    std::lock_guard<std::mutex> lock(subscribersMutex_);
+    std::size_t count = 0;
+    for (const auto &subscriber : subscribers_) {
+        if (!subscriber->done.load(std::memory_order_acquire))
+            ++count;
+    }
+    return count;
+}
+
+std::uint64_t
+Ps3Server::recordsDropped() const
+{
+    return recordsDropped_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Ps3Server::subscribersDropped() const
+{
+    return subscribersDropped_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Ps3Server::markerRequests() const
+{
+    return markerRequests_.load(std::memory_order_relaxed);
+}
+
+void
+Ps3Server::reapFinished()
+{
+    std::vector<std::unique_ptr<Subscriber>> finished;
+    {
+        std::lock_guard<std::mutex> lock(subscribersMutex_);
+        auto it = subscribers_.begin();
+        while (it != subscribers_.end()) {
+            if ((*it)->done.load(std::memory_order_acquire)) {
+                finished.push_back(std::move(*it));
+                it = subscribers_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    // Join outside the lock so publish() is never blocked on it.
+    for (auto &subscriber : finished) {
+        if (subscriber->thread.joinable())
+            subscriber->thread.join();
+    }
+}
+
+void
+Ps3Server::stop()
+{
+    std::lock_guard<std::mutex> stop_lock(stopMutex_);
+    if (stopped_.exchange(true, std::memory_order_acq_rel))
+        return;
+
+    // 1. No new records: detach from the sensor.
+    if (sensor_ && listenerToken_ != 0)
+        sensor_->removeSampleListener(listenerToken_);
+
+    // 2. No new subscribers: interrupt and join the accept threads
+    //    (after this no thread mutates subscribers_ but us).
+    {
+        std::lock_guard<std::mutex> lock(listenersMutex_);
+        for (auto &slot : listeners_)
+            slot.listener->interrupt();
+    }
+    for (auto &slot : listeners_) {
+        if (slot.thread.joinable())
+            slot.thread.join();
+    }
+
+    // 3. Drain-then-close: closing the rings lets every sender flush
+    //    its queued tail and send the end-of-stream frame.
+    {
+        std::lock_guard<std::mutex> lock(subscribersMutex_);
+        for (auto &subscriber : subscribers_)
+            subscriber->ring->close();
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options_.drainTimeout));
+    for (;;) {
+        bool all_done = true;
+        {
+            std::lock_guard<std::mutex> lock(subscribersMutex_);
+            for (auto &subscriber : subscribers_) {
+                if (!subscriber->done.load(
+                        std::memory_order_acquire))
+                    all_done = false;
+            }
+        }
+        if (all_done || std::chrono::steady_clock::now() > deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // 4. Abort stragglers (senders wedged in write() against a
+    //    stalled peer) and join everything.
+    std::vector<std::unique_ptr<Subscriber>> all;
+    {
+        std::lock_guard<std::mutex> lock(subscribersMutex_);
+        for (auto &subscriber : subscribers_) {
+            if (!subscriber->done.load(std::memory_order_acquire))
+                subscriber->socket->abort();
+        }
+        all.swap(subscribers_);
+    }
+    for (auto &subscriber : all) {
+        if (subscriber->thread.joinable())
+            subscriber->thread.join();
+    }
+
+    std::lock_guard<std::mutex> lock(listenersMutex_);
+    listeners_.clear();
+}
+
+} // namespace ps3::net

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Ps3Server: the streaming core of the ps3d daemon.
+ *
+ * One server owns one sensor (or is driven directly via publish())
+ * and fans the live record stream out to N subscribers over TCP
+ * and/or Unix-domain sockets. Each subscriber gets:
+ *
+ *  - its own bounded SpscPodRing<DumpRecord> queue, with the
+ *    overflow policy it requested in its ClientHello: DropOldest
+ *    reclaims the oldest queued records (counted per connection and
+ *    in ps3_net_records_dropped_total), Block promises losslessness
+ *    — and a Block subscriber whose queue still fills up is
+ *    disconnected rather than allowed to stall the device reader;
+ *  - its own sender thread, draining the ring into length-prefixed
+ *    batches (wire.hpp) and polling the connection for upstream
+ *    marker requests.
+ *
+ * The publishing thread (the sensor's reader, via a sample
+ * listener) never blocks and never performs I/O: fan-out is one
+ * ring push per subscriber. A dead, slow or malicious connection
+ * degrades only itself — the handshake rejects with a per-connection
+ * status, overflow disconnects one subscriber, and abort() unsticks
+ * a sender wedged in write() at shutdown.
+ *
+ * stop() (also run by the destructor) is drain-then-close: rings are
+ * closed, live senders flush their queued tail and send a zero-length
+ * end-of-stream batch, and only subscribers that fail to drain within
+ * a grace period are aborted.
+ */
+
+#ifndef PS3_NET_SERVER_HPP
+#define PS3_NET_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "host/sensor.hpp"
+#include "net/wire.hpp"
+#include "transport/socket_device.hpp"
+#include "transport/spsc_pod_ring.hpp"
+
+namespace ps3::net {
+
+/** Multi-subscriber streaming server (the heart of ps3d). */
+class Ps3Server
+{
+  public:
+    /** Tuning knobs. */
+    struct Options
+    {
+        /** Per-subscriber queue capacity in records (~0.8 s). */
+        std::size_t queueCapacity = 1u << 14;
+        /** Records drained per batch frame. */
+        std::size_t batchRecords = 256;
+        /** Subscriber limit; more are rejected with ServerFull. */
+        std::size_t maxSubscribers = 64;
+        /** Seconds a client gets to complete its hello. */
+        double handshakeTimeout = 2.0;
+        /** Seconds stop() waits for senders to drain before abort. */
+        double drainTimeout = 2.0;
+    };
+
+    /**
+     * Serve a sensor: registers a sample listener that publishes
+     * every processed sample; marker requests from subscribers are
+     * forwarded to sensor.mark(). Queries the firmware version once
+     * (it pauses the stream briefly) for the handshake echo.
+     */
+    Ps3Server(host::Sensor &sensor, Options options);
+    explicit Ps3Server(host::Sensor &sensor);
+
+    /**
+     * Publish-driven server (tests, benchmarks): no sensor, the
+     * caller feeds records through publish(); marker requests are
+     * counted but go nowhere.
+     */
+    Ps3Server(const firmware::DeviceConfig &config,
+              std::string firmware_version, Options options);
+    Ps3Server(const firmware::DeviceConfig &config,
+              std::string firmware_version);
+
+    /** stop()s. */
+    ~Ps3Server();
+
+    Ps3Server(const Ps3Server &) = delete;
+    Ps3Server &operator=(const Ps3Server &) = delete;
+
+    /**
+     * Bind an endpoint and start accepting subscribers on it. May be
+     * called multiple times (e.g. one TCP and one Unix socket).
+     * @return The endpoint actually bound (TCP port 0 resolved).
+     * @throws DeviceError when the address cannot be bound.
+     */
+    transport::Endpoint listen(const transport::Endpoint &endpoint);
+
+    /**
+     * Fan one record out to every live subscriber (producer thread —
+     * the sensor listener, or the caller of the sensor-less ctor).
+     * Never blocks, never does I/O.
+     */
+    void publish(const host::DumpRecord &record);
+
+    /** Subscribers currently connected. */
+    std::size_t subscriberCount() const;
+
+    /** Records lost across all subscribers (drops + disconnects). */
+    std::uint64_t recordsDropped() const;
+
+    /** Subscribers disconnected by the server (overflow / errors). */
+    std::uint64_t subscribersDropped() const;
+
+    /** Marker requests received from subscribers. */
+    std::uint64_t markerRequests() const;
+
+    /**
+     * Drain-then-close shutdown: stop accepting, close every queue,
+     * let senders flush and send end-of-stream, abort stragglers
+     * after Options::drainTimeout, join everything. Idempotent.
+     */
+    void stop();
+
+  private:
+    /** One connected subscriber: socket + queue + sender thread. */
+    struct Subscriber
+    {
+        std::uint64_t id = 0;
+        std::unique_ptr<transport::SocketDevice> socket;
+        std::unique_ptr<transport::SpscPodRing<host::DumpRecord>>
+            ring;
+        transport::RingOverflow overflow =
+            transport::RingOverflow::Block;
+        std::thread thread;
+        /** Sender thread exited; safe to join and reap. */
+        std::atomic<bool> done{false};
+        /** Producer-side high-water of ring->dropped() published. */
+        std::uint64_t publishedDrops = 0;
+        /** Bytes of a partial upstream marker request. */
+        std::uint8_t pendingRequest[2] = {0, 0};
+        std::size_t pendingRequestLen = 0;
+    };
+
+    void acceptLoop(transport::SocketListener &listener);
+    bool handshake(transport::SocketDevice &socket,
+                   ClientHello &hello);
+    void senderLoop(Subscriber &subscriber);
+    void pollUpstream(Subscriber &subscriber);
+    /** Join and erase finished subscribers (accept thread / stop). */
+    void reapFinished();
+    /** Producer side: publish ring drop deltas to the counters. */
+    void publishDrops(Subscriber &subscriber);
+
+    const Options options_;
+    host::Sensor *const sensor_; ///< null for publish-driven servers
+    const firmware::DeviceConfig config_;
+    const std::string firmwareVersion_;
+
+    std::uint64_t listenerToken_ = 0; ///< sensor listener token
+    std::atomic<bool> stopped_{false};
+    std::atomic<std::uint64_t> recordsDropped_{0};
+    std::atomic<std::uint64_t> subscribersDropped_{0};
+    std::atomic<std::uint64_t> markerRequests_{0};
+    std::uint64_t nextSubscriberId_ = 1;
+
+    mutable std::mutex subscribersMutex_;
+    std::vector<std::unique_ptr<Subscriber>> subscribers_;
+
+    /** Serialises sensor->mark() calls from N sender threads. */
+    std::mutex markMutex_;
+
+    std::mutex listenersMutex_;
+    struct ListenerSlot
+    {
+        std::unique_ptr<transport::SocketListener> listener;
+        std::thread thread;
+    };
+    std::vector<ListenerSlot> listeners_;
+
+    std::mutex stopMutex_;
+};
+
+} // namespace ps3::net
+
+#endif // PS3_NET_SERVER_HPP

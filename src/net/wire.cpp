@@ -1,0 +1,246 @@
+#include "wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/errors.hpp"
+#include "host/state.hpp"
+
+namespace ps3::net {
+
+namespace {
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(
+            static_cast<std::uint8_t>((bits >> shift) & 0xFF));
+}
+
+double
+getF64(const std::uint8_t *p)
+{
+    std::uint64_t bits = 0;
+    for (int i = 7; i >= 0; --i)
+        bits = (bits << 8) | p[i];
+    return std::bit_cast<double>(bits);
+}
+
+bool
+magicMatches(const std::uint8_t *p)
+{
+    return std::memcmp(p, kMagic, sizeof(kMagic)) == 0;
+}
+
+} // namespace
+
+std::string
+describeStatus(HelloStatus status)
+{
+    switch (status) {
+      case HelloStatus::Ok:
+        return "ok";
+      case HelloStatus::BadMagic:
+        return "bad magic";
+      case HelloStatus::VersionMismatch:
+        return "protocol version mismatch";
+      case HelloStatus::ServerFull:
+        return "server full";
+      case HelloStatus::BadHello:
+        return "malformed hello";
+    }
+    return "unknown status";
+}
+
+// ----- ClientHello -------------------------------------------------------
+
+std::vector<std::uint8_t>
+ClientHello::encode() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kClientHelloSize);
+    for (const char c : kMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    out.push_back(version);
+    out.push_back(
+        overflow == transport::RingOverflow::DropOldest ? 1 : 0);
+    putU16(out, 0); // reserved
+    return out;
+}
+
+std::optional<ClientHello>
+ClientHello::decode(const std::uint8_t *data, std::size_t size,
+                    HelloStatus &reject_status)
+{
+    if (size < kClientHelloSize) {
+        reject_status = HelloStatus::BadHello;
+        return std::nullopt;
+    }
+    if (!magicMatches(data)) {
+        reject_status = HelloStatus::BadMagic;
+        return std::nullopt;
+    }
+    ClientHello hello;
+    hello.version = data[4];
+    if (hello.version != kProtocolVersion) {
+        reject_status = HelloStatus::VersionMismatch;
+        return std::nullopt;
+    }
+    if (data[5] > 1) {
+        reject_status = HelloStatus::BadHello;
+        return std::nullopt;
+    }
+    hello.overflow = data[5] == 1
+                         ? transport::RingOverflow::DropOldest
+                         : transport::RingOverflow::Block;
+    return hello;
+}
+
+// ----- ServerHello -------------------------------------------------------
+
+std::vector<std::uint8_t>
+ServerHello::encode() const
+{
+    std::vector<std::uint8_t> payload;
+    if (status == HelloStatus::Ok) {
+        putF64(payload, sampleRateHz);
+        std::string fw = firmwareVersion.substr(0, 255);
+        payload.push_back(static_cast<std::uint8_t>(fw.size()));
+        payload.insert(payload.end(), fw.begin(), fw.end());
+        const auto blob = firmware::serializeConfig(config);
+        payload.insert(payload.end(), blob.begin(), blob.end());
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(kServerHelloPrefixSize + payload.size());
+    for (const char c : kMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    out.push_back(version);
+    out.push_back(static_cast<std::uint8_t>(status));
+    putU16(out, static_cast<std::uint16_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+std::size_t
+ServerHello::decodePrefix(const std::uint8_t *data, std::size_t size,
+                          ServerHello &out)
+{
+    if (size < kServerHelloPrefixSize)
+        throw DeviceError("server hello truncated");
+    if (!magicMatches(data))
+        throw DeviceError(
+            "server hello has bad magic (not a ps3d endpoint?)");
+    out.version = data[4];
+    out.status = static_cast<HelloStatus>(data[5]);
+    if (out.version != kProtocolVersion)
+        throw DeviceError(
+            "server speaks protocol v"
+            + std::to_string(out.version) + ", this client speaks v"
+            + std::to_string(kProtocolVersion));
+    return getU16(data + 6);
+}
+
+void
+ServerHello::decodePayload(const std::uint8_t *data,
+                           std::size_t size)
+{
+    if (size < 8 + 1)
+        throw DeviceError("server hello payload truncated");
+    sampleRateHz = getF64(data);
+    const std::size_t fw_len = data[8];
+    if (size < 9 + fw_len + firmware::kConfigBlobSize)
+        throw DeviceError("server hello payload truncated");
+    firmwareVersion.assign(
+        reinterpret_cast<const char *>(data + 9), fw_len);
+    config = firmware::deserializeConfig(
+        data + 9 + fw_len, firmware::kConfigBlobSize);
+}
+
+// ----- record batch codec ------------------------------------------------
+
+void
+encodeRecord(std::vector<std::uint8_t> &out,
+             const host::DumpRecord &record)
+{
+    if (record.marker) {
+        out.push_back('M');
+        out.push_back(
+            static_cast<std::uint8_t>(record.markerChar));
+        putF64(out, record.time);
+    }
+    out.push_back('S');
+    out.push_back(record.presentMask);
+    putF64(out, record.time);
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
+        if (!(record.presentMask & (1u << pair)))
+            continue;
+        putF64(out, record.voltage[pair]);
+        putF64(out, record.current[pair]);
+    }
+}
+
+void
+RecordDecoder::feed(const std::uint8_t *data, std::size_t size,
+                    void *context, Callback cb)
+{
+    std::size_t pos = 0;
+    while (pos < size) {
+        const std::uint8_t kind = data[pos];
+        if (kind == 'M') {
+            if (size - pos < 2 + 8)
+                throw DeviceError(
+                    "record batch: truncated marker record");
+            pendingMarker_ = true;
+            pendingMarkerChar_ =
+                static_cast<char>(data[pos + 1]);
+            pendingMarkerTime_ = getF64(data + pos + 2);
+            pos += 2 + 8;
+            continue;
+        }
+        if (kind != 'S')
+            throw DeviceError("record batch: unknown record kind "
+                              + std::to_string(kind));
+        if (size - pos < 2 + 8)
+            throw DeviceError(
+                "record batch: truncated sample record");
+        host::DumpRecord record;
+        record.presentMask = data[pos + 1];
+        record.time = getF64(data + pos + 2);
+        std::size_t offset = pos + 2 + 8;
+        for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
+            if (!(record.presentMask & (1u << pair)))
+                continue;
+            if (size - offset < 16)
+                throw DeviceError(
+                    "record batch: truncated sample record");
+            record.voltage[pair] = getF64(data + offset);
+            record.current[pair] = getF64(data + offset + 8);
+            offset += 16;
+        }
+        if (pendingMarker_) {
+            record.marker = true;
+            record.markerChar = pendingMarkerChar_;
+            pendingMarker_ = false;
+        }
+        ++recordCount_;
+        cb(context, record);
+        pos = offset;
+    }
+}
+
+} // namespace ps3::net

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Network wire protocol of the streaming subsystem (ps3d).
+ *
+ * Documented in docs/PROTOCOL.md ("Network wire protocol"); the
+ * summary:
+ *
+ *  1. Handshake. The client sends a fixed 8-byte ClientHello (magic
+ *     "PS3N", protocol version, requested overflow policy); the
+ *     server answers with a ServerHello — magic, version, a status
+ *     code, and on success a payload echoing the sensor
+ *     configuration (the CFG1 blob), the sample rate and the
+ *     device's firmware version string. Any mismatch is answered
+ *     with a non-zero status and a per-connection close; the server
+ *     never dies on a bad hello.
+ *
+ *  2. Stream. The server sends length-prefixed batches: a u32 LE
+ *     payload size followed by concatenated records in the dump-v2
+ *     little-endian f64 layout (see encodeRecord). A zero-length
+ *     batch is the end-of-stream marker of a graceful shutdown.
+ *     Payloads above kMaxBatchBytes are a protocol violation.
+ *
+ *  3. Upstream. After the handshake the client may send 2-byte
+ *     marker requests ('M' + character), forwarded to the sensor.
+ *
+ * Everything here is plain serialisation — no sockets, no threads —
+ * so the codec is unit-testable in isolation.
+ */
+
+#ifndef PS3_NET_WIRE_HPP
+#define PS3_NET_WIRE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "firmware/protocol.hpp"
+#include "host/dump_writer.hpp"
+#include "transport/spsc_pod_ring.hpp"
+
+namespace ps3::net {
+
+/** Handshake magic: first four bytes of either hello. */
+inline constexpr char kMagic[4] = {'P', 'S', '3', 'N'};
+
+/** Protocol version spoken by this library. */
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/** Serialised ClientHello size (fixed). */
+inline constexpr std::size_t kClientHelloSize = 8;
+
+/** Serialised ServerHello prefix size (before the payload). */
+inline constexpr std::size_t kServerHelloPrefixSize = 8;
+
+/** Upper bound on one stream batch payload (sanity check). */
+inline constexpr std::size_t kMaxBatchBytes = 1u << 20;
+
+/** Upstream message: marker request command byte. */
+inline constexpr std::uint8_t kMarkerRequest = 'M';
+
+/** ServerHello status codes. */
+enum class HelloStatus : std::uint8_t
+{
+    Ok = 0,
+    BadMagic = 1,        ///< client hello did not start with "PS3N"
+    VersionMismatch = 2, ///< client speaks a different version
+    ServerFull = 3,      ///< subscriber limit reached
+    BadHello = 4,        ///< malformed or truncated client hello
+};
+
+/** Human-readable form of a HelloStatus (error messages). */
+std::string describeStatus(HelloStatus status);
+
+/** First message on a connection, client -> server. */
+struct ClientHello
+{
+    std::uint8_t version = kProtocolVersion;
+    /** Requested per-subscriber queue overflow policy. */
+    transport::RingOverflow overflow =
+        transport::RingOverflow::Block;
+
+    /** Serialise to the fixed kClientHelloSize bytes. */
+    std::vector<std::uint8_t> encode() const;
+
+    /**
+     * Parse a received hello.
+     * @return The decoded hello, or the status to reject with.
+     */
+    static std::optional<ClientHello>
+    decode(const std::uint8_t *data, std::size_t size,
+           HelloStatus &reject_status);
+};
+
+/** Handshake reply, server -> client. */
+struct ServerHello
+{
+    std::uint8_t version = kProtocolVersion;
+    HelloStatus status = HelloStatus::Ok;
+    /** Sample rate of the streamed records (Hz). */
+    double sampleRateHz = 0.0;
+    /** Device firmware version string (truncated to 255 chars). */
+    std::string firmwareVersion;
+    /** Sensor configuration echo (empty on rejection). */
+    firmware::DeviceConfig config{};
+
+    /** Serialise (prefix + payload; payload empty on rejection). */
+    std::vector<std::uint8_t> encode() const;
+
+    /**
+     * Parse the 8-byte prefix.
+     * @return Payload length to read next.
+     * @throws DeviceError on bad magic or version.
+     */
+    static std::size_t decodePrefix(const std::uint8_t *data,
+                                    std::size_t size,
+                                    ServerHello &out);
+
+    /**
+     * Parse the payload (status Ok only).
+     * @throws DeviceError on malformed payload.
+     */
+    void decodePayload(const std::uint8_t *data, std::size_t size);
+};
+
+/**
+ * Append one record to a batch payload in the dump-v2 layout:
+ * marker prefix "'M' char f64-time" when flagged, then
+ * "'S' presentMask f64-time { f64-volt f64-amp } per present pair".
+ */
+void encodeRecord(std::vector<std::uint8_t> &out,
+                  const host::DumpRecord &record);
+
+/**
+ * Incremental batch decoder (client side).
+ *
+ * feed() consumes one batch payload and invokes the callback per
+ * decoded record; a marker prefix is folded into the record that
+ * follows it (matching how the encoder emits them), surviving batch
+ * boundaries. Malformed input raises DeviceError.
+ */
+class RecordDecoder
+{
+  public:
+    /** Callback invoked once per decoded record. */
+    using Callback = void (*)(void *context,
+                              const host::DumpRecord &record);
+
+    /** Decode one payload, firing cb for every complete record. */
+    void feed(const std::uint8_t *data, std::size_t size,
+              void *context, Callback cb);
+
+    /** Records decoded so far. */
+    std::uint64_t recordCount() const { return recordCount_; }
+
+  private:
+    /** Marker seen, waiting for its sample record. */
+    bool pendingMarker_ = false;
+    char pendingMarkerChar_ = '\0';
+    double pendingMarkerTime_ = 0.0;
+    std::uint64_t recordCount_ = 0;
+};
+
+} // namespace ps3::net
+
+#endif // PS3_NET_WIRE_HPP

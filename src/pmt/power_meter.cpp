@@ -13,7 +13,7 @@ watts(const PmtState &first, const PmtState &second)
     return joules(first, second) / dt;
 }
 
-PowerSensor3Meter::PowerSensor3Meter(host::PowerSensor &sensor)
+PowerSensor3Meter::PowerSensor3Meter(host::Sensor &sensor)
     : sensor_(sensor)
 {
 }

@@ -21,7 +21,7 @@
 
 #include <string>
 
-#include "host/power_sensor.hpp"
+#include "host/sensor.hpp"
 
 namespace ps3::pmt {
 
@@ -71,13 +71,13 @@ class PowerSensor3Meter : public PowerMeter
 {
   public:
     /** @param sensor Connected sensor; must outlive the meter. */
-    explicit PowerSensor3Meter(host::PowerSensor &sensor);
+    explicit PowerSensor3Meter(host::Sensor &sensor);
 
     PmtState read() override;
     std::string name() const override { return "PowerSensor3"; }
 
   private:
-    host::PowerSensor &sensor_;
+    host::Sensor &sensor_;
 };
 
 } // namespace ps3::pmt

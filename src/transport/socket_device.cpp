@@ -1,0 +1,365 @@
+#include "socket_device.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/errors.hpp"
+
+namespace ps3::transport {
+
+namespace {
+
+/** poll() timeout in ms, saturating; <0 never returns early. */
+int
+pollMillis(double seconds)
+{
+    if (seconds <= 0.0)
+        return 0;
+    const double ms = seconds * 1e3;
+    return ms > 86400e3 ? 86400000 : static_cast<int>(ms) + 1;
+}
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw DeviceError(what + ": " + std::strerror(errno));
+}
+
+/** Build a sockaddr_un, validating the path length. */
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        throw UsageError("unix socket path empty or too long: "
+                         + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/** Resolve a TCP endpoint (numeric or named host). */
+sockaddr_in
+tcpAddress(const Endpoint &endpoint, bool for_bind)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint.port);
+    const std::string &host = endpoint.host;
+    if (host.empty() || host == "*") {
+        if (!for_bind)
+            throw UsageError(
+                "tcp connect endpoint needs an explicit host");
+        addr.sin_addr.s_addr = htonl(INADDR_ANY);
+        return addr;
+    }
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1)
+        return addr;
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *result = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &result) != 0
+        || result == nullptr)
+        throw DeviceError("cannot resolve host: " + host);
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in *>(result->ai_addr)->sin_addr;
+    ::freeaddrinfo(result);
+    return addr;
+}
+
+int
+newEventFd()
+{
+    const int fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (fd < 0)
+        throwErrno("eventfd");
+    return fd;
+}
+
+} // namespace
+
+// ----- Endpoint ----------------------------------------------------------
+
+Endpoint
+Endpoint::parse(const std::string &uri)
+{
+    Endpoint endpoint;
+    const std::string tcp = "tcp://", unx = "unix://";
+    if (uri.rfind(unx, 0) == 0) {
+        endpoint.kind = Kind::Unix;
+        endpoint.path = uri.substr(unx.size());
+        if (endpoint.path.empty() || endpoint.path[0] != '/')
+            throw UsageError(
+                "unix endpoint needs an absolute path: " + uri);
+        return endpoint;
+    }
+    if (uri.rfind(tcp, 0) != 0)
+        throw UsageError("endpoint must be tcp://host:port or "
+                         "unix:///path, got: "
+                         + uri);
+    const std::string rest = uri.substr(tcp.size());
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos)
+        throw UsageError("tcp endpoint needs a port: " + uri);
+    endpoint.kind = Kind::Tcp;
+    endpoint.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    if (port_text.empty()
+        || port_text.find_first_not_of("0123456789")
+               != std::string::npos)
+        throw UsageError("bad tcp port in endpoint: " + uri);
+    const unsigned long port = std::stoul(port_text);
+    if (port > 65535)
+        throw UsageError("tcp port out of range: " + uri);
+    endpoint.port = static_cast<std::uint16_t>(port);
+    return endpoint;
+}
+
+std::string
+Endpoint::describe() const
+{
+    if (kind == Kind::Unix)
+        return "unix://" + path;
+    return "tcp://" + (host.empty() ? std::string("*") : host) + ":"
+           + std::to_string(port);
+}
+
+// ----- SocketDevice ------------------------------------------------------
+
+SocketDevice::SocketDevice(int fd) : fd_(fd), wakeFd_(newEventFd())
+{
+    if (fd_ < 0)
+        throw UsageError("SocketDevice: bad file descriptor");
+}
+
+SocketDevice::~SocketDevice()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    if (wakeFd_ >= 0)
+        ::close(wakeFd_);
+}
+
+std::unique_ptr<SocketDevice>
+SocketDevice::connect(const Endpoint &endpoint,
+                      double timeout_seconds)
+{
+    const int family =
+        endpoint.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+    const int fd = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    auto device = std::make_unique<SocketDevice>(fd);
+
+    int rc;
+    if (endpoint.kind == Endpoint::Kind::Unix) {
+        const auto addr = unixAddress(endpoint.path);
+        rc = ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    } else {
+        const auto addr = tcpAddress(endpoint, false);
+        rc = ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    }
+    if (rc != 0)
+        throw DeviceError("cannot connect to " + endpoint.describe()
+                          + ": " + std::strerror(errno));
+    (void)timeout_seconds; // blocking connect; kernel default timeout
+
+    if (endpoint.kind == Endpoint::Kind::Tcp) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+    }
+    return device;
+}
+
+std::size_t
+SocketDevice::read(std::uint8_t *buffer, std::size_t max_bytes,
+                   double timeout_seconds)
+{
+    if (max_bytes == 0 || closed_.load(std::memory_order_acquire))
+        return 0;
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wakeFd_, POLLIN, 0}};
+    const int ready =
+        ::poll(fds, 2, pollMillis(timeout_seconds));
+    if (ready < 0) {
+        if (errno == EINTR)
+            return 0;
+        throwErrno("poll");
+    }
+    if (fds[1].revents & POLLIN) {
+        // interruptReads(): consume the one-shot wakeup and report
+        // a timeout; the next read behaves normally.
+        std::uint64_t token = 0;
+        [[maybe_unused]] const ssize_t got =
+            ::read(wakeFd_, &token, sizeof(token));
+        return 0;
+    }
+    if (ready == 0)
+        return 0;
+    const ssize_t got = ::recv(fd_, buffer, max_bytes, 0);
+    if (got < 0) {
+        if (errno == EINTR || errno == EAGAIN
+            || errno == EWOULDBLOCK)
+            return 0;
+        closed_.store(true, std::memory_order_release);
+        return 0;
+    }
+    if (got == 0) {
+        closed_.store(true, std::memory_order_release);
+        return 0;
+    }
+    return static_cast<std::size_t>(got);
+}
+
+void
+SocketDevice::write(const std::uint8_t *data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n = ::send(fd_, data + sent, size - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            closed_.store(true, std::memory_order_release);
+            throw DeviceError(std::string("socket write failed: ")
+                              + std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+bool
+SocketDevice::closed() const
+{
+    return closed_.load(std::memory_order_acquire);
+}
+
+void
+SocketDevice::interruptReads()
+{
+    const std::uint64_t token = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakeFd_, &token, sizeof(token));
+}
+
+void
+SocketDevice::abort()
+{
+    if (aborted_.exchange(true, std::memory_order_acq_rel))
+        return;
+    closed_.store(true, std::memory_order_release);
+    ::shutdown(fd_, SHUT_RDWR);
+    interruptReads();
+}
+
+// ----- SocketListener ----------------------------------------------------
+
+SocketListener::SocketListener(const Endpoint &endpoint)
+    : endpoint_(endpoint), wakeFd_(newEventFd())
+{
+    const int family =
+        endpoint.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+    fd_ = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0)
+        throwErrno("socket");
+
+    int rc;
+    if (endpoint.kind == Endpoint::Kind::Unix) {
+        ::unlink(endpoint.path.c_str()); // stale socket file
+        const auto addr = unixAddress(endpoint.path);
+        rc = ::bind(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                    sizeof(addr));
+    } else {
+        const int one = 1;
+        ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        const auto addr = tcpAddress(endpoint, true);
+        rc = ::bind(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                    sizeof(addr));
+    }
+    if (rc != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        ::close(wakeFd_);
+        fd_ = wakeFd_ = -1;
+        throw DeviceError("cannot bind " + endpoint.describe() + ": "
+                          + std::strerror(saved));
+    }
+    if (::listen(fd_, 64) != 0)
+        throwErrno("listen");
+
+    if (endpoint.kind == Endpoint::Kind::Tcp && endpoint.port == 0) {
+        sockaddr_in addr{};
+        socklen_t len = sizeof(addr);
+        if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr),
+                          &len)
+            == 0)
+            endpoint_.port = ntohs(addr.sin_port);
+    }
+}
+
+SocketListener::~SocketListener()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    if (wakeFd_ >= 0)
+        ::close(wakeFd_);
+    if (endpoint_.kind == Endpoint::Kind::Unix)
+        ::unlink(endpoint_.path.c_str());
+}
+
+std::unique_ptr<SocketDevice>
+SocketListener::accept(double timeout_seconds)
+{
+    if (interrupted_.load(std::memory_order_acquire))
+        return nullptr;
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wakeFd_, POLLIN, 0}};
+    const int ready =
+        ::poll(fds, 2, pollMillis(timeout_seconds));
+    if (ready <= 0)
+        return nullptr;
+    if (fds[1].revents & POLLIN)
+        return nullptr; // interrupted (sticky; flag already set)
+    const int conn = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0)
+        return nullptr; // racing close / transient error
+    if (endpoint_.kind == Endpoint::Kind::Tcp) {
+        const int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+    }
+    return std::make_unique<SocketDevice>(conn);
+}
+
+void
+SocketListener::interrupt()
+{
+    interrupted_.store(true, std::memory_order_release);
+    const std::uint64_t token = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakeFd_, &token, sizeof(token));
+}
+
+bool
+SocketListener::interrupted() const
+{
+    return interrupted_.load(std::memory_order_acquire);
+}
+
+} // namespace ps3::transport

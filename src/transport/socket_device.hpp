@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Socket-backed CharDevice: TCP and Unix-domain byte streams.
+ *
+ * The network streaming subsystem (src/net) moves the PowerSensor3
+ * sample stream between processes and hosts. This file provides the
+ * transport bricks it stands on:
+ *
+ *  - Endpoint — parsed "tcp://host:port" / "unix:///path" URIs;
+ *  - SocketDevice — one connected stream socket with the CharDevice
+ *    read/write/closed contract (poll-based read timeouts, eventfd
+ *    wakeup for interruptReads(), full-buffer blocking writes with
+ *    MSG_NOSIGNAL so a dead peer raises DeviceError, not SIGPIPE);
+ *  - SocketListener — a bound listening socket with interruptible,
+ *    timeout-bounded accept().
+ *
+ * abort() hard-disconnects a socket from any thread: a sender stuck
+ * in write() against a stalled peer fails over to DeviceError
+ * immediately — the lever the server uses to shed one slow or dead
+ * subscriber without disturbing the rest of the process.
+ */
+
+#ifndef PS3_TRANSPORT_SOCKET_DEVICE_HPP
+#define PS3_TRANSPORT_SOCKET_DEVICE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "transport/char_device.hpp"
+
+namespace ps3::transport {
+
+/** A parsed stream-socket address (TCP or Unix domain). */
+struct Endpoint
+{
+    /** Address family of the endpoint. */
+    enum class Kind
+    {
+        Tcp, ///< "tcp://host:port"
+        Unix ///< "unix:///path/to/socket"
+    };
+
+    Kind kind = Kind::Tcp;
+    /** TCP host (name or numeric); empty binds every interface. */
+    std::string host;
+    /** TCP port; 0 asks the kernel for a free port (bind only). */
+    std::uint16_t port = 0;
+    /** Unix-domain socket path. */
+    std::string path;
+
+    /**
+     * Parse "tcp://host:port" or "unix:///path".
+     * @throws UsageError on any malformed URI.
+     */
+    static Endpoint parse(const std::string &uri);
+
+    /** Canonical URI form ("tcp://127.0.0.1:9151"). */
+    std::string describe() const;
+};
+
+/** One connected stream socket with CharDevice semantics. */
+class SocketDevice : public CharDevice
+{
+  public:
+    /** Wrap an already connected socket file descriptor. */
+    explicit SocketDevice(int fd);
+
+    /** Closes the descriptor. */
+    ~SocketDevice() override;
+
+    SocketDevice(const SocketDevice &) = delete;
+    SocketDevice &operator=(const SocketDevice &) = delete;
+
+    /**
+     * Connect to a listening endpoint.
+     * @throws DeviceError when the peer cannot be reached in time.
+     */
+    static std::unique_ptr<SocketDevice>
+    connect(const Endpoint &endpoint, double timeout_seconds);
+
+    std::size_t read(std::uint8_t *buffer, std::size_t max_bytes,
+                     double timeout_seconds) override;
+
+    /**
+     * Write the whole buffer, blocking while the socket buffer is
+     * full. @throws DeviceError once the peer is gone or abort()
+     * was called.
+     */
+    void write(const std::uint8_t *data, std::size_t size) override;
+
+    bool closed() const override;
+
+    /** One-shot wakeup of a read parked in its poll timeout. */
+    void interruptReads() override;
+
+    /**
+     * Hard-disconnect from any thread: shut both directions down so
+     * blocked reads return end-of-stream and blocked writes fail
+     * with DeviceError. Idempotent.
+     */
+    void abort();
+
+  private:
+    int fd_ = -1;
+    int wakeFd_ = -1; ///< eventfd; readable => interruptReads pending
+    std::atomic<bool> closed_{false};
+    std::atomic<bool> aborted_{false};
+};
+
+/** A bound, listening stream socket. */
+class SocketListener
+{
+  public:
+    /**
+     * Bind and listen. TCP listeners set SO_REUSEADDR; a Unix
+     * listener unlinks a stale socket file first and unlinks its
+     * path again on destruction.
+     * @throws DeviceError when the address cannot be bound.
+     */
+    explicit SocketListener(const Endpoint &endpoint);
+
+    ~SocketListener();
+
+    SocketListener(const SocketListener &) = delete;
+    SocketListener &operator=(const SocketListener &) = delete;
+
+    /**
+     * Wait for one connection.
+     * @return The accepted socket, or nullptr on timeout or after
+     *         interrupt().
+     */
+    std::unique_ptr<SocketDevice> accept(double timeout_seconds);
+
+    /** Wake a blocked accept() permanently (shutdown path). */
+    void interrupt();
+
+    /** True once interrupt() was called. */
+    bool interrupted() const;
+
+    /** The endpoint actually bound (TCP port 0 resolved). */
+    const Endpoint &boundEndpoint() const { return endpoint_; }
+
+  private:
+    Endpoint endpoint_;
+    int fd_ = -1;
+    int wakeFd_ = -1;
+    std::atomic<bool> interrupted_{false};
+};
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_SOCKET_DEVICE_HPP

@@ -123,6 +123,40 @@ class SpscPodRing
         return true;
     }
 
+    /**
+     * Append one record without ever blocking, whatever the policy:
+     * DropOldest reclaims as in push(); Block reports a full ring
+     * instead of waiting. Used by producers that must not stall on a
+     * slow consumer (the network fan-out path, which disconnects a
+     * Block subscriber rather than hold up the device reader).
+     * @return false when the ring is closed or (Block mode) full.
+     */
+    bool
+    tryPush(const T &record)
+    {
+        if (closed_.load(std::memory_order_acquire))
+            return false;
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_relaxed);
+        std::uint64_t head = head_.load(std::memory_order_acquire);
+        while (tail - head >= capacity_) {
+            if (policy_ != Overflow::DropOldest)
+                return false; // full; caller decides what that means
+            if (head_.compare_exchange_weak(
+                    head, head + 1, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                dropped_.fetch_add(1, std::memory_order_relaxed);
+                head += 1;
+            }
+        }
+        slots_[static_cast<std::size_t>(tail) & mask_] = record;
+        tail_.store(tail + 1, std::memory_order_release);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (consumerWaiting_.load(std::memory_order_relaxed))
+            wake();
+        return true;
+    }
+
     // ----- consumer side -------------------------------------------------
 
     /**

@@ -17,7 +17,7 @@ constexpr double kScheduleMargin = 0.25;
 } // namespace
 
 AutoTuner::AutoTuner(dut::GpuDutModel &gpu, firmware::Firmware &fw,
-                     host::PowerSensor *sensor,
+                     host::Sensor *sensor,
                      pmt::PowerMeter *onboard, BeamformerModel model,
                      TuningOptions options)
     : gpu_(gpu), fw_(fw), sensor_(sensor), onboard_(onboard),

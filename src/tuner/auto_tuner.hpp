@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "firmware/firmware.hpp"
-#include "host/power_sensor.hpp"
+#include "host/sensor.hpp"
 #include "pmt/power_meter.hpp"
 #include "tuner/beamformer_model.hpp"
 #include "tuner/search_space.hpp"
@@ -101,7 +101,7 @@ class AutoTuner
      * @param options Tuning knobs.
      */
     AutoTuner(dut::GpuDutModel &gpu, firmware::Firmware &fw,
-              host::PowerSensor *sensor, pmt::PowerMeter *onboard,
+              host::Sensor *sensor, pmt::PowerMeter *onboard,
               BeamformerModel model, TuningOptions options);
 
     /**
@@ -133,7 +133,7 @@ class AutoTuner
   private:
     dut::GpuDutModel &gpu_;
     firmware::Firmware &fw_;
-    host::PowerSensor *sensor_;
+    host::Sensor *sensor_;
     pmt::PowerMeter *onboard_;
     BeamformerModel model_;
     TuningOptions options_;

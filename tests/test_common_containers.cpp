@@ -1,14 +1,17 @@
 /**
  * @file
- * Unit tests for ring buffer, RNG, clocks, CSV writer, units and
- * logging.
+ * Unit tests for ring buffer, MPMC bounded queue, RNG, clocks, CSV
+ * writer, units and logging.
  */
 
+#include <atomic>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/bounded_queue.hpp"
 #include "common/csv_writer.hpp"
 #include "common/errors.hpp"
 #include "common/logging.hpp"
@@ -211,6 +214,89 @@ TEST(Logging, LevelFilterWorks)
     logDebug() << "suppressed";
     logInfo() << "suppressed";
     Log::setLevel(original);
+}
+
+TEST(MpmcBoundedQueue, RoundsCapacityUpToPowerOfTwo)
+{
+    MpmcBoundedQueue<int> tiny(1);
+    EXPECT_EQ(tiny.capacity(), 4u);
+    MpmcBoundedQueue<int> queue(100);
+    EXPECT_EQ(queue.capacity(), 128u);
+}
+
+TEST(MpmcBoundedQueue, FifoOrderAndFullEmptySignalling)
+{
+    MpmcBoundedQueue<int> queue(4);
+    int out = 0;
+    EXPECT_FALSE(queue.tryPop(out));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(queue.tryPush(i));
+    EXPECT_FALSE(queue.tryPush(99)); // full: value rejected, not lost
+    EXPECT_EQ(queue.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(queue.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(queue.tryPop(out));
+
+    // Slots recycle: the queue works across many wrap-arounds.
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(queue.tryPush(i));
+        ASSERT_TRUE(queue.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+}
+
+TEST(MpmcBoundedQueue, MultiProducerContentionLosesNothing)
+{
+    // Four producers hammer a small queue while one consumer drains
+    // it; every accepted push must come out exactly once. Encoding
+    // producer+sequence in the value catches duplication and tearing.
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 20000;
+    MpmcBoundedQueue<int> queue(64);
+
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, &accepted, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                if (queue.tryPush(p * kPerProducer + i))
+                    accepted.fetch_add(1,
+                                       std::memory_order_relaxed);
+            }
+        });
+    }
+
+    std::vector<int> seen(kProducers * kPerProducer, 0);
+    std::atomic<bool> producing{true};
+    std::thread consumer([&] {
+        int value = 0;
+        for (;;) {
+            if (queue.tryPop(value)) {
+                ++seen[static_cast<std::size_t>(value)];
+            } else if (!producing.load(std::memory_order_acquire)) {
+                // Producers are done and the queue read empty once
+                // more: nothing can arrive after this point.
+                if (!queue.tryPop(value))
+                    break;
+                ++seen[static_cast<std::size_t>(value)];
+            }
+        }
+    });
+
+    for (auto &thread : producers)
+        thread.join();
+    producing.store(false, std::memory_order_release);
+    consumer.join();
+
+    int total = 0;
+    for (const int count : seen) {
+        EXPECT_LE(count, 1); // never duplicated
+        total += count;
+    }
+    EXPECT_EQ(total, accepted.load());
+    EXPECT_GT(total, 0);
 }
 
 TEST(Errors, HierarchyIsCatchable)

@@ -10,9 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "common/errors.hpp"
 #include "firmware/wire_stub.hpp"
@@ -347,6 +349,50 @@ TEST(PowerSensorTest, DestructorReturnsPromptlyWithIdleStream)
             .count();
     EXPECT_LT(elapsed, 0.040);
     EXPECT_FALSE(stub.streaming()); // StopStream reached the device
+}
+
+TEST(PowerSensorTest, ConcurrentMarkersFromManyThreadsAllResolve)
+{
+    // mark() is documented lock-free and callable from any thread,
+    // including sample listeners on the reader thread itself. Spin
+    // four threads marking concurrently and check every accepted
+    // marker comes back flagged on a sample exactly once.
+    auto rig = rigs::labBench(analog::modules::slot12V10A(), 12.0,
+                              2.0);
+    auto sensor = rig.connect();
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 32; // stays under the 256-slot queue
+    std::atomic<int> seen{0};
+    const auto token =
+        sensor->addSampleListener([&](const Sample &sample) {
+            if (sample.marker)
+                seen.fetch_add(1, std::memory_order_relaxed);
+        });
+
+    std::vector<std::thread> markers;
+    for (int t = 0; t < kThreads; ++t) {
+        markers.emplace_back([&sensor] {
+            for (int i = 0; i < kPerThread; ++i) {
+                sensor->mark('a' + (i % 26));
+                // Yield so markers spread across frame sets instead
+                // of racing the queue depth.
+                std::this_thread::yield();
+            }
+        });
+    }
+    for (auto &thread : markers)
+        thread.join();
+
+    // One marker resolves per frame set, so give the stream time to
+    // work through the backlog.
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::seconds(20);
+    while (seen.load() < kThreads * kPerThread
+           && std::chrono::steady_clock::now() < deadline)
+        ASSERT_TRUE(sensor->waitForSamples(256));
+    sensor->removeSampleListener(token);
+    EXPECT_EQ(seen.load(), kThreads * kPerThread);
 }
 
 } // namespace

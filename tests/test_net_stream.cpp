@@ -1,0 +1,544 @@
+/**
+ * @file
+ * Network streaming subsystem tests: wire codec round trips,
+ * handshake fault handling, multi-subscriber fan-out semantics
+ * (Block zero-loss, DropOldest accounting), and the NetPowerSensor
+ * client end-to-end against a simulated rig served by Ps3Server.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "analog/sensor_module_spec.hpp"
+#include "common/errors.hpp"
+#include "host/sim_setup.hpp"
+#include "net/net_power_sensor.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "obs/registry.hpp"
+#include "transport/socket_device.hpp"
+
+namespace ps3 {
+namespace {
+
+using transport::Endpoint;
+using transport::RingOverflow;
+
+/** Unique Unix-socket path per test (sockets are process-scoped). */
+std::string
+socketPath()
+{
+    static std::atomic<int> counter{0};
+    return "/tmp/ps3_net_test_" + std::to_string(::getpid()) + "_"
+           + std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/** A recognisable sensor configuration for codec tests. */
+firmware::DeviceConfig
+testConfig()
+{
+    firmware::DeviceConfig config{};
+    config[0].inUse = true;
+    config[0].name = "12V-10A";
+    config[0].vref = 1.65;
+    config[0].slope = 0.11;
+    config[1].inUse = true;
+    config[1].slope = 0.09;
+    return config;
+}
+
+host::DumpRecord
+testRecord(double time, std::uint8_t mask, bool marker = false)
+{
+    host::DumpRecord record;
+    record.time = time;
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
+        record.voltage[pair] = 12.0 + pair;
+        record.current[pair] = 0.5 * pair;
+    }
+    record.presentMask = mask;
+    record.marker = marker;
+    record.markerChar = marker ? 'X' : '\0';
+    return record;
+}
+
+/** Collects decoded records for codec tests. */
+struct Collector
+{
+    std::vector<host::DumpRecord> records;
+    static void
+    onRecord(void *self, const host::DumpRecord &record)
+    {
+        static_cast<Collector *>(self)->records.push_back(record);
+    }
+};
+
+// ----- Endpoint parsing --------------------------------------------------
+
+TEST(NetEndpoint, ParsesTcpAndUnixUris)
+{
+    const auto tcp = Endpoint::parse("tcp://127.0.0.1:9151");
+    EXPECT_EQ(tcp.kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(tcp.host, "127.0.0.1");
+    EXPECT_EQ(tcp.port, 9151);
+    EXPECT_EQ(tcp.describe(), "tcp://127.0.0.1:9151");
+
+    const auto unx = Endpoint::parse("unix:///tmp/ps3.sock");
+    EXPECT_EQ(unx.kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(unx.path, "/tmp/ps3.sock");
+    EXPECT_EQ(unx.describe(), "unix:///tmp/ps3.sock");
+}
+
+TEST(NetEndpoint, RejectsMalformedUris)
+{
+    EXPECT_THROW(Endpoint::parse("http://x:1"), UsageError);
+    EXPECT_THROW(Endpoint::parse("tcp://nohost"), UsageError);
+    EXPECT_THROW(Endpoint::parse("tcp://h:notaport"), UsageError);
+    EXPECT_THROW(Endpoint::parse("tcp://h:99999"), UsageError);
+    EXPECT_THROW(Endpoint::parse("unix://relative.sock"),
+                 UsageError);
+}
+
+// ----- Wire codec --------------------------------------------------------
+
+TEST(NetWire, ClientHelloRoundTrip)
+{
+    for (const auto policy :
+         {RingOverflow::Block, RingOverflow::DropOldest}) {
+        net::ClientHello hello{net::kProtocolVersion, policy};
+        const auto bytes = hello.encode();
+        ASSERT_EQ(bytes.size(), net::kClientHelloSize);
+        auto reject = net::HelloStatus::Ok;
+        const auto decoded = net::ClientHello::decode(
+            bytes.data(), bytes.size(), reject);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->overflow, policy);
+    }
+}
+
+TEST(NetWire, ClientHelloRejectsBadInput)
+{
+    auto reject = net::HelloStatus::Ok;
+
+    const std::uint8_t garbage[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_FALSE(net::ClientHello::decode(garbage, sizeof(garbage),
+                                          reject));
+    EXPECT_EQ(reject, net::HelloStatus::BadMagic);
+
+    net::ClientHello hello;
+    auto bytes = hello.encode();
+    EXPECT_FALSE(net::ClientHello::decode(bytes.data(), 3, reject));
+    EXPECT_EQ(reject, net::HelloStatus::BadHello);
+
+    bytes[4] = 99; // future protocol version
+    EXPECT_FALSE(net::ClientHello::decode(bytes.data(), bytes.size(),
+                                          reject));
+    EXPECT_EQ(reject, net::HelloStatus::VersionMismatch);
+}
+
+TEST(NetWire, ServerHelloRoundTrip)
+{
+    net::ServerHello hello;
+    hello.sampleRateHz = firmware::kSampleRateHz;
+    hello.firmwareVersion = "PS3-sim-1.2";
+    hello.config = testConfig();
+    const auto bytes = hello.encode();
+
+    net::ServerHello decoded;
+    const std::size_t payload_len = net::ServerHello::decodePrefix(
+        bytes.data(), bytes.size(), decoded);
+    ASSERT_EQ(payload_len,
+              bytes.size() - net::kServerHelloPrefixSize);
+    ASSERT_EQ(decoded.status, net::HelloStatus::Ok);
+    decoded.decodePayload(bytes.data() + net::kServerHelloPrefixSize,
+                          payload_len);
+    EXPECT_EQ(decoded.sampleRateHz, firmware::kSampleRateHz);
+    EXPECT_EQ(decoded.firmwareVersion, "PS3-sim-1.2");
+    EXPECT_EQ(decoded.config[0].name, "12V-10A");
+    EXPECT_TRUE(decoded.config[1].inUse);
+    // The CFG1 blob stores calibration values as f32.
+    EXPECT_NEAR(decoded.config[0].vref, 1.65, 1e-6);
+}
+
+TEST(NetWire, ServerHelloRejectionHasEmptyPayload)
+{
+    net::ServerHello nack;
+    nack.status = net::HelloStatus::ServerFull;
+    const auto bytes = nack.encode();
+    EXPECT_EQ(bytes.size(), net::kServerHelloPrefixSize);
+
+    net::ServerHello decoded;
+    EXPECT_EQ(net::ServerHello::decodePrefix(bytes.data(),
+                                             bytes.size(), decoded),
+              0u);
+    EXPECT_EQ(decoded.status, net::HelloStatus::ServerFull);
+}
+
+TEST(NetWire, RecordBatchRoundTrip)
+{
+    std::vector<std::uint8_t> payload;
+    net::encodeRecord(payload, testRecord(1.25, 0x01));
+    net::encodeRecord(payload, testRecord(1.50, 0x05, true));
+    net::encodeRecord(payload, testRecord(1.75, 0x00));
+
+    net::RecordDecoder decoder;
+    Collector collector;
+    decoder.feed(payload.data(), payload.size(), &collector,
+                 &Collector::onRecord);
+
+    ASSERT_EQ(collector.records.size(), 3u);
+    EXPECT_EQ(decoder.recordCount(), 3u);
+    EXPECT_DOUBLE_EQ(collector.records[0].time, 1.25);
+    EXPECT_EQ(collector.records[0].presentMask, 0x01);
+    EXPECT_FALSE(collector.records[0].marker);
+    EXPECT_DOUBLE_EQ(collector.records[0].voltage[0], 12.0);
+    EXPECT_DOUBLE_EQ(collector.records[0].current[0], 0.0);
+
+    EXPECT_TRUE(collector.records[1].marker);
+    EXPECT_EQ(collector.records[1].markerChar, 'X');
+    EXPECT_EQ(collector.records[1].presentMask, 0x05);
+    EXPECT_DOUBLE_EQ(collector.records[1].voltage[2], 14.0);
+    EXPECT_DOUBLE_EQ(collector.records[1].current[2], 1.0);
+
+    EXPECT_EQ(collector.records[2].presentMask, 0x00);
+}
+
+TEST(NetWire, DecoderRejectsMalformedBatches)
+{
+    net::RecordDecoder decoder;
+    Collector collector;
+
+    const std::uint8_t unknown[] = {'Q', 0, 0};
+    EXPECT_THROW(decoder.feed(unknown, sizeof(unknown), &collector,
+                              &Collector::onRecord),
+                 DeviceError);
+
+    std::vector<std::uint8_t> truncated;
+    net::encodeRecord(truncated, testRecord(1.0, 0x03));
+    net::RecordDecoder decoder2;
+    EXPECT_THROW(decoder2.feed(truncated.data(),
+                               truncated.size() - 5, &collector,
+                               &Collector::onRecord),
+                 DeviceError);
+}
+
+// ----- handshake fault handling ------------------------------------------
+
+/** Raw client: connect, send arbitrary hello bytes, read the reply. */
+net::HelloStatus
+rawHandshake(const Endpoint &endpoint,
+             const std::vector<std::uint8_t> &hello_bytes)
+{
+    auto socket = transport::SocketDevice::connect(endpoint, 2.0);
+    if (!hello_bytes.empty())
+        socket->write(hello_bytes.data(), hello_bytes.size());
+    std::uint8_t prefix[net::kServerHelloPrefixSize];
+    std::size_t got = 0;
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::seconds(10);
+    while (got < sizeof(prefix)) {
+        got += socket->read(prefix + got, sizeof(prefix) - got, 0.1);
+        if (socket->closed()
+            || std::chrono::steady_clock::now() > deadline)
+            break;
+    }
+    if (got < sizeof(prefix))
+        return net::HelloStatus::BadHello; // connection just dropped
+    net::ServerHello reply;
+    net::ServerHello::decodePrefix(prefix, sizeof(prefix), reply);
+    return reply.status;
+}
+
+TEST(NetServer, SurvivesHostileHandshakes)
+{
+    net::Ps3Server::Options options;
+    options.handshakeTimeout = 0.3;
+    net::Ps3Server server(testConfig(), "fw-test", options);
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    // Wrong magic.
+    EXPECT_EQ(rawHandshake(endpoint, {1, 2, 3, 4, 5, 6, 7, 8}),
+              net::HelloStatus::BadMagic);
+
+    // Wrong protocol version.
+    {
+        net::ClientHello hello;
+        auto bytes = hello.encode();
+        bytes[4] = 99;
+        EXPECT_EQ(rawHandshake(endpoint, bytes),
+                  net::HelloStatus::VersionMismatch);
+    }
+
+    // Oversized garbage: way more bytes than a hello.
+    {
+        std::vector<std::uint8_t> blob(4096, 0xAB);
+        EXPECT_EQ(rawHandshake(endpoint, blob),
+                  net::HelloStatus::BadMagic);
+    }
+
+    // Mute client: connects, sends nothing, gets timed out.
+    EXPECT_EQ(rawHandshake(endpoint, {}),
+              net::HelloStatus::BadHello);
+
+    // The server shrugged all of that off per-connection: a real
+    // client still gets a full stream.
+    net::NetPowerSensor client(endpoint);
+    EXPECT_EQ(client.firmwareVersion(), "fw-test");
+    const auto registered = std::chrono::steady_clock::now()
+                            + std::chrono::seconds(10);
+    while (server.subscriberCount() < 1
+           && std::chrono::steady_clock::now() < registered)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(server.subscriberCount(), 1u);
+    server.publish(testRecord(1.0, 0x01));
+    server.stop();
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::seconds(10);
+    while (client.recordsReceived() < 1
+           && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(client.recordsReceived(), 1u);
+}
+
+TEST(NetServer, RejectsWhenFull)
+{
+    net::Ps3Server::Options options;
+    options.maxSubscribers = 1;
+    net::Ps3Server server(testConfig(), "fw-test", options);
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    net::NetPowerSensor first(endpoint);
+    // Wait until the server has registered the first subscriber.
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::seconds(10);
+    while (server.subscriberCount() < 1
+           && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(server.subscriberCount(), 1u);
+
+    EXPECT_EQ(rawHandshake(endpoint, net::ClientHello{}.encode()),
+              net::HelloStatus::ServerFull);
+    EXPECT_THROW(net::NetPowerSensor rejected(endpoint), DeviceError);
+}
+
+// ----- fan-out semantics -------------------------------------------------
+
+TEST(NetServer, BlockFanoutDeliversEveryRecordToEightSubscribers)
+{
+    constexpr std::size_t kSubscribers = 8;
+    constexpr std::uint64_t kRecords = 20000; // one second at 20 kHz
+
+    net::Ps3Server::Options options;
+    // Capacity above kRecords: Block can never overflow, so the test
+    // proves zero loss however the scheduler treats the senders.
+    options.queueCapacity = 1u << 15;
+    net::Ps3Server server(testConfig(), "fw-test", options);
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    std::vector<std::unique_ptr<net::NetPowerSensor>> clients;
+    for (std::size_t i = 0; i < kSubscribers; ++i)
+        clients.push_back(
+            std::make_unique<net::NetPowerSensor>(endpoint));
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::seconds(10);
+    while (server.subscriberCount() < kSubscribers
+           && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(server.subscriberCount(), kSubscribers);
+
+    // Publish flat out — faster than the real 20 kHz stream.
+    for (std::uint64_t i = 0; i < kRecords; ++i)
+        server.publish(
+            testRecord(50e-6 * static_cast<double>(i), 0x01));
+
+    // Drain-then-close hands every queued record to every client
+    // before the end-of-stream frame.
+    server.stop();
+    for (auto &client : clients) {
+        while (!client->deviceGone())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        EXPECT_EQ(client->recordsReceived(), kRecords);
+        EXPECT_EQ(client->read().sampleCount, kRecords);
+    }
+    EXPECT_EQ(server.recordsDropped(), 0u);
+    EXPECT_EQ(server.subscribersDropped(), 0u);
+}
+
+TEST(NetServer, DropOldestStalledSubscriberIsAccountedAndIsolated)
+{
+    constexpr std::uint64_t kRecords = 50000;
+
+    net::Ps3Server::Options options;
+    options.queueCapacity = 1024;
+    net::Ps3Server server(testConfig(), "fw-test", options);
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+#ifndef PS3_OBS_DISABLE
+    const auto before = obs::Registry::global().snapshot();
+#endif
+
+    // A stalled DropOldest subscriber: handshakes, then never reads.
+    auto stalled = transport::SocketDevice::connect(endpoint, 2.0);
+    {
+        const net::ClientHello hello{net::kProtocolVersion,
+                                     RingOverflow::DropOldest};
+        const auto bytes = hello.encode();
+        stalled->write(bytes.data(), bytes.size());
+    }
+
+    // A healthy subscriber alongside it. DropOldest too: on a loaded
+    // CI box its sender thread can be starved long enough for a
+    // Block queue to fill, and Block's contract would then
+    // disconnect it — policy working as intended, but not what this
+    // test is probing. Zero-loss delivery has its own test above.
+    net::NetPowerSensor::Options healthy_options;
+    healthy_options.overflow = RingOverflow::DropOldest;
+    net::NetPowerSensor healthy(endpoint, healthy_options);
+
+    auto deadline = std::chrono::steady_clock::now()
+                    + std::chrono::seconds(10);
+    while (server.subscriberCount() < 2
+           && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(server.subscriberCount(), 2u);
+
+    // Publish with light pacing so the healthy subscriber's sender
+    // normally keeps up; the stalled one's socket buffer and
+    // 1k-record queue fill quickly and DropOldest starts reclaiming.
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+        server.publish(
+            testRecord(50e-6 * static_cast<double>(i), 0x01));
+        if ((i & 1023) == 1023)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+    }
+
+    EXPECT_GT(server.recordsDropped(), 0u);
+
+#ifndef PS3_OBS_DISABLE
+    // The obs counter moved in lockstep with the server's tally.
+    const auto after = obs::Registry::global().snapshot();
+    const auto delta = obs::diff(before, after);
+    const auto *dropped =
+        delta.find("ps3_net_records_dropped_total");
+    ASSERT_NE(dropped, nullptr);
+    EXPECT_EQ(static_cast<std::uint64_t>(dropped->value),
+              server.recordsDropped());
+#endif
+
+    // Kill the stalled subscriber outright; the healthy one must not
+    // notice. Wait for the server to reap the dead connection, then
+    // prove the healthy stream still flows end to end.
+    stalled->abort();
+    stalled.reset();
+    deadline = std::chrono::steady_clock::now()
+               + std::chrono::seconds(10);
+    while (server.subscriberCount() > 1
+           && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(server.subscriberCount(), 1u);
+
+    const std::uint64_t received_before = healthy.recordsReceived();
+    server.publish(testRecord(99.0, 0x01));
+    server.stop(); // drains the healthy queue, then sends EOS
+    deadline = std::chrono::steady_clock::now()
+               + std::chrono::seconds(10);
+    while (!healthy.deviceGone()
+           && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(healthy.deviceGone());
+    EXPECT_GT(healthy.recordsReceived(), received_before);
+    EXPECT_DOUBLE_EQ(healthy.read().timeAtRead, 99.0);
+}
+
+// ----- end-to-end against a simulated rig --------------------------------
+
+TEST(NetEndToEnd, StreamsLiveSamplesAndForwardsMarkers)
+{
+    auto rig = host::rigs::labBench(analog::modules::slot12V10A(),
+                                    12.0, 8.0);
+    auto sensor = rig.connect();
+
+    net::Ps3Server server(*sensor);
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    net::NetPowerSensor client(endpoint);
+    EXPECT_EQ(client.firmwareVersion(), sensor->firmwareVersion());
+    EXPECT_TRUE(client.pairPresent(0));
+    EXPECT_EQ(client.pairName(0), sensor->pairName(0));
+    EXPECT_EQ(client.sampleRateHz(), firmware::kSampleRateHz);
+    EXPECT_THROW(client.writeConfig(client.config()), UsageError);
+
+    // Live readings flow: ~95 W at 8 A / 12 V (supply droop).
+    ASSERT_TRUE(client.waitForSamples(2000));
+    const auto first = client.read();
+    EXPECT_NEAR(first.voltage[0], 11.92, 0.5);
+    EXPECT_NEAR(first.power(0), 95.4, 5.0);
+
+    // Energy integrates remotely just like locally.
+    ASSERT_TRUE(client.waitForSamples(2000));
+    const auto second = client.read();
+    EXPECT_GT(host::Joules(first, second, 0), 0.0);
+    EXPECT_NEAR(host::Watts(first, second, 0), 95.4, 5.0);
+
+    // Markers round-trip: client -> daemon -> device -> stream.
+    std::atomic<int> seen{0};
+    const auto token =
+        client.addSampleListener([&](const host::Sample &sample) {
+            if (sample.marker && sample.markerChar == 'Z')
+                seen.fetch_add(1);
+        });
+    client.mark('Z');
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::seconds(10);
+    while (seen.load() == 0
+           && std::chrono::steady_clock::now() < deadline)
+        ASSERT_TRUE(client.waitForSamples(200));
+    client.removeSampleListener(token);
+    EXPECT_GE(seen.load(), 1);
+
+    // Server shutdown looks like a vanished device to the client.
+    server.stop();
+    while (!client.deviceGone())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_FALSE(client.waitForSamples(1u << 30));
+}
+
+TEST(NetEndToEnd, TcpLoopbackWorks)
+{
+    net::Ps3Server server(testConfig(), "fw-tcp");
+    // Port 0: the kernel picks a free port; listen() returns it.
+    const auto endpoint =
+        server.listen(Endpoint::parse("tcp://127.0.0.1:0"));
+    ASSERT_NE(endpoint.port, 0);
+
+    net::NetPowerSensor client(endpoint);
+    const auto deadline2 = std::chrono::steady_clock::now()
+                           + std::chrono::seconds(10);
+    while (server.subscriberCount() < 1
+           && std::chrono::steady_clock::now() < deadline2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(server.subscriberCount(), 1u);
+    for (int i = 0; i < 100; ++i)
+        server.publish(testRecord(50e-6 * i, 0x01));
+    server.stop();
+    while (!client.deviceGone())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(client.recordsReceived(), 100u);
+}
+
+} // namespace
+} // namespace ps3

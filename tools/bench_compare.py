@@ -50,6 +50,8 @@ GATED = (
     "BM_DumpWriteText",
     "BM_DumpWriteBinary",
     "BM_DumpReaderLoad",
+    "BM_NetFanout/real_time",
+    "BM_NetEndToEnd/real_time",
 )
 
 
@@ -70,7 +72,8 @@ def load_results(path: Path) -> dict:
 
 def score(entry: dict) -> float:
     counters = entry.get("counters", {})
-    for key in ("bytes_per_second", "frame_sets_per_s"):
+    for key in ("bytes_per_second", "frame_sets_per_s",
+                "records_per_s"):
         if key in counters:
             return float(counters[key])
     cpu_ns = float(entry.get("cpu_ns_per_iter", 0.0))
