@@ -6,22 +6,300 @@
  *
  * Options (after the common ones):
  *   --samples N   also report statistics over N samples
+ *
+ * pstest also hosts the network chaos soak (`--chaos[=short|long]`):
+ * a self-contained resilience scenario that streams a publish-driven
+ * Ps3Server through a transport::FaultySocket storm — resets,
+ * truncated batches, read stalls, partial writes — and asserts that
+ * the NetPowerSensor client accounts for every single record, either
+ * as received or as covered by an explicit gap event. It needs no
+ * device, rig or daemon, so it runs as a plain ctest.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/statistics.hpp"
 #include "tool_common.hpp"
+
+// ----- network chaos soak (--chaos) ---------------------------------------
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "host/dump_reader.hpp"
+#include "net/net_power_sensor.hpp"
+#include "net/server.hpp"
+#include "transport/faulty_socket.hpp"
+
+namespace {
+
+using namespace ps3;
+
+/** Distinct exit codes so the ctest log names the failed property. */
+constexpr int kChaosExitNoChaos = 4;   ///< no fault ever disturbed us
+constexpr int kChaosExitLostRecords = 5; ///< accounting hole
+constexpr int kChaosExitHung = 6;      ///< stream never settled
+
+/** Spin until predicate() or the timeout elapses; true on success. */
+template <typename Predicate>
+bool
+waitFor(Predicate predicate, double timeout_seconds)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration<double>(timeout_seconds);
+    while (!predicate()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+}
+
+firmware::DeviceConfig
+chaosConfig()
+{
+    firmware::DeviceConfig config{};
+    config[0].inUse = true;
+    config[0].name = "12V-10A";
+    config[0].vref = 1.65;
+    config[0].slope = 0.11;
+    config[1].inUse = true;
+    config[1].slope = 0.09;
+    return config;
+}
+
+/**
+ * The soak proper. Exact-accounting invariant under test: every
+ * record the server ever published is either received by the client
+ * or covered by a gap event — records in flight when a fault kills a
+ * connection must never vanish silently.
+ */
+int
+runChaos(bool long_mode)
+{
+    // Scaled so the short mode fits a PR-gate ctest slot and the
+    // long mode soaks through many more fault cycles.
+    const double publish_seconds = long_mode ? 20.0 : 2.0;
+    const double rate = long_mode ? 5000.0 : 3000.0;
+
+    const std::string socket_path =
+        "/tmp/ps3chaos_" + std::to_string(::getpid()) + ".sock";
+    const std::string dump_path =
+        "ps3chaos_" + std::to_string(::getpid()) + ".ps3b";
+
+    net::Ps3Server::Options server_options;
+    server_options.heartbeatInterval = 0.05;
+    server_options.writeTimeout = 1.0;
+    net::Ps3Server server(chaosConfig(), "PS3-chaos-1.0",
+                          server_options);
+    const auto endpoint =
+        server.listen(transport::Endpoint::parse("unix://"
+                                                 + socket_path));
+
+    // Fault storm: each (re)connection gets the next fault kind in
+    // the cycle. The very first fault arms only after the handshake
+    // and first heartbeat have had ample time, so the client can lock
+    // its sequence baseline before anything breaks. Cleared for the
+    // final catch-up phase.
+    std::atomic<bool> chaos_active{true};
+    std::atomic<std::size_t> connections{0};
+    auto factory = [&](const transport::Endpoint &target,
+                       double timeout)
+        -> std::unique_ptr<transport::StreamSocket> {
+        auto socket = transport::SocketDevice::connect(target, timeout);
+        if (!chaos_active.load(std::memory_order_acquire))
+            return socket;
+        const std::size_t attempt =
+            connections.fetch_add(1, std::memory_order_relaxed);
+        transport::Fault fault;
+        switch (attempt % 4) {
+          case 0:
+            fault.kind = transport::Fault::Kind::Reset;
+            fault.afterSeconds = attempt == 0 ? 0.5 : 0.10;
+            fault.afterBytes = 256;
+            break;
+          case 1:
+            fault.kind = transport::Fault::Kind::TruncateRead;
+            fault.afterSeconds = 0.08;
+            fault.afterBytes = 512;
+            fault.truncateBytes = 96;
+            break;
+          case 2:
+            fault.kind = transport::Fault::Kind::ReadStall;
+            fault.afterSeconds = 0.10;
+            fault.stallSeconds = 0.8; // > client idleTimeout
+            break;
+          default:
+            fault.kind = transport::Fault::Kind::PartialWrite;
+            fault.afterSeconds = 0.05;
+            break;
+        }
+        return std::make_unique<transport::FaultySocket>(
+            std::move(socket), std::vector<transport::Fault>{fault});
+    };
+
+    net::NetPowerSensor::Options client_options;
+    client_options.socketFactory = factory;
+    client_options.idleTimeout = 0.3; // fired by the 0.8 s stalls
+    client_options.maxReconnectAttempts = 50;
+    client_options.reconnectInitialBackoff = 0.01;
+    client_options.reconnectMaxBackoff = 0.05;
+    net::NetPowerSensor client(endpoint, client_options);
+
+    // Lock the sequence baseline: the first seq a client ever hears
+    // is taken as the stream start, so an initial heartbeat must land
+    // before any record is published for the accounting to be exact
+    // (docs/PROTOCOL.md).
+    if (!waitFor([&] { return client.heartbeatsReceived() >= 1; },
+                 10.0)) {
+        std::fprintf(stderr,
+                     "pschaos: no initial heartbeat within 10 s\n");
+        return kChaosExitHung;
+    }
+    client.dump(dump_path); // exercise the gap-annotated dump path
+
+    // Publish phase: paced records through the storm, with periodic
+    // upstream marker requests so the write path faults too.
+    const auto total = static_cast<std::uint64_t>(
+        publish_seconds * rate);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < total; ++i) {
+        host::DumpRecord record{};
+        record.time = static_cast<double>(i) / rate;
+        record.presentMask = 0x1;
+        record.voltage[0] = 12.0;
+        record.current[0] = 2.0;
+        server.publish(record);
+        if (i % 512 == 0)
+            client.mark('c'); // fire-and-forget; may hit a fault
+        const auto next =
+            start + std::chrono::duration<double>(
+                        static_cast<double>(i + 1) / rate);
+        std::this_thread::sleep_until(next);
+    }
+
+    // Catch-up phase: stop injecting faults, let the client reconnect
+    // cleanly and hear a heartbeat carrying the end-of-stream seq, so
+    // any trailing hole becomes a gap event.
+    chaos_active.store(false, std::memory_order_release);
+    const bool settled = waitFor(
+        [&] {
+            return client.recordsReceived() + client.gapRecords()
+                   >= total;
+        },
+        long_mode ? 30.0 : 15.0);
+
+    server.stop();
+    const bool gone =
+        waitFor([&] { return client.deviceGone(); }, 10.0);
+
+    const std::uint64_t received = client.recordsReceived();
+    const std::uint64_t gapped = client.gapRecords();
+    std::printf("pschaos: published %llu  received %llu  "
+                "gap-covered %llu  gaps %llu  reconnects %llu  "
+                "client-heartbeats %llu\n",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(received),
+                static_cast<unsigned long long>(gapped),
+                static_cast<unsigned long long>(client.gapEvents()),
+                static_cast<unsigned long long>(client.reconnects()),
+                static_cast<unsigned long long>(
+                    client.heartbeatsReceived()));
+    std::printf("pschaos: server heartbeats %llu  write-timeouts %llu"
+                "  records-dropped %llu  subscribers-dropped %llu\n",
+                static_cast<unsigned long long>(
+                    server.heartbeatsSent()),
+                static_cast<unsigned long long>(
+                    server.writeTimeouts()),
+                static_cast<unsigned long long>(
+                    server.recordsDropped()),
+                static_cast<unsigned long long>(
+                    server.subscribersDropped()));
+
+    const std::uint64_t gap_events = client.gapEvents();
+    const std::uint64_t reconnects = client.reconnects();
+    client.dump(""); // flush + close before reading it back
+
+    int rc = 0;
+    if (!settled || !gone) {
+        std::fprintf(stderr,
+                     "pschaos: FAIL stream never settled "
+                     "(settled=%d deviceGone=%d)\n",
+                     settled ? 1 : 0, gone ? 1 : 0);
+        rc = kChaosExitHung;
+    } else if (received + gapped != total) {
+        std::fprintf(stderr,
+                     "pschaos: FAIL %lld record(s) unaccounted for\n",
+                     static_cast<long long>(
+                         static_cast<std::int64_t>(total)
+                         - static_cast<std::int64_t>(received
+                                                     + gapped)));
+        rc = kChaosExitLostRecords;
+    } else if (reconnects == 0) {
+        std::fprintf(stderr,
+                     "pschaos: FAIL chaos was ineffective "
+                     "(0 reconnects)\n");
+        rc = kChaosExitNoChaos;
+    }
+
+    // The dump must carry the same gaps the listeners saw: one 'G'
+    // record per event, record counts summing to gapRecords().
+    if (rc == 0) {
+        const auto dump = host::DumpFile::load(dump_path);
+        std::uint64_t dump_gap_records = 0;
+        for (const auto &gap : dump.gaps())
+            dump_gap_records += gap.records;
+        if (dump.gaps().size() != gap_events
+            || dump_gap_records != gapped) {
+            std::fprintf(stderr,
+                         "pschaos: FAIL dump gap mismatch "
+                         "(%zu 'G' records covering %llu vs %llu "
+                         "events covering %llu)\n",
+                         dump.gaps().size(),
+                         static_cast<unsigned long long>(
+                             dump_gap_records),
+                         static_cast<unsigned long long>(gap_events),
+                         static_cast<unsigned long long>(gapped));
+            rc = kChaosExitLostRecords;
+        }
+    }
+    if (rc == 0)
+        std::printf("pschaos: PASS — every record accounted for "
+                    "across %llu reconnect(s)\n",
+                    static_cast<unsigned long long>(reconnects));
+    std::remove(dump_path.c_str());
+    return rc;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 try {
     using namespace ps3;
 
+    // The chaos soak is self-contained (it builds its own server and
+    // client); intercept it before openTool() opens a rig.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--chaos") == 0
+            || std::strcmp(argv[i], "--chaos=short") == 0)
+            return runChaos(false);
+        if (std::strcmp(argv[i], "--chaos=long") == 0)
+            return runChaos(true);
+    }
+
     auto context = tools::openTool(
         argc, argv, "pstest",
-        "  --samples N  collect N samples and print statistics\n");
+        "  --samples N  collect N samples and print statistics\n"
+        "  --chaos[=short|long]  run the network chaos soak\n");
     auto &sensor = *context.sensor;
 
     std::size_t stat_samples = 0;

@@ -150,8 +150,28 @@ openTool(int argc, char **argv, const std::string &tool_name,
     }
 
     if (!connect_uri.empty()) {
-        context.sensor =
-            std::make_unique<net::NetPowerSensor>(connect_uri);
+        // Normalised connect failure: every tool prints the same
+        // one-line actionable message and exits with the distinct
+        // connect-failed code instead of surfacing raw exception
+        // text through its generic handler.
+        try {
+            context.sensor =
+                std::make_unique<net::NetPowerSensor>(connect_uri);
+        } catch (const UsageError &error) {
+            std::fprintf(stderr,
+                         "%s: bad --connect URI: %s (expected "
+                         "tcp://host:port or unix:///path)\n",
+                         tool_name.c_str(), error.what());
+            std::exit(kExitConnectFailed);
+        } catch (const DeviceError &error) {
+            std::fprintf(stderr,
+                         "%s: cannot connect to %s: %s — is a ps3d "
+                         "daemon serving that endpoint? (start one "
+                         "with: ps3d --listen %s)\n",
+                         tool_name.c_str(), connect_uri.c_str(),
+                         error.what(), connect_uri.c_str());
+            std::exit(kExitConnectFailed);
+        }
         return context;
     }
     if (!device_path.empty()) {

@@ -29,6 +29,13 @@
 
 namespace ps3::tools {
 
+/**
+ * Exit code when --connect cannot reach (or is refused by) a ps3d
+ * endpoint. Distinct from the generic error exit (1) and the usage
+ * exit (2) so scripts can tell "daemon not up" from "I broke it".
+ */
+inline constexpr int kExitConnectFailed = 3;
+
 /** Parsed common options plus the opened connection. */
 struct ToolContext
 {

@@ -153,6 +153,22 @@ DumpFile::parseText(const char *data, std::size_t size)
             markers_.push_back(marker);
             continue;
         }
+        if (kind == 'G') {
+            DumpGap gap;
+            double records = 0.0;
+            q = parseDouble(q, line_end, gap.time);
+            if (q != nullptr)
+                q = parseDouble(q, line_end, records);
+            if (q == nullptr
+                || parseDouble(q, line_end, gap.spanSeconds)
+                       == nullptr) {
+                throw UsageError("DumpFile: bad gap line "
+                                 + std::to_string(line_no));
+            }
+            gap.records = static_cast<std::uint64_t>(records);
+            gaps_.push_back(gap);
+            continue;
+        }
         if (kind != 'S') {
             throw UsageError("DumpFile: unknown record on line "
                              + std::to_string(line_no));
@@ -239,6 +255,23 @@ DumpFile::parseBinary(const char *data, std::size_t size)
             marker.time = readF64Le(p);
             p += 8;
             markers_.push_back(marker);
+            continue;
+        }
+        if (kind == 'G') {
+            if (end - p < 24)
+                throw truncated();
+            DumpGap gap;
+            gap.time = readF64Le(p);
+            std::uint64_t records = 0;
+            for (int i = 15; i >= 8; --i) {
+                records = (records << 8)
+                          | static_cast<std::uint8_t>(
+                              p[static_cast<std::size_t>(i)]);
+            }
+            gap.records = records;
+            gap.spanSeconds = readF64Le(p + 16);
+            p += 24;
+            gaps_.push_back(gap);
             continue;
         }
         if (kind != 'S') {

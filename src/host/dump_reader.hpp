@@ -27,6 +27,7 @@
 #ifndef PS3_HOST_DUMP_READER_HPP
 #define PS3_HOST_DUMP_READER_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,21 @@ struct DumpMarker
     double time = 0.0;
 };
 
+/**
+ * One parsed stream-gap annotation ('G' record). Written by clients
+ * recording over a lossy transport (see host::GapEvent); records is
+ * 0 when the hole's size was unknowable (stream restart).
+ */
+struct DumpGap
+{
+    /** Device time at which the stream resumed (gap end). */
+    double time = 0.0;
+    /** Records known missing (0 = unknown). */
+    std::uint64_t records = 0;
+    /** Device-time span of the hole (s). */
+    double spanSeconds = 0.0;
+};
+
 /** Contents of one dump file. */
 class DumpFile
 {
@@ -63,6 +79,7 @@ class DumpFile
 
     const std::vector<DumpSample> &samples() const { return samples_; }
     const std::vector<DumpMarker> &markers() const { return markers_; }
+    const std::vector<DumpGap> &gaps() const { return gaps_; }
     const std::vector<std::string> &header() const { return header_; }
 
     /** Sample rate derived from the header (0 if absent). */
@@ -88,6 +105,7 @@ class DumpFile
 
     std::vector<DumpSample> samples_;
     std::vector<DumpMarker> markers_;
+    std::vector<DumpGap> gaps_;
     std::vector<std::string> header_;
     double sampleRate_ = 0.0;
 };

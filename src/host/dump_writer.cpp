@@ -206,6 +206,19 @@ DumpWriter::appendText(const DumpRecord &record)
         len += formatFixed(base + len, buffer_.size() - len, v,
                            decimals);
     };
+    if (record.gap) {
+        // Stream-gap annotation: "G time records span".
+        base[len++] = 'G';
+        base[len++] = ' ';
+        putFixed(record.time, 6);
+        base[len++] = ' ';
+        putFixed(static_cast<double>(record.gapRecords), 0);
+        base[len++] = ' ';
+        putFixed(record.gapSpanSeconds, 6);
+        base[len++] = '\n';
+        bufferLen_ = len;
+        return;
+    }
     if (record.marker) {
         base[len++] = 'M';
         base[len++] = ' ';
@@ -248,6 +261,17 @@ DumpWriter::appendBinary(const DumpRecord &record)
         for (int shift = 0; shift < 64; shift += 8)
             base[len++] = static_cast<char>((bits >> shift) & 0xFF);
     };
+    if (record.gap) {
+        // 'G' f64-time u64-records f64-span, all little-endian.
+        base[len++] = 'G';
+        putF64(record.time);
+        for (int shift = 0; shift < 64; shift += 8)
+            base[len++] = static_cast<char>(
+                (record.gapRecords >> shift) & 0xFF);
+        putF64(record.gapSpanSeconds);
+        bufferLen_ = len;
+        return;
+    }
     if (record.marker) {
         base[len++] = 'M';
         base[len++] = record.markerChar;

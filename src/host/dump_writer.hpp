@@ -60,7 +60,12 @@ using DumpOverflow = transport::RingOverflow;
 
 /**
  * One queued dump sample: everything the writer thread needs to emit
- * a marker and/or sample record, as plain data.
+ * a marker and/or sample record, as plain data. A record with the
+ * gap flag set is not a sample at all but a stream-gap annotation
+ * (see host::GapEvent): it is written as a 'G' record — "G time
+ * records span" — so files recorded over a lossy transport carry
+ * their holes explicitly (records is 0 when the hole's size was
+ * unknowable).
  */
 struct DumpRecord
 {
@@ -76,6 +81,12 @@ struct DumpRecord
     bool marker = false;
     /** Marker character (valid when marker is true). */
     char markerChar = '\0';
+    /** True for a stream-gap annotation (not a sample). */
+    bool gap = false;
+    /** Gap annotation: records missing before time (0 = unknown). */
+    std::uint64_t gapRecords = 0;
+    /** Gap annotation: device-time span of the hole (s). */
+    double gapSpanSeconds = 0.0;
 };
 
 /**

@@ -32,6 +32,37 @@ namespace ps3::host {
 /** Callback receiving every processed sample. */
 using SampleCallback = std::function<void(const Sample &)>;
 
+/**
+ * A hole in the sample stream, made explicit.
+ *
+ * Energy attributed to an interval is only meaningful when the
+ * interval is known to be fully sampled; a streaming client that
+ * lost records (queue overflow upstream, a reconnect) reports the
+ * hole as a GapEvent so downstream energy math can excise it
+ * instead of silently interpolating across it. Gaps also land in
+ * dump files ('G' records) and in the ps3_net_client_gap_* metrics.
+ */
+struct GapEvent
+{
+    /**
+     * Records known missing; 0 when the size is unknowable (e.g.
+     * the stream restarted from a rebooted server and the sequence
+     * numbering began anew).
+     */
+    std::uint64_t records = 0;
+    /**
+     * Device-time span the hole covers (s). Measured from the
+     * record timestamps around the hole when both sides were seen,
+     * estimated as records / sample-rate otherwise.
+     */
+    double spanSeconds = 0.0;
+    /** Device time at which the stream resumed (gap end). */
+    double time = 0.0;
+};
+
+/** Callback receiving every detected stream gap. */
+using GapCallback = std::function<void(const GapEvent &)>;
+
 /** Source-agnostic handle to one PowerSensor3 measurement stream. */
 class Sensor
 {
@@ -101,6 +132,35 @@ class Sensor
 
     /** Remove a listener by token. */
     virtual void removeSampleListener(std::uint64_t token) = 0;
+
+    /**
+     * Register a listener for stream gaps (see GapEvent); returns a
+     * token for removeGapListener. The default implementation never
+     * fires: a local sensor's stream has no transport that loses
+     * whole records silently (link-level byte faults surface through
+     * the parser's resync counters instead). NetPowerSensor
+     * overrides both and reports every detected hole.
+     */
+    virtual std::uint64_t
+    addGapListener(GapCallback callback)
+    {
+        (void)callback;
+        return 0;
+    }
+
+    /** Remove a gap listener by token (default: no-op). */
+    virtual void
+    removeGapListener(std::uint64_t token)
+    {
+        (void)token;
+    }
+
+    /** Records known lost to stream gaps so far (default: none). */
+    virtual std::uint64_t
+    gapRecords() const
+    {
+        return 0;
+    }
 
     /** True once the stream source vanished. */
     virtual bool deviceGone() const = 0;

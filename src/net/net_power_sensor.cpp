@@ -1,6 +1,8 @@
 #include "net_power_sensor.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/errors.hpp"
 #include "obs/registry.hpp"
@@ -24,6 +26,22 @@ struct ClientMetrics
     obs::Counter &records = obs::Registry::global().counter(
         "ps3_net_client_records_total",
         "Records decoded from the stream");
+    obs::Counter &reconnects = obs::Registry::global().counter(
+        "ps3_net_client_reconnects_total",
+        "Successful reconnects after abrupt connection losses");
+    obs::Counter &reconnectFailures =
+        obs::Registry::global().counter(
+            "ps3_net_client_reconnect_failures_total",
+            "Reconnect attempts that failed");
+    obs::Counter &gapEvents = obs::Registry::global().counter(
+        "ps3_net_client_gap_events_total",
+        "Stream gaps detected (upstream drops, reconnects)");
+    obs::Counter &gapRecords = obs::Registry::global().counter(
+        "ps3_net_client_gap_records_total",
+        "Records known lost across all detected stream gaps");
+    obs::Counter &heartbeats = obs::Registry::global().counter(
+        "ps3_net_client_heartbeats_total",
+        "Heartbeat frames received from the server");
 };
 
 ClientMetrics &
@@ -53,18 +71,21 @@ NetPowerSensor::NetPowerSensor(const transport::Endpoint &endpoint)
 
 NetPowerSensor::NetPowerSensor(const transport::Endpoint &endpoint,
                                Options options)
-    : options_(options),
-      socket_(transport::SocketDevice::connect(
-          endpoint, options.connectTimeout))
+    : options_(options), endpoint_(endpoint)
 {
-    handshake(options_.connectTimeout);
+    socket_ = openSocket();
+    handshake(options_.connectTimeout, true);
     readerThread_ = std::thread([this] { readerLoop(); });
 }
 
 NetPowerSensor::~NetPowerSensor()
 {
     stopRequested_.store(true, std::memory_order_release);
-    socket_->abort();
+    {
+        // Under writeMutex_: the reader swaps socket_ on reconnect.
+        std::lock_guard<std::mutex> lock(writeMutex_);
+        socket_->abort();
+    }
     if (readerThread_.joinable())
         readerThread_.join();
     std::lock_guard<std::mutex> lock(dumpMutex_);
@@ -73,8 +94,18 @@ NetPowerSensor::~NetPowerSensor()
         dumpWriter_->close();
 }
 
+std::unique_ptr<transport::StreamSocket>
+NetPowerSensor::openSocket()
+{
+    if (options_.socketFactory)
+        return options_.socketFactory(endpoint_,
+                                      options_.connectTimeout);
+    return transport::SocketDevice::connect(
+        endpoint_, options_.connectTimeout);
+}
+
 void
-NetPowerSensor::handshake(double timeout_seconds)
+NetPowerSensor::handshake(double timeout_seconds, bool initial)
 {
     {
         const ClientHello hello{kProtocolVersion, options_.overflow};
@@ -116,14 +147,26 @@ NetPowerSensor::handshake(double timeout_seconds)
     read_exactly(payload.data(), payload.size());
     hello.decodePayload(payload.data(), payload.size());
 
-    config_ = hello.config;
-    remoteFirmwareVersion_ = hello.firmwareVersion;
-    sampleRateHz_ = hello.sampleRateHz;
+    serverMinor_ = std::min(hello.minor, kProtocolMinor);
+    if (initial) {
+        config_ = hello.config;
+        remoteFirmwareVersion_ = hello.firmwareVersion;
+        sampleRateHz_ = hello.sampleRateHz;
+    }
 }
 
 bool
 NetPowerSensor::readFully(std::uint8_t *out, std::size_t n)
 {
+    // Idle detection rides on the v1.1 heartbeats: a live server
+    // always has something to say within the idle budget.
+    const bool armed =
+        serverMinor_ >= 1 && options_.idleTimeout > 0.0;
+    auto deadline = std::chrono::steady_clock::now()
+                    + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(
+                              options_.idleTimeout));
     std::size_t got = 0;
     while (got < n) {
         if (stopRequested_.load(std::memory_order_acquire))
@@ -131,8 +174,23 @@ NetPowerSensor::readFully(std::uint8_t *out, std::size_t n)
         const std::size_t step =
             socket_->read(out + got, n - got, kReadTimeout);
         got += step;
-        if (step == 0 && socket_->closed())
-            return false;
+        if (step == 0) {
+            if (socket_->closed())
+                return false;
+            if (armed
+                && std::chrono::steady_clock::now() > deadline) {
+                // Peer went silent past the heartbeat budget:
+                // declare it dead so the reconnect logic kicks in.
+                socket_->abort();
+                return false;
+            }
+        } else if (armed) {
+            deadline = std::chrono::steady_clock::now()
+                       + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(
+                                 options_.idleTimeout));
+        }
     }
     return true;
 }
@@ -140,46 +198,197 @@ NetPowerSensor::readFully(std::uint8_t *out, std::size_t n)
 void
 NetPowerSensor::readerLoop()
 {
+    for (;;) {
+        const bool graceful = streamConnection();
+        if (graceful || stopRequested_.load(std::memory_order_acquire)
+            || !options_.autoReconnect)
+            break;
+        if (!reconnect())
+            break;
+    }
+    markGone();
+}
+
+bool
+NetPowerSensor::streamConnection()
+{
     RecordDecoder decoder;
     std::vector<std::uint8_t> payload;
     const auto trampoline = [](void *self,
                                const host::DumpRecord &record) {
         static_cast<NetPowerSensor *>(self)->onRecord(record);
     };
+    const bool versioned = serverMinor_ >= 1;
     while (!stopRequested_.load(std::memory_order_acquire)) {
         std::uint8_t header[4];
         if (!readFully(header, sizeof(header)))
-            break;
+            return false;
         const std::uint32_t length =
             static_cast<std::uint32_t>(header[0])
             | (static_cast<std::uint32_t>(header[1]) << 8)
             | (static_cast<std::uint32_t>(header[2]) << 16)
             | (static_cast<std::uint32_t>(header[3]) << 24);
+        if (length == kHeartbeatSentinel && versioned) {
+            std::uint8_t beat[kHeartbeatPayloadSize];
+            if (!readFully(beat, sizeof(beat)))
+                return false;
+            heartbeatsReceived_.fetch_add(
+                1, std::memory_order_relaxed);
+            clientMetrics().heartbeats.inc();
+            clientMetrics().bytes.inc(sizeof(header)
+                                      + sizeof(beat));
+            accountSeq(readU64(beat));
+            continue;
+        }
         if (length == 0)
-            break; // end-of-stream: the server shut down gracefully
+            return true; // end-of-stream: graceful server shutdown
         if (length > kMaxBatchBytes)
-            break; // protocol violation; treat the peer as gone
+            return false; // protocol violation; peer is gone
         payload.resize(length);
         if (!readFully(payload.data(), payload.size()))
-            break;
-        std::uint64_t before = decoder.recordCount();
-        try {
-            decoder.feed(payload.data(), payload.size(), this,
-                         trampoline);
-        } catch (const DeviceError &) {
-            break;
+            return false;
+        std::size_t offset = 0;
+        if (versioned) {
+            if (length < kBatchSeqHeaderSize)
+                return false; // v1.1 batches always carry a seq
+            accountSeq(readU64(payload.data()));
+            offset = kBatchSeqHeaderSize;
         }
+        const std::uint64_t before = decoder.recordCount();
+        bool malformed = false;
+        try {
+            decoder.feed(payload.data() + offset,
+                         payload.size() - offset, this, trampoline);
+        } catch (const DeviceError &) {
+            malformed = true;
+        }
+        // Records delivered before a mid-batch error still advance
+        // the expectation — they were received, not lost.
+        const std::uint64_t decoded =
+            decoder.recordCount() - before;
+        if (versioned)
+            expectedSeq_ += decoded;
+        if (malformed)
+            return false;
         clientMetrics().batches.inc();
         clientMetrics().bytes.inc(sizeof(header) + payload.size());
-        clientMetrics().records.inc(decoder.recordCount() - before);
+        clientMetrics().records.inc(decoded);
     }
-    markGone();
+    return false;
+}
+
+bool
+NetPowerSensor::reconnect()
+{
+    double backoff = options_.reconnectInitialBackoff;
+    std::uniform_real_distribution<double> jitter(
+        1.0 - options_.reconnectJitter,
+        1.0 + options_.reconnectJitter);
+    for (std::size_t attempt = 0;
+         attempt < options_.maxReconnectAttempts; ++attempt) {
+        // Interruptible backoff nap.
+        const auto deadline =
+            std::chrono::steady_clock::now()
+            + std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      backoff * jitter(backoffRng_)));
+        while (std::chrono::steady_clock::now() < deadline) {
+            if (stopRequested_.load(std::memory_order_acquire))
+                return false;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+        backoff = std::min(
+            backoff * options_.reconnectBackoffMultiplier,
+            options_.reconnectMaxBackoff);
+        try {
+            auto fresh = openSocket();
+            {
+                std::lock_guard<std::mutex> lock(writeMutex_);
+                socket_ = std::move(fresh);
+            }
+            handshake(options_.connectTimeout, false);
+        } catch (const DeviceError &) {
+            clientMetrics().reconnectFailures.inc();
+            continue;
+        }
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+        clientMetrics().reconnects.inc();
+        if (serverMinor_ < 1 && haveExpectedSeq_) {
+            // No sequence numbers to measure the outage with: all
+            // we can say is that a hole of unknown size may exist.
+            emitGap(0, 0.0, lastStreamTime_);
+        }
+        return !stopRequested_.load(std::memory_order_acquire);
+    }
+    return false;
+}
+
+void
+NetPowerSensor::accountSeq(std::uint64_t announced_seq)
+{
+    if (!haveExpectedSeq_) {
+        // First sequence this client ever hears: its baseline. What
+        // the stream served before it subscribed is not a gap.
+        haveExpectedSeq_ = true;
+        expectedSeq_ = announced_seq;
+        return;
+    }
+    if (announced_seq == expectedSeq_)
+        return;
+    if (announced_seq > expectedSeq_) {
+        const std::uint64_t missing = announced_seq - expectedSeq_;
+        const double span = sampleRateHz_ > 0.0
+                                ? static_cast<double>(missing)
+                                      / sampleRateHz_
+                                : 0.0;
+        emitGap(missing, span,
+                haveLastStreamTime_ ? lastStreamTime_ + span : 0.0);
+    } else {
+        // Sequence went backward: the server restarted and its
+        // numbering began anew. The hole's size is unknowable.
+        emitGap(0, 0.0,
+                haveLastStreamTime_ ? lastStreamTime_ : 0.0);
+    }
+    expectedSeq_ = announced_seq;
+}
+
+void
+NetPowerSensor::emitGap(std::uint64_t records, double span_seconds,
+                        double time)
+{
+    gapEvents_.fetch_add(1, std::memory_order_relaxed);
+    gapRecords_.fetch_add(records, std::memory_order_relaxed);
+    clientMetrics().gapEvents.inc();
+    clientMetrics().gapRecords.inc(records);
+
+    if (activeDump_.load(std::memory_order_relaxed) != nullptr) {
+        host::DumpRecord annotation;
+        annotation.time = time;
+        annotation.gap = true;
+        annotation.gapRecords = records;
+        annotation.gapSpanSeconds = span_seconds;
+        dumpBusy_.store(true, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (host::DumpWriter *writer =
+                activeDump_.load(std::memory_order_relaxed))
+            writer->push(annotation);
+        dumpBusy_.store(false, std::memory_order_release);
+    }
+
+    const host::GapEvent event{records, span_seconds, time};
+    std::lock_guard<std::mutex> lock(listenerMutex_);
+    for (auto &[token, callback] : gapListeners_)
+        callback(event);
 }
 
 void
 NetPowerSensor::onRecord(const host::DumpRecord &record)
 {
     recordsReceived_.fetch_add(1, std::memory_order_relaxed);
+    haveLastStreamTime_ = true;
+    lastStreamTime_ = record.time;
 
     host::Sample sample;
     sample.time = record.time;
@@ -376,6 +585,30 @@ NetPowerSensor::removeSampleListener(std::uint64_t token)
 {
     std::lock_guard<std::mutex> lock(listenerMutex_);
     listeners_.erase(token);
+}
+
+std::uint64_t
+NetPowerSensor::addGapListener(host::GapCallback callback)
+{
+    if (!callback)
+        throw UsageError("NetPowerSensor: null gap listener");
+    std::lock_guard<std::mutex> lock(listenerMutex_);
+    const std::uint64_t token = nextListenerToken_++;
+    gapListeners_.emplace(token, std::move(callback));
+    return token;
+}
+
+void
+NetPowerSensor::removeGapListener(std::uint64_t token)
+{
+    std::lock_guard<std::mutex> lock(listenerMutex_);
+    gapListeners_.erase(token);
+}
+
+std::uint64_t
+NetPowerSensor::gapRecords() const
+{
+    return gapRecords_.load(std::memory_order_relaxed);
 }
 
 bool

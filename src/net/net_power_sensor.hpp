@@ -19,9 +19,20 @@
  *  - writeConfig() throws UsageError — remote sensors are read-only
  *    by design (reconfiguration belongs to whoever owns the device).
  *
- * A vanished server (connection reset, end-of-stream frame, protocol
- * violation) flips deviceGone() and releases all waiters, exactly
- * like a local sensor whose serial link died.
+ * Resilience: a connection that dies abruptly (reset, protocol
+ * violation, heartbeat silence past Options::idleTimeout) is
+ * reconnected automatically with exponential backoff + jitter, up to
+ * Options::maxReconnectAttempts consecutive failures. Records lost
+ * across the outage — and to upstream DropOldest overflow — are
+ * detected through the v1.1 per-batch sequence numbers and surfaced
+ * as host::GapEvents (listeners, dump 'G' records, the
+ * ps3_net_client_gap_* metrics), so downstream energy math can
+ * excise the holes instead of silently interpolating across them.
+ *
+ * Only a graceful end-of-stream frame (the server shut down on
+ * purpose) or an exhausted retry budget flips deviceGone() and
+ * releases all waiters, exactly like a local sensor whose serial
+ * link died.
  */
 
 #ifndef PS3_NET_NET_POWER_SENSOR_HPP
@@ -29,10 +40,12 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 
@@ -46,6 +59,15 @@ namespace ps3::net {
 class NetPowerSensor : public host::Sensor
 {
   public:
+    /**
+     * Factory producing the stream socket for each (re)connect.
+     * Tests inject transport::FaultySocket decorators here.
+     */
+    using SocketFactory =
+        std::function<std::unique_ptr<transport::StreamSocket>(
+            const transport::Endpoint &endpoint,
+            double timeout_seconds)>;
+
     /** Connection knobs. */
     struct Options
     {
@@ -54,6 +76,27 @@ class NetPowerSensor : public host::Sensor
             transport::RingOverflow::Block;
         /** Seconds to wait for the connect + handshake. */
         double connectTimeout = 5.0;
+        /** Socket source; default is SocketDevice::connect. */
+        SocketFactory socketFactory;
+        /** Reconnect after an abrupt connection loss. */
+        bool autoReconnect = true;
+        /** Consecutive failed attempts before giving up. */
+        std::size_t maxReconnectAttempts = 10;
+        /** First backoff before a reconnect attempt (s). */
+        double reconnectInitialBackoff = 0.05;
+        /** Backoff ceiling (s). */
+        double reconnectMaxBackoff = 1.0;
+        /** Backoff growth factor per failed attempt. */
+        double reconnectBackoffMultiplier = 2.0;
+        /** Uniform jitter fraction applied to each backoff. */
+        double reconnectJitter = 0.25;
+        /**
+         * Seconds without any frame before the peer is declared
+         * dead; 0 disables. Only armed against v1.1 servers, whose
+         * heartbeats keep an idle-but-alive stream talking — pair a
+         * heartbeat-disabled server with 0 here.
+         */
+        double idleTimeout = 2.0;
     };
 
     /**
@@ -94,6 +137,10 @@ class NetPowerSensor : public host::Sensor
     std::uint64_t
     addSampleListener(host::SampleCallback callback) override;
     void removeSampleListener(std::uint64_t token) override;
+    std::uint64_t
+    addGapListener(host::GapCallback callback) override;
+    void removeGapListener(std::uint64_t token) override;
+    std::uint64_t gapRecords() const override;
     bool deviceGone() const override;
 
     // ----- network extras ------------------------------------------------
@@ -108,28 +155,77 @@ class NetPowerSensor : public host::Sensor
         return recordsReceived_.load(std::memory_order_relaxed);
     }
 
+    /** Successful reconnects after abrupt connection losses. */
+    std::uint64_t
+    reconnects() const
+    {
+        return reconnects_.load(std::memory_order_relaxed);
+    }
+
+    /** Stream gaps detected so far (see gapRecords() for size). */
+    std::uint64_t
+    gapEvents() const
+    {
+        return gapEvents_.load(std::memory_order_relaxed);
+    }
+
+    /** Heartbeat frames received from the server. */
+    std::uint64_t
+    heartbeatsReceived() const
+    {
+        return heartbeatsReceived_.load(std::memory_order_relaxed);
+    }
+
   private:
-    void handshake(double timeout_seconds);
+    /** Connect via the factory (or SocketDevice::connect). */
+    std::unique_ptr<transport::StreamSocket> openSocket();
+    void handshake(double timeout_seconds, bool initial);
     void readerLoop();
-    /** Read exactly n bytes; false on EOF/abort (never partial). */
+    /** One connection's stream; true on graceful end-of-stream. */
+    bool streamConnection();
+    /** Backoff + retry loop; true when a new stream is up. */
+    bool reconnect();
+    /** Read exactly n bytes; false on EOF/abort/idle timeout. */
     bool readFully(std::uint8_t *out, std::size_t n);
+    /** Compare an announced sequence with the expectation. */
+    void accountSeq(std::uint64_t announced_seq);
+    /** Count a gap, notify listeners, annotate the dump. */
+    void emitGap(std::uint64_t records, double span_seconds,
+                 double time);
     void onRecord(const host::DumpRecord &record);
     /** Flip deviceGone and release every waiter. */
     void markGone();
 
     const Options options_;
-    std::unique_ptr<transport::SocketDevice> socket_;
+    const transport::Endpoint endpoint_;
+    std::unique_ptr<transport::StreamSocket> socket_;
 
-    // Fixed after the handshake; safe to read without locks.
+    // Fixed after the initial handshake; safe to read without locks.
     firmware::DeviceConfig config_{};
     std::string remoteFirmwareVersion_;
     double sampleRateHz_ = 0.0;
 
+    /** Negotiated minor of the current connection (reader thread). */
+    std::uint8_t serverMinor_ = 0;
+
+    // ----- reader-thread-only stream accounting --------------------------
+
+    bool haveExpectedSeq_ = false;
+    std::uint64_t expectedSeq_ = 0;
+    bool haveLastStreamTime_ = false;
+    double lastStreamTime_ = 0.0;
+    std::minstd_rand backoffRng_{std::random_device{}()};
+
     std::thread readerThread_;
     std::atomic<bool> stopRequested_{false};
     std::atomic<std::uint64_t> recordsReceived_{0};
+    std::atomic<std::uint64_t> reconnects_{0};
+    std::atomic<std::uint64_t> gapEvents_{0};
+    std::atomic<std::uint64_t> gapRecords_{0};
+    std::atomic<std::uint64_t> heartbeatsReceived_{0};
 
-    /** Serialises upstream writes (mark() from many threads). */
+    /** Serialises upstream writes (mark() from many threads) and
+     *  guards the socket_ swap on reconnect. */
     std::mutex writeMutex_;
 
     // ----- same state machinery as host::PowerSensor ---------------------
@@ -150,6 +246,7 @@ class NetPowerSensor : public host::Sensor
     std::mutex listenerMutex_;
     std::uint64_t nextListenerToken_ = 1;
     std::map<std::uint64_t, host::SampleCallback> listeners_;
+    std::map<std::uint64_t, host::GapCallback> gapListeners_;
 
     std::mutex dumpMutex_;
     std::unique_ptr<host::DumpWriter> dumpWriter_;

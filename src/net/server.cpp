@@ -47,6 +47,12 @@ struct NetMetrics
     obs::Histogram &sendStallNs = obs::Registry::global().histogram(
         "ps3_net_send_stall_ns",
         "Per-batch socket write latency in sender threads (ns)");
+    obs::Counter &heartbeats = obs::Registry::global().counter(
+        "ps3_net_heartbeats_sent_total",
+        "Heartbeat frames sent to idle v1.1 subscribers");
+    obs::Counter &writeTimeouts = obs::Registry::global().counter(
+        "ps3_net_write_timeouts_total",
+        "Subscribers disconnected because a socket write timed out");
 };
 
 NetMetrics &
@@ -145,13 +151,20 @@ Ps3Server::acceptLoop(transport::SocketListener &listener)
         auto subscriber = std::make_unique<Subscriber>();
         subscriber->socket = std::move(socket);
         subscriber->overflow = hello.overflow;
-        subscriber->ring = std::make_unique<
-            transport::SpscPodRing<host::DumpRecord>>(
-            options_.queueCapacity, hello.overflow);
+        subscriber->minor = std::min(hello.minor, kProtocolMinor);
+        subscriber->ring =
+            std::make_unique<transport::SpscPodRing<SeqRecord>>(
+                options_.queueCapacity, hello.overflow);
+        if (options_.writeTimeout > 0.0)
+            subscriber->socket->setWriteTimeout(
+                options_.writeTimeout);
         Subscriber *raw = subscriber.get();
         {
             std::lock_guard<std::mutex> lock(subscribersMutex_);
             subscriber->id = nextSubscriberId_++;
+            // The first record this subscriber can see is the next
+            // one published; heartbeats before any batch carry it.
+            subscriber->nextSeq = streamSeq_;
             subscribers_.push_back(std::move(subscriber));
         }
         // Started after insertion: a publish() racing the start just
@@ -221,15 +234,18 @@ void
 Ps3Server::publish(const host::DumpRecord &record)
 {
     std::lock_guard<std::mutex> lock(subscribersMutex_);
+    const SeqRecord seq_record{record, streamSeq_++};
     std::int64_t max_depth = 0;
     for (auto &subscriber : subscribers_) {
         if (subscriber->done.load(std::memory_order_acquire))
             continue;
         if (subscriber->overflow
             == transport::RingOverflow::DropOldest) {
-            subscriber->ring->push(record); // reclaims, never blocks
+            // Reclaims, never blocks; the reclaimed records' seqs
+            // vanish from the queue and surface as a gap at drain.
+            subscriber->ring->push(seq_record);
             publishDrops(*subscriber);
-        } else if (!subscriber->ring->tryPush(record)
+        } else if (!subscriber->ring->tryPush(seq_record)
                    && !subscriber->ring->closed()) {
             // A Block subscriber fell a whole queue behind. Its
             // policy promised losslessness, so instead of silently
@@ -265,9 +281,41 @@ Ps3Server::publishDrops(Subscriber &subscriber)
 void
 Ps3Server::senderLoop(Subscriber &subscriber)
 {
-    std::vector<host::DumpRecord> batch(options_.batchRecords);
+    std::vector<SeqRecord> batch(options_.batchRecords);
     std::vector<std::uint8_t> frame;
+    const bool versioned = subscriber.minor >= 1;
     bool graceful = false;
+
+    auto sendFrame = [&](std::size_t first, std::size_t count) {
+        frame.clear();
+        frame.resize(4); // length prefix patched below
+        if (versioned)
+            appendU64(frame, batch[first].seq);
+        for (std::size_t i = 0; i < count; ++i)
+            encodeRecord(frame, batch[first + i].record);
+        const std::uint32_t payload =
+            static_cast<std::uint32_t>(frame.size() - 4);
+        frame[0] = static_cast<std::uint8_t>(payload & 0xFF);
+        frame[1] = static_cast<std::uint8_t>((payload >> 8) & 0xFF);
+        frame[2] = static_cast<std::uint8_t>((payload >> 16) & 0xFF);
+        frame[3] = static_cast<std::uint8_t>((payload >> 24) & 0xFF);
+        {
+            obs::ScopedTimer timer(netMetrics().sendStallNs);
+            subscriber.socket->write(frame.data(), frame.size());
+        }
+        netMetrics().batches.inc();
+        netMetrics().bytes.inc(frame.size());
+    };
+
+    auto sendHeartbeat = [&] {
+        const auto beat = encodeHeartbeat(subscriber.nextSeq);
+        subscriber.socket->write(beat.data(), beat.size());
+        heartbeatsSent_.fetch_add(1, std::memory_order_relaxed);
+        netMetrics().heartbeats.inc();
+        netMetrics().bytes.inc(beat.size());
+    };
+
+    auto last_activity = std::chrono::steady_clock::now();
     try {
         for (;;) {
             const std::size_t n = subscriber.ring->drain(
@@ -279,38 +327,55 @@ Ps3Server::senderLoop(Subscriber &subscriber)
                 }
                 if (subscriber.socket->closed())
                     break;
+                if (versioned && options_.heartbeatInterval > 0.0) {
+                    const auto now = std::chrono::steady_clock::now();
+                    if (std::chrono::duration<double>(
+                            now - last_activity)
+                            .count()
+                        >= options_.heartbeatInterval) {
+                        sendHeartbeat();
+                        last_activity = now;
+                    }
+                }
                 pollUpstream(subscriber);
                 continue;
             }
-            frame.clear();
-            frame.resize(4); // length prefix patched below
-            for (std::size_t i = 0; i < n; ++i)
-                encodeRecord(frame, batch[i]);
-            const std::uint32_t payload =
-                static_cast<std::uint32_t>(frame.size() - 4);
-            frame[0] = static_cast<std::uint8_t>(payload & 0xFF);
-            frame[1] =
-                static_cast<std::uint8_t>((payload >> 8) & 0xFF);
-            frame[2] =
-                static_cast<std::uint8_t>((payload >> 16) & 0xFF);
-            frame[3] =
-                static_cast<std::uint8_t>((payload >> 24) & 0xFF);
-            {
-                obs::ScopedTimer timer(netMetrics().sendStallNs);
-                subscriber.socket->write(frame.data(), frame.size());
+            // One frame per contiguous-seq run: DropOldest reclaims
+            // leave holes in the middle of a drain, and each run's
+            // firstSeq lets a v1.1 client account for them exactly.
+            // (For v1.0 subscribers the runs simply concatenate.)
+            std::size_t start = 0;
+            for (std::size_t i = 1; i <= n; ++i) {
+                if (i < n
+                    && batch[i].seq == batch[i - 1].seq + 1)
+                    continue;
+                sendFrame(start, i - start);
+                start = i;
             }
-            netMetrics().batches.inc();
-            netMetrics().bytes.inc(frame.size());
+            subscriber.nextSeq = batch[n - 1].seq + 1;
+            last_activity = std::chrono::steady_clock::now();
             pollUpstream(subscriber);
         }
         if (graceful && !subscriber.socket->closed()) {
-            // Zero-length batch: end-of-stream, then close.
+            // Final heartbeat (v1.1): pins the stream's end sequence
+            // so a hole between the last sent batch and shutdown is
+            // still accountable. Then the zero-length end-of-stream
+            // batch, then close.
+            if (versioned)
+                sendHeartbeat();
             const std::uint8_t eos[4] = {0, 0, 0, 0};
             subscriber.socket->write(eos, sizeof(eos));
         }
     } catch (const DeviceError &) {
         // Connection died (or was aborted); fall through — closing
         // the ring stops publish() from feeding this subscriber.
+        if (subscriber.socket->writeTimedOut()) {
+            writeTimeouts_.fetch_add(1, std::memory_order_relaxed);
+            subscribersDropped_.fetch_add(
+                1, std::memory_order_relaxed);
+            netMetrics().writeTimeouts.inc();
+            netMetrics().subscribersDropped.inc();
+        }
     }
     subscriber.ring->close();
     subscriber.done.store(true, std::memory_order_release);
@@ -374,6 +439,18 @@ std::uint64_t
 Ps3Server::markerRequests() const
 {
     return markerRequests_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Ps3Server::heartbeatsSent() const
+{
+    return heartbeatsSent_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Ps3Server::writeTimeouts() const
+{
+    return writeTimeouts_.load(std::memory_order_relaxed);
 }
 
 void

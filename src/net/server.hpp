@@ -64,6 +64,20 @@ class Ps3Server
         double handshakeTimeout = 2.0;
         /** Seconds stop() waits for senders to drain before abort. */
         double drainTimeout = 2.0;
+        /**
+         * Idle heartbeat period (s) for v1.1 subscribers; 0 disables.
+         * A heartbeat carries the subscriber's next record sequence,
+         * keeping liveness detection and gap accounting flowing
+         * while the stream idles.
+         */
+        double heartbeatInterval = 0.5;
+        /**
+         * Per-subscriber socket write timeout (s); 0 means none. A
+         * peer that stops reading long enough to exhaust the kernel
+         * buffer AND this budget is disconnected instead of pinning
+         * its sender thread.
+         */
+        double writeTimeout = 2.0;
     };
 
     /**
@@ -118,6 +132,12 @@ class Ps3Server
     /** Marker requests received from subscribers. */
     std::uint64_t markerRequests() const;
 
+    /** Heartbeat frames sent across all subscribers. */
+    std::uint64_t heartbeatsSent() const;
+
+    /** Subscribers disconnected by the write timeout. */
+    std::uint64_t writeTimeouts() const;
+
     /**
      * Drain-then-close shutdown: stop accepting, close every queue,
      * let senders flush and send end-of-stream, abort stragglers
@@ -126,15 +146,30 @@ class Ps3Server
     void stop();
 
   private:
+    /**
+     * One queued record plus its stream sequence number. The seq
+     * travels with the record because DropOldest reclaims make holes
+     * in the middle of the queue — only visible, and only exactly
+     * accountable, at drain time.
+     */
+    struct SeqRecord
+    {
+        host::DumpRecord record;
+        std::uint64_t seq = 0;
+    };
+
     /** One connected subscriber: socket + queue + sender thread. */
     struct Subscriber
     {
         std::uint64_t id = 0;
         std::unique_ptr<transport::SocketDevice> socket;
-        std::unique_ptr<transport::SpscPodRing<host::DumpRecord>>
-            ring;
+        std::unique_ptr<transport::SpscPodRing<SeqRecord>> ring;
         transport::RingOverflow overflow =
             transport::RingOverflow::Block;
+        /** Negotiated minor: min(client, kProtocolMinor). */
+        std::uint8_t minor = 0;
+        /** Next record sequence this subscriber will send. */
+        std::uint64_t nextSeq = 0;
         std::thread thread;
         /** Sender thread exited; safe to join and reap. */
         std::atomic<bool> done{false};
@@ -165,7 +200,12 @@ class Ps3Server
     std::atomic<std::uint64_t> recordsDropped_{0};
     std::atomic<std::uint64_t> subscribersDropped_{0};
     std::atomic<std::uint64_t> markerRequests_{0};
+    std::atomic<std::uint64_t> heartbeatsSent_{0};
+    std::atomic<std::uint64_t> writeTimeouts_{0};
     std::uint64_t nextSubscriberId_ = 1;
+    /** Stream sequence of the next published record (under
+     *  subscribersMutex_, like everything publish() touches). */
+    std::uint64_t streamSeq_ = 0;
 
     mutable std::mutex subscribersMutex_;
     std::vector<std::unique_ptr<Subscriber>> subscribers_;

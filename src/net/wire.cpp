@@ -79,7 +79,10 @@ ClientHello::encode() const
     out.push_back(version);
     out.push_back(
         overflow == transport::RingOverflow::DropOldest ? 1 : 0);
-    putU16(out, 0); // reserved
+    // Byte 6 was reserved (always 0) before v1.1; old servers never
+    // look at it, so it now carries the client's minor version.
+    out.push_back(minor);
+    out.push_back(0); // reserved
     return out;
 }
 
@@ -108,6 +111,8 @@ ClientHello::decode(const std::uint8_t *data, std::size_t size,
     hello.overflow = data[5] == 1
                          ? transport::RingOverflow::DropOldest
                          : transport::RingOverflow::Block;
+    // v1.0 clients sent 0 here, which is exactly "minor 0".
+    hello.minor = data[6];
     return hello;
 }
 
@@ -124,6 +129,9 @@ ServerHello::encode() const
         payload.insert(payload.end(), fw.begin(), fw.end());
         const auto blob = firmware::serializeConfig(config);
         payload.insert(payload.end(), blob.begin(), blob.end());
+        // Trailing minor byte (v1.1): v1.0 clients only lower-bound
+        // the payload size, so they skip it without noticing.
+        payload.push_back(minor);
     }
     std::vector<std::uint8_t> out;
     out.reserve(kServerHelloPrefixSize + payload.size());
@@ -169,6 +177,10 @@ ServerHello::decodePayload(const std::uint8_t *data,
         reinterpret_cast<const char *>(data + 9), fw_len);
     config = firmware::deserializeConfig(
         data + 9 + fw_len, firmware::kConfigBlobSize);
+    // A trailing byte (absent from v1.0 servers) is the server's
+    // minor version.
+    const std::size_t fixed = 9 + fw_len + firmware::kConfigBlobSize;
+    minor = size > fixed ? data[fixed] : 0;
 }
 
 // ----- record batch codec ------------------------------------------------
@@ -192,6 +204,35 @@ encodeRecord(std::vector<std::uint8_t> &out,
         putF64(out, record.voltage[pair]);
         putF64(out, record.current[pair]);
     }
+}
+
+void
+appendU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(
+            static_cast<std::uint8_t>((v >> shift) & 0xFF));
+}
+
+std::uint64_t
+readU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::vector<std::uint8_t>
+encodeHeartbeat(std::uint64_t next_seq)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(4 + kHeartbeatPayloadSize);
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(
+            (kHeartbeatSentinel >> shift) & 0xFF));
+    appendU64(out, next_seq);
+    return out;
 }
 
 void

@@ -20,6 +20,15 @@
  *     batch is the end-of-stream marker of a graceful shutdown.
  *     Payloads above kMaxBatchBytes are a protocol violation.
  *
+ *     When both sides speak minor >= 1 (v1.1), each batch payload
+ *     begins with a u64 LE sequence number — the stream index of the
+ *     payload's first record — so the client can detect holes
+ *     (DropOldest overflow upstream, a reconnect) exactly. The
+ *     length-prefix value 0xFFFFFFFF is a heartbeat frame: its fixed
+ *     8-byte payload carries the sequence number the subscriber's
+ *     next record will have, keeping liveness and gap accounting
+ *     flowing while the stream idles. v1.0 peers never see either.
+ *
  *  3. Upstream. After the handshake the client may send 2-byte
  *     marker requests ('M' + character), forwarded to the sensor.
  *
@@ -48,6 +57,14 @@ inline constexpr char kMagic[4] = {'P', 'S', '3', 'N'};
 /** Protocol version spoken by this library. */
 inline constexpr std::uint8_t kProtocolVersion = 1;
 
+/**
+ * Protocol minor version (v1.1): adds per-batch sequence numbers and
+ * heartbeat frames. Negotiated down to min(client, server) — the
+ * minor byte rides in fields v1.0 peers ignore, so either side may
+ * be old.
+ */
+inline constexpr std::uint8_t kProtocolMinor = 1;
+
 /** Serialised ClientHello size (fixed). */
 inline constexpr std::size_t kClientHelloSize = 8;
 
@@ -56,6 +73,18 @@ inline constexpr std::size_t kServerHelloPrefixSize = 8;
 
 /** Upper bound on one stream batch payload (sanity check). */
 inline constexpr std::size_t kMaxBatchBytes = 1u << 20;
+
+/**
+ * Length-prefix sentinel announcing a heartbeat frame (v1.1). Safely
+ * out of band: real payloads are bounded by kMaxBatchBytes.
+ */
+inline constexpr std::uint32_t kHeartbeatSentinel = 0xFFFFFFFFu;
+
+/** Heartbeat frame payload size (u64 LE next-record sequence). */
+inline constexpr std::size_t kHeartbeatPayloadSize = 8;
+
+/** Batch payload header size when both peers speak v1.1. */
+inline constexpr std::size_t kBatchSeqHeaderSize = 8;
 
 /** Upstream message: marker request command byte. */
 inline constexpr std::uint8_t kMarkerRequest = 'M';
@@ -80,6 +109,14 @@ struct ClientHello
     /** Requested per-subscriber queue overflow policy. */
     transport::RingOverflow overflow =
         transport::RingOverflow::Block;
+    /**
+     * Highest minor the client speaks; lives in a byte v1.0 servers
+     * treat as reserved (and v1.0 clients send as 0), so it doubles
+     * as the advertisement and the backwards-compatibility story.
+     * (Declared after overflow so pre-v1.1 aggregate initialisers
+     * keep their meaning.)
+     */
+    std::uint8_t minor = kProtocolMinor;
 
     /** Serialise to the fixed kClientHelloSize bytes. */
     std::vector<std::uint8_t> encode() const;
@@ -97,6 +134,13 @@ struct ClientHello
 struct ServerHello
 {
     std::uint8_t version = kProtocolVersion;
+    /**
+     * Highest minor the server speaks, appended after the config
+     * blob in the payload. v1.0 clients only lower-bound the payload
+     * size, so the trailing byte is invisible to them; a missing
+     * byte decodes as minor 0.
+     */
+    std::uint8_t minor = kProtocolMinor;
     HelloStatus status = HelloStatus::Ok;
     /** Sample rate of the streamed records (Hz). */
     double sampleRateHz = 0.0;
@@ -131,6 +175,19 @@ struct ServerHello
  */
 void encodeRecord(std::vector<std::uint8_t> &out,
                   const host::DumpRecord &record);
+
+/** Append a u64 little-endian (batch seq header, heartbeat). */
+void appendU64(std::vector<std::uint8_t> &out, std::uint64_t v);
+
+/** Read a u64 little-endian; caller guarantees 8 readable bytes. */
+std::uint64_t readU64(const std::uint8_t *p);
+
+/**
+ * Build a complete heartbeat frame (v1.1): the 0xFFFFFFFF sentinel
+ * length prefix followed by the u64 LE sequence number of the
+ * subscriber's next record.
+ */
+std::vector<std::uint8_t> encodeHeartbeat(std::uint64_t next_seq);
 
 /**
  * Incremental batch decoder (client side).

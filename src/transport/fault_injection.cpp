@@ -1,5 +1,7 @@
 #include "fault_injection.hpp"
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "obs/registry.hpp"
@@ -25,7 +27,9 @@ FaultInjectingDevice::FaultInjectingDevice(CharDevice &inner,
     : inner_(inner), profile_(profile), rng_(seed),
       corruptFaults_(faultCounter("corrupt")),
       dropFaults_(faultCounter("drop")),
-      duplicateFaults_(faultCounter("duplicate"))
+      duplicateFaults_(faultCounter("duplicate")),
+      burstDropFaults_(faultCounter("burst_drop")),
+      readStallFaults_(faultCounter("read_stall"))
 {
 }
 
@@ -33,6 +37,20 @@ std::size_t
 FaultInjectingDevice::read(std::uint8_t *buffer, std::size_t max_bytes,
                            double timeout_seconds)
 {
+    // A stall delays the whole delivery without losing anything:
+    // the bytes arrive, just late (decided before the inner read so
+    // the stall probability is per call, not per byte).
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (rng_.bernoulli(profile_.readStallProbability)) {
+            ++faults_;
+            readStallFaults_.inc();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(
+                    profile_.readStallSeconds));
+        }
+    }
+
     // Read into a scratch buffer, then apply faults while copying out.
     std::vector<std::uint8_t> scratch(max_bytes);
     const std::size_t got =
@@ -44,6 +62,21 @@ FaultInjectingDevice::read(std::uint8_t *buffer, std::size_t max_bytes,
     std::size_t out = 0;
     for (std::size_t i = 0; i < got && out < max_bytes; ++i) {
         std::uint8_t byte = scratch[i];
+        if (burstRemaining_ > 0) {
+            // An active burst swallows contiguous bytes — crossing
+            // read() boundaries — so whole frames vanish at once.
+            --burstRemaining_;
+            ++faults_;
+            burstDropFaults_.inc();
+            continue;
+        }
+        if (rng_.bernoulli(profile_.burstDropProbability)
+            && profile_.burstDropLength > 0) {
+            burstRemaining_ = profile_.burstDropLength - 1;
+            ++faults_;
+            burstDropFaults_.inc();
+            continue;
+        }
         if (rng_.bernoulli(profile_.dropProbability)) {
             ++faults_;
             dropFaults_.inc();

@@ -20,7 +20,14 @@
 
 namespace ps3::transport {
 
-/** Probabilities of each fault per byte read. */
+/**
+ * Probabilities of each fault per byte read, plus the correlated
+ * modes a real flaky link shows. The per-byte faults are i.i.d.;
+ * burst drops take out a contiguous run of bytes (several whole
+ * frames at once, which is what actually exercises the stream
+ * parser's multi-frame resync path), and read stalls delay a whole
+ * read() without losing anything.
+ */
 struct FaultProfile
 {
     /** Probability a byte's payload bits are flipped. */
@@ -29,6 +36,14 @@ struct FaultProfile
     double dropProbability = 0.0;
     /** Probability a byte is duplicated. */
     double duplicateProbability = 0.0;
+    /** Probability (per byte) that a contiguous drop burst starts. */
+    double burstDropProbability = 0.0;
+    /** Bytes a burst takes out (spans read() boundaries). */
+    std::size_t burstDropLength = 32;
+    /** Probability (per read() call) of a delivery stall. */
+    double readStallProbability = 0.0;
+    /** How long a stalled read() sleeps before delivering (s). */
+    double readStallSeconds = 0.002;
 };
 
 /** CharDevice decorator applying a FaultProfile to reads. */
@@ -60,11 +75,15 @@ class FaultInjectingDevice : public CharDevice
     mutable std::mutex mutex_;
     Rng rng_;
     std::uint64_t faults_ = 0;
+    /** Bytes an in-progress drop burst still swallows. */
+    std::size_t burstRemaining_ = 0;
 
     /** Per-kind fault counters (ps3_transport_faults_injected_total). */
     obs::Counter &corruptFaults_;
     obs::Counter &dropFaults_;
     obs::Counter &duplicateFaults_;
+    obs::Counter &burstDropFaults_;
+    obs::Counter &readStallFaults_;
 };
 
 } // namespace ps3::transport

@@ -1,0 +1,180 @@
+#include "faulty_socket.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/errors.hpp"
+
+namespace ps3::transport {
+
+FaultySocket::FaultySocket(std::unique_ptr<StreamSocket> inner,
+                           std::vector<Fault> script)
+    : inner_(std::move(inner)), script_(std::move(script)),
+      start_(std::chrono::steady_clock::now())
+{
+    if (!inner_)
+        throw UsageError("FaultySocket: null inner socket");
+}
+
+const Fault *
+FaultySocket::armed() const
+{
+    if (next_ >= script_.size())
+        return nullptr;
+    const Fault &fault = script_[next_];
+    if (bytesMoved_ < fault.afterBytes)
+        return nullptr;
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    if (elapsed < fault.afterSeconds)
+        return nullptr;
+    return &fault;
+}
+
+void
+FaultySocket::advance()
+{
+    ++next_;
+}
+
+std::size_t
+FaultySocket::read(std::uint8_t *buffer, std::size_t max_bytes,
+                   double timeout_seconds)
+{
+    bool swallow = false;
+    std::size_t swallow_max = 0;
+    double nap = -1.0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto now = std::chrono::steady_clock::now();
+        if (now < stallUntil_) {
+            // Mid-stall: sleep out the shorter of stall and timeout
+            // (outside the lock), report a timeout; the peer's bytes
+            // stay queued.
+            const double remaining =
+                std::chrono::duration<double>(stallUntil_ - now)
+                    .count();
+            nap = std::min(remaining, std::max(timeout_seconds, 0.0));
+        } else {
+            if (!truncating_) {
+                if (const Fault *fault = armed()) {
+                    switch (fault->kind) {
+                      case Fault::Kind::Reset:
+                        advance();
+                        inner_->abort();
+                        return 0;
+                      case Fault::Kind::ReadStall:
+                        stallUntil_ =
+                            now
+                            + std::chrono::duration_cast<
+                                  std::chrono::steady_clock::
+                                      duration>(
+                                  std::chrono::duration<double>(
+                                      fault->stallSeconds));
+                        advance();
+                        return 0;
+                      case Fault::Kind::TruncateRead:
+                        truncating_ = true;
+                        truncateRemaining_ = fault->truncateBytes;
+                        advance();
+                        break;
+                      case Fault::Kind::PartialWrite:
+                        break; // fires on the write path
+                    }
+                }
+            }
+            if (truncating_) {
+                swallow = true;
+                swallow_max = std::min(truncateRemaining_, max_bytes);
+            }
+        }
+    }
+
+    if (nap >= 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(nap));
+        return 0;
+    }
+
+    if (swallow) {
+        // Swallow the peer's bytes into the caller's buffer without
+        // reporting them; once the budget is gone, reset.
+        const std::size_t got =
+            inner_->read(buffer, std::max<std::size_t>(swallow_max, 1),
+                         timeout_seconds);
+        std::lock_guard<std::mutex> lock(mutex_);
+        bytesMoved_ += got;
+        truncateRemaining_ -= std::min(truncateRemaining_, got);
+        if (truncateRemaining_ == 0) {
+            truncating_ = false;
+            inner_->abort();
+        }
+        return 0;
+    }
+
+    const std::size_t got =
+        inner_->read(buffer, max_bytes, timeout_seconds);
+    std::lock_guard<std::mutex> lock(mutex_);
+    bytesMoved_ += got;
+    return got;
+}
+
+void
+FaultySocket::write(const std::uint8_t *data, std::size_t size)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (const Fault *fault = armed()) {
+            switch (fault->kind) {
+              case Fault::Kind::Reset:
+                advance();
+                inner_->abort();
+                throw DeviceError(
+                    "faulty socket: reset injected on write");
+              case Fault::Kind::PartialWrite: {
+                advance();
+                const std::size_t half = size / 2;
+                if (half > 0)
+                    inner_->write(data, half);
+                inner_->abort();
+                throw DeviceError(
+                    "faulty socket: partial write injected");
+              }
+              case Fault::Kind::ReadStall:
+              case Fault::Kind::TruncateRead:
+                break; // fire on the read path
+            }
+        }
+        bytesMoved_ += size;
+    }
+    inner_->write(data, size);
+}
+
+bool
+FaultySocket::closed() const
+{
+    return inner_->closed();
+}
+
+void
+FaultySocket::interruptReads()
+{
+    inner_->interruptReads();
+}
+
+void
+FaultySocket::abort()
+{
+    inner_->abort();
+}
+
+std::size_t
+FaultySocket::faultsFired() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_;
+}
+
+} // namespace ps3::transport

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * FaultySocket: a scripted-fault StreamSocket decorator.
+ *
+ * Wraps a real connection and injects the failure modes a streaming
+ * client must survive in the wild — connection resets, read stalls,
+ * truncated batches, partial writes — at deterministic, scripted
+ * points instead of the per-byte i.i.d. faults of
+ * FaultInjectingDevice. The network chaos harness (`pstest --chaos`)
+ * and the resilience tests build their fault storms from these.
+ *
+ * A script is an ordered list of Fault entries; each arms when the
+ * connection has moved at least Fault::afterBytes bytes (reads +
+ * writes) AND lived Fault::afterSeconds seconds. Faults fire one at
+ * a time, in order:
+ *
+ *  - Reset          hard-disconnect (reads hit end-of-stream, writes
+ *                   throw DeviceError), like a TCP RST;
+ *  - ReadStall      reads return no data for stallSeconds while the
+ *                   peer's bytes queue up — data is late, not lost
+ *                   (exercises heartbeat/idle-timeout detection);
+ *  - TruncateRead   silently swallow truncateBytes of incoming
+ *                   stream, then reset — a batch cut mid-record;
+ *  - PartialWrite   deliver only half of one outgoing buffer, then
+ *                   reset — an upstream request cut mid-message.
+ *
+ * Thread safe to the same degree as SocketDevice: one reader, one
+ * writer, abort() from anywhere.
+ */
+
+#ifndef PS3_TRANSPORT_FAULTY_SOCKET_HPP
+#define PS3_TRANSPORT_FAULTY_SOCKET_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "transport/socket_device.hpp"
+
+namespace ps3::transport {
+
+/** One scripted fault on a FaultySocket. */
+struct Fault
+{
+    /** What breaks when the fault fires. */
+    enum class Kind
+    {
+        Reset,        ///< hard disconnect (TCP RST equivalent)
+        ReadStall,    ///< no data for stallSeconds (late, not lost)
+        TruncateRead, ///< swallow truncateBytes, then reset
+        PartialWrite, ///< half of one write delivered, then reset
+    };
+
+    Kind kind = Kind::Reset;
+    /** Bytes (reads + writes) that must pass before arming. */
+    std::uint64_t afterBytes = 0;
+    /** Seconds the connection must live before arming. */
+    double afterSeconds = 0.0;
+    /** ReadStall: how long reads stay silent. */
+    double stallSeconds = 0.1;
+    /** TruncateRead: incoming bytes to swallow before the reset. */
+    std::size_t truncateBytes = 64;
+};
+
+/** StreamSocket decorator applying an ordered fault script. */
+class FaultySocket : public StreamSocket
+{
+  public:
+    /**
+     * @param inner The real connection (owned).
+     * @param script Faults applied in order; empty = transparent.
+     */
+    FaultySocket(std::unique_ptr<StreamSocket> inner,
+                 std::vector<Fault> script);
+
+    std::size_t read(std::uint8_t *buffer, std::size_t max_bytes,
+                     double timeout_seconds) override;
+    void write(const std::uint8_t *data, std::size_t size) override;
+    bool closed() const override;
+    void interruptReads() override;
+    void abort() override;
+
+    /** Faults fired so far (script entries consumed). */
+    std::size_t faultsFired() const;
+
+  private:
+    /** Script entry armed for the byte/time position, or nullptr. */
+    const Fault *armed() const;
+    /** Consume the current script entry. */
+    void advance();
+
+    std::unique_ptr<StreamSocket> inner_;
+    const std::vector<Fault> script_;
+    const std::chrono::steady_clock::time_point start_;
+
+    mutable std::mutex mutex_;
+    std::size_t next_ = 0;       ///< index of the pending fault
+    std::uint64_t bytesMoved_ = 0;
+    /** End of an in-progress ReadStall (reads silent until then). */
+    std::chrono::steady_clock::time_point stallUntil_{};
+    /** Remaining bytes a TruncateRead still swallows. */
+    std::size_t truncateRemaining_ = 0;
+    bool truncating_ = false;
+};
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_FAULTY_SOCKET_HPP

@@ -1,5 +1,6 @@
 #include "socket_device.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -143,6 +144,13 @@ SocketDevice::SocketDevice(int fd) : fd_(fd), wakeFd_(newEventFd())
 {
     if (fd_ < 0)
         throw UsageError("SocketDevice: bad file descriptor");
+    // Non-blocking descriptor: reads already poll() first, and the
+    // poll-based write loop below needs send() to return EAGAIN
+    // instead of parking in the kernel, so deadlines and abort()
+    // take effect.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
 }
 
 SocketDevice::~SocketDevice()
@@ -162,8 +170,9 @@ SocketDevice::connect(const Endpoint &endpoint,
     const int fd = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0)
         throwErrno("socket");
-    auto device = std::make_unique<SocketDevice>(fd);
 
+    // Connect on the still-blocking descriptor (the SocketDevice
+    // constructor switches it to non-blocking afterwards).
     int rc;
     if (endpoint.kind == Endpoint::Kind::Unix) {
         const auto addr = unixAddress(endpoint.path);
@@ -174,9 +183,12 @@ SocketDevice::connect(const Endpoint &endpoint,
         rc = ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
                        sizeof(addr));
     }
-    if (rc != 0)
+    if (rc != 0) {
+        const int saved = errno;
+        ::close(fd);
         throw DeviceError("cannot connect to " + endpoint.describe()
-                          + ": " + std::strerror(errno));
+                          + ": " + std::strerror(saved));
+    }
     (void)timeout_seconds; // blocking connect; kernel default timeout
 
     if (endpoint.kind == Endpoint::Kind::Tcp) {
@@ -184,7 +196,7 @@ SocketDevice::connect(const Endpoint &endpoint,
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                      sizeof(one));
     }
-    return device;
+    return std::make_unique<SocketDevice>(fd);
 }
 
 std::size_t
@@ -229,19 +241,62 @@ SocketDevice::read(std::uint8_t *buffer, std::size_t max_bytes,
 void
 SocketDevice::write(const std::uint8_t *data, std::size_t size)
 {
+    const double timeout =
+        writeTimeout_.load(std::memory_order_relaxed);
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(
+                  timeout > 0.0 ? timeout : 86400.0));
     std::size_t sent = 0;
     while (sent < size) {
+        if (closed_.load(std::memory_order_acquire))
+            throw DeviceError("socket write failed: disconnected");
         const ssize_t n = ::send(fd_, data + sent, size - sent,
                                  MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno != EINTR && errno != EAGAIN
+            && errno != EWOULDBLOCK) {
             closed_.store(true, std::memory_order_release);
             throw DeviceError(std::string("socket write failed: ")
                               + std::strerror(errno));
         }
-        sent += static_cast<std::size_t>(n);
+        // Socket buffer full: wait for room, bounded by the write
+        // deadline when one is configured.
+        const double remaining =
+            std::chrono::duration<double>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (timeout > 0.0 && remaining <= 0.0) {
+            writeTimedOut_.store(true, std::memory_order_release);
+            closed_.store(true, std::memory_order_release);
+            throw DeviceError("socket write timed out after "
+                              + std::to_string(timeout)
+                              + " s (peer stopped reading)");
+        }
+        pollfd fds[1] = {{fd_, POLLOUT, 0}};
+        const double slice =
+            timeout > 0.0 ? std::min(remaining, 0.2) : 0.2;
+        if (::poll(fds, 1, pollMillis(slice)) < 0
+            && errno != EINTR)
+            throwErrno("poll");
     }
+}
+
+void
+SocketDevice::setWriteTimeout(double seconds)
+{
+    writeTimeout_.store(seconds, std::memory_order_relaxed);
+}
+
+bool
+SocketDevice::writeTimedOut() const
+{
+    return writeTimedOut_.load(std::memory_order_acquire);
 }
 
 bool

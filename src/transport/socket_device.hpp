@@ -61,8 +61,27 @@ struct Endpoint
     std::string describe() const;
 };
 
+/**
+ * A connected stream-socket endpoint: CharDevice plus the one
+ * operation the streaming stack needs beyond it — abort(), a
+ * thread-safe hard disconnect. SocketDevice is the real kernel
+ * socket; FaultySocket (faulty_socket.hpp) decorates another
+ * StreamSocket with scripted faults for chaos testing, which is why
+ * the clients hold this interface rather than SocketDevice itself.
+ */
+class StreamSocket : public CharDevice
+{
+  public:
+    /**
+     * Hard-disconnect from any thread: blocked reads return
+     * end-of-stream and blocked writes fail with DeviceError.
+     * Idempotent.
+     */
+    virtual void abort() = 0;
+};
+
 /** One connected stream socket with CharDevice semantics. */
-class SocketDevice : public CharDevice
+class SocketDevice : public StreamSocket
 {
   public:
     /** Wrap an already connected socket file descriptor. */
@@ -86,8 +105,11 @@ class SocketDevice : public CharDevice
 
     /**
      * Write the whole buffer, blocking while the socket buffer is
-     * full. @throws DeviceError once the peer is gone or abort()
-     * was called.
+     * full — at most writeTimeout() seconds when one is set.
+     * @throws DeviceError once the peer is gone, abort() was called,
+     *         or the write deadline passed (writeTimedOut() is then
+     *         true and the socket is closed: a peer that stopped
+     *         reading is indistinguishable from a dead one).
      */
     void write(const std::uint8_t *data, std::size_t size) override;
 
@@ -101,13 +123,26 @@ class SocketDevice : public CharDevice
      * blocked reads return end-of-stream and blocked writes fail
      * with DeviceError. Idempotent.
      */
-    void abort();
+    void abort() override;
+
+    /**
+     * Bound every write() to the given number of seconds (0 = wait
+     * forever, the default). The streaming server sets this so a
+     * hung subscriber can never pin its sender thread.
+     */
+    void setWriteTimeout(double seconds);
+
+    /** True once a write() failed on its deadline. */
+    bool writeTimedOut() const;
 
   private:
     int fd_ = -1;
     int wakeFd_ = -1; ///< eventfd; readable => interruptReads pending
     std::atomic<bool> closed_{false};
     std::atomic<bool> aborted_{false};
+    std::atomic<bool> writeTimedOut_{false};
+    /** Write deadline in seconds; <= 0 waits forever. */
+    std::atomic<double> writeTimeout_{0.0};
 };
 
 /** A bound, listening stream socket. */

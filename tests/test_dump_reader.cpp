@@ -15,6 +15,7 @@
 
 #include "common/errors.hpp"
 #include "host/dump_reader.hpp"
+#include "host/dump_writer.hpp"
 #include "host/sim_setup.hpp"
 
 namespace ps3::host {
@@ -123,6 +124,85 @@ TEST(DumpFileErrors, MalformedLines)
     {
         std::ofstream out(path);
         out << "M\n";
+    }
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+    std::filesystem::remove(path);
+}
+
+// Gap annotations ('G' records): written by network clients when
+// the stream had holes (host::GapEvent), in both formats.
+
+TEST(DumpGapRecords, TextRoundTrip)
+{
+    const std::string path = "/tmp/ps3_dump_gap_"
+                             + std::to_string(::getpid()) + ".txt";
+    {
+        DumpWriter writer(path, "# gap test\n");
+        DumpRecord sample{};
+        sample.time = 1.0;
+        sample.presentMask = 0x1;
+        sample.voltage[0] = 12.0;
+        sample.current[0] = 2.0;
+        writer.push(sample);
+
+        DumpRecord gap{};
+        gap.gap = true;
+        gap.time = 1.5;
+        gap.gapRecords = 250;
+        gap.gapSpanSeconds = 0.0125;
+        writer.push(gap);
+
+        DumpRecord unknown{}; // restart: size unknowable
+        unknown.gap = true;
+        unknown.time = 2.0;
+        writer.push(unknown);
+    }
+    const auto file = DumpFile::load(path);
+    EXPECT_EQ(file.samples().size(), 1u);
+    ASSERT_EQ(file.gaps().size(), 2u);
+    EXPECT_DOUBLE_EQ(file.gaps()[0].time, 1.5);
+    EXPECT_EQ(file.gaps()[0].records, 250u);
+    EXPECT_NEAR(file.gaps()[0].spanSeconds, 0.0125, 1e-6);
+    EXPECT_EQ(file.gaps()[1].records, 0u);
+    std::filesystem::remove(path);
+}
+
+TEST(DumpGapRecords, BinaryRoundTrip)
+{
+    const std::string path = "/tmp/ps3_dump_gap_"
+                             + std::to_string(::getpid()) + ".ps3b";
+    {
+        DumpWriter writer(path, "# gap test\n");
+        DumpRecord gap{};
+        gap.gap = true;
+        gap.time = 3.25;
+        gap.gapRecords = 123456789ull;
+        gap.gapSpanSeconds = 6172.8;
+        writer.push(gap);
+
+        DumpRecord sample{};
+        sample.time = 4.0;
+        sample.presentMask = 0x1;
+        sample.voltage[0] = 11.5;
+        sample.current[0] = 1.5;
+        writer.push(sample);
+    }
+    const auto file = DumpFile::load(path);
+    ASSERT_EQ(file.gaps().size(), 1u);
+    // Binary is lossless: exact f64 and u64 round trips.
+    EXPECT_DOUBLE_EQ(file.gaps()[0].time, 3.25);
+    EXPECT_EQ(file.gaps()[0].records, 123456789ull);
+    EXPECT_DOUBLE_EQ(file.gaps()[0].spanSeconds, 6172.8);
+    EXPECT_EQ(file.samples().size(), 1u);
+    EXPECT_DOUBLE_EQ(file.samples()[0].voltage[0], 11.5);
+}
+
+TEST(DumpGapRecords, MalformedGapLineThrows)
+{
+    const std::string path = "/tmp/ps3_dump_gap_bad.txt";
+    {
+        std::ofstream out(path);
+        out << "G 1.0\n"; // missing records and span
     }
     EXPECT_THROW(DumpFile::load(path), UsageError);
     std::filesystem::remove(path);

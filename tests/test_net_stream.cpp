@@ -10,6 +10,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "net/server.hpp"
 #include "net/wire.hpp"
 #include "obs/registry.hpp"
+#include "transport/faulty_socket.hpp"
 #include "transport/socket_device.hpp"
 
 namespace ps3 {
@@ -538,6 +541,413 @@ TEST(NetEndToEnd, TcpLoopbackWorks)
     while (!client.deviceGone())
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     EXPECT_EQ(client.recordsReceived(), 100u);
+}
+
+// ----- v1.1 protocol: minor negotiation, sequences, heartbeats -----------
+
+TEST(NetWire, ClientHelloCarriesMinorAndV10DecodesAsZero)
+{
+    net::ClientHello hello{net::kProtocolVersion,
+                           RingOverflow::Block};
+    EXPECT_EQ(hello.minor, net::kProtocolMinor);
+    auto bytes = hello.encode();
+    ASSERT_EQ(bytes.size(), net::kClientHelloSize);
+
+    auto reject = net::HelloStatus::Ok;
+    auto decoded =
+        net::ClientHello::decode(bytes.data(), bytes.size(), reject);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->minor, net::kProtocolMinor);
+
+    // A v1.0 client sent this byte as zero ("reserved"); it must
+    // decode as minor 0, not be rejected.
+    bytes[6] = 0;
+    decoded =
+        net::ClientHello::decode(bytes.data(), bytes.size(), reject);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->minor, 0);
+}
+
+TEST(NetWire, ServerHelloMinorTrailsPayloadAndDefaultsToZero)
+{
+    net::ServerHello hello;
+    hello.sampleRateHz = firmware::kSampleRateHz;
+    hello.firmwareVersion = "fw-minor";
+    hello.config = testConfig();
+    const auto bytes = hello.encode();
+
+    net::ServerHello decoded;
+    const std::size_t payload_len = net::ServerHello::decodePrefix(
+        bytes.data(), bytes.size(), decoded);
+    decoded.decodePayload(bytes.data() + net::kServerHelloPrefixSize,
+                          payload_len);
+    EXPECT_EQ(decoded.minor, net::kProtocolMinor);
+
+    // A v1.0 server's payload simply ends after the config blob; the
+    // missing trailing byte must decode as minor 0.
+    net::ServerHello old;
+    old.decodePayload(bytes.data() + net::kServerHelloPrefixSize,
+                      payload_len - 1);
+    EXPECT_EQ(old.minor, 0);
+    EXPECT_EQ(old.firmwareVersion, "fw-minor");
+}
+
+TEST(NetWire, HeartbeatFrameRoundTrip)
+{
+    const std::uint64_t seq = 0x1122334455667788ull;
+    const auto frame = net::encodeHeartbeat(seq);
+    ASSERT_EQ(frame.size(), 4 + net::kHeartbeatPayloadSize);
+    const std::uint32_t prefix =
+        static_cast<std::uint32_t>(frame[0])
+        | (static_cast<std::uint32_t>(frame[1]) << 8)
+        | (static_cast<std::uint32_t>(frame[2]) << 16)
+        | (static_cast<std::uint32_t>(frame[3]) << 24);
+    EXPECT_EQ(prefix, net::kHeartbeatSentinel);
+    EXPECT_EQ(net::readU64(frame.data() + 4), seq);
+
+    std::vector<std::uint8_t> buffer;
+    net::appendU64(buffer, seq);
+    ASSERT_EQ(buffer.size(), 8u);
+    EXPECT_EQ(net::readU64(buffer.data()), seq);
+}
+
+// ----- deterministic client gap accounting (raw v1.1 server) -------------
+
+/**
+ * A hand-driven single-connection server: accepts one NetPowerSensor
+ * client, answers the handshake, then lets the test send crafted
+ * frames — the only way to produce exact sequence skips on demand.
+ */
+class RawServer
+{
+  public:
+    explicit RawServer(std::uint8_t minor)
+        : listener_(Endpoint::parse("unix://" + socketPath())),
+          minor_(minor)
+    {
+    }
+
+    const Endpoint &
+    endpoint() const
+    {
+        return listener_.boundEndpoint();
+    }
+
+    /** Accept + handshake (run while the client ctor blocks). */
+    void
+    acceptAndHandshake()
+    {
+        conn_ = listener_.accept(10.0);
+        if (!conn_)
+            throw DeviceError("raw server: accept timed out");
+        std::uint8_t hello[net::kClientHelloSize];
+        std::size_t got = 0;
+        while (got < sizeof(hello) && !conn_->closed())
+            got += conn_->read(hello + got, sizeof(hello) - got, 0.1);
+        net::ServerHello reply;
+        reply.minor = minor_;
+        reply.sampleRateHz = firmware::kSampleRateHz;
+        reply.firmwareVersion = "raw-test";
+        reply.config = testConfig();
+        const auto bytes = reply.encode();
+        conn_->write(bytes.data(), bytes.size());
+    }
+
+    void
+    sendHeartbeat(std::uint64_t next_seq)
+    {
+        const auto frame = net::encodeHeartbeat(next_seq);
+        conn_->write(frame.data(), frame.size());
+    }
+
+    /** One batch of records; seq header included when v1.1. */
+    void
+    sendBatch(std::uint64_t first_seq,
+              const std::vector<host::DumpRecord> &records)
+    {
+        std::vector<std::uint8_t> payload;
+        if (minor_ >= 1)
+            net::appendU64(payload, first_seq);
+        for (const auto &record : records)
+            net::encodeRecord(payload, record);
+        const auto length =
+            static_cast<std::uint32_t>(payload.size());
+        std::uint8_t prefix[4] = {
+            static_cast<std::uint8_t>(length & 0xFF),
+            static_cast<std::uint8_t>((length >> 8) & 0xFF),
+            static_cast<std::uint8_t>((length >> 16) & 0xFF),
+            static_cast<std::uint8_t>((length >> 24) & 0xFF)};
+        conn_->write(prefix, sizeof(prefix));
+        conn_->write(payload.data(), payload.size());
+    }
+
+    void
+    sendEndOfStream()
+    {
+        const std::uint8_t zeros[4] = {0, 0, 0, 0};
+        conn_->write(zeros, sizeof(zeros));
+    }
+
+  private:
+    transport::SocketListener listener_;
+    const std::uint8_t minor_;
+    std::unique_ptr<transport::SocketDevice> conn_;
+};
+
+/** Spin until predicate() or the timeout; true on success. */
+template <typename Predicate>
+bool
+spinUntil(Predicate predicate, double timeout_seconds = 10.0)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration<double>(timeout_seconds);
+    while (!predicate()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+}
+
+/** Gap events collected from a client under test. */
+struct GapLog
+{
+    std::mutex mutex;
+    std::vector<host::GapEvent> events;
+
+    std::uint64_t
+    attach(net::NetPowerSensor &client)
+    {
+        return client.addGapListener([this](const host::GapEvent &e) {
+            std::lock_guard<std::mutex> lock(mutex);
+            events.push_back(e);
+        });
+    }
+};
+
+TEST(NetGap, SequenceSkipEmitsExactGapEvent)
+{
+    RawServer raw(net::kProtocolMinor);
+    std::thread server([&] { raw.acceptAndHandshake(); });
+    net::NetPowerSensor::Options options;
+    options.autoReconnect = false;
+    net::NetPowerSensor client(raw.endpoint(), options);
+    server.join();
+
+    GapLog gaps;
+    gaps.attach(client);
+
+    // Baseline heartbeat, two records, then a skip of three.
+    raw.sendHeartbeat(0);
+    raw.sendBatch(0, {testRecord(1.0, 0x01), testRecord(2.0, 0x01)});
+    ASSERT_TRUE(
+        spinUntil([&] { return client.recordsReceived() == 2; }));
+    EXPECT_EQ(client.gapEvents(), 0u);
+
+    raw.sendBatch(5, {testRecord(3.0, 0x01)});
+    ASSERT_TRUE(
+        spinUntil([&] { return client.recordsReceived() == 3; }));
+    EXPECT_EQ(client.gapEvents(), 1u);
+    EXPECT_EQ(client.gapRecords(), 3u);
+    {
+        std::lock_guard<std::mutex> lock(gaps.mutex);
+        ASSERT_EQ(gaps.events.size(), 1u);
+        EXPECT_EQ(gaps.events[0].records, 3u);
+        EXPECT_DOUBLE_EQ(gaps.events[0].spanSeconds,
+                         3.0 / firmware::kSampleRateHz);
+        // Gap end = last stream time + span.
+        EXPECT_DOUBLE_EQ(gaps.events[0].time,
+                         2.0 + 3.0 / firmware::kSampleRateHz);
+    }
+
+    raw.sendEndOfStream();
+    EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+}
+
+TEST(NetGap, HeartbeatAdvanceEmitsGapWithoutRecords)
+{
+    RawServer raw(net::kProtocolMinor);
+    std::thread server([&] { raw.acceptAndHandshake(); });
+    net::NetPowerSensor::Options options;
+    options.autoReconnect = false;
+    net::NetPowerSensor client(raw.endpoint(), options);
+    server.join();
+
+    raw.sendHeartbeat(0);
+    raw.sendBatch(0, {testRecord(1.0, 0x01)});
+    ASSERT_TRUE(
+        spinUntil([&] { return client.recordsReceived() == 1; }));
+
+    // DropOldest upstream ate records 1..3; the next heartbeat
+    // announces seq 4 with nothing in between.
+    raw.sendHeartbeat(4);
+    ASSERT_TRUE(spinUntil([&] { return client.gapEvents() == 1; }));
+    EXPECT_EQ(client.gapRecords(), 3u);
+    EXPECT_EQ(client.recordsReceived(), 1u);
+
+    raw.sendEndOfStream();
+    EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+}
+
+TEST(NetGap, BackwardSequenceMeansRestartWithUnknowableGap)
+{
+    RawServer raw(net::kProtocolMinor);
+    std::thread server([&] { raw.acceptAndHandshake(); });
+    net::NetPowerSensor::Options options;
+    options.autoReconnect = false;
+    net::NetPowerSensor client(raw.endpoint(), options);
+    server.join();
+
+    GapLog gaps;
+    gaps.attach(client);
+
+    raw.sendHeartbeat(5); // baseline mid-stream
+    raw.sendBatch(5, {testRecord(1.0, 0x01)});
+    ASSERT_TRUE(
+        spinUntil([&] { return client.recordsReceived() == 1; }));
+
+    // Sequence numbering started over: a restarted server. The gap
+    // is flagged but its size is unknowable (records == 0).
+    raw.sendBatch(2, {testRecord(2.0, 0x01)});
+    ASSERT_TRUE(spinUntil([&] { return client.gapEvents() == 1; }));
+    EXPECT_EQ(client.gapRecords(), 0u);
+    {
+        std::lock_guard<std::mutex> lock(gaps.mutex);
+        ASSERT_EQ(gaps.events.size(), 1u);
+        EXPECT_EQ(gaps.events[0].records, 0u);
+    }
+    ASSERT_TRUE(
+        spinUntil([&] { return client.recordsReceived() == 2; }));
+
+    raw.sendEndOfStream();
+    EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+}
+
+TEST(NetGap, V10ServerStreamsWithoutSequencesOrHeartbeats)
+{
+    RawServer raw(0); // a pre-v1.1 server
+    std::thread server([&] { raw.acceptAndHandshake(); });
+    net::NetPowerSensor::Options options;
+    options.autoReconnect = false;
+    options.idleTimeout = 0.2; // must stay disarmed against v1.0
+    net::NetPowerSensor client(raw.endpoint(), options);
+    server.join();
+
+    raw.sendBatch(0, {testRecord(1.0, 0x01), testRecord(2.0, 0x01)});
+    ASSERT_TRUE(
+        spinUntil([&] { return client.recordsReceived() == 2; }));
+
+    // Idle well past idleTimeout: against a v1.0 server (no
+    // heartbeats) the silence must NOT be declared a dead peer.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    EXPECT_FALSE(client.deviceGone());
+    raw.sendBatch(0, {testRecord(3.0, 0x01)});
+    ASSERT_TRUE(
+        spinUntil([&] { return client.recordsReceived() == 3; }));
+    EXPECT_EQ(client.gapEvents(), 0u);
+    EXPECT_EQ(client.heartbeatsReceived(), 0u);
+
+    raw.sendEndOfStream();
+    EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+}
+
+// ----- auto-reconnect ----------------------------------------------------
+
+TEST(NetReconnect, ResetsAreSurvivedWithExactAccounting)
+{
+    net::Ps3Server::Options server_options;
+    server_options.heartbeatInterval = 0.02;
+    net::Ps3Server server(testConfig(), "fw-chaos", server_options);
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    // First connection dies by injected reset mid-stream; every
+    // later one is clean.
+    std::atomic<std::size_t> attempts{0};
+    net::NetPowerSensor::Options options;
+    options.reconnectInitialBackoff = 0.01;
+    options.reconnectMaxBackoff = 0.05;
+    options.socketFactory =
+        [&](const Endpoint &target, double timeout)
+        -> std::unique_ptr<transport::StreamSocket> {
+        auto socket = transport::SocketDevice::connect(target, timeout);
+        if (attempts.fetch_add(1) != 0)
+            return socket;
+        transport::Fault reset;
+        reset.kind = transport::Fault::Kind::Reset;
+        reset.afterBytes = 2000;
+        return std::make_unique<transport::FaultySocket>(
+            std::move(socket), std::vector<transport::Fault>{reset});
+    };
+    net::NetPowerSensor client(endpoint, options);
+
+    // Lock the baseline before publishing (docs/PROTOCOL.md).
+    ASSERT_TRUE(
+        spinUntil([&] { return client.heartbeatsReceived() >= 1; }));
+
+    constexpr std::uint64_t kTotal = 400;
+    for (std::uint64_t i = 0; i < kTotal; ++i) {
+        server.publish(testRecord(50e-6 * i, 0x01));
+        if (i % 16 == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+    }
+
+    // Exact accounting: received + gap-covered == published.
+    ASSERT_TRUE(spinUntil([&] {
+        return client.recordsReceived() + client.gapRecords()
+               == kTotal;
+    }));
+    EXPECT_EQ(client.reconnects(), 1u);
+    EXPECT_GE(attempts.load(), 2u);
+
+    server.stop();
+    EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+    EXPECT_EQ(client.recordsReceived() + client.gapRecords(), kTotal);
+}
+
+TEST(NetReconnect, ExhaustedRetryBudgetFlipsDeviceGone)
+{
+    net::NetPowerSensor::Options options;
+    options.maxReconnectAttempts = 2;
+    options.reconnectInitialBackoff = 0.01;
+    options.reconnectMaxBackoff = 0.02;
+
+    auto raw = std::make_unique<RawServer>(net::kProtocolMinor);
+    std::thread server([&] { raw->acceptAndHandshake(); });
+    net::NetPowerSensor client(raw->endpoint(), options);
+    server.join();
+
+    ASSERT_FALSE(client.deviceGone());
+
+    // Tear the server down abruptly: no end-of-stream, the socket
+    // path is unlinked, every reconnect attempt fails. After the
+    // retry budget the client must give up and flip deviceGone.
+    raw.reset();
+    EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+    EXPECT_EQ(client.reconnects(), 0u);
+    EXPECT_FALSE(client.waitForSamples(1));
+}
+
+TEST(NetReconnect, GracefulEndOfStreamDoesNotReconnect)
+{
+    net::Ps3Server server(testConfig(), "fw-eos");
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    net::NetPowerSensor::Options options;
+    options.reconnectInitialBackoff = 0.01;
+    net::NetPowerSensor client(endpoint, options); // reconnect ON
+    ASSERT_TRUE(
+        spinUntil([&] { return server.subscriberCount() == 1; }));
+
+    server.publish(testRecord(1.0, 0x01));
+    server.stop(); // graceful: drain + final heartbeat + EOS
+    EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+    EXPECT_EQ(client.reconnects(), 0u);
+    EXPECT_EQ(client.recordsReceived(), 1u);
+    EXPECT_EQ(client.gapRecords(), 0u);
 }
 
 } // namespace

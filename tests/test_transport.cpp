@@ -6,7 +6,11 @@
  */
 
 #include <chrono>
+#include <memory>
 #include <thread>
+#include <utility>
+
+#include <sys/socket.h>
 
 #include <gtest/gtest.h>
 
@@ -14,7 +18,9 @@
 #include "transport/byte_queue.hpp"
 #include "transport/emulated_serial_port.hpp"
 #include "transport/fault_injection.hpp"
+#include "transport/faulty_socket.hpp"
 #include "transport/posix_serial_port.hpp"
+#include "transport/socket_device.hpp"
 
 namespace ps3::transport {
 namespace {
@@ -224,6 +230,191 @@ TEST(PosixSerialPort, ThrowsOnMissingDevice)
 {
     EXPECT_THROW(PosixSerialPort("/nonexistent/device"),
                  DeviceError);
+}
+
+TEST(FaultInjection, BurstDropTakesOutContiguousRuns)
+{
+    PatternPump pump;
+    EmulatedSerialPort port(pump);
+    FaultProfile profile;
+    profile.burstDropProbability = 0.01;
+    profile.burstDropLength = 64;
+    FaultInjectingDevice faulty(port, profile, 11);
+
+    // With ~1% burst starts over 4 kB source bytes, several whole
+    // bursts fire; each swallows a contiguous 64-byte run, so the
+    // single read comes up short and the delivered pattern jumps
+    // forward by the burst length.
+    std::uint8_t buffer[4096];
+    const std::size_t got =
+        faulty.read(buffer, sizeof(buffer), 0.1);
+    ASSERT_GT(got, 0u);
+    EXPECT_LT(got, 4096u); // something was dropped
+    unsigned jumps = 0;
+    for (std::size_t i = 1; i < got; ++i) {
+        const std::uint8_t expected =
+            static_cast<std::uint8_t>(buffer[i - 1] + 1);
+        if (buffer[i] != expected)
+            ++jumps;
+    }
+    EXPECT_GT(jumps, 0u);
+    EXPECT_GT(faulty.faultCount(), 0u);
+}
+
+TEST(FaultInjection, ReadStallDelaysWithoutLoss)
+{
+    PatternPump pump;
+    EmulatedSerialPort port(pump);
+    FaultProfile profile;
+    profile.readStallProbability = 1.0; // every read stalls
+    profile.readStallSeconds = 0.02;
+    FaultInjectingDevice faulty(port, profile, 5);
+
+    std::uint8_t buffer[256];
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t got =
+        faulty.read(buffer, sizeof(buffer), 0.5);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    // Late, not lost: the full pattern arrives intact after the
+    // stall.
+    EXPECT_GE(elapsed.count(), 0.015);
+    ASSERT_EQ(got, sizeof(buffer));
+    for (unsigned i = 0; i < got; ++i)
+        EXPECT_EQ(buffer[i], static_cast<std::uint8_t>(i));
+}
+
+// ----- FaultySocket -------------------------------------------------------
+
+/** A connected AF_UNIX pair: .first is decorated in the tests. */
+std::pair<std::unique_ptr<SocketDevice>,
+          std::unique_ptr<SocketDevice>>
+socketPair()
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        throw DeviceError("socketpair failed");
+    return {std::make_unique<SocketDevice>(fds[0]),
+            std::make_unique<SocketDevice>(fds[1])};
+}
+
+/** Read until n bytes or the deadline; returns bytes read. */
+std::size_t
+readAll(StreamSocket &socket, std::uint8_t *out, std::size_t n,
+        double timeout_seconds = 1.0)
+{
+    std::size_t got = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration<double>(timeout_seconds);
+    while (got < n && std::chrono::steady_clock::now() < deadline) {
+        got += socket.read(out + got, n - got, 0.05);
+        if (socket.closed())
+            break;
+    }
+    return got;
+}
+
+TEST(FaultySocket, EmptyScriptIsTransparent)
+{
+    auto [near, far] = socketPair();
+    FaultySocket faulty(std::move(near), {});
+
+    const std::uint8_t ping[] = {1, 2, 3, 4};
+    faulty.write(ping, sizeof(ping));
+    std::uint8_t buffer[4];
+    ASSERT_EQ(readAll(*far, buffer, 4), 4u);
+    EXPECT_EQ(buffer[3], 4);
+
+    const std::uint8_t pong[] = {9, 8};
+    far->write(pong, sizeof(pong));
+    ASSERT_EQ(readAll(faulty, buffer, 2), 2u);
+    EXPECT_EQ(buffer[0], 9);
+    EXPECT_EQ(faulty.faultsFired(), 0u);
+    EXPECT_FALSE(faulty.closed());
+}
+
+TEST(FaultySocket, ResetArmsOnByteThreshold)
+{
+    auto [near, far] = socketPair();
+    Fault reset;
+    reset.kind = Fault::Kind::Reset;
+    reset.afterBytes = 4;
+    FaultySocket faulty(std::move(near), {reset});
+
+    // Below the threshold the connection works.
+    std::uint8_t buffer[8];
+    const std::uint8_t data[] = {1, 2, 3, 4};
+    far->write(data, sizeof(data));
+    ASSERT_EQ(readAll(faulty, buffer, 4), 4u);
+    EXPECT_EQ(faulty.faultsFired(), 0u);
+
+    // The next read finds the fault armed and resets.
+    far->write(data, sizeof(data));
+    EXPECT_EQ(readAll(faulty, buffer, 4), 0u);
+    EXPECT_EQ(faulty.faultsFired(), 1u);
+    EXPECT_TRUE(faulty.closed());
+}
+
+TEST(FaultySocket, TruncateReadSwallowsThenResets)
+{
+    auto [near, far] = socketPair();
+    Fault truncate;
+    truncate.kind = Fault::Kind::TruncateRead;
+    truncate.afterBytes = 4;
+    truncate.truncateBytes = 8;
+    FaultySocket faulty(std::move(near), {truncate});
+
+    std::uint8_t buffer[16];
+    const std::uint8_t head[] = {1, 2, 3, 4};
+    far->write(head, sizeof(head));
+    ASSERT_EQ(readAll(faulty, buffer, 4), 4u);
+
+    // The swallowed bytes are never delivered — the stream just
+    // ends, like a peer whose final batch was cut off.
+    const std::uint8_t tail[] = {5, 6, 7, 8, 9, 10, 11, 12};
+    far->write(tail, sizeof(tail));
+    EXPECT_EQ(readAll(faulty, buffer, 8), 0u);
+    EXPECT_TRUE(faulty.closed());
+    EXPECT_EQ(faulty.faultsFired(), 1u);
+}
+
+TEST(FaultySocket, PartialWriteDeliversHalfThenThrows)
+{
+    auto [near, far] = socketPair();
+    Fault partial;
+    partial.kind = Fault::Kind::PartialWrite;
+    FaultySocket faulty(std::move(near), {partial});
+
+    const std::uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_THROW(faulty.write(data, sizeof(data)), DeviceError);
+    std::uint8_t buffer[8];
+    EXPECT_EQ(readAll(*far, buffer, 8, 0.3), 4u);
+    EXPECT_EQ(buffer[3], 4);
+    EXPECT_TRUE(faulty.closed());
+}
+
+TEST(FaultySocket, ReadStallDelaysDeliveryWithoutLoss)
+{
+    auto [near, far] = socketPair();
+    Fault stall;
+    stall.kind = Fault::Kind::ReadStall;
+    stall.stallSeconds = 0.08;
+    FaultySocket faulty(std::move(near), {stall});
+
+    const std::uint8_t data[] = {42, 43};
+    far->write(data, sizeof(data));
+    const auto start = std::chrono::steady_clock::now();
+    std::uint8_t buffer[2];
+    ASSERT_EQ(readAll(faulty, buffer, 2), 2u);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    // Late, not lost: the stall delays but both bytes arrive.
+    EXPECT_GE(elapsed.count(), 0.06);
+    EXPECT_EQ(buffer[0], 42);
+    EXPECT_EQ(buffer[1], 43);
+    EXPECT_FALSE(faulty.closed());
+    EXPECT_EQ(faulty.faultsFired(), 1u);
 }
 
 } // namespace
