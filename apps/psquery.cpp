@@ -1,0 +1,212 @@
+/**
+ * @file
+ * psquery — windowed energy queries over recorded dump files.
+ *
+ *   psquery <file> [--from T] [--to T] [--tier raw|1kHz|10Hz|1Hz]
+ *           [--buckets] [--csv out.csv] [--stats=FORMAT]
+ *
+ * <file> may be a text dump or a binary "*.ps3b" dump (format v2,
+ * auto-detected). psquery answers the question psdump's whole-file
+ * statistics cannot: "how much energy went into [from, to), and what
+ * were the power extremes in that window?" — the offline counterpart
+ * of the live History::window() API (docs/HISTORY.md).
+ *
+ * --from T / --to T   window bounds in device seconds (defaults:
+ *                     the whole file)
+ * --tier NAME         re-bucket the file at an aggregate tier
+ *                     (1kHz, 10Hz, 1Hz) before querying; "raw"
+ *                     (default) integrates sample by sample
+ * --buckets           with an aggregate tier: list every bucket in
+ *                     the window (start, samples, min/max/mean, J)
+ * --csv FILE          with an aggregate tier: export the window's
+ *                     buckets as CSV
+ * --stats=FORMAT      observability snapshot (table/csv/prom), see
+ *                     docs/OBSERVABILITY.md
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include <iostream>
+#include <optional>
+
+#include "common/csv_writer.hpp"
+#include "common/errors.hpp"
+#include "host/dump_reader.hpp"
+#include "host/history.hpp"
+#include "obs/exposition.hpp"
+
+namespace {
+
+/** Aggregate the buckets intersecting [from, to). */
+ps3::host::WindowStats
+windowFromBuckets(const std::vector<ps3::host::HistoryBucket> &buckets,
+                  double from, double to, double rate)
+{
+    ps3::host::WindowStats stats;
+    double sum = 0.0;
+    for (const auto &bucket : buckets) {
+        if (bucket.endTime <= from || bucket.startTime >= to)
+            continue;
+        stats.energyJoules += bucket.energyJoules;
+        stats.minPower = std::min(stats.minPower, bucket.minPower);
+        stats.maxPower = std::max(stats.maxPower, bucket.maxPower);
+        sum += bucket.sumPower;
+        stats.samples += bucket.samples;
+        ++stats.buckets;
+    }
+    if (stats.samples > 0) {
+        stats.meanPower =
+            sum / static_cast<double>(stats.samples);
+        if (rate > 0.0)
+            stats.coverageSeconds =
+                static_cast<double>(stats.samples) / rate;
+    }
+    return stats;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    using namespace ps3;
+
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: psquery <file> [--from T] [--to T] "
+                     "[--tier raw|1kHz|10Hz|1Hz] [--buckets] "
+                     "[--csv out]\n");
+        return 2;
+    }
+    const std::string path = argv[1];
+
+    double from = -std::numeric_limits<double>::infinity();
+    double to = std::numeric_limits<double>::infinity();
+    auto tier = host::Tier::Raw;
+    bool list_buckets = false;
+    std::string csv_path;
+    std::optional<obs::Format> obs_format;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                throw UsageError(arg + " needs an argument");
+            return argv[++i];
+        };
+        if (arg == "--from") {
+            from = std::stod(next());
+        } else if (arg == "--to") {
+            to = std::stod(next());
+        } else if (arg == "--tier") {
+            const std::string name = next();
+            const auto parsed = host::tierFromString(name);
+            if (!parsed) {
+                throw UsageError("--tier must be raw, 1kHz, 10Hz "
+                                 "or 1Hz (got " + name + ")");
+            }
+            tier = *parsed;
+        } else if (arg == "--buckets") {
+            list_buckets = true;
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg.rfind("--stats=", 0) == 0) {
+            obs_format = obs::parseFormat(arg.substr(8));
+            if (!obs_format) {
+                throw UsageError(
+                    "--stats format must be table, csv or prom");
+            }
+        } else {
+            throw UsageError("unknown option: " + arg);
+        }
+    }
+    if (to <= from)
+        throw UsageError("--to must be greater than --from");
+    if ((list_buckets || !csv_path.empty())
+        && tier == host::Tier::Raw) {
+        throw UsageError("--buckets/--csv need an aggregate --tier "
+                         "(1kHz, 10Hz or 1Hz)");
+    }
+
+    const auto file = host::DumpFile::load(path);
+    std::printf("%s: %zu samples, %zu gaps, %.0f Hz\n", path.c_str(),
+                file.samples().size(), file.gaps().size(),
+                file.sampleRateHz());
+
+    host::WindowStats stats;
+    std::vector<host::HistoryBucket> buckets;
+    if (tier == host::Tier::Raw) {
+        stats = host::windowFromDump(file, from, to);
+    } else {
+        buckets = host::bucketsFromDump(file, tier);
+        stats = windowFromBuckets(buckets, from, to,
+                                  file.sampleRateHz());
+    }
+
+    if (stats.samples == 0) {
+        std::printf("window: no samples in [%g, %g)\n", from, to);
+    } else {
+        std::printf("window: %llu samples",
+                    static_cast<unsigned long long>(stats.samples));
+        if (tier != host::Tier::Raw) {
+            std::printf(" in %llu %s buckets",
+                        static_cast<unsigned long long>(
+                            stats.buckets),
+                        host::tierName(tier).c_str());
+        }
+        std::printf(", %.6f s covered\n", stats.coverageSeconds);
+        std::printf("energy: %.6f J\n", stats.energyJoules);
+        std::printf("power: mean %.4f W  min %.4f  max %.4f\n",
+                    stats.meanPower, stats.minPower, stats.maxPower);
+    }
+
+    if (list_buckets) {
+        std::printf("%12s %12s %8s %10s %10s %10s %12s\n", "start_s",
+                    "end_s", "samples", "min_W", "max_W", "mean_W",
+                    "energy_J");
+        for (const auto &bucket : buckets) {
+            if (bucket.endTime <= from || bucket.startTime >= to)
+                continue;
+            std::printf(
+                "%12.6f %12.6f %8llu %10.4f %10.4f %10.4f %12.6f\n",
+                bucket.startTime, bucket.endTime,
+                static_cast<unsigned long long>(bucket.samples),
+                bucket.minPower, bucket.maxPower,
+                bucket.meanPower(), bucket.energyJoules);
+        }
+    }
+
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        if (!out)
+            throw UsageError("cannot open " + csv_path);
+        CsvWriter csv(out);
+        csv.header({"start_s", "end_s", "samples", "min_W", "max_W",
+                    "mean_W", "energy_J"});
+        for (const auto &bucket : buckets) {
+            if (bucket.endTime <= from || bucket.startTime >= to)
+                continue;
+            csv.row({bucket.startTime, bucket.endTime,
+                     static_cast<double>(bucket.samples),
+                     bucket.minPower, bucket.maxPower,
+                     bucket.meanPower(), bucket.energyJoules});
+        }
+        std::printf("wrote %zu rows to %s\n", csv.rowCount(),
+                    csv_path.c_str());
+    }
+
+    if (obs_format) {
+        std::fflush(stdout);
+        if (*obs_format == obs::Format::Table)
+            std::cout << "\n--- observability snapshot ---\n";
+        obs::write(std::cout, obs::Registry::global().snapshot(),
+                   *obs_format);
+    }
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "psquery: %s\n", e.what());
+    return 1;
+}

@@ -102,6 +102,7 @@ openTool(int argc, char **argv, const std::string &tool_name,
     std::string device_path;
     std::string connect_uri;
     std::string sim_spec = "bench";
+    auto tier = host::Tier::Raw;
     bool fast = false;
 
     ToolContext context;
@@ -118,6 +119,14 @@ openTool(int argc, char **argv, const std::string &tool_name,
             connect_uri = next();
         } else if (arg == "--sim") {
             sim_spec = next();
+        } else if (arg == "--tier") {
+            const std::string name = next();
+            const auto parsed = host::tierFromString(name);
+            if (!parsed) {
+                throw UsageError("--tier must be raw, 1kHz, 10Hz or "
+                                 "1Hz (got " + name + ")");
+            }
+            tier = *parsed;
         } else if (arg == "--fast") {
             fast = true;
         } else if (arg == "--stats") {
@@ -134,13 +143,16 @@ openTool(int argc, char **argv, const std::string &tool_name,
         } else if (arg == "-h" || arg == "--help") {
             std::cout << "usage: " << tool_name
                       << " [-d DEVICE | --connect URI | --sim SPEC] "
-                         "[--fast] [--stats[=table|csv|prom]] "
-                         "[--verbose]\n"
+                         "[--tier T] [--fast] "
+                         "[--stats[=table|csv|prom]] [--verbose]\n"
                       << tool_usage
                       << "\nrig specs: bench[:module=..][:volts=..]"
                          "[:amps=..] | gpu[:card=..] | soc\n"
                       << "--connect streams from a ps3d daemon "
                          "(tcp://host:port or unix:///path)\n"
+                      << "--tier raw|1kHz|10Hz|1Hz subscribes to a "
+                         "reduced-rate stream (with --connect, "
+                         "PS3N v1.2; docs/HISTORY.md)\n"
                       << "--stats prints an end-of-run metrics "
                          "snapshot (docs/OBSERVABILITY.md)\n";
             std::exit(0);
@@ -149,14 +161,22 @@ openTool(int argc, char **argv, const std::string &tool_name,
         }
     }
 
+    if (tier != host::Tier::Raw && connect_uri.empty()) {
+        throw UsageError(
+            "--tier needs --connect: local sensors always read the "
+            "raw 20 kHz stream (query reduced tiers offline with "
+            "psquery)");
+    }
     if (!connect_uri.empty()) {
         // Normalised connect failure: every tool prints the same
         // one-line actionable message and exits with the distinct
         // connect-failed code instead of surfacing raw exception
         // text through its generic handler.
         try {
-            context.sensor =
-                std::make_unique<net::NetPowerSensor>(connect_uri);
+            net::NetPowerSensor::Options options;
+            options.tier = tier;
+            context.sensor = std::make_unique<net::NetPowerSensor>(
+                connect_uri, options);
         } catch (const UsageError &error) {
             std::fprintf(stderr,
                          "%s: bad --connect URI: %s (expected "

@@ -57,8 +57,9 @@ struct ToolContext
  *
  * Recognised options: -d/--device PATH, --sim SPEC,
  * --connect URI (tcp://host:port or unix:///path served by ps3d),
- * --fast, --stats[=FORMAT], --verbose, -h/--help (prints usage +
- * tool_usage and exits).
+ * --tier raw|1kHz|10Hz|1Hz (reduced-rate PS3N v1.2 subscription;
+ * needs --connect), --fast, --stats[=FORMAT], --verbose, -h/--help
+ * (prints usage + tool_usage and exits).
  *
  * @param argc/argv Main arguments.
  * @param tool_name Tool name for usage text.

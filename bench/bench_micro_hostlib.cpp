@@ -523,6 +523,79 @@ BM_NetFanout(benchmark::State &state)
 BENCHMARK(BM_NetFanout)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /**
+ * PS3N v1.2 tiered egress: a raw and a 1 kHz subscriber drink the
+ * same 20 kHz publish stream. Gated on fold-and-ship throughput
+ * (records_per_s); on top of that the bench asserts the tier's
+ * reason to exist — the 1 kHz subscriber must receive >= 10x fewer
+ * stream bytes than the raw one for the same records (the slim 'A'
+ * record plus frame batching lands around 11x at one present pair;
+ * docs/PROTOCOL.md). The reduction is reported as a plain counter.
+ */
+void
+BM_NetTieredEgress(benchmark::State &state)
+{
+    constexpr std::uint64_t kBatch = 2000; // 100 buckets per iter
+
+    firmware::DeviceConfig config{};
+    config[0].inUse = true;
+    config[1].inUse = true;
+
+    net::Ps3Server::Options options;
+    options.queueCapacity = 1u << 16;
+    net::Ps3Server server(config, "bench", options);
+    const std::string path =
+        "/tmp/ps3_bench_tier."
+        + std::to_string(static_cast<long>(::getpid())) + ".sock";
+    const auto endpoint =
+        server.listen(transport::Endpoint::parse("unix://" + path));
+
+    net::NetPowerSensor raw_client(endpoint);
+    net::NetPowerSensor::Options tier_options;
+    tier_options.tier = host::Tier::Hz1000;
+    net::NetPowerSensor tier_client(endpoint, tier_options);
+    while (server.subscriberCount() < 2)
+        std::this_thread::yield();
+
+    host::DumpRecord record{};
+    record.presentMask = 0x01;
+    record.voltage[0] = 12.0;
+    record.current[0] = 8.0;
+
+    std::uint64_t published = 0;
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < kBatch; ++i) {
+            record.time = 50e-6 * static_cast<double>(published++);
+            server.publish(record);
+        }
+        while (raw_client.recordsReceived() < published)
+            std::this_thread::yield();
+        // The newest bucket may still be open server-side.
+        const std::uint64_t due = published / 20 - 1;
+        while (tier_client.bucketsReceived() < due)
+            std::this_thread::yield();
+    }
+    server.stop();
+    while (!raw_client.deviceGone() || !tier_client.deviceGone())
+        std::this_thread::yield();
+
+    const double reduction =
+        static_cast<double>(raw_client.bytesReceived())
+        / static_cast<double>(tier_client.bytesReceived());
+    if (reduction < 10.0)
+        state.SkipWithError(
+            "tiered egress bandwidth reduction below 10x");
+    state.counters["records_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations())
+            * static_cast<double>(kBatch),
+        benchmark::Counter::kIsRate);
+    state.counters["bandwidth_reduction_x"] =
+        benchmark::Counter(reduction);
+}
+BENCHMARK(BM_NetTieredEgress)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
  * BM_EndToEndPipeline stretched across the network: firmware ->
  * link -> PowerSensor -> Ps3Server -> Unix socket -> NetPowerSensor
  * state update, in frame sets per second observed by the remote

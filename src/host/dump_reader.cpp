@@ -315,6 +315,8 @@ DumpFile
 DumpFile::load(const std::string &path)
 {
     const std::string data = slurp(path);
+    if (data.empty())
+        throw UsageError("DumpFile: empty dump file " + path);
     DumpFile file;
     if (data.size() >= 4
         && std::memcmp(data.data(), kBinaryMagic, 4) == 0)

@@ -1,0 +1,474 @@
+#include "history.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "host/dump_reader.hpp"
+#include "obs/registry.hpp"
+
+namespace ps3::host {
+
+namespace {
+
+/** History instruments (registered once). */
+struct HistMetrics
+{
+    obs::Counter &samples = obs::Registry::global().counter(
+        "ps3_hist_samples_total",
+        "Raw samples folded into the history tiers");
+    obs::Counter &buckets = obs::Registry::global().counter(
+        "ps3_hist_buckets_closed_total",
+        "History buckets closed across all tiers");
+    obs::Counter &evicted = obs::Registry::global().counter(
+        "ps3_hist_buckets_evicted_total",
+        "Closed buckets discarded by ring rollover");
+    obs::Counter &queries = obs::Registry::global().counter(
+        "ps3_hist_queries_total",
+        "Windowed history queries served");
+};
+
+HistMetrics &
+histMetrics()
+{
+    static HistMetrics metrics;
+    return metrics;
+}
+
+/** Aligned bucket start for a timestamp. */
+double
+alignedStart(double time, double period)
+{
+    return std::floor(time / period) * period;
+}
+
+} // namespace
+
+double
+tierPeriodSeconds(Tier tier)
+{
+    switch (tier) {
+      case Tier::Raw:
+        return 0.0;
+      case Tier::Hz1000:
+        return 1e-3;
+      case Tier::Hz10:
+        return 0.1;
+      case Tier::Hz1:
+        return 1.0;
+    }
+    return 0.0;
+}
+
+std::string
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::Raw:
+        return "raw";
+      case Tier::Hz1000:
+        return "1kHz";
+      case Tier::Hz10:
+        return "10Hz";
+      case Tier::Hz1:
+        return "1Hz";
+    }
+    return "?";
+}
+
+std::optional<Tier>
+tierFromString(const std::string &text)
+{
+    std::string lower;
+    lower.reserve(text.size());
+    for (const char c : text)
+        lower.push_back(static_cast<char>(
+            c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+    if (lower == "raw" || lower == "20khz" || lower == "20000")
+        return Tier::Raw;
+    if (lower == "1khz" || lower == "1k" || lower == "1000")
+        return Tier::Hz1000;
+    if (lower == "10hz" || lower == "10")
+        return Tier::Hz10;
+    if (lower == "1hz" || lower == "1")
+        return Tier::Hz1;
+    return std::nullopt;
+}
+
+// ----- HistoryBucket -----------------------------------------------------
+
+void
+HistoryBucket::fold(std::uint8_t mask,
+                    const std::array<double, kMaxPairs> &voltage,
+                    const std::array<double, kMaxPairs> &current,
+                    double dt)
+{
+    double power = 0.0;
+    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+        if (!(mask & (1u << pair)))
+            continue;
+        power += voltage[pair] * current[pair];
+        sumVoltage[pair] += voltage[pair];
+        sumCurrent[pair] += current[pair];
+    }
+    presentMask |= mask;
+    minPower = std::min(minPower, power);
+    maxPower = std::max(maxPower, power);
+    sumPower += power;
+    energyJoules += power * dt;
+    ++samples;
+}
+
+void
+HistoryBucket::merge(const HistoryBucket &other)
+{
+    if (other.samples == 0)
+        return;
+    if (samples == 0) {
+        const double start = startTime;
+        const double end = endTime;
+        *this = other;
+        startTime = start;
+        endTime = end;
+        return;
+    }
+    minPower = std::min(minPower, other.minPower);
+    maxPower = std::max(maxPower, other.maxPower);
+    sumPower += other.sumPower;
+    energyJoules += other.energyJoules;
+    samples += other.samples;
+    presentMask |= other.presentMask;
+    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+        sumVoltage[pair] += other.sumVoltage[pair];
+        sumCurrent[pair] += other.sumCurrent[pair];
+    }
+}
+
+// ----- TierAccumulator ---------------------------------------------------
+
+TierAccumulator::TierAccumulator(Tier tier, double sample_rate_hz)
+    : tier_(tier), period_(tierPeriodSeconds(tier))
+{
+    if (tier == Tier::Raw)
+        throw UsageError(
+            "TierAccumulator: the raw tier has no buckets");
+    if (sample_rate_hz <= 0.0)
+        throw UsageError(
+            "TierAccumulator: sample rate must be positive");
+    dt_ = 1.0 / sample_rate_hz;
+}
+
+bool
+TierAccumulator::fold(double time, std::uint8_t mask,
+                      const std::array<double, kMaxPairs> &voltage,
+                      const std::array<double, kMaxPairs> &current,
+                      HistoryBucket &closed)
+{
+    const double start = alignedStart(time, period_);
+    bool produced = false;
+    if (haveOpen_ && start != open_.startTime) {
+        closed = open_;
+        produced = true;
+        haveOpen_ = false;
+    }
+    if (!haveOpen_) {
+        open_ = HistoryBucket{};
+        open_.startTime = start;
+        open_.endTime = start + period_;
+        haveOpen_ = true;
+    }
+    open_.fold(mask, voltage, current, dt_);
+    return produced;
+}
+
+bool
+TierAccumulator::flush(HistoryBucket &closed)
+{
+    if (!haveOpen_ || open_.samples == 0)
+        return false;
+    closed = open_;
+    haveOpen_ = false;
+    open_ = HistoryBucket{};
+    return true;
+}
+
+// ----- History -----------------------------------------------------------
+
+History::History(double sample_rate_hz, Options options)
+    : sampleRateHz_(sample_rate_hz)
+{
+    if (sample_rate_hz <= 0.0)
+        throw UsageError("History: sample rate must be positive");
+    dt_ = 1.0 / sample_rate_hz;
+    levels_[0].capacity = options.capacityHz1000;
+    levels_[0].period = tierPeriodSeconds(Tier::Hz1000);
+    levels_[1].capacity = options.capacityHz10;
+    levels_[1].period = tierPeriodSeconds(Tier::Hz10);
+    levels_[2].capacity = options.capacityHz1;
+    levels_[2].period = tierPeriodSeconds(Tier::Hz1);
+}
+
+History::History(double sample_rate_hz)
+    : History(sample_rate_hz, Options{})
+{
+}
+
+std::size_t
+History::levelIndex(Tier tier)
+{
+    switch (tier) {
+      case Tier::Hz1000:
+        return 0;
+      case Tier::Hz10:
+        return 1;
+      case Tier::Hz1:
+        return 2;
+      case Tier::Raw:
+        break;
+    }
+    throw UsageError("History: the raw tier has no buckets");
+}
+
+void
+History::addSample(const Sample &sample)
+{
+    std::uint8_t mask = 0;
+    for (unsigned pair = 0; pair < kMaxPairs; ++pair) {
+        if (sample.present[pair])
+            mask |= static_cast<std::uint8_t>(1u << pair);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++samplesSeen_;
+    histMetrics().samples.inc();
+
+    Level &base = levels_[0];
+    const double start = alignedStart(sample.time, base.period);
+    if (base.haveOpen && start != base.open.startTime) {
+        const HistoryBucket closing = base.open;
+        base.haveOpen = false;
+        closeInto(0, closing);
+    }
+    if (!base.haveOpen) {
+        base.open = HistoryBucket{};
+        base.open.startTime = start;
+        base.open.endTime = start + base.period;
+        base.haveOpen = true;
+    }
+    base.open.fold(mask, sample.voltage, sample.current, dt_);
+}
+
+void
+History::addBucket(Tier tier, const HistoryBucket &bucket)
+{
+    const std::size_t index = levelIndex(tier);
+    if (bucket.samples == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    samplesSeen_ += bucket.samples;
+    histMetrics().samples.inc(bucket.samples);
+    closeInto(index, bucket);
+}
+
+void
+History::closeInto(std::size_t index, const HistoryBucket &bucket)
+{
+    Level &level = levels_[index];
+    level.ring.push_back(bucket);
+    ++level.closed;
+    histMetrics().buckets.inc();
+    if (level.ring.size() > level.capacity) {
+        level.ring.pop_front();
+        histMetrics().evicted.inc();
+    }
+    if (index + 1 < levels_.size())
+        foldIntoLevel(index + 1, bucket);
+}
+
+void
+History::foldIntoLevel(std::size_t index, const HistoryBucket &bucket)
+{
+    Level &level = levels_[index];
+    const double start =
+        alignedStart(bucket.startTime, level.period);
+    if (level.haveOpen && start != level.open.startTime) {
+        const HistoryBucket closing = level.open;
+        level.haveOpen = false;
+        closeInto(index, closing);
+    }
+    if (!level.haveOpen) {
+        level.open = HistoryBucket{};
+        level.open.startTime = start;
+        level.open.endTime = start + level.period;
+        level.haveOpen = true;
+    }
+    level.open.merge(bucket);
+}
+
+std::vector<HistoryBucket>
+History::buckets(Tier tier, double from, double to) const
+{
+    const std::size_t index = levelIndex(tier);
+    std::vector<HistoryBucket> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    histMetrics().queries.inc();
+    const Level &level = levels_[index];
+    for (const auto &bucket : level.ring) {
+        if (bucket.endTime > from && bucket.startTime < to)
+            out.push_back(bucket);
+    }
+    // Open view: this level's open bucket plus every finer level's
+    // open bucket re-aligned to this period. Fine-level opens only
+    // cascade upward when they close, so without this fold a coarse
+    // query would silently miss the stream's newest samples.
+    std::vector<HistoryBucket> open;
+    auto foldOpen = [&](const HistoryBucket &pending) {
+        if (pending.samples == 0)
+            return;
+        const double start =
+            alignedStart(pending.startTime, level.period);
+        for (auto &bucket : open) {
+            if (bucket.startTime == start) {
+                bucket.merge(pending);
+                return;
+            }
+        }
+        HistoryBucket fresh;
+        fresh.startTime = start;
+        fresh.endTime = start + level.period;
+        fresh.merge(pending);
+        open.push_back(fresh);
+    };
+    if (level.haveOpen)
+        foldOpen(level.open);
+    for (std::size_t finer = 0; finer < index; ++finer) {
+        if (levels_[finer].haveOpen)
+            foldOpen(levels_[finer].open);
+    }
+    std::sort(open.begin(), open.end(),
+              [](const HistoryBucket &a, const HistoryBucket &b) {
+                  return a.startTime < b.startTime;
+              });
+    for (const auto &bucket : open) {
+        if (bucket.endTime > from && bucket.startTime < to)
+            out.push_back(bucket);
+    }
+    return out;
+}
+
+WindowStats
+History::window(Tier tier, double from, double to) const
+{
+    WindowStats stats;
+    for (const auto &bucket : buckets(tier, from, to)) {
+        stats.energyJoules += bucket.energyJoules;
+        stats.minPower = std::min(stats.minPower, bucket.minPower);
+        stats.maxPower = std::max(stats.maxPower, bucket.maxPower);
+        stats.meanPower += bucket.sumPower; // sum for now
+        stats.samples += bucket.samples;
+        ++stats.buckets;
+    }
+    if (stats.samples > 0) {
+        stats.meanPower /= static_cast<double>(stats.samples);
+        stats.coverageSeconds =
+            static_cast<double>(stats.samples) * dt_;
+    } else {
+        stats.meanPower = 0.0;
+    }
+    return stats;
+}
+
+std::uint64_t
+History::samplesSeen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samplesSeen_;
+}
+
+std::uint64_t
+History::bucketsClosed(Tier tier) const
+{
+    const std::size_t index = levelIndex(tier);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return levels_[index].closed;
+}
+
+// ----- dump-file queries -------------------------------------------------
+
+WindowStats
+windowFromDump(const DumpFile &dump, double from, double to)
+{
+    histMetrics().queries.inc();
+    WindowStats stats;
+    const auto &samples = dump.samples();
+    const double rate = dump.sampleRateHz();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const auto &sample = samples[i];
+        if (sample.time < from || sample.time >= to)
+            continue;
+        // Integrate at the recorded cadence, like DumpFile::energy;
+        // the first covered sample falls back to the header rate.
+        double dt = 0.0;
+        if (i > 0)
+            dt = sample.time - samples[i - 1].time;
+        else if (rate > 0.0)
+            dt = 1.0 / rate;
+        stats.energyJoules += sample.totalPower * dt;
+        stats.minPower = std::min(stats.minPower, sample.totalPower);
+        stats.maxPower = std::max(stats.maxPower, sample.totalPower);
+        sum += sample.totalPower;
+        ++stats.samples;
+        stats.coverageSeconds += dt;
+    }
+    if (stats.samples > 0)
+        stats.meanPower = sum / static_cast<double>(stats.samples);
+    return stats;
+}
+
+std::vector<HistoryBucket>
+bucketsFromDump(const DumpFile &dump, Tier tier)
+{
+    if (tier == Tier::Raw)
+        throw UsageError(
+            "bucketsFromDump: the raw tier has no buckets");
+    const auto &samples = dump.samples();
+    double rate = dump.sampleRateHz();
+    if (rate <= 0.0 && samples.size() >= 2) {
+        const double dt = samples[1].time - samples[0].time;
+        if (dt > 0.0)
+            rate = 1.0 / dt;
+    }
+    if (rate <= 0.0)
+        throw UsageError(
+            "bucketsFromDump: cannot determine the sample rate "
+            "(no header, fewer than two samples)");
+
+    TierAccumulator accumulator(tier, rate);
+    std::vector<HistoryBucket> out;
+    std::array<double, kMaxPairs> voltage{};
+    std::array<double, kMaxPairs> current{};
+    HistoryBucket closed;
+    for (const auto &sample : samples) {
+        // File order maps to pair order: dump files record the
+        // present pairs lowest-first and boards populate slots from
+        // pair 0 up.
+        std::uint8_t mask = 0;
+        const std::size_t pairs =
+            std::min<std::size_t>(sample.voltage.size(), kMaxPairs);
+        voltage.fill(0.0);
+        current.fill(0.0);
+        for (std::size_t pair = 0; pair < pairs; ++pair) {
+            mask |= static_cast<std::uint8_t>(1u << pair);
+            voltage[pair] = sample.voltage[pair];
+            current[pair] = sample.current[pair];
+        }
+        if (accumulator.fold(sample.time, mask, voltage, current,
+                             closed))
+            out.push_back(closed);
+    }
+    if (accumulator.flush(closed))
+        out.push_back(closed);
+    return out;
+}
+
+} // namespace ps3::host

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Multi-resolution power history: cascaded downsampling tiers.
+ *
+ * The paper's core criticism of built-in meters (NVML, RAPL) is that
+ * coarse averaging destroys exactly the transients PowerSensor3
+ * exists to capture. This subsystem keeps the full 20 kHz stream
+ * available while also maintaining summarised views that preserve
+ * peaks: every bucket carries min/max/mean power *plus* accumulated
+ * energy and a sample count, so a 1 Hz consumer still sees a 50 µs
+ * spike in the bucket's max and energy math stays exact.
+ *
+ * Three aggregate tiers cascade off the raw stream:
+ *
+ *   raw 20 kHz  --/20-->  1 kHz  --/100-->  10 Hz  --/10-->  1 Hz
+ *
+ * Buckets are aligned to wall-multiples of their period
+ * (floor(t / period) * period) and closed buckets cascade upward by
+ * merge, so a 10 Hz bucket is exactly the merge of its hundred 1 kHz
+ * children. Each tier keeps a bounded ring of closed buckets
+ * (History::Options) plus the currently open bucket; queries see
+ * both. The full layout, alignment and rollover rules are specified
+ * in docs/HISTORY.md; the same bucket struct travels the PS3N v1.2
+ * wire (src/net/wire.hpp) when a subscriber negotiates a reduced
+ * tier.
+ *
+ * Energy semantics: each sample contributes power * dt with the
+ * nominal sample interval dt = 1 / rate, so for a gap-free stream
+ * energyJoules == sumPower / rate exactly and bucket energies sum to
+ * the dump-file integral.
+ */
+
+#ifndef PS3_HOST_HISTORY_HPP
+#define PS3_HOST_HISTORY_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/state.hpp"
+
+namespace ps3::host {
+
+class DumpFile;
+
+/**
+ * Stream resolution tiers. The numeric values are the PS3N v1.2 wire
+ * encoding (ClientHello byte 7, ServerHello trailing tier byte, 'A'
+ * record tier field) — do not reorder.
+ */
+enum class Tier : std::uint8_t
+{
+    Raw = 0,    ///< full-rate samples, no aggregation
+    Hz1000 = 1, ///< 1 ms buckets (20 raw samples)
+    Hz10 = 2,   ///< 100 ms buckets (2 000 raw samples)
+    Hz1 = 3,    ///< 1 s buckets (20 000 raw samples)
+};
+
+/** Number of aggregate (non-raw) tiers in the cascade. */
+inline constexpr std::size_t kAggregateTierCount = 3;
+
+/** Largest valid Tier wire value (for decoders). */
+inline constexpr std::uint8_t kMaxTierValue = 3;
+
+/** Bucket period of a tier in seconds (Raw maps to 0). */
+double tierPeriodSeconds(Tier tier);
+
+/** Short human-readable tier name ("raw", "1kHz", "10Hz", "1Hz"). */
+std::string tierName(Tier tier);
+
+/** Parse a tier name ("raw", "1khz"/"1000", "10hz"/"10", "1hz"/"1"). */
+std::optional<Tier> tierFromString(const std::string &text);
+
+/**
+ * One downsampling bucket: the summary of all raw samples whose
+ * timestamps fall in [startTime, startTime + period). Carries enough
+ * to preserve transients (minPower/maxPower bound every folded
+ * sample's total power) and to keep energy math exact (energyJoules
+ * accumulates power * nominal-dt). Per-pair voltage/current sums let
+ * a consumer reconstruct mean per-pair operating points.
+ */
+struct HistoryBucket
+{
+    /** Aligned bucket start (floor(t / period) * period). */
+    double startTime = 0.0;
+    /** Bucket end (start + period; earlier when flushed partial). */
+    double endTime = 0.0;
+    /** Smallest total power of any folded sample (W). */
+    double minPower = std::numeric_limits<double>::infinity();
+    /** Largest total power of any folded sample (W). */
+    double maxPower = -std::numeric_limits<double>::infinity();
+    /** Sum of total power over folded samples (for meanPower()). */
+    double sumPower = 0.0;
+    /** Accumulated energy, power * nominal-dt per sample (J). */
+    double energyJoules = 0.0;
+    /** Raw samples folded into this bucket. */
+    std::uint64_t samples = 0;
+    /** Union of the folded samples' present-pair masks. */
+    std::uint8_t presentMask = 0;
+    /** Per-pair voltage sums over samples where the pair was present. */
+    std::array<double, kMaxPairs> sumVoltage{};
+    /** Per-pair current sums over samples where the pair was present. */
+    std::array<double, kMaxPairs> sumCurrent{};
+
+    /** Mean total power over the folded samples (0 when empty). */
+    double
+    meanPower() const
+    {
+        return samples ? sumPower / static_cast<double>(samples)
+                       : 0.0;
+    }
+
+    /** Mean voltage of a pair (0 when the pair never appeared). */
+    double
+    meanVoltage(unsigned pair) const
+    {
+        return samples ? sumVoltage[pair]
+                             / static_cast<double>(samples)
+                       : 0.0;
+    }
+
+    /** Mean current of a pair (0 when the pair never appeared). */
+    double
+    meanCurrent(unsigned pair) const
+    {
+        return samples ? sumCurrent[pair]
+                             / static_cast<double>(samples)
+                       : 0.0;
+    }
+
+    /**
+     * Fold one raw sample into the bucket.
+     * @param mask present-pair bitmask of the sample.
+     * @param voltage per-pair volts (only present pairs read).
+     * @param current per-pair amps (only present pairs read).
+     * @param dt nominal sample interval (1 / rate) for energy.
+     */
+    void fold(std::uint8_t mask,
+              const std::array<double, kMaxPairs> &voltage,
+              const std::array<double, kMaxPairs> &current,
+              double dt);
+
+    /** Merge a finer bucket into this one (the cascade step). */
+    void merge(const HistoryBucket &other);
+};
+
+/**
+ * Single-tier streaming aggregator: fold raw samples, pop a closed
+ * bucket whenever a sample crosses the aligned bucket boundary.
+ * Used per-subscriber by the streaming server (src/net/server.cpp)
+ * and internally by History for the first cascade stage. Not thread
+ * safe — one producer owns it.
+ */
+class TierAccumulator
+{
+  public:
+    /**
+     * @param tier Aggregate tier (Raw is invalid here).
+     * @param sample_rate_hz Raw sample rate, for the nominal dt.
+     * @throws UsageError on Tier::Raw or a non-positive rate.
+     */
+    TierAccumulator(Tier tier, double sample_rate_hz);
+
+    /**
+     * Fold one sample.
+     * @param closed Receives the completed bucket when the sample
+     *        opened a new one.
+     * @retval true when `closed` was filled.
+     */
+    bool fold(double time, std::uint8_t mask,
+              const std::array<double, kMaxPairs> &voltage,
+              const std::array<double, kMaxPairs> &current,
+              HistoryBucket &closed);
+
+    /**
+     * Close the open bucket even though its window is not over (end
+     * of stream, tier renegotiation). The bucket's endTime is the
+     * nominal window end; its sample count tells the consumer it is
+     * partial.
+     * @retval true when `closed` was filled (open bucket non-empty).
+     */
+    bool flush(HistoryBucket &closed);
+
+    /** Samples folded into the currently open bucket. */
+    std::uint64_t
+    openSamples() const
+    {
+        return open_.samples;
+    }
+
+    /** The accumulator's tier. */
+    Tier
+    tier() const
+    {
+        return tier_;
+    }
+
+  private:
+    Tier tier_;
+    double period_;
+    double dt_;
+    bool haveOpen_ = false;
+    HistoryBucket open_{};
+};
+
+/**
+ * Result of a windowed query: the aggregate of every bucket (or raw
+ * sample, for dump-file queries) intersecting [from, to).
+ */
+struct WindowStats
+{
+    /** Accumulated energy over the window (J). */
+    double energyJoules = 0.0;
+    /** Smallest total power seen (+inf when empty). */
+    double minPower = std::numeric_limits<double>::infinity();
+    /** Largest total power seen (-inf when empty). */
+    double maxPower = -std::numeric_limits<double>::infinity();
+    /** Sample-weighted mean total power (W; 0 when empty). */
+    double meanPower = 0.0;
+    /** Raw samples covered. */
+    std::uint64_t samples = 0;
+    /** Buckets that contributed (0 for raw dump-file queries). */
+    std::uint64_t buckets = 0;
+    /** Seconds of stream covered (samples / rate). */
+    double coverageSeconds = 0.0;
+};
+
+/**
+ * The live multi-resolution history: three cascaded tiers of bounded
+ * bucket rings fed by a sensor's reader loop. Thread safe — the
+ * producer calls addSample()/addBucket() while any thread queries.
+ * Rollover: when a tier's ring is full the oldest closed bucket is
+ * discarded (the coarser tiers above it retain the summary).
+ */
+class History
+{
+  public:
+    /** Ring capacities (closed buckets kept per tier). */
+    struct Options
+    {
+        /** 1 kHz tier capacity (default ~8 s of history). */
+        std::size_t capacityHz1000 = 8192;
+        /** 10 Hz tier capacity (default ~100 s). */
+        std::size_t capacityHz10 = 1024;
+        /** 1 Hz tier capacity (default ~4 min). */
+        std::size_t capacityHz1 = 256;
+    };
+
+    /**
+     * @param sample_rate_hz Raw stream rate (nominal dt for energy).
+     * @throws UsageError on a non-positive rate.
+     */
+    History(double sample_rate_hz, Options options);
+    explicit History(double sample_rate_hz);
+
+    /** Fold one raw sample (producer thread). */
+    void addSample(const Sample &sample);
+
+    /**
+     * Feed an already-aggregated bucket (a network client on a
+     * reduced-rate stream): the bucket lands in its own tier's ring
+     * and cascades into the coarser tiers. Finer tiers stay empty —
+     * resolution below the subscribed tier does not exist client
+     * side.
+     * @throws UsageError on Tier::Raw.
+     */
+    void addBucket(Tier tier, const HistoryBucket &bucket);
+
+    /**
+     * Closed-plus-open buckets of a tier intersecting [from, to),
+     * oldest first. The open view also folds in samples still
+     * pending in finer tiers' open buckets (re-aligned to this
+     * tier's period), so every sample the history has seen is
+     * visible at every tier. An unbounded query (from = -inf,
+     * to = +inf) returns the whole retained ring.
+     * @throws UsageError on Tier::Raw.
+     */
+    std::vector<HistoryBucket> buckets(Tier tier, double from,
+                                       double to) const;
+
+    /**
+     * Windowed summary over a tier: aggregate of every bucket
+     * intersecting [from, to). Granularity is the tier's — buckets
+     * are never split, so align the window to bucket boundaries (or
+     * query a finer tier) when edge precision matters.
+     * @throws UsageError on Tier::Raw.
+     */
+    WindowStats window(Tier tier, double from, double to) const;
+
+    /** Raw samples folded so far. */
+    std::uint64_t samplesSeen() const;
+
+    /** Closed buckets produced by a tier so far (rollover included). */
+    std::uint64_t bucketsClosed(Tier tier) const;
+
+    /** The raw sample rate the history was built for (Hz). */
+    double
+    sampleRateHz() const
+    {
+        return sampleRateHz_;
+    }
+
+  private:
+    /** One cascade stage: accumulator + bounded ring of closed. */
+    struct Level
+    {
+        std::deque<HistoryBucket> ring;
+        std::size_t capacity = 0;
+        double period = 0.0;
+        bool haveOpen = false;
+        HistoryBucket open{};
+        std::uint64_t closed = 0;
+    };
+
+    /** Index of a tier in levels_ (Hz1000 -> 0). */
+    static std::size_t levelIndex(Tier tier);
+
+    /** Close `bucket` into level `index` and cascade upward. */
+    void closeInto(std::size_t index, const HistoryBucket &bucket);
+
+    /** Merge a child bucket into a level's aligned open bucket. */
+    void foldIntoLevel(std::size_t index,
+                       const HistoryBucket &bucket);
+
+    double sampleRateHz_;
+    double dt_;
+    mutable std::mutex mutex_;
+    std::uint64_t samplesSeen_ = 0;
+    std::array<Level, kAggregateTierCount> levels_;
+};
+
+/**
+ * Windowed raw-resolution summary over a recorded dump file: the
+ * offline counterpart of History::window(), integrating the samples
+ * in [from, to) at the recorded cadence (psquery's engine).
+ */
+WindowStats windowFromDump(const DumpFile &dump, double from,
+                           double to);
+
+/**
+ * Re-bucket a recorded dump file at a tier, as if the stream had
+ * been subscribed at that tier live: aligned buckets, min/max/mean/
+ * energy per bucket, partial final bucket flushed.
+ * @throws UsageError on Tier::Raw.
+ */
+std::vector<HistoryBucket> bucketsFromDump(const DumpFile &dump,
+                                           Tier tier);
+
+} // namespace ps3::host
+
+#endif // PS3_HOST_HISTORY_HPP

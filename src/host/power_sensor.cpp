@@ -274,6 +274,8 @@ PowerSensor::onFrameSet(const FrameSet &set)
             static_cast<std::int64_t>(markerQueue_.size()));
     }
 
+    history_.addSample(sample);
+
     // Fan out to dump file and listeners BEFORE publishing the
     // updated state: waitForSamples()/waitUntil() must only wake
     // their callers once every counted sample has been delivered,

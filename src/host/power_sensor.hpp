@@ -141,6 +141,13 @@ class PowerSensor : public Sensor
     /** True once the device vanished (read path saw end-of-stream). */
     bool deviceGone() const override;
 
+    /** Multi-resolution history fed by the reader loop. */
+    const History *
+    history() const override
+    {
+        return &history_;
+    }
+
     /** Markers that may be in flight at once (bounded, lock free). */
     static constexpr std::size_t kMarkerQueueCapacity = 256;
 
@@ -206,6 +213,9 @@ class PowerSensor : public Sensor
 
     bool haveLastSampleTime_ = false;
     double lastSampleTime_ = 0.0;
+
+    /** Cascaded downsampling tiers (docs/HISTORY.md). */
+    History history_{firmware::kSampleRateHz};
 
     void connectHandshake();
     void startReader();

@@ -25,6 +25,7 @@
 
 #include "firmware/protocol.hpp"
 #include "host/dump_writer.hpp"
+#include "host/history.hpp"
 #include "host/state.hpp"
 
 namespace ps3::host {
@@ -164,6 +165,17 @@ class Sensor
 
     /** True once the stream source vanished. */
     virtual bool deviceGone() const = 0;
+
+    /**
+     * Multi-resolution history of the stream (docs/HISTORY.md), or
+     * nullptr when the implementation keeps none. Valid for the
+     * sensor's lifetime; safe to query from any thread.
+     */
+    virtual const History *
+    history() const
+    {
+        return nullptr;
+    }
 
     /** Number of pairs with at least one enabled channel. */
     unsigned

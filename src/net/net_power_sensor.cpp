@@ -42,6 +42,9 @@ struct ClientMetrics
     obs::Counter &heartbeats = obs::Registry::global().counter(
         "ps3_net_client_heartbeats_total",
         "Heartbeat frames received from the server");
+    obs::Counter &tierBuckets = obs::Registry::global().counter(
+        "ps3_net_tier_buckets_received_total",
+        "Aggregate bucket records decoded from tiered streams");
 };
 
 ClientMetrics &
@@ -73,6 +76,8 @@ NetPowerSensor::NetPowerSensor(const transport::Endpoint &endpoint,
                                Options options)
     : options_(options), endpoint_(endpoint)
 {
+    requestedTier_.store(static_cast<std::uint8_t>(options_.tier),
+                         std::memory_order_relaxed);
     socket_ = openSocket();
     handshake(options_.connectTimeout, true);
     readerThread_ = std::thread([this] { readerLoop(); });
@@ -108,7 +113,10 @@ void
 NetPowerSensor::handshake(double timeout_seconds, bool initial)
 {
     {
-        const ClientHello hello{kProtocolVersion, options_.overflow};
+        ClientHello hello;
+        hello.overflow = options_.overflow;
+        hello.tier = static_cast<host::Tier>(
+            requestedTier_.load(std::memory_order_relaxed));
         const auto bytes = hello.encode();
         socket_->write(bytes.data(), bytes.size());
     }
@@ -148,10 +156,15 @@ NetPowerSensor::handshake(double timeout_seconds, bool initial)
     hello.decodePayload(payload.data(), payload.size());
 
     serverMinor_ = std::min(hello.minor, kProtocolMinor);
+    negotiatedTier_.store(static_cast<std::uint8_t>(hello.tier),
+                          std::memory_order_relaxed);
     if (initial) {
         config_ = hello.config;
         remoteFirmwareVersion_ = hello.firmwareVersion;
         sampleRateHz_ = hello.sampleRateHz;
+        history_ = std::make_unique<host::History>(
+            sampleRateHz_ > 0.0 ? sampleRateHz_
+                                : firmware::kSampleRateHz);
     }
 }
 
@@ -218,6 +231,14 @@ NetPowerSensor::streamConnection()
                                const host::DumpRecord &record) {
         static_cast<NetPowerSensor *>(self)->onRecord(record);
     };
+    // Always armed: a requestTier() switches the stream to 'A'
+    // records mid-connection, with no new handshake to gate on.
+    const auto bucket_trampoline =
+        [](void *self, host::Tier tier,
+           const host::HistoryBucket &bucket) {
+            static_cast<NetPowerSensor *>(self)->onBucket(tier,
+                                                          bucket);
+        };
     const bool versioned = serverMinor_ >= 1;
     while (!stopRequested_.load(std::memory_order_acquire)) {
         std::uint8_t header[4];
@@ -237,6 +258,8 @@ NetPowerSensor::streamConnection()
             clientMetrics().heartbeats.inc();
             clientMetrics().bytes.inc(sizeof(header)
                                       + sizeof(beat));
+            bytesReceived_.fetch_add(sizeof(header) + sizeof(beat),
+                                     std::memory_order_relaxed);
             accountSeq(readU64(beat));
             continue;
         }
@@ -258,20 +281,23 @@ NetPowerSensor::streamConnection()
         bool malformed = false;
         try {
             decoder.feed(payload.data() + offset,
-                         payload.size() - offset, this, trampoline);
+                         payload.size() - offset, this, trampoline,
+                         bucket_trampoline);
         } catch (const DeviceError &) {
             malformed = true;
         }
-        // Records delivered before a mid-batch error still advance
-        // the expectation — they were received, not lost.
+        // The expectation advances per delivered record inside the
+        // callbacks (+1 per raw record, +samples per bucket), so
+        // records delivered before a mid-batch error still count —
+        // they were received, not lost.
         const std::uint64_t decoded =
             decoder.recordCount() - before;
-        if (versioned)
-            expectedSeq_ += decoded;
         if (malformed)
             return false;
         clientMetrics().batches.inc();
         clientMetrics().bytes.inc(sizeof(header) + payload.size());
+        bytesReceived_.fetch_add(sizeof(header) + payload.size(),
+                                 std::memory_order_relaxed);
         clientMetrics().records.inc(decoded);
     }
     return false;
@@ -387,6 +413,8 @@ void
 NetPowerSensor::onRecord(const host::DumpRecord &record)
 {
     recordsReceived_.fetch_add(1, std::memory_order_relaxed);
+    if (serverMinor_ >= 1)
+        ++expectedSeq_;
     haveLastStreamTime_ = true;
     lastStreamTime_ = record.time;
 
@@ -400,6 +428,58 @@ NetPowerSensor::onRecord(const host::DumpRecord &record)
     sample.marker = record.marker;
     sample.markerChar = record.markerChar;
 
+    if (history_)
+        history_->addSample(sample);
+    publishSample(record, sample);
+}
+
+void
+NetPowerSensor::onBucket(host::Tier tier,
+                         const host::HistoryBucket &raw_bucket)
+{
+    // The wire omits energyJoules as derivable: both sides
+    // accumulate power * nominal-dt per sample, so it is exactly
+    // sumPower / rate.
+    host::HistoryBucket bucket = raw_bucket;
+    if (sampleRateHz_ > 0.0)
+        bucket.energyJoules = bucket.sumPower / sampleRateHz_;
+
+    bucketsReceived_.fetch_add(1, std::memory_order_relaxed);
+    clientMetrics().tierBuckets.inc();
+    // One bucket stands for bucket.samples raw records in the
+    // stream's sequence space.
+    if (serverMinor_ >= 1)
+        expectedSeq_ += bucket.samples;
+    haveLastStreamTime_ = true;
+    lastStreamTime_ = bucket.endTime;
+
+    if (history_)
+        history_->addBucket(tier, bucket);
+
+    // Downstream consumers (listeners, dumps, read()) see the bucket
+    // as one sample at the bucket end carrying the per-pair means —
+    // a psrun against a 1 Hz stream just reads slower samples.
+    host::DumpRecord record;
+    record.time = bucket.endTime;
+    record.presentMask = bucket.presentMask;
+    host::Sample sample;
+    sample.time = bucket.endTime;
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
+        if (!(bucket.presentMask & (1u << pair)))
+            continue;
+        record.voltage[pair] = bucket.meanVoltage(pair);
+        record.current[pair] = bucket.meanCurrent(pair);
+        sample.voltage[pair] = record.voltage[pair];
+        sample.current[pair] = record.current[pair];
+        sample.present[pair] = true;
+    }
+    publishSample(record, sample);
+}
+
+void
+NetPowerSensor::publishSample(const host::DumpRecord &record,
+                              const host::Sample &sample)
+{
     // Same fan-out order as the local PowerSensor: dump and
     // listeners first, state publication (and waiter wakes) last.
     if (activeDump_.load(std::memory_order_relaxed) != nullptr) {
@@ -464,6 +544,32 @@ NetPowerSensor::read() const
 {
     std::lock_guard<std::mutex> lock(stateMutex_);
     return state_;
+}
+
+void
+NetPowerSensor::requestTier(host::Tier tier)
+{
+    if (serverMinor_ < 2)
+        throw UsageError(
+            "NetPowerSensor: the server does not speak PS3N v1.2; "
+            "tiered streaming is unavailable");
+    requestedTier_.store(static_cast<std::uint8_t>(tier),
+                         std::memory_order_relaxed);
+    const std::uint8_t request[2] = {
+        kTierRequest, static_cast<std::uint8_t>(tier)};
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    try {
+        socket_->write(request, sizeof(request));
+    } catch (const DeviceError &) {
+        // The reader notices the dead connection; the stored tier is
+        // re-requested at the reconnect handshake.
+    }
+}
+
+const host::History *
+NetPowerSensor::history() const
+{
+    return history_.get();
 }
 
 void

@@ -97,6 +97,12 @@ class NetPowerSensor : public host::Sensor
          * heartbeat-disabled server with 0 here.
          */
         double idleTimeout = 2.0;
+        /**
+         * Stream tier to request in the handshake (v1.2). Against a
+         * pre-v1.2 server the request is invisible and the stream is
+         * raw; tier() reports what was actually granted.
+         */
+        host::Tier tier = host::Tier::Raw;
     };
 
     /**
@@ -142,6 +148,8 @@ class NetPowerSensor : public host::Sensor
     void removeGapListener(std::uint64_t token) override;
     std::uint64_t gapRecords() const override;
     bool deviceGone() const override;
+    /** Multi-resolution history fed by the stream (never null). */
+    const host::History *history() const override;
 
     // ----- network extras ------------------------------------------------
 
@@ -176,6 +184,40 @@ class NetPowerSensor : public host::Sensor
         return heartbeatsReceived_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Tier granted in the most recent handshake. A later
+     * requestTier() changes the stream without a re-handshake, so
+     * this reports the handshake-time grant only.
+     */
+    host::Tier
+    tier() const
+    {
+        return static_cast<host::Tier>(
+            negotiatedTier_.load(std::memory_order_relaxed));
+    }
+
+    /**
+     * Renegotiate the stream tier mid-stream (v1.2). Fire-and-forget
+     * like mark(): the server switches at its next sender-loop
+     * iteration, flushing any open bucket first.
+     * @throws UsageError against a pre-v1.2 server.
+     */
+    void requestTier(host::Tier tier);
+
+    /** Aggregate buckets received and processed so far. */
+    std::uint64_t
+    bucketsReceived() const
+    {
+        return bucketsReceived_.load(std::memory_order_relaxed);
+    }
+
+    /** Stream bytes received (framing included). */
+    std::uint64_t
+    bytesReceived() const
+    {
+        return bytesReceived_.load(std::memory_order_relaxed);
+    }
+
   private:
     /** Connect via the factory (or SocketDevice::connect). */
     std::unique_ptr<transport::StreamSocket> openSocket();
@@ -193,6 +235,11 @@ class NetPowerSensor : public host::Sensor
     void emitGap(std::uint64_t records, double span_seconds,
                  double time);
     void onRecord(const host::DumpRecord &record);
+    void onBucket(host::Tier tier,
+                  const host::HistoryBucket &bucket);
+    /** Dump + listener + state fan-out shared by both record kinds. */
+    void publishSample(const host::DumpRecord &record,
+                       const host::Sample &sample);
     /** Flip deviceGone and release every waiter. */
     void markGone();
 
@@ -207,6 +254,14 @@ class NetPowerSensor : public host::Sensor
 
     /** Negotiated minor of the current connection (reader thread). */
     std::uint8_t serverMinor_ = 0;
+
+    /** Tier to request at each (re)handshake; requestTier() updates. */
+    std::atomic<std::uint8_t> requestedTier_{0};
+    /** Tier granted by the most recent handshake. */
+    std::atomic<std::uint8_t> negotiatedTier_{0};
+
+    /** Multi-resolution history fed by the stream (fixed at ctor). */
+    std::unique_ptr<host::History> history_;
 
     // ----- reader-thread-only stream accounting --------------------------
 
@@ -223,6 +278,8 @@ class NetPowerSensor : public host::Sensor
     std::atomic<std::uint64_t> gapEvents_{0};
     std::atomic<std::uint64_t> gapRecords_{0};
     std::atomic<std::uint64_t> heartbeatsReceived_{0};
+    std::atomic<std::uint64_t> bucketsReceived_{0};
+    std::atomic<std::uint64_t> bytesReceived_{0};
 
     /** Serialises upstream writes (mark() from many threads) and
      *  guards the socket_ swap on reconnect. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <optional>
 
 #include "common/errors.hpp"
 #include "obs/registry.hpp"
@@ -53,6 +54,15 @@ struct NetMetrics
     obs::Counter &writeTimeouts = obs::Registry::global().counter(
         "ps3_net_write_timeouts_total",
         "Subscribers disconnected because a socket write timed out");
+    obs::Counter &tierSubscribers = obs::Registry::global().counter(
+        "ps3_net_tier_subscribers_total",
+        "Subscribers accepted on a reduced-rate tier (v1.2)");
+    obs::Counter &tierBuckets = obs::Registry::global().counter(
+        "ps3_net_tier_buckets_sent_total",
+        "Aggregate bucket records sent to tiered subscribers");
+    obs::Counter &tierChanges = obs::Registry::global().counter(
+        "ps3_net_tier_changes_total",
+        "Accepted mid-stream tier renegotiation requests");
 };
 
 NetMetrics &
@@ -152,6 +162,13 @@ Ps3Server::acceptLoop(transport::SocketListener &listener)
         subscriber->socket = std::move(socket);
         subscriber->overflow = hello.overflow;
         subscriber->minor = std::min(hello.minor, kProtocolMinor);
+        // A tier request only means something when both sides speak
+        // v1.2; older peers stream raw exactly as before.
+        subscriber->tier = subscriber->minor >= 2
+                               ? hello.tier
+                               : host::Tier::Raw;
+        if (subscriber->tier != host::Tier::Raw)
+            netMetrics().tierSubscribers.inc();
         subscriber->ring =
             std::make_unique<transport::SpscPodRing<SeqRecord>>(
                 options_.queueCapacity, hello.overflow);
@@ -221,6 +238,9 @@ Ps3Server::handshake(transport::SocketDevice &socket,
     ack.sampleRateHz = firmware::kSampleRateHz;
     ack.firmwareVersion = firmwareVersion_;
     ack.config = config_;
+    ack.tier = std::min(hello.minor, kProtocolMinor) >= 2
+                   ? hello.tier
+                   : host::Tier::Raw;
     try {
         const auto bytes = ack.encode();
         socket.write(bytes.data(), bytes.size());
@@ -286,13 +306,24 @@ Ps3Server::senderLoop(Subscriber &subscriber)
     const bool versioned = subscriber.minor >= 1;
     bool graceful = false;
 
-    auto sendFrame = [&](std::size_t first, std::size_t count) {
+    // Tiered-stream state. Everything here is sender-thread-local:
+    // pollUpstream runs on this very thread, so renegotiation is a
+    // plain variable swap.
+    std::optional<host::TierAccumulator> accumulator;
+    if (subscriber.tier != host::Tier::Raw)
+        accumulator.emplace(subscriber.tier, firmware::kSampleRateHz);
+    std::uint64_t openFirstSeq = 0; ///< seq of open bucket's first
+    std::uint64_t nextFoldSeq = 0;  ///< seq the next fold expects
+    bool haveFolded = false;
+
+    auto beginFrame = [&](std::uint64_t first_seq) {
         frame.clear();
         frame.resize(4); // length prefix patched below
         if (versioned)
-            appendU64(frame, batch[first].seq);
-        for (std::size_t i = 0; i < count; ++i)
-            encodeRecord(frame, batch[first + i].record);
+            appendU64(frame, first_seq);
+    };
+
+    auto writeFrame = [&] {
         const std::uint32_t payload =
             static_cast<std::uint32_t>(frame.size() - 4);
         frame[0] = static_cast<std::uint8_t>(payload & 0xFF);
@@ -307,6 +338,63 @@ Ps3Server::senderLoop(Subscriber &subscriber)
         netMetrics().bytes.inc(frame.size());
     };
 
+    auto sendFrame = [&](std::size_t first, std::size_t count) {
+        beginFrame(batch[first].seq);
+        for (std::size_t i = 0; i < count; ++i)
+            encodeRecord(frame, batch[first + i].record);
+        writeFrame();
+    };
+
+    // Closed buckets batch into a shared aggregate frame — the
+    // frame's firstSeq covers the run because consecutive buckets
+    // are seq-contiguous (holes and markers force a frame break).
+    // Shipping one bucket per frame would hand a third of the
+    // bandwidth the tier just saved back to framing overhead.
+    bool aggregateOpen = false;
+    auto appendBucket = [&](const host::HistoryBucket &bucket,
+                            std::uint64_t first_seq) {
+        if (!aggregateOpen) {
+            beginFrame(first_seq);
+            aggregateOpen = true;
+        }
+        encodeBucket(frame, subscriber.tier, bucket);
+        tierBucketsSent_.fetch_add(1, std::memory_order_relaxed);
+        netMetrics().tierBuckets.inc();
+    };
+    auto shipAggregate = [&] {
+        if (!aggregateOpen)
+            return;
+        aggregateOpen = false;
+        writeFrame();
+    };
+
+    // Flush the open bucket early (marker, hole, renegotiation,
+    // shutdown); its sample count marks it partial.
+    auto flushOpen = [&] {
+        host::HistoryBucket closed;
+        if (accumulator && accumulator->flush(closed))
+            appendBucket(closed, openFirstSeq);
+    };
+
+    auto applyTierChange = [&] {
+        if (!subscriber.tierChangePending)
+            return;
+        subscriber.tierChangePending = false;
+        const auto next =
+            static_cast<host::Tier>(subscriber.pendingTier);
+        if (next == subscriber.tier)
+            return;
+        flushOpen();
+        shipAggregate();
+        if (haveFolded)
+            subscriber.nextSeq = nextFoldSeq;
+        subscriber.tier = next;
+        if (next == host::Tier::Raw)
+            accumulator.reset();
+        else
+            accumulator.emplace(next, firmware::kSampleRateHz);
+    };
+
     auto sendHeartbeat = [&] {
         const auto beat = encodeHeartbeat(subscriber.nextSeq);
         subscriber.socket->write(beat.data(), beat.size());
@@ -318,9 +406,15 @@ Ps3Server::senderLoop(Subscriber &subscriber)
     auto last_activity = std::chrono::steady_clock::now();
     try {
         for (;;) {
+            applyTierChange();
             const std::size_t n = subscriber.ring->drain(
                 batch.data(), batch.size(), kDrainPoll);
             if (n == 0) {
+                // The stream went quiet: ship any batched buckets
+                // now — both to bound latency and because the
+                // heartbeat below announces a nextSeq the client
+                // can only account for once it has them.
+                shipAggregate();
                 if (subscriber.ring->finished()) {
                     graceful = true;
                     break;
@@ -340,27 +434,85 @@ Ps3Server::senderLoop(Subscriber &subscriber)
                 pollUpstream(subscriber);
                 continue;
             }
-            // One frame per contiguous-seq run: DropOldest reclaims
-            // leave holes in the middle of a drain, and each run's
-            // firstSeq lets a v1.1 client account for them exactly.
-            // (For v1.0 subscribers the runs simply concatenate.)
-            std::size_t start = 0;
-            for (std::size_t i = 1; i <= n; ++i) {
-                if (i < n
-                    && batch[i].seq == batch[i - 1].seq + 1)
-                    continue;
-                sendFrame(start, i - start);
-                start = i;
+            if (accumulator) {
+                // Tiered stream: fold records, ship closed buckets.
+                // Markers bypass aggregation; a hole or a marker
+                // flushes the open bucket first so every frame's
+                // firstSeq stays monotonic and gaps surface exactly.
+                for (std::size_t i = 0; i < n; ++i) {
+                    const SeqRecord &sr = batch[i];
+                    if (haveFolded
+                        && accumulator->openSamples() > 0
+                        && sr.seq != nextFoldSeq) {
+                        flushOpen();
+                        shipAggregate(); // seq hole: frame break
+                    }
+                    if (sr.record.marker) {
+                        flushOpen();
+                        shipAggregate(); // marker rides its own frame
+                        beginFrame(sr.seq);
+                        encodeRecord(frame, sr.record);
+                        writeFrame();
+                        subscriber.nextSeq = sr.seq + 1;
+                    } else {
+                        if (accumulator->openSamples() == 0)
+                            openFirstSeq = sr.seq;
+                        const std::uint64_t closed_first =
+                            openFirstSeq;
+                        host::HistoryBucket closed;
+                        if (accumulator->fold(sr.record.time,
+                                              sr.record.presentMask,
+                                              sr.record.voltage,
+                                              sr.record.current,
+                                              closed)) {
+                            appendBucket(closed, closed_first);
+                            if (frame.size() >= 4096)
+                                shipAggregate();
+                            openFirstSeq = sr.seq;
+                        }
+                        // Heartbeats must announce the first seq the
+                        // client has not yet accounted for — the open
+                        // bucket's start while one is pending.
+                        subscriber.nextSeq =
+                            accumulator->openSamples() > 0
+                                ? openFirstSeq
+                                : sr.seq + 1;
+                    }
+                    nextFoldSeq = sr.seq + 1;
+                    haveFolded = true;
+                }
+                // One frame per drained run: don't let closed
+                // buckets wait out the next drain poll.
+                shipAggregate();
+            } else {
+                // One frame per contiguous-seq run: DropOldest
+                // reclaims leave holes in the middle of a drain, and
+                // each run's firstSeq lets a v1.1 client account for
+                // them exactly. (For v1.0 subscribers the runs
+                // simply concatenate.)
+                std::size_t start = 0;
+                for (std::size_t i = 1; i <= n; ++i) {
+                    if (i < n
+                        && batch[i].seq == batch[i - 1].seq + 1)
+                        continue;
+                    sendFrame(start, i - start);
+                    start = i;
+                }
+                subscriber.nextSeq = batch[n - 1].seq + 1;
             }
-            subscriber.nextSeq = batch[n - 1].seq + 1;
             last_activity = std::chrono::steady_clock::now();
             pollUpstream(subscriber);
         }
         if (graceful && !subscriber.socket->closed()) {
-            // Final heartbeat (v1.1): pins the stream's end sequence
-            // so a hole between the last sent batch and shutdown is
-            // still accountable. Then the zero-length end-of-stream
-            // batch, then close.
+            // Flush a partial bucket so a tiered client sees every
+            // folded sample, then the final heartbeat (v1.1) pins
+            // the stream's end sequence so a hole between the last
+            // sent batch and shutdown is still accountable. Then the
+            // zero-length end-of-stream batch, then close.
+            flushOpen();
+            shipAggregate();
+            if (accumulator && haveFolded)
+                subscriber.nextSeq = nextFoldSeq;
             if (versioned)
                 sendHeartbeat();
             const std::uint8_t eos[4] = {0, 0, 0, 0};
@@ -393,13 +545,29 @@ Ps3Server::pollUpstream(Subscriber &subscriber)
             return;
         for (std::size_t i = 0; i < got; ++i) {
             if (subscriber.pendingRequestLen == 0
-                && buffer[i] != kMarkerRequest)
+                && buffer[i] != kMarkerRequest
+                && !(buffer[i] == kTierRequest
+                     && subscriber.minor >= 2))
                 continue; // resync: skip unknown bytes
             subscriber.pendingRequest[subscriber.pendingRequestLen++] =
                 buffer[i];
             if (subscriber.pendingRequestLen < 2)
                 continue;
             subscriber.pendingRequestLen = 0;
+            if (subscriber.pendingRequest[0] == kTierRequest) {
+                const std::uint8_t tier_byte =
+                    subscriber.pendingRequest[1];
+                if (tier_byte > host::kMaxTierValue)
+                    continue; // ignore nonsense, keep streaming
+                // Applied by the sender loop — which is this very
+                // thread — at its next iteration.
+                subscriber.pendingTier = tier_byte;
+                subscriber.tierChangePending = true;
+                tierChanges_.fetch_add(1,
+                                       std::memory_order_relaxed);
+                netMetrics().tierChanges.inc();
+                continue;
+            }
             markerRequests_.fetch_add(1, std::memory_order_relaxed);
             netMetrics().markerRequests.inc();
             if (sensor_) {
@@ -451,6 +619,18 @@ std::uint64_t
 Ps3Server::writeTimeouts() const
 {
     return writeTimeouts_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Ps3Server::tierBucketsSent() const
+{
+    return tierBucketsSent_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Ps3Server::tierChanges() const
+{
+    return tierChanges_.load(std::memory_order_relaxed);
 }
 
 void

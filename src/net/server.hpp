@@ -14,7 +14,17 @@
  *    disconnected rather than allowed to stall the device reader;
  *  - its own sender thread, draining the ring into length-prefixed
  *    batches (wire.hpp) and polling the connection for upstream
- *    marker requests.
+ *    marker and tier-renegotiation requests.
+ *
+ * A v1.2 subscriber may negotiate a reduced-rate tier (host::Tier):
+ * its sender folds the drained records through a TierAccumulator and
+ * ships 'A' aggregate-bucket records instead of raw samples, shedding
+ * ~an order of magnitude of egress at the 1 kHz tier while min/max
+ * per bucket preserve transients. Marked records bypass aggregation
+ * (the open bucket is flushed first so sequence numbers stay
+ * monotonic); a mid-queue hole (DropOldest reclaim) also flushes, so
+ * the next frame's firstSeq exposes the gap exactly as on a raw
+ * stream.
  *
  * The publishing thread (the sensor's reader, via a sample
  * listener) never blocks and never performs I/O: fan-out is one
@@ -138,6 +148,12 @@ class Ps3Server
     /** Subscribers disconnected by the write timeout. */
     std::uint64_t writeTimeouts() const;
 
+    /** Aggregate buckets sent across all tiered subscribers. */
+    std::uint64_t tierBucketsSent() const;
+
+    /** Accepted mid-stream tier renegotiation requests. */
+    std::uint64_t tierChanges() const;
+
     /**
      * Drain-then-close shutdown: stop accepting, close every queue,
      * let senders flush and send end-of-stream, abort stragglers
@@ -168,6 +184,15 @@ class Ps3Server
             transport::RingOverflow::Block;
         /** Negotiated minor: min(client, kProtocolMinor). */
         std::uint8_t minor = 0;
+        /**
+         * Granted stream tier. Written by the accept thread before
+         * the sender starts, then owned by the sender thread
+         * (pollUpstream runs there, so renegotiation needs no lock).
+         */
+        host::Tier tier = host::Tier::Raw;
+        /** Tier renegotiation parsed by pollUpstream, not yet applied. */
+        bool tierChangePending = false;
+        std::uint8_t pendingTier = 0;
         /** Next record sequence this subscriber will send. */
         std::uint64_t nextSeq = 0;
         std::thread thread;
@@ -202,6 +227,8 @@ class Ps3Server
     std::atomic<std::uint64_t> markerRequests_{0};
     std::atomic<std::uint64_t> heartbeatsSent_{0};
     std::atomic<std::uint64_t> writeTimeouts_{0};
+    std::atomic<std::uint64_t> tierBucketsSent_{0};
+    std::atomic<std::uint64_t> tierChanges_{0};
     std::uint64_t nextSubscriberId_ = 1;
     /** Stream sequence of the next published record (under
      *  subscribersMutex_, like everything publish() touches). */

@@ -41,6 +41,42 @@ getF64(const std::uint8_t *p)
     return std::bit_cast<double>(bits);
 }
 
+void
+putF32(std::vector<std::uint8_t> &out, double v)
+{
+    const std::uint32_t bits =
+        std::bit_cast<std::uint32_t>(static_cast<float>(v));
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(
+            static_cast<std::uint8_t>((bits >> shift) & 0xFF));
+}
+
+double
+getF32(const std::uint8_t *p)
+{
+    std::uint32_t bits = 0;
+    for (int i = 3; i >= 0; --i)
+        bits = (bits << 8) | p[i];
+    return static_cast<double>(std::bit_cast<float>(bits));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(
+            static_cast<std::uint8_t>((v >> shift) & 0xFF));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
 bool
 magicMatches(const std::uint8_t *p)
 {
@@ -82,7 +118,9 @@ ClientHello::encode() const
     // Byte 6 was reserved (always 0) before v1.1; old servers never
     // look at it, so it now carries the client's minor version.
     out.push_back(minor);
-    out.push_back(0); // reserved
+    // Byte 7 was reserved before v1.2; it now carries the requested
+    // tier (0 == raw, matching what older clients sent).
+    out.push_back(static_cast<std::uint8_t>(tier));
     return out;
 }
 
@@ -113,6 +151,11 @@ ClientHello::decode(const std::uint8_t *data, std::size_t size,
                          : transport::RingOverflow::Block;
     // v1.0 clients sent 0 here, which is exactly "minor 0".
     hello.minor = data[6];
+    if (data[7] > host::kMaxTierValue) {
+        reject_status = HelloStatus::BadHello;
+        return std::nullopt;
+    }
+    hello.tier = static_cast<host::Tier>(data[7]);
     return hello;
 }
 
@@ -129,9 +172,11 @@ ServerHello::encode() const
         payload.insert(payload.end(), fw.begin(), fw.end());
         const auto blob = firmware::serializeConfig(config);
         payload.insert(payload.end(), blob.begin(), blob.end());
-        // Trailing minor byte (v1.1): v1.0 clients only lower-bound
-        // the payload size, so they skip it without noticing.
+        // Trailing minor byte (v1.1) and granted tier (v1.2): older
+        // clients only lower-bound the payload size, so they skip
+        // both without noticing.
         payload.push_back(minor);
+        payload.push_back(static_cast<std::uint8_t>(tier));
     }
     std::vector<std::uint8_t> out;
     out.reserve(kServerHelloPrefixSize + payload.size());
@@ -177,10 +222,17 @@ ServerHello::decodePayload(const std::uint8_t *data,
         reinterpret_cast<const char *>(data + 9), fw_len);
     config = firmware::deserializeConfig(
         data + 9 + fw_len, firmware::kConfigBlobSize);
-    // A trailing byte (absent from v1.0 servers) is the server's
-    // minor version.
+    // Trailing bytes (absent from older servers): the server's minor
+    // version, then (v1.2) the granted tier.
     const std::size_t fixed = 9 + fw_len + firmware::kConfigBlobSize;
     minor = size > fixed ? data[fixed] : 0;
+    tier = host::Tier::Raw;
+    if (size > fixed + 1) {
+        if (data[fixed + 1] > host::kMaxTierValue)
+            throw DeviceError("server hello grants unknown tier "
+                              + std::to_string(data[fixed + 1]));
+        tier = static_cast<host::Tier>(data[fixed + 1]);
+    }
 }
 
 // ----- record batch codec ------------------------------------------------
@@ -203,6 +255,26 @@ encodeRecord(std::vector<std::uint8_t> &out,
             continue;
         putF64(out, record.voltage[pair]);
         putF64(out, record.current[pair]);
+    }
+}
+
+void
+encodeBucket(std::vector<std::uint8_t> &out, host::Tier tier,
+             const host::HistoryBucket &bucket)
+{
+    out.push_back('A');
+    out.push_back(static_cast<std::uint8_t>(tier));
+    out.push_back(bucket.presentMask);
+    putF64(out, bucket.startTime);
+    putF64(out, bucket.minPower);
+    putF64(out, bucket.maxPower);
+    putF64(out, bucket.sumPower);
+    putU32(out, static_cast<std::uint32_t>(bucket.samples));
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
+        if (!(bucket.presentMask & (1u << pair)))
+            continue;
+        putF32(out, bucket.sumVoltage[pair]);
+        putF32(out, bucket.sumCurrent[pair]);
     }
 }
 
@@ -237,11 +309,62 @@ encodeHeartbeat(std::uint64_t next_seq)
 
 void
 RecordDecoder::feed(const std::uint8_t *data, std::size_t size,
-                    void *context, Callback cb)
+                    void *context, Callback cb,
+                    BucketCallback bucket_cb)
 {
     std::size_t pos = 0;
     while (pos < size) {
         const std::uint8_t kind = data[pos];
+        if (kind == 'A') {
+            if (bucket_cb == nullptr)
+                throw DeviceError(
+                    "record batch: unexpected aggregate record on "
+                    "a raw stream");
+            if (size - pos < kBucketRecordFixedSize)
+                throw DeviceError(
+                    "record batch: truncated aggregate record");
+            const std::uint8_t tier_byte = data[pos + 1];
+            if (tier_byte == 0
+                || tier_byte > host::kMaxTierValue)
+                throw DeviceError(
+                    "record batch: aggregate record with invalid "
+                    "tier "
+                    + std::to_string(tier_byte));
+            host::HistoryBucket bucket;
+            bucket.presentMask = data[pos + 2];
+            std::size_t offset = pos + 3;
+            bucket.startTime = getF64(data + offset);
+            bucket.minPower = getF64(data + offset + 8);
+            bucket.maxPower = getF64(data + offset + 16);
+            bucket.sumPower = getF64(data + offset + 24);
+            bucket.samples = getU32(data + offset + 32);
+            offset += 36;
+            // Derivable fields stay off the wire: endTime is the
+            // tier's window end; energyJoules needs the handshake
+            // sample rate, so the caller reconstructs it.
+            bucket.endTime =
+                bucket.startTime
+                + host::tierPeriodSeconds(
+                    static_cast<host::Tier>(tier_byte));
+            bucket.energyJoules = 0.0;
+            for (unsigned pair = 0; pair < host::kMaxPairs;
+                 ++pair) {
+                if (!(bucket.presentMask & (1u << pair)))
+                    continue;
+                if (size - offset < 8)
+                    throw DeviceError(
+                        "record batch: truncated aggregate record");
+                bucket.sumVoltage[pair] = getF32(data + offset);
+                bucket.sumCurrent[pair] =
+                    getF32(data + offset + 4);
+                offset += 8;
+            }
+            ++bucketCount_;
+            bucket_cb(context,
+                      static_cast<host::Tier>(tier_byte), bucket);
+            pos = offset;
+            continue;
+        }
         if (kind == 'M') {
             if (size - pos < 2 + 8)
                 throw DeviceError(

@@ -29,8 +29,21 @@
  *     next record will have, keeping liveness and gap accounting
  *     flowing while the stream idles. v1.0 peers never see either.
  *
+ *     When both sides speak minor >= 2 (v1.2), the client may
+ *     request a reduced-rate tier (host::Tier) in ClientHello byte 7;
+ *     the server echoes the granted tier as a trailing ServerHello
+ *     payload byte and then streams 'A' aggregate-bucket records
+ *     (encodeBucket) instead of raw 'S' samples, batching
+ *     consecutive closed buckets into shared frames. Marked records
+ *     bypass aggregation and ride raw in between, so a tiered stream
+ *     interleaves 'A' with 'M'+'S'. An 'A' record advances the
+ *     sequence space by its sample count.
+ *
  *  3. Upstream. After the handshake the client may send 2-byte
- *     marker requests ('M' + character), forwarded to the sensor.
+ *     marker requests ('M' + character), forwarded to the sensor,
+ *     and — against a v1.2 server — 2-byte tier requests
+ *     ('T' + host::Tier byte) to renegotiate the stream resolution
+ *     mid-stream.
  *
  * Everything here is plain serialisation — no sockets, no threads —
  * so the codec is unit-testable in isolation.
@@ -47,6 +60,7 @@
 
 #include "firmware/protocol.hpp"
 #include "host/dump_writer.hpp"
+#include "host/history.hpp"
 #include "transport/spsc_pod_ring.hpp"
 
 namespace ps3::net {
@@ -58,12 +72,12 @@ inline constexpr char kMagic[4] = {'P', 'S', '3', 'N'};
 inline constexpr std::uint8_t kProtocolVersion = 1;
 
 /**
- * Protocol minor version (v1.1): adds per-batch sequence numbers and
- * heartbeat frames. Negotiated down to min(client, server) — the
- * minor byte rides in fields v1.0 peers ignore, so either side may
- * be old.
+ * Protocol minor version. v1.1 added per-batch sequence numbers and
+ * heartbeat frames; v1.2 adds tier negotiation and 'A' aggregate
+ * records. Negotiated down to min(client, server) — the minor byte
+ * rides in fields older peers ignore, so either side may be old.
  */
-inline constexpr std::uint8_t kProtocolMinor = 1;
+inline constexpr std::uint8_t kProtocolMinor = 2;
 
 /** Serialised ClientHello size (fixed). */
 inline constexpr std::size_t kClientHelloSize = 8;
@@ -88,6 +102,12 @@ inline constexpr std::size_t kBatchSeqHeaderSize = 8;
 
 /** Upstream message: marker request command byte. */
 inline constexpr std::uint8_t kMarkerRequest = 'M';
+
+/** Upstream message: tier renegotiation command byte (v1.2). */
+inline constexpr std::uint8_t kTierRequest = 'T';
+
+/** Fixed part of an 'A' aggregate record (before the pair sums). */
+inline constexpr std::size_t kBucketRecordFixedSize = 3 + 4 * 8 + 4;
 
 /** ServerHello status codes. */
 enum class HelloStatus : std::uint8_t
@@ -117,6 +137,12 @@ struct ClientHello
      * keep their meaning.)
      */
     std::uint8_t minor = kProtocolMinor;
+    /**
+     * Requested stream tier (v1.2); rides in byte 7, which older
+     * peers send as 0 — exactly Tier::Raw. Values above
+     * host::kMaxTierValue reject with BadHello.
+     */
+    host::Tier tier = host::Tier::Raw;
 
     /** Serialise to the fixed kClientHelloSize bytes. */
     std::vector<std::uint8_t> encode() const;
@@ -141,6 +167,12 @@ struct ServerHello
      * byte decodes as minor 0.
      */
     std::uint8_t minor = kProtocolMinor;
+    /**
+     * Granted stream tier (v1.2), appended after the minor byte in
+     * the payload; absent from pre-v1.2 servers and then decoded as
+     * Tier::Raw.
+     */
+    host::Tier tier = host::Tier::Raw;
     HelloStatus status = HelloStatus::Ok;
     /** Sample rate of the streamed records (Hz). */
     double sampleRateHz = 0.0;
@@ -176,6 +208,25 @@ struct ServerHello
 void encodeRecord(std::vector<std::uint8_t> &out,
                   const host::DumpRecord &record);
 
+/**
+ * Append one aggregate bucket to a batch payload (v1.2):
+ * "'A' tier presentMask f64-start f64-min f64-max f64-sumPower
+ *  u32-samples { f32-sumVolt f32-sumAmp } per present pair".
+ *
+ * Shedding bandwidth is the tier's whole purpose, so the record
+ * omits what the subscriber can derive: endTime is startTime plus
+ * the tier period (a partial flush keeps the nominal window end),
+ * and energyJoules is exactly sumPower / sample-rate (both sides
+ * accumulate power * nominal-dt per sample). The decoder
+ * reconstructs endTime from the tier; energy needs the handshake's
+ * sample rate, so it leaves energyJoules at 0 for the caller
+ * (NetPowerSensor::onBucket) to fill in. Pair V/I sums travel as
+ * f32 — they only reconstruct mean operating points. An 'A' record
+ * advances the stream sequence space by `bucket.samples`.
+ */
+void encodeBucket(std::vector<std::uint8_t> &out, host::Tier tier,
+                  const host::HistoryBucket &bucket);
+
 /** Append a u64 little-endian (batch seq header, heartbeat). */
 void appendU64(std::vector<std::uint8_t> &out, std::uint64_t v);
 
@@ -195,7 +246,9 @@ std::vector<std::uint8_t> encodeHeartbeat(std::uint64_t next_seq);
  * feed() consumes one batch payload and invokes the callback per
  * decoded record; a marker prefix is folded into the record that
  * follows it (matching how the encoder emits them), surviving batch
- * boundaries. Malformed input raises DeviceError.
+ * boundaries. 'A' aggregate records (v1.2) fire the bucket callback;
+ * feeding one without a bucket callback is a protocol violation.
+ * Malformed input raises DeviceError.
  */
 class RecordDecoder
 {
@@ -204,12 +257,20 @@ class RecordDecoder
     using Callback = void (*)(void *context,
                               const host::DumpRecord &record);
 
-    /** Decode one payload, firing cb for every complete record. */
-    void feed(const std::uint8_t *data, std::size_t size,
-              void *context, Callback cb);
+    /** Callback invoked once per decoded aggregate bucket (v1.2). */
+    using BucketCallback = void (*)(void *context, host::Tier tier,
+                                    const host::HistoryBucket &bucket);
 
-    /** Records decoded so far. */
+    /** Decode one payload, firing the callbacks per record. */
+    void feed(const std::uint8_t *data, std::size_t size,
+              void *context, Callback cb,
+              BucketCallback bucket_cb = nullptr);
+
+    /** Raw records decoded so far. */
     std::uint64_t recordCount() const { return recordCount_; }
+
+    /** Aggregate buckets decoded so far. */
+    std::uint64_t bucketCount() const { return bucketCount_; }
 
   private:
     /** Marker seen, waiting for its sample record. */
@@ -217,6 +278,7 @@ class RecordDecoder
     char pendingMarkerChar_ = '\0';
     double pendingMarkerTime_ = 0.0;
     std::uint64_t recordCount_ = 0;
+    std::uint64_t bucketCount_ = 0;
 };
 
 } // namespace ps3::net

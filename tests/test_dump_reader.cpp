@@ -208,14 +208,87 @@ TEST(DumpGapRecords, MalformedGapLineThrows)
     std::filesystem::remove(path);
 }
 
-TEST(DumpFileErrors, EmptyFileIsValid)
+// Edge cases the windowed query API (host/history.hpp) hits when
+// pointed at an arbitrary path: every degenerate input must produce
+// a clean UsageError, never a crash or a silently partial parse.
+
+TEST(DumpFileErrors, EmptyFileIsACleanError)
 {
-    const std::string path = "/tmp/ps3_dump_empty.txt";
+    const std::string path = "/tmp/ps3_dump_empty_"
+                             + std::to_string(::getpid()) + ".txt";
     { std::ofstream out(path); }
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+    std::filesystem::remove(path);
+}
+
+TEST(DumpFileErrors, HeaderOnlyBinaryDumpIsACleanError)
+{
+    // The 8-byte binary prefix announces an embedded header longer
+    // than the file: the classic "writer died mid-header" artefact.
+    const std::string path = "/tmp/ps3_dump_hdr_"
+                             + std::to_string(::getpid()) + ".ps3b";
+    {
+        std::ofstream out(path, std::ios::binary);
+        const char prefix[8] = {'P', 'S', '3', 'B', 2, 0,
+                                static_cast<char>(0x40), 0};
+        out.write(prefix, sizeof(prefix));
+        out << "# sample_rate_hz 20000\n"; // < 0x40 bytes promised
+    }
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+
+    // Prefix alone (magic + version, nothing else) is also clean.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write("PS3B", 4);
+    }
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+    std::filesystem::remove(path);
+}
+
+TEST(DumpFileErrors, TruncatedBinaryRecordHasNoPartialTail)
+{
+    const std::string path = "/tmp/ps3_dump_trunc_"
+                             + std::to_string(::getpid()) + ".ps3b";
+    {
+        DumpWriter writer(path, "# truncation test\n");
+        for (int i = 0; i < 3; ++i) {
+            DumpRecord sample{};
+            sample.time = 1.0 + 0.5 * i;
+            sample.presentMask = 0x3;
+            sample.voltage[0] = 12.0;
+            sample.current[0] = 2.0;
+            sample.voltage[1] = 5.0;
+            sample.current[1] = 1.0;
+            writer.push(sample);
+        }
+    }
+    // Chop the file mid-record: the reader must refuse the whole
+    // file rather than return the records before the tear (a
+    // partial tail would silently skew windowed energy queries).
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 7);
+    EXPECT_THROW(DumpFile::load(path), UsageError);
+    std::filesystem::remove(path);
+}
+
+TEST(DumpGapRecords, GapFreeDumpHasNoGaps)
+{
+    const std::string path = "/tmp/ps3_dump_nogap_"
+                             + std::to_string(::getpid()) + ".ps3b";
+    {
+        DumpWriter writer(path, "# gap-free\n");
+        for (int i = 0; i < 10; ++i) {
+            DumpRecord sample{};
+            sample.time = 50e-6 * i;
+            sample.presentMask = 0x1;
+            sample.voltage[0] = 12.0;
+            sample.current[0] = 2.0;
+            writer.push(sample);
+        }
+    }
     const auto file = DumpFile::load(path);
-    EXPECT_TRUE(file.samples().empty());
-    EXPECT_TRUE(file.markers().empty());
-    EXPECT_DOUBLE_EQ(file.energy(0.0, 1.0), 0.0);
+    EXPECT_EQ(file.samples().size(), 10u);
+    EXPECT_TRUE(file.gaps().empty());
     std::filesystem::remove(path);
 }
 

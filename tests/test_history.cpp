@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Multi-resolution history tests: bucket fold/merge semantics, tier
+ * accumulator alignment, the cascaded History (1 kHz -> 10 Hz ->
+ * 1 Hz exactness, rollover, windowed queries), client-side
+ * addBucket() feeding, and the offline dump-file query engine
+ * (windowFromDump / bucketsFromDump). The transient-preservation
+ * property — every raw sample's power bounded by its covering
+ * bucket's [min, max] — is asserted at each layer; it is the whole
+ * point of shipping min/max instead of plain averages
+ * (docs/HISTORY.md).
+ */
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "host/dump_reader.hpp"
+#include "host/dump_writer.hpp"
+#include "host/history.hpp"
+
+namespace ps3::host {
+namespace {
+
+constexpr double kRate = 20000.0; // nominal raw rate (Hz)
+constexpr double kDt = 1.0 / kRate;
+
+/** A one-pair sample at `time` drawing `watts` at 12 V. */
+Sample
+sampleAt(double time, double watts)
+{
+    Sample sample;
+    sample.time = time;
+    sample.present[0] = true;
+    sample.voltage[0] = 12.0;
+    sample.current[0] = watts / 12.0;
+    return sample;
+}
+
+/** Feed `count` samples from `start` at kRate into `history`. */
+void
+feed(History &history, double start, std::size_t count,
+     double watts, double spike_every = 0.0, double spike_watts = 0.0)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const double t = start + kDt * static_cast<double>(i);
+        double w = watts;
+        if (spike_every > 0.0
+            && std::fmod(static_cast<double>(i), spike_every) == 0.0)
+            w = spike_watts;
+        history.addSample(sampleAt(t, w));
+    }
+}
+
+// ----- tier helpers ------------------------------------------------------
+
+TEST(HistoryTier, PeriodsAndNames)
+{
+    EXPECT_DOUBLE_EQ(tierPeriodSeconds(Tier::Raw), 0.0);
+    EXPECT_DOUBLE_EQ(tierPeriodSeconds(Tier::Hz1000), 1e-3);
+    EXPECT_DOUBLE_EQ(tierPeriodSeconds(Tier::Hz10), 0.1);
+    EXPECT_DOUBLE_EQ(tierPeriodSeconds(Tier::Hz1), 1.0);
+    EXPECT_EQ(tierName(Tier::Raw), "raw");
+    EXPECT_EQ(tierName(Tier::Hz1000), "1kHz");
+    EXPECT_EQ(tierName(Tier::Hz10), "10Hz");
+    EXPECT_EQ(tierName(Tier::Hz1), "1Hz");
+}
+
+TEST(HistoryTier, ParsesNamesCaseInsensitively)
+{
+    EXPECT_EQ(tierFromString("raw"), Tier::Raw);
+    EXPECT_EQ(tierFromString("20kHz"), Tier::Raw);
+    EXPECT_EQ(tierFromString("1kHz"), Tier::Hz1000);
+    EXPECT_EQ(tierFromString("1KHZ"), Tier::Hz1000);
+    EXPECT_EQ(tierFromString("1000"), Tier::Hz1000);
+    EXPECT_EQ(tierFromString("10hz"), Tier::Hz10);
+    EXPECT_EQ(tierFromString("1hz"), Tier::Hz1);
+    EXPECT_FALSE(tierFromString("2khz").has_value());
+    EXPECT_FALSE(tierFromString("").has_value());
+}
+
+// ----- HistoryBucket -----------------------------------------------------
+
+TEST(HistoryBucket, FoldTracksExtremesMeanAndEnergy)
+{
+    HistoryBucket bucket;
+    std::array<double, kMaxPairs> voltage{};
+    std::array<double, kMaxPairs> current{};
+    voltage[0] = 12.0;
+    for (const double amps : {1.0, 4.0, 2.0}) {
+        current[0] = amps;
+        bucket.fold(0x01, voltage, current, kDt);
+    }
+    EXPECT_EQ(bucket.samples, 3u);
+    EXPECT_EQ(bucket.presentMask, 0x01);
+    EXPECT_DOUBLE_EQ(bucket.minPower, 12.0);
+    EXPECT_DOUBLE_EQ(bucket.maxPower, 48.0);
+    EXPECT_DOUBLE_EQ(bucket.meanPower(), 28.0);
+    EXPECT_DOUBLE_EQ(bucket.energyJoules, 84.0 * kDt);
+    EXPECT_DOUBLE_EQ(bucket.meanVoltage(0), 12.0);
+    EXPECT_NEAR(bucket.meanCurrent(0), 7.0 / 3.0, 1e-12);
+}
+
+TEST(HistoryBucket, MergeMatchesFoldingTheUnion)
+{
+    std::array<double, kMaxPairs> voltage{};
+    std::array<double, kMaxPairs> current{};
+    voltage[0] = 12.0;
+    voltage[1] = 5.0;
+
+    HistoryBucket all, left, right;
+    int i = 0;
+    for (const double amps : {1.0, 2.0, 3.0, 4.0}) {
+        current[0] = amps;
+        current[1] = 0.5 * amps;
+        all.fold(0x03, voltage, current, kDt);
+        (i++ < 2 ? left : right).fold(0x03, voltage, current, kDt);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.samples, all.samples);
+    EXPECT_DOUBLE_EQ(left.minPower, all.minPower);
+    EXPECT_DOUBLE_EQ(left.maxPower, all.maxPower);
+    EXPECT_DOUBLE_EQ(left.sumPower, all.sumPower);
+    EXPECT_DOUBLE_EQ(left.energyJoules, all.energyJoules);
+    EXPECT_DOUBLE_EQ(left.sumVoltage[1], all.sumVoltage[1]);
+    EXPECT_DOUBLE_EQ(left.sumCurrent[1], all.sumCurrent[1]);
+
+    // Merging into an empty bucket adopts the payload but keeps the
+    // receiver's window bounds (the cascade's aligned parent).
+    HistoryBucket parent;
+    parent.startTime = 0.0;
+    parent.endTime = 0.1;
+    parent.merge(all);
+    EXPECT_EQ(parent.samples, all.samples);
+    EXPECT_DOUBLE_EQ(parent.startTime, 0.0);
+    EXPECT_DOUBLE_EQ(parent.endTime, 0.1);
+}
+
+// ----- TierAccumulator ---------------------------------------------------
+
+TEST(TierAccumulator, RejectsRawTierAndBadRate)
+{
+    EXPECT_THROW(TierAccumulator(Tier::Raw, kRate), UsageError);
+    EXPECT_THROW(TierAccumulator(Tier::Hz1000, 0.0), UsageError);
+    EXPECT_THROW(TierAccumulator(Tier::Hz1000, -5.0), UsageError);
+}
+
+TEST(TierAccumulator, ClosesAlignedBucketsAtBoundaries)
+{
+    TierAccumulator accumulator(Tier::Hz1000, kRate);
+    std::array<double, kMaxPairs> voltage{};
+    std::array<double, kMaxPairs> current{};
+    voltage[0] = 12.0;
+    current[0] = 1.0;
+
+    HistoryBucket closed;
+    std::vector<HistoryBucket> out;
+    // 40 samples at 20 kHz starting mid-bucket: crosses two 1 ms
+    // boundaries.
+    for (int i = 0; i < 40; ++i) {
+        const double t = 0.0105 + kDt * i; // starts inside [10, 11) ms
+        if (accumulator.fold(t, 0x01, voltage, current, closed))
+            out.push_back(closed);
+    }
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0].startTime, 0.010);
+    EXPECT_DOUBLE_EQ(out[0].endTime, 0.011);
+    EXPECT_EQ(out[0].samples, 10u); // the half bucket it started in
+    EXPECT_DOUBLE_EQ(out[1].startTime, 0.011);
+    EXPECT_EQ(out[1].samples, 20u); // one full 1 ms bucket
+    EXPECT_EQ(accumulator.openSamples(), 10u);
+
+    // flush() hands out the partial tail exactly once.
+    ASSERT_TRUE(accumulator.flush(closed));
+    EXPECT_EQ(closed.samples, 10u);
+    EXPECT_FALSE(accumulator.flush(closed));
+    EXPECT_EQ(accumulator.openSamples(), 0u);
+}
+
+// ----- History cascade ---------------------------------------------------
+
+TEST(History, RejectsBadRateAndRawQueries)
+{
+    EXPECT_THROW(History(-1.0), UsageError);
+    History history(kRate);
+    EXPECT_THROW(history.buckets(Tier::Raw, 0.0, 1.0), UsageError);
+    EXPECT_THROW(history.window(Tier::Raw, 0.0, 1.0), UsageError);
+    EXPECT_THROW(history.addBucket(Tier::Raw, HistoryBucket{}),
+                 UsageError);
+}
+
+TEST(History, CascadeIsExactAcrossTiers)
+{
+    History history(kRate);
+    // 2.5 s of stream with a spike every 977 samples: the 1 Hz tier
+    // closes two buckets, each the exact merge of its children.
+    feed(history, 0.0, 50000, 24.0, 977.0, 180.0);
+    EXPECT_EQ(history.samplesSeen(), 50000u);
+
+    const double inf = std::numeric_limits<double>::infinity();
+    const auto fine = history.buckets(Tier::Hz1000, -inf, inf);
+    const auto mid = history.buckets(Tier::Hz10, -inf, inf);
+    const auto coarse = history.buckets(Tier::Hz1, -inf, inf);
+    ASSERT_FALSE(fine.empty());
+    ASSERT_FALSE(mid.empty());
+    ASSERT_FALSE(coarse.empty());
+
+    // Every tier accounts for every sample (closed + open buckets).
+    for (const auto *tier_buckets : {&fine, &mid, &coarse}) {
+        std::uint64_t samples = 0;
+        for (const auto &bucket : *tier_buckets)
+            samples += bucket.samples;
+        EXPECT_EQ(samples, 50000u);
+    }
+
+    // A coarse bucket equals the merge of the fine buckets it spans.
+    const auto &parent = coarse.front();
+    HistoryBucket rebuilt;
+    rebuilt.startTime = parent.startTime;
+    rebuilt.endTime = parent.endTime;
+    for (const auto &child : mid) {
+        if (child.startTime >= parent.startTime
+            && child.startTime < parent.endTime)
+            rebuilt.merge(child);
+    }
+    EXPECT_EQ(rebuilt.samples, parent.samples);
+    EXPECT_DOUBLE_EQ(rebuilt.minPower, parent.minPower);
+    EXPECT_DOUBLE_EQ(rebuilt.maxPower, parent.maxPower);
+    EXPECT_DOUBLE_EQ(rebuilt.sumPower, parent.sumPower);
+    EXPECT_DOUBLE_EQ(rebuilt.energyJoules, parent.energyJoules);
+
+    // Transient preservation: the spikes survive into every tier's
+    // max even though they are invisible in the mean.
+    EXPECT_DOUBLE_EQ(coarse.front().maxPower, 180.0);
+    EXPECT_DOUBLE_EQ(mid.front().maxPower, 180.0);
+    EXPECT_LT(coarse.front().meanPower(), 25.0);
+
+    // Energy across tiers is identical (each sample counted once
+    // with the same nominal dt).
+    double fine_energy = 0.0, coarse_energy = 0.0;
+    for (const auto &bucket : fine)
+        fine_energy += bucket.energyJoules;
+    for (const auto &bucket : coarse)
+        coarse_energy += bucket.energyJoules;
+    EXPECT_NEAR(fine_energy, coarse_energy, 1e-9);
+    EXPECT_NEAR(fine_energy, history.window(Tier::Hz1, -inf, inf)
+                                 .energyJoules,
+                1e-9);
+}
+
+TEST(History, WindowQueryAggregatesOnlyIntersectingBuckets)
+{
+    History history(kRate);
+    feed(history, 0.0, 40000, 12.0); // 2 s at 12 W
+    // Query exactly the second half at the 10 Hz tier.
+    const auto stats = history.window(Tier::Hz10, 1.0, 2.0);
+    EXPECT_EQ(stats.buckets, 10u);
+    EXPECT_EQ(stats.samples, 20000u);
+    EXPECT_NEAR(stats.energyJoules, 12.0, 1e-9);
+    EXPECT_DOUBLE_EQ(stats.meanPower, 12.0);
+    EXPECT_DOUBLE_EQ(stats.minPower, 12.0);
+    EXPECT_DOUBLE_EQ(stats.maxPower, 12.0);
+    EXPECT_NEAR(stats.coverageSeconds, 1.0, 1e-9);
+
+    // An empty window reports zero cleanly.
+    const auto none = history.window(Tier::Hz10, 50.0, 60.0);
+    EXPECT_EQ(none.samples, 0u);
+    EXPECT_DOUBLE_EQ(none.meanPower, 0.0);
+    EXPECT_DOUBLE_EQ(none.energyJoules, 0.0);
+}
+
+TEST(History, RolloverEvictsOldestButKeepsCoarseSummary)
+{
+    History::Options options;
+    options.capacityHz1000 = 16; // 16 ms of fine history
+    options.capacityHz10 = 1024;
+    options.capacityHz1 = 256;
+    History history(kRate, options);
+    feed(history, 0.0, 20000, 10.0); // 1 s
+
+    const double inf = std::numeric_limits<double>::infinity();
+    const auto fine = history.buckets(Tier::Hz1000, -inf, inf);
+    // 16 closed retained + the open bucket.
+    EXPECT_LE(fine.size(), 17u);
+    EXPECT_GT(history.bucketsClosed(Tier::Hz1000), 900u);
+    // The fine ring forgot the start of the stream...
+    EXPECT_GT(fine.front().startTime, 0.9);
+    // ...but the coarser tiers still summarise all of it.
+    std::uint64_t coarse_samples = 0;
+    for (const auto &bucket : history.buckets(Tier::Hz10, -inf, inf))
+        coarse_samples += bucket.samples;
+    EXPECT_EQ(coarse_samples, 20000u);
+}
+
+TEST(History, AddBucketFeedsOwnTierAndCascadesUpward)
+{
+    // A network client subscribed at 1 kHz: buckets arrive already
+    // aggregated and must land in the 1 kHz ring and cascade to
+    // 10 Hz / 1 Hz, with finer resolution simply absent.
+    History history(kRate);
+    TierAccumulator accumulator(Tier::Hz1000, kRate);
+    std::array<double, kMaxPairs> voltage{};
+    std::array<double, kMaxPairs> current{};
+    voltage[0] = 12.0;
+
+    HistoryBucket closed;
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> amps(0.5, 4.0);
+    for (int i = 0; i < 6000; ++i) { // 300 ms
+        current[0] = amps(rng);
+        if (accumulator.fold(kDt * i, 0x01, voltage, current,
+                             closed))
+            history.addBucket(Tier::Hz1000, closed);
+    }
+    EXPECT_GT(history.samplesSeen(), 5000u);
+
+    const double inf = std::numeric_limits<double>::infinity();
+    const auto fine = history.buckets(Tier::Hz1000, -inf, inf);
+    const auto mid = history.buckets(Tier::Hz10, -inf, inf);
+    ASSERT_FALSE(fine.empty());
+    ASSERT_FALSE(mid.empty());
+    // The 10 Hz parent of the first 100 fine buckets preserves their
+    // extremes exactly.
+    double min_power = fine[0].minPower, max_power = fine[0].maxPower;
+    for (const auto &bucket : fine) {
+        if (bucket.startTime >= mid.front().endTime)
+            break;
+        min_power = std::min(min_power, bucket.minPower);
+        max_power = std::max(max_power, bucket.maxPower);
+    }
+    EXPECT_DOUBLE_EQ(mid.front().minPower, min_power);
+    EXPECT_DOUBLE_EQ(mid.front().maxPower, max_power);
+}
+
+TEST(History, ConcurrentQueriesDuringFeeding)
+{
+    // The producer folds while two threads query: exercises the
+    // mutex under TSan (tsan-check) and asserts nothing torn leaks
+    // out (every observed window is internally consistent).
+    History history(kRate);
+    std::atomic<bool> stop{false};
+    std::thread producer([&] {
+        for (int i = 0; i < 100000 && !stop.load(); ++i)
+            history.addSample(sampleAt(kDt * i, 24.0));
+        stop.store(true);
+    });
+    const double inf = std::numeric_limits<double>::infinity();
+    for (int readers = 0; readers < 2000; ++readers) {
+        const auto stats = history.window(Tier::Hz1000, -inf, inf);
+        if (stats.samples > 0) {
+            EXPECT_DOUBLE_EQ(stats.minPower, 24.0);
+            EXPECT_DOUBLE_EQ(stats.maxPower, 24.0);
+            EXPECT_NEAR(stats.energyJoules,
+                        24.0 * kDt
+                            * static_cast<double>(stats.samples),
+                        1e-6);
+        }
+    }
+    stop.store(true);
+    producer.join();
+}
+
+// ----- transient preservation (the acceptance property) ------------------
+
+TEST(History, BucketsBoundEveryRawSample)
+{
+    // A noisy load with rare extreme spikes; every raw sample's
+    // power must lie within [minPower, maxPower] of the bucket
+    // covering its timestamp, at every tier.
+    History history(kRate);
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<double> noise(20.0, 30.0);
+    std::vector<Sample> raw;
+    for (int i = 0; i < 30000; ++i) { // 1.5 s
+        double watts = noise(rng);
+        if (i % 4999 == 0)
+            watts = 250.0; // a 50 µs transient
+        raw.push_back(sampleAt(kDt * i, watts));
+        history.addSample(raw.back());
+    }
+
+    const double inf = std::numeric_limits<double>::infinity();
+    for (const auto tier : {Tier::Hz1000, Tier::Hz10, Tier::Hz1}) {
+        const auto buckets = history.buckets(tier, -inf, inf);
+        ASSERT_FALSE(buckets.empty());
+        // A boundary sample may fold into either neighbouring
+        // bucket under FP alignment; the property is that at least
+        // one bucket covering (a slightly widened window around)
+        // its timestamp bounds its power.
+        std::size_t covered = 0;
+        for (const auto &sample : raw) {
+            const double power = sample.totalPower();
+            bool bounded = false;
+            for (const auto &bucket : buckets) {
+                if (sample.time < bucket.startTime - 1e-9
+                    || sample.time >= bucket.endTime + 1e-9)
+                    continue;
+                if (power >= bucket.minPower - 1e-9
+                    && power <= bucket.maxPower + 1e-9) {
+                    bounded = true;
+                    break;
+                }
+            }
+            if (bounded)
+                ++covered;
+            EXPECT_TRUE(bounded)
+                << "sample at t=" << sample.time << " power "
+                << power << " unbounded at " << tierName(tier);
+        }
+        EXPECT_EQ(covered, raw.size());
+        // And the spike is visible at this tier's max.
+        double max_power = 0.0;
+        for (const auto &bucket : buckets)
+            max_power = std::max(max_power, bucket.maxPower);
+        EXPECT_DOUBLE_EQ(max_power, 250.0);
+    }
+}
+
+// ----- dump-file queries -------------------------------------------------
+
+class DumpQuery : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = "/tmp/ps3_history_dump_"
+                + std::to_string(static_cast<long>(::getpid()))
+                + ".ps3b";
+        std::filesystem::remove(path_);
+        DumpWriter writer(path_,
+                          "# sample_rate_hz 20000\n# test dump\n");
+        for (int i = 0; i < 20000; ++i) { // 1 s
+            DumpRecord record{};
+            record.time = kDt * i;
+            record.presentMask = 0x1;
+            record.voltage[0] = 12.0;
+            // 2 A baseline, 20 A spike once per 6000 samples. The
+            // spike offset keeps it off exact bucket boundaries,
+            // where FP alignment may place it in either neighbour.
+            record.current[0] = i % 6000 == 100 ? 20.0 : 2.0;
+            writer.push(record);
+        }
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    std::string path_;
+};
+
+TEST_F(DumpQuery, WindowFromDumpIntegratesTheWindowOnly)
+{
+    const auto file = DumpFile::load(path_);
+    const auto full = windowFromDump(
+        file, -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity());
+    EXPECT_EQ(full.samples, 20000u);
+    // ~24 W for 1 s with four one-sample 240 W spikes.
+    EXPECT_NEAR(full.energyJoules, 24.0, 0.2);
+    EXPECT_DOUBLE_EQ(full.maxPower, 240.0);
+    EXPECT_DOUBLE_EQ(full.minPower, 24.0);
+
+    const auto half = windowFromDump(file, 0.25, 0.75);
+    EXPECT_EQ(half.samples, 10000u);
+    EXPECT_NEAR(half.coverageSeconds, 0.5, 1e-6);
+    EXPECT_NEAR(half.energyJoules, 12.1, 0.3);
+
+    const auto none = windowFromDump(file, 10.0, 11.0);
+    EXPECT_EQ(none.samples, 0u);
+    EXPECT_DOUBLE_EQ(none.energyJoules, 0.0);
+}
+
+TEST_F(DumpQuery, BucketsFromDumpMatchLiveAggregation)
+{
+    const auto file = DumpFile::load(path_);
+    const auto buckets = bucketsFromDump(file, Tier::Hz10);
+    ASSERT_EQ(buckets.size(), 10u);
+    std::uint64_t samples = 0;
+    double energy = 0.0;
+    for (const auto &bucket : buckets) {
+        samples += bucket.samples;
+        energy += bucket.energyJoules;
+    }
+    EXPECT_EQ(samples, 20000u);
+    EXPECT_NEAR(energy, 24.0, 0.2);
+    // Spikes at i = 100, 6100, 12100, 18100 land in buckets 0, 3,
+    // 6 and 9; the others stay at the 24 W baseline.
+    EXPECT_DOUBLE_EQ(buckets[0].maxPower, 240.0);
+    EXPECT_DOUBLE_EQ(buckets[3].maxPower, 240.0);
+    EXPECT_DOUBLE_EQ(buckets[6].maxPower, 240.0);
+    EXPECT_DOUBLE_EQ(buckets[9].maxPower, 240.0);
+    EXPECT_DOUBLE_EQ(buckets[1].maxPower, 24.0);
+
+    // Raw-sample bounding holds for the offline path too. Boundary
+    // samples may belong to either neighbouring bucket under FP
+    // alignment, so accept any bucket whose (slightly widened)
+    // window contains the timestamp and whose min/max bound the
+    // sample.
+    for (const auto &sample : file.samples()) {
+        bool bounded = false;
+        for (const auto &bucket : buckets) {
+            if (sample.time < bucket.startTime - 1e-9
+                || sample.time >= bucket.endTime + 1e-9)
+                continue;
+            if (sample.totalPower >= bucket.minPower - 1e-9
+                && sample.totalPower <= bucket.maxPower + 1e-9) {
+                bounded = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(bounded)
+            << "sample at t=" << sample.time << " unbounded";
+    }
+
+    EXPECT_THROW(bucketsFromDump(file, Tier::Raw), UsageError);
+}
+
+TEST(DumpQueryErrors, HeaderlessSingleSampleDumpCannotBucket)
+{
+    const std::string path =
+        "/tmp/ps3_history_headerless_"
+        + std::to_string(static_cast<long>(::getpid())) + ".txt";
+    {
+        std::ofstream out(path);
+        out << "S 1.0 12.0 2.0 24.0 24.0\n";
+    }
+    const auto file = DumpFile::load(path);
+    EXPECT_EQ(file.sampleRateHz(), 0.0);
+    // No header rate and fewer than two samples: clean error.
+    EXPECT_THROW(bucketsFromDump(file, Tier::Hz1000), UsageError);
+    // windowFromDump still works — it has no dt to infer for the
+    // first sample, so it contributes zero energy.
+    const auto stats = windowFromDump(
+        file, -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity());
+    EXPECT_EQ(stats.samples, 1u);
+    EXPECT_DOUBLE_EQ(stats.maxPower, 24.0);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace ps3::host

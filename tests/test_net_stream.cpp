@@ -582,14 +582,25 @@ TEST(NetWire, ServerHelloMinorTrailsPayloadAndDefaultsToZero)
     decoded.decodePayload(bytes.data() + net::kServerHelloPrefixSize,
                           payload_len);
     EXPECT_EQ(decoded.minor, net::kProtocolMinor);
+    EXPECT_EQ(decoded.tier, host::Tier::Raw);
 
     // A v1.0 server's payload simply ends after the config blob; the
-    // missing trailing byte must decode as minor 0.
+    // missing trailing bytes (minor, then tier) must decode as
+    // minor 0 / Tier::Raw.
     net::ServerHello old;
     old.decodePayload(bytes.data() + net::kServerHelloPrefixSize,
-                      payload_len - 1);
+                      payload_len - 2);
     EXPECT_EQ(old.minor, 0);
+    EXPECT_EQ(old.tier, host::Tier::Raw);
     EXPECT_EQ(old.firmwareVersion, "fw-minor");
+
+    // A v1.1 server's payload ends after the minor byte (no tier
+    // grant): the absent tier byte decodes as Raw.
+    net::ServerHello middle;
+    middle.decodePayload(bytes.data() + net::kServerHelloPrefixSize,
+                         payload_len - 1);
+    EXPECT_EQ(middle.minor, net::kProtocolMinor);
+    EXPECT_EQ(middle.tier, host::Tier::Raw);
 }
 
 TEST(NetWire, HeartbeatFrameRoundTrip)
@@ -633,7 +644,8 @@ class RawServer
         return listener_.boundEndpoint();
     }
 
-    /** Accept + handshake (run while the client ctor blocks). */
+    /** Accept + handshake (run while the client ctor blocks). A
+     *  v1.2 raw server grants whatever tier the client asked for. */
     void
     acceptAndHandshake()
     {
@@ -644,13 +656,26 @@ class RawServer
         std::size_t got = 0;
         while (got < sizeof(hello) && !conn_->closed())
             got += conn_->read(hello + got, sizeof(hello) - got, 0.1);
+        net::HelloStatus status = net::HelloStatus::Ok;
+        const auto decoded =
+            net::ClientHello::decode(hello, sizeof(hello), status);
+        if (minor_ >= 2 && decoded)
+            granted_ = decoded->tier;
         net::ServerHello reply;
         reply.minor = minor_;
+        reply.tier = granted_;
         reply.sampleRateHz = firmware::kSampleRateHz;
         reply.firmwareVersion = "raw-test";
         reply.config = testConfig();
         const auto bytes = reply.encode();
         conn_->write(bytes.data(), bytes.size());
+    }
+
+    /** Tier granted at the handshake (Raw below v1.2). */
+    host::Tier
+    grantedTier() const
+    {
+        return granted_;
     }
 
     void
@@ -681,6 +706,27 @@ class RawServer
         conn_->write(payload.data(), payload.size());
     }
 
+    /** One batch of aggregate bucket records (v1.2). */
+    void
+    sendBucketBatch(std::uint64_t first_seq, host::Tier tier,
+                    const std::vector<host::HistoryBucket> &buckets)
+    {
+        std::vector<std::uint8_t> payload;
+        if (minor_ >= 1)
+            net::appendU64(payload, first_seq);
+        for (const auto &bucket : buckets)
+            net::encodeBucket(payload, tier, bucket);
+        const auto length =
+            static_cast<std::uint32_t>(payload.size());
+        std::uint8_t prefix[4] = {
+            static_cast<std::uint8_t>(length & 0xFF),
+            static_cast<std::uint8_t>((length >> 8) & 0xFF),
+            static_cast<std::uint8_t>((length >> 16) & 0xFF),
+            static_cast<std::uint8_t>((length >> 24) & 0xFF)};
+        conn_->write(prefix, sizeof(prefix));
+        conn_->write(payload.data(), payload.size());
+    }
+
     void
     sendEndOfStream()
     {
@@ -691,6 +737,7 @@ class RawServer
   private:
     transport::SocketListener listener_;
     const std::uint8_t minor_;
+    host::Tier granted_ = host::Tier::Raw;
     std::unique_ptr<transport::SocketDevice> conn_;
 };
 
@@ -948,6 +995,341 @@ TEST(NetReconnect, GracefulEndOfStreamDoesNotReconnect)
     EXPECT_EQ(client.reconnects(), 0u);
     EXPECT_EQ(client.recordsReceived(), 1u);
     EXPECT_EQ(client.gapRecords(), 0u);
+}
+
+// ----- v1.2 protocol: tier negotiation and aggregate streams -------------
+
+/** A recognisable aggregate bucket for codec and stream tests. */
+host::HistoryBucket
+testBucket(double start, double period, std::uint64_t samples,
+           double min_w, double max_w, double mean_w)
+{
+    host::HistoryBucket bucket;
+    bucket.startTime = start;
+    bucket.endTime = start + period;
+    bucket.minPower = min_w;
+    bucket.maxPower = max_w;
+    bucket.sumPower = mean_w * static_cast<double>(samples);
+    bucket.energyJoules = bucket.sumPower / firmware::kSampleRateHz;
+    bucket.samples = samples;
+    bucket.presentMask = 0x1;
+    bucket.sumVoltage[0] = 12.0 * static_cast<double>(samples);
+    bucket.sumCurrent[0] =
+        (mean_w / 12.0) * static_cast<double>(samples);
+    return bucket;
+}
+
+/** Collects raw records and aggregate buckets from one decoder. */
+struct StreamCollector
+{
+    std::vector<host::DumpRecord> records;
+    std::vector<std::pair<host::Tier, host::HistoryBucket>> buckets;
+
+    static void
+    onRecord(void *self, const host::DumpRecord &record)
+    {
+        static_cast<StreamCollector *>(self)->records.push_back(
+            record);
+    }
+
+    static void
+    onBucket(void *self, host::Tier tier,
+             const host::HistoryBucket &bucket)
+    {
+        static_cast<StreamCollector *>(self)->buckets.emplace_back(
+            tier, bucket);
+    }
+};
+
+TEST(NetWire, ClientHelloCarriesTierInByteSeven)
+{
+    net::ClientHello hello;
+    hello.tier = host::Tier::Hz10;
+    const auto bytes = hello.encode();
+    ASSERT_EQ(bytes.size(), net::kClientHelloSize);
+    EXPECT_EQ(bytes[7], 2); // Tier::Hz10 wire value
+
+    net::HelloStatus status = net::HelloStatus::Ok;
+    const auto decoded =
+        net::ClientHello::decode(bytes.data(), bytes.size(), status);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->tier, host::Tier::Hz10);
+
+    // Tier values beyond the cascade reject with BadHello.
+    auto bad = bytes;
+    bad[7] = host::kMaxTierValue + 1;
+    EXPECT_FALSE(
+        net::ClientHello::decode(bad.data(), bad.size(), status)
+            .has_value());
+    EXPECT_EQ(status, net::HelloStatus::BadHello);
+}
+
+TEST(NetWire, BucketRecordRoundTrip)
+{
+    // A marker record rides raw between aggregates; both bucket
+    // tiers and every summed field must survive the wire.
+    std::vector<std::uint8_t> payload;
+    net::encodeRecord(payload, testRecord(0.5, 0x01, true));
+    auto fine = testBucket(1.0, 0.001, 20, 22.0, 250.0, 24.0);
+    fine.presentMask = 0x3;
+    fine.sumVoltage[1] = 13.0 * 20;
+    fine.sumCurrent[1] = 0.5 * 20;
+    net::encodeBucket(payload, host::Tier::Hz1000, fine);
+    const auto coarse =
+        testBucket(0.0, 1.0, 20000, 20.0, 240.0, 24.0);
+    net::encodeBucket(payload, host::Tier::Hz1, coarse);
+
+    net::RecordDecoder decoder;
+    StreamCollector collector;
+    decoder.feed(payload.data(), payload.size(), &collector,
+                 StreamCollector::onRecord,
+                 StreamCollector::onBucket);
+    EXPECT_EQ(decoder.recordCount(), 1u);
+    EXPECT_EQ(decoder.bucketCount(), 2u);
+    ASSERT_EQ(collector.records.size(), 1u);
+    EXPECT_TRUE(collector.records[0].marker);
+    ASSERT_EQ(collector.buckets.size(), 2u);
+
+    EXPECT_EQ(collector.buckets[0].first, host::Tier::Hz1000);
+    const auto &decoded = collector.buckets[0].second;
+    EXPECT_DOUBLE_EQ(decoded.startTime, fine.startTime);
+    // endTime never travels: the decoder reconstructs it from the
+    // tier period. energyJoules needs the handshake sample rate, so
+    // the decoder leaves it for the subscriber to derive.
+    EXPECT_DOUBLE_EQ(decoded.endTime, fine.startTime + 0.001);
+    EXPECT_DOUBLE_EQ(decoded.energyJoules, 0.0);
+    EXPECT_DOUBLE_EQ(decoded.minPower, 22.0);
+    EXPECT_DOUBLE_EQ(decoded.maxPower, 250.0);
+    EXPECT_DOUBLE_EQ(decoded.sumPower, fine.sumPower);
+    EXPECT_EQ(decoded.samples, 20u);
+    EXPECT_EQ(decoded.presentMask, 0x3);
+    // Pair sums ride as f32 (these values are f32-exact).
+    EXPECT_DOUBLE_EQ(decoded.sumVoltage[0], fine.sumVoltage[0]);
+    EXPECT_DOUBLE_EQ(decoded.sumVoltage[1], fine.sumVoltage[1]);
+    EXPECT_DOUBLE_EQ(decoded.sumCurrent[0], fine.sumCurrent[0]);
+    EXPECT_DOUBLE_EQ(decoded.sumCurrent[1], fine.sumCurrent[1]);
+    EXPECT_DOUBLE_EQ(decoded.meanPower(), 24.0);
+
+    EXPECT_EQ(collector.buckets[1].first, host::Tier::Hz1);
+    EXPECT_EQ(collector.buckets[1].second.samples, 20000u);
+}
+
+TEST(NetWire, DecoderRejectsMalformedBucketRecords)
+{
+    StreamCollector collector;
+    const auto bucket =
+        testBucket(0.0, 0.1, 2000, 20.0, 30.0, 24.0);
+
+    // Truncated aggregate record.
+    std::vector<std::uint8_t> truncated;
+    net::encodeBucket(truncated, host::Tier::Hz10, bucket);
+    truncated.resize(truncated.size() - 5);
+    net::RecordDecoder decoder;
+    EXPECT_THROW(decoder.feed(truncated.data(), truncated.size(),
+                              &collector, StreamCollector::onRecord,
+                              StreamCollector::onBucket),
+                 DeviceError);
+
+    // Raw (0) and beyond-cascade tier bytes are invalid in 'A'.
+    for (const std::uint8_t bad :
+         {std::uint8_t{0},
+          std::uint8_t{host::kMaxTierValue + 1}}) {
+        std::vector<std::uint8_t> payload;
+        net::encodeBucket(payload, host::Tier::Hz10, bucket);
+        payload[1] = bad;
+        net::RecordDecoder tier_decoder;
+        EXPECT_THROW(
+            tier_decoder.feed(payload.data(), payload.size(),
+                              &collector, StreamCollector::onRecord,
+                              StreamCollector::onBucket),
+            DeviceError);
+    }
+
+    // An aggregate record on a raw stream (no bucket callback
+    // registered) is a protocol violation, not a silent drop.
+    std::vector<std::uint8_t> payload;
+    net::encodeBucket(payload, host::Tier::Hz1000, bucket);
+    net::RecordDecoder raw_decoder;
+    EXPECT_THROW(raw_decoder.feed(payload.data(), payload.size(),
+                                  &collector,
+                                  StreamCollector::onRecord,
+                                  nullptr),
+                 DeviceError);
+}
+
+TEST(NetTier, HandshakeGrantsTierAndBucketsAdvanceTheSeqSpace)
+{
+    RawServer raw(net::kProtocolMinor);
+    std::thread server([&] { raw.acceptAndHandshake(); });
+    net::NetPowerSensor::Options options;
+    options.autoReconnect = false;
+    options.tier = host::Tier::Hz1000;
+    net::NetPowerSensor client(raw.endpoint(), options);
+    server.join();
+    EXPECT_EQ(raw.grantedTier(), host::Tier::Hz1000);
+    EXPECT_EQ(client.tier(), host::Tier::Hz1000);
+
+    raw.sendHeartbeat(0);
+    raw.sendBucketBatch(
+        0, host::Tier::Hz1000,
+        {testBucket(0.0, 0.001, 20, 22.0, 250.0, 24.0),
+         testBucket(0.001, 0.001, 20, 22.0, 30.0, 24.0)});
+    ASSERT_TRUE(
+        spinUntil([&] { return client.bucketsReceived() == 2; }));
+    EXPECT_EQ(client.recordsReceived(), 0u);
+    EXPECT_EQ(client.gapEvents(), 0u);
+
+    // 'A' records advance the sequence space by their sample count:
+    // after 2 x 20 samples a heartbeat at 40 is gap-free, while one
+    // at 45 reveals a hole of exactly 5 records.
+    raw.sendHeartbeat(40);
+    raw.sendHeartbeat(45);
+    ASSERT_TRUE(spinUntil([&] { return client.gapEvents() == 1; }));
+    EXPECT_EQ(client.gapRecords(), 5u);
+
+    // The client's history carries the transient from bucket one.
+    const double inf = std::numeric_limits<double>::infinity();
+    const auto stats =
+        client.history()->window(host::Tier::Hz1000, -inf, inf);
+    EXPECT_EQ(stats.samples, 40u);
+    EXPECT_DOUBLE_EQ(stats.maxPower, 250.0);
+    EXPECT_DOUBLE_EQ(stats.minPower, 22.0);
+
+    raw.sendEndOfStream();
+    EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+}
+
+TEST(NetTier, PreV12ServersStreamRawAndRejectRenegotiation)
+{
+    // Against v1.0 and v1.1 servers a tier request is invisible
+    // (byte 7 is reserved there): the stream stays raw and a
+    // mid-stream renegotiation is a usage error.
+    for (const std::uint8_t minor :
+         {std::uint8_t{0}, std::uint8_t{1}}) {
+        RawServer raw(minor);
+        std::thread server([&] { raw.acceptAndHandshake(); });
+        net::NetPowerSensor::Options options;
+        options.autoReconnect = false;
+        options.tier = host::Tier::Hz1000;
+        net::NetPowerSensor client(raw.endpoint(), options);
+        server.join();
+        EXPECT_EQ(client.tier(), host::Tier::Raw);
+
+        raw.sendBatch(
+            0, {testRecord(1.0, 0x01), testRecord(2.0, 0x01)});
+        ASSERT_TRUE(spinUntil(
+            [&] { return client.recordsReceived() == 2; }));
+        EXPECT_EQ(client.bucketsReceived(), 0u);
+        EXPECT_THROW(client.requestTier(host::Tier::Hz10),
+                     UsageError);
+
+        raw.sendEndOfStream();
+        EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+    }
+}
+
+TEST(NetTier, LiveTieredStreamPreservesTransients)
+{
+    net::Ps3Server server(testConfig(), "fw-tier");
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    net::NetPowerSensor::Options options;
+    options.autoReconnect = false;
+    options.tier = host::Tier::Hz1000;
+    net::NetPowerSensor client(endpoint, options);
+    EXPECT_EQ(client.tier(), host::Tier::Hz1000);
+    ASSERT_TRUE(
+        spinUntil([&] { return server.subscriberCount() == 1; }));
+
+    // 2 A baseline on a 12 V rail (24 W), one 50 µs 20 A transient
+    // (240 W) and one marker mid-stream.
+    for (int i = 0; i < 2000; ++i) {
+        host::DumpRecord record{};
+        record.time = 50e-6 * static_cast<double>(i);
+        record.presentMask = 0x1;
+        record.voltage[0] = 12.0;
+        record.current[0] = i == 777 ? 20.0 : 2.0;
+        if (i == 1500) {
+            record.marker = true;
+            record.markerChar = 'Q';
+        }
+        server.publish(record);
+    }
+    server.stop(); // drain, flush the open bucket, EOS
+
+    EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+    EXPECT_EQ(client.gapEvents(), 0u);
+    // The marker rides raw between buckets; everything else folds.
+    EXPECT_EQ(client.recordsReceived(), 1u);
+    EXPECT_GE(client.bucketsReceived(), 100u);
+
+    // Transient preservation (the acceptance property): the 1 kHz
+    // subscriber still sees the one-sample 240 W spike in its
+    // bucket's max, and no sample was lost to aggregation.
+    const double inf = std::numeric_limits<double>::infinity();
+    const auto stats =
+        client.history()->window(host::Tier::Hz1000, -inf, inf);
+    // 1999 samples arrive folded in buckets; the marker record
+    // rides raw and folds into the client's history on arrival, so
+    // every published sample is accounted for.
+    EXPECT_EQ(stats.samples, 2000u);
+    EXPECT_DOUBLE_EQ(stats.maxPower, 240.0);
+    EXPECT_DOUBLE_EQ(stats.minPower, 24.0);
+    EXPECT_NEAR(stats.meanPower, 24.1, 0.2);
+}
+
+TEST(NetTier, MidStreamRenegotiationSwitchesBothWays)
+{
+    net::Ps3Server server(testConfig(), "fw-reneg");
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    net::NetPowerSensor::Options options;
+    options.autoReconnect = false;
+    net::NetPowerSensor client(endpoint, options); // raw stream
+    EXPECT_EQ(client.tier(), host::Tier::Raw);
+    ASSERT_TRUE(
+        spinUntil([&] { return server.subscriberCount() == 1; }));
+
+    int published = 0;
+    auto publishSome = [&](int count) {
+        for (int i = 0; i < count; ++i, ++published) {
+            host::DumpRecord record{};
+            record.time = 50e-6 * static_cast<double>(published);
+            record.presentMask = 0x1;
+            record.voltage[0] = 12.0;
+            record.current[0] = 2.0;
+            server.publish(record);
+        }
+    };
+
+    publishSome(50);
+    ASSERT_TRUE(
+        spinUntil([&] { return client.recordsReceived() == 50; }));
+    EXPECT_EQ(client.bucketsReceived(), 0u);
+
+    // Switch to 1 kHz aggregation; keep feeding until the first
+    // bucket lands (the request is polled on the sender thread).
+    client.requestTier(host::Tier::Hz1000);
+    ASSERT_TRUE(spinUntil([&] {
+        publishSome(20);
+        return client.bucketsReceived() > 0;
+    }));
+
+    // And back to raw: new records arrive as records again.
+    const auto raw_before = client.recordsReceived();
+    client.requestTier(host::Tier::Raw);
+    ASSERT_TRUE(spinUntil([&] {
+        publishSome(20);
+        return client.recordsReceived() > raw_before + 40;
+    }));
+
+    server.stop();
+    EXPECT_TRUE(spinUntil([&] { return client.deviceGone(); }));
+    // Renegotiation must not fake a hole: every record was either
+    // delivered raw or folded into a delivered bucket.
+    EXPECT_EQ(client.gapEvents(), 0u);
 }
 
 } // namespace

@@ -52,6 +52,7 @@ GATED = (
     "BM_DumpReaderLoad",
     "BM_NetFanout/real_time",
     "BM_NetEndToEnd/real_time",
+    "BM_NetTieredEgress/real_time",
 )
 
 

@@ -10,11 +10,16 @@ Checks (stdlib only, no external dependencies):
 
  1. every relative Markdown link in *.md resolves to an existing
     file (anchors and external http/https/mailto links are skipped);
- 2. every public header under src/obs and src/host carries a
+ 2. every inline code span that names a repo path (src/..., docs/...,
+    tools/..., tests/..., apps/..., bench/..., examples/...) points
+    at a file or directory that actually exists — stale `src/foo.cpp`
+    mentions are how prose drifts from the tree (globs, placeholders
+    and spans with spaces are skipped; a trailing :line is ignored);
+ 3. every public header under src/obs and src/host carries a
     file-level Doxygen comment (`/** ... @file`);
- 3. every class/struct declared in those headers is preceded by a
+ 4. every class/struct declared in those headers is preceded by a
     doc comment;
- 4. if doxygen is installed, the headers additionally must produce
+ 5. if doxygen is installed, the headers additionally must produce
     no documentation warnings (skipped silently otherwise, so the
     check works in minimal containers).
 
@@ -57,6 +62,38 @@ def check_markdown_links(root: Path):
             if not resolved.exists():
                 problems.append(
                     f"{md.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+PATH_PREFIXES = (
+    "src/", "apps/", "bench/", "docs/", "tools/", "tests/",
+    "examples/",
+)
+# Globs, shell fragments and placeholders are not literal paths.
+NON_LITERAL = set("*?<>{}$|= ,;()'\"")
+
+
+def check_path_spans(root: Path):
+    """Inline code spans naming repo paths that don't exist."""
+    problems = []
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        # Fenced blocks hold commands and example output, not claims
+        # about the tree.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in CODE_SPAN.finditer(text):
+            span = match.group(1).strip()
+            path_part = re.sub(r":\d+(?::\d+)?$", "", span)
+            if not path_part.startswith(PATH_PREFIXES):
+                continue
+            if any(ch in NON_LITERAL for ch in path_part):
+                continue
+            if not (root / path_part).exists():
+                problems.append(
+                    f"{md.relative_to(root)}: "
+                    f"path span names a missing file -> `{span}`"
                 )
     return problems
 
@@ -140,6 +177,7 @@ def main(argv):
     )
     problems = []
     problems += check_markdown_links(root)
+    problems += check_path_spans(root)
     problems += check_header_docs(root)
     problems += check_doxygen(root)
     if problems:
