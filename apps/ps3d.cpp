@@ -5,17 +5,22 @@
  * Owns one sensor (real hardware, or a simulated rig for testing)
  * and serves its live 20 kHz stream to any number of subscribers
  * over TCP and/or Unix-domain sockets (docs/PROTOCOL.md, "Network
- * wire protocol"). Tools on other machines — or other processes on
- * this one — attach with `--connect`:
+ * wire protocol") or shared memory (docs/SHMEM.md). Tools on other
+ * machines — or other processes on this one — attach with
+ * `--connect`:
  *
- *   ps3d -d /dev/ttyACM0 --listen tcp://0.0.0.0:9151
+ *   ps3d -d /dev/ttyACM0 --listen tcp://0.0.0.0:9151 \
+ *                        --listen shm:///run/ps3-shm.sock
  *   psrun --connect tcp://measurehost:9151 -- ./benchmark
+ *   psrun --connect shm:///run/ps3-shm.sock -- ./benchmark
  *
  * --listen may be repeated to serve several endpoints at once; the
- * default is tcp://127.0.0.1:9151. --duration bounds the runtime
- * (tests); otherwise the daemon runs until SIGINT/SIGTERM and shuts
- * down gracefully (subscribers get their queued tail plus an
- * end-of-stream frame).
+ * default is tcp://127.0.0.1:9151. An shm:// endpoint is a local
+ * Unix control socket whose subscribers map the daemon's broadcast
+ * ring and read it with zero steady-state syscalls. --duration
+ * bounds the runtime (tests); otherwise the daemon runs until
+ * SIGINT/SIGTERM and shuts down gracefully (subscribers get the
+ * stream's tail plus an end-of-stream frame).
  */
 
 #include <atomic>
@@ -50,7 +55,10 @@ try {
     auto context = tools::openTool(
         argc, argv, "ps3d",
         "  --listen URI    endpoint to serve (repeatable; default\n"
-        "                  tcp://127.0.0.1:9151)\n"
+        "                  tcp://127.0.0.1:9151). Schemes: tcp://\n"
+        "                  host:port, unix://path, shm://path\n"
+        "                  (local shared-memory stream, see\n"
+        "                  docs/SHMEM.md)\n"
         "  --duration S    exit after S seconds (default: run until\n"
         "                  SIGINT/SIGTERM)\n"
         "  serves the sensor stream to psrun/psinfo/... --connect\n");

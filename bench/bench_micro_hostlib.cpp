@@ -35,7 +35,12 @@
 #include "host/stream_parser.hpp"
 #include "net/net_power_sensor.hpp"
 #include "net/server.hpp"
+#include "net/shm_stream.hpp"
+#include "net/wire.hpp"
+#include "transport/broadcast_ring.hpp"
 #include "transport/pipe_device.hpp"
+#include "transport/shm_segment.hpp"
+#include "transport/socket_device.hpp"
 
 namespace {
 
@@ -464,15 +469,222 @@ BENCHMARK(BM_EndToEndPipelineDump)
     ->UseRealTime();
 
 /**
- * Network fan-out throughput: a publish-driven Ps3Server feeding 8
- * draining NetPowerSensor subscribers over a Unix socket. Scored in
- * aggregate delivered records/s; at 8 subscribers the server must
- * clear 160 k records/s to keep every client at the 20 kHz stream
- * rate — the gate (tools/bench_compare.py) keeps the headroom from
- * regressing.
+ * Raw broadcast-ring fan-out: one producer publishing pre-encoded
+ * StreamSlots, 8 reader threads draining through their own cursors —
+ * the transport layer below ps3d, no sockets, no handshake. The
+ * ceiling the server-level fan-out benches chase. Batches stay under
+ * the ring capacity with a drain barrier per iteration, so delivery
+ * is lossless and the aggregate rate counts every record 8 times.
+ */
+void
+BM_ShmFanout(benchmark::State &state)
+{
+    constexpr std::size_t kReaders = 8;
+    constexpr std::size_t kCapacity = 1u << 16;
+    constexpr std::uint64_t kBatch = 20000;
+
+    auto segment = transport::ShmSegment::create(
+        net::StreamRing::bytesRequired(kCapacity), "bench-ring");
+    auto *ring = net::StreamRing::create(segment.data(),
+                                         segment.size(), kCapacity);
+
+    std::atomic<bool> stop{false};
+    auto consumed =
+        std::make_unique<std::atomic<std::uint64_t>[]>(kReaders);
+    std::vector<std::unique_ptr<transport::BroadcastCursor>> cursors;
+    for (std::size_t i = 0; i < kReaders; ++i)
+        cursors.push_back(
+            std::make_unique<transport::BroadcastCursor>());
+
+    std::vector<std::thread> readers;
+    for (std::size_t i = 0; i < kReaders; ++i) {
+        readers.emplace_back([&, i] {
+            transport::BroadcastCursor &cursor = *cursors[i];
+            host::DumpRecord record;
+            while (!stop.load(std::memory_order_acquire)) {
+                const auto claim = cursor.claim(*ring, 256);
+                if (claim.count == 0) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                std::uint64_t delivered = 0;
+                for (std::size_t r = 0; r < claim.count; ++r)
+                    if (ring->readPrefix(claim.first + r, &record,
+                                         sizeof record)
+                        == transport::BroadcastRead::Ok)
+                        ++delivered;
+                benchmark::DoNotOptimize(record);
+                consumed[i].fetch_add(delivered,
+                                      std::memory_order_relaxed);
+            }
+        });
+    }
+
+    net::StreamSlot slot{};
+    slot.record.presentMask = 0x01;
+    slot.record.voltage[0] = 12.0;
+    slot.record.current[0] = 8.0;
+    slot.encodedLen = net::encodeRecordTo(slot.encoded, slot.record);
+
+    std::uint64_t published = 0;
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < kBatch; ++i) {
+            slot.record.time =
+                50e-6 * static_cast<double>(published++);
+            ring->publish(slot);
+        }
+        for (std::size_t i = 0; i < kReaders; ++i)
+            while (consumed[i].load(std::memory_order_relaxed)
+                   < published)
+                std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto &reader : readers)
+        reader.join();
+
+    state.counters["records_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations())
+            * static_cast<double>(kBatch * kReaders),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShmFanout)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/** Blocking exact read for the bench-side PS3N handshake. */
+void
+benchReadFully(transport::SocketDevice &socket, std::uint8_t *out,
+               std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n)
+        got += socket.read(out + got, n - got, 1.0);
+}
+
+/** Dial a shm:// endpoint: PS3N handshake + segment handover. */
+std::pair<std::unique_ptr<transport::SocketDevice>,
+          std::unique_ptr<net::ShmSubscriber>>
+connectShm(const transport::Endpoint &endpoint)
+{
+    auto socket = transport::SocketDevice::connect(endpoint, 5.0);
+    net::ClientHello hello;
+    hello.overflow = transport::RingOverflow::DropOldest;
+    const auto bytes = hello.encode();
+    socket->write(bytes.data(), bytes.size());
+    std::uint8_t prefix[net::kServerHelloPrefixSize];
+    benchReadFully(*socket, prefix, sizeof prefix);
+    net::ServerHello reply;
+    const std::size_t payload =
+        net::ServerHello::decodePrefix(prefix, sizeof prefix, reply);
+    std::vector<std::uint8_t> body(payload);
+    benchReadFully(*socket, body.data(), body.size());
+    reply.decodePayload(body.data(), body.size());
+    auto sub = net::ShmSubscriber::attach(*socket, 5.0);
+    return {std::move(socket), std::move(sub)};
+}
+
+/**
+ * ps3d fan-out over the shared-memory transport: a publish-driven
+ * Ps3Server with 8 shm:// subscribers, each draining records through
+ * its mapped ShmSubscriber — the daemon's whole data plane (encode
+ * once, ring publish, handover, zero-syscall polls) to the
+ * subscriber's record boundary. The full client-sensor stack on top
+ * of a stream is BM_NetEndToEnd; the socket egress path is
+ * BM_NetFanoutSockets. Batches stay under the ring capacity with a
+ * drain barrier per iteration, so delivery is lossless.
  */
 void
 BM_NetFanout(benchmark::State &state)
+{
+    constexpr std::size_t kSubscribers = 8;
+    constexpr std::uint64_t kBatch = 20000;
+
+    firmware::DeviceConfig config{};
+    config[0].inUse = true;
+    config[1].inUse = true;
+
+    net::Ps3Server::Options options;
+    options.queueCapacity = 1u << 16;
+    net::Ps3Server server(config, "bench", options);
+    const std::string path =
+        "/tmp/ps3_bench_fanout."
+        + std::to_string(static_cast<long>(::getpid())) + ".sock";
+    const auto endpoint =
+        server.listen(transport::Endpoint::parse("shm://" + path));
+
+    // The drain barrier tracks each reader's ring *position*, not a
+    // delivered count: a subscriber that attaches after the first
+    // publishes (or gets lapped) joins at a later sequence, so a
+    // count-based barrier could never be satisfied.
+    std::atomic<bool> stop{false};
+    auto progress =
+        std::make_unique<std::atomic<std::uint64_t>[]>(kSubscribers);
+    std::vector<std::thread> readers;
+    for (std::size_t i = 0; i < kSubscribers; ++i) {
+        readers.emplace_back([&, i] {
+            auto [socket, sub] = connectShm(endpoint);
+            host::DumpRecord record;
+            std::uint64_t seq = 0;
+            for (;;) {
+                switch (sub->poll(record, seq)) {
+                case net::ShmSubscriber::Poll::Record:
+                    progress[i].store(seq + 1,
+                                      std::memory_order_relaxed);
+                    break;
+                case net::ShmSubscriber::Poll::Empty:
+                    progress[i].store(sub->position(),
+                                      std::memory_order_relaxed);
+                    if (stop.load(std::memory_order_acquire))
+                        return;
+                    sub->backoff();
+                    break;
+                case net::ShmSubscriber::Poll::EndOfStream:
+                    return;
+                }
+            }
+        });
+    }
+    while (server.subscriberCount() < kSubscribers)
+        std::this_thread::yield();
+
+    host::DumpRecord record{};
+    record.presentMask = 0x01;
+    record.voltage[0] = 12.0;
+    record.current[0] = 8.0;
+
+    std::uint64_t published = 0;
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < kBatch; ++i) {
+            record.time = 50e-6 * static_cast<double>(published++);
+            server.publish(record);
+        }
+        for (std::size_t i = 0; i < kSubscribers; ++i)
+            while (progress[i].load(std::memory_order_relaxed)
+                   < published)
+                std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+    server.stop();
+    for (auto &reader : readers)
+        reader.join();
+
+    state.counters["records_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations())
+            * static_cast<double>(kBatch * kSubscribers),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetFanout)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/**
+ * Socket fan-out throughput: a publish-driven Ps3Server feeding 8
+ * draining NetPowerSensor subscribers over a Unix socket — the
+ * writev gather-egress path plus the full client decode. A single
+ * core moves ~2.5 GB/s through back-to-back Unix-socket sends, which
+ * bounds this bench far below BM_NetFanout's mapped-ring numbers; at
+ * 8 subscribers the server must still clear 160 k records/s to keep
+ * every client at the 20 kHz stream rate, and the gate
+ * (tools/bench_compare.py) keeps the headroom from regressing.
+ */
+void
+BM_NetFanoutSockets(benchmark::State &state)
 {
     constexpr std::size_t kSubscribers = 8;
     constexpr std::uint64_t kBatch = 1000;
@@ -485,7 +697,7 @@ BM_NetFanout(benchmark::State &state)
     options.queueCapacity = 1u << 16;
     net::Ps3Server server(config, "bench", options);
     const std::string path =
-        "/tmp/ps3_bench_fanout."
+        "/tmp/ps3_bench_fanout_sock."
         + std::to_string(static_cast<long>(::getpid())) + ".sock";
     const auto endpoint =
         server.listen(transport::Endpoint::parse("unix://" + path));
@@ -520,7 +732,9 @@ BM_NetFanout(benchmark::State &state)
             * static_cast<double>(kBatch * kSubscribers),
         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_NetFanout)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_NetFanoutSockets)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 /**
  * PS3N v1.2 tiered egress: a raw and a 1 kHz subscriber drink the

@@ -80,6 +80,8 @@ NetPowerSensor::NetPowerSensor(const transport::Endpoint &endpoint,
                          std::memory_order_relaxed);
     socket_ = openSocket();
     handshake(options_.connectTimeout, true);
+    if (endpoint_.kind == transport::Endpoint::Kind::Shm)
+        attachShm();
     readerThread_ = std::thread([this] { readerLoop(); });
 }
 
@@ -107,6 +109,21 @@ NetPowerSensor::openSocket()
                                       options_.connectTimeout);
     return transport::SocketDevice::connect(
         endpoint_, options_.connectTimeout);
+}
+
+void
+NetPowerSensor::attachShm()
+{
+    // The segment descriptor travels over the raw control socket
+    // (SCM_RIGHTS), so a decorated socket cannot carry it.
+    auto *control =
+        dynamic_cast<transport::SocketDevice *>(socket_.get());
+    if (control == nullptr)
+        throw UsageError(
+            "shm:// endpoints need the default socket factory (the "
+            "segment descriptor rides the raw Unix socket)");
+    shmSub_ = ShmSubscriber::attach(*control,
+                                    options_.connectTimeout);
 }
 
 void
@@ -211,8 +228,11 @@ NetPowerSensor::readFully(std::uint8_t *out, std::size_t n)
 void
 NetPowerSensor::readerLoop()
 {
+    const bool shm =
+        endpoint_.kind == transport::Endpoint::Kind::Shm;
     for (;;) {
-        const bool graceful = streamConnection();
+        const bool graceful =
+            shm ? streamShmConnection() : streamConnection();
         if (graceful || stopRequested_.load(std::memory_order_acquire)
             || !options_.autoReconnect)
             break;
@@ -304,6 +324,49 @@ NetPowerSensor::streamConnection()
 }
 
 bool
+NetPowerSensor::streamShmConnection()
+{
+    if (!shmSub_)
+        return false;
+    host::DumpRecord record;
+    std::uint64_t seq = 0;
+    auto last_control = std::chrono::steady_clock::now();
+    std::uint8_t sink[64];
+    while (!stopRequested_.load(std::memory_order_acquire)) {
+        const auto poll = shmSub_->poll(record, seq);
+        if (poll == ShmSubscriber::Poll::Record) {
+            // The entire hot path: no syscalls, no parsing — the
+            // ring sequence IS the stream sequence, so a lap skip
+            // lands in accountSeq as an ordinary v1.1 gap.
+            accountSeq(seq);
+            onRecord(record);
+            clientMetrics().records.inc();
+            continue;
+        }
+        if (poll == ShmSubscriber::Poll::EndOfStream)
+            return true; // producer ended the stream on purpose
+        // Empty: adaptive backoff, then (throttled, off the hot
+        // path) control-socket and heartbeat liveness checks.
+        shmSub_->backoff();
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_control < std::chrono::milliseconds(100))
+            continue;
+        last_control = now;
+        // Nothing meaningful flows server->client on the control
+        // socket after the handover; an EOF there is abrupt death.
+        while (socket_->read(sink, sizeof(sink), 0.0) > 0) {
+        }
+        if (socket_->closed())
+            return false;
+        if (options_.idleTimeout > 0.0
+            && !shmSub_->producerAlive(
+                std::max(options_.idleTimeout, 1.0)))
+            return false; // heartbeat epoch stalled: daemon is dead
+    }
+    return false;
+}
+
+bool
 NetPowerSensor::reconnect()
 {
     double backoff = options_.reconnectInitialBackoff;
@@ -335,6 +398,8 @@ NetPowerSensor::reconnect()
                 socket_ = std::move(fresh);
             }
             handshake(options_.connectTimeout, false);
+            if (endpoint_.kind == transport::Endpoint::Kind::Shm)
+                attachShm(); // fresh daemon, fresh segment
         } catch (const DeviceError &) {
             clientMetrics().reconnectFailures.inc();
             continue;

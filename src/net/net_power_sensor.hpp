@@ -2,8 +2,9 @@
  * @file
  * NetPowerSensor: a remote PowerSensor3 streamed by a ps3d daemon.
  *
- * Implements the full host::Sensor surface over a TCP or Unix-domain
- * connection (wire.hpp), so psrun, psdump, the auto-tuner — any code
+ * Implements the full host::Sensor surface over a TCP, Unix-domain
+ * or shared-memory connection (wire.hpp, shm_stream.hpp), so psrun,
+ * psdump, the auto-tuner — any code
  * written against Sensor — works unmodified against a sensor in
  * another process or on another host:
  *
@@ -50,6 +51,7 @@
 #include <thread>
 
 #include "host/sensor.hpp"
+#include "net/shm_stream.hpp"
 #include "net/wire.hpp"
 #include "transport/socket_device.hpp"
 
@@ -222,9 +224,13 @@ class NetPowerSensor : public host::Sensor
     /** Connect via the factory (or SocketDevice::connect). */
     std::unique_ptr<transport::StreamSocket> openSocket();
     void handshake(double timeout_seconds, bool initial);
+    /** shm:// endpoints: receive + map the ring after a handshake. */
+    void attachShm();
     void readerLoop();
     /** One connection's stream; true on graceful end-of-stream. */
     bool streamConnection();
+    /** Same over the shared-memory ring (zero-syscall hot loop). */
+    bool streamShmConnection();
     /** Backoff + retry loop; true when a new stream is up. */
     bool reconnect();
     /** Read exactly n bytes; false on EOF/abort/idle timeout. */
@@ -246,6 +252,8 @@ class NetPowerSensor : public host::Sensor
     const Options options_;
     const transport::Endpoint endpoint_;
     std::unique_ptr<transport::StreamSocket> socket_;
+    /** Mapped broadcast ring (shm:// endpoints only). */
+    std::unique_ptr<ShmSubscriber> shmSub_;
 
     // Fixed after the initial handshake; safe to read without locks.
     firmware::DeviceConfig config_{};

@@ -3,46 +3,59 @@
  * Ps3Server: the streaming core of the ps3d daemon.
  *
  * One server owns one sensor (or is driven directly via publish())
- * and fans the live record stream out to N subscribers over TCP
- * and/or Unix-domain sockets. Each subscriber gets:
+ * and fans the live record stream out to N subscribers over TCP,
+ * Unix-domain sockets and shared memory. Fan-out is zero-copy:
+ * every published record is encoded exactly once into a slot of a
+ * single shared broadcast ring (transport/broadcast_ring.hpp), and
+ * each subscriber reads through its own cursor:
  *
- *  - its own bounded SpscPodRing<DumpRecord> queue, with the
- *    overflow policy it requested in its ClientHello: DropOldest
- *    reclaims the oldest queued records (counted per connection and
- *    in ps3_net_records_dropped_total), Block promises losslessness
- *    — and a Block subscriber whose queue still fills up is
- *    disconnected rather than allowed to stall the device reader;
- *  - its own sender thread, draining the ring into length-prefixed
- *    batches (wire.hpp) and polling the connection for upstream
- *    marker and tier-renegotiation requests.
+ *  - a socket subscriber has a sender thread that claims batches of
+ *    sequences and gathers the in-ring encoded bytes straight into
+ *    writev-style socket sends (no intermediate batch buffer) —
+ *    several length-prefixed frames per syscall;
+ *  - a shm:// subscriber (docs/SHMEM.md) maps the ring itself: the
+ *    accept thread hands the segment descriptor over the Unix
+ *    control socket and the client reads records with zero
+ *    steady-state syscalls. The server keeps a lightweight monitor
+ *    thread per shm subscriber for upstream marker requests.
  *
- * A v1.2 subscriber may negotiate a reduced-rate tier (host::Tier):
- * its sender folds the drained records through a TierAccumulator and
- * ships 'A' aggregate-bucket records instead of raw samples, shedding
- * ~an order of magnitude of egress at the 1 kHz tier while min/max
- * per bucket preserve transients. Marked records bypass aggregation
- * (the open bucket is flushed first so sequence numbers stay
- * monotonic); a mid-queue hole (DropOldest reclaim) also flushes, so
- * the next frame's firstSeq exposes the gap exactly as on a raw
- * stream.
+ * Overflow policy, per subscriber (ClientHello): DropOldest readers
+ * get lapped — the producer reclaims their cursor past the overwrite
+ * frontier and counts the exact number of records skipped (per
+ * connection and in ps3_net_records_dropped_total); Block promises
+ * losslessness, and a Block subscriber about to be lapped is
+ * disconnected rather than allowed to stall the device reader. Shm
+ * subscribers are implicitly DropOldest and account laps themselves
+ * through the v1.1 sequence machinery.
+ *
+ * A v1.2 socket subscriber may negotiate a reduced-rate tier
+ * (host::Tier): its sender folds claimed records through a
+ * TierAccumulator and ships 'A' aggregate-bucket records instead of
+ * raw samples, shedding ~an order of magnitude of egress at the
+ * 1 kHz tier while min/max per bucket preserve transients. Marked
+ * records bypass aggregation (the open bucket is flushed first so
+ * sequence numbers stay monotonic); a hole (lap reclaim) also
+ * flushes, so the next frame's firstSeq exposes the gap exactly as
+ * on a raw stream. Shm streams are always raw.
  *
  * The publishing thread (the sensor's reader, via a sample
- * listener) never blocks and never performs I/O: fan-out is one
- * ring push per subscriber. A dead, slow or malicious connection
- * degrades only itself — the handshake rejects with a per-connection
- * status, overflow disconnects one subscriber, and abort() unsticks
- * a sender wedged in write() at shutdown.
+ * listener) never blocks, never does I/O, and — outside a periodic
+ * bookkeeping pass — never takes a lock: publish cost is one encode
+ * plus one ring write, independent of the subscriber count. A dead,
+ * slow or malicious connection degrades only itself.
  *
- * stop() (also run by the destructor) is drain-then-close: rings are
- * closed, live senders flush their queued tail and send a zero-length
- * end-of-stream batch, and only subscribers that fail to drain within
- * a grace period are aborted.
+ * stop() (also run by the destructor) is drain-then-close: senders
+ * are woken, flush the ring tail, send a zero-length end-of-stream
+ * batch, and a condition variable (no sleep-polling) releases
+ * stop() the moment the last sender finishes — subscribers that
+ * fail to drain within a grace period are aborted.
  */
 
 #ifndef PS3_NET_SERVER_HPP
 #define PS3_NET_SERVER_HPP
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -51,9 +64,11 @@
 #include <vector>
 
 #include "host/sensor.hpp"
+#include "net/shm_stream.hpp"
 #include "net/wire.hpp"
+#include "transport/broadcast_ring.hpp"
+#include "transport/shm_segment.hpp"
 #include "transport/socket_device.hpp"
-#include "transport/spsc_pod_ring.hpp"
 
 namespace ps3::net {
 
@@ -64,9 +79,12 @@ class Ps3Server
     /** Tuning knobs. */
     struct Options
     {
-        /** Per-subscriber queue capacity in records (~0.8 s). */
+        /**
+         * Broadcast-ring capacity in records (~0.8 s of stream),
+         * shared by all subscribers; rounds up to a power of two.
+         */
         std::size_t queueCapacity = 1u << 14;
-        /** Records drained per batch frame. */
+        /** Records claimed per sender batch. */
         std::size_t batchRecords = 256;
         /** Subscriber limit; more are rejected with ServerFull. */
         std::size_t maxSubscribers = 64;
@@ -78,7 +96,8 @@ class Ps3Server
          * Idle heartbeat period (s) for v1.1 subscribers; 0 disables.
          * A heartbeat carries the subscriber's next record sequence,
          * keeping liveness detection and gap accounting flowing
-         * while the stream idles.
+         * while the stream idles. (Shm subscribers watch the ring's
+         * own heartbeat epoch instead, bumped by the accept loop.)
          */
         double heartbeatInterval = 0.5;
         /**
@@ -117,16 +136,19 @@ class Ps3Server
 
     /**
      * Bind an endpoint and start accepting subscribers on it. May be
-     * called multiple times (e.g. one TCP and one Unix socket).
+     * called multiple times (e.g. one TCP, one Unix socket, one
+     * shm:// endpoint).
      * @return The endpoint actually bound (TCP port 0 resolved).
      * @throws DeviceError when the address cannot be bound.
      */
     transport::Endpoint listen(const transport::Endpoint &endpoint);
 
     /**
-     * Fan one record out to every live subscriber (producer thread —
-     * the sensor listener, or the caller of the sensor-less ctor).
-     * Never blocks, never does I/O.
+     * Publish one record to every subscriber (single producer
+     * thread — the sensor listener, or the caller of the
+     * sensor-less ctor). Encodes once, writes the shared ring, and
+     * never blocks or performs I/O; a periodic bookkeeping pass
+     * (every kReclaimInterval publishes) handles overflow policy.
      */
     void publish(const host::DumpRecord &record);
 
@@ -155,18 +177,24 @@ class Ps3Server
     std::uint64_t tierChanges() const;
 
     /**
-     * Drain-then-close shutdown: stop accepting, close every queue,
-     * let senders flush and send end-of-stream, abort stragglers
-     * after Options::drainTimeout, join everything. Idempotent.
+     * Batch frames that shared a gather syscall with a preceding
+     * frame (ps3_net_batches_coalesced_total).
+     */
+    std::uint64_t batchesCoalesced() const;
+
+    /**
+     * Drain-then-close shutdown: stop accepting, mark the stream
+     * ended, let senders flush the ring tail and send end-of-stream,
+     * abort stragglers after Options::drainTimeout, join everything.
+     * Idempotent.
      */
     void stop();
 
   private:
     /**
-     * One queued record plus its stream sequence number. The seq
-     * travels with the record because DropOldest reclaims make holes
-     * in the middle of the queue — only visible, and only exactly
-     * accountable, at drain time.
+     * A record and its stream sequence number, copied out of the
+     * ring by the tiered-sender path (the fold needs decoded
+     * records, and holes are only visible through the seq).
      */
     struct SeqRecord
     {
@@ -174,14 +202,17 @@ class Ps3Server
         std::uint64_t seq = 0;
     };
 
-    /** One connected subscriber: socket + queue + sender thread. */
+    /** One connected subscriber: socket + cursor (+ its thread). */
     struct Subscriber
     {
         std::uint64_t id = 0;
         std::unique_ptr<transport::SocketDevice> socket;
-        std::unique_ptr<transport::SpscPodRing<SeqRecord>> ring;
+        /** This reader's position in the shared broadcast ring. */
+        transport::BroadcastCursor cursor;
         transport::RingOverflow overflow =
             transport::RingOverflow::Block;
+        /** Shared-memory subscriber (monitor thread, no sender). */
+        bool shm = false;
         /** Negotiated minor: min(client, kProtocolMinor). */
         std::uint8_t minor = 0;
         /**
@@ -196,32 +227,56 @@ class Ps3Server
         /** Next record sequence this subscriber will send. */
         std::uint64_t nextSeq = 0;
         std::thread thread;
+        /** Server-side disconnect request (overflow kick). */
+        std::atomic<bool> kicked{false};
         /** Sender thread exited; safe to join and reap. */
         std::atomic<bool> done{false};
-        /** Producer-side high-water of ring->dropped() published. */
+        /** Producer-side high-water of cursor.dropped() published. */
         std::uint64_t publishedDrops = 0;
         /** Bytes of a partial upstream marker request. */
         std::uint8_t pendingRequest[2] = {0, 0};
         std::size_t pendingRequestLen = 0;
     };
 
-    void acceptLoop(transport::SocketListener &listener);
+    /** Publishes between producer-side overflow/reclaim passes. */
+    static constexpr std::uint64_t kReclaimInterval = 64;
+
+    void acceptLoop(transport::SocketListener &listener, bool shm);
     bool handshake(transport::SocketDevice &socket,
-                   ClientHello &hello);
+                   ClientHello &hello, bool shm);
     void senderLoop(Subscriber &subscriber);
-    void pollUpstream(Subscriber &subscriber);
+    /** Shm subscriber: handover + upstream requests + liveness. */
+    void shmMonitorLoop(Subscriber &subscriber);
+    void pollUpstream(Subscriber &subscriber,
+                      double first_timeout = 0.0);
+    /** Sender idle wait: spin briefly, then block on publishCv_. */
+    void waitForRecords(Subscriber &subscriber);
+    /** Producer bookkeeping: lap Block kicks + DropOldest reclaim. */
+    void overflowPass();
     /** Join and erase finished subscribers (accept thread / stop). */
     void reapFinished();
-    /** Producer side: publish ring drop deltas to the counters. */
+    /** Producer side: publish cursor drop deltas to the counters.
+     *  The ONLY aggregation path into recordsDropped_ — reclaim and
+     *  reader-side drops both land in cursor.dropped() and flow
+     *  through this delta exactly once. Under subscribersMutex_. */
     void publishDrops(Subscriber &subscriber);
+    /** Mark a sender finished and release stop()'s drain wait. */
+    void finishSubscriber(Subscriber &subscriber);
 
     const Options options_;
     host::Sensor *const sensor_; ///< null for publish-driven servers
     const firmware::DeviceConfig config_;
     const std::string firmwareVersion_;
 
+    /** The shared broadcast ring, living in an exportable segment
+     *  (handed to shm:// subscribers; plain memory otherwise). */
+    transport::ShmSegment ringSegment_;
+    StreamRing *ring_ = nullptr;
+
     std::uint64_t listenerToken_ = 0; ///< sensor listener token
     std::atomic<bool> stopped_{false};
+    /** Stream ended; senders drain the ring tail and exit. */
+    std::atomic<bool> draining_{false};
     std::atomic<std::uint64_t> recordsDropped_{0};
     std::atomic<std::uint64_t> subscribersDropped_{0};
     std::atomic<std::uint64_t> markerRequests_{0};
@@ -229,13 +284,20 @@ class Ps3Server
     std::atomic<std::uint64_t> writeTimeouts_{0};
     std::atomic<std::uint64_t> tierBucketsSent_{0};
     std::atomic<std::uint64_t> tierChanges_{0};
+    std::atomic<std::uint64_t> batchesCoalesced_{0};
     std::uint64_t nextSubscriberId_ = 1;
-    /** Stream sequence of the next published record (under
-     *  subscribersMutex_, like everything publish() touches). */
-    std::uint64_t streamSeq_ = 0;
+    /** Producer-local countdown to the next overflowPass(). */
+    std::uint64_t publishCountdown_ = 0;
 
     mutable std::mutex subscribersMutex_;
     std::vector<std::unique_ptr<Subscriber>> subscribers_;
+    /** Signalled (with subscribersMutex_) when a sender finishes. */
+    std::condition_variable doneCv_;
+
+    /** Sender idle waits; producer notifies when waiters_ > 0. */
+    std::mutex waitMutex_;
+    std::condition_variable publishCv_;
+    std::atomic<int> waiters_{0};
 
     /** Serialises sensor->mark() calls from N sender threads. */
     std::mutex markMutex_;

@@ -23,21 +23,38 @@ getU16(const std::uint8_t *p)
     return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
 }
 
+/** Store a u64 little-endian (single mov on LE hosts). */
+void
+storeU64(std::uint8_t *p, std::uint64_t bits)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(p, &bits, 8);
+    } else {
+        for (int shift = 0; shift < 64; shift += 8)
+            *p++ =
+                static_cast<std::uint8_t>((bits >> shift) & 0xFF);
+    }
+}
+
 void
 putF64(std::vector<std::uint8_t> &out, double v)
 {
-    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
-    for (int shift = 0; shift < 64; shift += 8)
-        out.push_back(
-            static_cast<std::uint8_t>((bits >> shift) & 0xFF));
+    std::uint8_t raw[8];
+    storeU64(raw, std::bit_cast<std::uint64_t>(v));
+    out.insert(out.end(), raw, raw + 8);
 }
 
 double
 getF64(const std::uint8_t *p)
 {
-    std::uint64_t bits = 0;
-    for (int i = 7; i >= 0; --i)
-        bits = (bits << 8) | p[i];
+    std::uint64_t bits;
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(&bits, p, 8);
+    } else {
+        bits = 0;
+        for (int i = 7; i >= 0; --i)
+            bits = (bits << 8) | p[i];
+    }
     return std::bit_cast<double>(bits);
 }
 
@@ -241,21 +258,35 @@ void
 encodeRecord(std::vector<std::uint8_t> &out,
              const host::DumpRecord &record)
 {
+    std::uint8_t raw[kMaxEncodedRecordBytes];
+    const std::size_t n = encodeRecordTo(raw, record);
+    out.insert(out.end(), raw, raw + n);
+}
+
+std::size_t
+encodeRecordTo(std::uint8_t *out, const host::DumpRecord &record)
+{
+    std::uint8_t *p = out;
     if (record.marker) {
-        out.push_back('M');
-        out.push_back(
-            static_cast<std::uint8_t>(record.markerChar));
-        putF64(out, record.time);
+        *p++ = 'M';
+        *p++ = static_cast<std::uint8_t>(record.markerChar);
+        storeU64(p, std::bit_cast<std::uint64_t>(record.time));
+        p += 8;
     }
-    out.push_back('S');
-    out.push_back(record.presentMask);
-    putF64(out, record.time);
+    *p++ = 'S';
+    *p++ = record.presentMask;
+    storeU64(p, std::bit_cast<std::uint64_t>(record.time));
+    p += 8;
     for (unsigned pair = 0; pair < host::kMaxPairs; ++pair) {
         if (!(record.presentMask & (1u << pair)))
             continue;
-        putF64(out, record.voltage[pair]);
-        putF64(out, record.current[pair]);
+        storeU64(p, std::bit_cast<std::uint64_t>(
+                        record.voltage[pair]));
+        storeU64(p + 8, std::bit_cast<std::uint64_t>(
+                            record.current[pair]));
+        p += 16;
     }
+    return static_cast<std::size_t>(p - out);
 }
 
 void
@@ -281,18 +312,24 @@ encodeBucket(std::vector<std::uint8_t> &out, host::Tier tier,
 void
 appendU64(std::vector<std::uint8_t> &out, std::uint64_t v)
 {
-    for (int shift = 0; shift < 64; shift += 8)
-        out.push_back(
-            static_cast<std::uint8_t>((v >> shift) & 0xFF));
+    std::uint8_t raw[8];
+    storeU64(raw, v);
+    out.insert(out.end(), raw, raw + 8);
 }
 
 std::uint64_t
 readU64(const std::uint8_t *p)
 {
-    std::uint64_t v = 0;
-    for (int i = 7; i >= 0; --i)
-        v = (v << 8) | p[i];
-    return v;
+    if constexpr (std::endian::native == std::endian::little) {
+        std::uint64_t v;
+        std::memcpy(&v, p, 8);
+        return v;
+    } else {
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | p[i];
+        return v;
+    }
 }
 
 std::vector<std::uint8_t>

@@ -109,6 +109,14 @@ inline constexpr std::uint8_t kTierRequest = 'T';
 /** Fixed part of an 'A' aggregate record (before the pair sums). */
 inline constexpr std::size_t kBucketRecordFixedSize = 3 + 4 * 8 + 4;
 
+/**
+ * Upper bound on one encoded record: a marker prefix (10 bytes)
+ * plus an 'S' record with every pair present. Sizes the in-slot
+ * encode buffer of the broadcast ring (net/shm_stream.hpp).
+ */
+inline constexpr std::size_t kMaxEncodedRecordBytes =
+    10 + 2 + 8 + host::kMaxPairs * 16;
+
 /** ServerHello status codes. */
 enum class HelloStatus : std::uint8_t
 {
@@ -207,6 +215,16 @@ struct ServerHello
  */
 void encodeRecord(std::vector<std::uint8_t> &out,
                   const host::DumpRecord &record);
+
+/**
+ * Encode one record into a fixed buffer of at least
+ * kMaxEncodedRecordBytes (the hot path: the server encodes every
+ * record exactly once, into its broadcast-ring slot, and all raw
+ * subscribers share those bytes).
+ * @return Bytes written.
+ */
+std::size_t encodeRecordTo(std::uint8_t *out,
+                           const host::DumpRecord &record);
 
 /**
  * Append one aggregate bucket to a batch payload (v1.2):

@@ -1,0 +1,217 @@
+#include "shm_segment.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/errors.hpp"
+
+namespace ps3::transport {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw DeviceError(what + ": " + std::strerror(errno));
+}
+
+std::size_t
+roundToPage(std::size_t bytes)
+{
+    const std::size_t page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return (bytes + page - 1) / page * page;
+}
+
+} // namespace
+
+ShmSegment
+ShmSegment::create(std::size_t bytes, const std::string &name)
+{
+    const std::size_t size = roundToPage(bytes);
+    const int fd =
+        ::memfd_create(name.c_str(), MFD_CLOEXEC | MFD_ALLOW_SEALING);
+    if (fd < 0)
+        throwErrno("memfd_create");
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("ftruncate(shm segment)");
+    }
+    // Freeze the size before the descriptor is ever shared: a
+    // mapped subscriber can then never fault on a truncation.
+    ::fcntl(fd, F_ADD_SEALS, F_SEAL_SHRINK | F_SEAL_GROW);
+    void *data = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd, 0);
+    if (data == MAP_FAILED) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("mmap(shm segment)");
+    }
+    ShmSegment segment;
+    segment.data_ = data;
+    segment.size_ = size;
+    segment.fd_ = fd;
+    return segment;
+}
+
+ShmSegment
+ShmSegment::attach(int fd, bool read_only)
+{
+    if (fd < 0)
+        throw DeviceError("shm attach: no descriptor received");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        throw DeviceError("shm attach: cannot size segment");
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    const int prot =
+        read_only ? PROT_READ : (PROT_READ | PROT_WRITE);
+    void *data = ::mmap(nullptr, size, prot, MAP_SHARED, fd, 0);
+    if (data == MAP_FAILED) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("mmap(shm attach)");
+    }
+    ShmSegment segment;
+    segment.data_ = data;
+    segment.size_ = size;
+    segment.fd_ = fd;
+    return segment;
+}
+
+ShmSegment::~ShmSegment()
+{
+    reset();
+}
+
+ShmSegment::ShmSegment(ShmSegment &&other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      fd_(std::exchange(other.fd_, -1))
+{
+}
+
+ShmSegment &
+ShmSegment::operator=(ShmSegment &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void
+ShmSegment::reset()
+{
+    if (data_ != nullptr)
+        ::munmap(data_, size_);
+    if (fd_ >= 0)
+        ::close(fd_);
+    data_ = nullptr;
+    size_ = 0;
+    fd_ = -1;
+}
+
+void
+sendWithFd(int socket_fd, const std::uint8_t *data, std::size_t size,
+           int fd_to_send)
+{
+    msghdr msg{};
+    iovec iov{const_cast<std::uint8_t *>(data), size};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+    cmsghdr *cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cmsg), &fd_to_send, sizeof(int));
+
+    for (int attempt = 0; attempt < 50; ++attempt) {
+        const ssize_t n =
+            ::sendmsg(socket_fd, &msg, MSG_NOSIGNAL);
+        if (n == static_cast<ssize_t>(size))
+            return;
+        if (n >= 0)
+            throw DeviceError("sendmsg(SCM_RIGHTS): short write");
+        if (errno != EAGAIN && errno != EWOULDBLOCK
+            && errno != EINTR)
+            throwErrno("sendmsg(SCM_RIGHTS)");
+        pollfd fds[1] = {{socket_fd, POLLOUT, 0}};
+        ::poll(fds, 1, 100);
+    }
+    throw DeviceError("sendmsg(SCM_RIGHTS): peer not reading");
+}
+
+bool
+recvWithFd(int socket_fd, std::uint8_t *data, std::size_t size,
+           int &received_fd, double timeout_seconds)
+{
+    received_fd = -1;
+    std::size_t got = 0;
+    const int slice_ms = 50;
+    int budget_ms =
+        static_cast<int>(timeout_seconds * 1e3) + slice_ms;
+    while (got < size) {
+        pollfd fds[1] = {{socket_fd, POLLIN, 0}};
+        const int ready = ::poll(fds, 1, slice_ms);
+        budget_ms -= slice_ms;
+        if (ready <= 0) {
+            if (budget_ms <= 0)
+                return false;
+            continue;
+        }
+        msghdr msg{};
+        iovec iov{data + got, size - got};
+        msg.msg_iov = &iov;
+        msg.msg_iovlen = 1;
+        alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+        msg.msg_control = control;
+        msg.msg_controllen = sizeof(control);
+        const ssize_t n =
+            ::recvmsg(socket_fd, &msg, MSG_CMSG_CLOEXEC);
+        if (n == 0)
+            return false; // end of stream
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN
+                || errno == EWOULDBLOCK)
+                continue;
+            return false;
+        }
+        got += static_cast<std::size_t>(n);
+        for (cmsghdr *cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+             cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+            if (cmsg->cmsg_level == SOL_SOCKET
+                && cmsg->cmsg_type == SCM_RIGHTS
+                && cmsg->cmsg_len >= CMSG_LEN(sizeof(int)))
+            {
+                int fd = -1;
+                std::memcpy(&fd, CMSG_DATA(cmsg), sizeof(int));
+                if (received_fd >= 0)
+                    ::close(received_fd); // keep only the newest
+                received_fd = fd;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace ps3::transport

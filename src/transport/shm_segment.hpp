@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Anonymous shared-memory segments and descriptor passing.
+ *
+ * The shm:// transport (docs/SHMEM.md) exports the server's
+ * broadcast ring to same-host subscribers: the daemon creates an
+ * anonymous memfd segment, places the ring inside it, and hands the
+ * descriptor to each subscriber over the Unix control socket with
+ * SCM_RIGHTS. The subscriber maps the segment read-only and reads
+ * records with zero steady-state syscalls.
+ *
+ * ShmSegment owns one mapping + descriptor pair. Segments are
+ * anonymous (memfd_create) so a crashed daemon leaks nothing into
+ * /dev/shm; the kernel reclaims the memory once the last mapping
+ * and descriptor are gone. Growth and shrinkage are sealed before
+ * the descriptor is shared, so a subscriber's mapping can never be
+ * truncated under it (no SIGBUS from a misbehaving peer).
+ */
+
+#ifndef PS3_TRANSPORT_SHM_SEGMENT_HPP
+#define PS3_TRANSPORT_SHM_SEGMENT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ps3::transport {
+
+/** One mapped shared-memory segment (created or attached). */
+class ShmSegment
+{
+  public:
+    ShmSegment() = default;
+
+    /**
+     * Create an anonymous segment of `bytes` bytes (rounded up to
+     * the page size), mapped read-write, with grow/shrink sealed.
+     * The name is a debugging label (visible in /proc/.../fd).
+     * @throws DeviceError when the kernel refuses.
+     */
+    static ShmSegment create(std::size_t bytes,
+                             const std::string &name);
+
+    /**
+     * Map a received descriptor. The size is taken from the
+     * descriptor itself (fstat), so a peer cannot lie about it.
+     * Takes ownership of `fd` (closed even on failure).
+     * @param read_only Map PROT_READ only (subscriber side).
+     * @throws DeviceError when the descriptor cannot be mapped.
+     */
+    static ShmSegment attach(int fd, bool read_only);
+
+    ~ShmSegment();
+
+    ShmSegment(ShmSegment &&other) noexcept;
+    ShmSegment &operator=(ShmSegment &&other) noexcept;
+    ShmSegment(const ShmSegment &) = delete;
+    ShmSegment &operator=(const ShmSegment &) = delete;
+
+    /** True when a mapping is held. */
+    bool valid() const { return data_ != nullptr; }
+
+    /** Start of the mapping (page aligned). */
+    void *data() { return data_; }
+    const void *data() const { return data_; }
+
+    /** Mapped bytes. */
+    std::size_t size() const { return size_; }
+
+    /** The descriptor backing the mapping (for SCM_RIGHTS). */
+    int fd() const { return fd_; }
+
+    /** Unmap and close. Idempotent. */
+    void reset();
+
+  private:
+    void *data_ = nullptr;
+    std::size_t size_ = 0;
+    int fd_ = -1;
+};
+
+/**
+ * Send `size` bytes plus one descriptor over a connected Unix
+ * socket in a single sendmsg (SCM_RIGHTS). Blocks briefly on a full
+ * socket buffer.
+ * @throws DeviceError when the peer is gone.
+ */
+void sendWithFd(int socket_fd, const std::uint8_t *data,
+                std::size_t size, int fd_to_send);
+
+/**
+ * Receive exactly `size` bytes and up to one attached descriptor
+ * from a connected Unix socket.
+ * @param received_fd Set to the descriptor, or -1 when the message
+ *        carried none. Caller owns it.
+ * @return False on end-of-stream or timeout.
+ */
+bool recvWithFd(int socket_fd, std::uint8_t *data, std::size_t size,
+                int &received_fd, double timeout_seconds);
+
+} // namespace ps3::transport
+
+#endif // PS3_TRANSPORT_SHM_SEGMENT_HPP

@@ -10,9 +10,11 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <limits.h>
 #include <poll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -98,7 +100,8 @@ Endpoint
 Endpoint::parse(const std::string &uri)
 {
     Endpoint endpoint;
-    const std::string tcp = "tcp://", unx = "unix://";
+    const std::string tcp = "tcp://", unx = "unix://",
+                      shm = "shm://";
     if (uri.rfind(unx, 0) == 0) {
         endpoint.kind = Kind::Unix;
         endpoint.path = uri.substr(unx.size());
@@ -107,9 +110,17 @@ Endpoint::parse(const std::string &uri)
                 "unix endpoint needs an absolute path: " + uri);
         return endpoint;
     }
+    if (uri.rfind(shm, 0) == 0) {
+        endpoint.kind = Kind::Shm;
+        endpoint.path = uri.substr(shm.size());
+        if (endpoint.path.empty() || endpoint.path[0] != '/')
+            throw UsageError(
+                "shm endpoint needs an absolute path: " + uri);
+        return endpoint;
+    }
     if (uri.rfind(tcp, 0) != 0)
-        throw UsageError("endpoint must be tcp://host:port or "
-                         "unix:///path, got: "
+        throw UsageError("endpoint must be tcp://host:port, "
+                         "unix:///path or shm:///path, got: "
                          + uri);
     const std::string rest = uri.substr(tcp.size());
     const std::size_t colon = rest.rfind(':');
@@ -134,6 +145,8 @@ Endpoint::describe() const
 {
     if (kind == Kind::Unix)
         return "unix://" + path;
+    if (kind == Kind::Shm)
+        return "shm://" + path;
     return "tcp://" + (host.empty() ? std::string("*") : host) + ":"
            + std::to_string(port);
 }
@@ -166,7 +179,7 @@ SocketDevice::connect(const Endpoint &endpoint,
                       double timeout_seconds)
 {
     const int family =
-        endpoint.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+        endpoint.kind == Endpoint::Kind::Tcp ? AF_INET : AF_UNIX;
     const int fd = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0)
         throwErrno("socket");
@@ -174,7 +187,7 @@ SocketDevice::connect(const Endpoint &endpoint,
     // Connect on the still-blocking descriptor (the SocketDevice
     // constructor switches it to non-blocking afterwards).
     int rc;
-    if (endpoint.kind == Endpoint::Kind::Unix) {
+    if (endpoint.kind != Endpoint::Kind::Tcp) {
         const auto addr = unixAddress(endpoint.path);
         rc = ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
                        sizeof(addr));
@@ -288,6 +301,69 @@ SocketDevice::write(const std::uint8_t *data, std::size_t size)
 }
 
 void
+SocketDevice::writeGather(struct iovec *iov, std::size_t count)
+{
+    const double timeout =
+        writeTimeout_.load(std::memory_order_relaxed);
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(
+                  timeout > 0.0 ? timeout : 86400.0));
+    std::size_t first = 0; // iovecs fully sent so far
+    while (first < count) {
+        if (closed_.load(std::memory_order_acquire))
+            throw DeviceError("socket write failed: disconnected");
+        msghdr msg{};
+        msg.msg_iov = iov + first;
+        msg.msg_iovlen = std::min<std::size_t>(count - first,
+                                               IOV_MAX);
+        ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+        if (n > 0) {
+            // Consume fully-sent iovecs; trim a partial one.
+            auto sent = static_cast<std::size_t>(n);
+            while (first < count
+                   && sent >= iov[first].iov_len) {
+                sent -= iov[first].iov_len;
+                ++first;
+            }
+            if (sent > 0) {
+                iov[first].iov_base =
+                    static_cast<std::uint8_t *>(
+                        iov[first].iov_base)
+                    + sent;
+                iov[first].iov_len -= sent;
+            }
+            continue;
+        }
+        if (n < 0 && errno != EINTR && errno != EAGAIN
+            && errno != EWOULDBLOCK) {
+            closed_.store(true, std::memory_order_release);
+            throw DeviceError(std::string("socket write failed: ")
+                              + std::strerror(errno));
+        }
+        const double remaining =
+            std::chrono::duration<double>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (timeout > 0.0 && remaining <= 0.0) {
+            writeTimedOut_.store(true, std::memory_order_release);
+            closed_.store(true, std::memory_order_release);
+            throw DeviceError("socket write timed out after "
+                              + std::to_string(timeout)
+                              + " s (peer stopped reading)");
+        }
+        pollfd fds[1] = {{fd_, POLLOUT, 0}};
+        const double slice =
+            timeout > 0.0 ? std::min(remaining, 0.2) : 0.2;
+        if (::poll(fds, 1, pollMillis(slice)) < 0
+            && errno != EINTR)
+            throwErrno("poll");
+    }
+}
+
+void
 SocketDevice::setWriteTimeout(double seconds)
 {
     writeTimeout_.store(seconds, std::memory_order_relaxed);
@@ -329,13 +405,13 @@ SocketListener::SocketListener(const Endpoint &endpoint)
     : endpoint_(endpoint), wakeFd_(newEventFd())
 {
     const int family =
-        endpoint.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+        endpoint.kind == Endpoint::Kind::Tcp ? AF_INET : AF_UNIX;
     fd_ = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0)
         throwErrno("socket");
 
     int rc;
-    if (endpoint.kind == Endpoint::Kind::Unix) {
+    if (endpoint.kind != Endpoint::Kind::Tcp) {
         ::unlink(endpoint.path.c_str()); // stale socket file
         const auto addr = unixAddress(endpoint.path);
         rc = ::bind(fd_, reinterpret_cast<const sockaddr *>(&addr),
@@ -375,7 +451,7 @@ SocketListener::~SocketListener()
         ::close(fd_);
     if (wakeFd_ >= 0)
         ::close(wakeFd_);
-    if (endpoint_.kind == Endpoint::Kind::Unix)
+    if (endpoint_.kind != Endpoint::Kind::Tcp)
         ::unlink(endpoint_.path.c_str());
 }
 

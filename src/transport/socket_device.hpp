@@ -31,6 +31,8 @@
 
 #include "transport/char_device.hpp"
 
+struct iovec; // <sys/uio.h>; kept out of this header on purpose
+
 namespace ps3::transport {
 
 /** A parsed stream-socket address (TCP or Unix domain). */
@@ -39,8 +41,17 @@ struct Endpoint
     /** Address family of the endpoint. */
     enum class Kind
     {
-        Tcp, ///< "tcp://host:port"
-        Unix ///< "unix:///path/to/socket"
+        Tcp,  ///< "tcp://host:port"
+        Unix, ///< "unix:///path/to/socket"
+        /**
+         * "shm:///path/to/socket": a Unix-domain *control* socket
+         * plus a shared-memory data plane. The server performs the
+         * normal PS3N handshake on the socket, then hands the
+         * subscriber a descriptor for the broadcast-ring segment
+         * (docs/SHMEM.md); records flow through the mapping with
+         * zero steady-state syscalls.
+         */
+        Shm
     };
 
     Kind kind = Kind::Tcp;
@@ -52,7 +63,7 @@ struct Endpoint
     std::string path;
 
     /**
-     * Parse "tcp://host:port" or "unix:///path".
+     * Parse "tcp://host:port", "unix:///path" or "shm:///path".
      * @throws UsageError on any malformed URI.
      */
     static Endpoint parse(const std::string &uri);
@@ -113,6 +124,16 @@ class SocketDevice : public StreamSocket
      */
     void write(const std::uint8_t *data, std::size_t size) override;
 
+    /**
+     * Scatter-gather write: send every byte of `count` iovecs (the
+     * caller's array is clobbered while tracking progress), with
+     * write()'s blocking, deadline and abort semantics. One
+     * sendmsg per kernel-buffer refill instead of one write per
+     * buffer — the egress path of the broadcast-ring sender, whose
+     * iovecs point straight into the shared ring.
+     */
+    void writeGather(::iovec *iov, std::size_t count);
+
     bool closed() const override;
 
     /** One-shot wakeup of a read parked in its poll timeout. */
@@ -134,6 +155,13 @@ class SocketDevice : public StreamSocket
 
     /** True once a write() failed on its deadline. */
     bool writeTimedOut() const;
+
+    /**
+     * The underlying descriptor — for descriptor passing
+     * (SCM_RIGHTS) on Unix-domain control sockets. Owned by the
+     * device; do not close.
+     */
+    int nativeHandle() const { return fd_; }
 
   private:
     int fd_ = -1;

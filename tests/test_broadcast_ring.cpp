@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Broadcast-ring tests: layout and attach validation, wraparound
+ * lapping, torn-read impossibility under concurrent overwrite, the
+ * exact drop invariant (delivered + dropped == published) across
+ * reader claims and producer reclaims, and an 8-subscriber mixed
+ * fast/slow fan-out stress — the tsan-check workload for the
+ * streaming server's concurrency core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "transport/broadcast_ring.hpp"
+
+namespace ps3::transport {
+namespace {
+
+/** 64-byte-aligned backing store for heap-hosted rings. */
+struct RingMemory
+{
+    explicit RingMemory(std::size_t bytes)
+        : bytes(bytes),
+          memory(::operator new(bytes, std::align_val_t{64}))
+    {
+    }
+    ~RingMemory()
+    {
+        ::operator delete(memory, std::align_val_t{64});
+    }
+    std::size_t bytes;
+    void *memory;
+};
+
+/** Self-checking payload: every word is derived from seq. */
+struct Item
+{
+    std::uint64_t seq = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+};
+
+Item
+itemFor(std::uint64_t seq)
+{
+    return {seq, seq * 0x9E3779B97F4A7C15ull, ~seq,
+            (seq << 7) ^ 0x5DEECE66Dull};
+}
+
+/** True when every payload word matches the embedded sequence. */
+bool
+consistent(const Item &item)
+{
+    const Item want = itemFor(item.seq);
+    return item.a == want.a && item.b == want.b && item.c == want.c;
+}
+
+using ItemRing = BroadcastRing<Item>;
+
+/** A ring in freshly allocated aligned heap memory. */
+struct HeapRing
+{
+    explicit HeapRing(std::size_t capacity)
+        : memory(ItemRing::bytesRequired(capacity)),
+          ring(ItemRing::create(memory.memory, memory.bytes,
+                                capacity))
+    {
+    }
+    RingMemory memory;
+    ItemRing *ring;
+};
+
+// ----- layout ------------------------------------------------------------
+
+TEST(BroadcastRing, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(ItemRing::bytesRequired(10), ItemRing::bytesRequired(16));
+    HeapRing host(10);
+    ASSERT_NE(host.ring, nullptr);
+    EXPECT_EQ(host.ring->capacity(), 16u);
+}
+
+TEST(BroadcastRing, CreateRejectsShortBuffers)
+{
+    RingMemory memory(ItemRing::bytesRequired(16));
+    EXPECT_EQ(ItemRing::create(memory.memory, memory.bytes - 1, 16),
+              nullptr);
+    EXPECT_EQ(ItemRing::create(nullptr, memory.bytes, 16), nullptr);
+}
+
+TEST(BroadcastRing, AttachValidatesLayout)
+{
+    HeapRing host(16);
+    ASSERT_NE(host.ring, nullptr);
+
+    EXPECT_NE(ItemRing::attach(host.memory.memory, host.memory.bytes),
+              nullptr);
+    // Same bytes, different payload type: rejected.
+    EXPECT_EQ((BroadcastRing<std::uint64_t>::attach(
+                  host.memory.memory, host.memory.bytes)),
+              nullptr);
+    // Truncated mapping: rejected.
+    EXPECT_EQ(ItemRing::attach(host.memory.memory,
+                               host.memory.bytes - 1),
+              nullptr);
+    // Corrupt magic: rejected.
+    const std::uint32_t zero = 0;
+    std::memcpy(host.memory.memory, &zero, sizeof zero);
+    EXPECT_EQ(ItemRing::attach(host.memory.memory, host.memory.bytes),
+              nullptr);
+}
+
+// ----- publish / read ----------------------------------------------------
+
+TEST(BroadcastRing, PublishReadRoundTrip)
+{
+    HeapRing host(16);
+    ItemRing *ring = host.ring;
+    ASSERT_NE(ring, nullptr);
+
+    for (std::uint64_t seq = 0; seq < 5; ++seq)
+        ring->publish(itemFor(seq));
+    EXPECT_EQ(ring->tail(), 5u);
+    EXPECT_EQ(ring->oldest(), 0u);
+
+    for (std::uint64_t seq = 0; seq < 5; ++seq) {
+        Item item;
+        ASSERT_EQ(ring->readAt(seq, item), BroadcastRead::Ok);
+        EXPECT_EQ(item.seq, seq);
+        EXPECT_TRUE(consistent(item));
+    }
+    Item item;
+    EXPECT_EQ(ring->readAt(5, item), BroadcastRead::NotYet);
+}
+
+TEST(BroadcastRing, WraparoundLapsOldSequences)
+{
+    HeapRing host(8);
+    ItemRing *ring = host.ring;
+    ASSERT_NE(ring, nullptr);
+
+    for (std::uint64_t seq = 0; seq < 20; ++seq)
+        ring->publish(itemFor(seq));
+    EXPECT_EQ(ring->tail(), 20u);
+    EXPECT_EQ(ring->oldest(), 12u);
+
+    Item item;
+    EXPECT_EQ(ring->readAt(0, item), BroadcastRead::Lapped);
+    EXPECT_EQ(ring->readAt(11, item), BroadcastRead::Lapped);
+    for (std::uint64_t seq = 12; seq < 20; ++seq) {
+        ASSERT_EQ(ring->readAt(seq, item), BroadcastRead::Ok);
+        EXPECT_EQ(item.seq, seq);
+        EXPECT_TRUE(consistent(item));
+    }
+    EXPECT_EQ(ring->readAt(20, item), BroadcastRead::NotYet);
+
+    // stillValid mirrors the same reuse horizon.
+    EXPECT_FALSE(ring->stillValid(11));
+    EXPECT_TRUE(ring->stillValid(12));
+    EXPECT_TRUE(ring->stillValid(19));
+}
+
+TEST(BroadcastRing, HeartbeatAndProducerGoneFlags)
+{
+    HeapRing host(4);
+    ItemRing *ring = host.ring;
+    ASSERT_NE(ring, nullptr);
+
+    EXPECT_EQ(ring->heartbeat(), 0u);
+    ring->bumpHeartbeat();
+    ring->bumpHeartbeat();
+    EXPECT_EQ(ring->heartbeat(), 2u);
+
+    EXPECT_FALSE(ring->producerGone());
+    ring->markProducerGone();
+    EXPECT_TRUE(ring->producerGone());
+}
+
+// ----- cursors -----------------------------------------------------------
+
+TEST(BroadcastCursor, ClaimDeliversEverythingWhenKeptUp)
+{
+    HeapRing host(16);
+    ItemRing *ring = host.ring;
+    ASSERT_NE(ring, nullptr);
+
+    BroadcastCursor cursor;
+    std::uint64_t delivered = 0;
+    std::uint64_t published = 0;
+    for (unsigned round = 0; round < 100; ++round) {
+        for (unsigned i = 0; i < 7; ++i)
+            ring->publish(itemFor(published++));
+        for (;;) {
+            const auto claim = cursor.claim(*ring, 4);
+            if (claim.count == 0)
+                break;
+            for (std::size_t i = 0; i < claim.count; ++i) {
+                Item item;
+                ASSERT_EQ(ring->readAt(claim.first + i, item),
+                          BroadcastRead::Ok);
+                EXPECT_EQ(item.seq, claim.first + i);
+                ++delivered;
+            }
+        }
+    }
+    EXPECT_EQ(delivered, published);
+    EXPECT_EQ(cursor.dropped(), 0u);
+    EXPECT_EQ(cursor.position(), ring->tail());
+}
+
+TEST(BroadcastCursor, ClaimSkipsToOldestAfterLap)
+{
+    HeapRing host(8);
+    ItemRing *ring = host.ring;
+    ASSERT_NE(ring, nullptr);
+
+    BroadcastCursor cursor;
+    for (std::uint64_t seq = 0; seq < 20; ++seq)
+        ring->publish(itemFor(seq));
+
+    const auto claim = cursor.claim(*ring, 100);
+    EXPECT_EQ(claim.first, 12u);
+    EXPECT_EQ(claim.count, 8u);
+    EXPECT_EQ(cursor.dropped(), 12u);
+    EXPECT_EQ(cursor.position(), 20u);
+}
+
+TEST(BroadcastCursor, ReclaimAdvancesLappedCursorExactly)
+{
+    HeapRing host(8);
+    ItemRing *ring = host.ring;
+    ASSERT_NE(ring, nullptr);
+
+    BroadcastCursor cursor;
+    // No overwrite pending: reclaim is a no-op.
+    ring->publish(itemFor(0));
+    ring->publish(itemFor(1));
+    EXPECT_FALSE(cursor.wouldLap(*ring, 4));
+    EXPECT_EQ(cursor.reclaim(*ring, 4), 0u);
+    EXPECT_EQ(cursor.position(), 0u);
+
+    // Fill the ring: the next 4 publishes overwrite sequences 0-3.
+    for (std::uint64_t seq = 2; seq < 8; ++seq)
+        ring->publish(itemFor(seq));
+    EXPECT_TRUE(cursor.wouldLap(*ring, 4));
+    EXPECT_EQ(cursor.reclaim(*ring, 4), 4u);
+    EXPECT_EQ(cursor.position(), 4u);
+    EXPECT_EQ(cursor.dropped(), 4u);
+
+    // A caught-up reader is never reclaimed.
+    BroadcastCursor fresh(ring->tail());
+    EXPECT_FALSE(fresh.wouldLap(*ring, 4));
+    EXPECT_EQ(fresh.reclaim(*ring, 4), 0u);
+    EXPECT_EQ(fresh.dropped(), 0u);
+}
+
+TEST(BroadcastCursor, DropInvariantHoldsAcrossMixedClaimsAndReclaims)
+{
+    HeapRing host(8);
+    ItemRing *ring = host.ring;
+    ASSERT_NE(ring, nullptr);
+
+    BroadcastCursor cursor;
+    std::uint64_t delivered = 0;
+    constexpr std::uint64_t kPublished = 1000;
+
+    const auto drainOne = [&](std::uint64_t seq) {
+        Item item;
+        if (ring->readAt(seq, item) == BroadcastRead::Ok) {
+            EXPECT_EQ(item.seq, seq);
+            EXPECT_TRUE(consistent(item));
+            ++delivered;
+        } else {
+            cursor.countDropped(1);
+        }
+    };
+
+    for (std::uint64_t seq = 0; seq < kPublished; ++seq) {
+        if (seq % 8 == 0)
+            cursor.reclaim(*ring, 8);
+        ring->publish(itemFor(seq));
+        if (seq % 10 == 0) {
+            const auto claim = cursor.claim(*ring, 3);
+            for (std::size_t i = 0; i < claim.count; ++i)
+                drainOne(claim.first + i);
+        }
+    }
+    for (;;) {
+        const auto claim = cursor.claim(*ring, 64);
+        if (claim.count == 0)
+            break;
+        for (std::size_t i = 0; i < claim.count; ++i)
+            drainOne(claim.first + i);
+    }
+
+    EXPECT_EQ(delivered + cursor.dropped(), kPublished);
+    EXPECT_GT(delivered, 0u);
+    EXPECT_GT(cursor.dropped(), 0u);
+}
+
+// ----- concurrency -------------------------------------------------------
+
+TEST(BroadcastRing, TornReadsAreImpossibleUnderConcurrentOverwrite)
+{
+    // A tiny ring maximises reader/writer slot overlap: almost every
+    // read races an overwrite, so a torn copy would surface fast.
+    constexpr std::uint64_t kPublished = 30000;
+    HeapRing host(4);
+    ItemRing *ring = host.ring;
+    ASSERT_NE(ring, nullptr);
+
+    std::atomic<bool> produced{false};
+    std::atomic<std::uint64_t> torn{0};
+    std::atomic<std::uint64_t> observed{0};
+
+    std::thread reader([&] {
+        std::uint64_t seq = 0;
+        for (;;) {
+            Item item;
+            switch (ring->readAt(seq, item)) {
+            case BroadcastRead::Ok:
+                if (item.seq != seq || !consistent(item))
+                    torn.fetch_add(1, std::memory_order_relaxed);
+                observed.fetch_add(1, std::memory_order_relaxed);
+                ++seq;
+                break;
+            case BroadcastRead::NotYet:
+                if (produced.load(std::memory_order_acquire)
+                    && seq >= ring->tail())
+                    return;
+                break;
+            case BroadcastRead::Lapped:
+                seq = std::max(ring->oldest(), seq + 1);
+                break;
+            }
+        }
+    });
+
+    for (std::uint64_t seq = 0; seq < kPublished; ++seq)
+        ring->publish(itemFor(seq));
+    produced.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(torn.load(), 0u);
+    EXPECT_GT(observed.load(), 0u);
+}
+
+TEST(BroadcastRing, EightReaderMixedFastSlowStressKeepsDropInvariant)
+{
+    constexpr std::size_t kCapacity = 512;
+    constexpr std::uint64_t kPublished = 30000;
+    constexpr unsigned kReaders = 8;
+    constexpr std::uint64_t kReclaimEvery = 64;
+
+    HeapRing host(kCapacity);
+    ItemRing *ring = host.ring;
+    ASSERT_NE(ring, nullptr);
+
+    std::vector<std::unique_ptr<BroadcastCursor>> cursors;
+    for (unsigned r = 0; r < kReaders; ++r)
+        cursors.push_back(std::make_unique<BroadcastCursor>());
+
+    std::atomic<bool> produced{false};
+    std::vector<std::uint64_t> delivered(kReaders, 0);
+    std::vector<std::uint64_t> corrupt(kReaders, 0);
+
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (unsigned r = 0; r < kReaders; ++r) {
+        readers.emplace_back([&, r] {
+            BroadcastCursor &cursor = *cursors[r];
+            const bool slow = (r % 2) != 0;
+            std::uint64_t sinceNap = 0;
+            for (;;) {
+                const auto claim = cursor.claim(*ring, 32);
+                if (claim.count == 0) {
+                    if (produced.load(std::memory_order_acquire)
+                        && cursor.position() >= kPublished)
+                        break;
+                    std::this_thread::yield();
+                    continue;
+                }
+                for (std::size_t i = 0; i < claim.count; ++i) {
+                    const std::uint64_t seq = claim.first + i;
+                    Item item;
+                    switch (ring->readAt(seq, item)) {
+                    case BroadcastRead::Ok:
+                        if (item.seq != seq || !consistent(item))
+                            ++corrupt[r];
+                        ++delivered[r];
+                        break;
+                    case BroadcastRead::Lapped:
+                        // Claimed but overwritten before the copy:
+                        // the reader's share of the drop account.
+                        cursor.countDropped(1);
+                        break;
+                    case BroadcastRead::NotYet:
+                        // Claimed sequences are always published.
+                        ++corrupt[r];
+                        break;
+                    }
+                }
+                sinceNap += claim.count;
+                if (slow && sinceNap >= 256) {
+                    sinceNap = 0;
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(100));
+                }
+            }
+        });
+    }
+
+    // The producer runs the server's bookkeeping cadence: before
+    // each kReclaimEvery-publish burst, reclaim every cursor the
+    // burst would lap.
+    std::thread producer([&] {
+        for (std::uint64_t seq = 0; seq < kPublished; ++seq) {
+            if (seq % kReclaimEvery == 0)
+                for (auto &cursor : cursors)
+                    cursor->reclaim(*ring, kReclaimEvery);
+            ring->publish(itemFor(seq));
+        }
+        produced.store(true, std::memory_order_release);
+    });
+
+    producer.join();
+    for (auto &thread : readers)
+        thread.join();
+
+    for (unsigned r = 0; r < kReaders; ++r) {
+        EXPECT_EQ(corrupt[r], 0u) << "reader " << r;
+        // Every sequence was delivered or counted dropped — by the
+        // reader's claim skip, its post-claim lap accounting, or the
+        // producer's reclaim — exactly once.
+        EXPECT_EQ(delivered[r] + cursors[r]->dropped(), kPublished)
+            << "reader " << r;
+    }
+}
+
+} // namespace
+} // namespace ps3::transport

@@ -50,6 +50,7 @@ GATED = (
     "BM_DumpWriteText",
     "BM_DumpWriteBinary",
     "BM_DumpReaderLoad",
+    "BM_ShmFanout/real_time",
     "BM_NetFanout/real_time",
     "BM_NetEndToEnd/real_time",
     "BM_NetTieredEgress/real_time",
@@ -128,13 +129,28 @@ def main() -> int:
                 f"({(1.0 - ratio) * 100:.1f}% slower, "
                 f"threshold {args.threshold * 100:.0f}%)")
         print(f"  [{status}] {name}: {new:.3g} "
-              f"(baseline {old:.3g}, ratio {ratio:.2f})")
+              f"(baseline {old:.3g}, {(ratio - 1.0) * 100:+.1f}%)")
 
     if failures:
         print("bench_compare: regressions detected:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
+
+    # Tracked-but-ungated benchmarks: print the same delta line so a
+    # passing run still documents where every benchmark moved.
+    tracked = sorted(set(fresh) & set(baseline) - set(GATED))
+    if tracked:
+        print("ungated (tracked only):")
+        for name in tracked:
+            try:
+                old = score(baseline[name])
+                new = score(fresh[name])
+            except ValueError:
+                continue
+            delta = (new / old - 1.0) * 100 if old > 0 else 0.0
+            print(f"  [    ] {name}: {new:.3g} "
+                  f"(baseline {old:.3g}, {delta:+.1f}%)")
     print("bench_compare: no gated regressions")
     return 0
 
