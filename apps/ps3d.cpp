@@ -2,37 +2,46 @@
  * @file
  * ps3d — the PowerSensor3 streaming daemon.
  *
- * Owns one sensor (real hardware, or a simulated rig for testing)
- * and serves its live 20 kHz stream to any number of subscribers
- * over TCP and/or Unix-domain sockets (docs/PROTOCOL.md, "Network
- * wire protocol") or shared memory (docs/SHMEM.md). Tools on other
- * machines — or other processes on this one — attach with
- * `--connect`:
+ * Owns one primary sensor (real hardware, or a simulated rig for
+ * testing) — and optionally a fleet of simulated extras — and serves
+ * the live streams to any number of subscribers over TCP and/or
+ * Unix-domain sockets (docs/PROTOCOL.md) or shared memory
+ * (docs/SHMEM.md). Tools on other machines — or other processes on
+ * this one — attach with `--connect`:
  *
  *   ps3d -d /dev/ttyACM0 --listen tcp://0.0.0.0:9151 \
  *                        --listen shm:///run/ps3-shm.sock
  *   psrun --connect tcp://measurehost:9151 -- ./benchmark
- *   psrun --connect shm:///run/ps3-shm.sock -- ./benchmark
+ *   psfleet --connect tcp://measurehost:9151
+ *
+ * Every endpoint is served by one epoll event-loop thread
+ * (net::FleetServer): PS3N v1.x clients get the primary sensor's
+ * classic single stream, PS3N v2 clients (psfleet) can subscribe to
+ * every sensor over one multiplexed connection. `--sensors N` adds N
+ * simulated fleet sensors next to the primary — the substrate for
+ * fleet-tool development without racking N machines.
  *
  * --listen may be repeated to serve several endpoints at once; the
- * default is tcp://127.0.0.1:9151. An shm:// endpoint is a local
- * Unix control socket whose subscribers map the daemon's broadcast
- * ring and read it with zero steady-state syscalls. --duration
- * bounds the runtime (tests); otherwise the daemon runs until
- * SIGINT/SIGTERM and shuts down gracefully (subscribers get the
- * stream's tail plus an end-of-stream frame).
+ * default is tcp://127.0.0.1:9151. --duration bounds the runtime
+ * (tests); otherwise the daemon runs until SIGINT/SIGTERM and shuts
+ * down gracefully (subscribers get the stream's tail plus an
+ * end-of-stream frame). When the endpoint is already served by a
+ * live daemon, ps3d exits with a dedicated code (4) and a one-line
+ * pointer instead of a stack of socket errors.
  */
 
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/errors.hpp"
 #include "common/version.hpp"
-#include "net/server.hpp"
+#include "net/fleet_server.hpp"
+#include "net/registry.hpp"
 #include "tool_common.hpp"
 
 namespace {
@@ -59,12 +68,21 @@ try {
         "                  host:port, unix://path, shm://path\n"
         "                  (local shared-memory stream, see\n"
         "                  docs/SHMEM.md)\n"
+        "  --sensors N     add N simulated fleet sensors next to\n"
+        "                  the primary (PS3N v2 subscribers see\n"
+        "                  N+1 sensors; v1 clients still get the\n"
+        "                  primary)\n"
+        "  --fleet-rate HZ sample rate of the simulated fleet\n"
+        "                  sensors (default 1000)\n"
         "  --duration S    exit after S seconds (default: run until\n"
         "                  SIGINT/SIGTERM)\n"
-        "  serves the sensor stream to psrun/psinfo/... --connect\n");
+        "  serves the sensor stream to psrun/psinfo/psfleet "
+        "--connect\n");
 
     std::vector<std::string> listen_uris;
     double duration = -1.0;
+    unsigned long fleet_sensors = 0;
+    double fleet_rate = 1000.0;
     for (std::size_t i = 0; i < context.args.size(); ++i) {
         const std::string &arg = context.args[i];
         auto next = [&]() -> const std::string & {
@@ -76,18 +94,46 @@ try {
             listen_uris.push_back(next());
         else if (arg == "--duration")
             duration = std::stod(next());
+        else if (arg == "--sensors")
+            fleet_sensors = std::stoul(next());
+        else if (arg == "--fleet-rate")
+            fleet_rate = std::stod(next());
         else
             throw UsageError("ps3d: unknown argument: " + arg);
     }
     if (listen_uris.empty())
         listen_uris.push_back("tcp://127.0.0.1:9151");
+    if (fleet_rate <= 0.0)
+        throw UsageError("ps3d: --fleet-rate must be positive");
 
-    net::Ps3Server server(*context.sensor);
-    for (const auto &uri : listen_uris) {
-        const auto bound =
-            server.listen(transport::Endpoint::parse(uri));
-        std::printf("ps3d %s: serving %s\n", kHostLibraryVersion,
-                    bound.describe().c_str());
+    net::SensorRegistry registry;
+    registry.addSensor(*context.sensor, "primary");
+
+    // The simulated fleet reuses the primary's configuration (pair
+    // names, sensitivities); smaller rings keep N sensors cheap.
+    std::vector<std::uint16_t> fleet_ids;
+    const auto fleet_config = registry.entry(0).config;
+    for (unsigned long i = 0; i < fleet_sensors; ++i)
+        fleet_ids.push_back(registry.addSimulated(
+            "sim-" + std::to_string(i), fleet_config, "sim-fleet",
+            fleet_rate, 1u << 12));
+    std::unique_ptr<net::SimulatedFleet> fleet;
+    if (!fleet_ids.empty())
+        fleet = std::make_unique<net::SimulatedFleet>(
+            registry, std::move(fleet_ids));
+
+    net::FleetServer server(registry);
+    try {
+        for (const auto &uri : listen_uris) {
+            const auto bound =
+                server.listen(transport::Endpoint::parse(uri));
+            std::printf("ps3d %s: serving %s\n",
+                        kHostLibraryVersion,
+                        bound.describe().c_str());
+        }
+    } catch (const AddressInUseError &e) {
+        std::fprintf(stderr, "ps3d: %s\n", e.what());
+        return tools::kExitAddressInUse;
     }
     std::fflush(stdout);
 
@@ -109,6 +155,9 @@ try {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
 
+    if (fleet)
+        fleet->stop();
+    registry.stopAll();
     server.stop();
     std::printf("ps3d: served %llu marker request(s), dropped %llu "
                 "record(s)\n",

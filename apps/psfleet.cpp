@@ -1,0 +1,285 @@
+/**
+ * @file
+ * psfleet — live rollups over a fleet of PowerSensor3 daemons.
+ *
+ * Connects to one or more ps3d endpoints with the multiplexed PS3N
+ * v2 protocol (one connection per daemon, one stream per sensor) and
+ * prints a periodic fleet rollup: sensor count, total/min/max power
+ * and the running gap count across every stream:
+ *
+ *   psfleet --connect tcp://hostA:9151 --connect tcp://hostB:9151
+ *   fleet: 514 sensors, sum=6182.4 W, min=2.1 W, max=38.9 W, gaps=0
+ *
+ * `--list` prints each daemon's sensor table instead of streaming.
+ * A v1-only daemon refuses the v2 hello; psfleet reports it and
+ * exits with the connect-failed code (3), same as an unreachable
+ * endpoint.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "net/fleet_client.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace ps3;
+
+std::atomic<bool> stop_requested{false};
+
+void
+onSignal(int)
+{
+    stop_requested.store(true, std::memory_order_release);
+}
+
+/** Total power of a record over its present pairs (W). */
+double
+recordPower(const host::DumpRecord &record)
+{
+    double watts = 0.0;
+    for (unsigned pair = 0; pair < host::kMaxPairs; ++pair)
+        if (record.presentMask & (1u << pair))
+            watts += record.voltage[pair] * record.current[pair];
+    return watts;
+}
+
+/** One daemon connection and its per-sensor state. */
+struct FleetMember
+{
+    std::string uri;
+    std::unique_ptr<net::FleetClient> client;
+    std::thread thread;
+
+    std::mutex mutex; ///< guards power/records below
+    std::vector<double> power;         ///< last power per sensor
+    std::vector<std::uint64_t> records; ///< records per sensor
+    std::atomic<std::uint64_t> gaps{0};
+    std::atomic<bool> done{false};
+
+    /** Poll the connection until it ends or we are stopped. */
+    void
+    run()
+    {
+        net::FleetClient::Event event;
+        while (!stop_requested.load(std::memory_order_acquire)) {
+            if (!client->poll(event, 0.1))
+                continue;
+            switch (event.kind) {
+            case net::FleetClient::Event::Kind::Records: {
+                // Stream id = sensor id + 1 (0 is control).
+                const std::size_t sensor = event.streamId - 1;
+                if (sensor >= power.size()
+                    || event.records.empty())
+                    break;
+                std::lock_guard<std::mutex> lock(mutex);
+                power[sensor] = recordPower(event.records.back());
+                records[sensor] += event.records.size();
+                gaps.fetch_add(event.gapRecords,
+                               std::memory_order_relaxed);
+                break;
+            }
+            case net::FleetClient::Event::Kind::Heartbeat:
+                gaps.fetch_add(event.gapRecords,
+                               std::memory_order_relaxed);
+                break;
+            case net::FleetClient::Event::Kind::ConnectionClosed:
+                done.store(true, std::memory_order_release);
+                return;
+            default:
+                break;
+            }
+        }
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    std::vector<std::string> connect_uris;
+    double duration = -1.0;
+    double interval = 1.0;
+    bool list_only = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                throw UsageError(arg + " needs an argument");
+            return argv[++i];
+        };
+        if (arg == "--connect")
+            connect_uris.push_back(next());
+        else if (arg == "--duration")
+            duration = std::stod(next());
+        else if (arg == "--interval")
+            interval = std::stod(next());
+        else if (arg == "--list")
+            list_only = true;
+        else if (arg == "-h" || arg == "--help") {
+            std::printf(
+                "usage: psfleet --connect URI [--connect URI ...]\n"
+                "  --connect URI   a ps3d endpoint (repeatable)\n"
+                "  --list          print the sensor tables and "
+                "exit\n"
+                "  --interval S    seconds between rollup lines "
+                "(default 1)\n"
+                "  --duration S    exit after S seconds (default: "
+                "run\n"
+                "                  until SIGINT/SIGTERM)\n");
+            return 0;
+        } else
+            throw UsageError("psfleet: unknown argument: " + arg);
+    }
+    if (connect_uris.empty())
+        throw UsageError(
+            "psfleet: at least one --connect URI is required");
+    if (interval <= 0.0)
+        throw UsageError("psfleet: --interval must be positive");
+
+    // Connect and enumerate every daemon up front; any refusal is
+    // the "daemon not up (or not fleet-capable)" exit.
+    std::vector<std::unique_ptr<FleetMember>> members;
+    for (const auto &uri : connect_uris) {
+        auto member = std::make_unique<FleetMember>();
+        member->uri = uri;
+        try {
+            member->client = net::FleetClient::connect(
+                transport::Endpoint::parse(uri), 5.0);
+        } catch (const DeviceError &e) {
+            std::fprintf(stderr, "psfleet: %s: %s\n", uri.c_str(),
+                         e.what());
+            return tools::kExitConnectFailed;
+        }
+        members.push_back(std::move(member));
+    }
+
+    if (list_only) {
+        for (auto &member : members) {
+            member->client->requestSensorList();
+            net::FleetClient::Event event;
+            while (member->client->poll(event, 5.0)
+                   && event.kind
+                          != net::FleetClient::Event::Kind::Sensors)
+                ;
+            std::printf("%s: %zu sensor(s)\n", member->uri.c_str(),
+                        event.sensors.size());
+            for (const auto &sensor : event.sensors)
+                std::printf("  %4u  %-24s %.0f Hz\n", sensor.id,
+                            sensor.name.c_str(),
+                            sensor.sampleRateHz);
+        }
+        return 0;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    // Subscribe to everything, then poll each connection from its
+    // own thread (the rollup below only reads shared state).
+    for (auto &member : members) {
+        const std::uint16_t count = member->client->sensorCount();
+        member->power.assign(count,
+                             std::numeric_limits<double>::quiet_NaN());
+        member->records.assign(count, 0);
+        for (std::uint16_t sensor = 0; sensor < count; ++sensor)
+            member->client->subscribe(
+                static_cast<std::uint16_t>(sensor + 1), sensor);
+        FleetMember *raw = member.get();
+        member->thread = std::thread([raw] { raw->run(); });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    auto next_report =
+        start + std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(interval));
+    while (!stop_requested.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        const auto now = std::chrono::steady_clock::now();
+        if (duration >= 0.0
+            && std::chrono::duration<double>(now - start).count()
+                   >= duration)
+            break;
+        if (std::all_of(members.begin(), members.end(),
+                        [](const auto &m) {
+                            return m->done.load(
+                                std::memory_order_acquire);
+                        })) {
+            std::fprintf(stderr,
+                         "psfleet: all daemons disconnected\n");
+            break;
+        }
+        if (now < next_report)
+            continue;
+        next_report +=
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(interval));
+
+        std::size_t sensors = 0, reporting = 0;
+        double sum = 0.0;
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        std::uint64_t gaps = 0;
+        for (auto &member : members) {
+            std::lock_guard<std::mutex> lock(member->mutex);
+            sensors += member->power.size();
+            for (double watts : member->power) {
+                if (std::isnan(watts))
+                    continue;
+                ++reporting;
+                sum += watts;
+                lo = std::min(lo, watts);
+                hi = std::max(hi, watts);
+            }
+            gaps += member->gaps.load(std::memory_order_relaxed);
+        }
+        if (reporting == 0)
+            std::printf("fleet: %zu sensors, no data yet\n",
+                        sensors);
+        else
+            std::printf("fleet: %zu sensors, sum=%.1f W, "
+                        "min=%.2f W, max=%.2f W, gaps=%llu\n",
+                        sensors, sum, lo, hi,
+                        static_cast<unsigned long long>(gaps));
+        std::fflush(stdout);
+    }
+
+    stop_requested.store(true, std::memory_order_release);
+    for (auto &member : members) {
+        member->client->abort();
+        if (member->thread.joinable())
+            member->thread.join();
+    }
+
+    std::uint64_t records = 0, gaps = 0;
+    for (auto &member : members) {
+        for (std::uint64_t n : member->records)
+            records += n;
+        gaps += member->gaps.load(std::memory_order_relaxed);
+    }
+    std::printf("psfleet: %zu daemon(s), %llu record(s), %llu "
+                "gap record(s)\n",
+                members.size(),
+                static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(gaps));
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "psfleet: %s\n", e.what());
+    return dynamic_cast<const ps3::UsageError *>(&e) != nullptr ? 2
+                                                                : 1;
+}

@@ -36,6 +36,13 @@ namespace ps3::tools {
  */
 inline constexpr int kExitConnectFailed = 3;
 
+/**
+ * Exit code when a daemon cannot bind its endpoint because another
+ * live daemon already serves it. Scripts restarting ps3d can treat
+ * this as "already running" rather than a crash.
+ */
+inline constexpr int kExitAddressInUse = 4;
+
 /** Parsed common options plus the opened connection. */
 struct ToolContext
 {

@@ -33,7 +33,10 @@
 #include "host/power_sensor.hpp"
 #include "host/sim_setup.hpp"
 #include "host/stream_parser.hpp"
+#include "net/fleet_client.hpp"
+#include "net/fleet_server.hpp"
 #include "net/net_power_sensor.hpp"
+#include "net/registry.hpp"
 #include "net/server.hpp"
 #include "net/shm_stream.hpp"
 #include "net/wire.hpp"
@@ -840,6 +843,126 @@ BM_NetEndToEnd(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_NetEndToEnd)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * Fleet-scale fan-out on one event-loop thread: a SensorRegistry
+ * with 256 publish-driven sensors served by a FleetServer to 64 v2
+ * connections, each subscribed to every sensor — 16384 multiplexed
+ * streams over one epoll loop. Streams use Block overflow with
+ * unlimited credit, so delivery is lossless and the per-iteration
+ * barrier is an exact record count per connection. records_per_s is
+ * total delivered records (published x sensors x subscribers), the
+ * number the thread-per-subscriber design cannot reach (it would
+ * need 16k sender threads to even start).
+ */
+void
+BM_FleetFanout(benchmark::State &state)
+{
+    constexpr std::uint16_t kSensors = 256;
+    constexpr std::size_t kSubscribers = 64;
+    constexpr std::uint64_t kBatch = 4; // records/sensor/iteration
+
+    firmware::DeviceConfig config{};
+    config[0].inUse = true;
+
+    net::SensorRegistry registry;
+    for (std::uint16_t s = 0; s < kSensors; ++s)
+        registry.addSimulated("fleet-" + std::to_string(s), config,
+                              "bench", 20000.0, 256);
+
+    net::FleetServer::Options options;
+    options.maxSubscribers = kSubscribers;
+    net::FleetServer server(registry, options);
+    const std::string path =
+        "/tmp/ps3_bench_fleet."
+        + std::to_string(static_cast<long>(::getpid())) + ".sock";
+    const auto endpoint =
+        server.listen(transport::Endpoint::parse("unix://" + path));
+
+    // Every stream must exist before the first publish (streams
+    // join at the ring tail), so readers report ready only once all
+    // their subscribe acks are in.
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> ready{0};
+    auto progress =
+        std::make_unique<std::atomic<std::uint64_t>[]>(kSubscribers);
+    std::vector<std::thread> readers;
+    for (std::size_t i = 0; i < kSubscribers; ++i) {
+        readers.emplace_back([&, i] {
+            auto client = net::FleetClient::connect(endpoint, 5.0);
+            for (std::uint16_t s = 0; s < kSensors; ++s)
+                client->subscribe(
+                    static_cast<std::uint16_t>(s + 1), s,
+                    host::Tier::Raw, transport::RingOverflow::Block,
+                    net::kUnlimitedCredit);
+            net::FleetClient::Event event;
+            std::size_t acked = 0;
+            bool counted_ready = false;
+            while (!stop.load(std::memory_order_acquire)) {
+                if (!client->poll(event, 0.05)) {
+                    if (client->closed())
+                        return;
+                    continue;
+                }
+                switch (event.kind) {
+                case net::FleetClient::Event::Kind::SubscribeAck:
+                    if (++acked == kSensors && !counted_ready) {
+                        counted_ready = true;
+                        ready.fetch_add(1,
+                                        std::memory_order_release);
+                    }
+                    break;
+                case net::FleetClient::Event::Kind::Records:
+                    progress[i].fetch_add(
+                        event.records.size(),
+                        std::memory_order_relaxed);
+                    break;
+                case net::FleetClient::Event::Kind::
+                    ConnectionClosed:
+                    return;
+                default:
+                    break;
+                }
+            }
+        });
+    }
+    while (ready.load(std::memory_order_acquire) < kSubscribers)
+        std::this_thread::yield();
+
+    host::DumpRecord record{};
+    record.presentMask = 0x01;
+    record.voltage[0] = 12.0;
+    record.current[0] = 8.0;
+
+    std::uint64_t published = 0; // per sensor
+    for (auto _ : state) {
+        for (std::uint64_t k = 0; k < kBatch; ++k) {
+            record.time = 50e-6 * static_cast<double>(published++);
+            for (std::uint16_t s = 0; s < kSensors; ++s)
+                registry.publish(s, record);
+        }
+        const std::uint64_t due = published * kSensors;
+        for (std::size_t i = 0; i < kSubscribers; ++i)
+            while (progress[i].load(std::memory_order_relaxed)
+                   < due)
+                std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto &reader : readers)
+        reader.join();
+    registry.stopAll();
+    server.stop();
+
+    state.counters["records_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations())
+            * static_cast<double>(kBatch * kSensors * kSubscribers),
+        benchmark::Counter::kIsRate);
+    state.counters["streams"] = benchmark::Counter(
+        static_cast<double>(kSensors) * kSubscribers);
+}
+BENCHMARK(BM_FleetFanout)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

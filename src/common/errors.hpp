@@ -46,6 +46,22 @@ class InternalError : public Error
     explicit InternalError(const std::string &what) : Error(what) {}
 };
 
+/**
+ * A listener endpoint is already being served (EADDRINUSE, or a live
+ * Unix-domain socket at the requested path). Split out from
+ * DeviceError so daemons can exit with a distinct, scriptable code
+ * and a one-line "who else is serving this?" message instead of a
+ * generic bind failure.
+ */
+class AddressInUseError : public DeviceError
+{
+  public:
+    explicit AddressInUseError(const std::string &what)
+        : DeviceError(what)
+    {
+    }
+};
+
 } // namespace ps3
 
 #endif // PS3_COMMON_ERRORS_HPP

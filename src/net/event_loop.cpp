@@ -1,0 +1,162 @@
+#include "event_loop.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include <sys/epoll.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include "common/errors.hpp"
+#include "obs/registry.hpp"
+
+namespace ps3::net {
+
+namespace {
+
+struct LoopMetrics
+{
+    obs::Counter &wakeups = obs::Registry::global().counter(
+        "ps3_net_loop_wakeups_total",
+        "Event-loop wakeups (epoll_wait returns with ready events)");
+    obs::Counter &events = obs::Registry::global().counter(
+        "ps3_net_loop_events_total",
+        "Descriptor events dispatched by the event loop");
+};
+
+LoopMetrics &
+loopMetrics()
+{
+    static LoopMetrics metrics;
+    return metrics;
+}
+
+} // namespace
+
+EventLoop::EventLoop()
+{
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epollFd_ < 0)
+        throw DeviceError(std::string("epoll_create1: ")
+                          + std::strerror(errno));
+}
+
+EventLoop::~EventLoop()
+{
+    if (epollFd_ >= 0)
+        ::close(epollFd_);
+}
+
+void
+EventLoop::add(int fd, std::uint32_t events, Callback callback)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+        throw DeviceError(std::string("epoll_ctl(ADD): ")
+                          + std::strerror(errno));
+    handlers_[fd] =
+        std::make_shared<Callback>(std::move(callback));
+}
+
+void
+EventLoop::modify(int fd, std::uint32_t events)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    // A modify race with remove() is harmless: ENOENT is the fd
+    // already being deregistered.
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void
+EventLoop::remove(int fd)
+{
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+    handlers_.erase(fd);
+}
+
+int
+EventLoop::runOnce(int timeout_ms)
+{
+    epoll_event events[64];
+    const int n = ::epoll_wait(epollFd_, events, 64, timeout_ms);
+    if (n < 0) {
+        if (errno == EINTR)
+            return 0;
+        throw DeviceError(std::string("epoll_wait: ")
+                          + std::strerror(errno));
+    }
+    if (n == 0)
+        return 0;
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    loopMetrics().wakeups.inc();
+    loopMetrics().events.inc(static_cast<std::uint64_t>(n));
+    for (int i = 0; i < n; ++i) {
+        // Look the handler up per event: an earlier handler in this
+        // batch may have removed this descriptor.
+        const auto it = handlers_.find(events[i].data.fd);
+        if (it == handlers_.end())
+            continue;
+        const std::shared_ptr<Callback> handler = it->second;
+        (*handler)(events[i].events);
+    }
+    return n;
+}
+
+// ----- LoopTimer ---------------------------------------------------------
+
+LoopTimer::LoopTimer()
+{
+    fd_ = ::timerfd_create(CLOCK_MONOTONIC,
+                           TFD_NONBLOCK | TFD_CLOEXEC);
+    if (fd_ < 0)
+        throw DeviceError(std::string("timerfd_create: ")
+                          + std::strerror(errno));
+}
+
+LoopTimer::~LoopTimer()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+LoopTimer::armPeriodic(double period_seconds)
+{
+    itimerspec spec{};
+    const double period = std::max(period_seconds, 1e-3);
+    const auto secs = static_cast<time_t>(period);
+    const auto nanos =
+        static_cast<long>((period - static_cast<double>(secs))
+                          * 1e9);
+    spec.it_interval.tv_sec = secs;
+    spec.it_interval.tv_nsec = nanos;
+    spec.it_value = spec.it_interval;
+    if (::timerfd_settime(fd_, 0, &spec, nullptr) != 0)
+        throw DeviceError(std::string("timerfd_settime: ")
+                          + std::strerror(errno));
+    armed_ = true;
+}
+
+void
+LoopTimer::disarm()
+{
+    itimerspec spec{}; // all-zero disarms
+    ::timerfd_settime(fd_, 0, &spec, nullptr);
+    drain();
+    armed_ = false;
+}
+
+void
+LoopTimer::drain()
+{
+    std::uint64_t expirations = 0;
+    [[maybe_unused]] const ssize_t n =
+        ::read(fd_, &expirations, sizeof(expirations));
+}
+
+} // namespace ps3::net

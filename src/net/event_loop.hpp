@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A minimal epoll event loop for the fleet server.
+ *
+ * One loop owns every descriptor of the daemon's network plane:
+ * listening sockets, per-connection stream sockets, per-sensor
+ * eventfd doorbells, a timerfd for all periodic work and an eventfd
+ * for stop requests. Registration binds a callback to a descriptor;
+ * dispatch looks the callback up per event, so a handler that
+ * removes (or closes) other descriptors mid-batch is safe — stale
+ * events simply find nothing to call.
+ *
+ * The loop counts its own wakeups in ps3_net_loop_wakeups_total.
+ * That counter is the contract behind the idle-daemon guarantee: a
+ * ps3d with no subscribers parks in epoll_wait with the timer
+ * disarmed and makes effectively zero trips through here.
+ */
+
+#ifndef PS3_NET_EVENT_LOOP_HPP
+#define PS3_NET_EVENT_LOOP_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace ps3::net {
+
+/** An epoll instance plus the fd -> handler table. */
+class EventLoop
+{
+  public:
+    /** Handler invoked with the ready epoll event mask. */
+    using Callback = std::function<void(std::uint32_t events)>;
+
+    /** @throws DeviceError when epoll_create fails. */
+    EventLoop();
+
+    /** Closes the epoll descriptor (registered fds are not ours). */
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /**
+     * Register a descriptor. `events` is the epoll mask (EPOLLIN,
+     * EPOLLOUT, ...); level-triggered.
+     * @throws DeviceError when epoll_ctl fails.
+     */
+    void add(int fd, std::uint32_t events, Callback callback);
+
+    /** Change the event mask of a registered descriptor. */
+    void modify(int fd, std::uint32_t events);
+
+    /** Deregister; safe to call for an fd that was never added. */
+    void remove(int fd);
+
+    /**
+     * Wait for events (up to `timeout_ms`, -1 forever) and dispatch
+     * them. Returns the number of events dispatched; 0 on timeout.
+     */
+    int runOnce(int timeout_ms);
+
+    /**
+     * Wakeups so far (every epoll_wait return that saw events).
+     * Readable from any thread — the idle tests and accessors poll
+     * it while the loop runs.
+     */
+    std::uint64_t wakeups() const
+    {
+        return wakeups_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    int epollFd_ = -1;
+    std::atomic<std::uint64_t> wakeups_{0};
+    /** shared_ptr so a handler erased mid-dispatch stays callable. */
+    std::unordered_map<int, std::shared_ptr<Callback>> handlers_;
+};
+
+/**
+ * A CLOCK_MONOTONIC timerfd wrapper. Disarmed by default; the owner
+ * arms a periodic tick only while there is periodic work (pending
+ * handshakes, live connections), which is what keeps an idle daemon
+ * asleep.
+ */
+class LoopTimer
+{
+  public:
+    /** @throws DeviceError when timerfd_create fails. */
+    LoopTimer();
+    ~LoopTimer();
+
+    LoopTimer(const LoopTimer &) = delete;
+    LoopTimer &operator=(const LoopTimer &) = delete;
+
+    /** Arm a periodic tick every `period_seconds`. */
+    void armPeriodic(double period_seconds);
+
+    /** Disarm; pending expirations are discarded. */
+    void disarm();
+
+    /** True while armed. */
+    bool armed() const { return armed_; }
+
+    /** Consume pending expirations (call from the EPOLLIN handler). */
+    void drain();
+
+    /** The descriptor, for EventLoop::add. */
+    int nativeHandle() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    bool armed_ = false;
+};
+
+} // namespace ps3::net
+
+#endif // PS3_NET_EVENT_LOOP_HPP

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The fleet streaming daemon: every sensor, every subscriber, one
+ * event-loop thread.
+ *
+ * Ps3Server spends a thread per subscriber, which is the right
+ * trade for one sensor and a handful of clients but collapses at
+ * fleet scale (256 sensors x 64 subscribers would be 16k threads).
+ * FleetServer inverts the design: a SensorRegistry owns one
+ * broadcast ring per sensor, and a single epoll loop owns every
+ * descriptor — listeners, subscriber sockets, per-sensor eventfd
+ * doorbells, one timerfd for all periodic work. Subscriber sends
+ * are non-blocking writes out of a per-connection output buffer;
+ * when a socket would block, the connection switches EPOLLOUT on
+ * and the loop returns to it when the kernel drains the buffer.
+ *
+ * Wire compatibility is total for v1.x: a NetPowerSensor (v1.0,
+ * v1.1 or v1.2, socket or shm://) that connects gets sensor 0's
+ * stream byte-for-byte as Ps3Server would send it — sequence
+ * headers, heartbeats, aggregate tiers, marker echoes, the drain
+ * EOS, the shm segment handover. A v2 hello (wire_v2.hpp) instead
+ * opens a multiplexed session: list-sensors, per-stream subscribe
+ * with credit-based flow control, any number of sensor streams
+ * tagged with stream IDs on the one connection.
+ *
+ * Idle guarantee: the timer is armed only while connections exist,
+ * and a sensor's doorbell is armed only while some subscriber is
+ * caught up waiting on it — an idle daemon parks in epoll_wait
+ * indefinitely (ps3_net_loop_wakeups_total stands still), and an
+ * unwatched 20 kHz sensor costs zero syscalls per sample.
+ */
+
+#ifndef PS3_NET_FLEET_SERVER_HPP
+#define PS3_NET_FLEET_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/registry.hpp"
+#include "net/wire.hpp"
+#include "net/wire_v2.hpp"
+#include "transport/socket_device.hpp"
+
+namespace ps3::net {
+
+/** Epoll-based multi-sensor streaming server. */
+class FleetServer
+{
+  public:
+    /** Tunables (defaults mirror Ps3Server where they overlap). */
+    struct Options
+    {
+        /** Records claimed from a ring per pump pass, per stream. */
+        std::size_t batchRecords = 256;
+        /** Connection limit (hello answered with ServerFull). */
+        std::size_t maxSubscribers = 64;
+        /** Seconds a client gets to complete its hello. */
+        double handshakeTimeout = 2.0;
+        /** Seconds stop() waits for subscribers to drain. */
+        double drainTimeout = 2.0;
+        /**
+         * Idle seconds between heartbeat frames (v1.1+ and v2
+         * streams). <= 0 disables heartbeats.
+         */
+        double heartbeatInterval = 0.5;
+        /**
+         * Seconds a connection may sit with a full socket before it
+         * is dropped as wedged. <= 0 disables the timeout.
+         */
+        double writeTimeout = 2.0;
+        /** Per-connection v2 stream limit (TooManyStreams). */
+        std::size_t maxStreamsPerConnection = 4096;
+        /**
+         * Output-buffer high-water mark per connection (bytes); a
+         * connection above it stops claiming new records until the
+         * socket drains, which is what turns kernel backpressure
+         * into ring lag (and, for Block streams, disconnects).
+         */
+        std::size_t outBufferHighWater = 4u << 20;
+        /** Periodic bookkeeping tick (heartbeats, liveness). */
+        double tickInterval = 0.2;
+    };
+
+    /**
+     * Serve the given registry. The registry must outlive the
+     * server, and its topology must be complete before the first
+     * listen() — v1 clients bind to entry 0.
+     */
+    FleetServer(SensorRegistry &registry, Options options);
+    explicit FleetServer(SensorRegistry &registry);
+
+    /** stop()s. */
+    ~FleetServer();
+
+    FleetServer(const FleetServer &) = delete;
+    FleetServer &operator=(const FleetServer &) = delete;
+
+    /**
+     * Bind an endpoint (tcp://, unix://, shm://) and serve it from
+     * the event loop.
+     * @return The bound endpoint (with the ephemeral port filled in).
+     * @throws AddressInUseError when another daemon holds it.
+     */
+    transport::Endpoint listen(const transport::Endpoint &endpoint);
+
+    /**
+     * Graceful shutdown: stop accepting, let every stream drain to
+     * its ring tail, finish with heartbeat + end-of-stream, close.
+     * Call SensorRegistry::stopAll() first so the tails are stable.
+     * Waits at most drainTimeout for stragglers. Idempotent.
+     */
+    void stop();
+
+    /** Connections currently past their handshake. */
+    std::size_t subscriberCount() const;
+
+    /** Records lost across all streams (laps + Block kicks). */
+    std::uint64_t recordsDropped() const;
+
+    /** Upstream marker requests received (all protocol versions). */
+    std::uint64_t markerRequests() const;
+
+    /** Heartbeat frames sent. */
+    std::uint64_t heartbeatsSent() const;
+
+    /** Connections dropped by the server (overflow, errors). */
+    std::uint64_t subscribersDropped() const;
+
+    /** v2 protocol violations that cost a client its connection. */
+    std::uint64_t protocolErrors() const;
+
+    /** Event-loop wakeups so far (idle-daemon verification). */
+    std::uint64_t loopWakeups() const;
+
+  private:
+    struct Connection;
+    struct Stream;
+    struct StreamRef
+    {
+        Connection *connection = nullptr;
+        Stream *stream = nullptr;
+    };
+
+    void loopMain();
+    void post(std::function<void()> action);
+
+    void addListener(transport::SocketListener *listener, bool shm);
+    void onAccept(transport::SocketListener &listener, bool shm);
+    void onReadable(Connection &connection);
+    void onWritable(Connection &connection);
+    void onDoorbell(std::uint16_t sensor_id);
+    void onTick();
+
+    void processHello(Connection &connection);
+    void startV1Stream(Connection &connection,
+                       const ClientHello &hello);
+    void processV1Upstream(Connection &connection);
+    void applyV1TierChange(Connection &connection,
+                           std::uint8_t tier_byte);
+    void processV2Commands(Connection &connection);
+    void handleSubscribe(Connection &connection,
+                         const SubscribeRequest &request);
+
+    Stream *findStream(Connection &connection,
+                       std::uint16_t stream_id);
+    std::size_t beginStreamFrame(Connection &connection,
+                                 Stream &stream,
+                                 std::uint64_t first_seq);
+    void closeStreamFrame(Connection &connection,
+                          std::size_t offset);
+    void pumpConnection(Connection &connection);
+    void pumpStream(Connection &connection, Stream &stream);
+    void pumpRawClaim(Connection &connection, Stream &stream,
+                      std::uint64_t first, std::size_t count);
+    void pumpTierClaim(Connection &connection, Stream &stream,
+                       std::uint64_t first, std::size_t count);
+    void flushTierOpen(Connection &connection, Stream &stream);
+    void pumpSensor(std::uint16_t sensor_id);
+    void armDoorbell(std::uint16_t sensor_id);
+    void appendHeartbeat(Connection &connection, Stream &stream);
+    void flushOut(Connection &connection);
+    void updateWriteInterest(Connection &connection);
+    void kick(Connection &connection, bool server_fault);
+    void closeConnection(Connection &connection);
+    void sweepKicked();
+    void removeStream(Connection &connection, Stream &stream,
+                      bool send_eos);
+    void harvestDrops(Stream &stream);
+    void beginDrain();
+    void maybeDisarmTimer();
+
+    const Options options_;
+    SensorRegistry &registry_;
+
+    EventLoop loop_;
+    LoopTimer timer_;
+    int wakeFd_ = -1;
+
+    std::thread thread_;
+    std::mutex pendingMutex_;
+    std::vector<std::function<void()>> pending_;
+    std::atomic<bool> loopExit_{false};
+
+    struct ListenerSlot
+    {
+        std::unique_ptr<transport::SocketListener> listener;
+        bool shm = false;
+    };
+    std::vector<ListenerSlot> listeners_; ///< loop thread only
+    std::mutex listenMutex_;              ///< serialises listen()
+
+    /** fd -> connection; loop thread only. */
+    std::unordered_map<int, std::unique_ptr<Connection>>
+        connections_;
+    /** Streams per sensor id; loop thread only. */
+    std::vector<std::vector<StreamRef>> streamsBySensor_;
+
+    std::mutex stopMutex_;
+    std::atomic<bool> stopped_{false};
+    bool draining_ = false; ///< loop thread only
+    std::chrono::steady_clock::time_point drainDeadline_{};
+
+    std::atomic<std::size_t> subscriberCount_{0};
+    std::atomic<std::uint64_t> recordsDropped_{0};
+    std::atomic<std::uint64_t> markerRequests_{0};
+    std::atomic<std::uint64_t> heartbeatsSent_{0};
+    std::atomic<std::uint64_t> subscribersDropped_{0};
+    std::atomic<std::uint64_t> protocolErrors_{0};
+};
+
+} // namespace ps3::net
+
+#endif // PS3_NET_FLEET_SERVER_HPP

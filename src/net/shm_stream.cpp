@@ -41,12 +41,18 @@ ShmInfo ShmInfo::decode(const std::uint8_t *data, std::size_t size)
 void sendShmHandover(transport::SocketDevice &control,
                      const transport::ShmSegment &segment)
 {
+    sendShmHandover(control.nativeHandle(), segment);
+}
+
+void sendShmHandover(int control_fd,
+                     const transport::ShmSegment &segment)
+{
     ShmInfo info;
     info.segmentBytes = segment.size();
     std::uint8_t frame[kShmInfoSize];
     info.encode(frame);
-    transport::sendWithFd(control.nativeHandle(), frame,
-                          kShmInfoSize, segment.fd());
+    transport::sendWithFd(control_fd, frame, kShmInfoSize,
+                          segment.fd());
 }
 
 std::unique_ptr<ShmSubscriber>

@@ -109,6 +109,14 @@ void sendShmHandover(transport::SocketDevice &control,
                      const transport::ShmSegment &segment);
 
 /**
+ * Raw-descriptor variant for servers that own their fds directly
+ * (the epoll fleet server has no SocketDevice per connection).
+ * @throws DeviceError when the peer is gone.
+ */
+void sendShmHandover(int control_fd,
+                     const transport::ShmSegment &segment);
+
+/**
  * Client side: one mapped subscription to a server's broadcast
  * ring. Construction receives the handover frame, maps the segment
  * read-only and validates the ring layout. poll() is the entire

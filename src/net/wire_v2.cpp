@@ -1,0 +1,347 @@
+#include "wire_v2.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace ps3::net {
+
+namespace {
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(
+            static_cast<std::uint8_t>((v >> shift) & 0xFF));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, 8);
+    appendU64(out, bits);
+}
+
+double
+getF64(const std::uint8_t *p)
+{
+    const std::uint64_t bits = readU64(p);
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+} // namespace
+
+std::size_t
+commandSize(std::uint8_t op)
+{
+    switch (op) {
+      case kOpListSensors:
+        return kOpListSensorsSize;
+      case kOpSubscribe:
+        return kOpSubscribeSize;
+      case kOpUnsubscribe:
+        return kOpUnsubscribeSize;
+      case kOpCredit:
+        return kOpCreditSize;
+      case kOpMarker:
+        return kOpMarkerSize;
+      default:
+        return 0;
+    }
+}
+
+std::string
+describeSubscribeStatus(SubscribeStatus status)
+{
+    switch (status) {
+      case SubscribeStatus::Ok:
+        return "ok";
+      case SubscribeStatus::UnknownSensor:
+        return "unknown sensor id";
+      case SubscribeStatus::StreamIdInUse:
+        return "stream id already in use";
+      case SubscribeStatus::BadTier:
+        return "invalid tier";
+      case SubscribeStatus::TooManyStreams:
+        return "per-connection stream limit reached";
+      case SubscribeStatus::BadStreamId:
+        return "invalid stream id";
+    }
+    return "unknown status";
+}
+
+// ----- SubscribeRequest --------------------------------------------------
+
+void
+SubscribeRequest::encode(std::vector<std::uint8_t> &out) const
+{
+    out.push_back(kOpSubscribe);
+    putU16(out, streamId);
+    putU16(out, sensorId);
+    out.push_back(static_cast<std::uint8_t>(tier));
+    out.push_back(
+        overflow == transport::RingOverflow::DropOldest ? 1 : 0);
+    putU32(out, credit);
+}
+
+std::optional<SubscribeRequest>
+SubscribeRequest::decode(const std::uint8_t *body, std::size_t size)
+{
+    if (size < kOpSubscribeSize - 1)
+        return std::nullopt;
+    SubscribeRequest req;
+    req.streamId = getU16(body);
+    req.sensorId = getU16(body + 2);
+    req.rawTier = body[4];
+    // An out-of-range tier still decodes (clamped); the server
+    // answers BadTier from rawTier instead of dropping the link.
+    req.tier = static_cast<host::Tier>(
+        req.rawTier <= host::kMaxTierValue ? req.rawTier : 0);
+    if (body[5] > 1)
+        return std::nullopt;
+    req.overflow = body[5] == 1
+                       ? transport::RingOverflow::DropOldest
+                       : transport::RingOverflow::Block;
+    req.credit = getU32(body + 6);
+    return req;
+}
+
+// ----- SubscribeAckFrame -------------------------------------------------
+
+void
+SubscribeAckFrame::encode(std::vector<std::uint8_t> &out) const
+{
+    putU16(out, streamId);
+    putU16(out, sensorId);
+    out.push_back(static_cast<std::uint8_t>(status));
+    putF64(out, sampleRateHz);
+}
+
+SubscribeAckFrame
+SubscribeAckFrame::decode(const std::uint8_t *data, std::size_t size)
+{
+    if (size < 13)
+        throw DeviceError("v2 subscribe ack truncated");
+    SubscribeAckFrame ack;
+    ack.streamId = getU16(data);
+    ack.sensorId = getU16(data + 2);
+    if (data[4]
+        > static_cast<std::uint8_t>(SubscribeStatus::BadStreamId))
+        throw DeviceError("v2 subscribe ack: unknown status "
+                          + std::to_string(data[4]));
+    ack.status = static_cast<SubscribeStatus>(data[4]);
+    ack.sampleRateHz = getF64(data + 5);
+    return ack;
+}
+
+// ----- SensorList --------------------------------------------------------
+
+void
+encodeSensorList(std::vector<std::uint8_t> &out,
+                 const std::vector<SensorDescriptor> &sensors)
+{
+    putU16(out, static_cast<std::uint16_t>(
+                    std::min<std::size_t>(sensors.size(), 0xFFFF)));
+    for (const auto &sensor : sensors) {
+        putU16(out, sensor.id);
+        putF64(out, sensor.sampleRateHz);
+        const std::string name = sensor.name.substr(0, 255);
+        out.push_back(static_cast<std::uint8_t>(name.size()));
+        out.insert(out.end(), name.begin(), name.end());
+    }
+}
+
+std::vector<SensorDescriptor>
+decodeSensorList(const std::uint8_t *data, std::size_t size)
+{
+    if (size < 2)
+        throw DeviceError("v2 sensor list truncated");
+    const std::uint16_t count = getU16(data);
+    // Each row is at least 11 bytes; an implausible count cannot
+    // make the loop below read past `size`, but reject it early so
+    // a hostile header cannot make the client over-reserve either.
+    if (count > kMaxSensors
+        || static_cast<std::size_t>(count) * 11 > size)
+        throw DeviceError("v2 sensor list: implausible count "
+                          + std::to_string(count));
+    std::vector<SensorDescriptor> sensors;
+    sensors.reserve(count);
+    std::size_t pos = 2;
+    for (std::uint16_t i = 0; i < count; ++i) {
+        if (size - pos < 11)
+            throw DeviceError("v2 sensor list truncated");
+        SensorDescriptor sensor;
+        sensor.id = getU16(data + pos);
+        sensor.sampleRateHz = getF64(data + pos + 2);
+        const std::size_t name_len = data[pos + 10];
+        pos += 11;
+        if (size - pos < name_len)
+            throw DeviceError("v2 sensor list truncated");
+        sensor.name.assign(
+            reinterpret_cast<const char *>(data + pos), name_len);
+        pos += name_len;
+        sensors.push_back(std::move(sensor));
+    }
+    return sensors;
+}
+
+// ----- handshake ---------------------------------------------------------
+
+std::vector<std::uint8_t>
+encodeClientHelloV2()
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kClientHelloSize);
+    for (const char c : kMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    out.push_back(kProtocolVersion2);
+    // Bytes 5..7 (overflow/minor/tier in v1) are reserved in v2 —
+    // per-stream settings travel in subscribe commands instead.
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+    return out;
+}
+
+std::optional<std::uint8_t>
+peekHelloVersion(const std::uint8_t *data, std::size_t size)
+{
+    if (size < kClientHelloSize
+        || std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+        return std::nullopt;
+    return data[4];
+}
+
+std::vector<std::uint8_t>
+encodeServerHelloV2(HelloStatus status, std::uint16_t sensor_count)
+{
+    std::vector<std::uint8_t> payload;
+    if (status == HelloStatus::Ok)
+        putU16(payload, sensor_count);
+    std::vector<std::uint8_t> out;
+    out.reserve(kServerHelloPrefixSize + payload.size());
+    for (const char c : kMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    out.push_back(kProtocolVersion2);
+    out.push_back(static_cast<std::uint8_t>(status));
+    putU16(out, static_cast<std::uint16_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+std::size_t
+decodeServerHelloV2Prefix(const std::uint8_t *data, std::size_t size,
+                          HelloStatus &status)
+{
+    if (size < kServerHelloPrefixSize)
+        throw DeviceError("server hello truncated");
+    if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+        throw DeviceError(
+            "server hello has bad magic (not a ps3d endpoint?)");
+    status = static_cast<HelloStatus>(data[5]);
+    if (data[4] != kProtocolVersion2)
+        throw DeviceError(
+            "server speaks protocol v" + std::to_string(data[4])
+            + ", not v2 (pre-fleet daemon; use a v1 client)");
+    return getU16(data + 6);
+}
+
+std::uint16_t
+decodeServerHelloV2Payload(const std::uint8_t *data,
+                           std::size_t size)
+{
+    if (size < 2)
+        throw DeviceError("v2 server hello payload truncated");
+    return getU16(data);
+}
+
+// ----- frame framing -----------------------------------------------------
+
+std::size_t
+beginV2Frame(std::vector<std::uint8_t> &out, std::uint16_t stream_id,
+             FrameType type)
+{
+    const std::size_t offset = out.size();
+    out.resize(offset + 4); // length prefix patched by closeV2Frame
+    putU16(out, stream_id);
+    out.push_back(static_cast<std::uint8_t>(type));
+    return offset;
+}
+
+void
+closeV2Frame(std::vector<std::uint8_t> &out, std::size_t frame_offset)
+{
+    const std::uint32_t payload = static_cast<std::uint32_t>(
+        out.size() - frame_offset - 4);
+    out[frame_offset + 0] =
+        static_cast<std::uint8_t>(payload & 0xFF);
+    out[frame_offset + 1] =
+        static_cast<std::uint8_t>((payload >> 8) & 0xFF);
+    out[frame_offset + 2] =
+        static_cast<std::uint8_t>((payload >> 16) & 0xFF);
+    out[frame_offset + 3] =
+        static_cast<std::uint8_t>((payload >> 24) & 0xFF);
+}
+
+// ----- fixed commands ----------------------------------------------------
+
+void
+encodeListSensors(std::vector<std::uint8_t> &out)
+{
+    out.push_back(kOpListSensors);
+}
+
+void
+encodeUnsubscribe(std::vector<std::uint8_t> &out,
+                  std::uint16_t stream_id)
+{
+    out.push_back(kOpUnsubscribe);
+    putU16(out, stream_id);
+}
+
+void
+encodeCredit(std::vector<std::uint8_t> &out, std::uint16_t stream_id,
+             std::uint32_t delta)
+{
+    out.push_back(kOpCredit);
+    putU16(out, stream_id);
+    putU32(out, delta);
+}
+
+void
+encodeMarkerV2(std::vector<std::uint8_t> &out,
+               std::uint16_t sensor_id, char marker)
+{
+    out.push_back(kOpMarker);
+    putU16(out, sensor_id);
+    out.push_back(static_cast<std::uint8_t>(marker));
+}
+
+} // namespace ps3::net

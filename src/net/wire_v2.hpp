@@ -1,0 +1,235 @@
+/**
+ * @file
+ * PS3N v2: multiplexed multi-sensor streaming (docs/PROTOCOL.md,
+ * "PS3N v2 — multiplexed streams").
+ *
+ * v1.x serves exactly one sensor per connection. v2 keeps the same
+ * 8-byte ClientHello (version byte = 2) and ServerHello envelope,
+ * then multiplexes any number of per-sensor streams over the one
+ * connection:
+ *
+ *  - every server->client frame is "u32 LE payload length, u16 LE
+ *    stream id, u8 frame type, body". Stream 0 is the control
+ *    stream (sensor listings, subscribe acks); data streams are
+ *    opened by the client with ids of its choosing;
+ *  - client->server messages are fixed-size commands: list-sensors,
+ *    subscribe(stream, sensor, tier, overflow, credit),
+ *    unsubscribe, credit grants and marker requests;
+ *  - flow control is credit-based per stream: the server sends at
+ *    most `credit` records (or aggregate buckets) on a stream, then
+ *    pauses it — heartbeats keep flowing — until the client grants
+ *    more. kUnlimitedCredit disables accounting for the stream.
+ *
+ * Record payloads inside a v2 data frame reuse the v1 codec
+ * unchanged ('S'/'M'/'A' records, wire.hpp), prefixed by the u64
+ * first-sequence header, so sequence/gap accounting carries over
+ * per stream. Backwards compatibility is handled at handshake time:
+ * a v1.x hello on the same port gets the classic single-sensor
+ * stream (of registry sensor 0), a v2 hello gets the mux. An old
+ * server answers a v2 hello with VersionMismatch, which a v2 client
+ * can use to fall back.
+ *
+ * Like wire.hpp, everything here is plain serialisation — no
+ * sockets, no threads — and every decoder is hostile-input safe:
+ * truncated or malformed frames throw DeviceError (or return
+ * nullopt) instead of reading out of bounds.
+ */
+
+#ifndef PS3_NET_WIRE_V2_HPP
+#define PS3_NET_WIRE_V2_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/history.hpp"
+#include "net/wire.hpp"
+#include "transport/spsc_pod_ring.hpp"
+
+namespace ps3::net {
+
+/** Protocol version byte announcing the multiplexed protocol. */
+inline constexpr std::uint8_t kProtocolVersion2 = 2;
+
+/** The control stream: listings and acks; never record data. */
+inline constexpr std::uint16_t kControlStreamId = 0;
+
+/** Credit sentinel disabling flow-control accounting on a stream. */
+inline constexpr std::uint32_t kUnlimitedCredit = 0xFFFFFFFFu;
+
+/** In-payload frame header: u16 stream id + u8 frame type. */
+inline constexpr std::size_t kV2FrameHeaderSize = 3;
+
+/** Upper bound on sensors a registry may announce (u16 id space). */
+inline constexpr std::size_t kMaxSensors = 4096;
+
+/** v2 server->client frame types (payload byte 2). */
+enum class FrameType : std::uint8_t
+{
+    Data = 0,         ///< u64 firstSeq + 'S'/'M'/'A' records
+    Heartbeat = 1,    ///< u64 nextSeq (idle liveness + gap pin)
+    Eos = 2,          ///< stream over; on stream 0: connection over
+    SensorList = 3,   ///< control: the registry's sensor table
+    SubscribeAck = 4, ///< control: answer to a subscribe command
+};
+
+/** v2 client->server command bytes. */
+inline constexpr std::uint8_t kOpListSensors = 'L';
+inline constexpr std::uint8_t kOpSubscribe = 'S';
+inline constexpr std::uint8_t kOpUnsubscribe = 'U';
+inline constexpr std::uint8_t kOpCredit = 'C';
+inline constexpr std::uint8_t kOpMarker = 'M';
+
+/** Command sizes including the op byte (fixed, self-framing). */
+inline constexpr std::size_t kOpListSensorsSize = 1;
+inline constexpr std::size_t kOpSubscribeSize = 11;
+inline constexpr std::size_t kOpUnsubscribeSize = 3;
+inline constexpr std::size_t kOpCreditSize = 7;
+inline constexpr std::size_t kOpMarkerSize = 4;
+
+/** Size of a command given its op byte; 0 for an unknown op. */
+std::size_t commandSize(std::uint8_t op);
+
+/** Subscribe outcome (SubscribeAck status byte). */
+enum class SubscribeStatus : std::uint8_t
+{
+    Ok = 0,
+    UnknownSensor = 1,  ///< no such sensor id in the registry
+    StreamIdInUse = 2,  ///< client reused a live stream id
+    BadTier = 3,        ///< tier byte above host::kMaxTierValue
+    TooManyStreams = 4, ///< per-connection stream limit reached
+    BadStreamId = 5,    ///< stream 0 (control) or otherwise invalid
+};
+
+/** Human-readable form of a SubscribeStatus (error messages). */
+std::string describeSubscribeStatus(SubscribeStatus status);
+
+/** One row of the sensor table (SensorList frame). */
+struct SensorDescriptor
+{
+    std::uint16_t id = 0;
+    double sampleRateHz = 0.0;
+    std::string name; ///< truncated to 255 bytes on the wire
+};
+
+/** The subscribe command body (after the 'S' op byte). */
+struct SubscribeRequest
+{
+    std::uint16_t streamId = 0;
+    std::uint16_t sensorId = 0;
+    host::Tier tier = host::Tier::Raw;
+    transport::RingOverflow overflow =
+        transport::RingOverflow::Block;
+    std::uint32_t credit = kUnlimitedCredit;
+
+    /** Append the full command (op byte included). */
+    void encode(std::vector<std::uint8_t> &out) const;
+
+    /**
+     * Parse the body (op byte already consumed,
+     * kOpSubscribeSize - 1 bytes). A tier above kMaxTierValue still
+     * decodes — the server answers it with BadTier rather than
+     * killing the connection.
+     * @return nullopt when truncated or the overflow byte is junk.
+     */
+    static std::optional<SubscribeRequest>
+    decode(const std::uint8_t *body, std::size_t size);
+
+    /** Tier byte exactly as received (BadTier diagnostics). */
+    std::uint8_t rawTier = 0;
+};
+
+/** The subscribe answer (SubscribeAck frame body, stream 0). */
+struct SubscribeAckFrame
+{
+    std::uint16_t streamId = 0;
+    std::uint16_t sensorId = 0;
+    SubscribeStatus status = SubscribeStatus::Ok;
+    /** The sensor's sample rate (Ok only; gap span accounting). */
+    double sampleRateHz = 0.0;
+
+    /** Append the frame body. */
+    void encode(std::vector<std::uint8_t> &out) const;
+
+    /**
+     * Parse a frame body.
+     * @throws DeviceError when truncated or the status is unknown.
+     */
+    static SubscribeAckFrame decode(const std::uint8_t *data,
+                                    std::size_t size);
+};
+
+/** Append a SensorList frame body: u16 count + descriptor rows. */
+void encodeSensorList(std::vector<std::uint8_t> &out,
+                      const std::vector<SensorDescriptor> &sensors);
+
+/**
+ * Parse a SensorList frame body.
+ * @throws DeviceError on truncation or an implausible count.
+ */
+std::vector<SensorDescriptor>
+decodeSensorList(const std::uint8_t *data, std::size_t size);
+
+/** The v2 client hello (same envelope, version byte = 2). */
+std::vector<std::uint8_t> encodeClientHelloV2();
+
+/**
+ * Peek the protocol version of a complete client hello with valid
+ * magic; nullopt when the magic or size is wrong.
+ */
+std::optional<std::uint8_t>
+peekHelloVersion(const std::uint8_t *data, std::size_t size);
+
+/**
+ * The v2 server hello: same 8-byte prefix (version byte = 2); an Ok
+ * payload is just the u16 sensor count — sensor metadata travels in
+ * SensorList / SubscribeAck frames, not the handshake.
+ */
+std::vector<std::uint8_t>
+encodeServerHelloV2(HelloStatus status, std::uint16_t sensor_count);
+
+/**
+ * Client side: parse the v2 server hello prefix.
+ * @return Payload length to read next.
+ * @throws DeviceError on bad magic or a non-v2 version (an old
+ *         server answers version 1 + VersionMismatch; the error
+ *         text says so, which is the fallback signal).
+ */
+std::size_t decodeServerHelloV2Prefix(const std::uint8_t *data,
+                                      std::size_t size,
+                                      HelloStatus &status);
+
+/**
+ * Client side: parse the v2 Ok payload.
+ * @return The sensor count.
+ * @throws DeviceError when truncated.
+ */
+std::uint16_t decodeServerHelloV2Payload(const std::uint8_t *data,
+                                         std::size_t size);
+
+/**
+ * Open a v2 frame in `out`: appends the u32 length placeholder and
+ * the stream-id/type header.
+ * @return The offset of the length placeholder, for closeV2Frame.
+ */
+std::size_t beginV2Frame(std::vector<std::uint8_t> &out,
+                         std::uint16_t stream_id, FrameType type);
+
+/** Patch the length prefix of the frame opened at `frame_offset`. */
+void closeV2Frame(std::vector<std::uint8_t> &out,
+                  std::size_t frame_offset);
+
+/** Append a complete fixed-body command (op + u16 + u32 forms). */
+void encodeListSensors(std::vector<std::uint8_t> &out);
+void encodeUnsubscribe(std::vector<std::uint8_t> &out,
+                       std::uint16_t stream_id);
+void encodeCredit(std::vector<std::uint8_t> &out,
+                  std::uint16_t stream_id, std::uint32_t delta);
+void encodeMarkerV2(std::vector<std::uint8_t> &out,
+                    std::uint16_t sensor_id, char marker);
+
+} // namespace ps3::net
+
+#endif // PS3_NET_WIRE_V2_HPP

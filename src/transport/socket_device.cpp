@@ -14,6 +14,7 @@
 #include <poll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -90,6 +91,37 @@ newEventFd()
     if (fd < 0)
         throwErrno("eventfd");
     return fd;
+}
+
+/**
+ * True when a Unix-domain socket file has a live listener behind it.
+ * Probes with a non-blocking connect: ECONNREFUSED (or a missing
+ * file) means stale, anything that looks like an accepting peer —
+ * immediate success, EAGAIN (backlog full) or EINPROGRESS — means
+ * live.
+ */
+bool
+unixSocketLive(const std::string &path)
+{
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0)
+        return false; // nothing there
+    if (!S_ISSOCK(st.st_mode))
+        return false; // not a socket; bind will complain on its own
+    const int probe = ::socket(
+        AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (probe < 0)
+        return false;
+    const auto addr = unixAddress(path);
+    const int rc = ::connect(
+        probe, reinterpret_cast<const sockaddr *>(&addr),
+        sizeof(addr));
+    const int saved = errno;
+    ::close(probe);
+    if (rc == 0)
+        return true;
+    return saved == EAGAIN || saved == EWOULDBLOCK
+           || saved == EINPROGRESS;
 }
 
 } // namespace
@@ -412,11 +444,29 @@ SocketListener::SocketListener(const Endpoint &endpoint)
 
     int rc;
     if (endpoint.kind != Endpoint::Kind::Tcp) {
+        // A socket file at the path is either a live daemon or the
+        // stale leftover of a SIGKILLed one. A blind unlink would
+        // silently yank a running daemon's endpoint out from under
+        // it, so probe first: a connect() that succeeds (or would)
+        // means someone is accepting — refuse; a refused/dangling
+        // path is stale and safe to reclaim.
+        if (unixSocketLive(endpoint.path)) {
+            ::close(fd_);
+            ::close(wakeFd_);
+            fd_ = wakeFd_ = -1;
+            throw AddressInUseError(
+                "address already in use: " + endpoint.describe()
+                + " (another daemon is serving this endpoint; stop "
+                  "it or pick another path)");
+        }
         ::unlink(endpoint.path.c_str()); // stale socket file
         const auto addr = unixAddress(endpoint.path);
         rc = ::bind(fd_, reinterpret_cast<const sockaddr *>(&addr),
                     sizeof(addr));
     } else {
+        // SO_REUSEADDR before bind: a restart must not trade
+        // TIME_WAIT remnants for EADDRINUSE. A genuinely live
+        // listener still fails the bind below.
         const int one = 1;
         ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one,
                      sizeof(one));
@@ -429,6 +479,11 @@ SocketListener::SocketListener(const Endpoint &endpoint)
         ::close(fd_);
         ::close(wakeFd_);
         fd_ = wakeFd_ = -1;
+        if (saved == EADDRINUSE)
+            throw AddressInUseError(
+                "address already in use: " + endpoint.describe()
+                + " (another daemon is serving this endpoint; stop "
+                  "it or pick another port)");
         throw DeviceError("cannot bind " + endpoint.describe() + ": "
                           + std::strerror(saved));
     }
@@ -476,6 +531,29 @@ SocketListener::accept(double timeout_seconds)
                      sizeof(one));
     }
     return std::make_unique<SocketDevice>(conn);
+}
+
+void
+SocketListener::setNonBlocking()
+{
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+int
+SocketListener::acceptNonBlocking()
+{
+    const int conn = ::accept4(fd_, nullptr, nullptr,
+                               SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (conn < 0)
+        return -1; // EAGAIN / transient error: nothing to accept
+    if (endpoint_.kind == Endpoint::Kind::Tcp) {
+        const int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+    }
+    return conn;
 }
 
 void

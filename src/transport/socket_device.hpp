@@ -178,10 +178,14 @@ class SocketListener
 {
   public:
     /**
-     * Bind and listen. TCP listeners set SO_REUSEADDR; a Unix
-     * listener unlinks a stale socket file first and unlinks its
+     * Bind and listen. TCP listeners set SO_REUSEADDR before the
+     * bind; a Unix listener probes an existing socket file with a
+     * connect — a live listener refuses the bind, only a stale file
+     * (SIGKILLed daemon) is unlinked and reclaimed — and unlinks its
      * path again on destruction.
-     * @throws DeviceError when the address cannot be bound.
+     * @throws AddressInUseError when another process is already
+     *         serving the endpoint; DeviceError for any other bind
+     *         failure.
      */
     explicit SocketListener(const Endpoint &endpoint);
 
@@ -205,6 +209,25 @@ class SocketListener
 
     /** The endpoint actually bound (TCP port 0 resolved). */
     const Endpoint &boundEndpoint() const { return endpoint_; }
+
+    /**
+     * Switch the listening descriptor to non-blocking mode (event
+     * loops drive it through epoll + acceptNonBlocking()).
+     */
+    void setNonBlocking();
+
+    /**
+     * Accept one connection without blocking.
+     * @return A connected, non-blocking, CLOEXEC descriptor owned by
+     *         the caller, or -1 when no connection is pending.
+     */
+    int acceptNonBlocking();
+
+    /**
+     * The listening descriptor — for event-loop registration. Owned
+     * by the listener; do not close.
+     */
+    int nativeHandle() const { return fd_; }
 
   private:
     Endpoint endpoint_;

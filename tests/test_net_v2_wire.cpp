@@ -1,0 +1,337 @@
+/**
+ * @file
+ * PS3N v2 codec tests (net/wire_v2.hpp): round-trips for every
+ * frame and command, plus hostile-input coverage — truncated
+ * hellos, implausible sensor-list counts, junk subscribe bodies —
+ * asserting decoders throw (or return nullopt) instead of reading
+ * out of bounds. Server-side protocol behaviour (stream-id
+ * collisions, negotiation fallback) lives in test_fleet_server.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "net/wire.hpp"
+#include "net/wire_v2.hpp"
+
+namespace ps3::net {
+namespace {
+
+TEST(V2Hello, ClientHelloAnnouncesVersion2)
+{
+    const auto hello = encodeClientHelloV2();
+    ASSERT_EQ(hello.size(), kClientHelloSize);
+    const auto version =
+        peekHelloVersion(hello.data(), hello.size());
+    ASSERT_TRUE(version.has_value());
+    EXPECT_EQ(*version, kProtocolVersion2);
+    // Reserved bytes must be zero: v1 would read them as
+    // overflow/minor/tier.
+    EXPECT_EQ(hello[5], 0);
+    EXPECT_EQ(hello[6], 0);
+    EXPECT_EQ(hello[7], 0);
+}
+
+TEST(V2Hello, V1ServerRejectsV2HelloAsVersionMismatch)
+{
+    // What a pre-fleet server does with a v2 hello: the v1 decoder
+    // must reject it (version mismatch), never misparse it.
+    const auto hello = encodeClientHelloV2();
+    HelloStatus reject = HelloStatus::Ok;
+    const auto decoded =
+        ClientHello::decode(hello.data(), hello.size(), reject);
+    EXPECT_FALSE(decoded.has_value());
+    EXPECT_EQ(reject, HelloStatus::VersionMismatch);
+}
+
+TEST(V2Hello, PeekRejectsBadMagicAndShortInput)
+{
+    auto hello = encodeClientHelloV2();
+    EXPECT_FALSE(
+        peekHelloVersion(hello.data(), hello.size() - 1)
+            .has_value());
+    hello[0] = 'X';
+    EXPECT_FALSE(
+        peekHelloVersion(hello.data(), hello.size()).has_value());
+}
+
+TEST(V2Hello, V1HellosStillPeekTheirVersion)
+{
+    // The server's dispatch peeks the version byte of any
+    // well-formed hello; every v1 minor must land on version 1.
+    for (std::uint8_t minor : {0, 1, 2}) {
+        ClientHello v1;
+        v1.minor = minor;
+        const auto bytes = v1.encode();
+        const auto version =
+            peekHelloVersion(bytes.data(), bytes.size());
+        ASSERT_TRUE(version.has_value());
+        EXPECT_EQ(*version, 1);
+    }
+}
+
+TEST(V2Hello, ServerHelloRoundTrip)
+{
+    const auto ok = encodeServerHelloV2(HelloStatus::Ok, 257);
+    HelloStatus status = HelloStatus::BadHello;
+    const std::size_t payload_len = decodeServerHelloV2Prefix(
+        ok.data(), kServerHelloPrefixSize, status);
+    EXPECT_EQ(status, HelloStatus::Ok);
+    ASSERT_EQ(payload_len, 2u);
+    ASSERT_EQ(ok.size(), kServerHelloPrefixSize + payload_len);
+    EXPECT_EQ(decodeServerHelloV2Payload(
+                  ok.data() + kServerHelloPrefixSize, payload_len),
+              257);
+}
+
+TEST(V2Hello, ServerHelloNackHasEmptyPayload)
+{
+    const auto full =
+        encodeServerHelloV2(HelloStatus::ServerFull, 99);
+    HelloStatus status = HelloStatus::Ok;
+    EXPECT_EQ(decodeServerHelloV2Prefix(
+                  full.data(), kServerHelloPrefixSize, status),
+              0u);
+    EXPECT_EQ(status, HelloStatus::ServerFull);
+}
+
+TEST(V2Hello, V1ServerHelloThrowsPreFleetGuidance)
+{
+    // A v1 daemon answers a v2 hello with its own v1-versioned
+    // ServerHello; the v2 client must throw an error naming the
+    // version gap, which is the fallback signal.
+    ServerHello v1;
+    v1.status = HelloStatus::VersionMismatch;
+    const auto bytes = v1.encode();
+    HelloStatus status = HelloStatus::Ok;
+    try {
+        decodeServerHelloV2Prefix(bytes.data(),
+                                  kServerHelloPrefixSize, status);
+        FAIL() << "v1 server hello must not parse as v2";
+    } catch (const DeviceError &e) {
+        EXPECT_NE(std::string(e.what()).find("pre-fleet"),
+                  std::string::npos);
+    }
+}
+
+TEST(V2Hello, TruncatedServerHelloThrows)
+{
+    const auto ok = encodeServerHelloV2(HelloStatus::Ok, 1);
+    HelloStatus status = HelloStatus::Ok;
+    EXPECT_THROW(decodeServerHelloV2Prefix(ok.data(), 7, status),
+                 DeviceError);
+    EXPECT_THROW(decodeServerHelloV2Payload(ok.data(), 1),
+                 DeviceError);
+}
+
+TEST(V2Commands, SizesAreSelfFraming)
+{
+    EXPECT_EQ(commandSize(kOpListSensors), kOpListSensorsSize);
+    EXPECT_EQ(commandSize(kOpSubscribe), kOpSubscribeSize);
+    EXPECT_EQ(commandSize(kOpUnsubscribe), kOpUnsubscribeSize);
+    EXPECT_EQ(commandSize(kOpCredit), kOpCreditSize);
+    EXPECT_EQ(commandSize(kOpMarker), kOpMarkerSize);
+    EXPECT_EQ(commandSize('Z'), 0u); // unknown op: kick signal
+    EXPECT_EQ(commandSize(0), 0u);
+}
+
+TEST(V2Commands, EncodersMatchTheirDeclaredSizes)
+{
+    std::vector<std::uint8_t> out;
+    encodeListSensors(out);
+    EXPECT_EQ(out.size(), kOpListSensorsSize);
+    out.clear();
+    encodeUnsubscribe(out, 7);
+    EXPECT_EQ(out.size(), kOpUnsubscribeSize);
+    out.clear();
+    encodeCredit(out, 7, 1000);
+    EXPECT_EQ(out.size(), kOpCreditSize);
+    out.clear();
+    encodeMarkerV2(out, 3, 'B');
+    EXPECT_EQ(out.size(), kOpMarkerSize);
+    out.clear();
+    SubscribeRequest request;
+    request.encode(out);
+    EXPECT_EQ(out.size(), kOpSubscribeSize);
+}
+
+TEST(V2Subscribe, RoundTrip)
+{
+    SubscribeRequest request;
+    request.streamId = 42;
+    request.sensorId = 513;
+    request.tier = host::Tier::Hz10;
+    request.overflow = transport::RingOverflow::DropOldest;
+    request.credit = 12345;
+    std::vector<std::uint8_t> wire;
+    request.encode(wire);
+
+    const auto decoded =
+        SubscribeRequest::decode(wire.data() + 1, wire.size() - 1);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->streamId, 42);
+    EXPECT_EQ(decoded->sensorId, 513);
+    EXPECT_EQ(decoded->tier, host::Tier::Hz10);
+    EXPECT_EQ(decoded->rawTier,
+              static_cast<std::uint8_t>(host::Tier::Hz10));
+    EXPECT_EQ(decoded->overflow,
+              transport::RingOverflow::DropOldest);
+    EXPECT_EQ(decoded->credit, 12345u);
+}
+
+TEST(V2Subscribe, TruncatedBodyReturnsNullopt)
+{
+    SubscribeRequest request;
+    std::vector<std::uint8_t> wire;
+    request.encode(wire);
+    for (std::size_t cut = 0; cut < kOpSubscribeSize - 1; ++cut)
+        EXPECT_FALSE(
+            SubscribeRequest::decode(wire.data() + 1, cut)
+                .has_value())
+            << "decode accepted a " << cut << "-byte body";
+}
+
+TEST(V2Subscribe, JunkOverflowByteReturnsNullopt)
+{
+    SubscribeRequest request;
+    std::vector<std::uint8_t> wire;
+    request.encode(wire);
+    wire[6] = 0xCC; // overflow byte: only 0/1 are meaningful
+    EXPECT_FALSE(
+        SubscribeRequest::decode(wire.data() + 1, wire.size() - 1)
+            .has_value());
+}
+
+TEST(V2Subscribe, OutOfRangeTierStillDecodesWithRawTier)
+{
+    // The server must answer BadTier, which requires the decode to
+    // survive and carry the offending byte.
+    SubscribeRequest request;
+    std::vector<std::uint8_t> wire;
+    request.encode(wire);
+    wire[5] = host::kMaxTierValue + 3;
+    const auto decoded =
+        SubscribeRequest::decode(wire.data() + 1, wire.size() - 1);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->rawTier, host::kMaxTierValue + 3);
+    EXPECT_EQ(decoded->tier, host::Tier::Raw); // clamped
+}
+
+TEST(V2SubscribeAck, RoundTrip)
+{
+    SubscribeAckFrame ack;
+    ack.streamId = 9;
+    ack.sensorId = 77;
+    ack.status = SubscribeStatus::Ok;
+    ack.sampleRateHz = 20000.0;
+    std::vector<std::uint8_t> wire;
+    ack.encode(wire);
+
+    const auto decoded =
+        SubscribeAckFrame::decode(wire.data(), wire.size());
+    EXPECT_EQ(decoded.streamId, 9);
+    EXPECT_EQ(decoded.sensorId, 77);
+    EXPECT_EQ(decoded.status, SubscribeStatus::Ok);
+    EXPECT_EQ(decoded.sampleRateHz, 20000.0);
+}
+
+TEST(V2SubscribeAck, HostileInputThrows)
+{
+    SubscribeAckFrame ack;
+    std::vector<std::uint8_t> wire;
+    ack.encode(wire);
+    EXPECT_THROW(
+        SubscribeAckFrame::decode(wire.data(), wire.size() - 1),
+        DeviceError);
+    wire[4] = 200; // unknown status byte
+    EXPECT_THROW(SubscribeAckFrame::decode(wire.data(), wire.size()),
+                 DeviceError);
+}
+
+TEST(V2SensorList, RoundTripWithNameTruncation)
+{
+    std::vector<SensorDescriptor> sensors(3);
+    sensors[0] = {0, 20000.0, "primary"};
+    sensors[1] = {1, 1000.0, std::string(300, 'x')}; // truncates
+    sensors[2] = {513, 0.5, ""};
+    std::vector<std::uint8_t> wire;
+    encodeSensorList(wire, sensors);
+
+    const auto decoded = decodeSensorList(wire.data(), wire.size());
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_EQ(decoded[0].name, "primary");
+    EXPECT_EQ(decoded[0].sampleRateHz, 20000.0);
+    EXPECT_EQ(decoded[1].name, std::string(255, 'x'));
+    EXPECT_EQ(decoded[2].id, 513);
+    EXPECT_EQ(decoded[2].name, "");
+}
+
+TEST(V2SensorList, HostileInputThrows)
+{
+    std::vector<SensorDescriptor> sensors(2);
+    sensors[0] = {0, 20000.0, "a"};
+    sensors[1] = {1, 1000.0, "b"};
+    std::vector<std::uint8_t> wire;
+    encodeSensorList(wire, sensors);
+
+    // Truncation anywhere in the body must throw, not over-read.
+    for (std::size_t cut = 0; cut < wire.size(); ++cut)
+        EXPECT_THROW(decodeSensorList(wire.data(), cut),
+                     DeviceError)
+            << "decode accepted a " << cut << "-byte list";
+
+    // A count the body cannot possibly hold.
+    wire[0] = 0xFF;
+    wire[1] = 0xFF;
+    EXPECT_THROW(decodeSensorList(wire.data(), wire.size()),
+                 DeviceError);
+
+    // A row whose name length runs past the end.
+    std::vector<std::uint8_t> short_name;
+    encodeSensorList(short_name, {{0, 1.0, "abc"}});
+    short_name[12] = 200; // name length byte
+    EXPECT_THROW(
+        decodeSensorList(short_name.data(), short_name.size()),
+        DeviceError);
+}
+
+TEST(V2Framing, BeginCloseRoundTrip)
+{
+    std::vector<std::uint8_t> out{0xAA}; // pre-existing bytes stay
+    const std::size_t frame =
+        beginV2Frame(out, 513, FrameType::Heartbeat);
+    appendU64(out, 0x1122334455667788ull);
+    closeV2Frame(out, frame);
+
+    ASSERT_EQ(out.size(), 1 + 4 + kV2FrameHeaderSize + 8);
+    // Length covers stream id + type + body.
+    const std::uint32_t len = out[1] | (out[2] << 8)
+                              | (out[3] << 16)
+                              | (std::uint32_t(out[4]) << 24);
+    EXPECT_EQ(len, kV2FrameHeaderSize + 8);
+    EXPECT_EQ(out[5] | (out[6] << 8), 513); // stream id
+    EXPECT_EQ(out[7],
+              static_cast<std::uint8_t>(FrameType::Heartbeat));
+    EXPECT_EQ(readU64(out.data() + 8), 0x1122334455667788ull);
+}
+
+TEST(V2Framing, NestedFramesPatchIndependently)
+{
+    std::vector<std::uint8_t> out;
+    const std::size_t a = beginV2Frame(out, 1, FrameType::Data);
+    appendU64(out, 7);
+    closeV2Frame(out, a);
+    const std::size_t b = beginV2Frame(out, 2, FrameType::Eos);
+    closeV2Frame(out, b);
+
+    const std::uint32_t len_a = out[0];
+    EXPECT_EQ(len_a, kV2FrameHeaderSize + 8);
+    const std::size_t second = 4 + len_a;
+    EXPECT_EQ(out[second], kV2FrameHeaderSize);
+    EXPECT_EQ(out[second + 4] | (out[second + 5] << 8), 2);
+    EXPECT_EQ(out[second + 6],
+              static_cast<std::uint8_t>(FrameType::Eos));
+}
+
+} // namespace
+} // namespace ps3::net
