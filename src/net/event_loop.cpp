@@ -32,6 +32,14 @@ loopMetrics()
     return metrics;
 }
 
+/** fd + generation -> the u64 carried in epoll_event data. */
+std::uint64_t
+packTag(int fd, std::uint32_t generation)
+{
+    return (static_cast<std::uint64_t>(generation) << 32)
+           | static_cast<std::uint32_t>(fd);
+}
+
 } // namespace
 
 EventLoop::EventLoop()
@@ -51,22 +59,27 @@ EventLoop::~EventLoop()
 void
 EventLoop::add(int fd, std::uint32_t events, Callback callback)
 {
+    const std::uint32_t generation = ++nextGeneration_;
     epoll_event ev{};
     ev.events = events;
-    ev.data.fd = fd;
+    ev.data.u64 = packTag(fd, generation);
     if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0)
         throw DeviceError(std::string("epoll_ctl(ADD): ")
                           + std::strerror(errno));
-    handlers_[fd] =
-        std::make_shared<Callback>(std::move(callback));
+    handlers_[fd] = Registration{
+        generation,
+        std::make_shared<Callback>(std::move(callback))};
 }
 
 void
 EventLoop::modify(int fd, std::uint32_t events)
 {
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end())
+        return; // racing remove(): already deregistered
     epoll_event ev{};
     ev.events = events;
-    ev.data.fd = fd;
+    ev.data.u64 = packTag(fd, it->second.generation);
     // A modify race with remove() is harmless: ENOENT is the fd
     // already being deregistered.
     ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
@@ -97,11 +110,19 @@ EventLoop::runOnce(int timeout_ms)
     loopMetrics().events.inc(static_cast<std::uint64_t>(n));
     for (int i = 0; i < n; ++i) {
         // Look the handler up per event: an earlier handler in this
-        // batch may have removed this descriptor.
-        const auto it = handlers_.find(events[i].data.fd);
-        if (it == handlers_.end())
+        // batch may have removed this descriptor. The generation
+        // check also drops events queued for a closed fd whose
+        // number was reused by a later add() in the same batch.
+        const std::uint64_t tag = events[i].data.u64;
+        const int fd = static_cast<int>(tag & 0xFFFFFFFFu);
+        const auto generation =
+            static_cast<std::uint32_t>(tag >> 32);
+        const auto it = handlers_.find(fd);
+        if (it == handlers_.end()
+            || it->second.generation != generation)
             continue;
-        const std::shared_ptr<Callback> handler = it->second;
+        const std::shared_ptr<Callback> handler =
+            it->second.handler;
         (*handler)(events[i].events);
     }
     return n;

@@ -6,9 +6,11 @@
  * listening sockets, per-connection stream sockets, per-sensor
  * eventfd doorbells, a timerfd for all periodic work and an eventfd
  * for stop requests. Registration binds a callback to a descriptor;
- * dispatch looks the callback up per event, so a handler that
- * removes (or closes) other descriptors mid-batch is safe — stale
- * events simply find nothing to call.
+ * dispatch looks the callback up per event and checks a per-
+ * registration generation token, so a handler that removes (or
+ * closes) other descriptors mid-batch is safe — a stale event finds
+ * nothing to call, even when a later accept in the same batch
+ * reuses the closed fd number.
  *
  * The loop counts its own wakeups in ps3_net_loop_wakeups_total.
  * That counter is the contract behind the idle-daemon guarantee: a
@@ -73,10 +75,24 @@ class EventLoop
     }
 
   private:
+    /**
+     * One registered descriptor. The generation is packed into the
+     * kernel-side epoll_event data alongside the fd, so an event
+     * queued for a closed fd whose number was reused by a later
+     * add() in the same epoll_wait batch is recognised as stale and
+     * dropped instead of being misdelivered to the new handler.
+     */
+    struct Registration
+    {
+        std::uint32_t generation = 0;
+        /** shared_ptr so a handler erased mid-dispatch stays callable. */
+        std::shared_ptr<Callback> handler;
+    };
+
     int epollFd_ = -1;
     std::atomic<std::uint64_t> wakeups_{0};
-    /** shared_ptr so a handler erased mid-dispatch stays callable. */
-    std::unordered_map<int, std::shared_ptr<Callback>> handlers_;
+    std::uint32_t nextGeneration_ = 0;
+    std::unordered_map<int, Registration> handlers_;
 };
 
 /**

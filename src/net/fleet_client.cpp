@@ -1,7 +1,6 @@
 #include "net/fleet_client.hpp"
 
 #include <chrono>
-#include <cstring>
 
 #include "common/errors.hpp"
 
@@ -18,6 +17,15 @@ getU16(const std::uint8_t *p)
 {
     return static_cast<std::uint16_t>(p[0]
                                       | (std::uint16_t(p[1]) << 8));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0])
+           | (static_cast<std::uint32_t>(p[1]) << 8)
+           | (static_cast<std::uint32_t>(p[2]) << 16)
+           | (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
 /** Decode-callback context: the event being filled in. */
@@ -203,8 +211,7 @@ FleetClient::parseFrame(Event &event)
 {
     if (inBuf_.size() < 4)
         return false;
-    std::uint32_t len = 0;
-    std::memcpy(&len, inBuf_.data(), 4);
+    const std::uint32_t len = getU32(inBuf_.data());
     if (len < kV2FrameHeaderSize || len > kMaxFramePayload)
         throw DeviceError("fleet stream: implausible frame length "
                           + std::to_string(len));

@@ -582,6 +582,17 @@ FleetServer::processV2Commands(Connection &connection)
     std::size_t pos = 0;
     auto &in = connection.inBuf;
     while (pos < in.size() && !connection.kicked) {
+        // Control replies (SensorList, SubscribeAck) bypass the
+        // per-stream credit/high-water path, so bound them here: a
+        // client that floods commands while reading nothing loses
+        // the connection once the out buffer passes twice the
+        // stream high-water mark.
+        if (connection.pendingOut()
+            >= 2 * options_.outBufferHighWater)
+        {
+            kick(connection, true);
+            break;
+        }
         const std::uint8_t op = in[pos];
         const std::size_t need = commandSize(op);
         if (need == 0) {
@@ -638,9 +649,12 @@ FleetServer::processV2Commands(Connection &connection)
                     next < stream->credit ? kNoCreditLimit : next;
             }
             stream->creditStalled = false;
+            // pumpStream may removeStream (Block lap) and free it;
+            // keep only the sensor id across the call.
+            const std::uint16_t sensor_id = stream->sensorId;
             pumpStream(connection, *stream);
             if (!connection.kicked)
-                armDoorbell(stream->sensorId);
+                armDoorbell(sensor_id);
             break;
           }
           case kOpMarker: {

@@ -259,6 +259,103 @@ TEST(FleetV2, CreditStallsAndResumesLosslessly)
     server.stop();
 }
 
+TEST(FleetV2, CreditAfterBlockLapEndsOnlyThatStream)
+{
+    auto registry = makeRegistry(1, 16);
+    net::FleetServer server(*registry);
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    auto client = net::FleetClient::connect(endpoint, 5.0);
+    subscribeOk(*client, 1, 0, host::Tier::Raw, RingOverflow::Block,
+                2);
+
+    // Exhaust the credit, then lap the stalled cursor: a Block
+    // stream that lost records must end, not lie by omission.
+    for (int i = 0; i < 2; ++i)
+        registry->publish(0, sensorRecord(0, 50e-6 * i));
+    awaitRecords(*client, 1, 2);
+    for (int i = 0; i < 40; ++i)
+        registry->publish(0, sensorRecord(0, 50e-6 * (2 + i)));
+
+    // The grant makes the server's pump detect the lap and remove
+    // the stream mid-credit-handling — the connection (and the
+    // freed stream's memory) must survive that.
+    client->addCredit(1, 10);
+    const auto eos = awaitEvent(*client, Kind::StreamEnd);
+    EXPECT_EQ(eos.streamId, 1);
+
+    // The control plane and a fresh stream still work.
+    client->requestSensorList();
+    const auto listing = awaitEvent(*client, Kind::Sensors);
+    EXPECT_EQ(listing.sensors.size(), 1u);
+    subscribeOk(*client, 2, 0);
+    registry->publish(0, sensorRecord(0, 0.0));
+    awaitRecords(*client, 2, 1);
+
+    registry->stopAll();
+    server.stop();
+}
+
+TEST(FleetV2, ControlFloodWithoutReadingGetsDropped)
+{
+    auto registry = makeRegistry(1);
+    net::FleetServer::Options options;
+    options.outBufferHighWater = 64u << 10;
+    net::FleetServer server(*registry, options);
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    auto bystander = net::FleetClient::connect(endpoint, 5.0);
+    subscribeOk(*bystander, 1, 0);
+
+    // Control replies bypass stream credit, so a client that floods
+    // list-sensors while reading nothing must be dropped once its
+    // out buffer passes the hard cap — not grow it without bound.
+    {
+        auto raw = transport::SocketDevice::connect(endpoint, 5.0);
+        const auto hello = net::encodeClientHelloV2();
+        raw->write(hello.data(), hello.size());
+        std::uint8_t prefix[net::kServerHelloPrefixSize];
+        std::size_t got = 0;
+        while (got < sizeof prefix)
+            got += raw->read(prefix + got, sizeof prefix - got,
+                             5.0);
+        net::HelloStatus status = net::HelloStatus::Ok;
+        const auto payload = net::decodeServerHelloV2Prefix(
+            prefix, sizeof prefix, status);
+        std::vector<std::uint8_t> body(payload);
+        got = 0;
+        while (got < payload)
+            got += raw->read(body.data() + got, payload - got, 5.0);
+
+        const std::vector<std::uint8_t> burst(
+            4096, net::kOpListSensors);
+        try {
+            // ~4M commands; the server must cut us off long before.
+            for (int i = 0; i < 1000 && !raw->closed(); ++i)
+                raw->write(burst.data(), burst.size());
+        } catch (const DeviceError &) {
+            // Server already reset the connection mid-write.
+        }
+        std::uint8_t sink[4096];
+        const auto deadline = std::chrono::steady_clock::now()
+                              + std::chrono::seconds(5);
+        while (!raw->closed()
+               && std::chrono::steady_clock::now() < deadline)
+            raw->read(sink, sizeof sink, 0.1);
+        EXPECT_TRUE(raw->closed());
+    }
+    EXPECT_GE(server.subscribersDropped(), 1u);
+
+    // The bystander's stream is unharmed.
+    registry->publish(0, sensorRecord(0, 0.0));
+    awaitRecords(*bystander, 1, 1);
+
+    registry->stopAll();
+    server.stop();
+}
+
 TEST(FleetV2, SubscribeRejectionMatrix)
 {
     auto registry = makeRegistry(2);
