@@ -15,6 +15,10 @@
  *                  the dump parser) in table/csv/prom format; see
  *                  docs/OBSERVABILITY.md
  * --markers        list markers with timestamps
+ * --regions        per-region energy attribution: fold the dump
+ *                  through energy::EnergyAccountant (uppercase
+ *                  markers begin regions, lowercase end them — see
+ *                  docs/PROTOCOL.md) and print the region table
  * --between A B    energy/average power between markers A and B
  * --decimate N     with --csv: keep every Nth sample
  * --csv FILE       export time,total_W series as CSV
@@ -31,6 +35,7 @@
 #include "common/csv_writer.hpp"
 #include "common/errors.hpp"
 #include "common/statistics.hpp"
+#include "energy/accountant.hpp"
 #include "host/dump_reader.hpp"
 #include "obs/exposition.hpp"
 
@@ -42,12 +47,13 @@ try {
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: psdump <file> [--stats] [--markers] "
-                     "[--between A B] [--decimate N] [--csv out]\n");
+                     "[--regions] [--between A B] [--decimate N] "
+                     "[--csv out]\n");
         return 2;
     }
     const std::string path = argv[1];
 
-    bool stats = false, markers = false;
+    bool stats = false, markers = false, regions = false;
     char between_a = '\0', between_b = '\0';
     std::size_t decimate = 1;
     std::string csv_path;
@@ -69,6 +75,8 @@ try {
             }
         } else if (arg == "--markers") {
             markers = true;
+        } else if (arg == "--regions") {
+            regions = true;
         } else if (arg == "--between") {
             between_a = next()[0];
             between_b = next()[0];
@@ -82,7 +90,8 @@ try {
             throw UsageError("unknown option: " + arg);
         }
     }
-    if (!markers && between_a == '\0' && csv_path.empty())
+    if (!markers && !regions && between_a == '\0'
+        && csv_path.empty())
         stats = true;
 
     const auto file = host::DumpFile::load(path);
@@ -110,6 +119,22 @@ try {
             std::printf("marker '%c' at %.6f s\n", marker.marker,
                         marker.time);
         }
+    }
+
+    if (regions) {
+        energy::EnergyAccountant accountant;
+        accountant.replay(file);
+        const auto table = accountant.snapshot();
+        if (table.empty()) {
+            std::printf("no regions (no 'A'..'Z'/'a'..'z' markers)\n");
+        } else {
+            std::fputs(energy::formatRegionTable(table).c_str(),
+                       stdout);
+        }
+        if (accountant.strayEndMarkers() > 0)
+            std::printf("stray end markers: %llu\n",
+                        static_cast<unsigned long long>(
+                            accountant.strayEndMarkers()));
     }
 
     if (between_a != '\0') {

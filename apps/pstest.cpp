@@ -13,7 +13,19 @@
  * truncated batches, read stalls, partial writes — and asserts that
  * the NetPowerSensor client accounts for every single record, either
  * as received or as covered by an explicit gap event. It needs no
- * device, rig or daemon, so it runs as a plain ctest.
+ * device, rig or daemon, so it runs as a plain ctest. The soak runs
+ * with a live power-cap loop in the path (a governed CPU model feeds
+ * the published records, an energy::PowerCapCoordinator on the
+ * client side throttles it), asserting the controller degrades
+ * gracefully across the reconnect gaps: bounded actuation, no
+ * oscillation, and the accounting invariant untouched.
+ *
+ * `--cap` runs the closed-loop capping scenario end to end: three
+ * governed CPU models streamed at 20 kHz through a real
+ * net::FleetServer into an energy::FleetCapLoop, asserting
+ * convergence onto the budget, bounded overshoot after convergence,
+ * and feedback latency in stream time (exit 7 = never converged,
+ * 8 = unstable/overshoot, 9 = slow feedback).
  */
 
 #include <cstdio>
@@ -33,8 +45,13 @@
 
 #include <unistd.h>
 
+#include "dut/governor.hpp"
+#include "energy/fleet_cap.hpp"
+#include "energy/power_cap.hpp"
 #include "host/dump_reader.hpp"
+#include "net/fleet_server.hpp"
 #include "net/net_power_sensor.hpp"
+#include "net/registry.hpp"
 #include "net/server.hpp"
 #include "transport/faulty_socket.hpp"
 
@@ -46,6 +63,9 @@ using namespace ps3;
 constexpr int kChaosExitNoChaos = 4;   ///< no fault ever disturbed us
 constexpr int kChaosExitLostRecords = 5; ///< accounting hole
 constexpr int kChaosExitHung = 6;      ///< stream never settled
+constexpr int kCapExitNoConverge = 7;  ///< cap loop never converged
+constexpr int kCapExitUnstable = 8;    ///< overshoot / oscillation
+constexpr int kCapExitSlowFeedback = 9; ///< actuation came too late
 
 /** Spin until predicate() or the timeout elapses; true on success. */
 template <typename Predicate>
@@ -154,6 +174,24 @@ runChaos(bool long_mode)
     client_options.reconnectMaxBackoff = 0.05;
     net::NetPowerSensor client(endpoint, client_options);
 
+    // Live cap loop across the faulty link: the published records
+    // carry a governed CPU model's power, and a coordinator fed by
+    // the client's samples throttles it towards the budget — so the
+    // controller sees exactly the gaps and replays the storm causes.
+    dut::CpuDutModel cap_cpu(dut::CpuSpec::server16Core());
+    cap_cpu.setProgram({{0.0, 1e9, cap_cpu.spec().cores, 1.0}});
+    dut::DvfsGovernor cap_gov(
+        "chaos-cpu", dut::makeLadder(3600.0, 1.05, 1200.0, 0.75, 16),
+        [&cap_cpu](double s) { cap_cpu.setPowerScale(s); });
+    energy::CapPolicy cap_policy;
+    cap_policy.budgetWatts = 60.0;
+    energy::PowerCapCoordinator cap(cap_policy);
+    cap.addMember("chaos-cpu", cap_gov);
+    const auto cap_token = client.addSampleListener(
+        [&cap](const host::Sample &sample) {
+            cap.observe(0, sample.time, sample.totalPower());
+        });
+
     // Lock the sequence baseline: the first seq a client ever hears
     // is taken as the stream start, so an initial heartbeat must land
     // before any record is published for the accounting to be exact
@@ -176,7 +214,7 @@ runChaos(bool long_mode)
         record.time = static_cast<double>(i) / rate;
         record.presentMask = 0x1;
         record.voltage[0] = 12.0;
-        record.current[0] = 2.0;
+        record.current[0] = cap_cpu.truePower(record.time) / 12.0;
         server.publish(record);
         if (i % 512 == 0)
             client.mark('c'); // fire-and-forget; may hit a fault
@@ -200,6 +238,7 @@ runChaos(bool long_mode)
     server.stop();
     const bool gone =
         waitFor([&] { return client.deviceGone(); }, 10.0);
+    client.removeSampleListener(cap_token);
 
     const std::uint64_t received = client.recordsReceived();
     const std::uint64_t gapped = client.gapRecords();
@@ -271,12 +310,176 @@ runChaos(bool long_mode)
             rc = kChaosExitLostRecords;
         }
     }
+    // Graceful degradation of the cap loop across the storm: the
+    // controller must have engaged (the 118 W plant sits far over
+    // the 60 W budget), converged, and settled without hunting —
+    // reconnect gaps pause the feed but must not re-excite it.
+    const auto cap_status = cap.status();
+    std::printf("pschaos: cap group %.1f W (budget %.1f), %llu down "
+                "/ %llu up, converged in %.3f s\n",
+                cap_status.filteredWatts, cap_status.budgetWatts,
+                static_cast<unsigned long long>(cap_status.stepDowns),
+                static_cast<unsigned long long>(cap_status.stepUps),
+                cap_status.secondsToConverge);
+    if (rc == 0) {
+        const std::uint64_t actuations =
+            cap_status.stepDowns + cap_status.stepUps;
+        const std::uint64_t oscillation_bound =
+            3ull * cap_gov.levelCount();
+        if (cap_status.stepDowns == 0
+            || cap_status.secondsToConverge < 0.0) {
+            std::fprintf(stderr,
+                         "pschaos: FAIL cap loop never engaged\n");
+            rc = kCapExitNoConverge;
+        } else if (actuations > oscillation_bound) {
+            std::fprintf(stderr,
+                         "pschaos: FAIL cap loop oscillated "
+                         "(%llu actuations > %llu)\n",
+                         static_cast<unsigned long long>(actuations),
+                         static_cast<unsigned long long>(
+                             oscillation_bound));
+            rc = kCapExitUnstable;
+        }
+    }
     if (rc == 0)
         std::printf("pschaos: PASS — every record accounted for "
                     "across %llu reconnect(s)\n",
                     static_cast<unsigned long long>(reconnects));
     std::remove(dump_path.c_str());
     return rc;
+}
+
+/**
+ * The closed-loop capping scenario (--cap): three governed CPU
+ * models streamed at 20 kHz through a real FleetServer, a
+ * FleetCapLoop subscriber driving the coordinator. Asserts
+ * convergence, bounded overshoot after convergence, and feedback
+ * latency — all in stream (device) time.
+ */
+int
+runCap()
+{
+    const double rate = 20000.0;
+    const double budget = 220.0;
+    const double run_seconds = 2.5;
+
+    dut::CpuDutModel cpus[3] = {
+        dut::CpuDutModel(dut::CpuSpec::server16Core()),
+        dut::CpuDutModel(dut::CpuSpec::server16Core()),
+        dut::CpuDutModel(dut::CpuSpec::server16Core()),
+    };
+    std::vector<std::unique_ptr<dut::DvfsGovernor>> governors;
+    for (auto &cpu : cpus) {
+        cpu.setProgram({{0.0, 1e9, cpu.spec().cores, 1.0}});
+        governors.push_back(std::make_unique<dut::DvfsGovernor>(
+            "cap-cpu", dut::makeLadder(3600.0, 1.05, 1200.0, 0.75, 16),
+            [&cpu](double s) { cpu.setPowerScale(s); }));
+    }
+    const double uncapped = 3.0 * cpus[0].truePower(1.0);
+
+    net::SensorRegistry registry;
+    const firmware::DeviceConfig config{};
+    std::vector<energy::GovernedMember> members;
+    for (unsigned i = 0; i < 3; ++i)
+        members.push_back(
+            {registry.addSimulated("cap-" + std::to_string(i),
+                                   config, "sim-cap", rate, 1u << 12),
+             &cpus[i], 12.0});
+
+    net::FleetServer server(registry);
+    const std::string socket_path =
+        "/tmp/ps3cap_" + std::to_string(::getpid()) + ".sock";
+    const auto bound = server.listen(
+        transport::Endpoint::parse("unix://" + socket_path));
+    energy::GovernedFleet fleet(registry, members, rate);
+
+    energy::CapPolicy policy;
+    policy.budgetWatts = budget;
+    energy::PowerCapCoordinator coordinator(policy);
+    for (unsigned i = 0; i < 3; ++i)
+        coordinator.addMember("cap-" + std::to_string(i),
+                              *governors[i]);
+    energy::FleetCapLoop loop(
+        bound, {members[0].sensorId, members[1].sensorId,
+                members[2].sensorId},
+        coordinator);
+
+    std::printf("pscap-test: uncapped %.1f W, budget %.1f W, "
+                "%.0f Hz per sensor\n",
+                uncapped, budget, rate);
+    std::fflush(stdout);
+
+    // Sample the rollup; once converged, watch for re-excursions.
+    const auto start = std::chrono::steady_clock::now();
+    double post_max = 0.0;
+    bool seen_converged = false;
+    for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now()
+                                   - start)
+                                   .count();
+        if (elapsed >= run_seconds)
+            break;
+        const auto s = coordinator.status();
+        if (s.secondsToConverge >= 0.0) {
+            seen_converged = true;
+            post_max = std::max(post_max, s.filteredWatts);
+        }
+    }
+
+    loop.stop();
+    fleet.stop();
+    registry.stopAll();
+    server.stop();
+    std::remove(socket_path.c_str());
+
+    const auto status = coordinator.status();
+    std::printf("pscap-test: group %.1f W, converged in %.3f s, "
+                "first step-down after %.3f s, post-convergence max "
+                "%.1f W, %llu down / %llu up, %llu records, "
+                "%llu gap(s)\n",
+                status.filteredWatts, status.secondsToConverge,
+                status.firstStepDownAfter, post_max,
+                static_cast<unsigned long long>(status.stepDowns),
+                static_cast<unsigned long long>(status.stepUps),
+                static_cast<unsigned long long>(loop.recordsSeen()),
+                static_cast<unsigned long long>(loop.gapRecords()));
+    std::fflush(stdout);
+
+    if (!seen_converged || status.secondsToConverge < 0.0
+        || status.secondsToConverge > 1.5) {
+        std::fprintf(stderr,
+                     "pscap-test: FAIL no convergence within 1.5 s "
+                     "of stream time\n");
+        return kCapExitNoConverge;
+    }
+    // Feedback latency: the EWMA (tau 20 ms) plus one control
+    // interval should actuate well inside 0.3 stream seconds.
+    if (status.firstStepDownAfter < 0.0
+        || status.firstStepDownAfter > 0.3) {
+        std::fprintf(stderr,
+                     "pscap-test: FAIL first actuation after %.3f s "
+                     "(bound 0.3 s)\n",
+                     status.firstStepDownAfter);
+        return kCapExitSlowFeedback;
+    }
+    // Bounded overshoot: after convergence the rollup must never
+    // leave the +5% band again (no hunting), and the loop must not
+    // have actuated endlessly to stay there.
+    if (post_max > budget * 1.05
+        || status.stepDowns + status.stepUps
+               > 3ull * governors[0]->levelCount() * 3ull) {
+        std::fprintf(stderr,
+                     "pscap-test: FAIL unstable (post-convergence "
+                     "max %.1f W, %llu actuations)\n",
+                     post_max,
+                     static_cast<unsigned long long>(
+                         status.stepDowns + status.stepUps));
+        return kCapExitUnstable;
+    }
+    std::printf("pscap-test: PASS\n");
+    return 0;
 }
 
 } // namespace
@@ -294,12 +497,15 @@ try {
             return runChaos(false);
         if (std::strcmp(argv[i], "--chaos=long") == 0)
             return runChaos(true);
+        if (std::strcmp(argv[i], "--cap") == 0)
+            return runCap();
     }
 
     auto context = tools::openTool(
         argc, argv, "pstest",
         "  --samples N  collect N samples and print statistics\n"
-        "  --chaos[=short|long]  run the network chaos soak\n");
+        "  --chaos[=short|long]  run the network chaos soak\n"
+        "  --cap        run the closed-loop power-cap scenario\n");
     auto &sensor = *context.sensor;
 
     std::size_t stat_samples = 0;

@@ -24,6 +24,7 @@
 
 #include "analog/sensor_module_spec.hpp"
 #include "bench_json.hpp"
+#include "energy/accountant.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/statistics.hpp"
 #include "firmware/protocol.hpp"
@@ -314,6 +315,32 @@ makeDumpRecord(std::uint64_t i)
     r.current[0] = 5.0 + 0.02 * static_cast<double>(i % 11);
     return r;
 }
+
+/**
+ * Per-sample cost of live region attribution: one
+ * EnergyAccountant::addSample with two regions open (the common
+ * nested case) — the extra work the reader thread pays per 20 kHz
+ * sample while an accountant is attached. The fold is a mutex
+ * acquire plus a few adds per open region, so this must stay far
+ * under the 50 us sample period.
+ */
+void
+BM_RegionAttribution(benchmark::State &state)
+{
+    energy::EnergyAccountant acc;
+    acc.addSample(0.0, 60.0);
+    acc.addMarker('A', 0.0);
+    acc.addMarker('B', 0.0);
+    double t = 0.0;
+    for (auto _ : state) {
+        t += 50e-6;
+        acc.addSample(t, 60.0);
+    }
+    benchmark::DoNotOptimize(acc.samplesSeen());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegionAttribution);
 
 /**
  * Baseline: the synchronous dump path this PR replaced — snprintf

@@ -50,9 +50,19 @@ CpuDutModel::steadyPower(const CpuPhase &phase) const
            + spec_.uncorePower * core_fraction * phase.intensity;
 }
 
+void
+CpuDutModel::setPowerScale(double scale)
+{
+    if (scale <= 0.0 || scale > 1.0)
+        throw UsageError("CpuDutModel: power scale out of (0, 1]");
+    powerScale_.store(scale, std::memory_order_relaxed);
+}
+
 double
 CpuDutModel::packagePower(double t) const
 {
+    const double scale =
+        powerScale_.load(std::memory_order_relaxed);
     const auto program = program_.load();
     const auto it = std::upper_bound(
         program->begin(), program->end(), t,
@@ -63,13 +73,17 @@ CpuDutModel::packagePower(double t) const
 
     const double tau = t - phase.start;
     if (tau <= phase.duration) {
-        const double target = steadyPower(phase);
+        const double target =
+            spec_.idlePower
+            + (steadyPower(phase) - spec_.idlePower) * scale;
         // Small thermal tail into the phase.
         return target
                + (spec_.idlePower - target)
                      * std::exp(-tau / spec_.thermalTau);
     }
-    const double end_power = steadyPower(phase);
+    const double end_power =
+        spec_.idlePower
+        + (steadyPower(phase) - spec_.idlePower) * scale;
     const double dt = tau - phase.duration;
     return spec_.idlePower
            + (end_power - spec_.idlePower)

@@ -77,6 +77,19 @@ class CpuDutModel : public Dut
     /** Package power at time t (ground truth for RAPL). */
     double packagePower(double t) const;
 
+    /**
+     * DVFS hook (dut::Governor): scale the above-idle share of the
+     * package power by `scale` in (0, 1]. Lock-free, applies to
+     * subsequent power reads.
+     */
+    void setPowerScale(double scale);
+
+    /** Current DVFS power scale. */
+    double powerScale() const
+    {
+        return powerScale_.load(std::memory_order_relaxed);
+    }
+
     const CpuSpec &spec() const { return spec_; }
 
   private:
@@ -84,6 +97,7 @@ class CpuDutModel : public Dut
 
     CpuSpec spec_;
     std::atomic<std::shared_ptr<const Program>> program_;
+    std::atomic<double> powerScale_{1.0};
 
     double steadyPower(const CpuPhase &phase) const;
 };

@@ -1,0 +1,132 @@
+#include "dut/governor.hpp"
+
+#include "common/errors.hpp"
+
+namespace ps3::dut {
+
+DvfsGovernor::DvfsGovernor(std::string name,
+                           std::vector<DvfsPoint> ladder,
+                           std::function<void(double)> apply)
+    : name_(std::move(name)),
+      ladder_(std::move(ladder)),
+      apply_(std::move(apply))
+{
+    if (ladder_.empty())
+        throw UsageError("DvfsGovernor: empty ladder");
+    const DvfsPoint &top = ladder_.front();
+    if (top.freqMHz <= 0.0 || top.volts <= 0.0)
+        throw UsageError("DvfsGovernor: non-positive top point");
+    scales_.reserve(ladder_.size());
+    double previous = 2.0;
+    for (const DvfsPoint &p : ladder_) {
+        const double f = p.freqMHz / top.freqMHz;
+        const double v = p.volts / top.volts;
+        const double scale = f * v * v;
+        if (scale <= 0.0 || scale >= previous)
+            throw UsageError(
+                "DvfsGovernor: ladder not monotonically decreasing");
+        scales_.push_back(scale);
+        previous = scale;
+    }
+    if (apply_)
+        apply_(scales_.front());
+}
+
+unsigned
+DvfsGovernor::levelCount() const
+{
+    return static_cast<unsigned>(ladder_.size());
+}
+
+unsigned
+DvfsGovernor::level() const
+{
+    return level_.load(std::memory_order_relaxed);
+}
+
+double
+DvfsGovernor::levelScale(unsigned level) const
+{
+    if (level >= scales_.size())
+        throw UsageError("DvfsGovernor: level out of range");
+    return scales_[level];
+}
+
+const DvfsPoint &
+DvfsGovernor::point(unsigned level) const
+{
+    if (level >= ladder_.size())
+        throw UsageError("DvfsGovernor: level out of range");
+    return ladder_[level];
+}
+
+bool
+DvfsGovernor::stepDown()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const unsigned current = level_.load(std::memory_order_relaxed);
+    if (current + 1 >= ladder_.size())
+        return false;
+    level_.store(current + 1, std::memory_order_relaxed);
+    if (apply_)
+        apply_(scales_[current + 1]);
+    return true;
+}
+
+bool
+DvfsGovernor::stepUp()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const unsigned current = level_.load(std::memory_order_relaxed);
+    if (current == 0)
+        return false;
+    level_.store(current - 1, std::memory_order_relaxed);
+    if (apply_)
+        apply_(scales_[current - 1]);
+    return true;
+}
+
+std::vector<DvfsPoint>
+makeLadder(double boost_mhz, double boost_volts, double base_mhz,
+           double base_volts, unsigned levels)
+{
+    if (levels < 1)
+        throw UsageError("makeLadder: zero levels");
+    std::vector<DvfsPoint> ladder;
+    ladder.reserve(levels);
+    if (levels == 1) {
+        ladder.push_back({boost_mhz, boost_volts});
+        return ladder;
+    }
+    for (unsigned i = 0; i < levels; ++i) {
+        const double t =
+            static_cast<double>(i) / static_cast<double>(levels - 1);
+        ladder.push_back({boost_mhz + (base_mhz - boost_mhz) * t,
+                          boost_volts + (base_volts - boost_volts) * t});
+    }
+    return ladder;
+}
+
+std::unique_ptr<DvfsGovernor>
+makeCpuGovernor(CpuDutModel &model)
+{
+    // Server-CPU-like ladder: 3.6 GHz @ 1.05 V down to 1.2 GHz
+    // @ 0.75 V, the typical P-state span of a 16-core part.
+    return std::make_unique<DvfsGovernor>(
+        model.spec().name.empty() ? "cpu" : model.spec().name,
+        makeLadder(3600.0, 1.05, 1200.0, 0.75, 8),
+        [&model](double scale) { model.setPowerScale(scale); });
+}
+
+std::unique_ptr<DvfsGovernor>
+makeGpuGovernor(GpuDutModel &model)
+{
+    const GpuSpec &spec = model.spec();
+    return std::make_unique<DvfsGovernor>(
+        spec.name.empty() ? "gpu" : spec.name,
+        makeLadder(spec.boostClockMHz, 1.05, spec.baseClockMHz, 0.70,
+                   8),
+        [&model](double scale) { model.setPowerScale(scale); });
+}
+
+} // namespace ps3::dut

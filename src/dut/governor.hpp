@@ -1,0 +1,128 @@
+/**
+ * @file
+ * DVFS-style power governors over the DUT models.
+ *
+ * The closed-loop capping scenario (energy::PowerCapCoordinator)
+ * needs an actuator: something that can trade performance for power
+ * on a running device. Real hardware exposes this as a ladder of
+ * DVFS operating points (frequency/voltage pairs); stepping down the
+ * ladder scales dynamic power roughly with f * V^2 while idle power
+ * stays put.
+ *
+ * Governor is that actuator as an interface; DvfsGovernor implements
+ * it over an explicit ladder and drives a model's setPowerScale()
+ * hook (CpuDutModel, GpuDutModel, storage::SsdDutModel), which
+ * scales the above-idle share of the model's power. The factories
+ * below derive sensible ladders from the model specs.
+ */
+
+#ifndef PS3_DUT_GOVERNOR_HPP
+#define PS3_DUT_GOVERNOR_HPP
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dut/cpu_model.hpp"
+#include "dut/gpu_model.hpp"
+
+namespace ps3::dut {
+
+/** One DVFS operating point. */
+struct DvfsPoint
+{
+    double freqMHz = 0.0;
+    double volts = 0.0;
+};
+
+/** An actuator that trades performance for power in discrete steps. */
+class Governor
+{
+  public:
+    virtual ~Governor() = default;
+
+    /** Display name (device this governor drives). */
+    virtual const std::string &name() const = 0;
+
+    /** Number of operating points (>= 1). */
+    virtual unsigned levelCount() const = 0;
+
+    /** Current level; 0 is full speed, levelCount()-1 the floor. */
+    virtual unsigned level() const = 0;
+
+    /**
+     * Dynamic-power scale of a level relative to level 0, in (0, 1]:
+     * (f / f0) * (V / V0)^2 for a DVFS ladder. Monotonically
+     * decreasing in `level`.
+     */
+    virtual double levelScale(unsigned level) const = 0;
+
+    /** Step one level towards lower power; false if at the floor. */
+    virtual bool stepDown() = 0;
+
+    /** Step one level towards full speed; false if at the top. */
+    virtual bool stepUp() = 0;
+
+    /** Scale of the current level. */
+    double scale() const { return levelScale(level()); }
+};
+
+/**
+ * Governor over an explicit DVFS ladder. Each step applies the new
+ * level's scale through a callback (typically a model's
+ * setPowerScale). Thread safe: steps serialize on an internal
+ * mutex, level() is lock-free.
+ */
+class DvfsGovernor : public Governor
+{
+  public:
+    /**
+     * @param name Device name for logs and metrics.
+     * @param ladder Operating points, fastest first, each slower
+     *        point at a lower f * V^2 product. At least one point.
+     * @param apply Receives the new power scale on every step (and
+     *        once on construction, with scale 1.0).
+     * @throws UsageError on an empty or non-monotonic ladder.
+     */
+    DvfsGovernor(std::string name, std::vector<DvfsPoint> ladder,
+                 std::function<void(double)> apply);
+
+    const std::string &name() const override { return name_; }
+    unsigned levelCount() const override;
+    unsigned level() const override;
+    double levelScale(unsigned level) const override;
+    bool stepDown() override;
+    bool stepUp() override;
+
+    /** The operating point at a level. */
+    const DvfsPoint &point(unsigned level) const;
+
+  private:
+    std::string name_;
+    std::vector<DvfsPoint> ladder_;
+    std::vector<double> scales_;
+    std::function<void(double)> apply_;
+    mutable std::mutex mutex_;
+    std::atomic<unsigned> level_{0};
+};
+
+/**
+ * Evenly spaced ladder from (boost_mhz, boost_volts) down to
+ * (base_mhz, base_volts), `levels` points inclusive.
+ */
+std::vector<DvfsPoint> makeLadder(double boost_mhz, double boost_volts,
+                                  double base_mhz, double base_volts,
+                                  unsigned levels);
+
+/** Governor driving a CPU model's package power (8-level ladder). */
+std::unique_ptr<DvfsGovernor> makeCpuGovernor(CpuDutModel &model);
+
+/** Governor driving a GPU model, ladder from the spec's clocks. */
+std::unique_ptr<DvfsGovernor> makeGpuGovernor(GpuDutModel &model);
+
+} // namespace ps3::dut
+
+#endif // PS3_DUT_GOVERNOR_HPP

@@ -178,9 +178,19 @@ GpuDutModel::envelopePower(double tau, const KernelSchedule &k) const
     return std::min(power, spec_.powerLimit * 1.04);
 }
 
+void
+GpuDutModel::setPowerScale(double scale)
+{
+    if (scale <= 0.0 || scale > 1.0)
+        throw UsageError("GpuDutModel: power scale out of (0, 1]");
+    powerScale_.store(scale, std::memory_order_relaxed);
+}
+
 double
 GpuDutModel::totalPower(double t) const
 {
+    const double scale =
+        powerScale_.load(std::memory_order_relaxed);
     const auto program = program_.load();
 
     // Find the last kernel starting at or before t.
@@ -192,11 +202,16 @@ GpuDutModel::totalPower(double t) const
     const KernelSchedule &k = *(it - 1);
 
     const double tau = t - k.start;
-    if (tau <= k.duration)
-        return std::max(envelopePower(tau, k), spec_.idlePower);
+    if (tau <= k.duration) {
+        const double raw =
+            std::max(envelopePower(tau, k), spec_.idlePower);
+        return spec_.idlePower + (raw - spec_.idlePower) * scale;
+    }
 
     // Between/after kernels: exponential decay back to idle.
-    const double end_power = envelopePower(k.duration, k);
+    const double end_power =
+        spec_.idlePower
+        + (envelopePower(k.duration, k) - spec_.idlePower) * scale;
     const double dt = tau - k.duration;
     return spec_.idlePower
            + (end_power - spec_.idlePower)

@@ -157,6 +157,19 @@ class GpuDutModel : public Dut
     /** Total board power at time t (the analytic ground truth). */
     double totalPower(double t) const;
 
+    /**
+     * DVFS hook (dut::Governor): scale the above-idle share of the
+     * board power by `scale` in (0, 1]. Lock-free, applies to
+     * subsequent power reads.
+     */
+    void setPowerScale(double scale);
+
+    /** Current DVFS power scale. */
+    double powerScale() const
+    {
+        return powerScale_.load(std::memory_order_relaxed);
+    }
+
     const GpuSpec &spec() const { return spec_; }
 
   private:
@@ -165,6 +178,7 @@ class GpuDutModel : public Dut
     GpuSpec spec_;
     std::vector<TraceDut::RailSplit> rails_;
     std::atomic<std::shared_ptr<const Program>> program_;
+    std::atomic<double> powerScale_{1.0};
 
     double envelopePower(double tau, const KernelSchedule &k) const;
 };

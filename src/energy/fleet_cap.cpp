@@ -1,0 +1,169 @@
+#include "energy/fleet_cap.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/errors.hpp"
+#include "host/state.hpp"
+
+namespace ps3::energy {
+
+GovernedFleet::GovernedFleet(net::SensorRegistry &registry,
+                             std::vector<GovernedMember> members,
+                             double sample_rate_hz)
+    : registry_(registry),
+      members_(std::move(members)),
+      rate_(sample_rate_hz)
+{
+    if (members_.empty())
+        throw UsageError("GovernedFleet: no members");
+    if (rate_ <= 0.0)
+        throw UsageError("GovernedFleet: non-positive sample rate");
+    for (const GovernedMember &m : members_) {
+        if (m.dut == nullptr)
+            throw UsageError("GovernedFleet: null dut");
+        if (m.volts <= 0.0)
+            throw UsageError("GovernedFleet: non-positive voltage");
+    }
+    thread_ = std::thread([this] { run(); });
+}
+
+GovernedFleet::~GovernedFleet()
+{
+    stop();
+}
+
+void
+GovernedFleet::stop()
+{
+    stopRequested_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+GovernedFleet::run()
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t tick = 0;
+    while (!stopRequested_.load(std::memory_order_acquire)) {
+        const auto due =
+            start
+            + std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      static_cast<double>(tick + 1) / rate_));
+        std::this_thread::sleep_until(due);
+        const auto now = std::chrono::steady_clock::now();
+        const auto behind = static_cast<std::uint64_t>(
+            std::chrono::duration<double>(now - start).count()
+            * rate_);
+        // Bound the catch-up burst after a scheduler stall.
+        const std::uint64_t target = std::min(behind, tick + 64);
+        for (; tick < target; ++tick) {
+            const double t = static_cast<double>(tick) / rate_;
+            for (const GovernedMember &m : members_) {
+                host::DumpRecord record;
+                record.time = t;
+                record.presentMask = 0x1;
+                record.voltage[0] = m.volts;
+                record.current[0] = m.dut->truePower(t) / m.volts;
+                registry_.publish(m.sensorId, record);
+                published_.fetch_add(1,
+                                     std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+FleetCapLoop::FleetCapLoop(const transport::Endpoint &endpoint,
+                           std::vector<std::uint16_t> sensor_ids,
+                           PowerCapCoordinator &coordinator,
+                           double timeout_seconds)
+    : sensorIds_(std::move(sensor_ids)), coordinator_(coordinator)
+{
+    if (sensorIds_.empty())
+        throw UsageError("FleetCapLoop: no sensors");
+    client_ = net::FleetClient::connect(endpoint, timeout_seconds);
+    for (const std::uint16_t sensor : sensorIds_)
+        client_->subscribe(
+            static_cast<std::uint16_t>(sensor + 1), sensor);
+    // Collect the acks up front so a refused subscription fails the
+    // construction instead of surfacing as silence.
+    std::size_t acks = 0;
+    net::FleetClient::Event event;
+    while (acks < sensorIds_.size()) {
+        if (!client_->poll(event, timeout_seconds))
+            throw DeviceError("FleetCapLoop: subscribe timed out");
+        if (event.kind
+            == net::FleetClient::Event::Kind::ConnectionClosed)
+            throw DeviceError(
+                "FleetCapLoop: connection closed during subscribe");
+        if (event.kind
+            != net::FleetClient::Event::Kind::SubscribeAck)
+            continue;
+        if (event.ack.status != net::SubscribeStatus::Ok)
+            throw DeviceError("FleetCapLoop: subscription refused");
+        ++acks;
+    }
+    thread_ = std::thread([this] { run(); });
+}
+
+FleetCapLoop::~FleetCapLoop()
+{
+    stop();
+}
+
+void
+FleetCapLoop::stop()
+{
+    stopRequested_.store(true, std::memory_order_release);
+    if (client_)
+        client_->abort();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+FleetCapLoop::run()
+{
+    net::FleetClient::Event event;
+    while (!stopRequested_.load(std::memory_order_acquire)) {
+        if (!client_->poll(event, 0.1))
+            continue;
+        switch (event.kind) {
+          case net::FleetClient::Event::Kind::Records: {
+            // Stream id back to the coordinator member index.
+            const std::uint16_t sensor =
+                static_cast<std::uint16_t>(event.streamId - 1);
+            const auto it = std::find(sensorIds_.begin(),
+                                      sensorIds_.end(), sensor);
+            if (it == sensorIds_.end())
+                break;
+            const unsigned member = static_cast<unsigned>(
+                it - sensorIds_.begin());
+            gaps_.fetch_add(event.gapRecords,
+                            std::memory_order_relaxed);
+            for (const host::DumpRecord &record : event.records) {
+                double watts = 0.0;
+                for (unsigned pair = 0; pair < host::kMaxPairs;
+                     ++pair)
+                    if (record.presentMask & (1u << pair))
+                        watts += record.voltage[pair]
+                                 * record.current[pair];
+                coordinator_.observe(member, record.time, watts);
+            }
+            records_.fetch_add(event.records.size(),
+                               std::memory_order_relaxed);
+            break;
+          }
+          case net::FleetClient::Event::Kind::ConnectionClosed:
+            closed_.store(true, std::memory_order_release);
+            return;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace ps3::energy

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The two halves of the closed capping loop over a real PS3N link.
+ *
+ * GovernedFleet is the plant: a pacing thread samples governed DUT
+ * models (dut::Dut::truePower) and publishes the readings into
+ * publish-driven SensorRegistry entries at the configured rate, so
+ * a FleetServer streams them exactly like live hardware. Stepping a
+ * model's governor changes what the *next* published records carry
+ * — actuation is only visible to the controller through the stream,
+ * with the full encode/socket/decode latency in the loop.
+ *
+ * FleetCapLoop is the controller side: a FleetClient subscription
+ * over the given sensors whose poll thread decodes every record
+ * into a power observation and feeds a PowerCapCoordinator (member
+ * order follows the sensor-id list, matching the coordinator's
+ * addMember order). Together with pscap / pstest --cap this closes
+ * the loop:
+ *
+ *   models -> registry -> FleetServer -> socket -> FleetCapLoop
+ *      ^                                               |
+ *      +--- Governor steps <- PowerCapCoordinator <----+
+ */
+
+#ifndef PS3_ENERGY_FLEET_CAP_HPP
+#define PS3_ENERGY_FLEET_CAP_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dut/dut.hpp"
+#include "energy/power_cap.hpp"
+#include "net/fleet_client.hpp"
+#include "net/registry.hpp"
+#include "transport/socket_device.hpp"
+
+namespace ps3::energy {
+
+/** One governed device published as one fleet sensor. */
+struct GovernedMember
+{
+    /** Registry entry to publish into (publish-driven). */
+    std::uint16_t sensorId = 0;
+    /** The plant model; its governor scales future readings. */
+    dut::Dut *dut = nullptr;
+    /** Rail voltage encoded into the records (V). */
+    double volts = 12.0;
+};
+
+/**
+ * Paced publisher turning governed DUT models into fleet streams.
+ * One thread serves all members (absolute-deadline pacing, batched
+ * catch-up, same discipline as net::SimulatedFleet).
+ */
+class GovernedFleet
+{
+  public:
+    /**
+     * Start publishing at `sample_rate_hz` per member. Stops on
+     * stop() or destruction.
+     */
+    GovernedFleet(net::SensorRegistry &registry,
+                  std::vector<GovernedMember> members,
+                  double sample_rate_hz);
+
+    ~GovernedFleet();
+
+    GovernedFleet(const GovernedFleet &) = delete;
+    GovernedFleet &operator=(const GovernedFleet &) = delete;
+
+    /** Stop publishing and join the pacer thread. Idempotent. */
+    void stop();
+
+    /** Records published so far. */
+    std::uint64_t
+    published() const
+    {
+        return published_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void run();
+
+    net::SensorRegistry &registry_;
+    const std::vector<GovernedMember> members_;
+    const double rate_;
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<std::uint64_t> published_{0};
+    std::thread thread_;
+};
+
+/**
+ * Controller-side subscription: one FleetClient streaming the given
+ * sensors, a poll thread feeding every record's power into the
+ * coordinator. Stream ids are sensor id + 1 (id 0 is reserved for
+ * control), the psfleet convention.
+ */
+class FleetCapLoop
+{
+  public:
+    /**
+     * Connect, subscribe to `sensor_ids` (coordinator member i must
+     * be sensor_ids[i]) and start the poll thread.
+     * @throws DeviceError if the connection or a subscription is
+     *         refused.
+     */
+    FleetCapLoop(const transport::Endpoint &endpoint,
+                 std::vector<std::uint16_t> sensor_ids,
+                 PowerCapCoordinator &coordinator,
+                 double timeout_seconds = 5.0);
+
+    ~FleetCapLoop();
+
+    FleetCapLoop(const FleetCapLoop &) = delete;
+    FleetCapLoop &operator=(const FleetCapLoop &) = delete;
+
+    /** Disconnect and join the poll thread. Idempotent. */
+    void stop();
+
+    /** Records folded into the coordinator. */
+    std::uint64_t
+    recordsSeen() const
+    {
+        return records_.load(std::memory_order_relaxed);
+    }
+
+    /** Records the streams revealed as missing. */
+    std::uint64_t
+    gapRecords() const
+    {
+        return gaps_.load(std::memory_order_relaxed);
+    }
+
+    /** True once the server closed the connection. */
+    bool
+    connectionClosed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+  private:
+    void run();
+
+    std::unique_ptr<net::FleetClient> client_;
+    const std::vector<std::uint16_t> sensorIds_;
+    PowerCapCoordinator &coordinator_;
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<std::uint64_t> records_{0};
+    std::atomic<std::uint64_t> gaps_{0};
+    std::atomic<bool> closed_{false};
+    std::thread thread_;
+};
+
+} // namespace ps3::energy
+
+#endif // PS3_ENERGY_FLEET_CAP_HPP

@@ -1,0 +1,263 @@
+#include "energy/power_cap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "obs/registry.hpp"
+
+namespace ps3::energy {
+
+namespace {
+
+/** Capping metrics (docs/OBSERVABILITY.md). */
+struct Metrics
+{
+    obs::Counter &stepDowns = obs::Registry::global().counter(
+        "ps3_cap_step_down_total",
+        "Governor step-down actuations by cap coordinators");
+    obs::Counter &stepUps = obs::Registry::global().counter(
+        "ps3_cap_step_up_total",
+        "Governor step-up actuations by cap coordinators");
+    obs::Gauge &groupWatts = obs::Registry::global().gauge(
+        "ps3_cap_group_power_watts",
+        "Latest filtered group power rollup (W)");
+    obs::Gauge &budgetWatts = obs::Registry::global().gauge(
+        "ps3_cap_budget_watts",
+        "Active group power budget (W)");
+};
+
+Metrics &
+metrics()
+{
+    static Metrics m;
+    return m;
+}
+
+} // namespace
+
+PowerCapCoordinator::PowerCapCoordinator(CapPolicy policy)
+    : policy_(policy)
+{
+    if (policy_.ewmaTau <= 0.0)
+        throw UsageError("PowerCapCoordinator: non-positive tau");
+    if (policy_.deadbandFraction <= 0.0)
+        throw UsageError("PowerCapCoordinator: non-positive deadband");
+    if (policy_.controlInterval < 0.0)
+        throw UsageError(
+            "PowerCapCoordinator: negative control interval");
+    metrics().budgetWatts.set(
+        static_cast<std::int64_t>(std::llround(policy_.budgetWatts)));
+}
+
+unsigned
+PowerCapCoordinator::addMember(std::string name,
+                               dut::Governor &governor)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Member member;
+    member.name = std::move(name);
+    member.governor = &governor;
+    members_.push_back(std::move(member));
+    return static_cast<unsigned>(members_.size() - 1);
+}
+
+void
+PowerCapCoordinator::setBudget(double watts)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    policy_.budgetWatts = watts;
+    budgetPending_ = true;
+    metrics().budgetWatts.set(
+        static_cast<std::int64_t>(std::llround(watts)));
+}
+
+void
+PowerCapCoordinator::observe(unsigned member, double time,
+                             double watts)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (member >= members_.size())
+        throw UsageError("PowerCapCoordinator: member out of range");
+    Member &m = members_[member];
+    groupWatts_ += watts - (m.seen ? m.watts : 0.0);
+    m.watts = watts;
+    m.seen = true;
+    ++observations_;
+
+    if (!haveFiltered_) {
+        filtered_ = groupWatts_;
+        haveFiltered_ = true;
+    } else if (time > lastTime_) {
+        const double alpha =
+            1.0 - std::exp(-(time - lastTime_) / policy_.ewmaTau);
+        filtered_ += alpha * (groupWatts_ - filtered_);
+    }
+    lastTime_ = time;
+    metrics().groupWatts.set(
+        static_cast<std::int64_t>(std::llround(filtered_)));
+
+    if (budgetPending_) {
+        budgetPending_ = false;
+        budgetSetAt_ = time;
+        convergedAt_ = -1.0;
+        excursionSeen_ = false;
+        maxFiltered_ = filtered_;
+        underSince_ = -1.0;
+        firstStepDownAt_ = -1.0;
+    }
+    maxFiltered_ = std::max(maxFiltered_, filtered_);
+
+    // Convergence means *returning* to the band after exceeding it
+    // — the EWMA warming up from the first observations must not
+    // count as converged before the loop ever saw the excursion.
+    const double band =
+        std::max(policy_.budgetWatts * policy_.deadbandFraction,
+                 1e-9);
+    if (filtered_ > policy_.budgetWatts + band)
+        excursionSeen_ = true;
+    else if (convergedAt_ < 0.0 && excursionSeen_)
+        convergedAt_ = time;
+
+    controlStep(time);
+}
+
+void
+PowerCapCoordinator::controlStep(double time)
+{
+    if (policy_.budgetWatts <= 0.0 || members_.empty())
+        return;
+    const double band =
+        std::max(policy_.budgetWatts * policy_.deadbandFraction,
+                 1e-9);
+    const double error = filtered_ - policy_.budgetWatts;
+
+    if (error > band) {
+        underSince_ = -1.0;
+        if (time - lastActuation_ < policy_.controlInterval)
+            return;
+        const double want =
+            std::ceil(policy_.stepDownGain * error / band);
+        const unsigned steps = static_cast<unsigned>(std::clamp(
+            want, 1.0, static_cast<double>(members_.size())));
+        bool acted = false;
+        for (unsigned i = 0; i < steps; ++i) {
+            if (!stepDownOne())
+                break;
+            ++stepDowns_;
+            metrics().stepDowns.inc();
+            acted = true;
+        }
+        if (acted) {
+            lastActuation_ = time;
+            if (firstStepDownAt_ < 0.0)
+                firstStepDownAt_ = time;
+        }
+        return;
+    }
+
+    if (error < -band) {
+        if (underSince_ < 0.0) {
+            underSince_ = time;
+            return;
+        }
+        if (time - underSince_ < policy_.upHoldSeconds)
+            return;
+        if (time - lastActuation_ < policy_.controlInterval)
+            return;
+        if (stepUpOne()) {
+            ++stepUps_;
+            metrics().stepUps.inc();
+            lastActuation_ = time;
+            // Re-arm the hold so recovery stays one step per period.
+            underSince_ = time;
+        }
+        return;
+    }
+
+    // Inside the deadband: settled, require a fresh under-budget
+    // stretch before any step up.
+    underSince_ = -1.0;
+}
+
+bool
+PowerCapCoordinator::stepDownOne()
+{
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        Member &m = members_[(cursor_ + i) % members_.size()];
+        if (m.governor->stepDown()) {
+            cursor_ = (cursor_ + static_cast<unsigned>(i) + 1)
+                      % members_.size();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+PowerCapCoordinator::stepUpOne()
+{
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        Member &m = members_[(cursor_ + i) % members_.size()];
+        const unsigned level = m.governor->level();
+        if (level == 0)
+            continue;
+        // Predict the member's power at the faster level from the
+        // ladder's scale ratio. The estimate is conservative (it
+        // treats all of the member's power as dynamic), so a step
+        // gated on the predicted total staying at or under the
+        // budget can never carry the true total across it — the
+        // recovery path cannot oscillate.
+        const double ratio = m.governor->levelScale(level - 1)
+                             / m.governor->levelScale(level);
+        const double predicted =
+            filtered_ + m.watts * (ratio - 1.0);
+        if (predicted > policy_.budgetWatts)
+            continue;
+        if (m.governor->stepUp()) {
+            cursor_ = (cursor_ + static_cast<unsigned>(i) + 1)
+                      % members_.size();
+            return true;
+        }
+    }
+    return false;
+}
+
+CapStatus
+PowerCapCoordinator::status() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CapStatus s;
+    s.groupWatts = groupWatts_;
+    s.filteredWatts = filtered_;
+    s.budgetWatts = policy_.budgetWatts;
+    s.observations = observations_;
+    s.stepDowns = stepDowns_;
+    s.stepUps = stepUps_;
+    const double band =
+        std::max(policy_.budgetWatts * policy_.deadbandFraction,
+                 1e-9);
+    s.converged = haveFiltered_
+                  && filtered_ <= policy_.budgetWatts + band;
+    s.secondsToConverge =
+        convergedAt_ >= 0.0 ? convergedAt_ - budgetSetAt_ : -1.0;
+    s.maxFilteredWatts = maxFiltered_;
+    s.firstStepDownAfter = firstStepDownAt_ >= 0.0
+                               ? firstStepDownAt_ - budgetSetAt_
+                               : -1.0;
+    s.lastTime = lastTime_;
+    return s;
+}
+
+std::vector<unsigned>
+PowerCapCoordinator::memberLevels() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<unsigned> levels;
+    levels.reserve(members_.size());
+    for (const Member &m : members_)
+        levels.push_back(m.governor->level());
+    return levels;
+}
+
+} // namespace ps3::energy

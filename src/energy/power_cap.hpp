@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Closed-loop group power capping over governed devices.
+ *
+ * PowerCapCoordinator holds a *group* of devices under a shared
+ * power budget: it folds per-member power observations (typically
+ * decoded from live PS3N fleet streams, see energy::FleetCapLoop)
+ * into an EWMA-filtered group rollup and actuates dut::Governor
+ * ladders with a damped proportional policy:
+ *
+ *  - over budget beyond the deadband: step *down*, proportionally —
+ *    the further over, the more members stepped per control tick
+ *    (fast reaction to overshoot);
+ *  - under budget beyond the deadband: step *up* at most one member
+ *    per up-hold period, and only when the predicted group power
+ *    after the step still fits under the budget (slow, damped
+ *    recovery that cannot oscillate across the budget line);
+ *  - inside the deadband: no actuation.
+ *
+ * Members are stepped cyclically so throttling is shared fairly.
+ * The coordinator is clocked by the observation stream itself (the
+ * 20 kHz sample cadence), with a minimum control interval between
+ * actuations; all feedback-latency figures it reports are in stream
+ * (device) time.
+ */
+
+#ifndef PS3_ENERGY_POWER_CAP_HPP
+#define PS3_ENERGY_POWER_CAP_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dut/governor.hpp"
+
+namespace ps3::energy {
+
+/** Tuning of the capping control law. */
+struct CapPolicy
+{
+    /** Group power budget (W). */
+    double budgetWatts = 0.0;
+    /** EWMA filter time constant over the group power (s). */
+    double ewmaTau = 0.02;
+    /** Half-width of the no-action band, as a budget fraction. */
+    double deadbandFraction = 0.02;
+    /** Minimum stream time between actuations (s). */
+    double controlInterval = 0.005;
+    /**
+     * Proportional step-down gain: members stepped per tick is
+     * ceil(gain * error / deadband), capped at the member count.
+     */
+    double stepDownGain = 0.5;
+    /** Time under budget required before a step up (s). */
+    double upHoldSeconds = 0.2;
+};
+
+/** Coordinator state snapshot. */
+struct CapStatus
+{
+    /** Sum of the latest per-member observations (W). */
+    double groupWatts = 0.0;
+    /** EWMA-filtered group power (W). */
+    double filteredWatts = 0.0;
+    /** Active budget (W). */
+    double budgetWatts = 0.0;
+    /** Observations folded. */
+    std::uint64_t observations = 0;
+    /** Governor step-down actuations. */
+    std::uint64_t stepDowns = 0;
+    /** Governor step-up actuations. */
+    std::uint64_t stepUps = 0;
+    /** True when the filtered power is inside the deadband or under. */
+    bool converged = false;
+    /**
+     * Stream seconds from the budget taking effect to the filtered
+     * power first *returning* to budget + deadband after exceeding
+     * it; negative while not yet converged (or while no excursion
+     * above the band happened at all).
+     */
+    double secondsToConverge = -1.0;
+    /** Highest filtered power since the budget took effect (W). */
+    double maxFilteredWatts = 0.0;
+    /**
+     * Stream seconds from the budget taking effect to the first
+     * step-down actuation (the loop's feedback latency); negative
+     * while no step-down happened yet.
+     */
+    double firstStepDownAfter = -1.0;
+    /** Stream time of the last observation (s). */
+    double lastTime = 0.0;
+};
+
+/**
+ * The group capping controller (see file comment for the law).
+ * Thread safe: observations, budget changes and status reads may
+ * come from different threads.
+ */
+class PowerCapCoordinator
+{
+  public:
+    explicit PowerCapCoordinator(CapPolicy policy);
+
+    /**
+     * Add a governed member. The governor must outlive the
+     * coordinator.
+     * @return Member index for observe().
+     */
+    unsigned addMember(std::string name, dut::Governor &governor);
+
+    /**
+     * Fold one power observation for a member at stream time `time`
+     * (seconds, monotonic across members) and run the control step.
+     */
+    void observe(unsigned member, double time, double watts);
+
+    /**
+     * Replace the budget; convergence tracking restarts at the next
+     * observation.
+     */
+    void setBudget(double watts);
+
+    CapStatus status() const;
+
+    /** Per-member current governor levels (diagnostics). */
+    std::vector<unsigned> memberLevels() const;
+
+  private:
+    struct Member
+    {
+        std::string name;
+        dut::Governor *governor = nullptr;
+        double watts = 0.0;
+        bool seen = false;
+    };
+
+    void controlStep(double time);
+    bool stepDownOne();
+    bool stepUpOne();
+
+    CapPolicy policy_;
+    mutable std::mutex mutex_;
+    std::vector<Member> members_;
+
+    double groupWatts_ = 0.0;
+    double filtered_ = 0.0;
+    bool haveFiltered_ = false;
+    double lastTime_ = 0.0;
+    double lastActuation_ = -1e300;
+    double underSince_ = -1.0;
+    unsigned cursor_ = 0;
+
+    double budgetSetAt_ = -1.0;
+    bool budgetPending_ = true;
+    bool excursionSeen_ = false;
+    double convergedAt_ = -1.0;
+    double maxFiltered_ = 0.0;
+    double firstStepDownAt_ = -1.0;
+
+    std::uint64_t observations_ = 0;
+    std::uint64_t stepDowns_ = 0;
+    std::uint64_t stepUps_ = 0;
+};
+
+} // namespace ps3::energy
+
+#endif // PS3_ENERGY_POWER_CAP_HPP

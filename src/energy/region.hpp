@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Region-marker conventions of the energy attribution API.
+ *
+ * The PowerSensor3 wire protocol and dump formats carry one-character
+ * markers ('M' records, paper Sec. VI); JetsonLEAP-style program
+ * phase instrumentation needs nestable begin/end *regions*. Rather
+ * than invent a second marker channel, regions ride the existing
+ * markers with a case convention:
+ *
+ *   - an UPPERCASE letter 'A'..'Z' begins region A..Z;
+ *   - the matching lowercase letter 'a'..'z' ends it.
+ *
+ * Every other marker character is a plain point marker, exactly as
+ * before — old dumps, old tools and `psdump --between` keep working,
+ * and region-annotated dumps are readable by old readers (they just
+ * see markers). Regions may nest ('A' 'B' 'b' 'a') and repeat
+ * ('A' 'a' 'A' 'a' accumulates two entries of region A); see
+ * EnergyAccountant for the inclusive/exclusive accounting rules and
+ * docs/PROTOCOL.md for the encoding note.
+ */
+
+#ifndef PS3_ENERGY_REGION_HPP
+#define PS3_ENERGY_REGION_HPP
+
+#include "host/sensor.hpp"
+
+namespace ps3::energy {
+
+/** True when the marker character begins a region ('A'..'Z'). */
+constexpr bool
+isBeginMarker(char marker)
+{
+    return marker >= 'A' && marker <= 'Z';
+}
+
+/** True when the marker character ends a region ('a'..'z'). */
+constexpr bool
+isEndMarker(char marker)
+{
+    return marker >= 'a' && marker <= 'z';
+}
+
+/**
+ * Canonical region id of a region marker: the uppercase letter.
+ * Only meaningful for begin/end markers.
+ */
+constexpr char
+regionOf(char marker)
+{
+    return isEndMarker(marker)
+               ? static_cast<char>(marker - ('a' - 'A'))
+               : marker;
+}
+
+/** Begin marker of a region id ('A'..'Z' passes through). */
+constexpr char
+beginMarker(char region)
+{
+    return regionOf(region);
+}
+
+/** End marker of a region id (the lowercase letter). */
+constexpr char
+endMarker(char region)
+{
+    return static_cast<char>(regionOf(region) + ('a' - 'A'));
+}
+
+/**
+ * RAII region over a sensor's marker channel: emits the begin
+ * marker on construction and the end marker on destruction, so a
+ * measured program phase is one scoped object:
+ *
+ *   { energy::RegionScope fft(sensor, 'F'); runFft(); }
+ *
+ * Markers resolve at sample granularity (the device flags an
+ * upcoming frame set), so a scope shorter than one sample period
+ * may begin and end on adjacent samples.
+ */
+class RegionScope
+{
+  public:
+    RegionScope(host::Sensor &sensor, char region)
+        : sensor_(sensor), region_(regionOf(region))
+    {
+        sensor_.mark(beginMarker(region_));
+    }
+
+    ~RegionScope() { sensor_.mark(endMarker(region_)); }
+
+    RegionScope(const RegionScope &) = delete;
+    RegionScope &operator=(const RegionScope &) = delete;
+
+  private:
+    host::Sensor &sensor_;
+    char region_;
+};
+
+} // namespace ps3::energy
+
+#endif // PS3_ENERGY_REGION_HPP

@@ -348,15 +348,30 @@ DumpFile::energy(double from, double to) const
 double
 DumpFile::energyBetweenMarkers(char begin, char end) const
 {
+    // First occurrence of each marker, found independently: with
+    // repeated pairs the span is the first one, and an `end` that
+    // precedes every `begin` is an ordering error, not a marker to
+    // skip past.
     double t_begin = -1.0;
     double t_end = -1.0;
     for (const auto &marker : markers_) {
-        if (marker.marker == begin && t_begin < 0.0)
+        if (t_begin < 0.0 && marker.marker == begin) {
             t_begin = marker.time;
-        else if (marker.marker == end && t_end < 0.0 && t_begin >= 0.0)
+            // Same character for both ends: the span runs between
+            // its first two occurrences.
+            if (begin == end)
+                continue;
+        } else if (t_end < 0.0 && marker.marker == end) {
             t_end = marker.time;
+        }
+        if (t_begin >= 0.0 && t_end >= 0.0)
+            break;
     }
     if (t_begin < 0.0 || t_end < 0.0) {
+        throw UsageError(
+            "DumpFile: marker pair not found in order");
+    }
+    if (t_end < t_begin) {
         throw UsageError(
             "DumpFile: marker pair not found in order");
     }

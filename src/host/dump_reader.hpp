@@ -92,9 +92,14 @@ class DumpFile
     double energy(double from, double to) const;
 
     /**
-     * Energy between two markers (first occurrence of each), the
-     * paper's marker-based kernel attribution.
-     * @throws UsageError if a marker is missing or out of order.
+     * Energy between two markers, the paper's marker-based kernel
+     * attribution. The span runs from the *first* occurrence of
+     * `begin` to the *first* occurrence of `end`, each found
+     * independently — with repeated marker pairs this measures the
+     * first span, never a later one. When `begin == end`, the span
+     * runs between that marker's first two occurrences.
+     * @throws UsageError if either marker is missing, or the first
+     *         `end` precedes the first `begin`.
      */
     double energyBetweenMarkers(char begin, char end) const;
 

@@ -129,6 +129,77 @@ TEST(DumpFileErrors, MalformedLines)
     std::filesystem::remove(path);
 }
 
+// energyBetweenMarkers measures the span between the *first*
+// occurrence of each marker, found independently (see the header
+// contract) — repeated pairs must measure the first span, an end
+// marker preceding every begin is an ordering error, and a marker
+// paired with itself spans its first two occurrences.
+class MarkerFirstOccurrence : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = "/tmp/ps3_marker_first."
+                + std::to_string(static_cast<long>(::getpid()))
+                + ".txt";
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    /** Constant 12 W samples every 50 ms plus the given markers. */
+    DumpFile
+    makeDump(const std::vector<std::pair<char, double>> &markers)
+    {
+        std::ofstream out(path_);
+        for (int i = 0; i <= 10; ++i) {
+            const double t = 0.05 * i;
+            out << "S " << t << " 12.0 1.0 12.0 12.0\n";
+        }
+        for (const auto &[marker, time] : markers)
+            out << "M " << marker << ' ' << time << "\n";
+        out.close();
+        return DumpFile::load(path_);
+    }
+
+    std::string path_;
+};
+
+TEST_F(MarkerFirstOccurrence, RepeatedPairsMeasureTheFirstSpan)
+{
+    const auto file = makeDump(
+        {{'B', 0.1}, {'E', 0.2}, {'B', 0.3}, {'E', 0.45}});
+    EXPECT_NEAR(file.energyBetweenMarkers('B', 'E'),
+                file.energy(0.1, 0.2), 1e-9);
+}
+
+TEST_F(MarkerFirstOccurrence, EndBeforeEveryBeginThrows)
+{
+    // A later 'E' exists, but the *first* 'E' precedes the first
+    // 'B': first-occurrence semantics make this an ordering error,
+    // not a prompt to skip to the next 'E'.
+    const auto file =
+        makeDump({{'E', 0.1}, {'B', 0.2}, {'E', 0.3}});
+    EXPECT_THROW(file.energyBetweenMarkers('B', 'E'), UsageError);
+}
+
+TEST_F(MarkerFirstOccurrence, SameMarkerSpansItsFirstTwoOccurrences)
+{
+    const auto file =
+        makeDump({{'R', 0.1}, {'R', 0.3}, {'R', 0.45}});
+    EXPECT_NEAR(file.energyBetweenMarkers('R', 'R'),
+                file.energy(0.1, 0.3), 1e-9);
+}
+
+TEST_F(MarkerFirstOccurrence, MissingEitherMarkerThrows)
+{
+    const auto file = makeDump({{'B', 0.1}});
+    EXPECT_THROW(file.energyBetweenMarkers('B', 'E'), UsageError);
+    EXPECT_THROW(file.energyBetweenMarkers('X', 'B'), UsageError);
+    // A lone marker paired with itself has no second occurrence.
+    EXPECT_THROW(file.energyBetweenMarkers('B', 'B'), UsageError);
+}
+
 // Gap annotations ('G' records): written by network clients when
 // the stream had holes (host::GapEvent), in both formats.
 

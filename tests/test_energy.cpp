@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Tests for the energy subsystem: region-marker conventions, the
+ * per-region EnergyAccountant (nesting, exclusive/inclusive split,
+ * stray ends, re-entrancy, gap taint), live-vs-replay parity on a
+ * real dump, DVFS governors, and the PowerCapCoordinator control
+ * law (convergence, damping, step-up recovery).
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "dut/governor.hpp"
+#include "energy/accountant.hpp"
+#include "energy/power_cap.hpp"
+#include "energy/region.hpp"
+#include "host/dump_reader.hpp"
+#include "host/sim_setup.hpp"
+#include "obs/registry.hpp"
+
+namespace ps3::energy {
+namespace {
+
+// ----- region-marker conventions -----------------------------------------
+
+TEST(RegionMarkers, CaseConventionRoundTrips)
+{
+    EXPECT_TRUE(isBeginMarker('A'));
+    EXPECT_TRUE(isBeginMarker('Z'));
+    EXPECT_FALSE(isBeginMarker('a'));
+    EXPECT_TRUE(isEndMarker('a'));
+    EXPECT_TRUE(isEndMarker('z'));
+    EXPECT_FALSE(isEndMarker('A'));
+    // Point markers stay point markers.
+    EXPECT_FALSE(isBeginMarker('3'));
+    EXPECT_FALSE(isEndMarker('#'));
+
+    EXPECT_EQ(regionOf('q'), 'Q');
+    EXPECT_EQ(regionOf('Q'), 'Q');
+    EXPECT_EQ(beginMarker('k'), 'K');
+    EXPECT_EQ(endMarker('K'), 'k');
+}
+
+// ----- accountant: direct event feed -------------------------------------
+
+TEST(Accountant, SingleRegionMatchesManualIntegration)
+{
+    // watts(t) = 10 + t at 1 Hz; region A spans (1, 3].
+    EnergyAccountant acc;
+    acc.addSample(0.0, 10.0);
+    acc.addSample(1.0, 11.0);
+    acc.addMarker('A', 1.0); // resolves after its sample's interval
+    acc.addSample(2.0, 12.0);
+    acc.addSample(3.0, 13.0);
+    acc.addMarker('a', 3.0);
+    acc.addSample(4.0, 14.0);
+    acc.finish();
+
+    const auto stats = acc.snapshot();
+    ASSERT_EQ(stats.size(), 1u);
+    const auto &a = stats[0];
+    EXPECT_EQ(a.region, 'A');
+    EXPECT_EQ(a.entries, 1u);
+    EXPECT_EQ(a.samples, 2u);
+    EXPECT_DOUBLE_EQ(a.inclusiveSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(a.inclusiveJoules, 12.0 + 13.0);
+    EXPECT_DOUBLE_EQ(a.exclusiveSeconds, a.inclusiveSeconds);
+    EXPECT_DOUBLE_EQ(a.exclusiveJoules, a.inclusiveJoules);
+    EXPECT_DOUBLE_EQ(a.minWatts, 12.0);
+    EXPECT_DOUBLE_EQ(a.maxWatts, 13.0);
+    EXPECT_DOUBLE_EQ(a.meanWatts(), 12.5);
+    EXPECT_FALSE(a.unterminated);
+    EXPECT_EQ(a.gapRecords, 0u);
+    EXPECT_EQ(acc.samplesSeen(), 5u);
+    EXPECT_EQ(acc.strayEndMarkers(), 0u);
+}
+
+TEST(Accountant, NestingSplitsExclusiveFromInclusive)
+{
+    // A spans (1, 4], child B spans (2, 3]; constant 10 W.
+    EnergyAccountant acc;
+    for (int t = 0; t <= 1; ++t)
+        acc.addSample(t, 10.0);
+    acc.addMarker('A', 1.0);
+    acc.addSample(2.0, 10.0);
+    acc.addMarker('B', 2.0);
+    acc.addSample(3.0, 10.0);
+    acc.addMarker('b', 3.0);
+    acc.addSample(4.0, 10.0);
+    acc.addMarker('a', 4.0);
+    acc.addSample(5.0, 10.0);
+    acc.finish();
+
+    const auto stats = acc.snapshot();
+    ASSERT_EQ(stats.size(), 2u);
+    const auto &a = stats[0];
+    const auto &b = stats[1];
+    EXPECT_DOUBLE_EQ(a.inclusiveSeconds, 3.0);
+    EXPECT_DOUBLE_EQ(a.inclusiveJoules, 30.0);
+    EXPECT_DOUBLE_EQ(a.exclusiveSeconds, 2.0); // (1,2] and (3,4]
+    EXPECT_DOUBLE_EQ(a.exclusiveJoules, 20.0);
+    EXPECT_DOUBLE_EQ(b.inclusiveSeconds, 1.0);
+    EXPECT_DOUBLE_EQ(b.exclusiveSeconds, 1.0);
+    // Exclusive shares partition the parent's inclusive window.
+    EXPECT_DOUBLE_EQ(a.exclusiveJoules + b.inclusiveJoules,
+                     a.inclusiveJoules);
+}
+
+TEST(Accountant, ReentrantRegionCountsTimeOnce)
+{
+    // A opened twice before closing: nested self-entry must not
+    // double-count the overlap.
+    EnergyAccountant acc;
+    acc.addSample(0.0, 10.0);
+    acc.addSample(1.0, 10.0);
+    acc.addMarker('A', 1.0);
+    acc.addSample(2.0, 10.0);
+    acc.addMarker('A', 2.0);
+    acc.addSample(3.0, 10.0);
+    acc.addMarker('a', 3.0);
+    acc.addSample(4.0, 10.0);
+    acc.addMarker('a', 4.0);
+    acc.finish();
+
+    const auto stats = acc.snapshot();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].entries, 2u);
+    EXPECT_DOUBLE_EQ(stats[0].inclusiveSeconds, 3.0); // (1,4] once
+    EXPECT_DOUBLE_EQ(stats[0].exclusiveSeconds, 3.0);
+    EXPECT_FALSE(stats[0].unterminated);
+    EXPECT_EQ(acc.strayEndMarkers(), 0u);
+}
+
+TEST(Accountant, RepeatedEntriesAccumulate)
+{
+    EnergyAccountant acc;
+    acc.addSample(0.0, 10.0);
+    acc.addSample(1.0, 10.0);
+    acc.addMarker('A', 1.0);
+    acc.addSample(2.0, 10.0);
+    acc.addMarker('a', 2.0);
+    acc.addSample(3.0, 10.0);
+    acc.addMarker('A', 3.0);
+    acc.addSample(4.0, 10.0);
+    acc.addMarker('a', 4.0);
+    acc.finish();
+
+    const auto stats = acc.snapshot();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].entries, 2u);
+    EXPECT_DOUBLE_EQ(stats[0].inclusiveSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(stats[0].inclusiveJoules, 20.0);
+}
+
+TEST(Accountant, StrayEndsAndPointMarkersAreIgnored)
+{
+    EnergyAccountant acc;
+    acc.addSample(0.0, 10.0);
+    acc.addSample(1.0, 10.0);
+    acc.addMarker('a', 1.0); // nothing open
+    acc.addMarker('3', 1.0); // point marker, not a region
+    acc.addSample(2.0, 10.0);
+    acc.finish();
+
+    EXPECT_TRUE(acc.snapshot().empty());
+    EXPECT_EQ(acc.strayEndMarkers(), 1u);
+}
+
+TEST(Accountant, UnterminatedRegionClosesAtLastSample)
+{
+    EnergyAccountant acc;
+    acc.addSample(0.0, 10.0);
+    acc.addSample(1.0, 10.0);
+    acc.addMarker('A', 1.0);
+    acc.addSample(2.0, 10.0);
+    acc.addSample(3.0, 10.0);
+    acc.finish();
+
+    const auto stats = acc.snapshot();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_TRUE(stats[0].unterminated);
+    EXPECT_DOUBLE_EQ(stats[0].inclusiveSeconds, 2.0); // (1, 3]
+}
+
+TEST(Accountant, GapsTaintOpenRegionsOnly)
+{
+    EnergyAccountant acc;
+    acc.addGap(7); // before any region: lost
+    acc.addSample(0.0, 10.0);
+    acc.addSample(1.0, 10.0);
+    acc.addMarker('A', 1.0);
+    acc.addGap(5);
+    acc.addSample(2.0, 10.0);
+    acc.addMarker('a', 2.0);
+    acc.addGap(3); // after close: not A's problem
+    acc.addSample(3.0, 10.0);
+    acc.finish();
+
+    const auto stats = acc.snapshot();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].gapRecords, 5u);
+    // The interval spanning the hole still integrates through.
+    EXPECT_DOUBLE_EQ(stats[0].inclusiveJoules, 10.0);
+}
+
+TEST(Accountant, FormatRegionTableFlagsTaint)
+{
+    EnergyAccountant acc;
+    acc.addSample(0.0, 10.0);
+    acc.addSample(1.0, 10.0);
+    acc.addMarker('A', 1.0);
+    acc.addGap(4);
+    acc.addSample(2.0, 10.0);
+    acc.finish();
+
+    const auto table = formatRegionTable(acc.snapshot());
+    EXPECT_NE(table.find("A"), std::string::npos);
+    EXPECT_NE(table.find("unterminated"), std::string::npos);
+    EXPECT_NE(table.find("gaps=4"), std::string::npos);
+    EXPECT_TRUE(formatRegionTable({}).empty());
+}
+
+// ----- offline replay vs the dump reader ---------------------------------
+
+TEST(AccountantReplay, RegionEnergyEqualsDumpFileEnergy)
+{
+    const std::string path =
+        "/tmp/ps3_energy_replay."
+        + std::to_string(static_cast<long>(::getpid())) + ".txt";
+    {
+        std::ofstream out(path);
+        out << "# sample_rate_hz 10\n";
+        for (int i = 0; i <= 10; ++i) {
+            const double t = 0.1 * i;
+            const double watts = 12.0 + i;
+            out << "S " << t << " 12.0 " << watts / 12.0 << " "
+                << watts << " " << watts << "\n";
+        }
+        out << "M B 0.2\nM b 0.7\nM B 0.8\n"; // second entry open
+    }
+    const auto file = host::DumpFile::load(path);
+    std::filesystem::remove(path);
+
+    EnergyAccountant acc;
+    acc.replay(file);
+    const auto stats = acc.snapshot();
+    ASSERT_EQ(stats.size(), 1u);
+    const auto &b = stats[0];
+    EXPECT_EQ(b.entries, 2u);
+    EXPECT_TRUE(b.unterminated);
+    // The closed span plus the unterminated tail, integrated exactly
+    // as the reader integrates them.
+    EXPECT_NEAR(b.inclusiveJoules,
+                file.energy(0.2, 0.7) + file.energy(0.8, 1.0), 1e-9);
+    EXPECT_EQ(acc.samplesSeen(), file.samples().size());
+}
+
+// ----- live listener vs offline replay on the same stream ----------------
+
+TEST(AccountantLive, LiveAttributionMatchesOfflineReplay)
+{
+    const std::string path =
+        "/tmp/ps3_energy_live."
+        + std::to_string(static_cast<long>(::getpid())) + ".txt";
+    auto rig = host::rigs::labBench(analog::modules::slot12V10A(),
+                                    12.0, 5.0);
+    auto sensor = rig.connect();
+
+    // Marker requests resolve on a *future* sample, so fixed tail
+    // waits race a reader thread that ran ahead; keep the dump (and
+    // the live fold) running until both end markers actually landed.
+    auto &closed = obs::Registry::global().counter(
+        "ps3_energy_regions_closed_total",
+        "Region end markers applied");
+    const auto closed_before = closed.value();
+
+    EnergyAccountant live;
+    live.attach(*sensor);
+    sensor->dump(path);
+    {
+        RegionScope outer(*sensor, 'R');
+        sensor->waitForSamples(2000);
+        {
+            RegionScope inner(*sensor, 'S');
+            sensor->waitForSamples(2000);
+        }
+        sensor->waitForSamples(1000);
+    }
+    for (int spins = 0;
+         closed.value() < closed_before + 2 && spins < 100; ++spins)
+        sensor->waitForSamples(500);
+    ASSERT_GE(closed.value(), closed_before + 2);
+    sensor->dump("");
+    live.detach();
+    live.finish();
+
+    EnergyAccountant replayed;
+    replayed.replay(host::DumpFile::load(path));
+    std::filesystem::remove(path);
+
+    const auto live_stats = live.snapshot();
+    const auto replay_stats = replayed.snapshot();
+    ASSERT_EQ(live_stats.size(), 2u);
+    ASSERT_EQ(replay_stats.size(), 2u);
+    for (std::size_t i = 0; i < live_stats.size(); ++i) {
+        const auto &l = live_stats[i];
+        const auto &r = replay_stats[i];
+        EXPECT_EQ(l.region, r.region);
+        EXPECT_EQ(l.entries, r.entries);
+        EXPECT_EQ(l.samples, r.samples);
+        EXPECT_FALSE(l.unterminated);
+        EXPECT_NEAR(l.inclusiveSeconds, r.inclusiveSeconds, 1e-4);
+        EXPECT_NEAR(l.exclusiveSeconds, r.exclusiveSeconds, 1e-4);
+        // The text dump rounds V/I/P, so energies agree to the
+        // rounding, not bit-exactly.
+        EXPECT_NEAR(l.inclusiveJoules, r.inclusiveJoules,
+                    0.01 * r.inclusiveJoules + 1e-6);
+        EXPECT_NEAR(l.exclusiveJoules, r.exclusiveJoules,
+                    0.01 * r.exclusiveJoules + 1e-6);
+    }
+    // Nested S owns part of R's window.
+    EXPECT_NEAR(live_stats[0].exclusiveJoules
+                    + live_stats[1].inclusiveJoules,
+                live_stats[0].inclusiveJoules,
+                0.01 * live_stats[0].inclusiveJoules);
+}
+
+// ----- governors ----------------------------------------------------------
+
+TEST(Governors, LadderScalesAreMonotonic)
+{
+    const auto ladder =
+        dut::makeLadder(3600.0, 1.05, 1200.0, 0.75, 8);
+    ASSERT_EQ(ladder.size(), 8u);
+    EXPECT_DOUBLE_EQ(ladder.front().freqMHz, 3600.0);
+    EXPECT_DOUBLE_EQ(ladder.back().freqMHz, 1200.0);
+
+    double applied = 0.0;
+    dut::DvfsGovernor gov("cpu", ladder,
+                          [&applied](double s) { applied = s; });
+    EXPECT_DOUBLE_EQ(applied, 1.0); // applied once on construction
+    EXPECT_EQ(gov.levelCount(), 8u);
+    EXPECT_DOUBLE_EQ(gov.levelScale(0), 1.0);
+    for (unsigned l = 1; l < gov.levelCount(); ++l)
+        EXPECT_LT(gov.levelScale(l), gov.levelScale(l - 1));
+    // f * V^2 law at the floor.
+    EXPECT_NEAR(gov.levelScale(7),
+                (1200.0 / 3600.0) * (0.75 / 1.05) * (0.75 / 1.05),
+                1e-12);
+}
+
+TEST(Governors, StepsApplyScalesAndSaturate)
+{
+    double applied = -1.0;
+    dut::DvfsGovernor gov("g",
+                          dut::makeLadder(2000.0, 1.0, 1000.0, 0.8, 3),
+                          [&applied](double s) { applied = s; });
+    EXPECT_FALSE(gov.stepUp()); // already at the top
+    EXPECT_TRUE(gov.stepDown());
+    EXPECT_EQ(gov.level(), 1u);
+    EXPECT_DOUBLE_EQ(applied, gov.levelScale(1));
+    EXPECT_TRUE(gov.stepDown());
+    EXPECT_FALSE(gov.stepDown()); // at the floor
+    EXPECT_EQ(gov.level(), 2u);
+    EXPECT_TRUE(gov.stepUp());
+    EXPECT_DOUBLE_EQ(applied, gov.levelScale(1));
+}
+
+TEST(Governors, RejectsNonMonotonicLadders)
+{
+    EXPECT_THROW(dut::DvfsGovernor("bad", {}, [](double) {}),
+                 UsageError);
+    // Rising f*V^2 midway is not a ladder.
+    EXPECT_THROW(
+        dut::DvfsGovernor("bad",
+                          {{2000.0, 1.0}, {1000.0, 0.8},
+                           {1800.0, 1.0}},
+                          [](double) {}),
+        UsageError);
+}
+
+TEST(Governors, ModelFactoriesDriveTheirModels)
+{
+    dut::CpuDutModel cpu(dut::CpuSpec::server16Core());
+    cpu.setProgram({{0.0, 1e9, cpu.spec().cores, 1.0}});
+    auto gov = dut::makeCpuGovernor(cpu);
+    const double full = cpu.truePower(1.0);
+    while (gov->stepDown())
+        ;
+    const double floor = cpu.truePower(1.0);
+    EXPECT_LT(floor, full);
+    // Idle power is not governed: the floor stays above idle.
+    EXPECT_GT(floor, cpu.spec().idlePower);
+}
+
+// ----- the capping control law -------------------------------------------
+
+/** Three governed members with a linear plant: idle + dyn * scale. */
+struct CapBench
+{
+    static constexpr double kIdle[3] = {20.0, 15.0, 5.0};
+    static constexpr double kDyn[3] = {70.0, 80.0, 30.0};
+
+    CapBench(CapPolicy policy) : cap(policy)
+    {
+        for (int m = 0; m < 3; ++m) {
+            govs.emplace_back(std::make_unique<dut::DvfsGovernor>(
+                "m" + std::to_string(m),
+                dut::makeLadder(3600.0, 1.05, 1200.0, 0.75, 16),
+                [this, m](double s) { scale[m] = s; }));
+            cap.addMember(govs.back()->name(), *govs.back());
+        }
+    }
+
+    double watts(int m) const { return kIdle[m] + kDyn[m] * scale[m]; }
+
+    /** Stream `seconds` of 20 kHz observations. */
+    void
+    run(double seconds, double start = 0.0)
+    {
+        const double dt = 50e-6;
+        const auto ticks = static_cast<long>(seconds / dt);
+        for (long i = 1; i <= ticks; ++i) {
+            const double t = start + dt * i;
+            for (int m = 0; m < 3; ++m)
+                cap.observe(m, t, watts(m));
+        }
+    }
+
+    double scale[3] = {1.0, 1.0, 1.0};
+    std::vector<std::unique_ptr<dut::DvfsGovernor>> govs;
+    PowerCapCoordinator cap;
+};
+
+TEST(PowerCap, ConvergesUnderBudgetWithBoundedActuations)
+{
+    CapPolicy policy;
+    policy.budgetWatts = 150.0; // uncapped plant: 220 W
+    CapBench bench(policy);
+    bench.run(1.0);
+
+    const auto status = bench.cap.status();
+    EXPECT_EQ(status.observations, 3u * 20000u);
+    EXPECT_GT(status.stepDowns, 0u);
+    // Feedback latency and convergence, in stream time.
+    EXPECT_GE(status.firstStepDownAfter, 0.0);
+    EXPECT_LT(status.firstStepDownAfter, 0.05);
+    EXPECT_GE(status.secondsToConverge, 0.0);
+    EXPECT_LT(status.secondsToConverge, 0.5);
+    // Holds the band without grinding the governors.
+    const double band =
+        policy.budgetWatts * policy.deadbandFraction;
+    EXPECT_LE(status.filteredWatts, policy.budgetWatts + band + 0.5);
+    EXPECT_GE(status.filteredWatts, 135.0); // not over-throttled
+    EXPECT_LE(status.stepDowns + status.stepUps, 3u * 16u * 2u);
+    EXPECT_TRUE(status.converged);
+}
+
+TEST(PowerCap, GenerousBudgetNeverActuates)
+{
+    CapPolicy policy;
+    policy.budgetWatts = 400.0; // far above the 220 W plant
+    CapBench bench(policy);
+    bench.run(0.5);
+
+    const auto status = bench.cap.status();
+    EXPECT_EQ(status.stepDowns, 0u);
+    EXPECT_EQ(status.stepUps, 0u);
+    EXPECT_TRUE(status.converged);
+    // No excursion above the band: nothing to converge *from*.
+    EXPECT_LT(status.secondsToConverge, 0.0);
+}
+
+TEST(PowerCap, RaisedBudgetRecoversWithoutOvershoot)
+{
+    CapPolicy policy;
+    policy.budgetWatts = 120.0;
+    CapBench bench(policy);
+    bench.run(1.0);
+    const auto throttled = bench.cap.status();
+    ASSERT_GT(throttled.stepDowns, 0u);
+    const double throttled_watts = throttled.filteredWatts;
+
+    // Raise the budget: the loop must step back up, one damped step
+    // per hold period, never crossing the new budget.
+    bench.cap.setBudget(200.0);
+    bench.run(2.0, 1.0);
+    const auto status = bench.cap.status();
+    EXPECT_GT(status.stepUps, 3u);
+    EXPECT_GT(status.filteredWatts, throttled_watts);
+    EXPECT_LE(status.maxFilteredWatts, 200.0 + 1.0);
+    // Budget replaced after the excursion: convergence tracking
+    // restarted, and no new excursion happened.
+    EXPECT_LT(status.secondsToConverge, 0.0);
+}
+
+} // namespace
+} // namespace ps3::energy

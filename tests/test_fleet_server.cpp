@@ -461,6 +461,48 @@ TEST(FleetV2, MarkersRouteToTheAddressedSensor)
     server.stop();
 }
 
+TEST(FleetV2, MarkedRecordsReachOnlyTheirSensorsSubscribers)
+{
+    auto registry = makeRegistry(2);
+    net::FleetServer server(*registry);
+    const auto endpoint =
+        server.listen(Endpoint::parse("unix://" + socketPath()));
+
+    // Two independent connections: one watches the marked sensor,
+    // the other a sibling sensor. A marker must ride downstream
+    // folded into its sample record ('M' prefix, see net/wire.hpp)
+    // on the marked sensor's streams only.
+    auto watcher = net::FleetClient::connect(endpoint, 5.0);
+    auto bystander = net::FleetClient::connect(endpoint, 5.0);
+    subscribeOk(*watcher, 1, 1);
+    subscribeOk(*bystander, 1, 0);
+
+    auto marked = sensorRecord(1, 0.0);
+    marked.marker = true;
+    marked.markerChar = 'R'; // region begin, energy attribution
+    registry->publish(1, marked);
+    registry->publish(1, sensorRecord(1, 50e-6));
+    registry->publish(0, sensorRecord(0, 0.0));
+    registry->publish(0, sensorRecord(0, 50e-6));
+
+    const auto watched = awaitRecords(*watcher, 1, 2);
+    ASSERT_EQ(watched.size(), 2u);
+    EXPECT_TRUE(watched[0].marker);
+    EXPECT_EQ(watched[0].markerChar, 'R');
+    EXPECT_EQ(watched[0].time, 0.0);
+    EXPECT_FALSE(watched[1].marker);
+
+    const auto other = awaitRecords(*bystander, 1, 2);
+    ASSERT_EQ(other.size(), 2u);
+    for (const auto &record : other) {
+        EXPECT_FALSE(record.marker);
+        EXPECT_EQ(record.current[0], 1.0); // sensor 0's signature
+    }
+
+    registry->stopAll();
+    server.stop();
+}
+
 TEST(FleetV2, HeartbeatsFlowOnIdleStreams)
 {
     auto registry = makeRegistry(1);

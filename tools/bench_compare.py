@@ -47,6 +47,7 @@ GATED = (
     "BM_StreamParserFeed",
     "BM_RunningStatisticsAdd",
     "BM_RingBufferPushPop",
+    "BM_RegionAttribution",
     "BM_DumpWriteText",
     "BM_DumpWriteBinary",
     "BM_DumpReaderLoad",

@@ -19,7 +19,12 @@ Checks (stdlib only, no external dependencies):
     file-level Doxygen comment (`/** ... @file`);
  4. every class/struct declared in those headers is preceded by a
     doc comment;
- 5. if doxygen is installed, the headers additionally must produce
+ 5. the totals README.md claims about the build stay honest: the
+    gtest suite count must equal the suites tests/CMakeLists.txt
+    registers, every "N+ tests" claim must agree with every other,
+    and the bench tally (paper benches + ablations + extensions)
+    must match the targets bench/CMakeLists.txt builds;
+ 6. if doxygen is installed, the headers additionally must produce
     no documentation warnings (skipped silently otherwise, so the
     check works in minimal containers).
 
@@ -135,6 +140,79 @@ def check_header_docs(root: Path):
     return problems
 
 
+def registered_test_suites(root: Path):
+    """Gtest suite targets registered in tests/CMakeLists.txt."""
+    text = (root / "tests" / "CMakeLists.txt").read_text(
+        encoding="utf-8"
+    )
+    suites = set(re.findall(r"ps3_add_test\((\w+)\)", text))
+    suites |= set(
+        re.findall(r"add_executable\((test_\w+)\s", text)
+    )
+    for match in re.finditer(
+        r"foreach\(\w+((?:\s+test_\w+)+)\)", text
+    ):
+        suites |= set(match.group(1).split())
+    return suites
+
+
+def check_claimed_counts(root: Path):
+    """Stale totals in README.md vs the build registrations."""
+    problems = []
+    readme = root / "README.md"
+    text = readme.read_text(encoding="utf-8")
+
+    suites = registered_test_suites(root)
+    for match in re.finditer(r"(\d+) gtest suites", text):
+        claimed = int(match.group(1))
+        if claimed != len(suites):
+            problems.append(
+                f"{readme.relative_to(root)}: claims {claimed} "
+                f"gtest suites, tests/CMakeLists.txt registers "
+                f"{len(suites)}"
+            )
+
+    # The exact ctest total needs a configured build (test discovery
+    # multiplies parameterised suites), so "N+" claims are linted for
+    # mutual consistency: they must all state the same floor, so one
+    # stale mention cannot survive an update of the others.
+    floors = {
+        int(n)
+        for n in re.findall(r"(\d+)\+ (?:ctest )?tests", text)
+    }
+    if len(floors) > 1:
+        problems.append(
+            f"{readme.relative_to(root)}: inconsistent test-count "
+            f"claims: {sorted(floors)}"
+        )
+
+    bench_text = (root / "bench" / "CMakeLists.txt").read_text(
+        encoding="utf-8"
+    )
+    # The last foreach entry carries the closing parenthesis.
+    benches = set(
+        re.findall(r"^\s*(bench_\w+)\)?$", bench_text, re.M)
+    )
+    ablations = {b for b in benches if b.startswith("bench_ablation_")}
+    extensions = {b for b in benches if b.startswith("bench_ext_")}
+    paper = benches - ablations - extensions
+    claim = re.search(
+        r"(\d+) paper-reproduction benches \+ (\d+) ablations "
+        r"\+\s+(\d+) extensions",
+        text,
+    )
+    if claim:
+        counted = (len(paper), len(ablations), len(extensions))
+        claimed = tuple(int(g) for g in claim.groups())
+        if claimed != counted:
+            problems.append(
+                f"{readme.relative_to(root)}: bench tally "
+                f"{claimed} != bench/CMakeLists.txt "
+                f"{counted} (paper, ablations, extensions)"
+            )
+    return problems
+
+
 def check_doxygen(root: Path):
     """Doxygen warnings for the public headers, when available."""
     doxygen = shutil.which("doxygen")
@@ -179,6 +257,7 @@ def main(argv):
     problems += check_markdown_links(root)
     problems += check_path_spans(root)
     problems += check_header_docs(root)
+    problems += check_claimed_counts(root)
     problems += check_doxygen(root)
     if problems:
         print(f"docs-check: {len(problems)} problem(s)")
